@@ -1,0 +1,126 @@
+//! Ablations for the design decisions DESIGN.md §5 calls out:
+//!
+//! 1. **Cross-filtering on/off** — the optimizer's best plan vs the best
+//!    plan that may not combine predicates before climbing.
+//! 2. **Climbing value index vs column scan** — the same hidden
+//!    predicate resolved through the index and through the fallback scan
+//!    (+ translation).
+//! 3. **Shared pair-temp vs id-only verification** — a Bloom post-filter
+//!    whose predicate column is projected (the verify temp rides along
+//!    with the projection fetch) vs one that verifies through a private
+//!    id-only temp.
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ghostdb_bench::{medical_fixture, Fixture};
+use ghostdb_exec::Source;
+use ghostdb_workload::selectivity_query;
+
+const SCALE: usize = 20_000;
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| medical_fixture(SCALE).expect("fixture"))
+}
+
+fn bench_cross_filtering(c: &mut Criterion) {
+    let f = fixture();
+    // Two predicates on Visit: the cross-filterable shape.
+    let sql = selectivity_query(f.cfg.date_start, f.cfg.date_span_days, 0.3);
+    let plans = f.db.plans(&sql).expect("plans");
+    let with_cross = plans
+        .iter()
+        .find(|p| {
+            p.plan
+                .sources
+                .iter()
+                .any(|s| matches!(s, Source::CrossGroup { .. }))
+        })
+        .expect("a cross plan exists")
+        .plan
+        .clone();
+    let without_cross = plans
+        .iter()
+        .find(|p| {
+            !p.plan
+                .sources
+                .iter()
+                .any(|s| matches!(s, Source::CrossGroup { .. }))
+        })
+        .expect("a non-cross plan exists")
+        .plan
+        .clone();
+
+    let mut g = c.benchmark_group("ablation_cross_filtering");
+    g.sample_size(10);
+    g.bench_function("cross_on", |b| {
+        b.iter(|| f.db.query_with_plan(&sql, &with_cross).expect("run"))
+    });
+    g.bench_function("cross_off", |b| {
+        b.iter(|| f.db.query_with_plan(&sql, &without_cross).expect("run"))
+    });
+    g.finish();
+}
+
+fn bench_index_vs_scan(c: &mut Criterion) {
+    let f = fixture();
+    let sql = "SELECT Pre.PreID FROM Prescription Pre, Visit Vis \
+               WHERE Vis.Purpose = 'Sclerosis' AND Vis.VisID = Pre.VisID";
+    let spec = f.db.bind(sql).expect("bind");
+    let with_index = ghostdb_exec::plan_all_pre(&spec, f.db.schema(), |_| true);
+    let with_scan = ghostdb_exec::plan_all_pre(&spec, f.db.schema(), |_| false);
+
+    let mut g = c.benchmark_group("ablation_climbing_index");
+    g.sample_size(10);
+    g.bench_function("climbing_index", |b| {
+        b.iter(|| f.db.query_with_plan(sql, &with_index).expect("run"))
+    });
+    g.bench_function("column_scan", |b| {
+        b.iter(|| f.db.query_with_plan(sql, &with_scan).expect("run"))
+    });
+    g.finish();
+}
+
+fn bench_verify_source(c: &mut Criterion) {
+    let f = fixture();
+    let mid = ghostdb_types::Date(f.cfg.date_start.0 + (f.cfg.date_span_days / 2) as i32);
+    // Same filter; the first query projects the predicate column (shared
+    // pair-temp verification), the second does not (id-only temp).
+    let shared_sql = format!(
+        "SELECT Pre.PreID, Vis.Date FROM Prescription Pre, Visit Vis \
+         WHERE Vis.Date > '{mid}' AND Vis.Purpose = 'Sclerosis' \
+           AND Vis.VisID = Pre.VisID"
+    );
+    let idonly_sql = format!(
+        "SELECT Pre.PreID FROM Prescription Pre, Visit Vis \
+         WHERE Vis.Date > '{mid}' AND Vis.Purpose = 'Sclerosis' \
+           AND Vis.VisID = Pre.VisID"
+    );
+    let shared_plan = {
+        let spec = f.db.bind(&shared_sql).expect("bind");
+        f.db.plan_post(&spec)
+    };
+    let idonly_plan = {
+        let spec = f.db.bind(&idonly_sql).expect("bind");
+        f.db.plan_post(&spec)
+    };
+
+    let mut g = c.benchmark_group("ablation_verify_source");
+    g.sample_size(10);
+    g.bench_function("shared_pair_temp", |b| {
+        b.iter(|| f.db.query_with_plan(&shared_sql, &shared_plan).expect("run"))
+    });
+    g.bench_function("id_only_temp", |b| {
+        b.iter(|| f.db.query_with_plan(&idonly_sql, &idonly_plan).expect("run"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cross_filtering,
+    bench_index_vs_scan,
+    bench_verify_source
+);
+criterion_main!(benches);

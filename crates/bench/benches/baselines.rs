@@ -1,0 +1,108 @@
+//! EXP-B1 — the "last resort" joins the paper rules out, vs the climbing
+//! index, on the same join task under identical hardware.
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ghostdb_catalog::TreeSchema;
+use ghostdb_exec::{climbing_translate_count, grace_hash_join_count, join_index_count};
+use ghostdb_flash::{Nand, Volume};
+use ghostdb_index::IndexSet;
+use ghostdb_ram::{RamBudget, RamScope};
+use ghostdb_storage::{split_dataset, HiddenStore};
+use ghostdb_types::{ColumnId, DeviceConfig, RowId, SimClock, TableId, Value};
+use ghostdb_workload::{generate_medical, medical_schema, MedicalConfig};
+
+const SCALE: usize = 20_000;
+
+struct Stack {
+    volume: Volume,
+    ram: RamBudget,
+    clock: SimClock,
+    device: DeviceConfig,
+    hidden: HiddenStore,
+    indexes: IndexSet,
+    tree: TreeSchema,
+    visit: TableId,
+    pre: TableId,
+    fk_col: ColumnId,
+    matching: Vec<RowId>,
+}
+
+fn stack() -> &'static Stack {
+    static S: OnceLock<Stack> = OnceLock::new();
+    S.get_or_init(|| {
+        let cfg = MedicalConfig::scaled(SCALE);
+        let data = generate_medical(&cfg).expect("gen");
+        let schema = medical_schema().expect("schema");
+        let tree = TreeSchema::analyze(&schema).expect("tree");
+        let device = DeviceConfig::default_2007();
+        let clock = SimClock::new();
+        let volume = Volume::new(Nand::new(device.flash.clone(), clock.clone()));
+        let ram = RamBudget::new(device.ram_bytes);
+        let scope = RamScope::new(&ram);
+        let (hidden, _v, _s, enc) =
+            split_dataset(&volume, &scope, &schema, &data).expect("split");
+        let indexes =
+            IndexSet::build(&volume, &scope, &schema, &tree, &data, &enc).expect("idx");
+        let visit = schema.resolve_table("Visit").expect("t");
+        let pre = schema.resolve_table("Prescription").expect("t");
+        let fk_col = schema.resolve_column(pre, "VisID").expect("c").column;
+        let vis_tbl = &data.tables[visit.index()];
+        let matching: Vec<RowId> = (0..vis_tbl.rows())
+            .filter(|&i| vis_tbl.columns[2][i] == Value::Text("Sclerosis".into()))
+            .map(|i| RowId(i as u32))
+            .collect();
+        drop(scope);
+        Stack {
+            volume,
+            ram,
+            clock,
+            device,
+            hidden,
+            indexes,
+            tree,
+            visit,
+            pre,
+            fk_col,
+            matching,
+        }
+    })
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let s = stack();
+    let mut g = c.benchmark_group("join_baselines");
+    g.sample_size(10);
+    g.bench_function("climbing_index", |b| {
+        b.iter(|| {
+            climbing_translate_count(
+                &s.volume, &s.ram, &s.clock, &s.device, &s.indexes, s.visit, &s.matching,
+                s.pre,
+            )
+            .expect("climb")
+        })
+    });
+    g.bench_function("join_index_chain", |b| {
+        b.iter(|| {
+            join_index_count(
+                &s.volume, &s.ram, &s.clock, &s.device, &s.indexes, &s.tree, s.visit,
+                &s.matching, s.pre,
+            )
+            .expect("jidx")
+        })
+    });
+    g.bench_function("grace_hash_join", |b| {
+        b.iter(|| {
+            grace_hash_join_count(
+                &s.volume, &s.ram, &s.clock, &s.device, &s.hidden, s.pre, s.fk_col,
+                &s.matching,
+            )
+            .expect("grace")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! EXP-D2A — the Pre/Post crossover: both strategies at three visible
+//! selectivities (selective, crossover region, unselective).
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghostdb_bench::{medical_fixture, Fixture};
+use ghostdb_workload::selectivity_query;
+
+const SCALE: usize = 20_000;
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| medical_fixture(SCALE).expect("fixture"))
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("filtering_sweep");
+    g.sample_size(10);
+    for frac in [0.01f64, 0.10, 0.75] {
+        let sql = selectivity_query(f.cfg.date_start, f.cfg.date_span_days, frac);
+        let spec = f.db.bind(&sql).expect("bind");
+        let p1 = f.db.plan_pre(&spec);
+        let p2 = f.db.plan_post(&spec);
+        g.bench_with_input(BenchmarkId::new("pre", frac), &sql, |b, sql| {
+            b.iter(|| f.db.query_with_plan(sql, &p1).expect("run"))
+        });
+        g.bench_with_input(BenchmarkId::new("post", frac), &sql, |b, sql| {
+            b.iter(|| f.db.query_with_plan(sql, &p2).expect("run"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

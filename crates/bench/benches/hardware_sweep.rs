@@ -1,0 +1,36 @@
+//! EXP-S3 — hardware sensitivity: the same query on devices whose flash
+//! write/read ratio spans the paper's 3–10× envelope, and on the two USB
+//! generations §3 discusses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghostdb_bench::medical_fixture_with;
+use ghostdb_types::{BusConfig, DeviceConfig};
+use ghostdb_workload::selectivity_query;
+
+const SCALE: usize = 20_000;
+
+fn bench_hardware(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hardware");
+    g.sample_size(10);
+    for ratio in [3.0f64, 10.0] {
+        for (link, bus) in [
+            ("usb12M", BusConfig::usb_full_speed()),
+            ("usb480M", BusConfig::usb_high_speed()),
+        ] {
+            let mut config = DeviceConfig::default_2007().with_bus(bus);
+            config.flash = config.flash.with_write_read_ratio(ratio);
+            let f = medical_fixture_with(SCALE, config).expect("fixture");
+            let sql = selectivity_query(f.cfg.date_start, f.cfg.date_span_days, 0.5);
+            let spec = f.db.bind(&sql).expect("bind");
+            let p1 = f.db.plan_pre(&spec);
+            let id = format!("ratio{ratio}_{link}");
+            g.bench_with_input(BenchmarkId::new("pre_filtering", &id), &sql, |b, sql| {
+                b.iter(|| f.db.query_with_plan(sql, &p1).expect("run"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hardware);
+criterion_main!(benches);

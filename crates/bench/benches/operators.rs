@@ -1,0 +1,100 @@
+//! EXP-OPS — operator micro-costs backing the cost model: merge
+//! intersection, external sort (in-RAM vs spilling), SKT cursor access,
+//! climbing probes and temp probes.
+
+use std::sync::OnceLock;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghostdb_bench::{medical_fixture, Fixture};
+use ghostdb_exec::MergeIntersect;
+use ghostdb_flash::{Nand, Volume};
+use ghostdb_index::ExternalSorter;
+use ghostdb_ram::{RamBudget, RamScope};
+use ghostdb_types::{
+    collect_ids, DeviceConfig, IdStream, RowId, SimClock, VecIdStream,
+};
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| medical_fixture(20_000).expect("fixture"))
+}
+
+fn scratch_volume() -> (Volume, RamScope) {
+    let device = DeviceConfig::default_2007();
+    let volume = Volume::new(Nand::new(device.flash, SimClock::new()));
+    let ram = RamBudget::new(device.ram_bytes);
+    (volume, RamScope::new(&ram))
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("op_merge_intersect");
+    for &n in &[1_000usize, 10_000] {
+        let a: Vec<RowId> = (0..n as u32).map(RowId).collect();
+        let b_list: Vec<RowId> = (0..n as u32).filter(|i| i % 3 == 0).map(RowId).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let inputs: Vec<Box<dyn IdStream>> = vec![
+                    Box::new(VecIdStream::new(a.clone())),
+                    Box::new(VecIdStream::new(b_list.clone())),
+                ];
+                let mut m = MergeIntersect::new(inputs, SimClock::new(), 200);
+                collect_ids(&mut m).expect("merge")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("op_external_sort");
+    g.sample_size(10);
+    for &(n, ram) in &[(5_000usize, 64 * 1024usize), (50_000, 8 * 1024)] {
+        let label = if n * 4 <= ram { "in_ram" } else { "spilling" };
+        g.bench_with_input(
+            BenchmarkId::new(label, n),
+            &(n, ram),
+            |bench, &(n, ram)| {
+                bench.iter(|| {
+                    let (volume, scope) = scratch_volume();
+                    let mut s: ExternalSorter<u32> =
+                        ExternalSorter::new(&volume, &scope, ram).expect("sorter");
+                    for i in (0..n as u32).rev() {
+                        s.push(i.wrapping_mul(2_654_435_761)).expect("push");
+                    }
+                    let mut out = s.finish().expect("finish");
+                    let mut count = 0u64;
+                    while out.next_rec().expect("rec").is_some() {
+                        count += 1;
+                    }
+                    count
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_device_ops(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("op_device");
+    g.sample_size(20);
+    // A hidden-only point query: climbing probe + SKT + hidden project.
+    g.bench_function("climb_skt_project", |b| {
+        b.iter(|| {
+            f.db.query("SELECT Pre.PreID, Pre.Quantity FROM Prescription Pre, Visit Vis \
+                        WHERE Vis.Purpose = 'Sclerosis' AND Vis.VisID = Pre.VisID")
+                .expect("query")
+        })
+    });
+    // Pure hidden scan fallback (no index on FK columns).
+    g.bench_function("hidden_scan", |b| {
+        b.iter(|| {
+            f.db.query("SELECT Pat.PatID FROM Patient Pat WHERE Pat.BodyMassIndex = 30")
+                .expect("query")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge, bench_sort, bench_device_ops);
+criterion_main!(benches);

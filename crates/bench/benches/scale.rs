@@ -1,0 +1,26 @@
+//! EXP-SCALE — the paper query at growing root cardinalities.
+//!
+//! "How to compute regular SQL queries over arbitrarily large tables
+//! under such hardware constraints" (§4): time must track matching
+//! volume, not raw cardinality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghostdb_bench::medical_fixture;
+use ghostdb_workload::paper_query;
+
+fn bench_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scale");
+    g.sample_size(10);
+    for &n in &[5_000usize, 20_000, 80_000] {
+        let f = medical_fixture(n).expect("fixture");
+        let sql = paper_query(f.mid_date());
+        let best = f.db.plans(&sql).expect("plans").remove(0).plan;
+        g.bench_with_input(BenchmarkId::new("paper_query_best", n), &n, |b, _| {
+            b.iter(|| f.db.query_with_plan(&sql, &best).expect("run"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Shared harness for the figure-regeneration binary and the Criterion
+//! benches.
+//!
+//! Every experiment in EXPERIMENTS.md is driven from here: fixtures are
+//! deterministic (seeded generators), measurements report **simulated
+//! time** (the paper's metric — deterministic under the hardware model)
+//! while Criterion additionally reports host wall time of the simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::Path;
+
+use ghostdb_core::GhostDb;
+use ghostdb_types::{Date, DeviceConfig, Result};
+use ghostdb_workload::{generate_medical, MedicalConfig, MEDICAL_DDL};
+
+/// A loaded database plus its generator config.
+pub struct Fixture {
+    /// The loaded database.
+    pub db: GhostDb,
+    /// Generator parameters used.
+    pub cfg: MedicalConfig,
+}
+
+/// Build the medical fixture at `prescriptions` scale with the paper's
+/// default hardware.
+pub fn medical_fixture(prescriptions: usize) -> Result<Fixture> {
+    medical_fixture_with(prescriptions, DeviceConfig::default_2007())
+}
+
+/// Build the medical fixture with custom hardware.
+pub fn medical_fixture_with(prescriptions: usize, config: DeviceConfig) -> Result<Fixture> {
+    let cfg = MedicalConfig::scaled(prescriptions);
+    let data = generate_medical(&cfg)?;
+    let db = GhostDb::create(MEDICAL_DDL, config, &data)?;
+    Ok(Fixture { db, cfg })
+}
+
+/// The dataset alongside the db (baseline experiments need raw ids).
+pub fn medical_fixture_with_data(
+    prescriptions: usize,
+    config: DeviceConfig,
+) -> Result<(Fixture, ghostdb_storage::Dataset)> {
+    let cfg = MedicalConfig::scaled(prescriptions);
+    let data = generate_medical(&cfg)?;
+    let db = GhostDb::create(MEDICAL_DDL, config, &data)?;
+    Ok((Fixture { db, cfg }, data))
+}
+
+impl Fixture {
+    /// Mid-range date cutoff (≈50% visible selectivity), as used by the
+    /// Figure 6 comparison.
+    pub fn mid_date(&self) -> Date {
+        Date(self.cfg.date_start.0 + (self.cfg.date_span_days / 2) as i32)
+    }
+}
+
+/// One measured plan execution.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Plan label.
+    pub label: String,
+    /// Simulated execution time, ns.
+    pub sim_ns: u64,
+    /// Device RAM peak, bytes.
+    pub ram_peak: usize,
+    /// Result rows.
+    pub rows: u64,
+    /// Spy-visible bytes that crossed toward the device.
+    pub bus_to_device: u64,
+    /// Flash page reads.
+    pub flash_reads: u64,
+    /// Flash page programs.
+    pub flash_programs: u64,
+}
+
+/// Execute `sql` under `plan` and collect the headline numbers.
+pub fn measure_plan(
+    db: &GhostDb,
+    sql: &str,
+    plan: &ghostdb_exec::Plan,
+) -> Result<Measured> {
+    let out = db.query_with_plan(sql, plan)?;
+    Ok(Measured {
+        label: plan.label.clone(),
+        sim_ns: out.report.total_ns,
+        ram_peak: out.report.ram_peak,
+        rows: out.report.result_rows,
+        bus_to_device: out.report.bus_bytes_to_device,
+        flash_reads: out.report.flash.page_reads,
+        flash_programs: out.report.flash.page_programs,
+    })
+}
+
+/// Append rows to `results/<name>.csv` (header written once).
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
+    }
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+/// A unicode bar for quick terminal charts (Figure 6 style).
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let w = if max <= 0.0 {
+        0
+    } else {
+        ((value / max) * width as f64).round() as usize
+    };
+    "#".repeat(w.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_and_queries() {
+        let f = medical_fixture(1_000).unwrap();
+        let sql = ghostdb_workload::paper_query(f.mid_date());
+        let spec = f.db.bind(&sql).unwrap();
+        let p1 = f.db.plan_pre(&spec);
+        let m = measure_plan(&f.db, &sql, &p1).unwrap();
+        assert!(m.sim_ns > 0);
+        assert_eq!(m.label, "P1");
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

@@ -1,0 +1,334 @@
+//! The PC ↔ device ↔ display channel, with the spy's-eye trace.
+//!
+//! GhostDB's privacy guarantee (paper §2): "Bob reveals to a potential spy
+//! only the queries he poses and the visible data he accesses." The bus
+//! crate makes that guarantee *checkable*:
+//!
+//! * [`Message`] is the **complete** PC ↔ device protocol. Every variant
+//!   carries either query-derived plan requests (device → PC) or visible
+//!   data (PC → device). There is deliberately no variant that could carry
+//!   hidden values toward the PC, and [`Bus::transmit`] rejects any
+//!   message sent in the wrong direction ("data flows in only one
+//!   direction: from public to private").
+//! * Query results leave through [`Bus::present`], modelling the paper's
+//!   *secure rendering platform* (device LCD / trusted screen / secure
+//!   socket). Presented bytes never enter the spy-visible trace.
+//! * [`BusTrace`] records every frame with its full payload exactly as a
+//!   Trojan horse on the PC would capture it — this powers the demo's
+//!   phase 1 ("see what is transferred...while running a query, the
+//!   interface reveals what a pirate would observe") and the leak-freedom
+//!   test suite, which plants sentinel values in hidden columns and greps
+//!   the trace for them.
+//!
+//! Transfer costs follow [`BusConfig`] (USB 2.0 full speed by default)
+//! and advance the shared simulated clock.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod message;
+mod trace;
+
+pub use message::{Endpoint, Message};
+pub use trace::{BusTrace, TraceEvent};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ghostdb_types::{BusConfig, DisplayTicket, GhostError, Result, SimClock, Value, Wire};
+
+/// Counters for one direction of the link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames sent.
+    pub frames: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+}
+
+/// The simulated USB link plus the secure display path.
+///
+/// Cheap to clone; clones share the trace, clock and counters.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    config: BusConfig,
+    clock: SimClock,
+    trace: BusTrace,
+    to_device: Arc<(AtomicU64, AtomicU64)>,
+    to_pc: Arc<(AtomicU64, AtomicU64)>,
+    to_display: Arc<(AtomicU64, AtomicU64)>,
+}
+
+impl Bus {
+    /// Create a bus with the given link timing, advancing `clock`.
+    pub fn new(config: BusConfig, clock: SimClock) -> Self {
+        Bus {
+            config,
+            clock,
+            trace: BusTrace::new(),
+            to_device: Arc::new(Default::default()),
+            to_pc: Arc::new(Default::default()),
+            to_display: Arc::new(Default::default()),
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// The shared spy-visible trace.
+    pub fn trace(&self) -> &BusTrace {
+        &self.trace
+    }
+
+    /// Send a protocol message between the PC and the device.
+    ///
+    /// Returns the encoded payload size. Enforces the one-directional
+    /// information-flow rules:
+    ///
+    /// * `Query`, `IdChunk`, `ColumnChunk` travel PC → device only
+    ///   (visible data flowing *into* the trusted zone);
+    /// * `EvalPredicate`, `FetchColumn` travel device → PC only (plan
+    ///   requests derived from the public query text);
+    /// * nothing else exists, so hidden data has no vehicle.
+    pub fn transmit(&self, from: Endpoint, to: Endpoint, msg: &Message) -> Result<usize> {
+        let legal = match msg {
+            Message::Query { .. } | Message::IdChunk { .. } | Message::ColumnChunk { .. } => {
+                from == Endpoint::Pc && to == Endpoint::Device
+            }
+            Message::EvalPredicate { .. } | Message::FetchColumn { .. } => {
+                from == Endpoint::Device && to == Endpoint::Pc
+            }
+            Message::Error { .. } => {
+                (from == Endpoint::Pc && to == Endpoint::Device)
+                    || (from == Endpoint::Device && to == Endpoint::Pc)
+            }
+        };
+        if !legal {
+            return Err(GhostError::bus(format!(
+                "illegal direction: {} may not travel {from:?} -> {to:?}",
+                msg.kind()
+            )));
+        }
+        let payload = msg.to_bytes();
+        self.clock.advance(self.config.transfer_cost_ns(payload.len()));
+        let ctr = if to == Endpoint::Device {
+            &self.to_device
+        } else {
+            &self.to_pc
+        };
+        ctr.0.fetch_add(1, Ordering::Relaxed);
+        ctr.1.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let len = payload.len();
+        self.trace.record(TraceEvent {
+            seq: 0, // assigned by the trace
+            at: self.clock.now(),
+            from,
+            to,
+            kind: msg.kind(),
+            summary: msg.summary(),
+            bytes: len,
+            payload: Some(payload),
+        });
+        Ok(len)
+    }
+
+    /// Deliver result rows to the secure display.
+    ///
+    /// This is the only exit for values derived from hidden data. The
+    /// trace records *that* a result of some size was rendered (the spy
+    /// can see the screen light up, after all) but never the payload —
+    /// the secure display is by definition outside the spy's reach.
+    ///
+    /// Returns the [`DisplayTicket`] that unseals
+    /// [`ghostdb_types::Sealed`] values for rendering.
+    pub fn present(&self, rows: &[Vec<Value>]) -> DisplayTicket {
+        let mut encoded = Vec::new();
+        for row in rows {
+            for v in row {
+                v.encode(&mut encoded);
+            }
+        }
+        self.clock
+            .advance(self.config.transfer_cost_ns(encoded.len()));
+        self.to_display.0.fetch_add(1, Ordering::Relaxed);
+        self.to_display
+            .1
+            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        self.trace.record(TraceEvent {
+            seq: 0,
+            at: self.clock.now(),
+            from: Endpoint::Device,
+            to: Endpoint::Display,
+            kind: "Result",
+            summary: format!("{} row(s) to secure display", rows.len()),
+            bytes: encoded.len(),
+            payload: None, // never spy-visible
+        });
+        DisplayTicket::secure_display_only()
+    }
+
+    /// (frames, bytes) sent toward the device so far.
+    pub fn stats_to_device(&self) -> LinkStats {
+        LinkStats {
+            frames: self.to_device.0.load(Ordering::Relaxed),
+            bytes: self.to_device.1.load(Ordering::Relaxed),
+        }
+    }
+
+    /// (frames, bytes) sent toward the PC so far.
+    pub fn stats_to_pc(&self) -> LinkStats {
+        LinkStats {
+            frames: self.to_pc.0.load(Ordering::Relaxed),
+            bytes: self.to_pc.1.load(Ordering::Relaxed),
+        }
+    }
+
+    /// (frames, bytes) sent toward the secure display so far.
+    pub fn stats_to_display(&self) -> LinkStats {
+        LinkStats {
+            frames: self.to_display.0.load(Ordering::Relaxed),
+            bytes: self.to_display.1.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_types::{ColumnId, RowId, ScalarOp, TableId};
+
+    fn bus() -> Bus {
+        Bus::new(BusConfig::usb_full_speed(), SimClock::new())
+    }
+
+    #[test]
+    fn legal_directions_pass() {
+        let b = bus();
+        b.transmit(
+            Endpoint::Pc,
+            Endpoint::Device,
+            &Message::Query {
+                sql: "SELECT 1".into(),
+            },
+        )
+        .unwrap();
+        b.transmit(
+            Endpoint::Device,
+            Endpoint::Pc,
+            &Message::EvalPredicate {
+                request: 1,
+                table: TableId(0),
+                column: ColumnId(1),
+                op: ScalarOp::Gt,
+                value: Value::Int(5),
+            },
+        )
+        .unwrap();
+        b.transmit(
+            Endpoint::Pc,
+            Endpoint::Device,
+            &Message::IdChunk {
+                request: 1,
+                ids: vec![RowId(1), RowId(2)],
+                done: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(b.stats_to_device().frames, 2);
+        assert_eq!(b.stats_to_pc().frames, 1);
+    }
+
+    #[test]
+    fn illegal_directions_rejected() {
+        let b = bus();
+        // Visible data may not flow device -> PC even as an IdChunk.
+        let err = b
+            .transmit(
+                Endpoint::Device,
+                Endpoint::Pc,
+                &Message::IdChunk {
+                    request: 1,
+                    ids: vec![RowId(9)],
+                    done: true,
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("illegal direction"));
+        // Plan requests may not flow PC -> device.
+        assert!(b
+            .transmit(
+                Endpoint::Pc,
+                Endpoint::Device,
+                &Message::FetchColumn {
+                    request: 2,
+                    table: TableId(0),
+                    column: ColumnId(0),
+                    predicate: None,
+                },
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn transfers_advance_clock() {
+        let clock = SimClock::new();
+        let b = Bus::new(BusConfig::usb_full_speed(), clock.clone());
+        let big = Message::IdChunk {
+            request: 0,
+            ids: (0..10_000).map(RowId).collect(),
+            done: true,
+        };
+        b.transmit(Endpoint::Pc, Endpoint::Device, &big).unwrap();
+        // 40 KB over 12 Mb/s is ≥ 26 ms of wire time.
+        assert!(clock.now().0 > 26_000_000, "clock {:?}", clock.now());
+    }
+
+    #[test]
+    fn present_is_not_spy_visible() {
+        let b = bus();
+        let secret = Value::Text("Sclerosis".into());
+        b.present(&[vec![secret.clone(), Value::Int(3)]]);
+        assert_eq!(b.stats_to_display().frames, 1);
+        assert!(b.stats_to_display().bytes > 0);
+        assert!(
+            !b.trace().spy_sees_value(&secret),
+            "display payload leaked into spy trace"
+        );
+        // But the event itself is in the full trace.
+        assert_eq!(b.trace().events().len(), 1);
+    }
+
+    #[test]
+    fn spy_sees_visible_payloads() {
+        let b = bus();
+        let visible = Value::Text("Antibiotic".into());
+        b.transmit(
+            Endpoint::Device,
+            Endpoint::Pc,
+            &Message::EvalPredicate {
+                request: 7,
+                table: TableId(4),
+                column: ColumnId(3),
+                op: ScalarOp::Eq,
+                value: visible.clone(),
+            },
+        )
+        .unwrap();
+        assert!(b.trace().spy_sees_value(&visible));
+    }
+
+    #[test]
+    fn error_messages_flow_both_ways() {
+        let b = bus();
+        let e = Message::Error {
+            message: "no such column".into(),
+        };
+        b.transmit(Endpoint::Pc, Endpoint::Device, &e).unwrap();
+        b.transmit(Endpoint::Device, Endpoint::Pc, &e).unwrap();
+        assert!(b
+            .transmit(Endpoint::Device, Endpoint::Display, &e)
+            .is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! The complete PC ↔ device wire protocol.
+
+use ghostdb_types::{ColumnId, GhostError, Result, RowId, ScalarOp, TableId, Value, Wire};
+
+/// The three parties of Figure 1: the untrusted PC/server, the smart USB
+/// device, and the secure display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// Untrusted terminal + public server (spy-observable).
+    Pc,
+    /// The tamper-resistant smart USB device.
+    Device,
+    /// The secure rendering platform (device LCD / trusted screen).
+    Display,
+}
+
+/// A protocol message. Every variant is spy-readable by design — the
+/// protocol *is* the paper's disclosure set: query text, plan-derived
+/// requests, and visible data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// The SQL text as posed by the user (PC → device).
+    Query {
+        /// Statement text.
+        sql: String,
+    },
+    /// Ask the PC to evaluate a *visible* selection and stream back the
+    /// matching row ids in ascending order (device → PC).
+    EvalPredicate {
+        /// Correlates the response chunks.
+        request: u32,
+        /// Table owning the visible column.
+        table: TableId,
+        /// The visible column.
+        column: ColumnId,
+        /// Comparison operator (from the query text).
+        op: ScalarOp,
+        /// Comparison constant (from the query text).
+        value: Value,
+    },
+    /// A chunk of sorted row ids answering an [`Message::EvalPredicate`]
+    /// (PC → device).
+    IdChunk {
+        /// Correlates with the request.
+        request: u32,
+        /// Ascending row ids.
+        ids: Vec<RowId>,
+        /// True on the final chunk.
+        done: bool,
+    },
+    /// Ask the PC for `(row id, value)` pairs of a visible column, sorted
+    /// by row id, optionally restricted to rows matching a visible
+    /// predicate on the same table (device → PC). Used by the final
+    /// projection.
+    FetchColumn {
+        /// Correlates the response chunks.
+        request: u32,
+        /// Table owning the visible column.
+        table: TableId,
+        /// The visible column to fetch.
+        column: ColumnId,
+        /// Optional visible restriction `(column, op, value)`.
+        predicate: Option<(ColumnId, ScalarOp, Value)>,
+    },
+    /// A chunk of `(row id, value)` pairs answering a
+    /// [`Message::FetchColumn`] (PC → device).
+    ColumnChunk {
+        /// Correlates with the request.
+        request: u32,
+        /// Pairs sorted by ascending row id.
+        pairs: Vec<(RowId, Value)>,
+        /// True on the final chunk.
+        done: bool,
+    },
+    /// Protocol-level failure notice (either direction).
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Message {
+    /// Short stable name for traces and direction rules.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Query { .. } => "Query",
+            Message::EvalPredicate { .. } => "EvalPredicate",
+            Message::IdChunk { .. } => "IdChunk",
+            Message::FetchColumn { .. } => "FetchColumn",
+            Message::ColumnChunk { .. } => "ColumnChunk",
+            Message::Error { .. } => "Error",
+        }
+    }
+
+    /// One-line human description for the spy view.
+    pub fn summary(&self) -> String {
+        match self {
+            Message::Query { sql } => format!("query: {sql}"),
+            Message::EvalPredicate {
+                table,
+                column,
+                op,
+                value,
+                ..
+            } => format!("eval {table}.{column} {op} {value}"),
+            Message::IdChunk { ids, done, .. } => {
+                format!("{} id(s){}", ids.len(), if *done { " (final)" } else { "" })
+            }
+            Message::FetchColumn {
+                table,
+                column,
+                predicate,
+                ..
+            } => match predicate {
+                Some((c, op, v)) => format!("fetch {table}.{column} where {c} {op} {v}"),
+                None => format!("fetch {table}.{column}"),
+            },
+            Message::ColumnChunk { pairs, done, .. } => format!(
+                "{} (id,value) pair(s){}",
+                pairs.len(),
+                if *done { " (final)" } else { "" }
+            ),
+            Message::Error { message } => format!("error: {message}"),
+        }
+    }
+}
+
+impl Wire for Message {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Query { sql } => {
+                out.push(0);
+                sql.encode(out);
+            }
+            Message::EvalPredicate {
+                request,
+                table,
+                column,
+                op,
+                value,
+            } => {
+                out.push(1);
+                request.encode(out);
+                table.encode(out);
+                column.encode(out);
+                op.encode(out);
+                value.encode(out);
+            }
+            Message::IdChunk { request, ids, done } => {
+                out.push(2);
+                request.encode(out);
+                ids.encode(out);
+                done.encode(out);
+            }
+            Message::FetchColumn {
+                request,
+                table,
+                column,
+                predicate,
+            } => {
+                out.push(3);
+                request.encode(out);
+                table.encode(out);
+                column.encode(out);
+                match predicate {
+                    None => out.push(0),
+                    Some((c, op, v)) => {
+                        out.push(1);
+                        c.encode(out);
+                        op.encode(out);
+                        v.encode(out);
+                    }
+                }
+            }
+            Message::ColumnChunk {
+                request,
+                pairs,
+                done,
+            } => {
+                out.push(4);
+                request.encode(out);
+                pairs.encode(out);
+                done.encode(out);
+            }
+            Message::Error { message } => {
+                out.push(5);
+                message.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        if buf.is_empty() {
+            return Err(GhostError::corrupt("message underrun"));
+        }
+        let tag = buf[0];
+        *buf = &buf[1..];
+        Ok(match tag {
+            0 => Message::Query {
+                sql: String::decode(buf)?,
+            },
+            1 => Message::EvalPredicate {
+                request: u32::decode(buf)?,
+                table: TableId::decode(buf)?,
+                column: ColumnId::decode(buf)?,
+                op: ScalarOp::decode(buf)?,
+                value: Value::decode(buf)?,
+            },
+            2 => Message::IdChunk {
+                request: u32::decode(buf)?,
+                ids: Vec::<RowId>::decode(buf)?,
+                done: bool::decode(buf)?,
+            },
+            3 => {
+                let request = u32::decode(buf)?;
+                let table = TableId::decode(buf)?;
+                let column = ColumnId::decode(buf)?;
+                let predicate = match u8::decode(buf)? {
+                    0 => None,
+                    1 => Some((
+                        ColumnId::decode(buf)?,
+                        ScalarOp::decode(buf)?,
+                        Value::decode(buf)?,
+                    )),
+                    t => return Err(GhostError::corrupt(format!("predicate tag {t}"))),
+                };
+                Message::FetchColumn {
+                    request,
+                    table,
+                    column,
+                    predicate,
+                }
+            }
+            4 => Message::ColumnChunk {
+                request: u32::decode(buf)?,
+                pairs: Vec::<(RowId, Value)>::decode(buf)?,
+                done: bool::decode(buf)?,
+            },
+            5 => Message::Error {
+                message: String::decode(buf)?,
+            },
+            t => return Err(GhostError::corrupt(format!("message tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_types::decode_all;
+
+    fn roundtrip(m: Message) {
+        let bytes = m.to_bytes();
+        let back: Message = decode_all(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Message::Query {
+            sql: "SELECT Med.Name FROM Medicine Med".into(),
+        });
+        roundtrip(Message::EvalPredicate {
+            request: 42,
+            table: TableId(1),
+            column: ColumnId(2),
+            op: ScalarOp::Gt,
+            value: Value::Int(100),
+        });
+        roundtrip(Message::IdChunk {
+            request: 42,
+            ids: vec![RowId(0), RowId(5), RowId(1000)],
+            done: false,
+        });
+        roundtrip(Message::FetchColumn {
+            request: 9,
+            table: TableId(0),
+            column: ColumnId(1),
+            predicate: Some((ColumnId(3), ScalarOp::Eq, Value::Text("Antibiotic".into()))),
+        });
+        roundtrip(Message::FetchColumn {
+            request: 9,
+            table: TableId(0),
+            column: ColumnId(1),
+            predicate: None,
+        });
+        roundtrip(Message::ColumnChunk {
+            request: 9,
+            pairs: vec![(RowId(1), Value::Int(5)), (RowId(2), Value::Text("x".into()))],
+            done: true,
+        });
+        roundtrip(Message::Error {
+            message: "boom".into(),
+        });
+    }
+
+    #[test]
+    fn summaries_are_informative() {
+        let m = Message::EvalPredicate {
+            request: 1,
+            table: TableId(2),
+            column: ColumnId(3),
+            op: ScalarOp::Eq,
+            value: Value::Text("Antibiotic".into()),
+        };
+        assert!(m.summary().contains("Antibiotic"));
+        assert_eq!(m.kind(), "EvalPredicate");
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(decode_all::<Message>(&[99]).is_err());
+    }
+}

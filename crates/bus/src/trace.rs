@@ -1,0 +1,208 @@
+//! The transfer trace: everything a Trojan horse on the PC would capture.
+
+use std::sync::{Arc, Mutex};
+
+use ghostdb_types::{SimTime, Value, Wire};
+
+use crate::message::Endpoint;
+
+/// One frame observed on a link.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (assigned by the trace).
+    pub seq: u64,
+    /// Simulated time at which the transfer completed.
+    pub at: SimTime,
+    /// Sender.
+    pub from: Endpoint,
+    /// Receiver.
+    pub to: Endpoint,
+    /// Message kind.
+    pub kind: &'static str,
+    /// One-line description.
+    pub summary: String,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Raw payload — present only for spy-visible (PC ↔ device) frames;
+    /// `None` for secure-display deliveries.
+    pub payload: Option<Vec<u8>>,
+}
+
+impl TraceEvent {
+    /// Whether a spy on the PC can observe this frame's payload.
+    pub fn spy_visible(&self) -> bool {
+        self.payload.is_some()
+    }
+}
+
+/// Shared, append-only log of bus activity.
+#[derive(Debug, Clone, Default)]
+pub struct BusTrace {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl BusTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record(&self, mut ev: TraceEvent) {
+        let mut log = self.events.lock().expect("trace poisoned");
+        ev.seq = log.len() as u64;
+        log.push(ev);
+    }
+
+    /// Snapshot of every event (including secure-display deliveries).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace poisoned").clone()
+    }
+
+    /// Snapshot of the frames a spy can capture (PC ↔ device only).
+    pub fn spy_frames(&self) -> Vec<TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter(TraceEvent::spy_visible)
+            .collect()
+    }
+
+    /// Forget all recorded events (between experiment phases).
+    pub fn clear(&self) {
+        self.events.lock().expect("trace poisoned").clear();
+    }
+
+    /// Total spy-visible payload bytes.
+    pub fn spy_bytes(&self) -> u64 {
+        self.spy_frames().iter().map(|e| e.bytes as u64).sum()
+    }
+
+    /// Search every spy-visible payload for the byte pattern `needle`.
+    ///
+    /// This is the primitive behind the leak-freedom tests: hidden-column
+    /// sentinels must never match.
+    pub fn spy_sees_bytes(&self, needle: &[u8]) -> bool {
+        if needle.is_empty() {
+            return false;
+        }
+        self.spy_frames().iter().any(|ev| {
+            ev.payload
+                .as_ref()
+                .map(|p| p.windows(needle.len()).any(|w| w == needle))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Search spy-visible payloads for a value, in both its wire encoding
+    /// and (for text) its raw UTF-8 bytes.
+    pub fn spy_sees_value(&self, value: &Value) -> bool {
+        if self.spy_sees_bytes(&value.to_bytes()) {
+            return true;
+        }
+        match value {
+            Value::Text(s) => self.spy_sees_bytes(s.as_bytes()),
+            Value::Int(i) => self.spy_sees_bytes(&i.to_le_bytes()),
+            Value::Date(d) => self.spy_sees_bytes(&d.0.to_le_bytes()),
+        }
+    }
+
+    /// Render the spy's view as a table (demo phase 1).
+    pub fn spy_report(&self) -> String {
+        let mut out = String::from(
+            "seq  time           dir            kind           bytes  summary\n",
+        );
+        for ev in self.spy_frames() {
+            let dir = format!("{:?} -> {:?}", ev.from, ev.to);
+            out.push_str(&format!(
+                "{:<4} {:<14} {:<14} {:<14} {:<6} {}\n",
+                ev.seq,
+                ev.at.to_string(),
+                dir,
+                ev.kind,
+                ev.bytes,
+                ev.summary
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: &'static str, payload: Option<Vec<u8>>) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            at: SimTime(0),
+            from: Endpoint::Pc,
+            to: Endpoint::Device,
+            kind,
+            summary: format!("{kind} event"),
+            bytes: payload.as_ref().map(|p| p.len()).unwrap_or(7),
+            payload,
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_assigned() {
+        let t = BusTrace::new();
+        t.record(event("A", Some(vec![1])));
+        t.record(event("B", Some(vec![2])));
+        let evs = t.events();
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[1].seq, 1);
+    }
+
+    #[test]
+    fn spy_filter_excludes_display() {
+        let t = BusTrace::new();
+        t.record(event("Query", Some(vec![1, 2, 3])));
+        t.record(event("Result", None));
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.spy_frames().len(), 1);
+        assert_eq!(t.spy_bytes(), 3);
+    }
+
+    #[test]
+    fn byte_search_finds_patterns() {
+        let t = BusTrace::new();
+        t.record(event("Query", Some(b"hello Sclerosis world".to_vec())));
+        assert!(t.spy_sees_bytes(b"Sclerosis"));
+        assert!(!t.spy_sees_bytes(b"Diabetes"));
+        assert!(!t.spy_sees_bytes(b""));
+    }
+
+    #[test]
+    fn value_search_covers_raw_text() {
+        let t = BusTrace::new();
+        t.record(event("Query", Some(b"...Antibiotic...".to_vec())));
+        assert!(t.spy_sees_value(&Value::Text("Antibiotic".into())));
+        assert!(!t.spy_sees_value(&Value::Text("Placebo".into())));
+    }
+
+    #[test]
+    fn hidden_payload_is_unsearchable() {
+        let t = BusTrace::new();
+        // A display event whose (hypothetical) payload contained a secret
+        // is recorded without the payload.
+        t.record(event("Result", None));
+        assert!(!t.spy_sees_bytes(b"anything"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = BusTrace::new();
+        t.record(event("Query", Some(vec![0])));
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn report_lists_frames() {
+        let t = BusTrace::new();
+        t.record(event("Query", Some(vec![1, 2])));
+        let rep = t.spy_report();
+        assert!(rep.contains("Query"));
+        assert!(rep.contains("Query event"));
+    }
+}

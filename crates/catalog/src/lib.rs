@@ -1,0 +1,28 @@
+//! Schema catalog: hidden/visible columns, tree-schema analysis, and
+//! per-column statistics.
+//!
+//! Paper §2: the security administrator declares sensitive columns
+//! `HIDDEN` in otherwise standard `CREATE TABLE` statements; primary keys
+//! are replicated on the device; in the demo scenario foreign keys are
+//! hidden "because they offer the possibility of linking sensitive
+//! records".
+//!
+//! Paper §4 restricts query processing to **tree schemas**: every foreign
+//! key points from a table to the table *below* it in the tree, the root
+//! is the fact table (Prescription in Figure 3), and every non-root table
+//! is referenced by exactly one foreign key. [`TreeSchema`] validates this
+//! shape and precomputes the ancestor paths the climbing indexes follow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod schema;
+mod stats;
+mod tree;
+
+pub use schema::{
+    ColumnDef, ColumnRef, ColumnRole, Predicate, Schema, SchemaBuilder, TableDef, TableSlot,
+    Visibility,
+};
+pub use stats::{ColumnStats, Histogram, SchemaStats, TableStats};
+pub use tree::TreeSchema;

@@ -1,0 +1,439 @@
+//! Tables, columns, visibility and the schema builder.
+
+use std::fmt;
+
+use ghostdb_types::{ColumnId, DataType, GhostError, Result, ScalarOp, TableId, Value};
+
+/// Where a column's values may live (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Visibility {
+    /// May be stored on the PC or a public server; spy-observable.
+    Visible,
+    /// Lives only on the smart USB device; never leaves it.
+    Hidden,
+}
+
+impl Visibility {
+    /// True for [`Visibility::Hidden`].
+    pub fn is_hidden(self) -> bool {
+        matches!(self, Visibility::Hidden)
+    }
+}
+
+/// Structural role of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnRole {
+    /// The table's primary key (dense surrogate; replicated on device).
+    PrimaryKey,
+    /// Foreign key referencing another table's primary key.
+    ForeignKey(TableId),
+    /// Ordinary attribute.
+    Attribute,
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name as declared.
+    pub name: String,
+    /// Data type.
+    pub ty: DataType,
+    /// Hidden or visible.
+    pub visibility: Visibility,
+    /// Key/attribute role.
+    pub role: ColumnRole,
+}
+
+/// One table definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    /// Table name as declared.
+    pub name: String,
+    /// Optional short alias used by the demo schema (e.g. `Pre`).
+    pub alias: Option<String>,
+    /// Columns in declaration order; column 0 is always the primary key.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableDef {
+    /// Resolve a column by name (ASCII case-insensitive).
+    pub fn column(&self, name: &str) -> Option<(ColumnId, &ColumnDef)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.name.eq_ignore_ascii_case(name))
+            .map(|(i, c)| (ColumnId(i as u16), c))
+    }
+
+    /// The primary-key column id (always column 0 by construction).
+    pub fn pk_column(&self) -> ColumnId {
+        ColumnId(0)
+    }
+
+    /// Foreign-key columns with their referenced tables.
+    pub fn foreign_keys(&self) -> impl Iterator<Item = (ColumnId, TableId)> + '_ {
+        self.columns.iter().enumerate().filter_map(|(i, c)| match c.role {
+            ColumnRole::ForeignKey(t) => Some((ColumnId(i as u16), t)),
+            _ => None,
+        })
+    }
+}
+
+/// A fully resolved column reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Owning table.
+    pub table: TableId,
+    /// Column within the table.
+    pub column: ColumnId,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// A bound selection predicate `column OP constant`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// The column being tested.
+    pub column: ColumnRef,
+    /// Comparison operator.
+    pub op: ScalarOp,
+    /// Comparison constant from the query text.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Construct a predicate.
+    pub fn new(table: TableId, column: ColumnId, op: ScalarOp, value: Value) -> Self {
+        Predicate {
+            column: ColumnRef { table, column },
+            op,
+            value,
+        }
+    }
+}
+
+/// A validated schema: tables, columns, visibility and key structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    tables: Vec<TableDef>,
+}
+
+impl Schema {
+    /// All tables, indexed by [`TableId`].
+    pub fn tables(&self) -> &[TableDef] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Look up a table definition.
+    pub fn table(&self, id: TableId) -> &TableDef {
+        &self.tables[id.index()]
+    }
+
+    /// Resolve a table by name or alias (ASCII case-insensitive).
+    pub fn resolve_table(&self, name: &str) -> Result<TableId> {
+        self.tables
+            .iter()
+            .position(|t| {
+                t.name.eq_ignore_ascii_case(name)
+                    || t.alias
+                        .as_deref()
+                        .map(|a| a.eq_ignore_ascii_case(name))
+                        .unwrap_or(false)
+            })
+            .map(|i| TableId(i as u16))
+            .ok_or_else(|| GhostError::catalog(format!("unknown table {name:?}")))
+    }
+
+    /// Resolve a column within a table.
+    pub fn resolve_column(&self, table: TableId, name: &str) -> Result<ColumnRef> {
+        let t = self.table(table);
+        let (column, _) = t
+            .column(name)
+            .ok_or_else(|| GhostError::catalog(format!("unknown column {}.{name}", t.name)))?;
+        Ok(ColumnRef { table, column })
+    }
+
+    /// The definition behind a column reference.
+    pub fn column_def(&self, cref: ColumnRef) -> &ColumnDef {
+        &self.table(cref.table).columns[cref.column.index()]
+    }
+
+    /// Is the referenced column hidden?
+    pub fn is_hidden(&self, cref: ColumnRef) -> bool {
+        self.column_def(cref).visibility.is_hidden()
+    }
+
+    /// Pretty name `Table.Column`.
+    pub fn column_name(&self, cref: ColumnRef) -> String {
+        format!(
+            "{}.{}",
+            self.table(cref.table).name,
+            self.column_def(cref).name
+        )
+    }
+
+    /// All hidden column references, in table order. These (plus every
+    /// primary key) are what the device stores.
+    pub fn hidden_columns(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            for (ci, c) in t.columns.iter().enumerate() {
+                if c.visibility.is_hidden() {
+                    out.push(ColumnRef {
+                        table: TableId(ti as u16),
+                        column: ColumnId(ci as u16),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// All visible non-key attribute columns (what the PC stores).
+    pub fn visible_columns(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            for (ci, c) in t.columns.iter().enumerate() {
+                if !c.visibility.is_hidden() {
+                    out.push(ColumnRef {
+                        table: TableId(ti as u16),
+                        column: ColumnId(ci as u16),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builder assembling a validated [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    tables: Vec<(String, Option<String>, Vec<ColumnDef>, Vec<(usize, String)>)>,
+}
+
+impl SchemaBuilder {
+    /// Start an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a table whose primary key column is `pk_name`.
+    ///
+    /// The primary key is always column 0, of type `INTEGER`, and — per
+    /// the paper — replicated on the device regardless of visibility, so
+    /// it is modelled as `Visible` (its values are the public join
+    /// skeleton).
+    pub fn table(&mut self, name: &str, pk_name: &str) -> TableSlot<'_> {
+        self.tables.push((
+            name.to_string(),
+            None,
+            vec![ColumnDef {
+                name: pk_name.to_string(),
+                ty: DataType::Integer,
+                visibility: Visibility::Visible,
+                role: ColumnRole::PrimaryKey,
+            }],
+            Vec::new(),
+        ));
+        let index = self.tables.len() - 1;
+        TableSlot {
+            builder: self,
+            index,
+        }
+    }
+
+    /// Validate and produce the schema.
+    pub fn build(self) -> Result<Schema> {
+        let names: Vec<String> = self.tables.iter().map(|t| t.0.clone()).collect();
+        // Unique table names.
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].iter().any(|m| m.eq_ignore_ascii_case(n)) {
+                return Err(GhostError::catalog(format!("duplicate table {n:?}")));
+            }
+        }
+        let resolve = |name: &str| -> Result<TableId> {
+            names
+                .iter()
+                .position(|n| n.eq_ignore_ascii_case(name))
+                .map(|i| TableId(i as u16))
+                .ok_or_else(|| {
+                    GhostError::catalog(format!("foreign key references unknown table {name:?}"))
+                })
+        };
+        let mut tables = Vec::new();
+        for (name, alias, mut columns, fk_targets) in self.tables {
+            // Unique column names within the table.
+            for (i, c) in columns.iter().enumerate() {
+                if columns[..i]
+                    .iter()
+                    .any(|d| d.name.eq_ignore_ascii_case(&c.name))
+                {
+                    return Err(GhostError::catalog(format!(
+                        "duplicate column {}.{}",
+                        name, c.name
+                    )));
+                }
+            }
+            for (idx, target) in fk_targets {
+                let tid = resolve(&target)?;
+                columns[idx].role = ColumnRole::ForeignKey(tid);
+            }
+            tables.push(TableDef {
+                name,
+                alias,
+                columns,
+            });
+        }
+        // Self-referencing FKs cannot form a tree.
+        for (ti, t) in tables.iter().enumerate() {
+            for (_, target) in t.foreign_keys() {
+                if target.index() == ti {
+                    return Err(GhostError::catalog(format!(
+                        "table {} references itself",
+                        t.name
+                    )));
+                }
+            }
+        }
+        Ok(Schema { tables })
+    }
+}
+
+/// Mutable handle onto one under-construction table.
+#[derive(Debug)]
+pub struct TableSlot<'a> {
+    builder: &'a mut SchemaBuilder,
+    index: usize,
+}
+
+impl TableSlot<'_> {
+    /// Set a short alias.
+    pub fn alias(self, alias: &str) -> Self {
+        self.builder.tables[self.index].1 = Some(alias.to_string());
+        self
+    }
+
+    /// Add an attribute column.
+    pub fn column(self, name: &str, ty: DataType, vis: Visibility) -> Self {
+        self.builder.tables[self.index].2.push(ColumnDef {
+            name: name.to_string(),
+            ty,
+            visibility: vis,
+            role: ColumnRole::Attribute,
+        });
+        self
+    }
+
+    /// Add a foreign-key column referencing table `target` (by name).
+    pub fn foreign_key(self, name: &str, target: &str, vis: Visibility) -> Self {
+        let cols = &mut self.builder.tables[self.index].2;
+        cols.push(ColumnDef {
+            name: name.to_string(),
+            ty: DataType::Integer,
+            visibility: vis,
+            role: ColumnRole::ForeignKey(TableId(u16::MAX)),
+        });
+        let idx = cols.len() - 1;
+        self.builder.tables[self.index].3.push((idx, target.to_string()));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.table("Doctor", "DocID")
+            .alias("Doc")
+            .column("Name", DataType::Char(40), Visibility::Visible)
+            .column("Country", DataType::Char(20), Visibility::Visible);
+        b.table("Visit", "VisID")
+            .alias("Vis")
+            .column("Date", DataType::Date, Visibility::Visible)
+            .column("Purpose", DataType::Char(100), Visibility::Hidden)
+            .foreign_key("DocID", "Doctor", Visibility::Hidden);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn resolution_by_name_and_alias() {
+        let s = demo_schema();
+        let doc = s.resolve_table("doctor").unwrap();
+        assert_eq!(doc, TableId(0));
+        assert_eq!(s.resolve_table("Vis").unwrap(), TableId(1));
+        assert!(s.resolve_table("Nurse").is_err());
+        let cref = s.resolve_column(doc, "country").unwrap();
+        assert_eq!(cref.column, ColumnId(2));
+        assert!(s.resolve_column(doc, "Purpose").is_err());
+    }
+
+    #[test]
+    fn pk_is_column_zero() {
+        let s = demo_schema();
+        let t = s.table(TableId(0));
+        assert_eq!(t.pk_column(), ColumnId(0));
+        assert_eq!(t.columns[0].role, ColumnRole::PrimaryKey);
+        assert_eq!(t.columns[0].name, "DocID");
+    }
+
+    #[test]
+    fn foreign_keys_resolve_to_table_ids() {
+        let s = demo_schema();
+        let visit = s.table(TableId(1));
+        let fks: Vec<_> = visit.foreign_keys().collect();
+        assert_eq!(fks, vec![(ColumnId(3), TableId(0))]);
+    }
+
+    #[test]
+    fn hidden_column_listing() {
+        let s = demo_schema();
+        let hidden = s.hidden_columns();
+        assert_eq!(hidden.len(), 2); // Purpose + DocID fk
+        assert!(hidden
+            .iter()
+            .all(|c| s.column_def(*c).visibility.is_hidden()));
+        assert_eq!(s.column_name(hidden[0]), "Visit.Purpose");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = SchemaBuilder::new();
+        b.table("T", "id");
+        b.table("t", "id");
+        assert!(b.build().is_err());
+
+        let mut b = SchemaBuilder::new();
+        b.table("T", "id")
+            .column("x", DataType::Integer, Visibility::Visible)
+            .column("X", DataType::Integer, Visibility::Hidden);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn unknown_fk_target_rejected() {
+        let mut b = SchemaBuilder::new();
+        b.table("T", "id")
+            .foreign_key("other", "Missing", Visibility::Hidden);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn self_reference_rejected() {
+        let mut b = SchemaBuilder::new();
+        b.table("T", "id")
+            .foreign_key("parent", "T", Visibility::Hidden);
+        assert!(b.build().is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Column statistics and selectivity estimation.
+//!
+//! The demo's phase 2 lets visitors compare Pre-, Post- and
+//! Cross-filtering plans; GhostDB's optimizer picks among them "depending
+//! on the selectivities" (paper §4). The statistics here — row counts,
+//! distinct counts, min/max and an equi-depth histogram over the
+//! order-preserving key encoding — are collected at load time (the device
+//! is bulk-loaded "in a secure setting") and drive the cost model in
+//! `ghostdb-exec`.
+
+use ghostdb_types::{ScalarOp, Value};
+
+use crate::schema::ColumnRef;
+
+/// An equi-depth histogram over order keys ([`Value::order_key`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bucket upper bounds (inclusive), ascending; ~equal row counts per
+    /// bucket.
+    bounds: Vec<u64>,
+    /// Rows represented.
+    rows: u64,
+}
+
+impl Histogram {
+    /// Build from a sample of order keys (consumed and sorted).
+    pub fn build(mut keys: Vec<u64>, buckets: usize) -> Histogram {
+        let rows = keys.len() as u64;
+        keys.sort_unstable();
+        let buckets = buckets.max(1);
+        let mut bounds = Vec::with_capacity(buckets);
+        if !keys.is_empty() {
+            // Duplicate bounds are kept on purpose: each bound stands for
+            // an equal share of rows, which is what makes heavy hitters
+            // (many buckets ending at the same key) estimable.
+            for b in 1..=buckets {
+                let idx = (b * keys.len()) / buckets;
+                bounds.push(keys[idx.saturating_sub(1).min(keys.len() - 1)]);
+            }
+        }
+        Histogram { bounds, rows }
+    }
+
+    /// Estimated fraction of rows with key `<= k`.
+    pub fn fraction_le(&self, k: u64) -> f64 {
+        if self.bounds.is_empty() || self.rows == 0 {
+            return 0.5;
+        }
+        // Buckets whose (inclusive) upper bound is <= k are fully below
+        // k; credit half of the next bucket. Resolution of 1/buckets is
+        // plenty for the cost model.
+        let covered = self.bounds.partition_point(|&b| b <= k);
+        if covered >= self.bounds.len() {
+            return 1.0;
+        }
+        (covered as f64 + 0.5) / self.bounds.len() as f64
+    }
+}
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Rows in the column (= table cardinality).
+    pub rows: u64,
+    /// Number of distinct values.
+    pub distinct: u64,
+    /// Histogram over order keys (`None` for text columns).
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Build stats from the column's values.
+    pub fn build(values: &[Value], buckets: usize) -> ColumnStats {
+        let rows = values.len() as u64;
+        let mut distinct_probe: Vec<&Value> = values.iter().collect();
+        distinct_probe.sort_by(|a, b| {
+            a.cmp_same_type(b)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        distinct_probe.dedup_by(|a, b| a == b);
+        let distinct = distinct_probe.len() as u64;
+        let keys: Option<Vec<u64>> = values.iter().map(|v| v.order_key()).collect();
+        ColumnStats {
+            rows,
+            distinct,
+            histogram: keys.map(|k| Histogram::build(k, buckets)),
+        }
+    }
+
+    /// Estimated selectivity (result fraction) of `column OP value`.
+    pub fn selectivity(&self, op: ScalarOp, value: &Value) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        match op {
+            ScalarOp::Eq => 1.0 / self.distinct.max(1) as f64,
+            _ => {
+                let Some(h) = &self.histogram else {
+                    // Unordered (text) range predicate: the classic 1/3
+                    // textbook default.
+                    return 1.0 / 3.0;
+                };
+                let Some(k) = value.order_key() else {
+                    return 1.0 / 3.0;
+                };
+                let le = h.fraction_le(k);
+                match op {
+                    ScalarOp::Le => le,
+                    ScalarOp::Lt => (le - 1.0 / self.distinct.max(1) as f64).max(0.0),
+                    ScalarOp::Ge => 1.0 - le + 1.0 / self.distinct.max(1) as f64,
+                    ScalarOp::Gt => 1.0 - le,
+                    ScalarOp::Eq => unreachable!(),
+                }
+                .clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    /// Table cardinality.
+    pub rows: u64,
+    /// Per-column stats (index = column id); `None` if never collected.
+    pub columns: Vec<Option<ColumnStats>>,
+}
+
+/// Statistics for a whole schema.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchemaStats {
+    /// Per-table stats (index = table id).
+    pub tables: Vec<TableStats>,
+}
+
+impl SchemaStats {
+    /// Empty stats for `n` tables.
+    pub fn empty(n: usize) -> SchemaStats {
+        SchemaStats {
+            tables: vec![TableStats::default(); n],
+        }
+    }
+
+    /// Cardinality of a table (0 if unknown).
+    pub fn rows(&self, table: ghostdb_types::TableId) -> u64 {
+        self.tables
+            .get(table.index())
+            .map(|t| t.rows)
+            .unwrap_or(0)
+    }
+
+    /// Stats for one column, if collected.
+    pub fn column(&self, cref: ColumnRef) -> Option<&ColumnStats> {
+        self.tables
+            .get(cref.table.index())?
+            .columns
+            .get(cref.column.index())?
+            .as_ref()
+    }
+
+    /// Estimated selectivity of a predicate; 0.1 when stats are missing
+    /// (the optimizer still needs *an* answer).
+    pub fn selectivity(&self, cref: ColumnRef, op: ScalarOp, value: &Value) -> f64 {
+        self.column(cref)
+            .map(|c| c.selectivity(op, value))
+            .unwrap_or(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_types::{ColumnId, TableId};
+
+    #[test]
+    fn histogram_fractions() {
+        let keys: Vec<u64> = (0..1000).collect();
+        let h = Histogram::build(keys, 50);
+        let f = h.fraction_le(500);
+        assert!((f - 0.5).abs() < 0.05, "fraction {f}");
+        assert!(h.fraction_le(0) < 0.05);
+        assert_eq!(h.fraction_le(2000), 1.0);
+    }
+
+    #[test]
+    fn histogram_empty_and_skewed() {
+        let h = Histogram::build(vec![], 10);
+        assert_eq!(h.fraction_le(5), 0.5); // agnostic default
+        // 90% of mass at one value.
+        let mut keys = vec![7u64; 900];
+        keys.extend(0..100u64);
+        let h = Histogram::build(keys, 20);
+        assert!(h.fraction_le(7) > 0.5);
+    }
+
+    #[test]
+    fn eq_selectivity_uses_distincts() {
+        let values: Vec<Value> = (0..100).map(|i| Value::Int(i % 10)).collect();
+        let s = ColumnStats::build(&values, 16);
+        assert_eq!(s.distinct, 10);
+        let sel = s.selectivity(ScalarOp::Eq, &Value::Int(3));
+        assert!((sel - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_selectivity_tracks_histogram() {
+        let values: Vec<Value> = (0..1000).map(Value::Int).collect();
+        let s = ColumnStats::build(&values, 64);
+        let sel = s.selectivity(ScalarOp::Gt, &Value::Int(750));
+        assert!((sel - 0.25).abs() < 0.05, "sel {sel}");
+        let sel = s.selectivity(ScalarOp::Le, &Value::Int(100));
+        assert!((sel - 0.1).abs() < 0.05, "sel {sel}");
+    }
+
+    #[test]
+    fn text_columns_have_eq_but_default_range() {
+        let values: Vec<Value> = (0..50)
+            .map(|i| Value::Text(format!("v{}", i % 5)))
+            .collect();
+        let s = ColumnStats::build(&values, 16);
+        assert_eq!(s.distinct, 5);
+        assert!(s.histogram.is_none());
+        assert!((s.selectivity(ScalarOp::Eq, &Value::Text("v1".into())) - 0.2).abs() < 1e-9);
+        assert!((s.selectivity(ScalarOp::Gt, &Value::Text("v1".into())) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schema_stats_lookup_and_defaults() {
+        let mut stats = SchemaStats::empty(2);
+        let values: Vec<Value> = (0..10).map(Value::Int).collect();
+        stats.tables[1].rows = 10;
+        stats.tables[1].columns = vec![None, Some(ColumnStats::build(&values, 4))];
+        let cref = ColumnRef {
+            table: TableId(1),
+            column: ColumnId(1),
+        };
+        assert!(stats.column(cref).is_some());
+        assert_eq!(stats.rows(TableId(1)), 10);
+        let missing = ColumnRef {
+            table: TableId(0),
+            column: ColumnId(0),
+        };
+        assert_eq!(stats.selectivity(missing, ScalarOp::Eq, &Value::Int(1)), 0.1);
+    }
+
+    #[test]
+    fn empty_column_zero_selectivity() {
+        let s = ColumnStats::build(&[], 4);
+        assert_eq!(s.selectivity(ScalarOp::Eq, &Value::Int(1)), 0.0);
+    }
+}

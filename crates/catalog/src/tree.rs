@@ -1,0 +1,263 @@
+//! Tree-schema analysis (paper §4, Figure 3).
+//!
+//! Terminology follows the paper: the **root** is the fact table
+//! (Prescription); a table's **ancestors** are the tables on its path *to*
+//! the root (for Doctor: Visit, then Prescription); the **subtree** of a
+//! table R is R plus everything reachable away from the root (for Visit:
+//! Visit, Doctor, Patient) — exactly the set a Subtree Key Table covers.
+//!
+//! Structurally: the table that *references* T through a foreign key is
+//! T's tree **parent** (closer to the root). The root is referenced by
+//! nobody; every other table is referenced by exactly one foreign key.
+
+use ghostdb_types::{ColumnId, GhostError, Result, TableId};
+
+use crate::schema::Schema;
+
+/// The validated tree structure of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeSchema {
+    root: TableId,
+    /// For each table: `(parent table, fk column within the parent)`;
+    /// `None` for the root.
+    parent: Vec<Option<(TableId, ColumnId)>>,
+    /// For each table: its children (tables it references).
+    children: Vec<Vec<TableId>>,
+    /// For each table: distance from the root (root = 0).
+    depth: Vec<usize>,
+}
+
+impl TreeSchema {
+    /// Analyze a schema, verifying the tree shape.
+    pub fn analyze(schema: &Schema) -> Result<TreeSchema> {
+        let n = schema.table_count();
+        if n == 0 {
+            return Err(GhostError::catalog("empty schema"));
+        }
+        let mut parent: Vec<Option<(TableId, ColumnId)>> = vec![None; n];
+        let mut children: Vec<Vec<TableId>> = vec![Vec::new(); n];
+        for (ti, t) in schema.tables().iter().enumerate() {
+            for (col, target) in t.foreign_keys() {
+                let referencing = TableId(ti as u16);
+                if parent[target.index()].is_some() {
+                    return Err(GhostError::catalog(format!(
+                        "table {} is referenced by more than one foreign key; \
+                         not a tree schema",
+                        schema.table(target).name
+                    )));
+                }
+                parent[target.index()] = Some((referencing, col));
+                children[ti].push(target);
+            }
+        }
+        let roots: Vec<usize> = (0..n).filter(|&i| parent[i].is_none()).collect();
+        if roots.len() != 1 {
+            return Err(GhostError::catalog(format!(
+                "tree schema needs exactly one root table, found {}: {:?}",
+                roots.len(),
+                roots
+                    .iter()
+                    .map(|&i| schema.tables()[i].name.clone())
+                    .collect::<Vec<_>>()
+            )));
+        }
+        let root = TableId(roots[0] as u16);
+        // Depth via a walk to the root. The walk is bounded by n, which
+        // catches foreign-key cycles (a cycle's members all have parents,
+        // so they pass the single-root check but loop here). Reaching a
+        // terminal other than the root is impossible — the root is the
+        // only parentless table — so termination within n steps implies
+        // connectivity.
+        let mut depth = vec![0usize; n];
+        for i in 0..n {
+            let mut d = 0;
+            let mut cur = i;
+            while let Some((p, _)) = parent[cur] {
+                d += 1;
+                if d > n {
+                    return Err(GhostError::catalog("cycle detected in foreign-key graph"));
+                }
+                cur = p.index();
+            }
+            depth[i] = d;
+        }
+        Ok(TreeSchema {
+            root,
+            parent,
+            children,
+            depth,
+        })
+    }
+
+    /// The root (fact) table.
+    pub fn root(&self) -> TableId {
+        self.root
+    }
+
+    /// The tree parent of `t` and the foreign-key column (in the parent)
+    /// that references `t`; `None` for the root.
+    pub fn parent(&self, t: TableId) -> Option<(TableId, ColumnId)> {
+        self.parent[t.index()]
+    }
+
+    /// Tables `t` references (its tree children).
+    pub fn children(&self, t: TableId) -> &[TableId] {
+        &self.children[t.index()]
+    }
+
+    /// Distance from the root (root = 0).
+    pub fn depth(&self, t: TableId) -> usize {
+        self.depth[t.index()]
+    }
+
+    /// The path from `t` to the root, **excluding** `t` itself: the
+    /// paper's "ancestors". For Doctor in the demo schema this is
+    /// `[Visit, Prescription]`.
+    pub fn ancestors(&self, t: TableId) -> Vec<TableId> {
+        let mut out = Vec::new();
+        let mut cur = t;
+        while let Some((p, _)) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// The path from `t` to the root **including** `t` — the levels a
+    /// climbing index on a column of `t` stores postings for.
+    pub fn climb_path(&self, t: TableId) -> Vec<TableId> {
+        let mut out = vec![t];
+        out.extend(self.ancestors(t));
+        out
+    }
+
+    /// The subtree rooted at `t` (preorder, `t` first): the tables a
+    /// Subtree Key Table rooted at `t` covers.
+    pub fn subtree(&self, t: TableId) -> Vec<TableId> {
+        let mut out = Vec::new();
+        let mut stack = vec![t];
+        while let Some(cur) = stack.pop() {
+            out.push(cur);
+            // Push children in reverse so preorder matches declaration order.
+            for &c in self.children(cur).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Internal tables (those with at least one child): the tables that
+    /// get a Subtree Key Table. In Figure 3 these are Prescription and
+    /// Visit.
+    pub fn skt_roots(&self) -> Vec<TableId> {
+        (0..self.children.len())
+            .filter(|&i| !self.children[i].is_empty())
+            .map(|i| TableId(i as u16))
+            .collect()
+    }
+
+    /// True if `anc` lies on `t`'s path to the root (strictly above `t`).
+    pub fn is_ancestor(&self, anc: TableId, t: TableId) -> bool {
+        self.ancestors(t).contains(&anc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{SchemaBuilder, Visibility};
+    use ghostdb_types::DataType;
+
+    /// The Figure 3 demo schema (keys only; attributes irrelevant here).
+    fn medical() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.table("Doctor", "DocID").alias("Doc");
+        b.table("Patient", "PatID").alias("Pat");
+        b.table("Medicine", "MedID").alias("Med");
+        b.table("Visit", "VisID")
+            .alias("Vis")
+            .foreign_key("DocID", "Doctor", Visibility::Hidden)
+            .foreign_key("PatID", "Patient", Visibility::Hidden);
+        b.table("Prescription", "PreID")
+            .alias("Pre")
+            .foreign_key("MedID", "Medicine", Visibility::Hidden)
+            .foreign_key("VisID", "Visit", Visibility::Hidden);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure3_tree_shape() {
+        let s = medical();
+        let t = TreeSchema::analyze(&s).unwrap();
+        let pre = s.resolve_table("Prescription").unwrap();
+        let vis = s.resolve_table("Visit").unwrap();
+        let doc = s.resolve_table("Doctor").unwrap();
+        let pat = s.resolve_table("Patient").unwrap();
+        let med = s.resolve_table("Medicine").unwrap();
+
+        assert_eq!(t.root(), pre);
+        assert_eq!(t.parent(doc).unwrap().0, vis);
+        assert_eq!(t.parent(vis).unwrap().0, pre);
+        assert_eq!(t.parent(pre), None);
+        assert_eq!(t.depth(pre), 0);
+        assert_eq!(t.depth(vis), 1);
+        assert_eq!(t.depth(doc), 2);
+
+        // Paper: ancestors of Doctor are Visit then Prescription.
+        assert_eq!(t.ancestors(doc), vec![vis, pre]);
+        assert_eq!(t.climb_path(doc), vec![doc, vis, pre]);
+        assert_eq!(t.climb_path(pre), vec![pre]);
+
+        // SKTs: one rooted at Prescription, one at Visit (paper Figure 3).
+        assert_eq!(t.skt_roots(), vec![vis, pre]);
+
+        // Subtree of Visit = {Visit, Doctor, Patient}.
+        let sub = t.subtree(vis);
+        assert_eq!(sub[0], vis);
+        assert!(sub.contains(&doc) && sub.contains(&pat) && sub.len() == 3);
+        // Subtree of Prescription covers everything.
+        assert_eq!(t.subtree(pre).len(), 5);
+        assert!(!t.subtree(pre).contains(&TableId(99)));
+
+        assert!(t.is_ancestor(pre, doc));
+        assert!(t.is_ancestor(vis, doc));
+        assert!(!t.is_ancestor(doc, vis));
+        assert!(!t.is_ancestor(med, doc));
+    }
+
+    #[test]
+    fn two_roots_rejected() {
+        let mut b = SchemaBuilder::new();
+        b.table("A", "aid");
+        b.table("B", "bid");
+        let s = b.build().unwrap();
+        let err = TreeSchema::analyze(&s).unwrap_err();
+        assert!(err.to_string().contains("exactly one root"));
+    }
+
+    #[test]
+    fn shared_dimension_rejected() {
+        // Two fact tables referencing the same dimension => not a tree.
+        let mut b = SchemaBuilder::new();
+        b.table("Dim", "did");
+        b.table("FactA", "aid")
+            .foreign_key("did", "Dim", Visibility::Hidden);
+        b.table("FactB", "bid")
+            .foreign_key("did", "Dim", Visibility::Hidden);
+        let s = b.build().unwrap();
+        let err = TreeSchema::analyze(&s).unwrap_err();
+        assert!(err.to_string().contains("more than one"));
+    }
+
+    #[test]
+    fn single_table_is_a_tree() {
+        let mut b = SchemaBuilder::new();
+        b.table("Solo", "id")
+            .column("x", DataType::Integer, Visibility::Hidden);
+        let s = b.build().unwrap();
+        let t = TreeSchema::analyze(&s).unwrap();
+        assert_eq!(t.root(), TableId(0));
+        assert!(t.skt_roots().is_empty());
+        assert_eq!(t.climb_path(TableId(0)), vec![TableId(0)]);
+    }
+}

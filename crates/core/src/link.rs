@@ -1,0 +1,312 @@
+//! The bus-backed [`PcLink`]: how the device really talks to the PC.
+//!
+//! Every request leaves the device as a protocol [`Message`], and every
+//! response chunk crosses back through the simulated bus — charging
+//! transfer time and landing in the spy trace. The device *pulls*: a
+//! chunk is only transmitted when the executor consumes past the previous
+//! one, modelling the USB flow control of the real platform.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use ghostdb_bus::{Bus, Endpoint, Message};
+use ghostdb_catalog::Predicate;
+use ghostdb_exec::{PairStream, PcLink};
+use ghostdb_storage::VisibleStore;
+use ghostdb_types::{ColumnId, GhostError, IdStream, Result, RowId, TableId, Value};
+
+/// Ids per `IdChunk` message (≈ 4 KB of payload at 4 B/id).
+const ID_CHUNK: usize = 1024;
+/// Pairs per `ColumnChunk` message.
+const PAIR_CHUNK: usize = 512;
+
+/// Device-side handle over the bus to the PC host.
+pub struct BusPcLink {
+    bus: Bus,
+    visible: VisibleStore,
+    next_request: AtomicU32,
+}
+
+impl BusPcLink {
+    /// Wire a link over `bus` to a PC holding `visible`.
+    pub fn new(bus: Bus, visible: VisibleStore) -> Self {
+        BusPcLink {
+            bus,
+            visible,
+            next_request: AtomicU32::new(1),
+        }
+    }
+
+    fn request_id(&self) -> u32 {
+        self.next_request.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl PcLink for BusPcLink {
+    fn eval_predicate(&self, pred: &Predicate) -> Result<Box<dyn IdStream + '_>> {
+        let request = self.request_id();
+        // Device -> PC: the plan-derived request (public by design).
+        self.bus.transmit(
+            Endpoint::Device,
+            Endpoint::Pc,
+            &Message::EvalPredicate {
+                request,
+                table: pred.column.table,
+                column: pred.column.column,
+                op: pred.op,
+                value: pred.value.clone(),
+            },
+        )?;
+        // PC evaluates on its own (resource-rich) hardware.
+        let ids = self.visible.eval_predicate(
+            pred.column.table,
+            pred.column.column,
+            pred.op,
+            &pred.value,
+        )?;
+        Ok(Box::new(ChunkedIdStream {
+            bus: &self.bus,
+            request,
+            ids,
+            next: 0,
+            transmitted_upto: 0,
+        }))
+    }
+
+    fn fetch_column(
+        &self,
+        table: TableId,
+        column: ColumnId,
+        predicate: Option<&Predicate>,
+    ) -> Result<Box<dyn PairStream + '_>> {
+        let request = self.request_id();
+        let wire_pred = predicate.map(|p| {
+            if p.column.table != table {
+                return Err(GhostError::exec(
+                    "fetch filter must be on the fetched table",
+                ));
+            }
+            Ok((p.column.column, p.op, p.value.clone()))
+        });
+        let wire_pred = match wire_pred {
+            Some(r) => Some(r?),
+            None => None,
+        };
+        self.bus.transmit(
+            Endpoint::Device,
+            Endpoint::Pc,
+            &Message::FetchColumn {
+                request,
+                table,
+                column,
+                predicate: wire_pred,
+            },
+        )?;
+        let pairs = self.visible.fetch_column(
+            table,
+            column,
+            predicate.map(|p| (p.column.column, p.op, &p.value)),
+        )?;
+        Ok(Box::new(ChunkedPairStream {
+            bus: &self.bus,
+            request,
+            pairs,
+            next: 0,
+            transmitted_upto: 0,
+        }))
+    }
+
+    fn bus_stats(&self) -> (u64, u64) {
+        (
+            self.bus.stats_to_device().bytes,
+            self.bus.stats_to_pc().bytes,
+        )
+    }
+}
+
+/// Ids pulled chunk-by-chunk over the bus.
+struct ChunkedIdStream<'a> {
+    bus: &'a Bus,
+    request: u32,
+    /// PC-side buffer (host memory: the PC has plenty).
+    ids: Vec<RowId>,
+    next: usize,
+    /// How many ids have already crossed the bus.
+    transmitted_upto: usize,
+}
+
+impl IdStream for ChunkedIdStream<'_> {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        if self.next >= self.ids.len() {
+            if self.transmitted_upto == self.ids.len() && self.ids.is_empty() {
+                // Even an empty result is one (final) frame.
+                self.bus.transmit(
+                    Endpoint::Pc,
+                    Endpoint::Device,
+                    &Message::IdChunk {
+                        request: self.request,
+                        ids: vec![],
+                        done: true,
+                    },
+                )?;
+                self.transmitted_upto = usize::MAX;
+            }
+            return Ok(None);
+        }
+        if self.next >= self.transmitted_upto {
+            // Pull the next chunk across the link.
+            let end = (self.transmitted_upto + ID_CHUNK).min(self.ids.len());
+            let chunk = self.ids[self.transmitted_upto..end].to_vec();
+            self.bus.transmit(
+                Endpoint::Pc,
+                Endpoint::Device,
+                &Message::IdChunk {
+                    request: self.request,
+                    ids: chunk,
+                    done: end == self.ids.len(),
+                },
+            )?;
+            self.transmitted_upto = end;
+        }
+        let id = self.ids[self.next];
+        self.next += 1;
+        Ok(Some(id))
+    }
+}
+
+/// `(id, value)` pairs pulled chunk-by-chunk over the bus.
+struct ChunkedPairStream<'a> {
+    bus: &'a Bus,
+    request: u32,
+    pairs: Vec<(RowId, Value)>,
+    next: usize,
+    transmitted_upto: usize,
+}
+
+impl PairStream for ChunkedPairStream<'_> {
+    fn next_pair(&mut self) -> Result<Option<(RowId, Value)>> {
+        if self.next >= self.pairs.len() {
+            return Ok(None);
+        }
+        if self.next >= self.transmitted_upto {
+            let end = (self.transmitted_upto + PAIR_CHUNK).min(self.pairs.len());
+            let chunk = self.pairs[self.transmitted_upto..end].to_vec();
+            self.bus.transmit(
+                Endpoint::Pc,
+                Endpoint::Device,
+                &Message::ColumnChunk {
+                    request: self.request,
+                    pairs: chunk,
+                    done: end == self.pairs.len(),
+                },
+            )?;
+            self.transmitted_upto = end;
+        }
+        let pair = self.pairs[self.next].clone();
+        self.next += 1;
+        Ok(Some(pair))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_catalog::{SchemaBuilder, Visibility};
+    use ghostdb_storage::Dataset;
+    use ghostdb_types::{BusConfig, DataType, ScalarOp, SimClock};
+
+    fn setup() -> BusPcLink {
+        let mut b = SchemaBuilder::new();
+        b.table("T", "id")
+            .column("v", DataType::Integer, Visibility::Visible)
+            .column("h", DataType::Integer, Visibility::Hidden);
+        let schema = b.build().unwrap();
+        let mut data = Dataset::empty(&schema);
+        for i in 0..3000i64 {
+            data.push_row(
+                TableId(0),
+                vec![Value::Int(i), Value::Int(i % 10), Value::Int(-i)],
+            )
+            .unwrap();
+        }
+        let visible = VisibleStore::build(&schema, &data).unwrap();
+        let bus = Bus::new(BusConfig::usb_full_speed(), SimClock::new());
+        BusPcLink::new(bus, visible)
+    }
+
+    #[test]
+    fn delegated_predicate_streams_chunks() {
+        let link = setup();
+        let pred = Predicate::new(TableId(0), ColumnId(1), ScalarOp::Eq, Value::Int(3));
+        let mut stream = link.eval_predicate(&pred).unwrap();
+        let mut count = 0;
+        let mut last = None;
+        while let Some(id) = stream.next_id().unwrap() {
+            if let Some(prev) = last {
+                assert!(id > prev);
+            }
+            last = Some(id);
+            count += 1;
+        }
+        assert_eq!(count, 300);
+        drop(stream);
+        // 300 ids fit one chunk; plus the request: two device-bound
+        // frames total? One request (to pc) + one chunk (to device).
+        assert_eq!(link.bus.stats_to_pc().frames, 1);
+        assert_eq!(link.bus.stats_to_device().frames, 1);
+    }
+
+    #[test]
+    fn large_results_use_multiple_chunks() {
+        let link = setup();
+        let pred = Predicate::new(TableId(0), ColumnId(1), ScalarOp::Ge, Value::Int(0));
+        let mut stream = link.eval_predicate(&pred).unwrap();
+        let mut count = 0;
+        while stream.next_id().unwrap().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 3000);
+        drop(stream);
+        let expect_frames = (3000usize).div_ceil(ID_CHUNK) as u64;
+        assert_eq!(link.bus.stats_to_device().frames, expect_frames);
+    }
+
+    #[test]
+    fn fetch_column_streams_pairs_in_order() {
+        let link = setup();
+        let pred = Predicate::new(TableId(0), ColumnId(1), ScalarOp::Lt, Value::Int(2));
+        let mut stream = link
+            .fetch_column(TableId(0), ColumnId(1), Some(&pred))
+            .unwrap();
+        let mut n = 0;
+        let mut last = None;
+        while let Some((id, v)) = stream.next_pair().unwrap() {
+            assert!(v.as_int().unwrap() < 2);
+            if let Some(prev) = last {
+                assert!(id > prev);
+            }
+            last = Some(id);
+            n += 1;
+        }
+        assert_eq!(n, 600);
+    }
+
+    #[test]
+    fn hidden_column_requests_fail_on_pc() {
+        let link = setup();
+        let pred = Predicate::new(TableId(0), ColumnId(2), ScalarOp::Eq, Value::Int(0));
+        // The PC simply does not have the column; nothing to leak.
+        assert!(link.eval_predicate(&pred).is_err());
+    }
+
+    #[test]
+    fn trace_records_everything() {
+        let link = setup();
+        let pred = Predicate::new(TableId(0), ColumnId(1), ScalarOp::Eq, Value::Int(7));
+        let mut stream = link.eval_predicate(&pred).unwrap();
+        while stream.next_id().unwrap().is_some() {}
+        drop(stream);
+        let events = link.bus.trace().events();
+        assert!(events.iter().any(|e| e.kind == "EvalPredicate"));
+        assert!(events.iter().any(|e| e.kind == "IdChunk"));
+    }
+}

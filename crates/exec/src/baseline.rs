@@ -1,0 +1,269 @@
+//! The "last resort" baselines the paper rules out (§4, citing [1]).
+//!
+//! GhostDB's SIGMOD companion shows that classic join algorithms and
+//! binary join indexes perform unacceptably on the smart USB device.
+//! We reproduce that comparison (`EXP-B1`) with honest implementations
+//! under the same hardware model:
+//!
+//! * [`grace_hash_join_count`] — a Grace hash join between a hidden
+//!   foreign-key column and a filtered id set. With tens of KB of RAM the
+//!   build side rarely fits, so both inputs are recursively partitioned
+//!   to flash — paying the 3–10× program/read penalty on every byte —
+//!   before any matching happens.
+//! * [`join_index_count`] — binary (per-edge) join indexes: each tree
+//!   edge is traversed separately with a full id-list materialization
+//!   (external sort) between hops, where the climbing index reaches the
+//!   root "in a single step".
+//! * [`climbing_translate_count`] — the paper's climbing translation, as
+//!   the directly comparable fast path.
+//!
+//! All three count result ids rather than materializing tuples, so the
+//! comparison isolates pure join cost.
+
+use ghostdb_catalog::TreeSchema;
+use ghostdb_flash::{Segment, Volume};
+use ghostdb_index::IndexSet;
+use ghostdb_ram::{RamBudget, RamScope, TrackedVec};
+use ghostdb_storage::HiddenStore;
+use ghostdb_types::{
+    ColumnId, DeviceConfig, GhostError, IdStream, Result, RowId, SimClock, TableId, Value,
+    VecIdStream,
+};
+
+/// Outcome of one baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// Matching rows counted.
+    pub result_count: u64,
+    /// Simulated time, ns.
+    pub sim_ns: u64,
+    /// Flash page reads performed.
+    pub flash_reads: u64,
+    /// Flash page programs performed.
+    pub flash_programs: u64,
+    /// Device RAM high-water mark, bytes.
+    pub ram_peak: usize,
+}
+
+fn order_keys_of(ids: &[RowId]) -> Vec<u64> {
+    ids.iter()
+        .map(|id| Value::Int(id.0 as i64).order_key().expect("int key"))
+        .collect()
+}
+
+/// Count rows of `fk_table` whose hidden FK column references an id in
+/// `matching`, via Grace hash join under the device RAM budget.
+pub fn grace_hash_join_count(
+    volume: &Volume,
+    ram: &RamBudget,
+    clock: &SimClock,
+    config: &DeviceConfig,
+    hidden: &HiddenStore,
+    fk_table: TableId,
+    fk_column: ColumnId,
+    matching: &[RowId],
+) -> Result<BaselineReport> {
+    ram.reset_peak();
+    let t0 = clock.now();
+    let f0 = volume.nand().stats();
+    let scope = RamScope::new(ram);
+    let build_keys = order_keys_of(matching);
+
+    // Write both inputs to flash as the join's "base relations" would
+    // be: the probe side is already there (the stored FK column); the
+    // build side arrives as a key list.
+    let mut bw = volume.writer(&scope)?;
+    for k in &build_keys {
+        bw.write(&k.to_le_bytes())?;
+    }
+    let build_seg = bw.finish()?;
+
+    // Probe segment: the FK column's keys (streamed copy so the recursion
+    // can repartition it freely).
+    let mut pw = volume.writer(&scope)?;
+    let mut scan = hidden.key_scan(&scope, fk_table, fk_column)?;
+    while let Some((_, k)) = scan.next_entry()? {
+        pw.write(&k.to_le_bytes())?;
+        clock.advance(config.cpu.tuple_op_ns);
+    }
+    drop(scan);
+    let probe_seg = pw.finish()?;
+
+    let count = partition_join(volume, &scope, clock, config, build_seg, probe_seg, 0)?;
+    let f1 = volume.nand().stats().since(&f0);
+    Ok(BaselineReport {
+        result_count: count,
+        sim_ns: clock.now().since(t0),
+        flash_reads: f1.page_reads,
+        flash_programs: f1.page_programs,
+        ram_peak: ram.peak(),
+    })
+}
+
+/// Recursive Grace partitioning: if the build side fits in RAM, join;
+/// otherwise hash-partition both sides to flash and recurse.
+fn partition_join(
+    volume: &Volume,
+    scope: &RamScope,
+    clock: &SimClock,
+    config: &DeviceConfig,
+    build: Segment,
+    probe: Segment,
+    depth: u32,
+) -> Result<u64> {
+    let budget = scope.budget();
+    let build_n = (build.len() / 8) as usize;
+    let fits = build_n * 8 + 2 * volume.page_size() <= budget.available() / 2;
+    if fits || depth > 8 {
+        // In-RAM join: sorted build keys + streamed probe.
+        let mut table: TrackedVec<u64> = TrackedVec::with_capacity(scope, build_n)?;
+        let mut r = volume.reader(scope, &build)?;
+        let mut buf = [0u8; 8];
+        for _ in 0..build_n {
+            r.read_exact(&mut buf)?;
+            table.push(u64::from_le_bytes(buf))?;
+        }
+        drop(r);
+        table.as_mut_slice().sort_unstable();
+        let mut count = 0u64;
+        let mut r = volume.reader(scope, &probe)?;
+        let probe_n = probe.len() / 8;
+        for _ in 0..probe_n {
+            r.read_exact(&mut buf)?;
+            clock.advance(config.cpu.tuple_op_ns);
+            if table.as_slice().binary_search(&u64::from_le_bytes(buf)).is_ok() {
+                count += 1;
+            }
+        }
+        drop(r);
+        volume.free(build)?;
+        volume.free(probe)?;
+        return Ok(count);
+    }
+    // Fan-out limited by RAM: one page buffer per output partition, both
+    // sides partitioned in separate passes so buffers are not doubled.
+    let page = volume.page_size();
+    let fan = ((budget.available() / page).saturating_sub(2)).clamp(2, 16) as u64;
+    let shift = depth * 4; // reuse hash bits per level
+    let mut build_parts: Vec<Segment> = Vec::new();
+    let mut probe_parts: Vec<Segment> = Vec::new();
+    for (src, parts) in [(&build, &mut build_parts), (&probe, &mut probe_parts)] {
+        let mut writers = Vec::new();
+        for _ in 0..fan {
+            writers.push(volume.writer(scope)?);
+        }
+        let mut r = volume.reader(scope, src)?;
+        let n = src.len() / 8;
+        let mut buf = [0u8; 8];
+        for _ in 0..n {
+            r.read_exact(&mut buf)?;
+            let k = u64::from_le_bytes(buf);
+            let h = (ghostdb_bloom::mix64(k) >> shift) % fan;
+            writers[h as usize].write(&buf)?;
+            clock.advance(config.cpu.tuple_op_ns);
+        }
+        for w in writers {
+            parts.push(w.finish()?);
+        }
+    }
+    volume.free(build)?;
+    volume.free(probe)?;
+    let mut count = 0u64;
+    for (b, p) in build_parts.into_iter().zip(probe_parts) {
+        count += partition_join(volume, scope, clock, config, b, p, depth + 1)?;
+    }
+    Ok(count)
+}
+
+/// Count ids reached at `target` by traversing one tree edge at a time
+/// through per-edge (binary) join indexes, materializing between hops.
+pub fn join_index_count(
+    volume: &Volume,
+    ram: &RamBudget,
+    clock: &SimClock,
+    config: &DeviceConfig,
+    indexes: &IndexSet,
+    tree: &TreeSchema,
+    start: TableId,
+    matching: &[RowId],
+    target: TableId,
+) -> Result<BaselineReport> {
+    ram.reset_peak();
+    let t0 = clock.now();
+    let f0 = volume.nand().stats();
+    let scope = RamScope::new(ram);
+    let sort_ram = (ram.available() / 4).clamp(1024, 16 * 1024);
+
+    let mut current: Box<dyn IdStream> = Box::new(VecIdStream::new(matching.to_vec()));
+    let mut cur_table = start;
+    let mut count = 0u64;
+    if cur_table == target {
+        while current.next_id()?.is_some() {
+            count += 1;
+        }
+    }
+    while cur_table != target {
+        let (parent, _) = tree
+            .parent(cur_table)
+            .ok_or_else(|| GhostError::exec("target not above start table"))?;
+        let kidx = indexes.key_index(cur_table)?;
+        // Translate exactly one level up, then (the binary-join-index
+        // penalty) fully materialize before the next hop.
+        let translated = kidx.translate(&scope, current.as_mut(), parent, sort_ram)?;
+        current = Box::new(translated);
+        cur_table = parent;
+        if cur_table == target {
+            while current.next_id()?.is_some() {
+                count += 1;
+                clock.advance(config.cpu.tuple_op_ns);
+            }
+        }
+    }
+    let f1 = volume.nand().stats().since(&f0);
+    Ok(BaselineReport {
+        result_count: count,
+        sim_ns: clock.now().since(t0),
+        flash_reads: f1.page_reads,
+        flash_programs: f1.page_programs,
+        ram_peak: ram.peak(),
+    })
+}
+
+/// The climbing-index fast path for the same task: one translation
+/// straight to `target`.
+pub fn climbing_translate_count(
+    volume: &Volume,
+    ram: &RamBudget,
+    clock: &SimClock,
+    config: &DeviceConfig,
+    indexes: &IndexSet,
+    start: TableId,
+    matching: &[RowId],
+    target: TableId,
+) -> Result<BaselineReport> {
+    ram.reset_peak();
+    let t0 = clock.now();
+    let f0 = volume.nand().stats();
+    let scope = RamScope::new(ram);
+    let sort_ram = (ram.available() / 4).clamp(1024, 16 * 1024);
+    let mut input = VecIdStream::new(matching.to_vec());
+    let mut count = 0u64;
+    if start == target {
+        count = matching.len() as u64;
+    } else {
+        let kidx = indexes.key_index(start)?;
+        let mut out = kidx.translate(&scope, &mut input, target, sort_ram)?;
+        while out.next_id()?.is_some() {
+            count += 1;
+            clock.advance(config.cpu.tuple_op_ns);
+        }
+    }
+    let f1 = volume.nand().stats().since(&f0);
+    Ok(BaselineReport {
+        result_count: count,
+        sim_ns: clock.now().since(t0),
+        flash_reads: f1.page_reads,
+        flash_programs: f1.page_programs,
+        ram_peak: ram.peak(),
+    })
+}

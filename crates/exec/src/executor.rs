@@ -1,0 +1,798 @@
+//! The device-side plan executor.
+//!
+//! Execution is a pull pipeline with O(pages) device RAM:
+//!
+//! 1. **Prologue** — for every Bloom post-filter and every projected
+//!    visible column, fetch the (predicate-filtered) column from the PC
+//!    once into a flash temp; Bloom filters fill from the same transfer.
+//! 2. **Sources** — each pre-filtering source yields an ascending
+//!    anchor-id stream (climbing probe, delegate+translate, scan, or
+//!    cross-filter group).
+//! 3. **Merge** — sources are merge-intersected.
+//! 4. **SKT access** — each surviving anchor id fetches its Subtree Key
+//!    Table row (page-batched).
+//! 5. **Post steps** — Bloom probes (with exact flash-temp verification)
+//!    and hidden verifies drop candidates.
+//! 6. **Project** — hidden attributes read from the hidden store,
+//!    visible attributes probed from the flash temps; rows stream out.
+//!
+//! Every stage records the demo's per-operator statistics (tuples, RAM,
+//! simulated time).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ghostdb_bloom::BloomFilter;
+use ghostdb_catalog::{ColumnRole, Predicate, Schema, TreeSchema};
+use ghostdb_flash::Volume;
+use ghostdb_index::{IndexSet, TRANSLATE_SORT_RAM};
+use ghostdb_ram::{RamBudget, RamScope};
+use ghostdb_storage::{HiddenStore, KeyRange};
+use ghostdb_types::{
+    ColumnId, DeviceConfig, GhostError, IdStream, Result, RowId, SimClock, TableId, Value,
+};
+
+use crate::ops::{FullScanSource, MergeIntersect};
+use crate::pc::PcLink;
+use crate::plan::{Plan, PostStep, Source};
+use crate::query::QuerySpec;
+use crate::stats::{ExecReport, OpStats, ResultSet};
+use crate::temp::{IdTemp, TempProber, VisibleTemp};
+
+/// Everything the executor needs about one device + PC pairing.
+pub struct ExecContext<'a> {
+    /// The schema.
+    pub schema: &'a Schema,
+    /// Tree analysis of the schema.
+    pub tree: &'a TreeSchema,
+    /// Hardware model.
+    pub config: &'a DeviceConfig,
+    /// The device clock (shared with flash and bus).
+    pub clock: SimClock,
+    /// Device flash volume.
+    pub volume: &'a Volume,
+    /// Device RAM budget.
+    pub ram: &'a RamBudget,
+    /// Hidden column store.
+    pub hidden: &'a HiddenStore,
+    /// SKTs and climbing indexes.
+    pub indexes: &'a IndexSet,
+    /// Handle to the untrusted PC.
+    pub pc: &'a dyn PcLink,
+}
+
+impl ExecContext<'_> {
+    fn sort_ram(&self) -> usize {
+        (self.ram.available() / 4).clamp(1024, TRANSLATE_SORT_RAM)
+    }
+
+    fn bloom_ram(&self) -> usize {
+        (self.ram.available() / 4).clamp(512, 8 * 1024)
+    }
+
+    fn pred_str(&self, p: &Predicate) -> String {
+        format!("{} {} {}", self.schema.column_name(p.column), p.op, p.value)
+    }
+}
+
+/// Shared instrumentation for a boxed stream.
+#[derive(Debug, Default)]
+struct StreamMeter {
+    ns: AtomicU64,
+    out: AtomicU64,
+}
+
+/// Instrumented id stream: measures simulated time spent inside (its own
+/// work plus upstream flash/bus pulls) and counts emitted ids.
+struct Timed<'a> {
+    inner: Box<dyn IdStream + 'a>,
+    clock: SimClock,
+    meter: Arc<StreamMeter>,
+}
+
+impl IdStream for Timed<'_> {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        let t0 = self.clock.now();
+        let r = self.inner.next_id();
+        self.meter
+            .ns
+            .fetch_add(self.clock.now().since(t0), Ordering::Relaxed);
+        if let Ok(Some(_)) = r {
+            self.meter.out.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+}
+
+struct BuiltSource<'a> {
+    stream: Box<dyn IdStream + 'a>,
+    meter: Arc<StreamMeter>,
+    stats: OpStats,
+}
+
+/// Execute `plan` for `spec` and return results plus the report.
+pub fn execute(
+    ctx: &ExecContext<'_>,
+    spec: &QuerySpec,
+    plan: &Plan,
+) -> Result<(ResultSet, ExecReport)> {
+    plan.validate(ctx.schema, spec)?;
+    ctx.ram.reset_peak();
+    let t_start = ctx.clock.now();
+    let flash_start = ctx.volume.nand().stats();
+    let bus_start = ctx.pc.bus_stats();
+    let mut report_ops: Vec<OpStats> = Vec::new();
+
+    // ---- Prologue: fetch visible columns into flash temps ----
+    // One visible predicate per table may restrict that table's fetches
+    // (any conjunct is a sound filter).
+    let filter_pred_of: HashMap<TableId, &Predicate> = {
+        let mut m = HashMap::new();
+        for p in &spec.predicates {
+            if !ctx.schema.is_hidden(p.column) {
+                m.entry(p.column.table).or_insert(p);
+            }
+        }
+        m
+    };
+
+    let fetch_scope = RamScope::new(ctx.ram);
+    let fetch_one = |cref: ghostdb_catalog::ColumnRef,
+                         filter: Option<&Predicate>,
+                         bloom: Option<&mut BloomFilter>|
+     -> Result<(VisibleTemp, OpStats)> {
+        let def = ctx.schema.column_def(cref);
+        let t0 = ctx.clock.now();
+        let mut pairs = ctx.pc.fetch_column(cref.table, cref.column, filter)?;
+        let mut hook_count = 0u64;
+        let temp = match bloom {
+            Some(b) => {
+                let k = b.k() as u64;
+                let clock = ctx.clock.clone();
+                let hash_ns = ctx.config.cpu.hash_ns;
+                let mut hook = |id: RowId| {
+                    b.insert(id.0 as u64);
+                    hook_count += 1;
+                    clock.advance(hash_ns * k);
+                };
+                VisibleTemp::build(ctx.volume, &fetch_scope, def.ty, pairs.as_mut(), Some(&mut hook))?
+            }
+            None => VisibleTemp::build(ctx.volume, &fetch_scope, def.ty, pairs.as_mut(), None)?,
+        };
+        let stats = OpStats {
+            name: "fetch-column".into(),
+            detail: format!(
+                "{}{}",
+                ctx.schema.column_name(cref),
+                filter
+                    .map(|p| format!(" where {}", ctx.pred_str(p)))
+                    .unwrap_or_default()
+            ),
+            tuples_in: temp.len(),
+            tuples_out: temp.len(),
+            sim_ns: ctx.clock.now().since(t0),
+            ram_peak: fetch_scope.peak(),
+        };
+        Ok((temp, stats))
+    };
+
+    // Projection temps, keyed by column.
+    let mut proj_temps: HashMap<(u16, u16), VisibleTemp> = HashMap::new();
+    for cref in &spec.projections {
+        let def = ctx.schema.column_def(*cref);
+        if def.visibility.is_hidden() || matches!(def.role, ColumnRole::PrimaryKey) {
+            continue;
+        }
+        let key = (cref.table.0, cref.column.0);
+        if proj_temps.contains_key(&key) {
+            continue;
+        }
+        let filter = filter_pred_of.get(&cref.table).copied();
+        let (temp, stats) = fetch_one(*cref, filter, None)?;
+        report_ops.push(stats);
+        proj_temps.insert(key, temp);
+    }
+
+    // Bloom post-filters: filter + an exact-verify temp per predicate.
+    struct BloomStep<'p> {
+        pred: &'p Predicate,
+        bloom: BloomFilter,
+        /// Temp holding exactly the ids satisfying the predicate. Either
+        /// shared with a projection temp (same filter) or private.
+        verify: VerifySource,
+        build_stats: OpStats,
+    }
+    enum VerifySource {
+        /// A projection temp fetched with this very predicate as filter.
+        Shared((u16, u16)),
+        /// A private id-only temp (ids delegated via EvalPredicate).
+        Own(usize),
+    }
+    let bloom_scope = RamScope::new(ctx.ram);
+    let mut own_verify_temps: Vec<IdTemp> = Vec::new();
+    let mut bloom_steps: Vec<BloomStep<'_>> = Vec::new();
+    for step in &plan.post {
+        let PostStep::BloomVisible { pred } = step else {
+            continue;
+        };
+        let p = &spec.predicates[*pred];
+        let n_est = ctx.hidden.row_count(p.column.table) as usize;
+        let mut bloom = BloomFilter::within_ram(&bloom_scope, n_est.max(16), ctx.bloom_ram())?;
+        let key = (p.column.table.0, p.column.column.0);
+        let shared = proj_temps.contains_key(&key)
+            && filter_pred_of.get(&p.column.table).copied() == Some(p);
+        let t0 = ctx.clock.now();
+        let verify;
+        let inserted;
+        if shared {
+            // The projection temp already holds exactly the qualifying
+            // ids; replay them into the bloom from flash (cheaper than a
+            // second bus transfer).
+            let temp = proj_temps.get(&key).expect("checked");
+            let ids = temp_ids(temp, &bloom_scope)?;
+            for id in &ids {
+                bloom.insert(id.0 as u64);
+            }
+            ctx.clock
+                .advance(ctx.config.cpu.hash_ns * bloom.k() as u64 * ids.len() as u64);
+            inserted = ids.len() as u64;
+            verify = VerifySource::Shared(key);
+        } else {
+            // Ids only: EvalPredicate is a far smaller transfer than
+            // fetching (id, value) pairs, and membership is all the
+            // verification needs.
+            let mut ids = ctx.pc.eval_predicate(p)?;
+            let k = bloom.k() as u64;
+            let clock = ctx.clock.clone();
+            let hash_ns = ctx.config.cpu.hash_ns;
+            let temp = {
+                let mut hook = |id: RowId| {
+                    bloom.insert(id.0 as u64);
+                    clock.advance(hash_ns * k);
+                };
+                IdTemp::build(ctx.volume, &fetch_scope, ids.as_mut(), Some(&mut hook))?
+            };
+            inserted = temp.len();
+            own_verify_temps.push(temp);
+            verify = VerifySource::Own(own_verify_temps.len() - 1);
+        }
+        let build_stats = OpStats {
+            name: "bloom-build".into(),
+            detail: format!(
+                "{} ({} ids, {} B, fpr~{:.4})",
+                ctx.pred_str(p),
+                inserted,
+                bloom.bytes(),
+                bloom.estimated_fpr()
+            ),
+            tuples_in: inserted,
+            tuples_out: inserted,
+            sim_ns: ctx.clock.now().since(t0),
+            ram_peak: bloom.bytes(),
+        };
+        bloom_steps.push(BloomStep {
+            pred: p,
+            bloom,
+            verify,
+            build_stats,
+        });
+    }
+
+    // Hidden verify steps: precompute key ranges.
+    struct VerifyStep<'p> {
+        pred: &'p Predicate,
+        range: Option<KeyRange>,
+        checked: u64,
+        passed: u64,
+        ns: u64,
+    }
+    let mut verify_steps: Vec<VerifyStep<'_>> = Vec::new();
+    for step in &plan.post {
+        if let PostStep::HiddenVerify { pred } = step {
+            let p = &spec.predicates[*pred];
+            let range = ctx
+                .hidden
+                .key_range(p.column.table, p.column.column, p.op, &p.value)?;
+            verify_steps.push(VerifyStep {
+                pred: p,
+                range,
+                checked: 0,
+                passed: 0,
+                ns: 0,
+            });
+        }
+    }
+
+    // ---- Sources ----
+    let mut built: Vec<BuiltSource<'_>> = Vec::new();
+    for source in &plan.sources {
+        built.push(build_source(ctx, spec, source)?);
+    }
+    let anchor_rows = ctx.hidden.row_count(spec.anchor);
+    let mut source_meta: Vec<(OpStats, Arc<StreamMeter>)> = Vec::new();
+    let merge_meter = Arc::new(StreamMeter::default());
+    let n_sources = built.len();
+    let candidates_inner: Box<dyn IdStream + '_> = if built.is_empty() {
+        Box::new(FullScanSource::new(anchor_rows))
+    } else if built.len() == 1 {
+        let s = built.pop().expect("one source");
+        source_meta.push((s.stats, s.meter));
+        s.stream
+    } else {
+        let mut inputs = Vec::new();
+        for s in built {
+            source_meta.push((s.stats, s.meter));
+            inputs.push(s.stream);
+        }
+        Box::new(MergeIntersect::new(
+            inputs,
+            ctx.clock.clone(),
+            ctx.config.cpu.tuple_op_ns,
+        ))
+    };
+    let mut candidates = Timed {
+        inner: candidates_inner,
+        clock: ctx.clock.clone(),
+        meter: merge_meter.clone(),
+    };
+
+    // ---- SKT cursor (or pseudo rows for leaf anchors) ----
+    let skt_scope = RamScope::new(ctx.ram);
+    let has_children = !ctx.tree.children(spec.anchor).is_empty();
+    let skt = if has_children {
+        Some(ctx.indexes.skt(spec.anchor)?)
+    } else {
+        None
+    };
+    let mut cursor = match skt {
+        Some(s) => Some(s.cursor(&skt_scope)?),
+        None => None,
+    };
+    let col_of = |table: TableId| -> Result<usize> {
+        match skt {
+            Some(s) => s.column_of(table),
+            None if table == spec.anchor => Ok(0),
+            None => Err(GhostError::exec("leaf anchor cannot reach other tables")),
+        }
+    };
+
+    // Precompute projection dispatch.
+    enum Proj {
+        Pk { col: usize },
+        Hidden { table: TableId, column: ColumnId, col: usize },
+        Visible { key: (u16, u16), col: usize },
+    }
+    let mut projs: Vec<Proj> = Vec::new();
+    for cref in &spec.projections {
+        let def = ctx.schema.column_def(*cref);
+        let col = col_of(cref.table)?;
+        projs.push(match (&def.role, def.visibility.is_hidden()) {
+            (ColumnRole::PrimaryKey, _) => Proj::Pk { col },
+            (_, true) => Proj::Hidden {
+                table: cref.table,
+                column: cref.column,
+                col,
+            },
+            (_, false) => Proj::Visible {
+                key: (cref.table.0, cref.column.0),
+                col,
+            },
+        });
+    }
+
+    // Probers over all temps.
+    let probe_scope = RamScope::new(ctx.ram);
+    let mut proj_probers: HashMap<(u16, u16), TempProber<'_>> = HashMap::new();
+    for (key, temp) in &proj_temps {
+        proj_probers.insert(*key, temp.prober(&probe_scope)?);
+    }
+
+    // ---- Stream candidates in RAM-sized batches ----
+    //
+    // Bloom positives are confirmed in bulk: the batch's member ids are
+    // sorted in RAM and merged against ONE sequential scan of the temp,
+    // instead of a per-candidate flash binary search — the difference
+    // between O(batch · log n) page opens and O(temp pages) per batch.
+    let n_cols = match skt {
+        Some(s) => s.table_order().len(),
+        None => 1,
+    };
+    let row_width = n_cols * std::mem::size_of::<RowId>();
+    // Half the remaining RAM for the batch, keeping headroom for the
+    // verification scans' page buffers; preallocated exactly so the
+    // tracked vector never grows past its share.
+    let page = ctx.volume.page_size();
+    let batch_cap = ((ctx.ram.available() / 2).saturating_sub(2 * page) / row_width.max(1))
+        .clamp(16, 8192);
+    let batch_scope = RamScope::new(ctx.ram);
+    let mut batch: ghostdb_ram::TrackedVec<RowId> =
+        ghostdb_ram::TrackedVec::with_capacity(&batch_scope, batch_cap * n_cols)?;
+
+    let mut skt_ns = 0u64;
+    let mut skt_in = 0u64;
+    let mut bloom_runtime = vec![(0u64, 0u64, 0u64); bloom_steps.len()];
+    let mut project_ns = 0u64;
+    let mut rows_out = 0u64;
+    let mut result = ResultSet {
+        columns: spec
+            .projections
+            .iter()
+            .map(|c| ctx.schema.column_name(*c))
+            .collect(),
+        rows: Vec::new(),
+    };
+
+    let mut exhausted = false;
+    while !exhausted {
+        // Phase 1: fill the batch with SKT rows.
+        batch.clear();
+        let mut batch_rows = 0usize;
+        while batch_rows < batch_cap {
+            let Some(id) = candidates.next_id()? else {
+                exhausted = true;
+                break;
+            };
+            let t0 = ctx.clock.now();
+            skt_in += 1;
+            match cursor.as_mut() {
+                Some(cur) => {
+                    for rid in cur.fetch(id)?.ids {
+                        batch.push(rid)?;
+                    }
+                }
+                None => batch.push(id)?,
+            }
+            batch_rows += 1;
+            skt_ns += ctx.clock.now().since(t0);
+        }
+        if batch_rows == 0 {
+            break;
+        }
+        let rows = |b: &ghostdb_ram::TrackedVec<RowId>, i: usize| -> Vec<RowId> {
+            b.as_slice()[i * n_cols..(i + 1) * n_cols].to_vec()
+        };
+        let mut alive = vec![true; batch_rows];
+
+        // Phase 2: Bloom steps — probe, then batched exact verification.
+        for (bi, b) in bloom_steps.iter_mut().enumerate() {
+            let t0 = ctx.clock.now();
+            let member_col = col_of(b.pred.column.table)?;
+            // Probe the filter; collect positives as (member, batch row).
+            let mut positives: Vec<(RowId, usize)> = Vec::new();
+            for (i, a) in alive.iter_mut().enumerate() {
+                if !*a {
+                    continue;
+                }
+                bloom_runtime[bi].0 += 1;
+                let member = batch.as_slice()[i * n_cols + member_col];
+                ctx.clock
+                    .advance(ctx.config.cpu.hash_ns * b.bloom.k() as u64);
+                if b.bloom.contains(member.0 as u64) {
+                    positives.push((member, i));
+                } else {
+                    *a = false;
+                }
+            }
+            // Exact confirmation: one sequential scan of the temp per
+            // batch (skipped entirely when the Bloom filter cleared the
+            // whole batch), so false positives never reach results.
+            if !positives.is_empty() {
+                positives.sort_unstable();
+                ctx.clock
+                    .advance(ctx.config.cpu.tuple_op_ns * positives.len() as u64);
+                let mut scan = match &b.verify {
+                    VerifySource::Shared(key) => proj_temps
+                        .get(key)
+                        .ok_or_else(|| GhostError::exec("missing shared verify temp"))?
+                        .id_scan(&probe_scope)?,
+                    VerifySource::Own(i) => own_verify_temps[*i].scan(&probe_scope)?,
+                };
+                let mut current = scan.next_id()?;
+                for (member, i) in positives {
+                    while let Some(t) = current {
+                        if t >= member {
+                            break;
+                        }
+                        current = scan.next_id()?;
+                    }
+                    if current == Some(member) {
+                        bloom_runtime[bi].1 += 1;
+                    } else {
+                        alive[i] = false;
+                    }
+                }
+            }
+            bloom_runtime[bi].2 += ctx.clock.now().since(t0);
+        }
+
+        // Phase 3: hidden verifies (random reads per surviving row).
+        for v in verify_steps.iter_mut() {
+            let t0 = ctx.clock.now();
+            let member_col = col_of(v.pred.column.table)?;
+            for (i, a) in alive.iter_mut().enumerate() {
+                if !*a {
+                    continue;
+                }
+                v.checked += 1;
+                let member = batch.as_slice()[i * n_cols + member_col];
+                ctx.clock.advance(ctx.config.cpu.tuple_op_ns);
+                let pass = match v.range {
+                    None => false,
+                    Some(r) => {
+                        let key = ctx
+                            .hidden
+                            .key_at(v.pred.column.table, v.pred.column.column, member)?;
+                        r.contains(key)
+                    }
+                };
+                if pass {
+                    v.passed += 1;
+                } else {
+                    *a = false;
+                }
+            }
+            v.ns += ctx.clock.now().since(t0);
+        }
+
+        // Phase 4: projection of survivors.
+        't_project: for (i, a) in alive.iter().enumerate() {
+            if !*a {
+                continue;
+            }
+            let t0 = ctx.clock.now();
+            let row_ids = rows(&batch, i);
+            let mut row: Vec<Value> = Vec::with_capacity(projs.len());
+            for p in &projs {
+                ctx.clock.advance(ctx.config.cpu.tuple_op_ns);
+                match p {
+                    Proj::Pk { col } => row.push(Value::Int(row_ids[*col].0 as i64)),
+                    Proj::Hidden { table, column, col } => row.push(ctx.hidden.value(
+                        &probe_scope,
+                        *table,
+                        *column,
+                        row_ids[*col],
+                    )?),
+                    Proj::Visible { key, col } => {
+                        let prober = proj_probers
+                            .get_mut(key)
+                            .ok_or_else(|| GhostError::exec("missing projection temp"))?;
+                        match prober.probe(row_ids[*col])? {
+                            Some(v) => row.push(v),
+                            None => {
+                                // The fetch was filtered by a predicate
+                                // this candidate fails — drop it
+                                // (exactness net).
+                                project_ns += ctx.clock.now().since(t0);
+                                continue 't_project;
+                            }
+                        }
+                    }
+                }
+            }
+            project_ns += ctx.clock.now().since(t0);
+            rows_out += 1;
+            result.rows.push(row);
+        }
+    }
+    drop(batch);
+
+    // ---- Assemble the report ----
+    for (mut stats, meter) in source_meta {
+        stats.sim_ns += meter.ns.load(Ordering::Relaxed);
+        stats.tuples_out = meter.out.load(Ordering::Relaxed);
+        stats.tuples_in = stats.tuples_out;
+        report_ops.push(stats);
+    }
+    if n_sources > 1 {
+        report_ops.push(OpStats {
+            name: "merge-intersect".into(),
+            detail: format!("{n_sources} source(s)"),
+            tuples_in: merge_meter.out.load(Ordering::Relaxed),
+            tuples_out: merge_meter.out.load(Ordering::Relaxed),
+            sim_ns: merge_meter.ns.load(Ordering::Relaxed),
+            ram_peak: 0,
+        });
+    }
+    report_ops.push(OpStats {
+        name: if has_children {
+            "access-skt"
+        } else {
+            "anchor-rows"
+        }
+        .into(),
+        detail: ctx.schema.table(spec.anchor).name.clone(),
+        tuples_in: skt_in,
+        tuples_out: skt_in,
+        sim_ns: skt_ns,
+        ram_peak: skt_scope.peak(),
+    });
+    for (bi, b) in bloom_steps.iter().enumerate() {
+        report_ops.push(b.build_stats.clone());
+        let (checked, passed, ns) = bloom_runtime[bi];
+        report_ops.push(OpStats {
+            name: "bloom-probe".into(),
+            detail: ctx.pred_str(b.pred),
+            tuples_in: checked,
+            tuples_out: passed,
+            sim_ns: ns,
+            ram_peak: 0,
+        });
+    }
+    for v in &verify_steps {
+        report_ops.push(OpStats {
+            name: "hidden-verify".into(),
+            detail: ctx.pred_str(v.pred),
+            tuples_in: v.checked,
+            tuples_out: v.passed,
+            sim_ns: v.ns,
+            ram_peak: 0,
+        });
+    }
+    report_ops.push(OpStats {
+        name: "project".into(),
+        detail: result.columns.join(", "),
+        tuples_in: rows_out,
+        tuples_out: rows_out,
+        sim_ns: project_ns,
+        ram_peak: probe_scope.peak(),
+    });
+
+    drop(proj_probers);
+    for (_, temp) in proj_temps.into_iter() {
+        temp.free()?;
+    }
+    for temp in own_verify_temps.into_iter() {
+        temp.free()?;
+    }
+
+    let bus_end = ctx.pc.bus_stats();
+    let report = ExecReport {
+        plan_label: plan.label.clone(),
+        ops: report_ops,
+        total_ns: ctx.clock.now().since(t_start),
+        ram_peak: ctx.ram.peak(),
+        result_rows: rows_out,
+        bus_bytes_to_device: bus_end.0 - bus_start.0,
+        bus_bytes_to_pc: bus_end.1 - bus_start.1,
+        flash: ctx.volume.nand().stats().since(&flash_start),
+    };
+    Ok((result, report))
+}
+
+/// Read back the stored ids of a temp (bloom rebuild path).
+fn temp_ids(temp: &VisibleTemp, scope: &RamScope) -> Result<Vec<RowId>> {
+    let mut prober = temp.prober(scope)?;
+    let mut out = Vec::with_capacity(temp.len() as usize);
+    for i in 0..temp.len() {
+        out.push(prober.record_id(i)?);
+    }
+    Ok(out)
+}
+
+fn build_source<'a>(
+    ctx: &'a ExecContext<'_>,
+    spec: &QuerySpec,
+    source: &Source,
+) -> Result<BuiltSource<'a>> {
+    let scope = RamScope::new(ctx.ram);
+    let t0 = ctx.clock.now();
+    let anchor = spec.anchor;
+    let empty = || Box::new(ghostdb_types::VecIdStream::new(vec![])) as Box<dyn IdStream + 'a>;
+    let (stream, name, detail): (Box<dyn IdStream + 'a>, &str, String) = match source {
+        Source::HiddenIndexClimb { pred } => {
+            let p = &spec.predicates[*pred];
+            let idx = ctx.indexes.value_index(p.column)?;
+            let range = ctx
+                .hidden
+                .key_range(p.column.table, p.column.column, p.op, &p.value)?;
+            let stream = match range {
+                None => empty(),
+                Some(r) => Box::new(idx.lookup(&scope, r, anchor, ctx.sort_ram())?),
+            };
+            (stream, "climbing-index", ctx.pred_str(p))
+        }
+        Source::HiddenScanTranslate { pred } => {
+            let p = &spec.predicates[*pred];
+            let range = ctx
+                .hidden
+                .key_range(p.column.table, p.column.column, p.op, &p.value)?;
+            let stream = match range {
+                None => empty(),
+                Some(r) => {
+                    let mut scan =
+                        ctx.hidden
+                            .filter_scan(&scope, p.column.table, p.column.column, r)?;
+                    // One comparison per stored tuple.
+                    ctx.clock.advance(
+                        ctx.config.cpu.tuple_op_ns
+                            * ctx.hidden.row_count(p.column.table) as u64,
+                    );
+                    if p.column.table == anchor {
+                        Box::new(scan) as Box<dyn IdStream + 'a>
+                    } else {
+                        let kidx = ctx.indexes.key_index(p.column.table)?;
+                        Box::new(kidx.translate(&scope, &mut scan, anchor, ctx.sort_ram())?)
+                    }
+                }
+            };
+            (stream, "scan+translate", ctx.pred_str(p))
+        }
+        Source::VisibleDelegate { pred } => {
+            let p = &spec.predicates[*pred];
+            let mut delegated = ctx.pc.eval_predicate(p)?;
+            let stream: Box<dyn IdStream + 'a> = if p.column.table == anchor {
+                delegated
+            } else {
+                let kidx = ctx.indexes.key_index(p.column.table)?;
+                Box::new(kidx.translate(&scope, delegated.as_mut(), anchor, ctx.sort_ram())?)
+            };
+            (stream, "delegate+translate", ctx.pred_str(p))
+        }
+        Source::CrossGroup {
+            table,
+            hidden,
+            visible,
+        } => {
+            let mut level_streams: Vec<Box<dyn IdStream + 'a>> = Vec::new();
+            for &i in hidden {
+                let p = &spec.predicates[i];
+                let idx = ctx.indexes.value_index(p.column)?;
+                let range = ctx
+                    .hidden
+                    .key_range(p.column.table, p.column.column, p.op, &p.value)?;
+                level_streams.push(match range {
+                    None => empty(),
+                    Some(r) => Box::new(idx.lookup(&scope, r, *table, ctx.sort_ram())?),
+                });
+            }
+            for &i in visible {
+                let p = &spec.predicates[i];
+                level_streams.push(ctx.pc.eval_predicate(p)?);
+            }
+            let mut combined: Box<dyn IdStream + 'a> = if level_streams.len() == 1 {
+                level_streams.pop().expect("one")
+            } else {
+                Box::new(MergeIntersect::new(
+                    level_streams,
+                    ctx.clock.clone(),
+                    ctx.config.cpu.tuple_op_ns,
+                ))
+            };
+            let stream: Box<dyn IdStream + 'a> = if *table == anchor {
+                combined
+            } else {
+                let kidx = ctx.indexes.key_index(*table)?;
+                Box::new(kidx.translate(&scope, combined.as_mut(), anchor, ctx.sort_ram())?)
+            };
+            (
+                stream,
+                "cross-filter",
+                format!(
+                    "{} ({} hidden, {} visible)",
+                    ctx.schema.table(*table).name,
+                    hidden.len(),
+                    visible.len()
+                ),
+            )
+        }
+    };
+    let setup_ns = ctx.clock.now().since(t0);
+    let meter = Arc::new(StreamMeter::default());
+    Ok(BuiltSource {
+        stream: Box::new(Timed {
+            inner: stream,
+            clock: ctx.clock.clone(),
+            meter: meter.clone(),
+        }),
+        meter,
+        stats: OpStats {
+            name: name.into(),
+            detail,
+            tuples_in: 0,
+            tuples_out: 0,
+            sim_ns: setup_ns,
+            ram_peak: scope.peak(),
+        },
+    })
+}

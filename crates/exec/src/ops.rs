@@ -1,0 +1,191 @@
+//! Streaming id-list operators.
+
+use ghostdb_types::{GhostError, IdStream, Result, RowId, SimClock};
+
+/// N-ary merge intersection of ascending id streams.
+///
+/// This is the "Merge" box of the paper's Figure 6 plans: all
+/// pre-filtered anchor-id lists must agree. O(1) RAM — one cursor per
+/// input — and one CPU tuple-op charged per advanced cursor.
+pub struct MergeIntersect<'a> {
+    inputs: Vec<Box<dyn IdStream + 'a>>,
+    /// CPU cost per advance, charged to the device clock.
+    clock: SimClock,
+    tuple_op_ns: u64,
+    advanced: u64,
+    emitted: u64,
+}
+
+impl<'a> MergeIntersect<'a> {
+    /// Intersect `inputs` (each ascending). With a single input this is a
+    /// pass-through.
+    pub fn new(inputs: Vec<Box<dyn IdStream + 'a>>, clock: SimClock, tuple_op_ns: u64) -> Self {
+        MergeIntersect {
+            inputs,
+            clock,
+            tuple_op_ns,
+            advanced: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Ids pulled from inputs so far ("tuples processed").
+    pub fn tuples_in(&self) -> u64 {
+        self.advanced
+    }
+
+    /// Ids emitted so far.
+    pub fn tuples_out(&self) -> u64 {
+        self.emitted
+    }
+
+    fn pull(&mut self, i: usize) -> Result<Option<RowId>> {
+        self.advanced += 1;
+        self.clock.advance(self.tuple_op_ns);
+        self.inputs[i].next_id()
+    }
+}
+
+impl IdStream for MergeIntersect<'_> {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        if self.inputs.is_empty() {
+            return Err(GhostError::exec("intersection of zero streams"));
+        }
+        // Candidate from stream 0; every other stream must reach it.
+        let mut candidate = match self.pull(0)? {
+            Some(id) => id,
+            None => return Ok(None),
+        };
+        let n = self.inputs.len();
+        let mut agreed = 1usize; // streams currently known to contain candidate
+        let mut i = 1usize;
+        loop {
+            if agreed == n {
+                self.emitted += 1;
+                return Ok(Some(candidate));
+            }
+            // Advance stream i until >= candidate.
+            loop {
+                match self.pull(i)? {
+                    None => return Ok(None),
+                    Some(id) if id < candidate => continue,
+                    Some(id) if id == candidate => {
+                        agreed += 1;
+                        i = (i + 1) % n;
+                        break;
+                    }
+                    Some(id) => {
+                        // Overshot: id becomes the new candidate.
+                        candidate = id;
+                        agreed = 1;
+                        i = (i + 1) % n;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The no-predicate source: every anchor id in order.
+#[derive(Debug)]
+pub struct FullScanSource {
+    next: u32,
+    rows: u32,
+}
+
+impl FullScanSource {
+    /// Scan ids `0..rows`.
+    pub fn new(rows: u32) -> Self {
+        FullScanSource { next: 0, rows }
+    }
+}
+
+impl IdStream for FullScanSource {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        if self.next >= self.rows {
+            return Ok(None);
+        }
+        let id = RowId(self.next);
+        self.next += 1;
+        Ok(Some(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_types::{collect_ids, VecIdStream};
+
+    fn ids(v: Vec<u32>) -> Vec<RowId> {
+        v.into_iter().map(RowId).collect()
+    }
+
+    fn intersect(lists: Vec<Vec<u32>>) -> Vec<RowId> {
+        let inputs: Vec<Box<dyn IdStream>> = lists
+            .into_iter()
+            .map(|l| Box::new(VecIdStream::new(ids(l))) as Box<dyn IdStream>)
+            .collect();
+        let mut m = MergeIntersect::new(inputs, SimClock::new(), 1);
+        collect_ids(&mut m).unwrap()
+    }
+
+    #[test]
+    fn two_way_intersection() {
+        assert_eq!(
+            intersect(vec![vec![1, 3, 5, 7, 9], vec![2, 3, 4, 7, 10]]),
+            ids(vec![3, 7])
+        );
+    }
+
+    #[test]
+    fn three_way_intersection() {
+        assert_eq!(
+            intersect(vec![
+                vec![1, 2, 3, 4, 5, 6],
+                vec![2, 4, 6, 8],
+                vec![1, 4, 6, 9],
+            ]),
+            ids(vec![4, 6])
+        );
+    }
+
+    #[test]
+    fn disjoint_is_empty() {
+        assert_eq!(intersect(vec![vec![1, 3], vec![2, 4]]), ids(vec![]));
+        assert_eq!(intersect(vec![vec![], vec![1, 2]]), ids(vec![]));
+    }
+
+    #[test]
+    fn single_input_passthrough() {
+        assert_eq!(intersect(vec![vec![5, 6, 7]]), ids(vec![5, 6, 7]));
+    }
+
+    #[test]
+    fn identical_streams() {
+        assert_eq!(
+            intersect(vec![vec![1, 2, 3], vec![1, 2, 3]]),
+            ids(vec![1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn intersection_charges_cpu_time() {
+        let clock = SimClock::new();
+        let inputs: Vec<Box<dyn IdStream>> = vec![
+            Box::new(VecIdStream::new(ids(vec![1, 2, 3]))),
+            Box::new(VecIdStream::new(ids(vec![3]))),
+        ];
+        let mut m = MergeIntersect::new(inputs, clock.clone(), 100);
+        collect_ids(&mut m).unwrap();
+        assert!(clock.now().0 >= 400, "clock {:?}", clock.now());
+        assert!(m.tuples_in() >= 4);
+        assert_eq!(m.tuples_out(), 1);
+    }
+
+    #[test]
+    fn full_scan_counts_up() {
+        let mut s = FullScanSource::new(4);
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![0, 1, 2, 3]));
+    }
+}

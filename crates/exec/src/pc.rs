@@ -1,0 +1,78 @@
+//! The device's view of the untrusted PC.
+//!
+//! The executor never touches the PC's data structures directly: it pulls
+//! from these two stream traits, whose implementation (in
+//! `ghostdb-core`) moves every chunk through the simulated bus — charging
+//! transfer time and recording the spy trace. Tests use cheap in-memory
+//! fakes.
+
+use ghostdb_catalog::Predicate;
+use ghostdb_types::{IdStream, Result, RowId, Value};
+
+/// A pull-based stream of ascending `(row id, value)` pairs.
+pub trait PairStream {
+    /// Next pair, or `None` at end of stream.
+    fn next_pair(&mut self) -> Result<Option<(RowId, Value)>>;
+}
+
+/// Device-side handle to the PC host.
+pub trait PcLink {
+    /// Ask the PC to evaluate a **visible** predicate; the returned
+    /// stream yields matching row ids ascending, chunked over the bus.
+    fn eval_predicate(&self, pred: &Predicate) -> Result<Box<dyn IdStream + '_>>;
+
+    /// Ask the PC for a visible column's `(row id, value)` pairs
+    /// ascending, optionally restricted by a visible predicate on the
+    /// same table.
+    fn fetch_column(
+        &self,
+        table: ghostdb_types::TableId,
+        column: ghostdb_types::ColumnId,
+        predicate: Option<&Predicate>,
+    ) -> Result<Box<dyn PairStream + '_>>;
+
+    /// `(bytes toward device, bytes toward PC)` transferred so far; used
+    /// by the executor's report. In-memory fakes may return zeros.
+    fn bus_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// In-memory [`PairStream`] (tests, and the PC-side buffer in core).
+#[derive(Debug)]
+pub struct VecPairStream {
+    pairs: Vec<(RowId, Value)>,
+    pos: usize,
+}
+
+impl VecPairStream {
+    /// Wrap a vector sorted by ascending row id.
+    pub fn new(pairs: Vec<(RowId, Value)>) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        VecPairStream { pairs, pos: 0 }
+    }
+}
+
+impl PairStream for VecPairStream {
+    fn next_pair(&mut self) -> Result<Option<(RowId, Value)>> {
+        let p = self.pairs.get(self.pos).cloned();
+        self.pos += 1;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_pair_stream_yields_in_order() {
+        let mut s = VecPairStream::new(vec![
+            (RowId(1), Value::Int(10)),
+            (RowId(4), Value::Int(40)),
+        ]);
+        assert_eq!(s.next_pair().unwrap(), Some((RowId(1), Value::Int(10))));
+        assert_eq!(s.next_pair().unwrap(), Some((RowId(4), Value::Int(40))));
+        assert_eq!(s.next_pair().unwrap(), None);
+    }
+}

@@ -1,0 +1,375 @@
+//! Physical plans: the paper's Pre-/Post-/Cross-filtering alternatives.
+
+use ghostdb_catalog::Schema;
+use ghostdb_types::{GhostError, Result, TableId};
+
+use crate::query::QuerySpec;
+
+/// How one (or a group of) selection predicate(s) contributes an
+/// ascending anchor-id stream *before* the SKT access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// Hidden predicate via its climbing value index, probed directly at
+    /// the anchor level ("reaching any other table ... in a single step").
+    HiddenIndexClimb {
+        /// Index into [`QuerySpec::predicates`].
+        pred: usize,
+    },
+    /// Hidden predicate by scanning the stored column, then translating
+    /// the matching ids to the anchor level (index-free fallback).
+    HiddenScanTranslate {
+        /// Index into [`QuerySpec::predicates`].
+        pred: usize,
+    },
+    /// Visible predicate delegated to the PC; the returned id list is
+    /// translated to the anchor through the climbing key index
+    /// (Pre-filtering).
+    VisibleDelegate {
+        /// Index into [`QuerySpec::predicates`].
+        pred: usize,
+    },
+    /// Cross-filtering: all listed predicates select on `table`; hidden
+    /// ones probe their value indexes *at `table`'s own level*, visible
+    /// ones are delegated, everything is intersected at that level, and
+    /// the combined (smaller) list is translated to the anchor once.
+    CrossGroup {
+        /// The shared table.
+        table: TableId,
+        /// Hidden predicate indices (probed at `table` level).
+        hidden: Vec<usize>,
+        /// Visible predicate indices (delegated).
+        visible: Vec<usize>,
+    },
+}
+
+impl Source {
+    /// Predicate indices consumed by this source.
+    pub fn preds(&self) -> Vec<usize> {
+        match self {
+            Source::HiddenIndexClimb { pred }
+            | Source::HiddenScanTranslate { pred }
+            | Source::VisibleDelegate { pred } => vec![*pred],
+            Source::CrossGroup {
+                hidden, visible, ..
+            } => hidden.iter().chain(visible).copied().collect(),
+        }
+    }
+}
+
+/// How a predicate filters SKT rows *after* the hidden joins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PostStep {
+    /// Visible predicate: delegate once, build a Bloom filter over the
+    /// returned ids and probe it per SKT row; an exact flash-temp lookup
+    /// confirms Bloom positives, so results stay exact (Post-filtering,
+    /// Figure 5).
+    BloomVisible {
+        /// Index into [`QuerySpec::predicates`].
+        pred: usize,
+    },
+    /// Hidden predicate verified per candidate row by reading the stored
+    /// value (one random flash read per row) — the "late hidden filter"
+    /// alternative the demo's plan game exposes.
+    HiddenVerify {
+        /// Index into [`QuerySpec::predicates`].
+        pred: usize,
+    },
+}
+
+impl PostStep {
+    /// Predicate index consumed by this step.
+    pub fn pred(&self) -> usize {
+        match self {
+            PostStep::BloomVisible { pred } | PostStep::HiddenVerify { pred } => *pred,
+        }
+    }
+}
+
+/// A complete physical plan for a [`QuerySpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Pre-filtering sources (intersected). Empty means a full anchor
+    /// scan feeds the SKT.
+    pub sources: Vec<Source>,
+    /// Post-filtering steps, applied in order to each candidate row.
+    pub post: Vec<PostStep>,
+    /// Short label shown by explain/demo outputs (e.g. "P1").
+    pub label: String,
+}
+
+impl Plan {
+    /// Check that the plan covers each predicate exactly once and that
+    /// its shapes are applicable (cross groups reference one table, ...).
+    pub fn validate(&self, schema: &Schema, spec: &QuerySpec) -> Result<()> {
+        let mut seen = vec![0usize; spec.predicates.len()];
+        let mut mark = |i: usize| -> Result<()> {
+            if i >= seen.len() {
+                return Err(GhostError::exec(format!("plan references predicate {i}")));
+            }
+            seen[i] += 1;
+            Ok(())
+        };
+        for s in &self.sources {
+            for p in s.preds() {
+                mark(p)?;
+            }
+            match s {
+                Source::HiddenIndexClimb { pred } | Source::HiddenScanTranslate { pred } => {
+                    if !schema.is_hidden(spec.predicates[*pred].column) {
+                        return Err(GhostError::exec(
+                            "hidden source over a visible predicate",
+                        ));
+                    }
+                }
+                Source::VisibleDelegate { pred } => {
+                    if schema.is_hidden(spec.predicates[*pred].column) {
+                        return Err(GhostError::exec(
+                            "delegating a hidden predicate would leak it",
+                        ));
+                    }
+                }
+                Source::CrossGroup {
+                    table,
+                    hidden,
+                    visible,
+                } => {
+                    if hidden.is_empty() && visible.len() < 2 {
+                        return Err(GhostError::exec(
+                            "cross group needs at least two predicates",
+                        ));
+                    }
+                    for &i in hidden {
+                        let p = &spec.predicates[i];
+                        if p.column.table != *table || !schema.is_hidden(p.column) {
+                            return Err(GhostError::exec("bad hidden member of cross group"));
+                        }
+                    }
+                    for &i in visible {
+                        let p = &spec.predicates[i];
+                        if p.column.table != *table || schema.is_hidden(p.column) {
+                            return Err(GhostError::exec("bad visible member of cross group"));
+                        }
+                    }
+                }
+            }
+        }
+        for step in &self.post {
+            mark(step.pred())?;
+            match step {
+                PostStep::BloomVisible { pred } => {
+                    if schema.is_hidden(spec.predicates[*pred].column) {
+                        return Err(GhostError::exec(
+                            "bloom post-filter on a hidden predicate would leak it",
+                        ));
+                    }
+                }
+                PostStep::HiddenVerify { pred } => {
+                    if !schema.is_hidden(spec.predicates[*pred].column) {
+                        return Err(GhostError::exec(
+                            "hidden verify over a visible predicate",
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(i) = seen.iter().position(|&c| c != 1) {
+            return Err(GhostError::exec(format!(
+                "predicate {i} covered {} times (must be exactly 1)",
+                seen[i]
+            )));
+        }
+        Ok(())
+    }
+
+    /// Multi-line human description (the demo's plan view).
+    pub fn describe(&self, schema: &Schema, spec: &QuerySpec) -> String {
+        let pred_str = |i: usize| {
+            let p = &spec.predicates[i];
+            let vis = if schema.is_hidden(p.column) {
+                "HIDDEN"
+            } else {
+                "VISIBLE"
+            };
+            format!(
+                "{} {} {} /*{}*/",
+                schema.column_name(p.column),
+                p.op,
+                p.value,
+                vis
+            )
+        };
+        let mut out = format!("Plan {}\n", self.label);
+        if self.sources.is_empty() {
+            out.push_str("  pre:  full anchor scan\n");
+        }
+        for s in &self.sources {
+            let line = match s {
+                Source::HiddenIndexClimb { pred } => {
+                    format!("climbing-index [{}]", pred_str(*pred))
+                }
+                Source::HiddenScanTranslate { pred } => {
+                    format!("scan+translate [{}]", pred_str(*pred))
+                }
+                Source::VisibleDelegate { pred } => {
+                    format!("delegate+translate [{}]", pred_str(*pred))
+                }
+                Source::CrossGroup {
+                    table,
+                    hidden,
+                    visible,
+                } => {
+                    let members: Vec<String> = hidden
+                        .iter()
+                        .chain(visible)
+                        .map(|&i| pred_str(i))
+                        .collect();
+                    format!(
+                        "cross-filter at {} [{}]",
+                        schema.table(*table).name,
+                        members.join(" AND ")
+                    )
+                }
+            };
+            out.push_str(&format!("  pre:  {line}\n"));
+        }
+        for p in &self.post {
+            let line = match p {
+                PostStep::BloomVisible { pred } => {
+                    format!("bloom-filter [{}]", pred_str(*pred))
+                }
+                PostStep::HiddenVerify { pred } => {
+                    format!("hidden-verify [{}]", pred_str(*pred))
+                }
+            };
+            out.push_str(&format!("  post: {line}\n"));
+        }
+        out.push_str("  then: access SKT, project\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_catalog::{Predicate, SchemaBuilder, TreeSchema, Visibility};
+    use ghostdb_types::{ColumnId, DataType, ScalarOp, Value};
+
+    fn setup() -> (Schema, QuerySpec) {
+        let mut b = SchemaBuilder::new();
+        b.table("Visit", "VisID")
+            .column("Date", DataType::Integer, Visibility::Visible)
+            .column("Purpose", DataType::Char(20), Visibility::Hidden);
+        b.table("Prescription", "PreID")
+            .foreign_key("VisID", "Visit", Visibility::Hidden);
+        let schema = b.build().unwrap();
+        let tree = TreeSchema::analyze(&schema).unwrap();
+        let vis = schema.resolve_table("Visit").unwrap();
+        let pre = schema.resolve_table("Prescription").unwrap();
+        let spec = QuerySpec::bind(
+            &schema,
+            &tree,
+            "...",
+            vec![vis, pre],
+            vec![],
+            vec![
+                Predicate::new(vis, ColumnId(1), ScalarOp::Gt, Value::Int(10)),
+                Predicate::new(vis, ColumnId(2), ScalarOp::Eq, Value::Text("x".into())),
+            ],
+            vec![(
+                schema.resolve_column(pre, "VisID").unwrap(),
+                schema.resolve_column(vis, "VisID").unwrap(),
+            )],
+        )
+        .unwrap();
+        (schema, spec)
+    }
+
+    #[test]
+    fn valid_pre_post_plan() {
+        let (schema, spec) = setup();
+        let plan = Plan {
+            sources: vec![Source::HiddenIndexClimb { pred: 1 }],
+            post: vec![PostStep::BloomVisible { pred: 0 }],
+            label: "P2".into(),
+        };
+        plan.validate(&schema, &spec).unwrap();
+        let d = plan.describe(&schema, &spec);
+        assert!(d.contains("bloom-filter"));
+        assert!(d.contains("HIDDEN"));
+    }
+
+    #[test]
+    fn uncovered_predicate_rejected() {
+        let (schema, spec) = setup();
+        let plan = Plan {
+            sources: vec![Source::HiddenIndexClimb { pred: 1 }],
+            post: vec![],
+            label: "bad".into(),
+        };
+        let err = plan.validate(&schema, &spec).unwrap_err();
+        assert!(err.to_string().contains("covered 0 times"));
+    }
+
+    #[test]
+    fn double_covered_predicate_rejected() {
+        let (schema, spec) = setup();
+        let plan = Plan {
+            sources: vec![
+                Source::VisibleDelegate { pred: 0 },
+                Source::HiddenIndexClimb { pred: 1 },
+            ],
+            post: vec![PostStep::BloomVisible { pred: 0 }],
+            label: "bad".into(),
+        };
+        assert!(plan.validate(&schema, &spec).is_err());
+    }
+
+    #[test]
+    fn leaking_shapes_rejected() {
+        let (schema, spec) = setup();
+        // Delegating the hidden predicate would send "Purpose = x" to the PC.
+        let plan = Plan {
+            sources: vec![
+                Source::VisibleDelegate { pred: 1 },
+                Source::VisibleDelegate { pred: 0 },
+            ],
+            post: vec![],
+            label: "leak".into(),
+        };
+        let err = plan.validate(&schema, &spec).unwrap_err();
+        assert!(err.to_string().contains("leak"));
+        // Bloom post-filter of a hidden predicate likewise.
+        let plan = Plan {
+            sources: vec![Source::VisibleDelegate { pred: 0 }],
+            post: vec![PostStep::BloomVisible { pred: 1 }],
+            label: "leak2".into(),
+        };
+        assert!(plan.validate(&schema, &spec).is_err());
+    }
+
+    #[test]
+    fn cross_group_membership_checked() {
+        let (schema, spec) = setup();
+        let vis = schema.resolve_table("Visit").unwrap();
+        let good = Plan {
+            sources: vec![Source::CrossGroup {
+                table: vis,
+                hidden: vec![1],
+                visible: vec![0],
+            }],
+            post: vec![],
+            label: "X".into(),
+        };
+        good.validate(&schema, &spec).unwrap();
+        let bad = Plan {
+            sources: vec![Source::CrossGroup {
+                table: vis,
+                hidden: vec![0], // 0 is visible
+                visible: vec![1],
+            }],
+            post: vec![],
+            label: "X".into(),
+        };
+        assert!(bad.validate(&schema, &spec).is_err());
+    }
+}

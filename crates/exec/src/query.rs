@@ -1,0 +1,370 @@
+//! Bound logical queries (select-project-join over a tree schema).
+
+use ghostdb_catalog::{ColumnRef, ColumnRole, Predicate, Schema, TreeSchema};
+use ghostdb_types::{GhostError, Result, TableId};
+
+/// A bound SPJ query.
+///
+/// The **anchor** is the deepest table whose subtree covers every
+/// mentioned table (for the §4 example query — Medicine, Prescription,
+/// Visit — that is Prescription, the root). One result row is produced
+/// per anchor row satisfying all predicates, matching SQL join semantics
+/// because every foreign key in the tree is mandatory (each prescription
+/// has exactly one visit, medicine, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Original statement text (disclosed on the bus by design).
+    pub sql: String,
+    /// Tables mentioned in `FROM`.
+    pub tables: Vec<TableId>,
+    /// The computed anchor table.
+    pub anchor: TableId,
+    /// Projected columns, in `SELECT` order.
+    pub projections: Vec<ColumnRef>,
+    /// Conjunctive selection predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+impl QuerySpec {
+    /// Bind and validate a query.
+    ///
+    /// `joins` are the equality conditions from the `WHERE` clause, given
+    /// as `(fk column, pk column)` pairs in either order; each must match
+    /// a tree edge, and every edge on the paths from the mentioned tables
+    /// to their common anchor must be joined explicitly (standard SQL
+    /// would otherwise produce a cross product, which the engine does not
+    /// support).
+    pub fn bind(
+        schema: &Schema,
+        tree: &TreeSchema,
+        sql: impl Into<String>,
+        tables: Vec<TableId>,
+        projections: Vec<ColumnRef>,
+        predicates: Vec<Predicate>,
+        joins: Vec<(ColumnRef, ColumnRef)>,
+    ) -> Result<QuerySpec> {
+        if tables.is_empty() {
+            return Err(GhostError::sql("query mentions no tables"));
+        }
+        let mut tables = tables;
+        tables.sort_unstable();
+        tables.dedup();
+        // Projections and predicates must reference mentioned tables with
+        // matching value types.
+        for p in &projections {
+            if !tables.contains(&p.table) {
+                return Err(GhostError::sql(format!(
+                    "projection {} references a table absent from FROM",
+                    schema.column_name(*p)
+                )));
+            }
+        }
+        for p in &predicates {
+            if !tables.contains(&p.column.table) {
+                return Err(GhostError::sql(format!(
+                    "predicate on {} references a table absent from FROM",
+                    schema.column_name(p.column)
+                )));
+            }
+            let def = schema.column_def(p.column);
+            let ok = match (&def.ty, &p.value) {
+                (ghostdb_types::DataType::Integer, ghostdb_types::Value::Int(_)) => true,
+                (ghostdb_types::DataType::Date, ghostdb_types::Value::Date(_)) => true,
+                (ghostdb_types::DataType::Char(_), ghostdb_types::Value::Text(_)) => true,
+                _ => false,
+            };
+            if !ok {
+                return Err(GhostError::sql(format!(
+                    "predicate value {} does not match type {} of {}",
+                    p.value,
+                    def.ty,
+                    schema.column_name(p.column)
+                )));
+            }
+        }
+        // The anchor: the mentioned table whose subtree contains all
+        // mentioned tables; equivalently the common ancestor of minimum
+        // depth... the LCA is the mentioned table of minimal depth IF it
+        // is an ancestor-or-self of all others; otherwise the true LCA
+        // (which must also be mentioned for the joins to be expressible).
+        let anchor = Self::lca(tree, &tables)?;
+        if !tables.contains(&anchor) {
+            return Err(GhostError::sql(format!(
+                "tables are only connected through {}, which must appear in FROM",
+                schema.table(anchor).name
+            )));
+        }
+        // Every edge from each mentioned table up to the anchor must be
+        // (a) between mentioned tables and (b) explicitly joined.
+        let normalized: Vec<(ColumnRef, ColumnRef)> = joins
+            .iter()
+            .map(|(a, b)| if (a.table, a.column) <= (b.table, b.column) { (*a, *b) } else { (*b, *a) })
+            .collect();
+        for &t in &tables {
+            if t == anchor {
+                continue;
+            }
+            let mut cur = t;
+            while cur != anchor {
+                let (parent, fk_col) = tree.parent(cur).ok_or_else(|| {
+                    GhostError::sql("table not under the anchor (planner bug)")
+                })?;
+                if !tables.contains(&parent) {
+                    return Err(GhostError::sql(format!(
+                        "join path requires table {} in FROM",
+                        schema.table(parent).name
+                    )));
+                }
+                // Expect join condition parent.fk = cur.pk.
+                let fk = ColumnRef {
+                    table: parent,
+                    column: fk_col,
+                };
+                let pk = ColumnRef {
+                    table: cur,
+                    column: schema.table(cur).pk_column(),
+                };
+                let want = if (fk.table, fk.column) <= (pk.table, pk.column) {
+                    (fk, pk)
+                } else {
+                    (pk, fk)
+                };
+                if !normalized.contains(&want) {
+                    return Err(GhostError::sql(format!(
+                        "missing join condition {} = {}",
+                        schema.column_name(fk),
+                        schema.column_name(pk)
+                    )));
+                }
+                cur = parent;
+            }
+        }
+        // Reject join conditions that do not match tree edges.
+        for (a, b) in &normalized {
+            let a_def = schema.column_def(*a);
+            let b_def = schema.column_def(*b);
+            let matches_edge = match (&a_def.role, &b_def.role) {
+                (ColumnRole::ForeignKey(t), ColumnRole::PrimaryKey) => *t == b.table,
+                (ColumnRole::PrimaryKey, ColumnRole::ForeignKey(t)) => *t == a.table,
+                _ => false,
+            };
+            if !matches_edge {
+                return Err(GhostError::sql(format!(
+                    "join condition {} = {} does not follow a foreign key",
+                    schema.column_name(*a),
+                    schema.column_name(*b)
+                )));
+            }
+        }
+        Ok(QuerySpec {
+            sql: sql.into(),
+            tables,
+            anchor,
+            projections,
+            predicates,
+        })
+    }
+
+    /// Lowest common ancestor of a set of tables in the tree.
+    fn lca(tree: &TreeSchema, tables: &[TableId]) -> Result<TableId> {
+        let mut iter = tables.iter();
+        let first = *iter
+            .next()
+            .ok_or_else(|| GhostError::sql("empty table set"))?;
+        let mut path = tree.climb_path(first);
+        for &t in iter {
+            let t_path = tree.climb_path(t);
+            // Keep the suffix of `path` shared with `t_path` (both end at
+            // the root), then the LCA is its first element.
+            while !path.is_empty() && !t_path.contains(&path[0]) {
+                path.remove(0);
+            }
+            if path.is_empty() {
+                return Err(GhostError::sql("tables share no ancestor (planner bug)"));
+            }
+        }
+        Ok(path[0])
+    }
+
+    /// Hidden predicates (indices into `predicates`).
+    pub fn hidden_preds(&self, schema: &Schema) -> Vec<usize> {
+        self.predicates
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| schema.is_hidden(p.column))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Visible predicates (indices into `predicates`).
+    pub fn visible_preds(&self, schema: &Schema) -> Vec<usize> {
+        self.predicates
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !schema.is_hidden(p.column))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_catalog::{SchemaBuilder, Visibility};
+    use ghostdb_types::{ColumnId, DataType, ScalarOp, Value};
+
+    fn medical() -> (Schema, TreeSchema) {
+        let mut b = SchemaBuilder::new();
+        b.table("Doctor", "DocID")
+            .column("Country", DataType::Char(20), Visibility::Visible);
+        b.table("Medicine", "MedID")
+            .column("Type", DataType::Char(20), Visibility::Visible);
+        b.table("Visit", "VisID")
+            .column("Date", DataType::Date, Visibility::Visible)
+            .column("Purpose", DataType::Char(100), Visibility::Hidden)
+            .foreign_key("DocID", "Doctor", Visibility::Hidden);
+        b.table("Prescription", "PreID")
+            .column("Quantity", DataType::Integer, Visibility::Hidden)
+            .foreign_key("MedID", "Medicine", Visibility::Hidden)
+            .foreign_key("VisID", "Visit", Visibility::Hidden);
+        let s = b.build().unwrap();
+        let t = TreeSchema::analyze(&s).unwrap();
+        (s, t)
+    }
+
+    fn cref(s: &Schema, t: &str, c: &str) -> ColumnRef {
+        let tid = s.resolve_table(t).unwrap();
+        s.resolve_column(tid, c).unwrap()
+    }
+
+    #[test]
+    fn binds_the_paper_query() {
+        let (s, t) = medical();
+        let med = s.resolve_table("Medicine").unwrap();
+        let vis = s.resolve_table("Visit").unwrap();
+        let pre = s.resolve_table("Prescription").unwrap();
+        let spec = QuerySpec::bind(
+            &s,
+            &t,
+            "SELECT ...",
+            vec![med, pre, vis],
+            vec![
+                cref(&s, "Prescription", "Quantity"),
+                cref(&s, "Visit", "Date"),
+            ],
+            vec![
+                Predicate::new(vis, ColumnId(1), ScalarOp::Gt, Value::Date(ghostdb_types::Date(13_000))),
+                Predicate::new(vis, ColumnId(2), ScalarOp::Eq, Value::Text("Sclerosis".into())),
+                Predicate::new(med, ColumnId(1), ScalarOp::Eq, Value::Text("Antibiotic".into())),
+            ],
+            vec![
+                (cref(&s, "Prescription", "MedID"), cref(&s, "Medicine", "MedID")),
+                (cref(&s, "Visit", "VisID"), cref(&s, "Prescription", "VisID")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(spec.anchor, pre);
+        assert_eq!(spec.hidden_preds(&s), vec![1]);
+        assert_eq!(spec.visible_preds(&s), vec![0, 2]);
+    }
+
+    #[test]
+    fn single_table_query_anchors_on_itself() {
+        let (s, t) = medical();
+        let doc = s.resolve_table("Doctor").unwrap();
+        let spec = QuerySpec::bind(
+            &s,
+            &t,
+            "SELECT ...",
+            vec![doc],
+            vec![cref(&s, "Doctor", "Country")],
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(spec.anchor, doc);
+    }
+
+    #[test]
+    fn missing_join_condition_rejected() {
+        let (s, t) = medical();
+        let med = s.resolve_table("Medicine").unwrap();
+        let pre = s.resolve_table("Prescription").unwrap();
+        let err = QuerySpec::bind(
+            &s,
+            &t,
+            "SELECT ...",
+            vec![med, pre],
+            vec![cref(&s, "Medicine", "Type")],
+            vec![],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("missing join condition"));
+    }
+
+    #[test]
+    fn disconnected_tables_rejected() {
+        let (s, t) = medical();
+        let med = s.resolve_table("Medicine").unwrap();
+        let doc = s.resolve_table("Doctor").unwrap();
+        // Doctor and Medicine only connect through Prescription+Visit.
+        let err = QuerySpec::bind(
+            &s,
+            &t,
+            "SELECT ...",
+            vec![med, doc],
+            vec![],
+            vec![],
+            vec![],
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("connected") || msg.contains("FROM"), "{msg}");
+    }
+
+    #[test]
+    fn non_edge_join_rejected() {
+        let (s, t) = medical();
+        let vis = s.resolve_table("Visit").unwrap();
+        let pre = s.resolve_table("Prescription").unwrap();
+        let err = QuerySpec::bind(
+            &s,
+            &t,
+            "SELECT ...",
+            vec![vis, pre],
+            vec![],
+            vec![],
+            vec![
+                // Correct edge join...
+                (cref(&s, "Prescription", "VisID"), cref(&s, "Visit", "VisID")),
+                // ...plus a bogus one.
+                (cref(&s, "Prescription", "Quantity"), cref(&s, "Visit", "VisID")),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("does not follow a foreign key"));
+    }
+
+    #[test]
+    fn predicate_type_mismatch_rejected() {
+        let (s, t) = medical();
+        let vis = s.resolve_table("Visit").unwrap();
+        let err = QuerySpec::bind(
+            &s,
+            &t,
+            "SELECT ...",
+            vec![vis],
+            vec![],
+            vec![Predicate::new(
+                vis,
+                ColumnId(1),
+                ScalarOp::Eq,
+                Value::Int(5),
+            )],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("does not match type"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-operator statistics and result sets.
+//!
+//! Demo phase 2: "A click on any plan operator displays a popup with
+//! additional statistics about this operator (number of processed tuples,
+//! local RAM consumption and processing time)." [`OpStats`] is that
+//! popup; [`ExecReport`] aggregates a whole execution for the comparison
+//! charts (Figure 6).
+
+use ghostdb_flash::FlashStats;
+use ghostdb_types::{format_ns, Value};
+
+/// Statistics for one plan operator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpStats {
+    /// Operator name (e.g. `climbing-index`, `bloom-filter`).
+    pub name: String,
+    /// Operand description (which predicate / column).
+    pub detail: String,
+    /// Tuples pulled into the operator.
+    pub tuples_in: u64,
+    /// Tuples emitted.
+    pub tuples_out: u64,
+    /// Simulated time attributable to this operator, ns.
+    pub sim_ns: u64,
+    /// Peak device RAM attributed to this operator, bytes.
+    pub ram_peak: usize,
+}
+
+impl OpStats {
+    /// One-line rendering for the demo tables.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<22} {:<38} in={:<9} out={:<9} ram={:<7} time={}",
+            self.name,
+            self.detail,
+            self.tuples_in,
+            self.tuples_out,
+            self.ram_peak,
+            format_ns(self.sim_ns)
+        )
+    }
+}
+
+/// Aggregate report for one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecReport {
+    /// Plan label ("P1", "P2", custom).
+    pub plan_label: String,
+    /// Per-operator statistics in pipeline order.
+    pub ops: Vec<OpStats>,
+    /// Total simulated execution time, ns.
+    pub total_ns: u64,
+    /// Device RAM high-water mark across the execution, bytes.
+    pub ram_peak: usize,
+    /// Result rows produced.
+    pub result_rows: u64,
+    /// Bytes that crossed the bus toward the device (visible data in).
+    pub bus_bytes_to_device: u64,
+    /// Bytes that crossed the bus toward the PC (requests out).
+    pub bus_bytes_to_pc: u64,
+    /// Flash operations during execution.
+    pub flash: FlashStats,
+}
+
+impl ExecReport {
+    /// Multi-line rendering (the demo's operator table).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "plan {}: {} row(s), total {}, ram peak {} B, bus {}/{} B (to dev/to pc), \
+             flash {} reads / {} programs\n",
+            self.plan_label,
+            self.result_rows,
+            format_ns(self.total_ns),
+            self.ram_peak,
+            self.bus_bytes_to_device,
+            self.bus_bytes_to_pc,
+            self.flash.page_reads,
+            self.flash.page_programs,
+        );
+        for op in &self.ops {
+            out.push_str("  ");
+            out.push_str(&op.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A materialized query result (device-internal; `ghostdb-core` seals it
+/// before presentation).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Column headers (`Table.Column`).
+    pub columns: Vec<String>,
+    /// Rows in anchor-id order.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a simple aligned table (examples / demo).
+    pub fn render(&self, max_rows: usize) -> String {
+        let mut out = self.columns.join(" | ");
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().min(100)));
+        out.push('\n');
+        for row in self.rows.iter().take(max_rows) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        if self.rows.len() > max_rows {
+            out.push_str(&format!("... ({} more rows)\n", self.rows.len() - max_rows));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_stats_render_contains_fields() {
+        let s = OpStats {
+            name: "bloom-filter".into(),
+            detail: "Medicine.Type = 'Antibiotic'".into(),
+            tuples_in: 100,
+            tuples_out: 10,
+            sim_ns: 15_000_000,
+            ram_peak: 2048,
+        };
+        let r = s.render();
+        assert!(r.contains("bloom-filter"));
+        assert!(r.contains("in=100"));
+        assert!(r.contains("15.00 ms"));
+    }
+
+    #[test]
+    fn report_render_lists_ops() {
+        let mut rep = ExecReport {
+            plan_label: "P1".into(),
+            total_ns: 25_000_000_000,
+            result_rows: 42,
+            ..Default::default()
+        };
+        rep.ops.push(OpStats {
+            name: "merge".into(),
+            ..Default::default()
+        });
+        let r = rep.render();
+        assert!(r.contains("plan P1"));
+        assert!(r.contains("25.00 s"));
+        assert!(r.contains("merge"));
+    }
+
+    #[test]
+    fn result_set_render_truncates() {
+        let rs = ResultSet {
+            columns: vec!["A".into()],
+            rows: (0..10).map(|i| vec![Value::Int(i)]).collect(),
+        };
+        let r = rs.render(3);
+        assert!(r.contains("7 more rows"));
+        assert_eq!(rs.len(), 10);
+    }
+}

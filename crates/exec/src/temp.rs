@@ -1,0 +1,530 @@
+//! Flash-temp tables of fetched visible columns.
+//!
+//! Before streaming candidate rows, the executor fetches each visible
+//! column it needs **once** from the PC — requesting specific row ids
+//! would reveal which rows qualified, so the whole (predicate-filtered)
+//! column crosses the bus and lands in a fixed-width, binary-searchable
+//! flash segment. Per candidate row the projection then costs
+//! `O(log n)` partial page reads and zero device RAM beyond one page
+//! buffer.
+//!
+//! The same structure doubles as the **exact verifier** behind Bloom
+//! post-filters: a Bloom positive is confirmed by probing the temp (a
+//! miss drops the row), so Bloom false positives never reach results.
+
+use ghostdb_flash::{Segment, SegmentReader, Volume};
+use ghostdb_ram::{RamScope, ScopedGuard};
+use ghostdb_types::{DataType, GhostError, Result, RowId, Value};
+
+use crate::pc::PairStream;
+
+/// Fixed-width encoded `(row id, value)` records on flash, sorted by id.
+#[derive(Debug)]
+pub struct VisibleTemp {
+    volume: Volume,
+    segment: Segment,
+    ty: DataType,
+    /// Bytes per record: 4 (id) + value width.
+    width: usize,
+    count: u64,
+}
+
+fn value_width(ty: DataType) -> usize {
+    match ty {
+        DataType::Integer | DataType::Date => 8,
+        // 2-byte length prefix + capacity bytes.
+        DataType::Char(n) => 2 + n as usize,
+    }
+}
+
+fn encode_value(ty: DataType, v: &Value, out: &mut [u8]) -> Result<()> {
+    match (ty, v) {
+        (DataType::Integer, Value::Int(_)) | (DataType::Date, Value::Date(_)) => {
+            let key = v.order_key().expect("numeric");
+            out[..8].copy_from_slice(&key.to_le_bytes());
+            Ok(())
+        }
+        (DataType::Char(cap), Value::Text(s)) => {
+            if s.len() > cap as usize {
+                return Err(GhostError::value("string exceeds column capacity"));
+            }
+            out[..2].copy_from_slice(&(s.len() as u16).to_le_bytes());
+            out[2..2 + s.len()].copy_from_slice(s.as_bytes());
+            out[2 + s.len()..].fill(0);
+            Ok(())
+        }
+        _ => Err(GhostError::value("value/type mismatch in temp encode")),
+    }
+}
+
+fn decode_value(ty: DataType, buf: &[u8]) -> Result<Value> {
+    match ty {
+        DataType::Integer | DataType::Date => {
+            let key = u64::from_le_bytes(buf[..8].try_into().expect("8B"));
+            Value::from_order_key(ty, key)
+        }
+        DataType::Char(_) => {
+            let len = u16::from_le_bytes(buf[..2].try_into().expect("2B")) as usize;
+            if 2 + len > buf.len() {
+                return Err(GhostError::corrupt("temp string length out of range"));
+            }
+            String::from_utf8(buf[2..2 + len].to_vec())
+                .map(Value::Text)
+                .map_err(|_| GhostError::corrupt("non-utf8 temp string"))
+        }
+    }
+}
+
+impl VisibleTemp {
+    /// Drain `pairs` (ascending by id) into a temp segment. The optional
+    /// `on_id` callback sees every id as it lands — the Bloom build hooks
+    /// in here so the single bus transfer feeds both structures.
+    pub fn build(
+        volume: &Volume,
+        scope: &RamScope,
+        ty: DataType,
+        pairs: &mut dyn PairStream,
+        mut on_id: Option<&mut dyn FnMut(RowId)>,
+    ) -> Result<VisibleTemp> {
+        let width = 4 + value_width(ty);
+        let mut w = volume.writer(scope)?;
+        let mut rec = vec![0u8; width];
+        let mut count = 0u64;
+        let mut last: Option<RowId> = None;
+        while let Some((id, v)) = pairs.next_pair()? {
+            if let Some(prev) = last {
+                if id <= prev {
+                    return Err(GhostError::bus(
+                        "PC sent column pairs out of order".to_string(),
+                    ));
+                }
+            }
+            last = Some(id);
+            rec[..4].copy_from_slice(&id.0.to_le_bytes());
+            encode_value(ty, &v, &mut rec[4..])?;
+            w.write(&rec)?;
+            if let Some(f) = on_id.as_deref_mut() {
+                f(id);
+            }
+            count += 1;
+        }
+        Ok(VisibleTemp {
+            volume: volume.clone(),
+            segment: w.finish()?,
+            ty,
+            width,
+            count,
+        })
+    }
+
+    /// Records stored.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Flash bytes held.
+    pub fn flash_bytes(&self) -> u64 {
+        self.segment.len()
+    }
+
+    /// Open a sequential scan over the stored ids only (batched
+    /// verification; value bytes are skipped inside the page buffer).
+    pub fn id_scan(&self, scope: &RamScope) -> Result<TempIdScan> {
+        let reader = self.volume.reader(scope, &self.segment)?;
+        Ok(TempIdScan {
+            reader,
+            record_width: self.width,
+            remaining: self.count,
+        })
+    }
+
+    /// Open a probing cursor (one page of RAM).
+    pub fn prober(&self, scope: &RamScope) -> Result<TempProber<'_>> {
+        let page = self.volume.page_size();
+        let guard = scope.alloc(page)?;
+        Ok(TempProber {
+            temp: self,
+            buf: vec![0u8; page],
+            buf_page: u64::MAX,
+            probes: 0,
+        _ram: guard,
+        })
+    }
+
+    /// Release the flash space.
+    pub fn free(self) -> Result<()> {
+        self.volume.free(self.segment)
+    }
+}
+
+/// An id-only flash temp: 4-byte records, ascending, binary-searchable.
+///
+/// This is the exact-verification side of a Bloom post-filter when the
+/// predicate column itself is not projected: the device asks the PC only
+/// for the matching *ids* (`EvalPredicate`), never the values — a 3–6×
+/// smaller transfer than fetching `(id, value)` pairs.
+#[derive(Debug)]
+pub struct IdTemp {
+    volume: Volume,
+    segment: Segment,
+    count: u64,
+}
+
+impl IdTemp {
+    /// Drain an ascending id stream into a temp; `on_id` sees each id
+    /// (Bloom build hook).
+    pub fn build(
+        volume: &Volume,
+        scope: &RamScope,
+        ids: &mut dyn ghostdb_types::IdStream,
+        mut on_id: Option<&mut dyn FnMut(RowId)>,
+    ) -> Result<IdTemp> {
+        let mut w = volume.writer(scope)?;
+        let mut count = 0u64;
+        let mut last: Option<RowId> = None;
+        while let Some(id) = ids.next_id()? {
+            if let Some(prev) = last {
+                if id <= prev {
+                    return Err(GhostError::bus("PC sent ids out of order".to_string()));
+                }
+            }
+            last = Some(id);
+            w.write(&id.0.to_le_bytes())?;
+            if let Some(f) = on_id.as_deref_mut() {
+                f(id);
+            }
+            count += 1;
+        }
+        Ok(IdTemp {
+            volume: volume.clone(),
+            segment: w.finish()?,
+            count,
+        })
+    }
+
+    /// Ids stored.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Open a membership prober (one page of RAM).
+    pub fn prober(&self, scope: &RamScope) -> Result<IdProber<'_>> {
+        let page = self.volume.page_size();
+        let guard = scope.alloc(page)?;
+        Ok(IdProber {
+            temp: self,
+            buf: vec![0u8; page],
+            buf_page: u64::MAX,
+            _ram: guard,
+        })
+    }
+
+    /// Open a sequential scan over the stored ids (batched verification).
+    pub fn scan(&self, scope: &RamScope) -> Result<TempIdScan> {
+        let reader = self.volume.reader(scope, &self.segment)?;
+        Ok(TempIdScan {
+            reader,
+            record_width: 4,
+            remaining: self.count,
+        })
+    }
+
+    /// Release the flash space.
+    pub fn free(self) -> Result<()> {
+        self.volume.free(self.segment)
+    }
+}
+
+/// Sequential id scan over an [`IdTemp`] or the id prefix of a
+/// [`VisibleTemp`]'s records.
+#[derive(Debug)]
+pub struct TempIdScan {
+    reader: SegmentReader,
+    record_width: usize,
+    remaining: u64,
+}
+
+impl TempIdScan {
+    /// Next stored id (ascending), or `None` at the end.
+    pub fn next_id(&mut self) -> Result<Option<RowId>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let mut rec = [0u8; 4];
+        if self.record_width == 4 {
+            self.reader.read_exact(&mut rec)?;
+        } else {
+            // Read the id then skip the value bytes (the reader is
+            // buffered, so the skip is a cheap in-buffer seek).
+            self.reader.read_exact(&mut rec)?;
+            let pos = self.reader.position();
+            self.reader.seek(pos + (self.record_width - 4) as u64)?;
+        }
+        Ok(Some(RowId(u32::from_le_bytes(rec))))
+    }
+}
+
+/// Binary-search membership prober over an [`IdTemp`].
+#[derive(Debug)]
+pub struct IdProber<'a> {
+    temp: &'a IdTemp,
+    buf: Vec<u8>,
+    buf_page: u64,
+    _ram: ScopedGuard,
+}
+
+impl IdProber<'_> {
+    fn id_at(&mut self, idx: u64) -> Result<RowId> {
+        let start = idx * 4;
+        let page_size = self.buf.len() as u64;
+        let page = start / page_size;
+        if self.buf_page != page {
+            let page_start = page * page_size;
+            let len = page_size.min(self.temp.segment.len() - page_start) as usize;
+            self.temp
+                .volume
+                .read_at(&self.temp.segment, page_start, &mut self.buf[..len])?;
+            self.buf_page = page;
+        }
+        let off = (start - page * page_size) as usize;
+        Ok(RowId(u32::from_le_bytes(
+            self.buf[off..off + 4].try_into().expect("4B"),
+        )))
+    }
+
+    /// Binary-search membership test.
+    pub fn contains(&mut self, id: RowId) -> Result<bool> {
+        let mut lo = 0u64;
+        let mut hi = self.temp.count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.id_at(mid)?.cmp(&id) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(true),
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Binary-search prober over a [`VisibleTemp`].
+#[derive(Debug)]
+pub struct TempProber<'a> {
+    temp: &'a VisibleTemp,
+    buf: Vec<u8>,
+    buf_page: u64,
+    probes: u64,
+    _ram: ScopedGuard,
+}
+
+impl TempProber<'_> {
+    fn record(&mut self, idx: u64) -> Result<(RowId, Vec<u8>)> {
+        let width = self.temp.width as u64;
+        let start = idx * width;
+        let page_size = self.buf.len() as u64;
+        let first = start / page_size;
+        let last = (start + width - 1) / page_size;
+        let raw: Vec<u8> = if first == last {
+            if self.buf_page != first {
+                let page_start = first * page_size;
+                let len = page_size.min(self.temp.segment.len() - page_start) as usize;
+                self.temp
+                    .volume
+                    .read_at(&self.temp.segment, page_start, &mut self.buf[..len])?;
+                self.buf_page = first;
+            }
+            let off = (start - first * page_size) as usize;
+            self.buf[off..off + width as usize].to_vec()
+        } else {
+            let mut raw = vec![0u8; width as usize];
+            self.temp.volume.read_at(&self.temp.segment, start, &mut raw)?;
+            raw
+        };
+        let id = RowId(u32::from_le_bytes(raw[..4].try_into().expect("4B")));
+        Ok((id, raw))
+    }
+
+    /// Binary search for `id`; returns its value or `None` if absent.
+    pub fn probe(&mut self, id: RowId) -> Result<Option<Value>> {
+        self.probes += 1;
+        let mut lo = 0u64;
+        let mut hi = self.temp.count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (mid_id, raw) = self.record(mid)?;
+            match mid_id.cmp(&id) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    return Ok(Some(decode_value(self.temp.ty, &raw[4..])?))
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Membership-only probe.
+    pub fn contains(&mut self, id: RowId) -> Result<bool> {
+        Ok(self.probe(id)?.is_some())
+    }
+
+    /// The row id stored at record position `idx` (sequential replay,
+    /// e.g. rebuilding a Bloom filter from an already-fetched temp).
+    pub fn record_id(&mut self, idx: u64) -> Result<RowId> {
+        if idx >= self.temp.count {
+            return Err(GhostError::exec("temp record index out of range"));
+        }
+        Ok(self.record(idx)?.0)
+    }
+
+    /// Probes issued so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pc::VecPairStream;
+    use ghostdb_flash::Nand;
+    use ghostdb_ram::RamBudget;
+    use ghostdb_types::{Date, FlashConfig, SimClock};
+
+    fn setup() -> (Volume, RamScope) {
+        let cfg = FlashConfig {
+            page_size: 128,
+            pages_per_block: 8,
+            num_blocks: 128,
+            ..FlashConfig::default_2007()
+        };
+        (
+            Volume::new(Nand::new(cfg, SimClock::new())),
+            RamScope::new(&RamBudget::new(64 * 1024)),
+        )
+    }
+
+    #[test]
+    fn int_column_probe() {
+        let (vol, scope) = setup();
+        let pairs: Vec<(RowId, Value)> = (0..50u32)
+            .filter(|i| i % 3 == 0)
+            .map(|i| (RowId(i), Value::Int(i as i64 * 10)))
+            .collect();
+        let mut stream = VecPairStream::new(pairs);
+        let temp =
+            VisibleTemp::build(&vol, &scope, DataType::Integer, &mut stream, None).unwrap();
+        assert_eq!(temp.len(), 17);
+        let mut p = temp.prober(&scope).unwrap();
+        assert_eq!(p.probe(RowId(9)).unwrap(), Some(Value::Int(90)));
+        assert_eq!(p.probe(RowId(10)).unwrap(), None);
+        assert_eq!(p.probe(RowId(0)).unwrap(), Some(Value::Int(0)));
+        assert_eq!(p.probe(RowId(48)).unwrap(), Some(Value::Int(480)));
+        assert_eq!(p.probe(RowId(49)).unwrap(), None);
+    }
+
+    #[test]
+    fn text_column_roundtrip_with_padding() {
+        let (vol, scope) = setup();
+        let pairs = vec![
+            (RowId(2), Value::Text("ab".into())),
+            (RowId(5), Value::Text("".into())),
+            (RowId(9), Value::Text("0123456789".into())),
+        ];
+        let mut stream = VecPairStream::new(pairs);
+        let temp =
+            VisibleTemp::build(&vol, &scope, DataType::Char(10), &mut stream, None).unwrap();
+        let mut p = temp.prober(&scope).unwrap();
+        assert_eq!(p.probe(RowId(2)).unwrap(), Some(Value::Text("ab".into())));
+        assert_eq!(p.probe(RowId(5)).unwrap(), Some(Value::Text("".into())));
+        assert_eq!(
+            p.probe(RowId(9)).unwrap(),
+            Some(Value::Text("0123456789".into()))
+        );
+    }
+
+    #[test]
+    fn date_column_roundtrip() {
+        let (vol, scope) = setup();
+        let pairs = vec![(RowId(1), Value::Date(Date(13_456)))];
+        let mut stream = VecPairStream::new(pairs);
+        let temp =
+            VisibleTemp::build(&vol, &scope, DataType::Date, &mut stream, None).unwrap();
+        let mut p = temp.prober(&scope).unwrap();
+        assert_eq!(p.probe(RowId(1)).unwrap(), Some(Value::Date(Date(13_456))));
+    }
+
+    #[test]
+    fn on_id_hook_sees_every_id() {
+        let (vol, scope) = setup();
+        let pairs: Vec<(RowId, Value)> =
+            (0..10u32).map(|i| (RowId(i * 2), Value::Int(0))).collect();
+        let mut stream = VecPairStream::new(pairs);
+        let mut seen = Vec::new();
+        let mut hook = |id: RowId| seen.push(id.0);
+        VisibleTemp::build(
+            &vol,
+            &scope,
+            DataType::Integer,
+            &mut stream,
+            Some(&mut hook),
+        )
+        .unwrap();
+        assert_eq!(seen, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn out_of_order_input_rejected() {
+        let (vol, scope) = setup();
+        struct Bad(usize);
+        impl PairStream for Bad {
+            fn next_pair(&mut self) -> Result<Option<(RowId, Value)>> {
+                self.0 += 1;
+                Ok(match self.0 {
+                    1 => Some((RowId(5), Value::Int(0))),
+                    2 => Some((RowId(3), Value::Int(0))),
+                    _ => None,
+                })
+            }
+        }
+        let err =
+            VisibleTemp::build(&vol, &scope, DataType::Integer, &mut Bad(0), None).unwrap_err();
+        assert!(err.to_string().contains("out of order"));
+    }
+
+    #[test]
+    fn empty_temp_probes_none() {
+        let (vol, scope) = setup();
+        let mut stream = VecPairStream::new(vec![]);
+        let temp =
+            VisibleTemp::build(&vol, &scope, DataType::Integer, &mut stream, None).unwrap();
+        assert!(temp.is_empty());
+        let mut p = temp.prober(&scope).unwrap();
+        assert_eq!(p.probe(RowId(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn free_releases_flash() {
+        let (vol, scope) = setup();
+        let pairs: Vec<(RowId, Value)> =
+            (0..100u32).map(|i| (RowId(i), Value::Int(1))).collect();
+        let mut stream = VecPairStream::new(pairs);
+        let temp =
+            VisibleTemp::build(&vol, &scope, DataType::Integer, &mut stream, None).unwrap();
+        assert!(vol.usage().live_pages > 0);
+        temp.free().unwrap();
+        assert_eq!(vol.usage().live_pages, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! NAND flash simulator for the smart USB device's external store.
+//!
+//! Paper §3: the device couples a secure chip to "a large external Flash
+//! memory (Gigabyte sized)" whose costs are asymmetric — "writes are
+//! between 3 to 10 times slower than reads depending on the portion of the
+//! page to be read (full page vs. single word) and writes in place are
+//! precluded."
+//!
+//! The simulator enforces real NAND semantics:
+//!
+//! * reads and programs operate on **pages** (partial reads are cheaper,
+//!   matching the quote above),
+//! * a page must be **erased before it is programmed**, and erase happens
+//!   at **block** granularity,
+//! * every operation advances the shared [`SimClock`] by its cost from
+//!   [`ghostdb_types::FlashConfig`] and is tallied in [`FlashStats`].
+//!
+//! On top of raw NAND, [`Volume`] provides the log-structured segment
+//! store the upper layers use: append-only [`SegmentWriter`]s, streaming
+//! [`SegmentReader`]s, random [`Volume::read_at`] access, and block
+//! reclamation when segments are freed — this is where the "no in-place
+//! writes" constraint becomes visible to the query engine (sort runs are
+//! written once and never updated).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nand;
+mod volume;
+
+pub use nand::{BlockId, FlashStats, Nand, PageAddr, PageState};
+pub use volume::{Segment, SegmentReader, SegmentWriter, Volume, VolumeUsage};

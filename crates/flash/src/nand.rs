@@ -1,0 +1,398 @@
+//! Raw NAND array: pages, blocks, erase-before-program discipline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ghostdb_types::{FlashConfig, GhostError, Result, SimClock};
+
+/// Global page index within the flash part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageAddr(pub u32);
+
+impl PageAddr {
+    /// Index form, for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Erase-block index within the flash part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index form, for vector addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Lifecycle state of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Erased and ready to be programmed.
+    Erased,
+    /// Programmed with live data.
+    Programmed,
+}
+
+/// Operation counters; all monotonically increasing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlashStats {
+    /// Number of page-read commands issued.
+    pub page_reads: u64,
+    /// Bytes actually transferred out of page registers.
+    pub bytes_read: u64,
+    /// Number of page-program commands issued.
+    pub page_programs: u64,
+    /// Bytes programmed.
+    pub bytes_programmed: u64,
+    /// Number of block erases.
+    pub block_erases: u64,
+}
+
+impl FlashStats {
+    /// Pointwise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &FlashStats) -> FlashStats {
+        FlashStats {
+            page_reads: self.page_reads - earlier.page_reads,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            page_programs: self.page_programs - earlier.page_programs,
+            bytes_programmed: self.bytes_programmed - earlier.bytes_programmed,
+            block_erases: self.block_erases - earlier.block_erases,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    page_reads: AtomicU64,
+    bytes_read: AtomicU64,
+    page_programs: AtomicU64,
+    bytes_programmed: AtomicU64,
+    block_erases: AtomicU64,
+}
+
+struct NandState {
+    /// Flat byte array: block-major, page-major.
+    data: Vec<u8>,
+    /// Per-page state.
+    pages: Vec<PageState>,
+    /// Per-block erase count (wear).
+    wear: Vec<u32>,
+}
+
+/// The simulated NAND part. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct Nand {
+    cfg: FlashConfig,
+    clock: SimClock,
+    state: Arc<Mutex<NandState>>,
+    stats: Arc<AtomicStats>,
+}
+
+impl std::fmt::Debug for Nand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nand")
+            .field("pages", &self.page_count())
+            .field("page_size", &self.cfg.page_size)
+            .finish()
+    }
+}
+
+impl Nand {
+    /// Create a blank (fully erased) part with the given geometry, wired
+    /// to `clock` for cost accounting.
+    pub fn new(cfg: FlashConfig, clock: SimClock) -> Self {
+        let pages = cfg.num_blocks * cfg.pages_per_block;
+        Nand {
+            state: Arc::new(Mutex::new(NandState {
+                data: vec![0xFF; pages * cfg.page_size],
+                pages: vec![PageState::Erased; pages],
+                wear: vec![0; cfg.num_blocks],
+            })),
+            stats: Arc::new(AtomicStats::default()),
+            cfg,
+            clock,
+        }
+    }
+
+    /// The geometry/timing configuration.
+    pub fn config(&self) -> &FlashConfig {
+        &self.cfg
+    }
+
+    /// The clock this part advances.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Total pages in the part.
+    pub fn page_count(&self) -> usize {
+        self.cfg.num_blocks * self.cfg.pages_per_block
+    }
+
+    /// Total erase blocks in the part.
+    pub fn block_count(&self) -> usize {
+        self.cfg.num_blocks
+    }
+
+    /// Block containing `page`.
+    pub fn block_of(&self, page: PageAddr) -> BlockId {
+        BlockId(page.0 / self.cfg.pages_per_block as u32)
+    }
+
+    fn check_page(&self, page: PageAddr) -> Result<()> {
+        if page.index() >= self.page_count() {
+            return Err(GhostError::flash(format!(
+                "page {page:?} out of range (part has {} pages)",
+                self.page_count()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read `buf.len()` bytes starting at `offset` within `page`.
+    ///
+    /// Charges the partial-read cost (latency + per-byte), so reading a
+    /// single word is much cheaper than a full page — the asymmetry the
+    /// paper calls out.
+    pub fn read_into(&self, page: PageAddr, offset: usize, buf: &mut [u8]) -> Result<()> {
+        self.check_page(page)?;
+        if offset + buf.len() > self.cfg.page_size {
+            return Err(GhostError::flash(format!(
+                "read beyond page: offset {offset} + len {} > page size {}",
+                buf.len(),
+                self.cfg.page_size
+            )));
+        }
+        let state = self.state.lock().expect("nand poisoned");
+        let base = page.index() * self.cfg.page_size + offset;
+        buf.copy_from_slice(&state.data[base..base + buf.len()]);
+        drop(state);
+        self.stats.page_reads.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_read
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.clock.advance(self.cfg.read_cost_ns(buf.len()));
+        Ok(())
+    }
+
+    /// Program a full page. The page must be erased; programming a
+    /// programmed page is a protocol violation (writes in place are
+    /// precluded on NAND).
+    pub fn program(&self, page: PageAddr, data: &[u8]) -> Result<()> {
+        self.check_page(page)?;
+        if data.len() > self.cfg.page_size {
+            return Err(GhostError::flash(format!(
+                "program of {} bytes exceeds page size {}",
+                data.len(),
+                self.cfg.page_size
+            )));
+        }
+        let mut state = self.state.lock().expect("nand poisoned");
+        if state.pages[page.index()] != PageState::Erased {
+            return Err(GhostError::flash(format!(
+                "program of non-erased page {page:?} (no in-place writes)"
+            )));
+        }
+        let base = page.index() * self.cfg.page_size;
+        state.data[base..base + data.len()].copy_from_slice(data);
+        // Remaining bytes keep their erased 0xFF pattern.
+        state.pages[page.index()] = PageState::Programmed;
+        drop(state);
+        self.stats.page_programs.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_programmed
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.clock.advance(self.cfg.program_cost_ns(data.len()));
+        Ok(())
+    }
+
+    /// Erase a whole block, resetting its pages to `0xFF`/erased and
+    /// incrementing its wear counter.
+    pub fn erase(&self, block: BlockId) -> Result<()> {
+        if block.index() >= self.cfg.num_blocks {
+            return Err(GhostError::flash(format!(
+                "block {block:?} out of range ({} blocks)",
+                self.cfg.num_blocks
+            )));
+        }
+        let mut state = self.state.lock().expect("nand poisoned");
+        let first = block.index() * self.cfg.pages_per_block;
+        for p in first..first + self.cfg.pages_per_block {
+            state.pages[p] = PageState::Erased;
+        }
+        let base = first * self.cfg.page_size;
+        let len = self.cfg.pages_per_block * self.cfg.page_size;
+        state.data[base..base + len].fill(0xFF);
+        state.wear[block.index()] += 1;
+        drop(state);
+        self.stats.block_erases.fetch_add(1, Ordering::Relaxed);
+        self.clock.advance(self.cfg.erase_block_ns);
+        Ok(())
+    }
+
+    /// State of one page.
+    pub fn page_state(&self, page: PageAddr) -> Result<PageState> {
+        self.check_page(page)?;
+        Ok(self.state.lock().expect("nand poisoned").pages[page.index()])
+    }
+
+    /// Erase count of one block.
+    pub fn wear(&self, block: BlockId) -> Result<u32> {
+        if block.index() >= self.cfg.num_blocks {
+            return Err(GhostError::flash("wear: block out of range"));
+        }
+        Ok(self.state.lock().expect("nand poisoned").wear[block.index()])
+    }
+
+    /// Spread between the most- and least-worn block (wear-leveling
+    /// quality metric).
+    pub fn wear_spread(&self) -> (u32, u32) {
+        let state = self.state.lock().expect("nand poisoned");
+        let min = state.wear.iter().copied().min().unwrap_or(0);
+        let max = state.wear.iter().copied().max().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> FlashStats {
+        FlashStats {
+            page_reads: self.stats.page_reads.load(Ordering::Relaxed),
+            bytes_read: self.stats.bytes_read.load(Ordering::Relaxed),
+            page_programs: self.stats.page_programs.load(Ordering::Relaxed),
+            bytes_programmed: self.stats.bytes_programmed.load(Ordering::Relaxed),
+            block_erases: self.stats.block_erases.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Nand {
+        let cfg = FlashConfig {
+            page_size: 64,
+            pages_per_block: 4,
+            num_blocks: 8,
+            ..FlashConfig::default_2007()
+        };
+        Nand::new(cfg, SimClock::new())
+    }
+
+    #[test]
+    fn program_then_read_roundtrips() {
+        let nand = small();
+        let data: Vec<u8> = (0..64).collect();
+        nand.program(PageAddr(5), &data).unwrap();
+        let mut buf = vec![0u8; 64];
+        nand.read_into(PageAddr(5), 0, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn partial_read_offsets() {
+        let nand = small();
+        let data: Vec<u8> = (0..64).collect();
+        nand.program(PageAddr(0), &data).unwrap();
+        let mut buf = vec![0u8; 4];
+        nand.read_into(PageAddr(0), 10, &mut buf).unwrap();
+        assert_eq!(buf, &[10, 11, 12, 13]);
+        assert!(nand.read_into(PageAddr(0), 62, &mut buf).is_err());
+    }
+
+    #[test]
+    fn no_in_place_writes() {
+        let nand = small();
+        nand.program(PageAddr(3), &[1; 64]).unwrap();
+        let err = nand.program(PageAddr(3), &[2; 64]).unwrap_err();
+        assert!(err.to_string().contains("non-erased"));
+    }
+
+    #[test]
+    fn erase_enables_reprogram_and_wears() {
+        let nand = small();
+        nand.program(PageAddr(3), &[1; 64]).unwrap();
+        nand.erase(BlockId(0)).unwrap();
+        assert_eq!(nand.page_state(PageAddr(3)).unwrap(), PageState::Erased);
+        assert_eq!(nand.wear(BlockId(0)).unwrap(), 1);
+        nand.program(PageAddr(3), &[2; 64]).unwrap();
+        let mut buf = [0u8; 1];
+        nand.read_into(PageAddr(3), 0, &mut buf).unwrap();
+        assert_eq!(buf[0], 2);
+    }
+
+    #[test]
+    fn erased_pages_read_ff() {
+        let nand = small();
+        let mut buf = [0u8; 8];
+        nand.read_into(PageAddr(31), 0, &mut buf).unwrap();
+        assert_eq!(buf, [0xFF; 8]);
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let nand = small();
+        assert!(nand.program(PageAddr(32), &[0; 64]).is_err());
+        assert!(nand.erase(BlockId(8)).is_err());
+        let mut buf = [0u8; 1];
+        assert!(nand.read_into(PageAddr(32), 0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn costs_advance_clock_asymmetrically() {
+        let nand = small();
+        let t0 = nand.clock().now();
+        let mut buf = vec![0u8; 64];
+        nand.read_into(PageAddr(0), 0, &mut buf).unwrap();
+        let read_ns = nand.clock().now().since(t0);
+        let t1 = nand.clock().now();
+        nand.program(PageAddr(0), &[0; 64]).unwrap();
+        let prog_ns = nand.clock().now().since(t1);
+        assert!(
+            prog_ns >= 3 * read_ns,
+            "program {prog_ns} not ≥3x read {read_ns}"
+        );
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let nand = small();
+        nand.program(PageAddr(0), &[0; 64]).unwrap();
+        let mut buf = [0u8; 16];
+        nand.read_into(PageAddr(0), 0, &mut buf).unwrap();
+        nand.read_into(PageAddr(0), 16, &mut buf).unwrap();
+        nand.erase(BlockId(0)).unwrap();
+        let s = nand.stats();
+        assert_eq!(s.page_programs, 1);
+        assert_eq!(s.page_reads, 2);
+        assert_eq!(s.bytes_read, 32);
+        assert_eq!(s.bytes_programmed, 64);
+        assert_eq!(s.block_erases, 1);
+    }
+
+    #[test]
+    fn stats_since_diffs() {
+        let nand = small();
+        nand.program(PageAddr(0), &[0; 64]).unwrap();
+        let snap = nand.stats();
+        nand.program(PageAddr(1), &[0; 64]).unwrap();
+        let d = nand.stats().since(&snap);
+        assert_eq!(d.page_programs, 1);
+        assert_eq!(d.page_reads, 0);
+    }
+
+    #[test]
+    fn short_program_pads_with_erased_pattern() {
+        let nand = small();
+        nand.program(PageAddr(0), &[7; 10]).unwrap();
+        let mut buf = [0u8; 12];
+        nand.read_into(PageAddr(0), 4, &mut buf).unwrap();
+        assert_eq!(&buf[..6], &[7; 6]);
+        assert_eq!(&buf[6..], &[0xFF; 6]);
+    }
+}

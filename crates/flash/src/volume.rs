@@ -1,0 +1,519 @@
+//! Log-structured segment store over raw NAND.
+//!
+//! Because NAND precludes in-place writes, everything the device persists
+//! — hidden columns, Subtree Key Tables, climbing-index postings, sort
+//! runs — is written as an append-only **segment**: a sequence of pages
+//! programmed exactly once. Freeing a segment marks its pages dead; a
+//! block whose pages are all dead is erased and recycled (with natural
+//! round-robin wear rotation).
+//!
+//! Writers and readers buffer exactly **one flash page** in device RAM,
+//! charged against the query's [`RamScope`] — the tiny-RAM discipline
+//! applies even to I/O buffers.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use ghostdb_ram::{RamScope, ScopedGuard};
+use ghostdb_types::{GhostError, Result};
+
+use crate::nand::{BlockId, Nand, PageAddr};
+
+/// An immutable sequence of bytes stored on flash.
+///
+/// Cloning is cheap (the page list is shared); segments are freed
+/// explicitly through [`Volume::free`].
+#[derive(Debug, Clone)]
+pub struct Segment {
+    pages: Arc<Vec<PageAddr>>,
+    len_bytes: u64,
+}
+
+impl Segment {
+    /// Logical length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// True if the segment holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len_bytes == 0
+    }
+
+    /// Number of flash pages backing the segment.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[derive(Debug)]
+struct AllocState {
+    free_blocks: VecDeque<BlockId>,
+    /// Block currently being filled, and the next in-block page index.
+    current: Option<(BlockId, usize)>,
+    /// Per-block count of live (allocated and not freed) pages.
+    live: Vec<u32>,
+    /// Per-block count of pages handed out since the last erase.
+    allocated: Vec<u32>,
+}
+
+/// Snapshot of space usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolumeUsage {
+    /// Total erase blocks.
+    pub total_blocks: usize,
+    /// Blocks on the free list.
+    pub free_blocks: usize,
+    /// Live (reachable) pages.
+    pub live_pages: u64,
+}
+
+/// The device's segment store. Cheap to clone (shared state).
+#[derive(Debug, Clone)]
+pub struct Volume {
+    nand: Nand,
+    state: Arc<Mutex<AllocState>>,
+}
+
+impl Volume {
+    /// Take ownership of a blank NAND part.
+    pub fn new(nand: Nand) -> Self {
+        let blocks = nand.block_count();
+        Volume {
+            state: Arc::new(Mutex::new(AllocState {
+                free_blocks: (0..blocks as u32).map(BlockId).collect(),
+                current: None,
+                live: vec![0; blocks],
+                allocated: vec![0; blocks],
+            })),
+            nand,
+        }
+    }
+
+    /// The underlying NAND part (for stats and config).
+    pub fn nand(&self) -> &Nand {
+        &self.nand
+    }
+
+    /// Page size of the underlying part.
+    pub fn page_size(&self) -> usize {
+        self.nand.config().page_size
+    }
+
+    fn alloc_page(&self) -> Result<PageAddr> {
+        let mut st = self.state.lock().expect("volume poisoned");
+        let ppb = self.nand.config().pages_per_block;
+        let (block, next) = match st.current {
+            Some((b, n)) if n < ppb => (b, n),
+            _ => {
+                let b = st.free_blocks.pop_front().ok_or_else(|| {
+                    GhostError::flash("flash volume full: no free blocks")
+                })?;
+                (b, 0)
+            }
+        };
+        st.current = Some((block, next + 1));
+        st.allocated[block.index()] += 1;
+        st.live[block.index()] += 1;
+        Ok(PageAddr(
+            block.0 * ppb as u32 + next as u32,
+        ))
+    }
+
+    fn free_page(&self, page: PageAddr) -> Result<()> {
+        let block = self.nand.block_of(page);
+        let should_erase = {
+            let mut st = self.state.lock().expect("volume poisoned");
+            let live = &mut st.live[block.index()];
+            if *live == 0 {
+                return Err(GhostError::flash(format!(
+                    "double free of page {page:?}"
+                )));
+            }
+            *live -= 1;
+            let ppb = self.nand.config().pages_per_block;
+            let fully_allocated = st.allocated[block.index()] as usize == ppb;
+            // A full "current" block will never be written again, so it is
+            // safe to recycle; only a block still accepting allocations is
+            // pinned.
+            let is_current = matches!(st.current, Some((b, n)) if b == block && n < ppb);
+            if st.live[block.index()] == 0 && fully_allocated && !is_current {
+                st.allocated[block.index()] = 0;
+                st.free_blocks.push_back(block);
+                true
+            } else {
+                false
+            }
+        };
+        if should_erase {
+            self.nand.erase(block)?;
+        }
+        Ok(())
+    }
+
+    /// Release a segment's pages, erasing and recycling fully dead blocks.
+    pub fn free(&self, segment: Segment) -> Result<()> {
+        for &p in segment.pages.iter() {
+            self.free_page(p)?;
+        }
+        Ok(())
+    }
+
+    /// Begin writing a new segment; the one-page write buffer is charged
+    /// to `scope`.
+    pub fn writer(&self, scope: &RamScope) -> Result<SegmentWriter> {
+        let guard = scope.alloc(self.page_size())?;
+        Ok(SegmentWriter {
+            volume: self.clone(),
+            buf: Vec::with_capacity(self.page_size()),
+            pages: Vec::new(),
+            written: 0,
+            _ram: guard,
+        })
+    }
+
+    /// Open a segment for buffered sequential reading; the one-page read
+    /// buffer is charged to `scope`.
+    pub fn reader(&self, scope: &RamScope, segment: &Segment) -> Result<SegmentReader> {
+        let guard = scope.alloc(self.page_size())?;
+        Ok(SegmentReader {
+            volume: self.clone(),
+            segment: segment.clone(),
+            pos: 0,
+            buf: vec![0; self.page_size()],
+            buf_page: usize::MAX,
+            _ram: guard,
+        })
+    }
+
+    /// Random read of `buf.len()` bytes at byte `offset` into a segment.
+    ///
+    /// Costs one partial page read per page touched. The caller provides
+    /// (and has paid for) the destination buffer.
+    pub fn read_at(&self, segment: &Segment, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if offset + buf.len() as u64 > segment.len_bytes {
+            return Err(GhostError::flash(format!(
+                "read_at beyond segment end: offset {offset} + {} > {}",
+                buf.len(),
+                segment.len_bytes
+            )));
+        }
+        let ps = self.page_size() as u64;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let page_idx = (pos / ps) as usize;
+            let in_page = (pos % ps) as usize;
+            let chunk = ((ps as usize) - in_page).min(buf.len() - done);
+            self.nand.read_into(
+                segment.pages[page_idx],
+                in_page,
+                &mut buf[done..done + chunk],
+            )?;
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Current space usage.
+    pub fn usage(&self) -> VolumeUsage {
+        let st = self.state.lock().expect("volume poisoned");
+        VolumeUsage {
+            total_blocks: self.nand.block_count(),
+            free_blocks: st.free_blocks.len(),
+            live_pages: st.live.iter().map(|&v| v as u64).sum(),
+        }
+    }
+}
+
+/// Append-only writer producing a [`Segment`].
+#[derive(Debug)]
+pub struct SegmentWriter {
+    volume: Volume,
+    buf: Vec<u8>,
+    pages: Vec<PageAddr>,
+    written: u64,
+    _ram: ScopedGuard,
+}
+
+impl SegmentWriter {
+    /// Append bytes to the segment.
+    pub fn write(&mut self, mut bytes: &[u8]) -> Result<()> {
+        let ps = self.volume.page_size();
+        while !bytes.is_empty() {
+            let room = ps - self.buf.len();
+            let take = room.min(bytes.len());
+            self.buf.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            self.written += take as u64;
+            if self.buf.len() == ps {
+                self.flush_page()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_page(&mut self) -> Result<()> {
+        let page = self.volume.alloc_page()?;
+        self.volume.nand.program(page, &self.buf)?;
+        self.pages.push(page);
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Bytes written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush the final partial page and return the finished segment.
+    pub fn finish(mut self) -> Result<Segment> {
+        if !self.buf.is_empty() {
+            self.flush_page()?;
+        }
+        Ok(Segment {
+            pages: Arc::new(std::mem::take(&mut self.pages)),
+            len_bytes: self.written,
+        })
+    }
+}
+
+impl Drop for SegmentWriter {
+    fn drop(&mut self) {
+        // Abandoned writer: return any allocated pages to the volume.
+        for &p in &self.pages {
+            let _ = self.volume.free_page(p);
+        }
+    }
+}
+
+/// Buffered sequential reader over a [`Segment`].
+#[derive(Debug)]
+pub struct SegmentReader {
+    volume: Volume,
+    segment: Segment,
+    pos: u64,
+    buf: Vec<u8>,
+    /// Index (within the segment) of the page currently buffered.
+    buf_page: usize,
+    _ram: ScopedGuard,
+}
+
+impl SegmentReader {
+    /// Current byte position.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Total segment length in bytes.
+    pub fn len(&self) -> u64 {
+        self.segment.len_bytes
+    }
+
+    /// True if the underlying segment holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.segment.len_bytes == 0
+    }
+
+    /// True if the cursor is at the end.
+    pub fn is_at_end(&self) -> bool {
+        self.pos >= self.segment.len_bytes
+    }
+
+    /// Reposition the cursor.
+    pub fn seek(&mut self, pos: u64) -> Result<()> {
+        if pos > self.segment.len_bytes {
+            return Err(GhostError::flash("seek beyond segment end"));
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    /// Read up to `buf.len()` bytes; returns 0 at end of segment.
+    pub fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let remaining = (self.segment.len_bytes - self.pos) as usize;
+        let want = buf.len().min(remaining);
+        let ps = self.volume.page_size();
+        let mut done = 0;
+        while done < want {
+            let page_idx = (self.pos / ps as u64) as usize;
+            if page_idx != self.buf_page {
+                // Fault in the page (full-page read: sequential scans
+                // consume whole pages).
+                self.volume
+                    .nand
+                    .read_into(self.segment.pages[page_idx], 0, &mut self.buf)?;
+                self.buf_page = page_idx;
+            }
+            let in_page = (self.pos % ps as u64) as usize;
+            let chunk = (ps - in_page).min(want - done);
+            buf[done..done + chunk].copy_from_slice(&self.buf[in_page..in_page + chunk]);
+            done += chunk;
+            self.pos += chunk as u64;
+        }
+        Ok(done)
+    }
+
+    /// Read exactly `buf.len()` bytes or fail.
+    pub fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        let n = self.read(buf)?;
+        if n != buf.len() {
+            return Err(GhostError::flash(format!(
+                "unexpected end of segment: wanted {}, got {n}",
+                buf.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_ram::RamBudget;
+    use ghostdb_types::{FlashConfig, SimClock};
+
+    fn setup(blocks: usize) -> (Volume, RamScope) {
+        let cfg = FlashConfig {
+            page_size: 64,
+            pages_per_block: 4,
+            num_blocks: blocks,
+            ..FlashConfig::default_2007()
+        };
+        let vol = Volume::new(Nand::new(cfg, SimClock::new()));
+        let budget = RamBudget::new(64 * 1024);
+        let scope = RamScope::new(&budget);
+        (vol, scope)
+    }
+
+    #[test]
+    fn write_read_roundtrip_multi_page() {
+        let (vol, scope) = setup(8);
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&data).unwrap();
+        let seg = w.finish().unwrap();
+        assert_eq!(seg.len(), 1000);
+        assert_eq!(seg.page_count(), 16); // ceil(1000/64)
+
+        let mut r = vol.reader(&scope, &seg).unwrap();
+        let mut back = vec![0u8; 1000];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(r.read(&mut [0u8; 10]).unwrap(), 0, "EOF returns 0");
+    }
+
+    #[test]
+    fn chunked_writes_equal_bulk_write() {
+        let (vol, scope) = setup(8);
+        let data: Vec<u8> = (0..500).map(|i| (i * 7 % 256) as u8).collect();
+        let mut w = vol.writer(&scope).unwrap();
+        for chunk in data.chunks(13) {
+            w.write(chunk).unwrap();
+        }
+        let seg = w.finish().unwrap();
+        let mut r = vol.reader(&scope, &seg).unwrap();
+        let mut back = vec![0u8; 500];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn random_read_at() {
+        let (vol, scope) = setup(8);
+        let data: Vec<u8> = (0..640).map(|i| (i % 256) as u8).collect();
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&data).unwrap();
+        let seg = w.finish().unwrap();
+
+        let mut buf = [0u8; 10];
+        vol.read_at(&seg, 60, &mut buf).unwrap(); // spans a page boundary
+        assert_eq!(&buf[..], &data[60..70]);
+        assert!(vol.read_at(&seg, 635, &mut buf).is_err());
+    }
+
+    #[test]
+    fn seek_and_reread() {
+        let (vol, scope) = setup(8);
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&data).unwrap();
+        let seg = w.finish().unwrap();
+
+        let mut r = vol.reader(&scope, &seg).unwrap();
+        r.seek(100).unwrap();
+        let mut buf = [0u8; 4];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [100, 101, 102, 103]);
+        r.seek(0).unwrap();
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn free_recycles_blocks() {
+        let (vol, scope) = setup(4); // 16 pages total
+        let mut segs = Vec::new();
+        for _ in 0..4 {
+            let mut w = vol.writer(&scope).unwrap();
+            w.write(&[0xAB; 64 * 4]).unwrap(); // exactly one block
+            segs.push(w.finish().unwrap());
+        }
+        // Volume is now full.
+        let mut w = vol.writer(&scope).unwrap();
+        assert!(w.write(&[0u8; 64]).is_err());
+        drop(w);
+        // Free two segments; their blocks are erased and reusable.
+        vol.free(segs.pop().unwrap()).unwrap();
+        vol.free(segs.pop().unwrap()).unwrap();
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&[0xCD; 64 * 6]).unwrap();
+        let seg = w.finish().unwrap();
+        assert_eq!(seg.page_count(), 6);
+        assert!(vol.nand().stats().block_erases >= 2);
+    }
+
+    #[test]
+    fn abandoned_writer_releases_pages() {
+        let (vol, scope) = setup(2); // 8 pages
+        {
+            let mut w = vol.writer(&scope).unwrap();
+            w.write(&[1u8; 64 * 8]).unwrap(); // all pages
+            // dropped without finish()
+        }
+        // A block becomes erasable once its pages are returned.
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&[2u8; 64 * 4]).unwrap();
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_buffers_are_charged_to_scope() {
+        let (vol, _) = setup(4);
+        let tiny = RamBudget::new(32); // smaller than one 64-byte page
+        let scope = RamScope::new(&tiny);
+        assert!(vol.writer(&scope).is_err());
+    }
+
+    #[test]
+    fn usage_reports_live_pages() {
+        let (vol, scope) = setup(4);
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&[0u8; 64 * 3]).unwrap();
+        let seg = w.finish().unwrap();
+        assert_eq!(vol.usage().live_pages, 3);
+        vol.free(seg).unwrap();
+        assert_eq!(vol.usage().live_pages, 0);
+    }
+
+    #[test]
+    fn empty_segment() {
+        let (vol, scope) = setup(4);
+        let w = vol.writer(&scope).unwrap();
+        let seg = w.finish().unwrap();
+        assert!(seg.is_empty());
+        assert_eq!(seg.page_count(), 0);
+        let mut r = vol.reader(&scope, &seg).unwrap();
+        assert_eq!(r.read(&mut [0u8; 8]).unwrap(), 0);
+    }
+}

@@ -1,0 +1,665 @@
+//! Climbing indexes (paper §4, Figure 4).
+//!
+//! "The entry for 'Spain' in the Doctor.Country index is associated with
+//! a list of Doctor identifiers, as usual, and also a list of Visit
+//! identifiers and a list of Prescription identifiers to precompute the
+//! joins with all tables in the path from Doctor to the root table."
+//!
+//! Layout on flash:
+//!
+//! * a **directory** of fixed-width entries sorted by order key —
+//!   `key (8B)` then, per level on the climb path, `offset (4B)` and
+//!   `length (4B)` into the postings area;
+//! * a **postings** area of ascending, deduplicated 4-byte row ids.
+//!
+//! Two flavours share the structure:
+//!
+//! * **value indexes** on hidden attribute columns (keys are order keys /
+//!   dictionary codes; probed by binary search over flash);
+//! * **key indexes** on a table's primary key (keys are the dense row ids
+//!   themselves, so the directory is direct-addressed — `dense = true`).
+//!   These translate a delegated visible id list up the tree, and give
+//!   Cross-filtering its "combine selectivities before climbing" step.
+//!
+//! Range probes over several directory entries union their postings
+//! through the external sorter — bounded RAM, honest flash costs.
+
+use ghostdb_catalog::{ColumnRef, TreeSchema};
+use ghostdb_flash::{Segment, SegmentReader, Volume};
+use ghostdb_ram::{RamScope, ScopedGuard};
+use ghostdb_storage::{Dataset, KeyRange, LoadEncoders};
+use ghostdb_types::{GhostError, IdStream, Result, RowId, TableId};
+
+use crate::sort::{ExternalSorter, SortedStream};
+use crate::wide_rows;
+
+const KEY_BYTES: usize = 8;
+const PER_LEVEL_BYTES: usize = 8; // u32 offset + u32 length
+
+/// A climbing index on flash.
+#[derive(Debug)]
+pub struct ClimbingIndex {
+    volume: Volume,
+    directory: Segment,
+    postings: Segment,
+    /// Climb path; `levels[0]` is the indexed table, last is the root.
+    levels: Vec<TableId>,
+    entries: u32,
+    /// Directory is direct-addressed by key (key == entry position).
+    dense: bool,
+    /// Total postings per level (for cost estimation).
+    level_postings: Vec<u64>,
+}
+
+impl ClimbingIndex {
+    fn entry_width(levels: usize) -> usize {
+        KEY_BYTES + levels * PER_LEVEL_BYTES
+    }
+
+    /// Build a value index on a (hidden) attribute column.
+    pub fn build_value_index(
+        volume: &Volume,
+        scope: &RamScope,
+        tree: &TreeSchema,
+        data: &Dataset,
+        encoders: &LoadEncoders,
+        cref: ColumnRef,
+    ) -> Result<ClimbingIndex> {
+        let table = cref.table;
+        let values = &data.tables[table.index()].columns[cref.column.index()];
+        let keys: Vec<u64> = values
+            .iter()
+            .map(|v| encoders.key_of(table, cref.column, v))
+            .collect::<Result<_>>()?;
+        Self::build_from_keys(volume, scope, tree, data, table, &keys, false)
+    }
+
+    /// Build the key index on `table`'s primary key (dense directory).
+    pub fn build_key_index(
+        volume: &Volume,
+        scope: &RamScope,
+        tree: &TreeSchema,
+        data: &Dataset,
+        table: TableId,
+    ) -> Result<ClimbingIndex> {
+        let n = data.row_count(table) as u64;
+        let keys: Vec<u64> = (0..n).collect();
+        Self::build_from_keys(volume, scope, tree, data, table, &keys, true)
+    }
+
+    /// Shared builder: `keys[r]` is the order key of row `r` of `table`.
+    fn build_from_keys(
+        volume: &Volume,
+        scope: &RamScope,
+        tree: &TreeSchema,
+        data: &Dataset,
+        table: TableId,
+        keys: &[u64],
+        dense: bool,
+    ) -> Result<ClimbingIndex> {
+        let levels = tree.climb_path(table);
+        let root = tree.root();
+        // Host-side (secure load): group per key, per level.
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<u64, Vec<Vec<u32>>> = BTreeMap::new();
+        let n_levels = levels.len();
+        // Level 0: the table's own rows.
+        for (r, &k) in keys.iter().enumerate() {
+            groups
+                .entry(k)
+                .or_insert_with(|| vec![Vec::new(); n_levels])[0]
+                .push(r as u32);
+        }
+        // Ancestor levels come from one pass over the root's wide rows.
+        if n_levels > 1 {
+            let wide = wide_rows(tree, data, data.tables.len(), root)?;
+            let t_ids = wide[table.index()]
+                .as_ref()
+                .ok_or_else(|| GhostError::catalog("table missing from root subtree"))?;
+            for (root_row, &t_id) in t_ids.iter().enumerate() {
+                let k = keys[t_id as usize];
+                let lists = groups
+                    .get_mut(&k)
+                    .expect("level-0 pass created every key");
+                for (li, lt) in levels.iter().enumerate().skip(1) {
+                    let id = if *lt == root {
+                        root_row as u32
+                    } else {
+                        wide[lt.index()]
+                            .as_ref()
+                            .ok_or_else(|| GhostError::catalog("level missing from subtree"))?
+                            [root_row]
+                    };
+                    lists[li].push(id);
+                }
+            }
+        }
+        if dense {
+            // Dense directories must cover every key 0..n exactly once.
+            debug_assert_eq!(groups.len(), keys.len());
+        }
+        // Write postings + directory.
+        let mut postings_w = volume.writer(scope)?;
+        let mut dir_w = volume.writer(scope)?;
+        let mut level_postings = vec![0u64; n_levels];
+        let mut written: u32 = 0;
+        for (key, mut lists) in groups {
+            dir_w.write(&key.to_le_bytes())?;
+            for (li, list) in lists.iter_mut().enumerate() {
+                list.sort_unstable();
+                list.dedup();
+                dir_w.write(&written.to_le_bytes())?;
+                dir_w.write(&(list.len() as u32).to_le_bytes())?;
+                for id in list.iter() {
+                    postings_w.write(&id.to_le_bytes())?;
+                }
+                written += list.len() as u32;
+                level_postings[li] += list.len() as u64;
+            }
+        }
+        let directory = dir_w.finish()?;
+        let postings = postings_w.finish()?;
+        let entries = (directory.len() / Self::entry_width(n_levels) as u64) as u32;
+        Ok(ClimbingIndex {
+            volume: volume.clone(),
+            directory,
+            postings,
+            levels,
+            entries,
+            dense,
+            level_postings,
+        })
+    }
+
+    /// The climb path (level 0 = indexed table, last = root).
+    pub fn levels(&self) -> &[TableId] {
+        &self.levels
+    }
+
+    /// Position of `table` in the climb path.
+    pub fn level_of(&self, table: TableId) -> Result<usize> {
+        self.levels
+            .iter()
+            .position(|&t| t == table)
+            .ok_or_else(|| {
+                GhostError::exec(format!("{table} is not on this index's climb path"))
+            })
+    }
+
+    /// Number of distinct keys.
+    pub fn entry_count(&self) -> u32 {
+        self.entries
+    }
+
+    /// Average postings per key at a level (cost estimation).
+    pub fn avg_postings(&self, level: usize) -> f64 {
+        if self.entries == 0 {
+            return 0.0;
+        }
+        self.level_postings[level] as f64 / self.entries as f64
+    }
+
+    /// Flash bytes occupied (directory + postings).
+    pub fn flash_bytes(&self) -> u64 {
+        self.directory.len() + self.postings.len()
+    }
+
+    fn entry_w(&self) -> usize {
+        Self::entry_width(self.levels.len())
+    }
+
+    /// Read directory entry `idx` with a scratch cursor.
+    fn read_entry(&self, cur: &mut DirCursor, idx: u32) -> Result<DirEntry> {
+        let w = self.entry_w();
+        let raw = cur.entry_bytes(self, idx)?;
+        let key = u64::from_le_bytes(raw[..8].try_into().expect("8B"));
+        let mut slots = Vec::with_capacity(self.levels.len());
+        for li in 0..self.levels.len() {
+            let base = KEY_BYTES + li * PER_LEVEL_BYTES;
+            let off = u32::from_le_bytes(raw[base..base + 4].try_into().expect("4B"));
+            let len = u32::from_le_bytes(raw[base + 4..base + 8].try_into().expect("4B"));
+            slots.push((off, len));
+        }
+        debug_assert_eq!(raw.len(), w);
+        Ok(DirEntry { key, slots })
+    }
+
+    /// First directory position with key >= `probe` (binary search on
+    /// flash; direct computation for dense directories).
+    fn lower_bound(&self, cur: &mut DirCursor, probe: u64) -> Result<u32> {
+        if self.dense {
+            return Ok(probe.min(self.entries as u64) as u32);
+        }
+        let mut lo = 0u32;
+        let mut hi = self.entries;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let e = self.read_entry(cur, mid)?;
+            if e.key < probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Probe the index: stream the ascending, deduplicated ids at
+    /// `level_table` for all keys in `range`.
+    ///
+    /// A single-key probe streams its posting list directly; a multi-key
+    /// range unions the lists through the external sorter with
+    /// `sort_ram` bytes of working memory.
+    pub fn lookup(
+        &self,
+        scope: &RamScope,
+        range: KeyRange,
+        level_table: TableId,
+        sort_ram: usize,
+    ) -> Result<PostingStream> {
+        let level = self.level_of(level_table)?;
+        if self.entries == 0 {
+            return Ok(PostingStream::empty());
+        }
+        let mut cur = DirCursor::new(scope, &self.volume)?;
+        let start = self.lower_bound(&mut cur, range.lo)?;
+        // Collect matching entries' slots.
+        let mut slots: Vec<(u32, u32)> = Vec::new();
+        let mut idx = start;
+        while idx < self.entries {
+            let e = self.read_entry(&mut cur, idx)?;
+            if e.key > range.hi {
+                break;
+            }
+            let s = e.slots[level];
+            if s.1 > 0 {
+                slots.push(s);
+            }
+            idx += 1;
+        }
+        drop(cur);
+        match slots.len() {
+            0 => Ok(PostingStream::empty()),
+            1 => {
+                let (off, len) = slots[0];
+                let mut reader = self.volume.reader(scope, &self.postings)?;
+                reader.seek(off as u64 * 4)?;
+                Ok(PostingStream::Direct {
+                    reader,
+                    remaining: len as u64,
+                })
+            }
+            _ => {
+                // Union through the sorter; dedup while draining.
+                let mut sorter: ExternalSorter<u32> =
+                    ExternalSorter::new(&self.volume, scope, sort_ram)?;
+                let mut reader = self.volume.reader(scope, &self.postings)?;
+                let mut buf = [0u8; 4];
+                for (off, len) in slots {
+                    reader.seek(off as u64 * 4)?;
+                    for _ in 0..len {
+                        reader.read_exact(&mut buf)?;
+                        sorter.push(u32::from_le_bytes(buf))?;
+                    }
+                }
+                drop(reader);
+                Ok(PostingStream::Sorted {
+                    stream: sorter.finish()?,
+                    last: None,
+                })
+            }
+        }
+    }
+
+    /// Translate an ascending id stream (over this index's level-0 table)
+    /// to the ascending, deduplicated ids at `level_table`.
+    ///
+    /// Only valid on dense key indexes: each input id addresses its
+    /// directory entry directly. This is the Pre-filtering step that
+    /// turns a delegated list of, say, VisIDs into PreIDs.
+    pub fn translate(
+        &self,
+        scope: &RamScope,
+        input: &mut dyn IdStream,
+        level_table: TableId,
+        sort_ram: usize,
+    ) -> Result<PostingStream> {
+        if !self.dense {
+            return Err(GhostError::exec(
+                "translate requires a dense key index".to_string(),
+            ));
+        }
+        let level = self.level_of(level_table)?;
+        let mut cur = DirCursor::new(scope, &self.volume)?;
+        let mut reader = self.volume.reader(scope, &self.postings)?;
+        let mut sorter: ExternalSorter<u32> =
+            ExternalSorter::new(&self.volume, scope, sort_ram)?;
+        let mut buf = [0u8; 4];
+        while let Some(id) = input.next_id()? {
+            if id.0 >= self.entries {
+                return Err(GhostError::exec(format!(
+                    "translate input id {id} out of range ({} entries)",
+                    self.entries
+                )));
+            }
+            let e = self.read_entry(&mut cur, id.0)?;
+            debug_assert_eq!(e.key, id.0 as u64);
+            let (off, len) = e.slots[level];
+            reader.seek(off as u64 * 4)?;
+            for _ in 0..len {
+                reader.read_exact(&mut buf)?;
+                sorter.push(u32::from_le_bytes(buf))?;
+            }
+        }
+        Ok(PostingStream::Sorted {
+            stream: sorter.finish()?,
+            last: None,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct DirEntry {
+    key: u64,
+    /// Per level: (offset, length) in posting elements.
+    slots: Vec<(u32, u32)>,
+}
+
+/// Page-buffered directory reader.
+#[derive(Debug)]
+struct DirCursor {
+    buf: Vec<u8>,
+    buf_page: u64,
+    _ram: ScopedGuard,
+}
+
+impl DirCursor {
+    fn new(scope: &RamScope, volume: &Volume) -> Result<DirCursor> {
+        let page = volume.page_size();
+        let guard = scope.alloc(page)?;
+        Ok(DirCursor {
+            buf: vec![0u8; page],
+            buf_page: u64::MAX,
+            _ram: guard,
+        })
+    }
+
+    /// Bytes of directory entry `idx` (copied out of the buffered page).
+    fn entry_bytes(&mut self, index: &ClimbingIndex, idx: u32) -> Result<Vec<u8>> {
+        let w = index.entry_w();
+        let start = idx as u64 * w as u64;
+        let page_size = self.buf.len() as u64;
+        let first = start / page_size;
+        let last = (start + w as u64 - 1) / page_size;
+        if first == last {
+            if self.buf_page != first {
+                let page_start = first * page_size;
+                let len = page_size.min(index.directory.len() - page_start) as usize;
+                index
+                    .volume
+                    .read_at(&index.directory, page_start, &mut self.buf[..len])?;
+                self.buf_page = first;
+            }
+            let off = (start - first * page_size) as usize;
+            Ok(self.buf[off..off + w].to_vec())
+        } else {
+            let mut raw = vec![0u8; w];
+            index.volume.read_at(&index.directory, start, &mut raw)?;
+            Ok(raw)
+        }
+    }
+}
+
+/// Ascending, deduplicated id stream out of a climbing-index probe.
+#[derive(Debug)]
+pub enum PostingStream {
+    /// Single posting list, already sorted and deduplicated at build time.
+    Direct {
+        /// Reader positioned at the list start.
+        reader: SegmentReader,
+        /// Ids left to yield.
+        remaining: u64,
+    },
+    /// Union of several lists (or a translation), deduplicated on the fly.
+    Sorted {
+        /// The merged stream.
+        stream: SortedStream<u32>,
+        /// Last id yielded (for dedup).
+        last: Option<u32>,
+    },
+    /// Provably empty result.
+    Empty,
+}
+
+impl PostingStream {
+    /// The empty stream.
+    pub fn empty() -> PostingStream {
+        PostingStream::Empty
+    }
+}
+
+impl IdStream for PostingStream {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        match self {
+            PostingStream::Empty => Ok(None),
+            PostingStream::Direct { reader, remaining } => {
+                if *remaining == 0 {
+                    return Ok(None);
+                }
+                let mut buf = [0u8; 4];
+                reader.read_exact(&mut buf)?;
+                *remaining -= 1;
+                Ok(Some(RowId(u32::from_le_bytes(buf))))
+            }
+            PostingStream::Sorted { stream, last } => {
+                while let Some(v) = stream.next_rec()? {
+                    if Some(v) != *last {
+                        *last = Some(v);
+                        return Ok(Some(RowId(v)));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_catalog::{Schema, SchemaBuilder, Visibility};
+    use ghostdb_flash::Nand;
+    use ghostdb_ram::RamBudget;
+    use ghostdb_storage::HiddenStore;
+    use ghostdb_types::{collect_ids, DataType, FlashConfig, SimClock, Value};
+
+    /// Doctor <- Visit <- Prescription chain with country values.
+    fn setup() -> (
+        Volume,
+        RamScope,
+        Schema,
+        TreeSchema,
+        Dataset,
+        LoadEncoders,
+    ) {
+        let mut b = SchemaBuilder::new();
+        b.table("Doctor", "DocID").column(
+            "Country",
+            DataType::Char(10),
+            Visibility::Hidden,
+        );
+        b.table("Visit", "VisID")
+            .foreign_key("DocID", "Doctor", Visibility::Hidden);
+        b.table("Prescription", "PreID")
+            .foreign_key("VisID", "Visit", Visibility::Hidden);
+        let schema = b.build().unwrap();
+        let tree = TreeSchema::analyze(&schema).unwrap();
+        let countries = ["France", "Spain", "USA"];
+        let mut data = Dataset::empty(&schema);
+        for i in 0..6i64 {
+            data.push_row(
+                TableId(0),
+                vec![
+                    Value::Int(i),
+                    Value::Text(countries[(i % 3) as usize].into()),
+                ],
+            )
+            .unwrap();
+        }
+        for i in 0..12i64 {
+            data.push_row(TableId(1), vec![Value::Int(i), Value::Int(i % 6)])
+                .unwrap();
+        }
+        for i in 0..24i64 {
+            data.push_row(TableId(2), vec![Value::Int(i), Value::Int(i % 12)])
+                .unwrap();
+        }
+        let cfg = FlashConfig {
+            page_size: 128,
+            pages_per_block: 8,
+            num_blocks: 256,
+            ..FlashConfig::default_2007()
+        };
+        let volume = Volume::new(Nand::new(cfg, SimClock::new()));
+        let scope = RamScope::new(&RamBudget::new(64 * 1024));
+        let (_store, encoders) =
+            HiddenStore::build(&volume, &scope, &schema, &data).unwrap();
+        (volume, scope, schema, tree, data, encoders)
+    }
+
+    fn ids(v: Vec<u32>) -> Vec<RowId> {
+        v.into_iter().map(RowId).collect()
+    }
+
+    #[test]
+    fn value_index_level0_postings() {
+        let (vol, scope, _s, tree, data, enc) = setup();
+        let cref = ColumnRef {
+            table: TableId(0),
+            column: ghostdb_types::ColumnId(1),
+        };
+        let idx =
+            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        assert_eq!(idx.entry_count(), 3); // France, Spain, USA
+        // Spain = doctors 1 and 4.
+        let spain = enc
+            .key_of(TableId(0), ghostdb_types::ColumnId(1), &Value::Text("Spain".into()))
+            .unwrap();
+        let range = KeyRange { lo: spain, hi: spain };
+        let mut s = idx.lookup(&scope, range, TableId(0), 4096).unwrap();
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![1, 4]));
+    }
+
+    #[test]
+    fn value_index_climbs_to_all_levels() {
+        let (vol, scope, _s, tree, data, enc) = setup();
+        let cref = ColumnRef {
+            table: TableId(0),
+            column: ghostdb_types::ColumnId(1),
+        };
+        let idx =
+            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        assert_eq!(idx.levels(), &[TableId(0), TableId(1), TableId(2)]);
+        let spain = enc
+            .key_of(TableId(0), ghostdb_types::ColumnId(1), &Value::Text("Spain".into()))
+            .unwrap();
+        let range = KeyRange { lo: spain, hi: spain };
+        // Visits of doctors {1,4}: visit v has doctor v%6 -> {1,4,7,10}.
+        let mut s = idx.lookup(&scope, range, TableId(1), 4096).unwrap();
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![1, 4, 7, 10]));
+        // Prescriptions of those visits: p has visit p%12 -> {1,4,7,10,13,16,19,22}.
+        let mut s = idx.lookup(&scope, range, TableId(2), 4096).unwrap();
+        assert_eq!(
+            collect_ids(&mut s).unwrap(),
+            ids(vec![1, 4, 7, 10, 13, 16, 19, 22])
+        );
+    }
+
+    #[test]
+    fn range_lookup_unions_postings() {
+        let (vol, scope, _s, tree, data, enc) = setup();
+        let cref = ColumnRef {
+            table: TableId(0),
+            column: ghostdb_types::ColumnId(1),
+        };
+        let idx =
+            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        // Range covering France + Spain (codes 0 and 1).
+        let range = KeyRange { lo: 0, hi: 1 };
+        let mut s = idx.lookup(&scope, range, TableId(0), 4096).unwrap();
+        // France: doctors 0,3; Spain: 1,4.
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![0, 1, 3, 4]));
+        // Empty range.
+        let mut s = idx
+            .lookup(&scope, KeyRange { lo: 99, hi: 120 }, TableId(0), 4096)
+            .unwrap();
+        assert!(collect_ids(&mut s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn key_index_translates_up_the_tree() {
+        let (vol, scope, _s, tree, data, _enc) = setup();
+        // Key index on Visit: levels Vis -> Pre.
+        let idx = ClimbingIndex::build_key_index(&vol, &scope, &tree, &data, TableId(1)).unwrap();
+        assert_eq!(idx.entry_count(), 12);
+        // Translate visits {0, 5} to prescriptions: p%12 in {0,5} ->
+        // {0,12} and {5,17}.
+        let mut input = ghostdb_types::VecIdStream::new(ids(vec![0, 5]));
+        let mut out = idx.translate(&scope, &mut input, TableId(2), 4096).unwrap();
+        assert_eq!(collect_ids(&mut out).unwrap(), ids(vec![0, 5, 12, 17]));
+    }
+
+    #[test]
+    fn translate_dedups_outputs() {
+        let (vol, scope, _s, tree, data, _enc) = setup();
+        // Key index on Doctor: levels Doc -> Vis -> Pre.
+        let idx = ClimbingIndex::build_key_index(&vol, &scope, &tree, &data, TableId(0)).unwrap();
+        // Doctors {1,4} both map to visits {1,4,7,10}; translation must
+        // dedup shared ancestors.
+        let mut input = ghostdb_types::VecIdStream::new(ids(vec![1, 4]));
+        let mut out = idx.translate(&scope, &mut input, TableId(1), 4096).unwrap();
+        assert_eq!(collect_ids(&mut out).unwrap(), ids(vec![1, 4, 7, 10]));
+    }
+
+    #[test]
+    fn translate_rejects_value_indexes_and_bad_ids() {
+        let (vol, scope, _s, tree, data, enc) = setup();
+        let cref = ColumnRef {
+            table: TableId(0),
+            column: ghostdb_types::ColumnId(1),
+        };
+        let vidx =
+            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        let mut input = ghostdb_types::VecIdStream::new(ids(vec![0]));
+        assert!(vidx
+            .translate(&scope, &mut input, TableId(2), 4096)
+            .is_err());
+
+        let kidx = ClimbingIndex::build_key_index(&vol, &scope, &tree, &data, TableId(1)).unwrap();
+        let mut input = ghostdb_types::VecIdStream::new(ids(vec![99]));
+        assert!(kidx
+            .translate(&scope, &mut input, TableId(2), 4096)
+            .is_err());
+    }
+
+    #[test]
+    fn level_of_rejects_off_path_tables() {
+        let (vol, scope, _s, tree, data, _enc) = setup();
+        let idx = ClimbingIndex::build_key_index(&vol, &scope, &tree, &data, TableId(1)).unwrap();
+        assert!(idx.level_of(TableId(0)).is_err()); // Doctor below Visit
+        assert!(idx.level_of(TableId(2)).is_ok());
+    }
+
+    #[test]
+    fn flash_accounting_nonzero() {
+        let (vol, scope, _s, tree, data, enc) = setup();
+        let cref = ColumnRef {
+            table: TableId(0),
+            column: ghostdb_types::ColumnId(1),
+        };
+        let idx =
+            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        assert!(idx.flash_bytes() > 0);
+        assert!(idx.avg_postings(0) >= 1.0);
+    }
+}

@@ -1,0 +1,407 @@
+//! External merge sort over flash temp segments.
+//!
+//! Translating a delegated visible id list through a climbing key index
+//! can produce millions of root ids — far beyond 64 KB of RAM. GhostDB
+//! therefore sorts id lists the classic way: bounded in-RAM runs spilled
+//! to flash, then k-way merged with one page buffer per run. The flash
+//! write/read asymmetry (§3) makes the spill threshold a first-class cost
+//! knob, which the hardware-sweep experiment (`EXP-S3`) exercises.
+//!
+//! Records are fixed-width and `Copy`; the sorter is generic over
+//! [`SortRecord`] (u32/u64 ids and id pairs).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ghostdb_flash::{Segment, SegmentReader, Volume};
+use ghostdb_ram::{RamScope, TrackedVec};
+use ghostdb_types::Result;
+
+/// A fixed-width sortable record.
+pub trait SortRecord: Copy + Ord {
+    /// Encoded size in bytes.
+    const WIDTH: usize;
+    /// Serialize into exactly [`Self::WIDTH`] bytes.
+    fn store(&self, out: &mut [u8]);
+    /// Deserialize from exactly [`Self::WIDTH`] bytes.
+    fn load(buf: &[u8]) -> Self;
+}
+
+impl SortRecord for u32 {
+    const WIDTH: usize = 4;
+    fn store(&self, out: &mut [u8]) {
+        out.copy_from_slice(&self.to_le_bytes());
+    }
+    fn load(buf: &[u8]) -> Self {
+        u32::from_le_bytes(buf.try_into().expect("4B"))
+    }
+}
+
+impl SortRecord for u64 {
+    const WIDTH: usize = 8;
+    fn store(&self, out: &mut [u8]) {
+        out.copy_from_slice(&self.to_le_bytes());
+    }
+    fn load(buf: &[u8]) -> Self {
+        u64::from_le_bytes(buf.try_into().expect("8B"))
+    }
+}
+
+impl SortRecord for (u32, u32) {
+    const WIDTH: usize = 8;
+    fn store(&self, out: &mut [u8]) {
+        out[..4].copy_from_slice(&self.0.to_le_bytes());
+        out[4..].copy_from_slice(&self.1.to_le_bytes());
+    }
+    fn load(buf: &[u8]) -> Self {
+        (
+            u32::from_le_bytes(buf[..4].try_into().expect("4B")),
+            u32::from_le_bytes(buf[4..].try_into().expect("4B")),
+        )
+    }
+}
+
+/// Sorted output: either a small in-RAM vector (no spill happened) or a
+/// stream over a flash segment.
+#[derive(Debug)]
+pub enum SortedStream<T: SortRecord> {
+    /// Everything fit in the run buffer; not spilled.
+    Ram {
+        /// Sorted records (still RAM-charged through the TrackedVec).
+        items: TrackedVec<T>,
+        /// Cursor.
+        pos: usize,
+    },
+    /// Spilled and merged; streamed back from flash.
+    Flash {
+        /// Reader over the final sorted segment.
+        reader: SegmentReader,
+        /// Segment (kept so the caller can free it via
+        /// [`SortedStream::into_segment`]).
+        segment: Segment,
+        /// Volume for freeing on drop.
+        volume: Volume,
+        /// Records remaining.
+        remaining: u64,
+    },
+}
+
+impl<T: SortRecord> SortedStream<T> {
+    /// Next record in ascending order.
+    pub fn next_rec(&mut self) -> Result<Option<T>> {
+        match self {
+            SortedStream::Ram { items, pos } => {
+                let r = items.as_slice().get(*pos).copied();
+                *pos += 1;
+                Ok(r)
+            }
+            SortedStream::Flash {
+                reader, remaining, ..
+            } => {
+                if *remaining == 0 {
+                    return Ok(None);
+                }
+                let mut buf = [0u8; 16];
+                reader.read_exact(&mut buf[..T::WIDTH])?;
+                *remaining -= 1;
+                Ok(Some(T::load(&buf[..T::WIDTH])))
+            }
+        }
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> u64 {
+        match self {
+            SortedStream::Ram { items, .. } => items.len() as u64,
+            SortedStream::Flash { segment, .. } => segment.len() / T::WIDTH as u64,
+        }
+    }
+
+    /// True if the stream holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: SortRecord> Drop for SortedStream<T> {
+    fn drop(&mut self) {
+        if let SortedStream::Flash {
+            segment, volume, ..
+        } = self
+        {
+            let _ = volume.free(segment.clone());
+        }
+    }
+}
+
+/// External merge sorter with a hard RAM allowance.
+#[derive(Debug)]
+pub struct ExternalSorter<T: SortRecord> {
+    volume: Volume,
+    scope: RamScope,
+    /// In-RAM run buffer.
+    run: TrackedVec<T>,
+    run_capacity: usize,
+    /// Spilled sorted runs.
+    runs: Vec<Segment>,
+    total: u64,
+    spills: u64,
+}
+
+impl<T: SortRecord> ExternalSorter<T> {
+    /// Create a sorter allowed ~`ram_bytes` for its run buffer. Merge-time
+    /// page buffers are charged separately when `finish` runs.
+    pub fn new(volume: &Volume, scope: &RamScope, ram_bytes: usize) -> Result<Self> {
+        let cap = (ram_bytes / std::mem::size_of::<T>()).max(16);
+        Ok(ExternalSorter {
+            volume: volume.clone(),
+            scope: scope.clone(),
+            run: TrackedVec::with_capacity(scope, cap)?,
+            run_capacity: cap,
+            runs: Vec::new(),
+            total: 0,
+            spills: 0,
+        })
+    }
+
+    /// Add a record.
+    pub fn push(&mut self, rec: T) -> Result<()> {
+        if self.run.len() >= self.run_capacity {
+            self.spill()?;
+        }
+        self.run.push(rec)?;
+        self.total += 1;
+        Ok(())
+    }
+
+    fn spill(&mut self) -> Result<()> {
+        if self.run.is_empty() {
+            return Ok(());
+        }
+        self.run.as_mut_slice().sort_unstable();
+        let mut w = self.volume.writer(&self.scope)?;
+        let mut buf = vec![0u8; T::WIDTH];
+        for rec in self.run.iter() {
+            rec.store(&mut buf);
+            w.write(&buf)?;
+        }
+        self.runs.push(w.finish()?);
+        self.run.clear();
+        self.spills += 1;
+        Ok(())
+    }
+
+    /// Number of spilled runs so far (observability for tests/benches).
+    pub fn spilled_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total records pushed.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sort everything and return the ascending stream.
+    pub fn finish(mut self) -> Result<SortedStream<T>> {
+        if self.runs.is_empty() {
+            // Pure in-RAM sort.
+            self.run.as_mut_slice().sort_unstable();
+            let items = std::mem::replace(
+                &mut self.run,
+                TrackedVec::with_capacity(&self.scope, 0)?,
+            );
+            return Ok(SortedStream::Ram { items, pos: 0 });
+        }
+        self.spill()?; // flush the tail run
+        // Release the run buffer before allocating merge readers.
+        self.run = TrackedVec::with_capacity(&self.scope, 0)?;
+        // Multi-pass merge bounded by available RAM: each input run costs
+        // one page buffer, plus one writer page.
+        let page = self.volume.page_size();
+        let fan_in = (self.scope.budget().available() / page)
+            .saturating_sub(2)
+            .clamp(2, 16);
+        let mut runs = std::mem::take(&mut self.runs);
+        while runs.len() > 1 {
+            let mut next: Vec<Segment> = Vec::new();
+            for group in runs.chunks(fan_in) {
+                next.push(self.merge_group(group)?);
+            }
+            for seg in runs {
+                self.volume.free(seg)?;
+            }
+            runs = next;
+        }
+        let segment = runs.pop().expect("at least one run");
+        let reader = self.volume.reader(&self.scope, &segment)?;
+        let remaining = segment.len() / T::WIDTH as u64;
+        Ok(SortedStream::Flash {
+            reader,
+            segment,
+            volume: self.volume.clone(),
+            remaining,
+        })
+    }
+
+    fn merge_group(&self, group: &[Segment]) -> Result<Segment> {
+        let mut readers: Vec<SegmentReader> = group
+            .iter()
+            .map(|s| self.volume.reader(&self.scope, s))
+            .collect::<Result<_>>()?;
+        let mut counts: Vec<u64> = group.iter().map(|s| s.len() / T::WIDTH as u64).collect();
+        let mut heap: BinaryHeap<Reverse<(T, usize)>> = BinaryHeap::new();
+        let mut buf = vec![0u8; T::WIDTH];
+        for (i, r) in readers.iter_mut().enumerate() {
+            if counts[i] > 0 {
+                r.read_exact(&mut buf)?;
+                counts[i] -= 1;
+                heap.push(Reverse((T::load(&buf), i)));
+            }
+        }
+        let mut w = self.volume.writer(&self.scope)?;
+        while let Some(Reverse((rec, i))) = heap.pop() {
+            rec.store(&mut buf);
+            w.write(&buf)?;
+            if counts[i] > 0 {
+                readers[i].read_exact(&mut buf)?;
+                counts[i] -= 1;
+                heap.push(Reverse((T::load(&buf), i)));
+            }
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_flash::Nand;
+    use ghostdb_ram::RamBudget;
+    use ghostdb_types::{FlashConfig, SimClock};
+
+    fn setup(ram: usize) -> (Volume, RamScope) {
+        let cfg = FlashConfig {
+            page_size: 256,
+            pages_per_block: 8,
+            num_blocks: 1024,
+            ..FlashConfig::default_2007()
+        };
+        let volume = Volume::new(Nand::new(cfg, SimClock::new()));
+        let scope = RamScope::new(&RamBudget::new(ram));
+        (volume, scope)
+    }
+
+    fn drain<T: SortRecord>(mut s: SortedStream<T>) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(r) = s.next_rec().unwrap() {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn in_ram_sort_small() {
+        let (vol, scope) = setup(64 * 1024);
+        let mut sorter: ExternalSorter<u64> =
+            ExternalSorter::new(&vol, &scope, 8 * 1024).unwrap();
+        for v in [5u64, 3, 9, 1, 7] {
+            sorter.push(v).unwrap();
+        }
+        assert_eq!(sorter.spilled_runs(), 0);
+        let s = sorter.finish().unwrap();
+        assert_eq!(drain(s), vec![1, 3, 5, 7, 9]);
+        // No flash writes happened.
+        assert_eq!(vol.nand().stats().page_programs, 0);
+    }
+
+    #[test]
+    fn spilling_sort_matches_std() {
+        let (vol, scope) = setup(64 * 1024);
+        // Tiny run buffer forces many spills.
+        let mut sorter: ExternalSorter<u64> = ExternalSorter::new(&vol, &scope, 256).unwrap();
+        let mut expect: Vec<u64> = (0..5000u64).map(|i| (i * 2_654_435_761) % 10_007).collect();
+        for &v in &expect {
+            sorter.push(v).unwrap();
+        }
+        assert!(sorter.spilled_runs() > 10);
+        let got = drain(sorter.finish().unwrap());
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert!(vol.nand().stats().page_programs > 0);
+    }
+
+    #[test]
+    fn multi_pass_merge_under_tight_ram() {
+        // RAM fits only a handful of page buffers -> fan-in clamp -> more
+        // than one merge pass.
+        let (vol, scope) = setup(2 * 1024);
+        let mut sorter: ExternalSorter<u32> = ExternalSorter::new(&vol, &scope, 128).unwrap();
+        let mut expect: Vec<u32> = (0..3000u32).rev().collect();
+        for &v in &expect {
+            sorter.push(v).unwrap();
+        }
+        let got = drain(sorter.finish().unwrap());
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pairs_sort_by_first_then_second() {
+        let (vol, scope) = setup(64 * 1024);
+        let mut sorter: ExternalSorter<(u32, u32)> =
+            ExternalSorter::new(&vol, &scope, 128).unwrap();
+        let recs = [(3u32, 1u32), (1, 9), (3, 0), (1, 2), (2, 5)];
+        for r in recs {
+            sorter.push(r).unwrap();
+        }
+        let got = drain(sorter.finish().unwrap());
+        assert_eq!(got, vec![(1, 2), (1, 9), (2, 5), (3, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn temp_segments_are_reclaimed() {
+        let (vol, scope) = setup(64 * 1024);
+        let live_before = vol.usage().live_pages;
+        {
+            let mut sorter: ExternalSorter<u64> =
+                ExternalSorter::new(&vol, &scope, 256).unwrap();
+            for v in (0..4000u64).rev() {
+                sorter.push(v).unwrap();
+            }
+            let s = sorter.finish().unwrap();
+            drop(s); // stream drop frees the final segment
+        }
+        assert_eq!(vol.usage().live_pages, live_before);
+    }
+
+    #[test]
+    fn empty_sorter() {
+        let (vol, scope) = setup(64 * 1024);
+        let sorter: ExternalSorter<u64> = ExternalSorter::new(&vol, &scope, 256).unwrap();
+        assert!(sorter.is_empty());
+        let s = sorter.finish().unwrap();
+        assert!(s.is_empty());
+        assert_eq!(drain(s), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn duplicates_survive() {
+        let (vol, scope) = setup(64 * 1024);
+        let mut sorter: ExternalSorter<u32> = ExternalSorter::new(&vol, &scope, 64).unwrap();
+        for _ in 0..100 {
+            sorter.push(7).unwrap();
+        }
+        for _ in 0..50 {
+            sorter.push(3).unwrap();
+        }
+        let got = drain(sorter.finish().unwrap());
+        assert_eq!(got.len(), 150);
+        assert!(got[..50].iter().all(|&v| v == 3));
+        assert!(got[50..].iter().all(|&v| v == 7));
+    }
+}

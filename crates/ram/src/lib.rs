@@ -1,0 +1,347 @@
+//! Secure-chip RAM accounting.
+//!
+//! The smart USB device's security comes from a *small* silicon die: "the
+//! smaller the die, the more difficult it is to snoop or tamper with
+//! processing" (paper §3). The RAM available to query operators is tens of
+//! kilobytes (64 KB in Figure 2). Every operator in the executor therefore
+//! acquires its working memory through a [`RamBudget`] with a **hard cap**;
+//! exceeding it is an error, not a slowdown — exactly the constraint that
+//! forces the paper's design (climbing indexes instead of hash joins,
+//! Bloom filters instead of materialized id lists, external sort runs on
+//! flash).
+//!
+//! Accounting is RAII: a [`RamGuard`] returns its bytes on drop, and a
+//! [`RamScope`] additionally tracks the per-operator usage and peak that
+//! the demo GUI displays when you click an operator (demo phase 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ghostdb_types::{GhostError, Result};
+
+mod tracked;
+
+pub use tracked::TrackedVec;
+
+#[derive(Debug, Default)]
+struct BudgetInner {
+    cap: usize,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl BudgetInner {
+    fn charge(&self, bytes: usize) -> Result<()> {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let new = cur + bytes;
+            if new > self.cap {
+                return Err(GhostError::OutOfDeviceRam {
+                    requested: bytes,
+                    available: self.cap.saturating_sub(cur),
+                    budget: self.cap,
+                });
+            }
+            match self
+                .used
+                .compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.peak.fetch_max(new, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn release(&self, bytes: usize) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// A hard-capped RAM budget shared by all operators of one device.
+///
+/// Cloning shares the cap and counters.
+#[derive(Debug, Clone)]
+pub struct RamBudget {
+    inner: Arc<BudgetInner>,
+}
+
+impl RamBudget {
+    /// Create a budget of `cap` bytes (64 KiB on the paper's platform).
+    pub fn new(cap: usize) -> Self {
+        RamBudget {
+            inner: Arc::new(BudgetInner {
+                cap,
+                used: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Acquire `bytes` of device RAM, failing if the cap would be exceeded.
+    pub fn alloc(&self, bytes: usize) -> Result<RamGuard> {
+        self.inner.charge(bytes)?;
+        Ok(RamGuard {
+            budget: self.clone(),
+            bytes,
+        })
+    }
+
+    /// Total budget in bytes.
+    pub fn cap(&self) -> usize {
+        self.inner.cap
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since creation or the last [`RamBudget::reset_peak`].
+    pub fn peak(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.cap().saturating_sub(self.used())
+    }
+
+    /// Reset the high-water mark to the current usage (benchmark phases).
+    pub fn reset_peak(&self) {
+        self.inner.peak.store(self.used(), Ordering::Relaxed);
+    }
+}
+
+/// RAII lease of device RAM; returns the bytes to the budget on drop.
+#[derive(Debug)]
+pub struct RamGuard {
+    budget: RamBudget,
+    bytes: usize,
+}
+
+impl RamGuard {
+    /// Bytes held by this guard.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Resize the lease, charging or releasing the difference.
+    pub fn resize(&mut self, new_bytes: usize) -> Result<()> {
+        if new_bytes > self.bytes {
+            self.budget.inner.charge(new_bytes - self.bytes)?;
+        } else {
+            self.budget.inner.release(self.bytes - new_bytes);
+        }
+        self.bytes = new_bytes;
+        Ok(())
+    }
+}
+
+impl Drop for RamGuard {
+    fn drop(&mut self) {
+        self.budget.inner.release(self.bytes);
+    }
+}
+
+#[derive(Debug, Default)]
+struct ScopeInner {
+    used: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+/// Per-operator view of the shared budget.
+///
+/// Allocations made through a scope count against the device-wide budget
+/// *and* the scope's own counters, giving the "local RAM consumption"
+/// statistic the demo shows per plan operator.
+#[derive(Debug, Clone)]
+pub struct RamScope {
+    budget: RamBudget,
+    inner: Arc<ScopeInner>,
+}
+
+impl RamScope {
+    /// Create a scope over `budget`.
+    pub fn new(budget: &RamBudget) -> Self {
+        RamScope {
+            budget: budget.clone(),
+            inner: Arc::new(ScopeInner::default()),
+        }
+    }
+
+    /// Acquire `bytes`, attributed to this scope.
+    pub fn alloc(&self, bytes: usize) -> Result<ScopedGuard> {
+        let guard = self.budget.alloc(bytes)?;
+        let new = self.inner.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.peak.fetch_max(new, Ordering::Relaxed);
+        Ok(ScopedGuard {
+            scope: self.clone(),
+            guard,
+        })
+    }
+
+    /// Bytes currently attributed to this scope.
+    pub fn used(&self) -> usize {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// This scope's high-water mark.
+    pub fn peak(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// The underlying device budget.
+    pub fn budget(&self) -> &RamBudget {
+        &self.budget
+    }
+}
+
+/// RAII lease attributed to a [`RamScope`].
+#[derive(Debug)]
+pub struct ScopedGuard {
+    scope: RamScope,
+    guard: RamGuard,
+}
+
+impl ScopedGuard {
+    /// Bytes held by this guard.
+    pub fn bytes(&self) -> usize {
+        self.guard.bytes()
+    }
+
+    /// Resize the lease, updating both scope and budget accounting.
+    pub fn resize(&mut self, new_bytes: usize) -> Result<()> {
+        let old = self.guard.bytes();
+        self.guard.resize(new_bytes)?;
+        if new_bytes > old {
+            let delta = new_bytes - old;
+            let new = self.scope.inner.used.fetch_add(delta, Ordering::Relaxed) + delta;
+            self.scope.inner.peak.fetch_max(new, Ordering::Relaxed);
+        } else {
+            self.scope
+                .inner
+                .used
+                .fetch_sub(old - new_bytes, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ScopedGuard {
+    fn drop(&mut self) {
+        self.scope
+            .inner
+            .used
+            .fetch_sub(self.guard.bytes(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_is_enforced() {
+        let b = RamBudget::new(1000);
+        let _g = b.alloc(900).unwrap();
+        let err = b.alloc(200).unwrap_err();
+        match err {
+            GhostError::OutOfDeviceRam {
+                requested,
+                available,
+                budget,
+            } => {
+                assert_eq!(requested, 200);
+                assert_eq!(available, 100);
+                assert_eq!(budget, 1000);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn drop_releases() {
+        let b = RamBudget::new(100);
+        {
+            let _g = b.alloc(80).unwrap();
+            assert_eq!(b.used(), 80);
+        }
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.peak(), 80);
+        let _g = b.alloc(100).unwrap(); // fits again
+    }
+
+    #[test]
+    fn resize_grow_and_shrink() {
+        let b = RamBudget::new(100);
+        let mut g = b.alloc(10).unwrap();
+        g.resize(60).unwrap();
+        assert_eq!(b.used(), 60);
+        g.resize(5).unwrap();
+        assert_eq!(b.used(), 5);
+        assert!(g.resize(200).is_err());
+        assert_eq!(b.used(), 5, "failed grow must not charge");
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let b = RamBudget::new(100);
+        let g1 = b.alloc(40).unwrap();
+        let g2 = b.alloc(50).unwrap();
+        drop(g1);
+        drop(g2);
+        assert_eq!(b.peak(), 90);
+        b.reset_peak();
+        assert_eq!(b.peak(), 0);
+    }
+
+    #[test]
+    fn scopes_attribute_usage() {
+        let b = RamBudget::new(1000);
+        let s1 = RamScope::new(&b);
+        let s2 = RamScope::new(&b);
+        let g1 = s1.alloc(100).unwrap();
+        let _g2 = s2.alloc(300).unwrap();
+        assert_eq!(s1.used(), 100);
+        assert_eq!(s2.used(), 300);
+        assert_eq!(b.used(), 400);
+        drop(g1);
+        assert_eq!(s1.used(), 0);
+        assert_eq!(s1.peak(), 100);
+        assert_eq!(b.used(), 300);
+    }
+
+    #[test]
+    fn scope_respects_device_cap() {
+        let b = RamBudget::new(100);
+        let s = RamScope::new(&b);
+        let _g = s.alloc(90).unwrap();
+        assert!(s.alloc(20).is_err());
+    }
+
+    #[test]
+    fn scoped_resize_updates_both() {
+        let b = RamBudget::new(100);
+        let s = RamScope::new(&b);
+        let mut g = s.alloc(10).unwrap();
+        g.resize(50).unwrap();
+        assert_eq!(s.used(), 50);
+        assert_eq!(b.used(), 50);
+        g.resize(20).unwrap();
+        assert_eq!(s.used(), 20);
+        assert_eq!(b.used(), 20);
+    }
+
+    #[test]
+    fn zero_byte_alloc_is_fine() {
+        let b = RamBudget::new(0);
+        let _g = b.alloc(0).unwrap();
+        assert!(b.alloc(1).is_err());
+    }
+}

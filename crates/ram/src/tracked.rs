@@ -1,0 +1,171 @@
+//! A growable vector whose capacity is charged to a [`RamScope`].
+//!
+//! Operators use `TrackedVec` for any in-RAM materialization (merge
+//! buffers, Bloom filter bit arrays, sort runs). Pushing can fail with
+//! [`ghostdb_types::GhostError::OutOfDeviceRam`], which is precisely the
+//! signal the executor uses to switch to a spilling strategy.
+
+use std::mem::size_of;
+
+use ghostdb_types::Result;
+
+use crate::{RamScope, ScopedGuard};
+
+/// A `Vec<T>` whose heap capacity counts against the device RAM budget.
+#[derive(Debug)]
+pub struct TrackedVec<T> {
+    items: Vec<T>,
+    guard: ScopedGuard,
+}
+
+impl<T> TrackedVec<T> {
+    /// Create an empty vector charged to `scope`.
+    pub fn new(scope: &RamScope) -> Result<Self> {
+        Self::with_capacity(scope, 0)
+    }
+
+    /// Create a vector with room for `cap` elements.
+    pub fn with_capacity(scope: &RamScope, cap: usize) -> Result<Self> {
+        let guard = scope.alloc(cap * size_of::<T>())?;
+        Ok(TrackedVec {
+            items: Vec::with_capacity(cap),
+            guard,
+        })
+    }
+
+    /// Append an element, growing (and charging) capacity as needed.
+    pub fn push(&mut self, value: T) -> Result<()> {
+        if self.items.len() == self.items.capacity() {
+            let new_cap = (self.items.capacity() * 2).max(8);
+            self.guard.resize(new_cap * size_of::<T>())?;
+            self.items.reserve_exact(new_cap - self.items.capacity());
+        }
+        self.items.push(value);
+        Ok(())
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Borrow the elements.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Mutably borrow the elements (e.g. for in-place sorting).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.items
+    }
+
+    /// Remove all elements, keeping (and keeping paid for) the capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Bytes of device RAM this vector currently holds.
+    pub fn charged_bytes(&self) -> usize {
+        self.guard.bytes()
+    }
+
+    /// Consume the vector, releasing its RAM charge, and return the items
+    /// as an ordinary (untracked) `Vec`. Use only when handing data off
+    /// the device model (e.g. to the secure display).
+    pub fn into_untracked(self) -> Vec<T> {
+        self.items
+    }
+
+    /// Iterate over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a TrackedVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RamBudget;
+
+    #[test]
+    fn push_charges_budget() {
+        let b = RamBudget::new(1024);
+        let s = RamScope::new(&b);
+        let mut v: TrackedVec<u32> = TrackedVec::new(&s).unwrap();
+        for i in 0..100u32 {
+            v.push(i).unwrap();
+        }
+        assert_eq!(v.len(), 100);
+        assert!(b.used() >= 100 * 4, "used {} < 400", b.used());
+        assert_eq!(v.as_slice()[99], 99);
+    }
+
+    #[test]
+    fn overflow_fails_cleanly() {
+        let b = RamBudget::new(64);
+        let s = RamScope::new(&b);
+        let mut v: TrackedVec<u64> = TrackedVec::new(&s).unwrap();
+        let mut pushed = 0;
+        loop {
+            if v.push(pushed).is_err() {
+                break;
+            }
+            pushed += 1;
+            assert!(pushed < 100, "budget never enforced");
+        }
+        // The vector is still usable after a failed push.
+        assert_eq!(v.len() as u64, pushed);
+        assert!(b.used() <= 64);
+    }
+
+    #[test]
+    fn drop_returns_ram() {
+        let b = RamBudget::new(4096);
+        let s = RamScope::new(&b);
+        {
+            let mut v: TrackedVec<u32> = TrackedVec::with_capacity(&s, 64).unwrap();
+            v.push(1).unwrap();
+            assert!(b.used() >= 256);
+        }
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_charge() {
+        let b = RamBudget::new(4096);
+        let s = RamScope::new(&b);
+        let mut v: TrackedVec<u32> = TrackedVec::with_capacity(&s, 16).unwrap();
+        for i in 0..16 {
+            v.push(i).unwrap();
+        }
+        let charged = v.charged_bytes();
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.charged_bytes(), charged);
+    }
+
+    #[test]
+    fn sort_via_mut_slice() {
+        let b = RamBudget::new(4096);
+        let s = RamScope::new(&b);
+        let mut v: TrackedVec<u32> = TrackedVec::new(&s).unwrap();
+        for i in [5u32, 1, 4, 2, 3] {
+            v.push(i).unwrap();
+        }
+        v.as_mut_slice().sort_unstable();
+        assert_eq!(v.as_slice(), &[1, 2, 3, 4, 5]);
+    }
+}

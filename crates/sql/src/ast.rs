@@ -1,0 +1,111 @@
+//! Abstract syntax of the SQL subset.
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE ...`
+    CreateTable(CreateTable),
+    /// `SELECT ... FROM ... WHERE ...`
+    Select(SelectStmt),
+    /// `INSERT INTO t VALUES (...), (...)`
+    Insert(InsertStmt),
+}
+
+/// Column type as written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeDecl {
+    /// `INTEGER` / `INT`.
+    Integer,
+    /// `DATE`.
+    Date,
+    /// `CHAR(n)` / `VARCHAR(n)`.
+    Char(u16),
+}
+
+/// One column in a `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDecl {
+    /// Column name.
+    pub name: String,
+    /// Declared type (`None` for bare `REFERENCES` columns, which default
+    /// to `INTEGER`).
+    pub ty: Option<TypeDecl>,
+    /// `PRIMARY KEY` flag.
+    pub primary_key: bool,
+    /// `HIDDEN` flag — the paper's single schema extension.
+    pub hidden: bool,
+    /// `REFERENCES table(column)`.
+    pub references: Option<(String, String)>,
+}
+
+/// A `CREATE TABLE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDecl>,
+}
+
+/// A possibly-qualified column reference (`Vis.Date` or `Date`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualCol {
+    /// Table name or alias, if qualified.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// A literal value as written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Quoted string (may coerce to DATE against a date column).
+    Str(String),
+    /// Unquoted date literal.
+    DateLit(String),
+}
+
+/// One conjunct of a `WHERE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhereAtom {
+    /// `column OP literal`.
+    Compare {
+        /// Column being selected on.
+        col: QualCol,
+        /// Operator.
+        op: ghostdb_types::ScalarOp,
+        /// Right-hand literal.
+        value: Literal,
+    },
+    /// `column = column` (a join condition).
+    Join {
+        /// Left column.
+        left: QualCol,
+        /// Right column.
+        right: QualCol,
+    },
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Original statement text.
+    pub text: String,
+    /// Projected columns.
+    pub projections: Vec<QualCol>,
+    /// `FROM` tables with optional aliases.
+    pub from: Vec<(String, Option<String>)>,
+    /// Conjuncts of the `WHERE` clause (empty if absent).
+    pub where_atoms: Vec<WhereAtom>,
+}
+
+/// An `INSERT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// Target table.
+    pub table: String,
+    /// Rows of literals.
+    pub rows: Vec<Vec<Literal>>,
+}

@@ -1,0 +1,361 @@
+//! Binding parsed statements against the catalog.
+
+use ghostdb_catalog::{ColumnRef, Predicate, Schema, SchemaBuilder, TreeSchema, Visibility};
+use ghostdb_types::{DataType, Date, GhostError, Result, TableId, Value};
+
+use crate::ast::{CreateTable, Literal, QualCol, SelectStmt, Statement, TypeDecl};
+
+// Note: the executor's QuerySpec lives in ghostdb-exec; depending on exec
+// from sql would invert the layering, so the binder returns the raw bound
+// parts ([`BoundSelect`]) and `ghostdb-core` assembles the QuerySpec.
+
+/// The bound pieces of a SELECT, ready for `QuerySpec::bind`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundSelect {
+    /// Original statement text.
+    pub sql: String,
+    /// Tables in FROM.
+    pub tables: Vec<TableId>,
+    /// Projections in SELECT order.
+    pub projections: Vec<ColumnRef>,
+    /// Selection predicates.
+    pub predicates: Vec<Predicate>,
+    /// Join conditions.
+    pub joins: Vec<(ColumnRef, ColumnRef)>,
+}
+
+/// Build a [`Schema`] from the `CREATE TABLE` statements of a script.
+///
+/// Reproduction constraints (documented, checked):
+/// * the first column of every table must be its `INTEGER PRIMARY KEY`
+///   (dense surrogate, replicated on the device);
+/// * `REFERENCES` must target the referenced table's primary key.
+pub fn bind_schema(stmts: &[Statement]) -> Result<Schema> {
+    let creates: Vec<&CreateTable> = stmts
+        .iter()
+        .filter_map(|s| match s {
+            Statement::CreateTable(ct) => Some(ct),
+            _ => None,
+        })
+        .collect();
+    if creates.is_empty() {
+        return Err(GhostError::sql("script contains no CREATE TABLE"));
+    }
+    let mut b = SchemaBuilder::new();
+    for ct in &creates {
+        let first = ct
+            .columns
+            .first()
+            .ok_or_else(|| GhostError::sql(format!("table {} has no columns", ct.name)))?;
+        if !first.primary_key {
+            return Err(GhostError::unsupported(format!(
+                "table {}: the first column must be the PRIMARY KEY",
+                ct.name
+            )));
+        }
+        if !matches!(first.ty, Some(TypeDecl::Integer) | None) {
+            return Err(GhostError::unsupported(format!(
+                "table {}: primary keys must be INTEGER",
+                ct.name
+            )));
+        }
+        if first.hidden {
+            return Err(GhostError::unsupported(format!(
+                "table {}: primary keys are replicated on the device and \
+                 cannot be HIDDEN (paper §2)",
+                ct.name
+            )));
+        }
+        let mut slot = b.table(&ct.name, &first.name);
+        for col in &ct.columns[1..] {
+            if col.primary_key {
+                return Err(GhostError::unsupported(format!(
+                    "table {}: only the first column may be PRIMARY KEY",
+                    ct.name
+                )));
+            }
+            let vis = if col.hidden {
+                Visibility::Hidden
+            } else {
+                Visibility::Visible
+            };
+            if let Some((target, _target_col)) = &col.references {
+                if col.ty.is_some() && col.ty != Some(TypeDecl::Integer) {
+                    return Err(GhostError::unsupported(format!(
+                        "table {}: foreign key {} must be INTEGER",
+                        ct.name, col.name
+                    )));
+                }
+                slot = slot.foreign_key(&col.name, target, vis);
+            } else {
+                let ty = match col.ty {
+                    Some(TypeDecl::Integer) | None => DataType::Integer,
+                    Some(TypeDecl::Date) => DataType::Date,
+                    Some(TypeDecl::Char(n)) => DataType::Char(n),
+                };
+                slot = slot.column(&col.name, ty, vis);
+            }
+        }
+        let _ = slot; // slot borrows the builder; end its scope here
+    }
+    let schema = b.build()?;
+    // REFERENCES must point at primary keys.
+    for ct in &creates {
+        for col in &ct.columns {
+            if let Some((target, target_col)) = &col.references {
+                let tid = schema.resolve_table(target)?;
+                let pk_name = &schema.table(tid).columns[0].name;
+                if !pk_name.eq_ignore_ascii_case(target_col) {
+                    return Err(GhostError::unsupported(format!(
+                        "{}.{} references {}.{}, which is not its primary key",
+                        ct.name, col.name, target, target_col
+                    )));
+                }
+            }
+        }
+    }
+    Ok(schema)
+}
+
+/// Coerce a literal against a column type.
+pub fn coerce_literal(lit: &Literal, ty: DataType) -> Result<Value> {
+    match (lit, ty) {
+        (Literal::Int(v), DataType::Integer) => Ok(Value::Int(*v)),
+        (Literal::Str(s), DataType::Char(cap)) => {
+            if s.len() > cap as usize {
+                return Err(GhostError::sql(format!(
+                    "string literal exceeds CHAR({cap})"
+                )));
+            }
+            Ok(Value::Text(s.clone()))
+        }
+        (Literal::Str(s), DataType::Date) => Ok(Value::Date(Date::parse(s)?)),
+        (Literal::DateLit(s), DataType::Date) => Ok(Value::Date(Date::parse(s)?)),
+        (lit, ty) => Err(GhostError::sql(format!(
+            "literal {lit:?} incompatible with column type {ty}"
+        ))),
+    }
+}
+
+struct FromScope<'a> {
+    schema: &'a Schema,
+    /// (table id, names it answers to).
+    entries: Vec<(TableId, Vec<String>)>,
+}
+
+impl FromScope<'_> {
+    fn resolve(&self, q: &QualCol) -> Result<ColumnRef> {
+        match &q.table {
+            Some(t) => {
+                let tid = self
+                    .entries
+                    .iter()
+                    .find(|(_, names)| names.iter().any(|n| n.eq_ignore_ascii_case(t)))
+                    .map(|(id, _)| *id)
+                    .ok_or_else(|| {
+                        GhostError::sql(format!("table or alias {t:?} not in FROM"))
+                    })?;
+                self.schema.resolve_column(tid, &q.column)
+            }
+            None => {
+                let mut hits = Vec::new();
+                for (tid, _) in &self.entries {
+                    if let Ok(cref) = self.schema.resolve_column(*tid, &q.column) {
+                        hits.push(cref);
+                    }
+                }
+                match hits.len() {
+                    1 => Ok(hits[0]),
+                    0 => Err(GhostError::sql(format!(
+                        "column {:?} not found in FROM tables",
+                        q.column
+                    ))),
+                    _ => Err(GhostError::sql(format!(
+                        "column {:?} is ambiguous",
+                        q.column
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+/// Bind a parsed SELECT against the schema.
+pub fn bind_select(schema: &Schema, _tree: &TreeSchema, stmt: &SelectStmt) -> Result<BoundSelect> {
+    let mut entries = Vec::new();
+    for (name, alias) in &stmt.from {
+        let tid = schema.resolve_table(name)?;
+        let mut names = vec![name.clone(), schema.table(tid).name.clone()];
+        if let Some(a) = &schema.table(tid).alias {
+            names.push(a.clone());
+        }
+        if let Some(a) = alias {
+            names.push(a.clone());
+        }
+        entries.push((tid, names));
+    }
+    let scope = FromScope { schema, entries };
+
+    let mut projections = Vec::new();
+    for q in &stmt.projections {
+        projections.push(scope.resolve(q)?);
+    }
+    let mut predicates = Vec::new();
+    let mut joins = Vec::new();
+    for atom in &stmt.where_atoms {
+        match atom {
+            crate::ast::WhereAtom::Compare { col, op, value } => {
+                let cref = scope.resolve(col)?;
+                let ty = schema.column_def(cref).ty;
+                let v = coerce_literal(value, ty)?;
+                predicates.push(Predicate {
+                    column: cref,
+                    op: *op,
+                    value: v,
+                });
+            }
+            crate::ast::WhereAtom::Join { left, right } => {
+                joins.push((scope.resolve(left)?, scope.resolve(right)?));
+            }
+        }
+    }
+    Ok(BoundSelect {
+        sql: stmt.text.clone(),
+        tables: scope.entries.iter().map(|(t, _)| *t).collect(),
+        projections,
+        predicates,
+        joins,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statements;
+    use ghostdb_types::ScalarOp;
+
+    const DDL: &str = "\
+        CREATE TABLE Doctor ( \
+          DocID INTEGER PRIMARY KEY, \
+          Name CHAR(40), \
+          Country CHAR(20)); \
+        CREATE TABLE Medicine ( \
+          MedID INTEGER PRIMARY KEY, \
+          Name CHAR(40), \
+          Type CHAR(20)); \
+        CREATE TABLE Visit ( \
+          VisID INTEGER PRIMARY KEY, \
+          Date DATE, \
+          Purpose CHAR(100) HIDDEN, \
+          DocID REFERENCES Doctor(DocID) HIDDEN); \
+        CREATE TABLE Prescription ( \
+          PreID INTEGER PRIMARY KEY, \
+          Quantity INTEGER HIDDEN, \
+          MedID REFERENCES Medicine(MedID) HIDDEN, \
+          VisID REFERENCES Visit(VisID) HIDDEN);";
+
+    fn schema() -> Schema {
+        bind_schema(&parse_statements(DDL).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn schema_binds_with_visibility() {
+        let s = schema();
+        assert_eq!(s.table_count(), 4);
+        let vis = s.resolve_table("Visit").unwrap();
+        let purpose = s.resolve_column(vis, "Purpose").unwrap();
+        assert!(s.is_hidden(purpose));
+        let date = s.resolve_column(vis, "Date").unwrap();
+        assert!(!s.is_hidden(date));
+        let tree = TreeSchema::analyze(&s).unwrap();
+        assert_eq!(tree.root(), s.resolve_table("Prescription").unwrap());
+    }
+
+    #[test]
+    fn select_binds_paper_query() {
+        let s = schema();
+        let tree = TreeSchema::analyze(&s).unwrap();
+        let stmts = parse_statements(
+            "SELECT Med.Name, Pre.Quantity, Vis.Date \
+             FROM Medicine Med, Prescription Pre, Visit Vis \
+             WHERE Vis.Date > 05-11-2006 \
+               AND Vis.Purpose = 'Sclerosis' \
+               AND Med.Type = 'Antibiotic' \
+               AND Med.MedID = Pre.MedID \
+               AND Vis.VisID = Pre.VisID;",
+        )
+        .unwrap();
+        let Statement::Select(sel) = &stmts[0] else {
+            panic!()
+        };
+        let bound = bind_select(&s, &tree, sel).unwrap();
+        assert_eq!(bound.tables.len(), 3);
+        assert_eq!(bound.projections.len(), 3);
+        assert_eq!(bound.predicates.len(), 3);
+        assert_eq!(bound.joins.len(), 2);
+        assert_eq!(bound.predicates[0].op, ScalarOp::Gt);
+        assert_eq!(
+            bound.predicates[0].value,
+            Value::Date(Date::parse("2006-11-05").unwrap())
+        );
+    }
+
+    #[test]
+    fn literal_coercions() {
+        assert_eq!(
+            coerce_literal(&Literal::Int(5), DataType::Integer).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            coerce_literal(&Literal::Str("2001-02-03".into()), DataType::Date).unwrap(),
+            Value::Date(Date::from_ymd(2001, 2, 3).unwrap())
+        );
+        assert!(coerce_literal(&Literal::Int(5), DataType::Date).is_err());
+        assert!(coerce_literal(&Literal::Str("toolongtext".into()), DataType::Char(3)).is_err());
+    }
+
+    #[test]
+    fn hidden_primary_key_rejected() {
+        let err = bind_schema(
+            &parse_statements("CREATE TABLE T (id INTEGER PRIMARY KEY HIDDEN);").unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot be HIDDEN"));
+    }
+
+    #[test]
+    fn pk_must_be_first() {
+        let err = bind_schema(
+            &parse_statements("CREATE TABLE T (x INTEGER, id INTEGER PRIMARY KEY);").unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("first column"));
+    }
+
+    #[test]
+    fn fk_must_reference_pk() {
+        let err = bind_schema(
+            &parse_statements(
+                "CREATE TABLE A (aid INTEGER PRIMARY KEY, nm CHAR(5)); \
+                 CREATE TABLE B (bid INTEGER PRIMARY KEY, a REFERENCES A(nm));",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not its primary key"));
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column() {
+        let s = schema();
+        let tree = TreeSchema::analyze(&s).unwrap();
+        let stmts = parse_statements(
+            "SELECT Name FROM Doctor, Medicine WHERE Doctor.DocID = Doctor.DocID",
+        )
+        .unwrap();
+        let Statement::Select(sel) = &stmts[0] else {
+            panic!()
+        };
+        assert!(bind_select(&s, &tree, sel).is_err());
+    }
+}

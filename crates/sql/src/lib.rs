@@ -1,0 +1,35 @@
+//! SQL subset: lexer, parser and binder.
+//!
+//! GhostDB's promise (paper §1) is "minimal changes to schema definitions
+//! and **no changes to the SQL query text**": hiding is declared with a
+//! single extra `HIDDEN` keyword in `CREATE TABLE`, and queries are plain
+//! SPJ SQL. This crate accepts exactly the paper's statements — including
+//! its `/*VISIBLE*/`-style comments, unquoted `05-11-2006` date literals
+//! and typographic quotes — and binds them against the catalog:
+//!
+//! ```
+//! use ghostdb_sql::parse_statements;
+//! let stmts = parse_statements(
+//!     "CREATE TABLE Visit ( \
+//!        VisID INTEGER PRIMARY KEY, \
+//!        Date DATE, \
+//!        Purpose CHAR(100) HIDDEN);",
+//! ).unwrap();
+//! assert_eq!(stmts.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod binder;
+mod lexer;
+mod parser;
+
+pub use ast::{
+    ColumnDecl, CreateTable, InsertStmt, Literal, QualCol, SelectStmt, Statement, TypeDecl,
+    WhereAtom,
+};
+pub use binder::{bind_schema, bind_select, coerce_literal, BoundSelect};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::parse_statements;

@@ -1,0 +1,424 @@
+//! Recursive-descent parser for the SQL subset.
+
+use ghostdb_types::{GhostError, Result, ScalarOp};
+
+use crate::ast::{
+    ColumnDecl, CreateTable, InsertStmt, Literal, QualCol, SelectStmt, Statement, TypeDecl,
+    WhereAtom,
+};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+struct Parser<'a> {
+    toks: Vec<Token>,
+    pos: usize,
+    text: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|t| t.pos)
+            .unwrap_or(self.text.len())
+    }
+
+    fn next(&mut self) -> Option<TokenKind> {
+        let t = self.toks.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GhostError {
+        GhostError::sql_at(msg, self.here())
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        match self.next() {
+            Some(k) if &k == kind => Ok(()),
+            other => Err(self.err(format!("expected {kind:?}, found {other:?}"))),
+        }
+    }
+
+    /// Consume an identifier (any case) and return it.
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Peek: is the next token the given keyword (case-insensitive)?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume the given keyword or error.
+    fn kw(&mut self, kw: &str) -> Result<()> {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    /// Consume the keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.at_kw("CREATE") {
+            self.create_table().map(Statement::CreateTable)
+        } else if self.at_kw("SELECT") {
+            self.select().map(Statement::Select)
+        } else if self.at_kw("INSERT") {
+            self.insert().map(Statement::Insert)
+        } else {
+            Err(self.err("expected CREATE TABLE, SELECT or INSERT"))
+        }
+    }
+
+    fn type_decl(&mut self) -> Result<TypeDecl> {
+        let name = self.ident()?;
+        match name.to_ascii_uppercase().as_str() {
+            "INTEGER" | "INT" => Ok(TypeDecl::Integer),
+            "DATE" => Ok(TypeDecl::Date),
+            "CHAR" | "VARCHAR" => {
+                self.expect(&TokenKind::LParen)?;
+                let n = match self.next() {
+                    Some(TokenKind::Int(v)) if v > 0 && v <= u16::MAX as i64 => v as u16,
+                    other => return Err(self.err(format!("bad CHAR length {other:?}"))),
+                };
+                self.expect(&TokenKind::RParen)?;
+                Ok(TypeDecl::Char(n))
+            }
+            other => Err(self.err(format!("unknown type {other}"))),
+        }
+    }
+
+    fn create_table(&mut self) -> Result<CreateTable> {
+        self.kw("CREATE")?;
+        self.kw("TABLE")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col_name = self.ident()?;
+            // Type is optional when REFERENCES follows directly (the
+            // paper writes `DocID REFERENCES Doctor(DocID) HIDDEN`).
+            let ty = if self.at_kw("REFERENCES")
+                || self.at_kw("HIDDEN")
+                || self.at_kw("PRIMARY")
+                || matches!(self.peek(), Some(TokenKind::Comma | TokenKind::RParen))
+            {
+                None
+            } else {
+                Some(self.type_decl()?)
+            };
+            let mut decl = ColumnDecl {
+                name: col_name,
+                ty,
+                primary_key: false,
+                hidden: false,
+                references: None,
+            };
+            loop {
+                if self.eat_kw("PRIMARY") {
+                    self.kw("KEY")?;
+                    decl.primary_key = true;
+                } else if self.eat_kw("HIDDEN") {
+                    decl.hidden = true;
+                } else if self.eat_kw("REFERENCES") {
+                    let t = self.ident()?;
+                    self.expect(&TokenKind::LParen)?;
+                    let c = self.ident()?;
+                    self.expect(&TokenKind::RParen)?;
+                    decl.references = Some((t, c));
+                } else {
+                    break;
+                }
+            }
+            columns.push(decl);
+            match self.next() {
+                Some(TokenKind::Comma) => continue,
+                Some(TokenKind::RParen) => break,
+                other => return Err(self.err(format!("expected , or ) found {other:?}"))),
+            }
+        }
+        let _ = self.eat_semi();
+        Ok(CreateTable { name, columns })
+    }
+
+    fn eat_semi(&mut self) -> bool {
+        if matches!(self.peek(), Some(TokenKind::Semi)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn qual_col(&mut self) -> Result<QualCol> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Some(TokenKind::Dot)) {
+            self.pos += 1;
+            let col = self.ident()?;
+            Ok(QualCol {
+                table: Some(first),
+                column: col,
+            })
+        } else {
+            Ok(QualCol {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        match self.next() {
+            Some(TokenKind::Int(v)) => Ok(Literal::Int(v)),
+            Some(TokenKind::Str(s)) => Ok(Literal::Str(s)),
+            Some(TokenKind::DateLit(s)) => Ok(Literal::DateLit(s)),
+            other => Err(self.err(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.kw("SELECT")?;
+        let mut projections = Vec::new();
+        loop {
+            projections.push(self.qual_col()?);
+            if matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident()?;
+            // Optional alias (not a keyword).
+            let alias = match self.peek() {
+                Some(TokenKind::Ident(s))
+                    if !s.eq_ignore_ascii_case("WHERE") && !s.eq_ignore_ascii_case("AND") =>
+                {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            };
+            from.push((table, alias));
+            if matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let mut where_atoms = Vec::new();
+        if self.eat_kw("WHERE") {
+            loop {
+                where_atoms.push(self.where_atom()?);
+                if !self.eat_kw("AND") {
+                    break;
+                }
+            }
+        }
+        let _ = self.eat_semi();
+        Ok(SelectStmt {
+            text: self.text.to_string(),
+            projections,
+            from,
+            where_atoms,
+        })
+    }
+
+    fn where_atom(&mut self) -> Result<WhereAtom> {
+        let left = self.qual_col()?;
+        let op = match self.next() {
+            Some(TokenKind::Eq) => ScalarOp::Eq,
+            Some(TokenKind::Lt) => ScalarOp::Lt,
+            Some(TokenKind::Le) => ScalarOp::Le,
+            Some(TokenKind::Gt) => ScalarOp::Gt,
+            Some(TokenKind::Ge) => ScalarOp::Ge,
+            other => return Err(self.err(format!("expected comparison, found {other:?}"))),
+        };
+        // Column-vs-column (join) only for equality.
+        if matches!(self.peek(), Some(TokenKind::Ident(_))) {
+            if op != ScalarOp::Eq {
+                return Err(self.err("only equality joins are supported"));
+            }
+            let right = self.qual_col()?;
+            return Ok(WhereAtom::Join { left, right });
+        }
+        let value = self.literal()?;
+        Ok(WhereAtom::Compare {
+            col: left,
+            op,
+            value,
+        })
+    }
+
+    fn insert(&mut self) -> Result<InsertStmt> {
+        self.kw("INSERT")?;
+        self.kw("INTO")?;
+        let table = self.ident()?;
+        self.kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                match self.next() {
+                    Some(TokenKind::Comma) => continue,
+                    Some(TokenKind::RParen) => break,
+                    other => {
+                        return Err(self.err(format!("expected , or ) found {other:?}")))
+                    }
+                }
+            }
+            rows.push(row);
+            if matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let _ = self.eat_semi();
+        Ok(InsertStmt { table, rows })
+    }
+}
+
+/// Parse a script of `;`-separated statements.
+pub fn parse_statements(input: &str) -> Result<Vec<Statement>> {
+    let toks = tokenize(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        text: input,
+    };
+    let mut out = Vec::new();
+    while p.peek().is_some() {
+        out.push(p.statement()?);
+        while p.eat_semi() {}
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_create_table() {
+        let stmts = parse_statements(
+            "CREATE TABLE Visit ( \
+               VisID INTEGER PRIMARY KEY, \
+               Date DATE, \
+               Purpose CHAR(100) HIDDEN, \
+               DocID REFERENCES Doctor(DocID) HIDDEN, \
+               PatID REFERENCES Patient(PatID) HIDDEN);",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = &stmts[0] else {
+            panic!("not a create table")
+        };
+        assert_eq!(ct.name, "Visit");
+        assert_eq!(ct.columns.len(), 5);
+        assert!(ct.columns[0].primary_key);
+        assert!(!ct.columns[0].hidden);
+        assert_eq!(ct.columns[2].ty, Some(TypeDecl::Char(100)));
+        assert!(ct.columns[2].hidden);
+        assert_eq!(
+            ct.columns[3].references,
+            Some(("Doctor".into(), "DocID".into()))
+        );
+        assert!(ct.columns[3].ty.is_none());
+        assert!(ct.columns[3].hidden);
+    }
+
+    #[test]
+    fn parses_the_paper_query() {
+        let stmts = parse_statements(
+            "SELECT Med.Name, Pre.Quantity, Vis.Date \
+             FROM Medicine Med, Prescription Pre, Visit Vis \
+             WHERE Vis.Date > 05-11-2006 /*VISIBLE*/ \
+               AND Vis.Purpose = \u{201C}Sclerosis\u{201D} /*HIDDEN*/ \
+               AND Med.Type = \u{201C}Antibiotic\u{201D} /*VISIBLE*/ \
+               AND Med.MedID = Pre.MedID \
+               AND Vis.VisID = Pre.VisID;",
+        )
+        .unwrap();
+        let Statement::Select(sel) = &stmts[0] else {
+            panic!("not a select")
+        };
+        assert_eq!(sel.projections.len(), 3);
+        assert_eq!(sel.from.len(), 3);
+        assert_eq!(sel.from[0], ("Medicine".into(), Some("Med".into())));
+        assert_eq!(sel.where_atoms.len(), 5);
+        assert!(matches!(
+            &sel.where_atoms[0],
+            WhereAtom::Compare {
+                op: ScalarOp::Gt,
+                value: Literal::DateLit(d),
+                ..
+            } if d == "05-11-2006"
+        ));
+        assert!(matches!(&sel.where_atoms[3], WhereAtom::Join { .. }));
+    }
+
+    #[test]
+    fn parses_insert() {
+        let stmts =
+            parse_statements("INSERT INTO Medicine VALUES (0, 'Aspirin'), (1, 'Statin');")
+                .unwrap();
+        let Statement::Insert(ins) = &stmts[0] else {
+            panic!("not an insert")
+        };
+        assert_eq!(ins.table, "Medicine");
+        assert_eq!(ins.rows.len(), 2);
+        assert_eq!(ins.rows[1][1], Literal::Str("Statin".into()));
+    }
+
+    #[test]
+    fn multiple_statements() {
+        let stmts = parse_statements(
+            "CREATE TABLE A (x INTEGER PRIMARY KEY); \
+             CREATE TABLE B (y INTEGER PRIMARY KEY);",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_statements("DROP TABLE x").is_err());
+        assert!(parse_statements("SELECT FROM t").is_err());
+        assert!(parse_statements("CREATE TABLE t (a BLOB)").is_err());
+        assert!(parse_statements("SELECT a FROM t WHERE a > b").is_err()); // non-eq join
+        assert!(parse_statements("SELECT a FROM t WHERE").is_err());
+    }
+
+    #[test]
+    fn unqualified_columns_and_no_where() {
+        let stmts = parse_statements("SELECT Name FROM Medicine").unwrap();
+        let Statement::Select(sel) = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(sel.projections[0].table, None);
+        assert!(sel.where_atoms.is_empty());
+    }
+}

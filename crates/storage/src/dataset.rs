@@ -1,0 +1,262 @@
+//! The load-time interchange format.
+//!
+//! A [`Dataset`] is a columnar snapshot of every table's values, indexed
+//! by dense row id. It exists only during the secure bulk load (paper §2:
+//! the device "is assumed to be initially loaded in a secure setting");
+//! afterwards the hidden half lives on device flash and the visible half
+//! on the PC.
+
+use ghostdb_catalog::{ColumnRole, Schema};
+use ghostdb_types::{GhostError, Result, RowId, TableId, Value};
+
+/// Column-major data for one table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableData {
+    /// `columns[c][r]` is the value of column `c` in row `r`.
+    pub columns: Vec<Vec<Value>>,
+}
+
+impl TableData {
+    /// Number of rows (taken from the primary-key column).
+    pub fn rows(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+}
+
+/// Column-major data for a whole schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Per-table data, indexed by [`TableId`].
+    pub tables: Vec<TableData>,
+}
+
+impl Dataset {
+    /// An empty dataset shaped like `schema`.
+    pub fn empty(schema: &Schema) -> Dataset {
+        Dataset {
+            tables: schema
+                .tables()
+                .iter()
+                .map(|t| TableData {
+                    columns: vec![Vec::new(); t.columns.len()],
+                })
+                .collect(),
+        }
+    }
+
+    /// Append one row (values in declaration order, primary key first).
+    ///
+    /// The primary key must equal the current row count — row ids are
+    /// dense surrogates by construction.
+    pub fn push_row(&mut self, table: TableId, values: Vec<Value>) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table.index())
+            .ok_or_else(|| GhostError::catalog(format!("no such table {table}")))?;
+        if values.len() != t.columns.len() {
+            return Err(GhostError::catalog(format!(
+                "row arity {} != column count {}",
+                values.len(),
+                t.columns.len()
+            )));
+        }
+        let expect = t.rows() as i64;
+        match values.first() {
+            Some(Value::Int(pk)) if *pk == expect => {}
+            other => {
+                return Err(GhostError::catalog(format!(
+                    "primary key must be the dense surrogate {expect}, got {other:?}"
+                )))
+            }
+        }
+        for (col, v) in t.columns.iter_mut().zip(values) {
+            col.push(v);
+        }
+        Ok(())
+    }
+
+    /// Number of rows in `table`.
+    pub fn row_count(&self, table: TableId) -> usize {
+        self.tables
+            .get(table.index())
+            .map(|t| t.rows())
+            .unwrap_or(0)
+    }
+
+    /// One value (panics on out-of-range access — loader-internal API).
+    pub fn value(&self, table: TableId, column: usize, row: RowId) -> &Value {
+        &self.tables[table.index()].columns[column][row.index()]
+    }
+
+    /// Type-check against the schema and verify key integrity: dense
+    /// primary keys, foreign keys in range.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        if self.tables.len() != schema.table_count() {
+            return Err(GhostError::catalog(format!(
+                "dataset has {} tables, schema {}",
+                self.tables.len(),
+                schema.table_count()
+            )));
+        }
+        for (tdef, tdata) in schema.tables().iter().zip(&self.tables) {
+            if tdata.columns.len() != tdef.columns.len() {
+                return Err(GhostError::catalog(format!(
+                    "table {}: dataset has {} columns, schema {}",
+                    tdef.name,
+                    tdata.columns.len(),
+                    tdef.columns.len()
+                )));
+            }
+            let rows = tdata.rows();
+            for (cdef, cdata) in tdef.columns.iter().zip(&tdata.columns) {
+                if cdata.len() != rows {
+                    return Err(GhostError::catalog(format!(
+                        "table {} column {}: ragged column ({} vs {rows} rows)",
+                        tdef.name, cdef.name, cdata.len()
+                    )));
+                }
+                for (ri, v) in cdata.iter().enumerate() {
+                    if !cdef.ty.admits(v) {
+                        return Err(GhostError::catalog(format!(
+                            "table {} column {} row {ri}: {v} does not conform to {}",
+                            tdef.name, cdef.name, cdef.ty
+                        )));
+                    }
+                    if let ghostdb_types::DataType::Char(cap) = cdef.ty {
+                        if let Value::Text(s) = v {
+                            if s.len() > cap as usize {
+                                return Err(GhostError::catalog(format!(
+                                    "table {} column {} row {ri}: string exceeds CHAR({cap})",
+                                    tdef.name, cdef.name
+                                )));
+                            }
+                        }
+                    }
+                    match cdef.role {
+                        ColumnRole::PrimaryKey => {
+                            if v.as_int() != Some(ri as i64) {
+                                return Err(GhostError::catalog(format!(
+                                    "table {}: primary key not dense at row {ri}",
+                                    tdef.name
+                                )));
+                            }
+                        }
+                        ColumnRole::ForeignKey(target) => {
+                            let limit = self.row_count(target) as i64;
+                            match v.as_int() {
+                                Some(fk) if fk >= 0 && fk < limit => {}
+                                other => {
+                                    return Err(GhostError::catalog(format!(
+                                        "table {} row {ri}: foreign key {:?} out of range \
+                                         (target {} has {limit} rows)",
+                                        tdef.name,
+                                        other,
+                                        schema.table(target).name
+                                    )))
+                                }
+                            }
+                        }
+                        ColumnRole::Attribute => {}
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_catalog::{SchemaBuilder, Visibility};
+    use ghostdb_types::DataType;
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.table("Parent", "pid");
+        b.table("Child", "cid")
+            .column("note", DataType::Char(5), Visibility::Hidden)
+            .foreign_key("pid", "Parent", Visibility::Hidden);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn push_and_validate() {
+        let s = schema();
+        let mut d = Dataset::empty(&s);
+        d.push_row(TableId(0), vec![Value::Int(0)]).unwrap();
+        d.push_row(TableId(0), vec![Value::Int(1)]).unwrap();
+        d.push_row(
+            TableId(1),
+            vec![Value::Int(0), Value::Text("hi".into()), Value::Int(1)],
+        )
+        .unwrap();
+        d.validate(&s).unwrap();
+        assert_eq!(d.row_count(TableId(0)), 2);
+        assert_eq!(d.value(TableId(1), 1, RowId(0)), &Value::Text("hi".into()));
+    }
+
+    #[test]
+    fn dense_pk_enforced() {
+        let s = schema();
+        let mut d = Dataset::empty(&s);
+        assert!(d.push_row(TableId(0), vec![Value::Int(5)]).is_err());
+        d.push_row(TableId(0), vec![Value::Int(0)]).unwrap();
+        assert!(d.push_row(TableId(0), vec![Value::Int(0)]).is_err());
+    }
+
+    #[test]
+    fn fk_range_checked() {
+        let s = schema();
+        let mut d = Dataset::empty(&s);
+        d.push_row(TableId(0), vec![Value::Int(0)]).unwrap();
+        d.push_row(
+            TableId(1),
+            vec![Value::Int(0), Value::Text("x".into()), Value::Int(3)],
+        )
+        .unwrap();
+        let err = d.validate(&s).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let s = schema();
+        let mut d = Dataset::empty(&s);
+        d.push_row(TableId(0), vec![Value::Int(0)]).unwrap();
+        d.push_row(
+            TableId(1),
+            vec![Value::Int(0), Value::Int(9), Value::Int(0)],
+        )
+        .unwrap();
+        assert!(d.validate(&s).is_err());
+    }
+
+    #[test]
+    fn char_capacity_enforced() {
+        let s = schema();
+        let mut d = Dataset::empty(&s);
+        d.push_row(TableId(0), vec![Value::Int(0)]).unwrap();
+        d.push_row(
+            TableId(1),
+            vec![
+                Value::Int(0),
+                Value::Text("toolong".into()),
+                Value::Int(0),
+            ],
+        )
+        .unwrap();
+        let err = d.validate(&s).unwrap_err();
+        assert!(err.to_string().contains("CHAR(5)"));
+    }
+
+    #[test]
+    fn arity_checked_on_push() {
+        let s = schema();
+        let mut d = Dataset::empty(&s);
+        assert!(d.push_row(TableId(0), vec![]).is_err());
+        assert!(d
+            .push_row(TableId(1), vec![Value::Int(0), Value::Int(1)])
+            .is_err());
+    }
+}

@@ -1,0 +1,712 @@
+//! The device-resident hidden column store.
+//!
+//! Layouts (all on flash, all direct-addressed by dense row id):
+//!
+//! * `INTEGER` / `DATE` columns: 8-byte **order-preserving keys**
+//!   ([`Value::order_key`]) at byte offset `row * 8`.
+//! * `CHAR(n)` columns: an **order-preserving dictionary** (strings sorted
+//!   lexicographically; code = rank) plus a codes segment with a 4-byte
+//!   code at `row * 4`. The dictionary itself lives on flash — offsets
+//!   segment (`u32` start offsets, one extra for the end) and a bytes
+//!   segment — and is probed by on-flash binary search, because hidden
+//!   values may not be cached in spyable host memory and the chip's RAM
+//!   cannot hold a megabyte dictionary anyway.
+//!
+//! Every predicate over a hidden column reduces to a [`KeyRange`] over
+//! this key space; the climbing indexes in `ghostdb-index` use the same
+//! reduction, so scans and index probes are interchangeable plan
+//! alternatives.
+
+use std::collections::HashMap;
+
+use ghostdb_catalog::Schema;
+use ghostdb_flash::{Segment, SegmentReader, Volume};
+use ghostdb_ram::RamScope;
+use ghostdb_types::{
+    ColumnId, DataType, GhostError, Result, RowId, ScalarOp, TableId, Value,
+};
+
+use crate::dataset::Dataset;
+
+/// Inclusive range of order keys matched by a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Smallest matching key.
+    pub lo: u64,
+    /// Largest matching key.
+    pub hi: u64,
+}
+
+impl KeyRange {
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, k: u64) -> bool {
+        self.lo <= k && k <= self.hi
+    }
+}
+
+/// Translate `op` + an exact key into a key range over a dense-ordered
+/// key space (`None` = provably empty).
+pub fn key_range_for(op: ScalarOp, key: u64, key_max: u64) -> Option<KeyRange> {
+    match op {
+        ScalarOp::Eq => Some(KeyRange { lo: key, hi: key }),
+        ScalarOp::Lt => key.checked_sub(1).map(|hi| KeyRange { lo: 0, hi }),
+        ScalarOp::Le => Some(KeyRange { lo: 0, hi: key }),
+        ScalarOp::Gt => {
+            if key >= key_max {
+                None
+            } else {
+                Some(KeyRange {
+                    lo: key + 1,
+                    hi: key_max,
+                })
+            }
+        }
+        ScalarOp::Ge => Some(KeyRange {
+            lo: key,
+            hi: key_max,
+        }),
+    }
+}
+
+#[derive(Debug)]
+enum ColumnStore {
+    /// 8-byte order keys; decodes through `ty`.
+    Fixed { ty: DataType, keys: Segment },
+    /// Dictionary-coded text: 4-byte codes + on-flash dictionary.
+    Dict {
+        codes: Segment,
+        offsets: Segment,
+        bytes: Segment,
+        entries: u32,
+    },
+}
+
+#[derive(Debug)]
+struct TableStore {
+    rows: u32,
+    /// Indexed by column id; `None` for visible columns (stored on the PC).
+    columns: Vec<Option<ColumnStore>>,
+}
+
+/// In-memory value→key encoders, alive only during the secure bulk load
+/// so the index builders can encode values without flash binary searches.
+#[derive(Debug, Default)]
+pub struct LoadEncoders {
+    /// `dicts[table][column]` maps text → code for dictionary columns.
+    dicts: HashMap<(u16, u16), HashMap<String, u32>>,
+}
+
+impl LoadEncoders {
+    /// Order key of `value` in the given column's key space.
+    pub fn key_of(&self, table: TableId, column: ColumnId, value: &Value) -> Result<u64> {
+        if let Some(dict) = self.dicts.get(&(table.0, column.0)) {
+            let s = value
+                .as_text()
+                .ok_or_else(|| GhostError::value("dict column expects text"))?;
+            dict.get(s).map(|&c| c as u64).ok_or_else(|| {
+                GhostError::corrupt(format!("value {s:?} missing from load dictionary"))
+            })
+        } else {
+            value
+                .order_key()
+                .ok_or_else(|| GhostError::value("text value on a fixed-key column"))
+        }
+    }
+}
+
+/// The hidden half of the database, on device flash.
+#[derive(Debug)]
+pub struct HiddenStore {
+    volume: Volume,
+    tables: Vec<TableStore>,
+}
+
+impl HiddenStore {
+    /// Bulk-load the hidden columns of `data` onto `volume` (secure
+    /// setting). Returns the store and transient [`LoadEncoders`] for the
+    /// index builders.
+    pub fn build(
+        volume: &Volume,
+        scope: &RamScope,
+        schema: &Schema,
+        data: &Dataset,
+    ) -> Result<(HiddenStore, LoadEncoders)> {
+        let mut tables = Vec::with_capacity(schema.table_count());
+        let mut encoders = LoadEncoders::default();
+        for (ti, tdef) in schema.tables().iter().enumerate() {
+            let tdata = &data.tables[ti];
+            let mut columns = Vec::with_capacity(tdef.columns.len());
+            for (ci, cdef) in tdef.columns.iter().enumerate() {
+                if !cdef.visibility.is_hidden() {
+                    columns.push(None);
+                    continue;
+                }
+                let values = &tdata.columns[ci];
+                let store = match cdef.ty {
+                    DataType::Integer | DataType::Date => {
+                        let mut w = volume.writer(scope)?;
+                        for v in values {
+                            let key = v.order_key().ok_or_else(|| {
+                                GhostError::corrupt("non-numeric value in fixed column")
+                            })?;
+                            w.write(&key.to_le_bytes())?;
+                        }
+                        ColumnStore::Fixed {
+                            ty: cdef.ty,
+                            keys: w.finish()?,
+                        }
+                    }
+                    DataType::Char(_) => {
+                        // Order-preserving dictionary.
+                        let mut uniq: Vec<&str> =
+                            values.iter().filter_map(|v| v.as_text()).collect();
+                        if uniq.len() != values.len() {
+                            return Err(GhostError::corrupt(
+                                "non-text value in CHAR column",
+                            ));
+                        }
+                        uniq.sort_unstable();
+                        uniq.dedup();
+                        let code_of: HashMap<String, u32> = uniq
+                            .iter()
+                            .enumerate()
+                            .map(|(i, s)| (s.to_string(), i as u32))
+                            .collect();
+                        let mut offsets = volume.writer(scope)?;
+                        let mut bytes = volume.writer(scope)?;
+                        let mut off = 0u32;
+                        for s in &uniq {
+                            offsets.write(&off.to_le_bytes())?;
+                            bytes.write(s.as_bytes())?;
+                            off += s.len() as u32;
+                        }
+                        offsets.write(&off.to_le_bytes())?;
+                        let mut codes = volume.writer(scope)?;
+                        for v in values {
+                            let code = code_of[v.as_text().expect("checked text")];
+                            codes.write(&code.to_le_bytes())?;
+                        }
+                        encoders
+                            .dicts
+                            .insert((ti as u16, ci as u16), code_of);
+                        ColumnStore::Dict {
+                            codes: codes.finish()?,
+                            offsets: offsets.finish()?,
+                            bytes: bytes.finish()?,
+                            entries: uniq.len() as u32,
+                        }
+                    }
+                };
+                columns.push(Some(store));
+            }
+            tables.push(TableStore {
+                rows: tdata.rows() as u32,
+                columns,
+            });
+        }
+        Ok((
+            HiddenStore {
+                volume: volume.clone(),
+                tables,
+            },
+            encoders,
+        ))
+    }
+
+    /// Number of rows in `table` (the replicated primary keys are dense,
+    /// so the count is the whole key set).
+    pub fn row_count(&self, table: TableId) -> u32 {
+        self.tables
+            .get(table.index())
+            .map(|t| t.rows)
+            .unwrap_or(0)
+    }
+
+    fn store(&self, table: TableId, column: ColumnId) -> Result<&ColumnStore> {
+        self.tables
+            .get(table.index())
+            .and_then(|t| t.columns.get(column.index()))
+            .and_then(|c| c.as_ref())
+            .ok_or_else(|| {
+                GhostError::exec(format!(
+                    "column {table}.{column} is not stored on the device"
+                ))
+            })
+    }
+
+    /// True if the device stores this column (i.e. it is hidden).
+    pub fn has_column(&self, table: TableId, column: ColumnId) -> bool {
+        self.store(table, column).is_ok()
+    }
+
+    /// Raw order key of one cell.
+    pub fn key_at(&self, table: TableId, column: ColumnId, row: RowId) -> Result<u64> {
+        match self.store(table, column)? {
+            ColumnStore::Fixed { keys, .. } => {
+                let mut buf = [0u8; 8];
+                self.volume.read_at(keys, row.index() as u64 * 8, &mut buf)?;
+                Ok(u64::from_le_bytes(buf))
+            }
+            ColumnStore::Dict { codes, .. } => {
+                let mut buf = [0u8; 4];
+                self.volume
+                    .read_at(codes, row.index() as u64 * 4, &mut buf)?;
+                Ok(u32::from_le_bytes(buf) as u64)
+            }
+        }
+    }
+
+    fn dict_entry(
+        &self,
+        offsets: &Segment,
+        bytes: &Segment,
+        code: u32,
+    ) -> Result<String> {
+        let mut b = [0u8; 8];
+        self.volume.read_at(offsets, code as u64 * 4, &mut b)?;
+        let start = u32::from_le_bytes(b[0..4].try_into().expect("4B")) as usize;
+        let end = u32::from_le_bytes(b[4..8].try_into().expect("4B")) as usize;
+        let mut s = vec![0u8; end - start];
+        if !s.is_empty() {
+            self.volume.read_at(bytes, start as u64, &mut s)?;
+        }
+        String::from_utf8(s).map_err(|_| GhostError::corrupt("non-utf8 dictionary entry"))
+    }
+
+    /// Decode one cell back into a [`Value`].
+    pub fn value(
+        &self,
+        _scope: &RamScope,
+        table: TableId,
+        column: ColumnId,
+        row: RowId,
+    ) -> Result<Value> {
+        if row.0 >= self.row_count(table) {
+            return Err(GhostError::exec(format!(
+                "row {row} out of range for {table}"
+            )));
+        }
+        match self.store(table, column)? {
+            ColumnStore::Fixed { ty, keys } => {
+                let mut buf = [0u8; 8];
+                self.volume.read_at(keys, row.index() as u64 * 8, &mut buf)?;
+                Value::from_order_key(*ty, u64::from_le_bytes(buf))
+            }
+            ColumnStore::Dict {
+                codes,
+                offsets,
+                bytes,
+                ..
+            } => {
+                let mut buf = [0u8; 4];
+                self.volume
+                    .read_at(codes, row.index() as u64 * 4, &mut buf)?;
+                let code = u32::from_le_bytes(buf);
+                Ok(Value::Text(self.dict_entry(offsets, bytes, code)?))
+            }
+        }
+    }
+
+    /// Dictionary lower bound: the first code whose string is `>= probe`,
+    /// plus whether that code is an exact match. Binary search over flash.
+    fn dict_lower_bound(
+        &self,
+        offsets: &Segment,
+        bytes: &Segment,
+        entries: u32,
+        probe: &str,
+    ) -> Result<(u32, bool)> {
+        let mut lo = 0u32;
+        let mut hi = entries;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let s = self.dict_entry(offsets, bytes, mid)?;
+            if s.as_str() < probe {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < entries {
+            let s = self.dict_entry(offsets, bytes, lo)?;
+            Ok((lo, s == probe))
+        } else {
+            Ok((lo, false))
+        }
+    }
+
+    /// Reduce `column OP value` to a [`KeyRange`] over the column's key
+    /// space. `Ok(None)` means the predicate provably matches nothing.
+    pub fn key_range(
+        &self,
+        table: TableId,
+        column: ColumnId,
+        op: ScalarOp,
+        value: &Value,
+    ) -> Result<Option<KeyRange>> {
+        match self.store(table, column)? {
+            ColumnStore::Fixed { ty, .. } => {
+                if !ty.admits(value) {
+                    return Err(GhostError::value(format!(
+                        "predicate value {value} does not match column type {ty}"
+                    )));
+                }
+                let key = value.order_key().expect("fixed types have keys");
+                Ok(key_range_for(op, key, u64::MAX))
+            }
+            ColumnStore::Dict {
+                offsets,
+                bytes,
+                entries,
+                ..
+            } => {
+                let s = value.as_text().ok_or_else(|| {
+                    GhostError::value("CHAR column predicate needs a text value")
+                })?;
+                let n = *entries;
+                if n == 0 {
+                    return Ok(None);
+                }
+                let (lb, exact) = self.dict_lower_bound(offsets, bytes, n, s)?;
+                let max = (n - 1) as u64;
+                Ok(match op {
+                    ScalarOp::Eq => exact.then_some(KeyRange {
+                        lo: lb as u64,
+                        hi: lb as u64,
+                    }),
+                    ScalarOp::Lt => (lb > 0).then_some(KeyRange {
+                        lo: 0,
+                        hi: lb as u64 - 1,
+                    }),
+                    ScalarOp::Le => {
+                        let hi = if exact { lb as i64 } else { lb as i64 - 1 };
+                        (hi >= 0).then_some(KeyRange {
+                            lo: 0,
+                            hi: hi as u64,
+                        })
+                    }
+                    ScalarOp::Gt => {
+                        let lo = if exact { lb as u64 + 1 } else { lb as u64 };
+                        (lo <= max).then_some(KeyRange { lo, hi: max })
+                    }
+                    ScalarOp::Ge => ((lb as u64) <= max).then_some(KeyRange {
+                        lo: lb as u64,
+                        hi: max,
+                    }),
+                })
+            }
+        }
+    }
+
+    /// Stream every `(row id, order key)` of a stored column — the raw
+    /// scan primitive under the index-free baselines (grace hash join).
+    pub fn key_scan(
+        &self,
+        scope: &RamScope,
+        table: TableId,
+        column: ColumnId,
+    ) -> Result<KeyScan> {
+        let (reader, width) = match self.store(table, column)? {
+            ColumnStore::Fixed { keys, .. } => (self.volume.reader(scope, keys)?, 8),
+            ColumnStore::Dict { codes, .. } => (self.volume.reader(scope, codes)?, 4),
+        };
+        Ok(KeyScan {
+            reader,
+            width,
+            next_row: 0,
+            rows: self.row_count(table),
+        })
+    }
+
+    /// Stream the row ids whose key falls in `range`, scanning the whole
+    /// column off flash (the paper's index-free fallback).
+    pub fn filter_scan(
+        &self,
+        scope: &RamScope,
+        table: TableId,
+        column: ColumnId,
+        range: KeyRange,
+    ) -> Result<FilterScan> {
+        let (reader, width) = match self.store(table, column)? {
+            ColumnStore::Fixed { keys, .. } => (self.volume.reader(scope, keys)?, 8),
+            ColumnStore::Dict { codes, .. } => (self.volume.reader(scope, codes)?, 4),
+        };
+        Ok(FilterScan {
+            reader,
+            width,
+            range,
+            next_row: 0,
+            rows: self.row_count(table),
+            scanned: 0,
+        })
+    }
+}
+
+/// Raw `(row id, key)` scan over a stored column (see
+/// [`HiddenStore::key_scan`]).
+#[derive(Debug)]
+pub struct KeyScan {
+    reader: SegmentReader,
+    width: usize,
+    next_row: u32,
+    rows: u32,
+}
+
+impl KeyScan {
+    /// Next `(row id, order key)` pair, or `None` at end of column.
+    pub fn next_entry(&mut self) -> Result<Option<(RowId, u64)>> {
+        if self.next_row >= self.rows {
+            return Ok(None);
+        }
+        let row = self.next_row;
+        self.next_row += 1;
+        let mut buf = [0u8; 8];
+        self.reader.read_exact(&mut buf[..self.width])?;
+        let key = if self.width == 8 {
+            u64::from_le_bytes(buf)
+        } else {
+            u32::from_le_bytes(buf[..4].try_into().expect("4B")) as u64
+        };
+        Ok(Some((RowId(row), key)))
+    }
+}
+
+/// Streaming filter over a hidden column (see
+/// [`HiddenStore::filter_scan`]).
+#[derive(Debug)]
+pub struct FilterScan {
+    reader: SegmentReader,
+    width: usize,
+    range: KeyRange,
+    next_row: u32,
+    rows: u32,
+    scanned: u64,
+}
+
+impl FilterScan {
+    /// Next matching row id, or `None` at end of column.
+    pub fn next_id(&mut self) -> Result<Option<RowId>> {
+        let mut buf = [0u8; 8];
+        while self.next_row < self.rows {
+            let row = self.next_row;
+            self.next_row += 1;
+            self.scanned += 1;
+            self.reader.read_exact(&mut buf[..self.width])?;
+            let key = if self.width == 8 {
+                u64::from_le_bytes(buf)
+            } else {
+                u32::from_le_bytes(buf[..4].try_into().expect("4B")) as u64
+            };
+            if self.range.contains(key) {
+                return Ok(Some(RowId(row)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Rows examined so far (the per-operator "tuples processed" stat).
+    pub fn scanned(&self) -> u64 {
+        self.scanned
+    }
+}
+
+impl Iterator for FilterScan {
+    type Item = Result<RowId>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_id().transpose()
+    }
+}
+
+impl ghostdb_types::IdStream for FilterScan {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        FilterScan::next_id(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_catalog::{SchemaBuilder, Visibility};
+    use ghostdb_flash::Nand;
+    use ghostdb_ram::RamBudget;
+    use ghostdb_types::{Date, FlashConfig, SimClock};
+
+    fn setup() -> (Volume, RamScope, Schema, Dataset) {
+        let cfg = FlashConfig {
+            page_size: 256,
+            pages_per_block: 8,
+            num_blocks: 512,
+            ..FlashConfig::default_2007()
+        };
+        let volume = Volume::new(Nand::new(cfg, SimClock::new()));
+        let scope = RamScope::new(&RamBudget::new(64 * 1024));
+        let mut b = SchemaBuilder::new();
+        b.table("Visit", "VisID")
+            .column("Date", DataType::Date, Visibility::Hidden)
+            .column("Purpose", DataType::Char(20), Visibility::Hidden)
+            .column("Weight", DataType::Integer, Visibility::Visible);
+        let schema = b.build().unwrap();
+        let purposes = ["Checkup", "Diabetes", "Flu", "Sclerosis"];
+        let mut data = Dataset::empty(&schema);
+        for i in 0..100i64 {
+            data.push_row(
+                TableId(0),
+                vec![
+                    Value::Int(i),
+                    Value::Date(Date(10_000 + i as i32)),
+                    Value::Text(purposes[(i % 4) as usize].to_string()),
+                    Value::Int(50 + i),
+                ],
+            )
+            .unwrap();
+        }
+        (volume, scope, schema, data)
+    }
+
+    fn build() -> (HiddenStore, LoadEncoders, RamScope) {
+        let (volume, scope, schema, data) = setup();
+        let (store, enc) = HiddenStore::build(&volume, &scope, &schema, &data).unwrap();
+        (store, enc, scope)
+    }
+
+    #[test]
+    fn fixed_values_roundtrip() {
+        let (store, _, scope) = build();
+        let v = store
+            .value(&scope, TableId(0), ColumnId(1), RowId(42))
+            .unwrap();
+        assert_eq!(v, Value::Date(Date(10_042)));
+    }
+
+    #[test]
+    fn dict_values_roundtrip() {
+        let (store, _, scope) = build();
+        for (row, expect) in [(0u32, "Checkup"), (1, "Diabetes"), (3, "Sclerosis")] {
+            let v = store
+                .value(&scope, TableId(0), ColumnId(2), RowId(row))
+                .unwrap();
+            assert_eq!(v, Value::Text(expect.into()));
+        }
+    }
+
+    #[test]
+    fn visible_columns_not_on_device() {
+        let (store, _, scope) = build();
+        assert!(!store.has_column(TableId(0), ColumnId(3)));
+        assert!(store
+            .value(&scope, TableId(0), ColumnId(3), RowId(0))
+            .is_err());
+    }
+
+    #[test]
+    fn key_ranges_fixed() {
+        let (store, _, _) = build();
+        let r = store
+            .key_range(
+                TableId(0),
+                ColumnId(1),
+                ScalarOp::Gt,
+                &Value::Date(Date(10_050)),
+            )
+            .unwrap()
+            .unwrap();
+        let k51 = Value::Date(Date(10_051)).order_key().unwrap();
+        assert_eq!(r.lo, k51);
+        // Type mismatch rejected.
+        assert!(store
+            .key_range(TableId(0), ColumnId(1), ScalarOp::Eq, &Value::Int(1))
+            .is_err());
+    }
+
+    #[test]
+    fn key_ranges_dict() {
+        let (store, _, _) = build();
+        let t = TableId(0);
+        let c = ColumnId(2);
+        // Codes: Checkup=0, Diabetes=1, Flu=2, Sclerosis=3.
+        let eq = store
+            .key_range(t, c, ScalarOp::Eq, &Value::Text("Flu".into()))
+            .unwrap()
+            .unwrap();
+        assert_eq!((eq.lo, eq.hi), (2, 2));
+        assert!(store
+            .key_range(t, c, ScalarOp::Eq, &Value::Text("Malaria".into()))
+            .unwrap()
+            .is_none());
+        let lt = store
+            .key_range(t, c, ScalarOp::Lt, &Value::Text("Flu".into()))
+            .unwrap()
+            .unwrap();
+        assert_eq!((lt.lo, lt.hi), (0, 1));
+        let ge = store
+            .key_range(t, c, ScalarOp::Ge, &Value::Text("Emu".into()))
+            .unwrap()
+            .unwrap();
+        assert_eq!((ge.lo, ge.hi), (2, 3));
+        assert!(store
+            .key_range(t, c, ScalarOp::Gt, &Value::Text("Sclerosis".into()))
+            .unwrap()
+            .is_none());
+        let le = store
+            .key_range(t, c, ScalarOp::Le, &Value::Text("Aardvark".into()))
+            .unwrap();
+        assert!(le.is_none());
+    }
+
+    #[test]
+    fn filter_scan_matches_reference() {
+        let (store, _, scope) = build();
+        let range = store
+            .key_range(
+                TableId(0),
+                ColumnId(2),
+                ScalarOp::Eq,
+                &Value::Text("Sclerosis".into()),
+            )
+            .unwrap()
+            .unwrap();
+        let scan = store
+            .filter_scan(&scope, TableId(0), ColumnId(2), range)
+            .unwrap();
+        let got: Vec<u32> = scan.map(|r| r.unwrap().0).collect();
+        let expect: Vec<u32> = (0..100).filter(|i| i % 4 == 3).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn filter_scan_counts_tuples() {
+        let (store, _, scope) = build();
+        let range = KeyRange { lo: 0, hi: 0 };
+        let mut scan = store
+            .filter_scan(&scope, TableId(0), ColumnId(2), range)
+            .unwrap();
+        while scan.next_id().unwrap().is_some() {}
+        assert_eq!(scan.scanned(), 100);
+    }
+
+    #[test]
+    fn encoders_match_store_keys() {
+        let (store, enc, _) = build();
+        let k = enc
+            .key_of(TableId(0), ColumnId(2), &Value::Text("Flu".into()))
+            .unwrap();
+        assert_eq!(k, 2);
+        let k = enc
+            .key_of(TableId(0), ColumnId(1), &Value::Date(Date(10_007)))
+            .unwrap();
+        assert_eq!(store.key_at(TableId(0), ColumnId(1), RowId(7)).unwrap(), k);
+        assert!(enc
+            .key_of(TableId(0), ColumnId(2), &Value::Text("Nope".into()))
+            .is_err());
+    }
+
+    #[test]
+    fn key_range_helper_edges() {
+        assert!(key_range_for(ScalarOp::Lt, 0, u64::MAX).is_none());
+        assert!(key_range_for(ScalarOp::Gt, u64::MAX, u64::MAX).is_none());
+        let r = key_range_for(ScalarOp::Le, 5, u64::MAX).unwrap();
+        assert_eq!((r.lo, r.hi), (0, 5));
+        assert!(r.contains(0) && r.contains(5) && !r.contains(6));
+    }
+}

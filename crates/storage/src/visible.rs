@@ -1,0 +1,209 @@
+//! The PC-resident visible store.
+//!
+//! The PC (and/or public server) holds every **visible** column in plain
+//! host memory — it is untrusted but resource-rich, so GhostDB delegates
+//! visible selections and projections to it (paper §3: "delegate as much
+//! work as possible to the PC and the server as long as this processing
+//! does not compromise hidden data").
+//!
+//! By construction this type never sees a hidden value:
+//! [`VisibleStore::build`] copies only columns declared visible. The
+//! leak-freedom tests double-check by scanning its responses for hidden
+//! sentinels.
+
+use ghostdb_catalog::Schema;
+use ghostdb_types::{ColumnId, GhostError, Result, RowId, ScalarOp, TableId, Value};
+
+use crate::dataset::Dataset;
+
+/// Visible columns of one table (index = column id; `None` = hidden,
+/// stored on the device instead).
+#[derive(Debug, Default)]
+struct VisibleTable {
+    rows: u32,
+    columns: Vec<Option<Vec<Value>>>,
+}
+
+/// The visible half of the database, held by the untrusted PC.
+#[derive(Debug)]
+pub struct VisibleStore {
+    tables: Vec<VisibleTable>,
+}
+
+impl VisibleStore {
+    /// Copy the visible columns out of `data`.
+    pub fn build(schema: &Schema, data: &Dataset) -> Result<VisibleStore> {
+        let mut tables = Vec::with_capacity(schema.table_count());
+        for (ti, tdef) in schema.tables().iter().enumerate() {
+            let tdata = &data.tables[ti];
+            let mut columns = Vec::with_capacity(tdef.columns.len());
+            for (ci, cdef) in tdef.columns.iter().enumerate() {
+                if cdef.visibility.is_hidden() {
+                    columns.push(None);
+                } else {
+                    columns.push(Some(tdata.columns[ci].clone()));
+                }
+            }
+            tables.push(VisibleTable {
+                rows: tdata.rows() as u32,
+                columns,
+            });
+        }
+        Ok(VisibleStore { tables })
+    }
+
+    /// Rows in `table`.
+    pub fn row_count(&self, table: TableId) -> u32 {
+        self.tables
+            .get(table.index())
+            .map(|t| t.rows)
+            .unwrap_or(0)
+    }
+
+    fn column(&self, table: TableId, column: ColumnId) -> Result<&[Value]> {
+        self.tables
+            .get(table.index())
+            .and_then(|t| t.columns.get(column.index()))
+            .and_then(|c| c.as_deref())
+            .ok_or_else(|| {
+                GhostError::exec(format!(
+                    "PC does not hold column {table}.{column} (hidden?)"
+                ))
+            })
+    }
+
+    /// True if the PC holds this column.
+    pub fn has_column(&self, table: TableId, column: ColumnId) -> bool {
+        self.column(table, column).is_ok()
+    }
+
+    /// Evaluate a visible selection; returns matching row ids ascending.
+    pub fn eval_predicate(
+        &self,
+        table: TableId,
+        column: ColumnId,
+        op: ScalarOp,
+        value: &Value,
+    ) -> Result<Vec<RowId>> {
+        let col = self.column(table, column)?;
+        let mut out = Vec::new();
+        for (i, v) in col.iter().enumerate() {
+            if op.matches(v, value)? {
+                out.push(RowId(i as u32));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fetch `(row id, value)` pairs of a visible column, ascending by
+    /// row id, optionally restricted by a visible predicate on the same
+    /// table. This answers the projection protocol's `FetchColumn`.
+    pub fn fetch_column(
+        &self,
+        table: TableId,
+        column: ColumnId,
+        predicate: Option<(ColumnId, ScalarOp, &Value)>,
+    ) -> Result<Vec<(RowId, Value)>> {
+        let col = self.column(table, column)?;
+        let filter_col = match &predicate {
+            Some((c, _, _)) => Some(self.column(table, *c)?),
+            None => None,
+        };
+        let mut out = Vec::new();
+        for (i, v) in col.iter().enumerate() {
+            if let (Some(fcol), Some((_, op, pv))) = (filter_col, &predicate) {
+                if !op.matches(&fcol[i], pv)? {
+                    continue;
+                }
+            }
+            out.push((RowId(i as u32), v.clone()));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_catalog::{SchemaBuilder, Visibility};
+    use ghostdb_types::DataType;
+
+    fn setup() -> VisibleStore {
+        let mut b = SchemaBuilder::new();
+        b.table("Medicine", "MedID")
+            .column("Name", DataType::Char(20), Visibility::Visible)
+            .column("Type", DataType::Char(20), Visibility::Visible)
+            .column("Formula", DataType::Char(20), Visibility::Hidden);
+        let schema = b.build().unwrap();
+        let mut data = Dataset::empty(&schema);
+        let types = ["Antibiotic", "Placebo"];
+        for i in 0..10i64 {
+            data.push_row(
+                TableId(0),
+                vec![
+                    Value::Int(i),
+                    Value::Text(format!("med{i}")),
+                    Value::Text(types[(i % 2) as usize].into()),
+                    Value::Text(format!("secret{i}")),
+                ],
+            )
+            .unwrap();
+        }
+        VisibleStore::build(&schema, &data).unwrap()
+    }
+
+    #[test]
+    fn predicate_evaluation() {
+        let store = setup();
+        let ids = store
+            .eval_predicate(
+                TableId(0),
+                ColumnId(2),
+                ScalarOp::Eq,
+                &Value::Text("Antibiotic".into()),
+            )
+            .unwrap();
+        assert_eq!(ids, (0..10).step_by(2).map(RowId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hidden_columns_absent() {
+        let store = setup();
+        assert!(!store.has_column(TableId(0), ColumnId(3)));
+        assert!(store
+            .eval_predicate(
+                TableId(0),
+                ColumnId(3),
+                ScalarOp::Eq,
+                &Value::Text("secret1".into())
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn fetch_plain_and_filtered() {
+        let store = setup();
+        let all = store.fetch_column(TableId(0), ColumnId(1), None).unwrap();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[3], (RowId(3), Value::Text("med3".into())));
+        let anti = Value::Text("Antibiotic".into());
+        let filtered = store
+            .fetch_column(
+                TableId(0),
+                ColumnId(1),
+                Some((ColumnId(2), ScalarOp::Eq, &anti)),
+            )
+            .unwrap();
+        assert_eq!(filtered.len(), 5);
+        assert!(filtered.iter().all(|(id, _)| id.0 % 2 == 0));
+        // Sorted ascending by row id.
+        assert!(filtered.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn row_counts() {
+        let store = setup();
+        assert_eq!(store.row_count(TableId(0)), 10);
+        assert_eq!(store.row_count(TableId(9)), 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic simulated time.
+//!
+//! The paper's performance numbers come from the authors' software
+//! simulator of the (then undelivered) Gemalto hardware. We follow the
+//! same methodology: every substrate (flash, bus, CPU cost model) advances
+//! a shared nanosecond counter, so "execution time" is a deterministic
+//! function of the work performed — independent of the host machine. The
+//! Criterion benches additionally report wall time of the simulation
+//! itself.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point in simulated time, in nanoseconds since device power-on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Nanoseconds elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+/// Render a nanosecond quantity with a human-friendly unit.
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 10_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 10_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 10_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Shared simulated clock.
+///
+/// Cloning the handle shares the underlying counter: the flash simulator,
+/// the bus and the executor all hold clones of the same clock so that the
+/// total elapsed time reflects their combined (serialized) work. The smart
+/// USB device is single-threaded — a 32-bit RISC secure chip — so serial
+/// accumulation is the faithful model.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A fresh clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.ns.load(Ordering::Relaxed))
+    }
+
+    /// Advance the clock by `ns` nanoseconds, returning the new time.
+    pub fn advance(&self, ns: u64) -> SimTime {
+        SimTime(self.ns.fetch_add(ns, Ordering::Relaxed) + ns)
+    }
+
+    /// Reset to t = 0 (used between benchmark iterations).
+    pub fn reset(&self) {
+        self.ns.store(0, Ordering::Relaxed);
+    }
+
+    /// True if `other` shares this clock's counter.
+    pub fn same_clock(&self, other: &SimClock) -> bool {
+        Arc::ptr_eq(&self.ns, &other.ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_time() {
+        let c1 = SimClock::new();
+        let c2 = c1.clone();
+        c1.advance(100);
+        c2.advance(50);
+        assert_eq!(c1.now(), SimTime(150));
+        assert!(c1.same_clock(&c2));
+        assert!(!c1.same_clock(&SimClock::new()));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = SimClock::new();
+        c.advance(42);
+        c.reset();
+        assert_eq!(c.now(), SimTime(0));
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert_eq!(format_ns(500), "500 ns");
+        assert_eq!(format_ns(25_000), "25.00 us");
+        assert_eq!(format_ns(12_000_000), "12.00 ms");
+        assert_eq!(format_ns(25_000_000_000), "25.00 s");
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(SimTime(5).since(SimTime(10)), 0);
+        assert_eq!(SimTime(10).since(SimTime(4)), 6);
+    }
+}

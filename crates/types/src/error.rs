@@ -1,0 +1,148 @@
+//! Unified error type for the workspace.
+
+use std::fmt;
+
+/// Convenience alias used across every GhostDB crate.
+pub type Result<T> = std::result::Result<T, GhostError>;
+
+/// Errors surfaced by the GhostDB engine and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GhostError {
+    /// The secure chip's RAM budget would be exceeded.
+    OutOfDeviceRam {
+        /// Bytes the operator asked for.
+        requested: usize,
+        /// Bytes still available under the budget.
+        available: usize,
+        /// Total budget, for context in messages.
+        budget: usize,
+    },
+    /// NAND flash protocol violation or exhaustion (e.g. programming a
+    /// non-erased page, address out of range, no free blocks).
+    Flash(String),
+    /// Malformed or inconsistent schema / catalog operation.
+    Catalog(String),
+    /// SQL lexing/parsing/binding failure, with a byte offset into the
+    /// statement when known.
+    Sql {
+        /// Human-readable description.
+        msg: String,
+        /// Byte offset of the offending token, if known.
+        pos: Option<usize>,
+    },
+    /// Query planning or execution failure.
+    Exec(String),
+    /// Channel protocol violation (unexpected message, oversized frame…).
+    Bus(String),
+    /// Value-level failure (type mismatch, malformed literal…).
+    Value(String),
+    /// Decoded bytes did not form a valid structure.
+    Corrupt(String),
+    /// Feature intentionally outside the reproduced SQL subset.
+    Unsupported(String),
+}
+
+impl GhostError {
+    /// Shorthand constructor for [`GhostError::Flash`].
+    pub fn flash(msg: impl Into<String>) -> Self {
+        GhostError::Flash(msg.into())
+    }
+
+    /// Shorthand constructor for [`GhostError::Catalog`].
+    pub fn catalog(msg: impl Into<String>) -> Self {
+        GhostError::Catalog(msg.into())
+    }
+
+    /// Shorthand constructor for [`GhostError::Exec`].
+    pub fn exec(msg: impl Into<String>) -> Self {
+        GhostError::Exec(msg.into())
+    }
+
+    /// Shorthand constructor for [`GhostError::Bus`].
+    pub fn bus(msg: impl Into<String>) -> Self {
+        GhostError::Bus(msg.into())
+    }
+
+    /// Shorthand constructor for [`GhostError::Value`].
+    pub fn value(msg: impl Into<String>) -> Self {
+        GhostError::Value(msg.into())
+    }
+
+    /// Shorthand constructor for [`GhostError::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        GhostError::Corrupt(msg.into())
+    }
+
+    /// Shorthand constructor for [`GhostError::Sql`] without a position.
+    pub fn sql(msg: impl Into<String>) -> Self {
+        GhostError::Sql {
+            msg: msg.into(),
+            pos: None,
+        }
+    }
+
+    /// Shorthand constructor for [`GhostError::Sql`] with a byte offset.
+    pub fn sql_at(msg: impl Into<String>, pos: usize) -> Self {
+        GhostError::Sql {
+            msg: msg.into(),
+            pos: Some(pos),
+        }
+    }
+
+    /// Shorthand constructor for [`GhostError::Unsupported`].
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        GhostError::Unsupported(msg.into())
+    }
+}
+
+impl fmt::Display for GhostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GhostError::OutOfDeviceRam {
+                requested,
+                available,
+                budget,
+            } => write!(
+                f,
+                "out of device RAM: requested {requested} B, {available} B free of {budget} B budget"
+            ),
+            GhostError::Flash(m) => write!(f, "flash: {m}"),
+            GhostError::Catalog(m) => write!(f, "catalog: {m}"),
+            GhostError::Sql { msg, pos: Some(p) } => write!(f, "sql (at byte {p}): {msg}"),
+            GhostError::Sql { msg, pos: None } => write!(f, "sql: {msg}"),
+            GhostError::Exec(m) => write!(f, "exec: {m}"),
+            GhostError::Bus(m) => write!(f, "bus: {m}"),
+            GhostError::Value(m) => write!(f, "value: {m}"),
+            GhostError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            GhostError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GhostError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = GhostError::OutOfDeviceRam {
+            requested: 4096,
+            available: 100,
+            budget: 65536,
+        };
+        let s = e.to_string();
+        assert!(s.contains("4096"));
+        assert!(s.contains("65536"));
+
+        let e = GhostError::sql_at("unexpected token", 17);
+        assert!(e.to_string().contains("byte 17"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&GhostError::flash("x"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Common vocabulary types for the GhostDB reproduction.
+//!
+//! This crate defines the identifiers, scalar values, error type, hardware
+//! cost model and wire codec shared by every other crate in the workspace.
+//! It deliberately has **no dependencies**: everything above it (flash
+//! simulator, bus, indexes, executor) speaks in terms of these types.
+//!
+//! The paper models a *smart USB device*: a tamper-resistant secure chip
+//! (32-bit RISC, tens of KB of RAM) driving gigabytes of external NAND
+//! flash, attached to an untrusted PC over USB 2.0 full speed. The
+//! [`DeviceConfig`] in this crate captures exactly those constants so that
+//! every experiment can sweep them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod config;
+mod error;
+mod ids;
+mod scalar;
+mod stream;
+mod sealed;
+mod value;
+mod wire;
+
+pub use clock::{format_ns, SimClock, SimTime};
+pub use config::{BusConfig, CpuConfig, DeviceConfig, FlashConfig};
+pub use error::{GhostError, Result};
+pub use ids::{ColumnId, RowId, TableId};
+pub use scalar::ScalarOp;
+pub use stream::{collect_ids, IdStream, VecIdStream};
+pub use sealed::{DisplayTicket, Sealed};
+pub use value::{DataType, Date, Value};
+pub use wire::{decode_all, Wire};

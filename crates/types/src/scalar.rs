@@ -1,0 +1,127 @@
+//! Comparison operators of the SQL subset's predicates.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::Result;
+use crate::value::Value;
+use crate::wire::Wire;
+use crate::GhostError;
+
+/// A scalar comparison operator (`col OP constant`).
+///
+/// The paper's example query uses `=` and `>`; the reproduction supports
+/// the full ordered set so range predicates can exercise the climbing
+/// index's range probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarOp {
+    /// Equality (`=`).
+    Eq,
+    /// Strictly less (`<`).
+    Lt,
+    /// Less or equal (`<=`).
+    Le,
+    /// Strictly greater (`>`).
+    Gt,
+    /// Greater or equal (`>=`).
+    Ge,
+}
+
+impl ScalarOp {
+    /// Evaluate `lhs OP rhs`; errors on a type mismatch.
+    pub fn matches(self, lhs: &Value, rhs: &Value) -> Result<bool> {
+        let ord = lhs.cmp_same_type(rhs)?;
+        Ok(match self {
+            ScalarOp::Eq => ord == Ordering::Equal,
+            ScalarOp::Lt => ord == Ordering::Less,
+            ScalarOp::Le => ord != Ordering::Greater,
+            ScalarOp::Gt => ord == Ordering::Greater,
+            ScalarOp::Ge => ord != Ordering::Less,
+        })
+    }
+
+    /// The SQL spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ScalarOp::Eq => "=",
+            ScalarOp::Lt => "<",
+            ScalarOp::Le => "<=",
+            ScalarOp::Gt => ">",
+            ScalarOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for ScalarOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl Wire for ScalarOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ScalarOp::Eq => 0,
+            ScalarOp::Lt => 1,
+            ScalarOp::Le => 2,
+            ScalarOp::Gt => 3,
+            ScalarOp::Ge => 4,
+        });
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        if buf.is_empty() {
+            return Err(GhostError::corrupt("scalar op underrun"));
+        }
+        let tag = buf[0];
+        *buf = &buf[1..];
+        Ok(match tag {
+            0 => ScalarOp::Eq,
+            1 => ScalarOp::Lt,
+            2 => ScalarOp::Le,
+            3 => ScalarOp::Gt,
+            4 => ScalarOp::Ge,
+            t => return Err(GhostError::corrupt(format!("scalar op tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::decode_all;
+
+    #[test]
+    fn semantics() {
+        let a = Value::Int(3);
+        let b = Value::Int(5);
+        assert!(ScalarOp::Lt.matches(&a, &b).unwrap());
+        assert!(ScalarOp::Le.matches(&a, &a).unwrap());
+        assert!(!ScalarOp::Gt.matches(&a, &b).unwrap());
+        assert!(ScalarOp::Ge.matches(&b, &a).unwrap());
+        assert!(ScalarOp::Eq.matches(&a, &a).unwrap());
+        assert!(ScalarOp::Eq
+            .matches(&a, &Value::Text("x".into()))
+            .is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for op in [
+            ScalarOp::Eq,
+            ScalarOp::Lt,
+            ScalarOp::Le,
+            ScalarOp::Gt,
+            ScalarOp::Ge,
+        ] {
+            let back: ScalarOp = decode_all(&op.to_bytes()).unwrap();
+            assert_eq!(back, op);
+        }
+        assert!(decode_all::<ScalarOp>(&[9]).is_err());
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(ScalarOp::Ge.to_string(), ">=");
+        assert_eq!(ScalarOp::Eq.symbol(), "=");
+    }
+}

@@ -1,0 +1,88 @@
+//! The anti-leak wrapper for hidden data.
+//!
+//! Anything read from a hidden column on the device is wrapped in
+//! [`Sealed`]. `Sealed<T>` intentionally does **not** implement
+//! [`crate::Wire`], so it is a *compile-time* error to place hidden data
+//! inside a bus message — the Rust encoding of the paper's invariant that
+//! "neither hidden data nor intermediate results ever leave the device".
+//!
+//! Results still have to reach the user: the device hands sealed values to
+//! the *secure display* channel (paper §2 lists a device LCD, a trusted
+//! palm screen, or a secure socket), which is modelled as a separate
+//! endpoint excluded from the spy trace. Opening a sealed value requires a
+//! [`DisplayTicket`], which only the secure-display endpoint mints.
+
+use std::fmt;
+
+/// Capability to open sealed values; minted only by the secure display
+/// endpoint (see `ghostdb-bus`).
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayTicket(());
+
+impl DisplayTicket {
+    /// Mint a ticket. Named loudly on purpose: calling this anywhere but a
+    /// secure rendering path is a threat-model violation that code review
+    /// (and the leak tests) will catch.
+    pub fn secure_display_only() -> Self {
+        DisplayTicket(())
+    }
+}
+
+/// A value derived from hidden data. Cannot cross the untrusted bus.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Sealed<T>(T);
+
+impl<T> Sealed<T> {
+    /// Seal a hidden value on the device.
+    pub fn new(value: T) -> Self {
+        Sealed(value)
+    }
+
+    /// Open the value for secure rendering.
+    pub fn open(self, _ticket: DisplayTicket) -> T {
+        self.0
+    }
+
+    /// Borrow the value for on-device computation (never leaves the
+    /// trusted boundary because the borrow cannot be encoded either).
+    pub fn peek_on_device(&self) -> &T {
+        &self.0
+    }
+
+    /// Map over the sealed value without unsealing it.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Sealed<U> {
+        Sealed(f(self.0))
+    }
+}
+
+/// Debug-printing a sealed value redacts its contents, so accidental
+/// `{:?}` logging of hidden data cannot leak it either.
+impl<T> fmt::Debug for Sealed<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sealed(<redacted>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_redacts_debug() {
+        let s = Sealed::new("Sclerosis".to_string());
+        assert_eq!(format!("{s:?}"), "Sealed(<redacted>)");
+    }
+
+    #[test]
+    fn open_requires_ticket() {
+        let s = Sealed::new(42);
+        let t = DisplayTicket::secure_display_only();
+        assert_eq!(s.open(t), 42);
+    }
+
+    #[test]
+    fn map_keeps_seal() {
+        let s = Sealed::new(21).map(|v| v * 2);
+        assert_eq!(*s.peek_on_device(), 42);
+    }
+}

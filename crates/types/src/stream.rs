@@ -1,0 +1,69 @@
+//! Streaming id-list abstraction.
+//!
+//! GhostDB's device-side operators exchange **ascending streams of row
+//! ids** (climbing-index postings, delegated visible selections, merge
+//! results). Streams keep RAM usage O(1): only the operators that
+//! genuinely need materialization (Bloom build, external sort runs) hold
+//! buffers, and those are charged to the RAM budget.
+
+use crate::error::Result;
+use crate::ids::RowId;
+
+/// A pull-based stream of ascending row ids.
+pub trait IdStream {
+    /// The next id, or `None` at end of stream. Implementations yield ids
+    /// in strictly ascending order unless documented otherwise.
+    fn next_id(&mut self) -> Result<Option<RowId>>;
+}
+
+/// A stream over an in-memory sorted vector (used for small lists and in
+/// tests).
+#[derive(Debug)]
+pub struct VecIdStream {
+    ids: Vec<RowId>,
+    pos: usize,
+}
+
+impl VecIdStream {
+    /// Wrap a sorted vector.
+    pub fn new(ids: Vec<RowId>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must ascend");
+        VecIdStream { ids, pos: 0 }
+    }
+}
+
+impl IdStream for VecIdStream {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        let id = self.ids.get(self.pos).copied();
+        self.pos += 1;
+        Ok(id)
+    }
+}
+
+/// Drain a stream into a vector (tests and small-list paths).
+pub fn collect_ids(stream: &mut dyn IdStream) -> Result<Vec<RowId>> {
+    let mut out = Vec::new();
+    while let Some(id) = stream.next_id()? {
+        out.push(id);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_stream_yields_all() {
+        let mut s = VecIdStream::new(vec![RowId(1), RowId(5), RowId(9)]);
+        let got = collect_ids(&mut s).unwrap();
+        assert_eq!(got, vec![RowId(1), RowId(5), RowId(9)]);
+        assert!(s.next_id().unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut s = VecIdStream::new(vec![]);
+        assert!(s.next_id().unwrap().is_none());
+    }
+}

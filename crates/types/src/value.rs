@@ -1,0 +1,318 @@
+//! Scalar values and data types of the SQL subset.
+//!
+//! The demo schema (paper Figure 3) uses three column types: `INTEGER`,
+//! `DATE` and `CHAR(n)`. Values are self-describing so that the PC-side
+//! visible store, the SQL binder and the result set can all share them;
+//! on the device, string values are dictionary-encoded into fixed-width
+//! codes before they ever reach flash (see `ghostdb-storage`).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{GhostError, Result};
+
+/// Column data types of the SQL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`INTEGER`).
+    Integer,
+    /// Calendar date (`DATE`), stored as days since 1970-01-01.
+    Date,
+    /// Fixed-capacity character string (`CHAR(n)`).
+    Char(u16),
+}
+
+impl DataType {
+    /// Whether a [`Value`] conforms to this type.
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (DataType::Integer, Value::Int(_))
+                | (DataType::Date, Value::Date(_))
+                | (DataType::Char(_), Value::Text(_))
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Integer => write!(f, "INTEGER"),
+            DataType::Date => write!(f, "DATE"),
+            DataType::Char(n) => write!(f, "CHAR({n})"),
+        }
+    }
+}
+
+/// A calendar date, stored as days since the Unix epoch (1970-01-01).
+///
+/// The civil-calendar conversions use Howard Hinnant's `days_from_civil`
+/// algorithm, valid across the proleptic Gregorian calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// Build a date from a civil year/month/day triple.
+    ///
+    /// Returns an error if the month or day is out of range for the given
+    /// year (leap years are handled).
+    pub fn from_ymd(y: i32, m: u32, d: u32) -> Result<Date> {
+        if !(1..=12).contains(&m) {
+            return Err(GhostError::value(format!("month {m} out of range")));
+        }
+        let leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+        let dim = [
+            31,
+            if leap { 29 } else { 28 },
+            31,
+            30,
+            31,
+            30,
+            31,
+            31,
+            30,
+            31,
+            30,
+            31,
+        ][(m - 1) as usize];
+        if d == 0 || d > dim {
+            return Err(GhostError::value(format!("day {d} out of range for {y}-{m:02}")));
+        }
+        // days_from_civil (Howard Hinnant).
+        let y = if m <= 2 { y - 1 } else { y } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = ((m as i64) + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + (d as i64) - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        Ok(Date((era * 146_097 + doe - 719_468) as i32))
+    }
+
+    /// Decompose into the civil (year, month, day) triple.
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        // civil_from_days (Howard Hinnant).
+        let z = self.0 as i64 + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+        let y = if m <= 2 { y + 1 } else { y } as i32;
+        (y, m, d)
+    }
+
+    /// Parse a date literal.
+    ///
+    /// Accepts ISO `YYYY-MM-DD` and the paper's `DD-MM-YYYY` form (the §4
+    /// example query uses `05-11-2006`). A leading four-digit field selects
+    /// the ISO interpretation.
+    pub fn parse(s: &str) -> Result<Date> {
+        let parts: Vec<&str> = s.split('-').collect();
+        if parts.len() != 3 {
+            return Err(GhostError::value(format!("malformed date literal {s:?}")));
+        }
+        let nums: Vec<i64> = parts
+            .iter()
+            .map(|p| {
+                p.parse::<i64>()
+                    .map_err(|_| GhostError::value(format!("malformed date literal {s:?}")))
+            })
+            .collect::<Result<_>>()?;
+        if parts[0].len() == 4 {
+            Date::from_ymd(nums[0] as i32, nums[1] as u32, nums[2] as u32)
+        } else {
+            Date::from_ymd(nums[2] as i32, nums[1] as u32, nums[0] as u32)
+        }
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// A scalar value of the SQL subset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Calendar date.
+    Date(Date),
+    /// Character string.
+    Text(String),
+}
+
+impl Value {
+    /// The data type this value conforms to (`Char` width is the string's
+    /// own length; the catalog checks capacity separately).
+    pub fn type_of(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Integer,
+            Value::Date(_) => DataType::Date,
+            Value::Text(s) => DataType::Char(s.len().min(u16::MAX as usize) as u16),
+        }
+    }
+
+    /// Compare two values of the same type.
+    ///
+    /// Returns an error on a type mismatch — predicates are type-checked
+    /// by the binder, so a mismatch here indicates a planner bug.
+    pub fn cmp_same_type(&self, other: &Value) -> Result<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Ok(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Ok(a.cmp(b)),
+            _ => Err(GhostError::value(format!(
+                "type mismatch comparing {self} with {other}"
+            ))),
+        }
+    }
+
+    /// Borrow the text payload, if this is a `Text` value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Extract the integer payload, if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract the date payload, if this is a `Date` value.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// A 64-bit order-preserving key for fixed-width device encodings.
+    ///
+    /// Integers and dates map onto their sign-flipped two's-complement
+    /// representation so that unsigned comparison of keys equals value
+    /// comparison; text values have no numeric key (they go through the
+    /// dictionary) and return `None`.
+    pub fn order_key(&self) -> Option<u64> {
+        match self {
+            Value::Int(v) => Some((*v as u64) ^ (1 << 63)),
+            Value::Date(d) => Some(((d.0 as i64) as u64) ^ (1 << 63)),
+            Value::Text(_) => None,
+        }
+    }
+
+    /// Inverse of [`Value::order_key`] for a given type.
+    pub fn from_order_key(ty: DataType, key: u64) -> Result<Value> {
+        match ty {
+            DataType::Integer => Ok(Value::Int((key ^ (1 << 63)) as i64)),
+            DataType::Date => Ok(Value::Date(Date((key ^ (1 << 63)) as i64 as i32))),
+            DataType::Char(_) => Err(GhostError::value(
+                "CHAR values have no order key; use the dictionary".to_string(),
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_roundtrip_epoch() {
+        let d = Date::from_ymd(1970, 1, 1).unwrap();
+        assert_eq!(d.0, 0);
+        assert_eq!(d.to_ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn date_roundtrip_paper_literal() {
+        // The §4 example query: Vis.Date > 05-11-2006 (DD-MM-YYYY).
+        let d = Date::parse("05-11-2006").unwrap();
+        assert_eq!(d.to_ymd(), (2006, 11, 5));
+        let iso = Date::parse("2006-11-05").unwrap();
+        assert_eq!(d, iso);
+        assert_eq!(d.to_string(), "2006-11-05");
+    }
+
+    #[test]
+    fn date_rejects_bad_components() {
+        assert!(Date::from_ymd(2001, 13, 1).is_err());
+        assert!(Date::from_ymd(2001, 2, 29).is_err());
+        assert!(Date::from_ymd(2000, 2, 29).is_ok()); // leap year
+        assert!(Date::parse("2001/01/01").is_err());
+        assert!(Date::parse("01-01").is_err());
+    }
+
+    #[test]
+    fn date_ordering_matches_calendar() {
+        let a = Date::from_ymd(1999, 12, 31).unwrap();
+        let b = Date::from_ymd(2000, 1, 1).unwrap();
+        assert!(a < b);
+        assert_eq!(b.0 - a.0, 1);
+    }
+
+    #[test]
+    fn value_comparison_same_type() {
+        assert_eq!(
+            Value::Int(1).cmp_same_type(&Value::Int(2)).unwrap(),
+            Ordering::Less
+        );
+        assert!(Value::Int(1).cmp_same_type(&Value::Text("x".into())).is_err());
+    }
+
+    #[test]
+    fn order_key_preserves_order_for_ints() {
+        let vals = [i64::MIN, -5, -1, 0, 1, 42, i64::MAX];
+        for w in vals.windows(2) {
+            let a = Value::Int(w[0]).order_key().unwrap();
+            let b = Value::Int(w[1]).order_key().unwrap();
+            assert!(a < b, "{} !< {}", w[0], w[1]);
+        }
+        for v in vals {
+            let k = Value::Int(v).order_key().unwrap();
+            assert_eq!(
+                Value::from_order_key(DataType::Integer, k).unwrap(),
+                Value::Int(v)
+            );
+        }
+    }
+
+    #[test]
+    fn order_key_preserves_order_for_dates() {
+        let a = Value::Date(Date(-400)).order_key().unwrap();
+        let b = Value::Date(Date(0)).order_key().unwrap();
+        let c = Value::Date(Date(13_000)).order_key().unwrap();
+        assert!(a < b && b < c);
+        assert_eq!(
+            Value::from_order_key(DataType::Date, a).unwrap(),
+            Value::Date(Date(-400))
+        );
+    }
+
+    #[test]
+    fn datatype_admits() {
+        assert!(DataType::Integer.admits(&Value::Int(3)));
+        assert!(DataType::Char(10).admits(&Value::Text("hi".into())));
+        assert!(!DataType::Date.admits(&Value::Int(3)));
+    }
+}

@@ -1,0 +1,296 @@
+//! Binary wire codec for everything that may legally cross the bus.
+//!
+//! GhostDB's security argument is structural: the only bytes on the
+//! PC ↔ device link are (a) the query text and plan-derived requests going
+//! out, and (b) visible data coming in. We enforce this in the type
+//! system: bus messages are built exclusively from types implementing
+//! [`Wire`], and the [`crate::Sealed`] wrapper around hidden data
+//! deliberately does **not** implement it.
+//!
+//! The codec is little-endian, length-prefixed, and self-contained (no
+//! external serialization dependency) — the whole point of reproducing a
+//! 2007 embedded system is that the device-side format is fixed-width and
+//! trivially parseable by a smartcard-class CPU.
+
+use crate::error::{GhostError, Result};
+use crate::ids::{ColumnId, RowId, TableId};
+use crate::value::{DataType, Date, Value};
+
+/// Types that can be encoded onto the untrusted PC ↔ device link.
+pub trait Wire: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode one value from the front of `buf`, advancing it.
+    fn decode(buf: &mut &[u8]) -> Result<Self>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(GhostError::corrupt(format!(
+            "wire underrun: need {n} bytes, have {}",
+            buf.len()
+        )));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+/// Decode a value and require the buffer to be fully consumed.
+pub fn decode_all<T: Wire>(mut buf: &[u8]) -> Result<T> {
+    let v = T::decode(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(GhostError::corrupt(format!(
+            "wire trailing garbage: {} bytes left",
+            buf.len()
+        )));
+    }
+    Ok(v)
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self> {
+                let raw = take(buf, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(raw.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i32, i64);
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        match take(buf, 1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(GhostError::corrupt(format!("bool byte {b}"))),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let len = u32::decode(buf)? as usize;
+        let raw = take(buf, len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| GhostError::corrupt("non-utf8 string"))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let len = u32::decode(buf)? as usize;
+        // Guard against adversarial lengths: cap the pre-allocation.
+        let mut v = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            v.push(T::decode(buf)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        match take(buf, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            b => Err(GhostError::corrupt(format!("option tag {b}"))),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl Wire for RowId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(RowId(u32::decode(buf)?))
+    }
+}
+
+impl Wire for TableId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(TableId(u16::decode(buf)?))
+    }
+}
+
+impl Wire for ColumnId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(ColumnId(u16::decode(buf)?))
+    }
+}
+
+impl Wire for Date {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Date(i32::decode(buf)?))
+    }
+}
+
+impl Wire for Value {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Value::Date(d) => {
+                out.push(1);
+                d.encode(out);
+            }
+            Value::Text(s) => {
+                out.push(2);
+                s.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        match take(buf, 1)?[0] {
+            0 => Ok(Value::Int(i64::decode(buf)?)),
+            1 => Ok(Value::Date(Date::decode(buf)?)),
+            2 => Ok(Value::Text(String::decode(buf)?)),
+            t => Err(GhostError::corrupt(format!("value tag {t}"))),
+        }
+    }
+}
+
+impl Wire for DataType {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DataType::Integer => out.push(0),
+            DataType::Date => out.push(1),
+            DataType::Char(n) => {
+                out.push(2);
+                n.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        match take(buf, 1)?[0] {
+            0 => Ok(DataType::Integer),
+            1 => Ok(DataType::Date),
+            2 => Ok(DataType::Char(u16::decode(buf)?)),
+            t => Err(GhostError::corrupt(format!("datatype tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back: T = decode_all(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(u16::MAX);
+        roundtrip(123_456u32);
+        roundtrip(u64::MAX - 1);
+        roundtrip(-42i64);
+        roundtrip(i32::MIN);
+        roundtrip(true);
+        roundtrip(String::from("hello ghost"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn composite_roundtrips() {
+        roundtrip(vec![RowId(1), RowId(2), RowId(99)]);
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(RowId(7)));
+        roundtrip((TableId(3), ColumnId(1)));
+        roundtrip(vec![
+            Value::Int(-9),
+            Value::Text("Sclerosis".into()),
+            Value::Date(Date(13_456)),
+        ]);
+        roundtrip(DataType::Char(100));
+    }
+
+    #[test]
+    fn underrun_is_detected() {
+        let bytes = 123_456u32.to_bytes();
+        let mut short = &bytes[..2];
+        assert!(u32::decode(&mut short).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut bytes = 7u32.to_bytes();
+        bytes.push(0xFF);
+        assert!(decode_all::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tags_are_detected() {
+        assert!(decode_all::<bool>(&[9]).is_err());
+        assert!(decode_all::<Value>(&[9]).is_err());
+        assert!(decode_all::<Option<u8>>(&[7]).is_err());
+    }
+
+    #[test]
+    fn non_utf8_string_rejected() {
+        let mut bytes = Vec::new();
+        2u32.encode(&mut bytes);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(decode_all::<String>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic workloads: the demo's medical dataset, a second retail
+//! schema, parameterized query templates, and a naive reference engine.
+//!
+//! Paper §5: "We use a synthetic dataset compliant with the schema
+//! described in Figure 3. The cardinality of the root table
+//! (Prescription) is one million tuples." [`MedicalConfig::paper_scale`]
+//! reproduces exactly that; smaller scales and explicit selectivity knobs
+//! (`sclerosis_fraction`, `antibiotic_fraction`) power the Pre/Post
+//! crossover sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod medical;
+mod queries;
+mod reference;
+mod retail;
+
+pub use medical::{generate_medical, medical_schema, MedicalConfig, MEDICAL_DDL};
+pub use queries::{game_queries, paper_query, selectivity_query, GameQuery};
+pub use reference::reference_execute;
+pub use retail::{generate_retail, retail_schema, RetailConfig, RETAIL_DDL};

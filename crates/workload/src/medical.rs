@@ -1,0 +1,331 @@
+//! The Figure 3 medical dataset.
+//!
+//! Schema exactly as the paper draws it (superscript H = hidden):
+//!
+//! ```text
+//! Doctor(DocID, Name, Speciality, Zip, Country)
+//! Patient(PatID, Name^H, Age, BodyMassIndex^H, Country)
+//! Medicine(MedID, Name, Effect, Type)
+//! Visit(VisID, Date, Purpose^H, DocID^H -> Doctor, PatID^H -> Patient)
+//! Prescription(PreID, Quantity^H, Frequency, WhenWritten^H,
+//!              MedID^H -> Medicine, VisID^H -> Visit)
+//! ```
+
+use ghostdb_storage::Dataset;
+use ghostdb_types::{Date, GhostError, Result, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The demo schema as `CREATE TABLE` DDL (paper §2 syntax, Figure 3
+/// visibility).
+pub const MEDICAL_DDL: &str = "\
+CREATE TABLE Doctor (
+  DocID INTEGER PRIMARY KEY,
+  Name CHAR(24),
+  Speciality CHAR(20),
+  Zip INTEGER,
+  Country CHAR(16));
+CREATE TABLE Patient (
+  PatID INTEGER PRIMARY KEY,
+  Name CHAR(24) HIDDEN,
+  Age INTEGER,
+  BodyMassIndex INTEGER HIDDEN,
+  Country CHAR(16));
+CREATE TABLE Medicine (
+  MedID INTEGER PRIMARY KEY,
+  Name CHAR(24),
+  Effect CHAR(20),
+  Type CHAR(16));
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(32) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN,
+  PatID REFERENCES Patient(PatID) HIDDEN);
+CREATE TABLE Prescription (
+  PreID INTEGER PRIMARY KEY,
+  Quantity INTEGER HIDDEN,
+  Frequency INTEGER,
+  WhenWritten DATE HIDDEN,
+  MedID REFERENCES Medicine(MedID) HIDDEN,
+  VisID REFERENCES Visit(VisID) HIDDEN);";
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct MedicalConfig {
+    /// Root-table cardinality (paper: 1,000,000).
+    pub prescriptions: usize,
+    /// Average prescriptions per visit.
+    pub prescriptions_per_visit: usize,
+    /// Average visits per patient.
+    pub visits_per_patient: usize,
+    /// Number of doctors.
+    pub doctors: usize,
+    /// Number of medicines.
+    pub medicines: usize,
+    /// PRNG seed (generation is fully deterministic).
+    pub seed: u64,
+    /// Fraction of visits whose hidden Purpose is `Sclerosis` (the §4
+    /// example's hidden selectivity).
+    pub sclerosis_fraction: f64,
+    /// Fraction of medicines whose visible Type is `Antibiotic`.
+    pub antibiotic_fraction: f64,
+    /// First calendar day of the Visit.Date range.
+    pub date_start: Date,
+    /// Number of days the Visit.Date range spans (uniform).
+    pub date_span_days: u32,
+}
+
+impl MedicalConfig {
+    /// A scaled configuration with the paper's proportions.
+    pub fn scaled(prescriptions: usize) -> MedicalConfig {
+        MedicalConfig {
+            prescriptions,
+            prescriptions_per_visit: 4,
+            visits_per_patient: 5,
+            doctors: (prescriptions / 500).max(4),
+            medicines: (prescriptions / 1000).clamp(8, 2000),
+            seed: 0x9e37_79b9,
+            sclerosis_fraction: 0.01,
+            antibiotic_fraction: 0.10,
+            date_start: Date::from_ymd(2004, 1, 1).expect("valid date"),
+            date_span_days: 1096, // 2004-2006 inclusive
+        }
+    }
+
+    /// The paper's scale: one million prescriptions.
+    pub fn paper_scale() -> MedicalConfig {
+        Self::scaled(1_000_000)
+    }
+
+    /// A small configuration for tests and examples.
+    pub fn small() -> MedicalConfig {
+        Self::scaled(2_000)
+    }
+
+    /// Number of visits implied.
+    pub fn visits(&self) -> usize {
+        (self.prescriptions / self.prescriptions_per_visit).max(1)
+    }
+
+    /// Number of patients implied.
+    pub fn patients(&self) -> usize {
+        (self.visits() / self.visits_per_patient).max(1)
+    }
+
+    /// Override the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+const COUNTRIES: &[&str] = &[
+    "France", "Spain", "USA", "Germany", "Italy", "Austria", "Belgium", "Poland", "Norway",
+    "Japan", "Brazil", "Canada",
+];
+const SPECIALITIES: &[&str] = &[
+    "Cardiology", "Neurology", "Oncology", "Pediatrics", "Radiology", "Surgery",
+    "Dermatology", "Psychiatry",
+];
+const PURPOSES: &[&str] = &[
+    "Checkup", "Diabetes", "Hypertension", "Influenza", "Asthma", "Migraine", "Fracture",
+    "Allergy", "Bronchitis", "Arthritis", "Depression", "Insomnia", "Anemia", "Obesity",
+    "Dermatitis", "Gastritis",
+];
+const EFFECTS: &[&str] = &[
+    "Analgesic", "Antipyretic", "Sedative", "Stimulant", "Diuretic", "Laxative",
+    "Antiseptic", "Vasodilator",
+];
+const TYPES: &[&str] = &[
+    "Placebo", "Antiviral", "Vaccine", "Statin", "Betablocker", "Steroid", "Insulin",
+    "Antihistamine", "Opioid",
+];
+const SYLLABLES: &[&str] = &[
+    "ka", "ro", "mi", "ta", "le", "su", "ne", "vo", "ri", "da", "pa", "zu", "be", "no",
+];
+
+fn name_of(rng: &mut StdRng, prefix: &str) -> String {
+    let n = rng.random_range(2..4usize);
+    let mut s = String::from(prefix);
+    for _ in 0..n {
+        s.push_str(SYLLABLES[rng.random_range(0..SYLLABLES.len())]);
+    }
+    s
+}
+
+/// Pick with Zipf-ish skew (weight 1/(rank+1)) from a list.
+fn zipf_pick<'a>(rng: &mut StdRng, items: &[&'a str]) -> &'a str {
+    let total: f64 = (0..items.len()).map(|i| 1.0 / (i + 1) as f64).sum();
+    let mut x = rng.random::<f64>() * total;
+    for (i, item) in items.iter().enumerate() {
+        x -= 1.0 / (i + 1) as f64;
+        if x <= 0.0 {
+            return item;
+        }
+    }
+    items[items.len() - 1]
+}
+
+/// The bound Figure 3 schema.
+pub fn medical_schema() -> Result<ghostdb_catalog::Schema> {
+    ghostdb_sql::bind_schema(&ghostdb_sql::parse_statements(MEDICAL_DDL)?)
+}
+
+/// Generate the Figure 3 dataset.
+///
+/// The generated data is deterministic in `cfg.seed` and respects the
+/// selectivity knobs exactly in expectation (each visit is Sclerosis with
+/// probability `sclerosis_fraction`, independently).
+pub fn generate_medical(cfg: &MedicalConfig) -> Result<Dataset> {
+    if cfg.prescriptions == 0 {
+        return Err(GhostError::catalog("prescriptions must be > 0"));
+    }
+    let schema = medical_schema()?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut data = Dataset::empty(&schema);
+    let doctor = schema.resolve_table("Doctor")?;
+    let patient = schema.resolve_table("Patient")?;
+    let medicine = schema.resolve_table("Medicine")?;
+    let visit = schema.resolve_table("Visit")?;
+    let prescription = schema.resolve_table("Prescription")?;
+
+    for i in 0..cfg.doctors as i64 {
+        data.push_row(
+            doctor,
+            vec![
+                Value::Int(i),
+                Value::Text(name_of(&mut rng, "Dr ")),
+                Value::Text(zipf_pick(&mut rng, SPECIALITIES).to_string()),
+                Value::Int(rng.random_range(10_000..99_999)),
+                Value::Text(zipf_pick(&mut rng, COUNTRIES).to_string()),
+            ],
+        )?;
+    }
+    for i in 0..cfg.patients() as i64 {
+        data.push_row(
+            patient,
+            vec![
+                Value::Int(i),
+                Value::Text(name_of(&mut rng, "")),
+                Value::Int(rng.random_range(18..95)),
+                Value::Int(rng.random_range(15..45)),
+                Value::Text(zipf_pick(&mut rng, COUNTRIES).to_string()),
+            ],
+        )?;
+    }
+    for i in 0..cfg.medicines as i64 {
+        let ty = if rng.random::<f64>() < cfg.antibiotic_fraction {
+            "Antibiotic".to_string()
+        } else {
+            zipf_pick(&mut rng, TYPES).to_string()
+        };
+        data.push_row(
+            medicine,
+            vec![
+                Value::Int(i),
+                Value::Text(name_of(&mut rng, "")),
+                Value::Text(zipf_pick(&mut rng, EFFECTS).to_string()),
+                Value::Text(ty),
+            ],
+        )?;
+    }
+    let n_visits = cfg.visits();
+    for i in 0..n_visits as i64 {
+        let purpose = if rng.random::<f64>() < cfg.sclerosis_fraction {
+            "Sclerosis".to_string()
+        } else {
+            zipf_pick(&mut rng, PURPOSES).to_string()
+        };
+        let day = cfg.date_start.0 + rng.random_range(0..cfg.date_span_days as i32);
+        data.push_row(
+            visit,
+            vec![
+                Value::Int(i),
+                Value::Date(Date(day)),
+                Value::Text(purpose),
+                Value::Int(rng.random_range(0..cfg.doctors as i64)),
+                Value::Int(rng.random_range(0..cfg.patients() as i64)),
+            ],
+        )?;
+    }
+    for i in 0..cfg.prescriptions as i64 {
+        let vis_id = rng.random_range(0..n_visits as i64);
+        let written = cfg.date_start.0 + rng.random_range(0..cfg.date_span_days as i32);
+        data.push_row(
+            prescription,
+            vec![
+                Value::Int(i),
+                Value::Int(rng.random_range(1..10)),
+                Value::Int(rng.random_range(1..5)),
+                Value::Date(Date(written)),
+                Value::Int(rng.random_range(0..cfg.medicines as i64)),
+                Value::Int(vis_id),
+            ],
+        )?;
+    }
+    data.validate(&schema)?;
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_catalog::TreeSchema;
+
+    #[test]
+    fn schema_matches_figure3() {
+        let s = medical_schema().unwrap();
+        assert_eq!(s.table_count(), 5);
+        let tree = TreeSchema::analyze(&s).unwrap();
+        assert_eq!(tree.root(), s.resolve_table("Prescription").unwrap());
+        // Hidden set per Figure 3: Patient.Name, Patient.BodyMassIndex,
+        // Visit.Purpose, Visit.DocID, Visit.PatID, Pre.Quantity,
+        // Pre.WhenWritten, Pre.MedID, Pre.VisID.
+        assert_eq!(s.hidden_columns().len(), 9);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = MedicalConfig::scaled(500);
+        let a = generate_medical(&cfg).unwrap();
+        let b = generate_medical(&cfg).unwrap();
+        assert_eq!(a, b);
+        let c = generate_medical(&cfg.clone().with_seed(7)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cardinalities_match_config() {
+        let cfg = MedicalConfig::scaled(1000);
+        let d = generate_medical(&cfg).unwrap();
+        let s = medical_schema().unwrap();
+        assert_eq!(d.row_count(s.resolve_table("Prescription").unwrap()), 1000);
+        assert_eq!(d.row_count(s.resolve_table("Visit").unwrap()), 250);
+        assert_eq!(d.row_count(s.resolve_table("Patient").unwrap()), 50);
+    }
+
+    #[test]
+    fn selectivity_knobs_hold_in_expectation() {
+        let mut cfg = MedicalConfig::scaled(20_000);
+        cfg.sclerosis_fraction = 0.2;
+        let d = generate_medical(&cfg).unwrap();
+        let s = medical_schema().unwrap();
+        let vis = s.resolve_table("Visit").unwrap();
+        let n = d.row_count(vis);
+        let hits = (0..n)
+            .filter(|&i| {
+                d.value(vis, 2, ghostdb_types::RowId(i as u32)).as_text() == Some("Sclerosis")
+            })
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.04, "observed {frac}");
+    }
+
+    #[test]
+    fn zero_rows_rejected() {
+        let mut cfg = MedicalConfig::small();
+        cfg.prescriptions = 0;
+        assert!(generate_medical(&cfg).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Query templates for the experiments and the plan game.
+
+use ghostdb_types::Date;
+
+/// The §4 example query, verbatim modulo the date literal:
+///
+/// ```sql
+/// SELECT Med.Name, Pre.Quantity, Vis.Date
+/// FROM Medicine Med, Prescription Pre, Visit Vis
+/// WHERE Vis.Date > 05-11-2006  /*VISIBLE*/
+///   AND Vis.Purpose = "Sclerosis" /*HIDDEN*/
+///   AND Med.Type = "Antibiotic"  /*VISIBLE*/
+///   AND Med.MedID = Pre.MedID
+///   AND Vis.VisID = Pre.VisID;
+/// ```
+pub fn paper_query(date_cutoff: Date) -> String {
+    format!(
+        "SELECT Med.Name, Pre.Quantity, Vis.Date \
+         FROM Medicine Med, Prescription Pre, Visit Vis \
+         WHERE Vis.Date > '{date_cutoff}' /*VISIBLE*/ \
+           AND Vis.Purpose = 'Sclerosis' /*HIDDEN*/ \
+           AND Med.Type = 'Antibiotic'  /*VISIBLE*/ \
+           AND Med.MedID = Pre.MedID \
+           AND Vis.VisID = Pre.VisID;"
+    )
+}
+
+/// A two-predicate query whose *visible* selectivity is tunable: the
+/// Date cutoff selects roughly `visible_fraction` of visits from a range
+/// starting at `date_start` spanning `span_days`. The hidden predicate
+/// stays the Sclerosis selection. This drives the Pre/Post crossover
+/// sweep (`EXP-D2A`).
+pub fn selectivity_query(date_start: Date, span_days: u32, visible_fraction: f64) -> String {
+    let frac = visible_fraction.clamp(0.0, 1.0);
+    // Date > cutoff selects the top `frac` of the uniform range.
+    let offset = ((1.0 - frac) * span_days as f64) as i32;
+    let cutoff = Date(date_start.0 + offset);
+    // Projections deliberately avoid the predicate column so that the
+    // sweep isolates the *filtering* strategies: projecting Vis.Date
+    // would force both plans to fetch the same column and mask the
+    // Pre/Post asymmetry the experiment measures.
+    format!(
+        "SELECT Pre.PreID, Pre.Quantity \
+         FROM Prescription Pre, Visit Vis \
+         WHERE Vis.Date > '{cutoff}' /*VISIBLE*/ \
+           AND Vis.Purpose = 'Sclerosis' /*HIDDEN*/ \
+           AND Vis.VisID = Pre.VisID;"
+    )
+}
+
+/// One query of the demo's phase-3 game.
+#[derive(Debug, Clone)]
+pub struct GameQuery {
+    /// Display name.
+    pub name: &'static str,
+    /// What makes it interesting.
+    pub hint: &'static str,
+    /// The SQL text.
+    pub sql: String,
+}
+
+/// The plan-game query set (demo phase 3): five queries with different
+/// winning strategies.
+pub fn game_queries(date_start: Date, span_days: u32) -> Vec<GameQuery> {
+    let mid = Date(date_start.0 + span_days as i32 / 2);
+    let late = Date(date_start.0 + (span_days as f64 * 0.95) as i32);
+    vec![
+        GameQuery {
+            name: "Q1-selective-hidden",
+            hint: "one very selective hidden predicate: climbing wins",
+            sql: "SELECT Pre.PreID FROM Prescription Pre, Visit Vis \
+                  WHERE Vis.Purpose = 'Sclerosis' AND Vis.VisID = Pre.VisID;"
+                .to_string(),
+        },
+        GameQuery {
+            name: "Q2-unselective-visible",
+            hint: "visible predicate matches half the visits: post-filter it",
+            sql: format!(
+                "SELECT Pre.PreID FROM Prescription Pre, Visit Vis \
+                 WHERE Vis.Date > '{mid}' AND Vis.Purpose = 'Sclerosis' \
+                   AND Vis.VisID = Pre.VisID;"
+            ),
+        },
+        GameQuery {
+            name: "Q3-selective-visible",
+            hint: "visible predicate matches 5%: pre-filtering pays off",
+            sql: format!(
+                "SELECT Pre.PreID FROM Prescription Pre, Visit Vis \
+                 WHERE Vis.Date > '{late}' AND Vis.Purpose = 'Sclerosis' \
+                   AND Vis.VisID = Pre.VisID;"
+            ),
+        },
+        GameQuery {
+            name: "Q4-cross-candidate",
+            hint: "two predicates on Visit: cross-filter before translating",
+            sql: format!(
+                "SELECT Pre.PreID FROM Prescription Pre, Visit Vis \
+                 WHERE Vis.Date > '{mid}' AND Vis.Purpose = 'Checkup' \
+                   AND Vis.VisID = Pre.VisID;"
+            ),
+        },
+        GameQuery {
+            name: "Q5-paper-query",
+            hint: "the full §4 example: three predicates, two strategies each",
+            sql: paper_query(mid),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_sql::{parse_statements, Statement};
+
+    #[test]
+    fn templates_parse() {
+        let d = Date::from_ymd(2006, 11, 5).unwrap();
+        for sql in [
+            paper_query(d),
+            selectivity_query(Date::from_ymd(2004, 1, 1).unwrap(), 1000, 0.25),
+        ] {
+            let stmts = parse_statements(&sql).unwrap();
+            assert!(matches!(stmts[0], Statement::Select(_)), "{sql}");
+        }
+        for q in game_queries(Date::from_ymd(2004, 1, 1).unwrap(), 1000) {
+            assert!(parse_statements(&q.sql).is_ok(), "{}", q.sql);
+        }
+    }
+
+    #[test]
+    fn selectivity_cutoff_scales() {
+        let start = Date::from_ymd(2004, 1, 1).unwrap();
+        let q10 = selectivity_query(start, 1000, 0.10);
+        let q90 = selectivity_query(start, 1000, 0.90);
+        // Higher fraction => earlier cutoff.
+        assert!(q90 < q10 || q90.contains("2004"));
+    }
+}

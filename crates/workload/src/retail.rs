@@ -1,0 +1,164 @@
+//! A second tree schema (retail) proving the engine is not hard-wired to
+//! the demo's medical schema.
+//!
+//! ```text
+//! Region(RegID, Name, Climate)
+//! Store(StoreID, City, Margin^H, RegID^H -> Region)
+//! Product(ProdID, Name, Cost^H, Category)
+//! Sale(SaleID, Day, Amount^H, StoreID^H -> Store, ProdID^H -> Product)
+//! ```
+//!
+//! Root = Sale; Store has a child (Region), so the index set gets two
+//! SKTs — structurally different from the medical tree (three levels on
+//! one branch, two on the other).
+
+use ghostdb_storage::Dataset;
+use ghostdb_types::{Date, GhostError, Result, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Retail schema DDL.
+pub const RETAIL_DDL: &str = "\
+CREATE TABLE Region (
+  RegID INTEGER PRIMARY KEY,
+  Name CHAR(16),
+  Climate CHAR(16));
+CREATE TABLE Store (
+  StoreID INTEGER PRIMARY KEY,
+  City CHAR(20),
+  Margin INTEGER HIDDEN,
+  RegID REFERENCES Region(RegID) HIDDEN);
+CREATE TABLE Product (
+  ProdID INTEGER PRIMARY KEY,
+  Name CHAR(24),
+  Cost INTEGER HIDDEN,
+  Category CHAR(16));
+CREATE TABLE Sale (
+  SaleID INTEGER PRIMARY KEY,
+  Day DATE,
+  Amount INTEGER HIDDEN,
+  StoreID REFERENCES Store(StoreID) HIDDEN,
+  ProdID REFERENCES Product(ProdID) HIDDEN);";
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct RetailConfig {
+    /// Root (Sale) cardinality.
+    pub sales: usize,
+    /// Number of stores.
+    pub stores: usize,
+    /// Number of products.
+    pub products: usize,
+    /// Number of regions.
+    pub regions: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl RetailConfig {
+    /// Proportional scaling.
+    pub fn scaled(sales: usize) -> RetailConfig {
+        RetailConfig {
+            sales,
+            stores: (sales / 200).max(3),
+            products: (sales / 100).clamp(5, 5000),
+            regions: 8,
+            seed: 0xBADC_0FFE,
+        }
+    }
+}
+
+const CITIES: &[&str] = &[
+    "Paris", "Madrid", "Rome", "Vienna", "Lisbon", "Athens", "Oslo", "Dublin", "Prague",
+];
+const CLIMATES: &[&str] = &["Oceanic", "Continental", "Mediterranean", "Alpine"];
+const CATEGORIES: &[&str] = &["Grocery", "Apparel", "Garden", "Toys", "Media", "Tools"];
+
+/// The bound retail schema.
+pub fn retail_schema() -> Result<ghostdb_catalog::Schema> {
+    ghostdb_sql::bind_schema(&ghostdb_sql::parse_statements(RETAIL_DDL)?)
+}
+
+/// Generate a retail dataset.
+pub fn generate_retail(cfg: &RetailConfig) -> Result<Dataset> {
+    if cfg.sales == 0 {
+        return Err(GhostError::catalog("sales must be > 0"));
+    }
+    let schema = retail_schema()?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut data = Dataset::empty(&schema);
+    let region = schema.resolve_table("Region")?;
+    let store = schema.resolve_table("Store")?;
+    let product = schema.resolve_table("Product")?;
+    let sale = schema.resolve_table("Sale")?;
+    let day0 = Date::from_ymd(2006, 1, 1)?;
+
+    for i in 0..cfg.regions as i64 {
+        data.push_row(
+            region,
+            vec![
+                Value::Int(i),
+                Value::Text(format!("Region{i}")),
+                Value::Text(CLIMATES[rng.random_range(0..CLIMATES.len())].to_string()),
+            ],
+        )?;
+    }
+    for i in 0..cfg.stores as i64 {
+        data.push_row(
+            store,
+            vec![
+                Value::Int(i),
+                Value::Text(CITIES[rng.random_range(0..CITIES.len())].to_string()),
+                Value::Int(rng.random_range(5..40)),
+                Value::Int(rng.random_range(0..cfg.regions as i64)),
+            ],
+        )?;
+    }
+    for i in 0..cfg.products as i64 {
+        data.push_row(
+            product,
+            vec![
+                Value::Int(i),
+                Value::Text(format!("prod-{i}")),
+                Value::Int(rng.random_range(1..500)),
+                Value::Text(CATEGORIES[rng.random_range(0..CATEGORIES.len())].to_string()),
+            ],
+        )?;
+    }
+    for i in 0..cfg.sales as i64 {
+        data.push_row(
+            sale,
+            vec![
+                Value::Int(i),
+                Value::Date(Date(day0.0 + rng.random_range(0..365))),
+                Value::Int(rng.random_range(1..1000)),
+                Value::Int(rng.random_range(0..cfg.stores as i64)),
+                Value::Int(rng.random_range(0..cfg.products as i64)),
+            ],
+        )?;
+    }
+    data.validate(&schema)?;
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_catalog::TreeSchema;
+
+    #[test]
+    fn retail_tree_has_two_skt_roots() {
+        let s = retail_schema().unwrap();
+        let tree = TreeSchema::analyze(&s).unwrap();
+        assert_eq!(tree.root(), s.resolve_table("Sale").unwrap());
+        assert_eq!(tree.skt_roots().len(), 2); // Sale and Store
+    }
+
+    #[test]
+    fn generates_valid_data() {
+        let d = generate_retail(&RetailConfig::scaled(800)).unwrap();
+        let s = retail_schema().unwrap();
+        assert_eq!(d.row_count(s.resolve_table("Sale").unwrap()), 800);
+        assert_eq!(d.row_count(s.resolve_table("Store").unwrap()), 4);
+    }
+}

@@ -1,0 +1,70 @@
+//! Hardware lab: replay one query on different device generations and
+//! watch the plan trade-offs move (paper §3's sensitivity discussion).
+//!
+//! Run with: `cargo run --release --example hardware_lab`
+
+use ghostdb::GhostDb;
+use ghostdb_types::{format_ns, BusConfig, DeviceConfig, Result};
+use ghostdb_workload::{generate_medical, selectivity_query, MedicalConfig, MEDICAL_DDL};
+
+fn main() -> Result<()> {
+    let cfg = MedicalConfig::scaled(20_000);
+    let data = generate_medical(&cfg)?;
+    let sql = selectivity_query(cfg.date_start, cfg.date_span_days, 0.5);
+    println!("query:\n  {sql}\n");
+    println!("device                              P1(pre)        P2(post)      winner");
+
+    let labs: Vec<(&str, DeviceConfig)> = vec![
+        ("paper 2007 (64KB, 8.8x, 12Mb/s)", DeviceConfig::default_2007()),
+        (
+            "slow flash (write/read = 10x)",
+            {
+                let mut d = DeviceConfig::default_2007();
+                d.flash = d.flash.with_write_read_ratio(10.0);
+                d
+            },
+        ),
+        (
+            "fast flash (write/read = 3x)",
+            {
+                let mut d = DeviceConfig::default_2007();
+                d.flash = d.flash.with_write_read_ratio(3.0);
+                d
+            },
+        ),
+        (
+            "future link (USB 480 Mb/s)",
+            DeviceConfig::default_2007().with_bus(BusConfig::usb_high_speed()),
+        ),
+        (
+            "big RAM (1 MB secure chip)",
+            DeviceConfig::default_2007().with_ram(1024 * 1024),
+        ),
+        (
+            "tiny RAM (16 KB secure chip)",
+            DeviceConfig::default_2007().with_ram(16 * 1024),
+        ),
+    ];
+
+    for (name, device) in labs {
+        let db = GhostDb::create(MEDICAL_DDL, device, &data)?;
+        let spec = db.bind(&sql)?;
+        let p1 = db.run(&spec, &db.plan_pre(&spec))?;
+        let p2 = db.run(&spec, &db.plan_post(&spec))?;
+        assert_eq!(p1.rows.rows, p2.rows.rows);
+        let winner = if p1.report.total_ns <= p2.report.total_ns {
+            "pre"
+        } else {
+            "post"
+        };
+        println!(
+            "{:<35} {:<14} {:<13} {}",
+            name,
+            format_ns(p1.report.total_ns),
+            format_ns(p2.report.total_ns),
+            winner
+        );
+    }
+    println!("\nEvery row returned identical results; only the costs move.");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Demo phase 3 — "...and playing a game": find the fastest plan.
+//!
+//! For each game query the program enumerates the candidate plans,
+//! executes every one, and ranks them by measured (simulated) time — so
+//! you can check whether the optimizer (or you) picked the winner. The
+//! paper: "the rather unusual query execution strategies implemented in
+//! GhostDB may generate unexpected results for newcomers."
+//!
+//! Run with: `cargo run --release --example plan_game [prescriptions]`
+
+use ghostdb::GhostDb;
+use ghostdb_types::{format_ns, DeviceConfig, Result};
+use ghostdb_workload::{game_queries, generate_medical, MedicalConfig, MEDICAL_DDL};
+
+fn main() -> Result<()> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+    let cfg = MedicalConfig::scaled(n);
+    let data = generate_medical(&cfg)?;
+    let db = GhostDb::create(MEDICAL_DDL, DeviceConfig::default_2007(), &data)?;
+
+    let mut optimizer_score = 0usize;
+    let queries = game_queries(cfg.date_start, cfg.date_span_days);
+    let total = queries.len();
+    for gq in queries {
+        println!("==================================================");
+        println!("{} — {}", gq.name, gq.hint);
+        println!("  {}\n", gq.sql.trim());
+        let plans = db.plans(&gq.sql)?;
+        let mut measured: Vec<(String, u64, f64)> = Vec::new();
+        let mut reference_rows = None;
+        for cp in &plans {
+            let out = db.query_with_plan(&gq.sql, &cp.plan)?;
+            if let Some(r) = &reference_rows {
+                assert_eq!(r, &out.rows.rows, "plan disagreement!");
+            } else {
+                reference_rows = Some(out.rows.rows.clone());
+            }
+            measured.push((cp.plan.label.clone(), out.report.total_ns, cp.est_ns));
+        }
+        let mut ranked = measured.clone();
+        ranked.sort_by_key(|(_, ns, _)| *ns);
+        println!("  rank  plan       measured     estimated");
+        for (i, (label, ns, est)) in ranked.iter().take(6).enumerate() {
+            println!(
+                "  {:>4}  {:<9} {:>12} {:>12}",
+                i + 1,
+                label,
+                format_ns(*ns),
+                format_ns(*est as u64)
+            );
+        }
+        // The optimizer's pick is plans[0] (cheapest estimate). Did it
+        // actually win (or land within 20% of the winner)?
+        let picked = &measured[0];
+        let winner = &ranked[0];
+        let good = picked.1 as f64 <= winner.1 as f64 * 1.2;
+        println!(
+            "  optimizer picked {} ({}) — winner {} ({}) => {}",
+            picked.0,
+            format_ns(picked.1),
+            winner.0,
+            format_ns(winner.1),
+            if good { "GOOD PICK" } else { "beaten!" }
+        );
+        if good {
+            optimizer_score += 1;
+        }
+    }
+    println!("==================================================");
+    println!("optimizer scored {optimizer_score}/{total} good picks");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: create a GhostDB, load data, run a query that mixes
+//! hidden and visible predicates, and inspect what a spy saw.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ghostdb::GhostDb;
+use ghostdb_storage::Dataset;
+use ghostdb_types::{DeviceConfig, Result, TableId, Value};
+
+const DDL: &str = "\
+CREATE TABLE Team (
+  TeamID INTEGER PRIMARY KEY,
+  City CHAR(20));
+CREATE TABLE Employee (
+  EmpID INTEGER PRIMARY KEY,
+  Grade INTEGER,
+  Salary INTEGER HIDDEN,
+  TeamID REFERENCES Team(TeamID) HIDDEN);";
+
+fn main() -> Result<()> {
+    // 1. Declare the schema: one HIDDEN keyword per sensitive column is
+    //    the only schema change GhostDB needs (paper §2).
+    let stmts = ghostdb_sql::parse_statements(DDL)?;
+    let schema = ghostdb_sql::bind_schema(&stmts)?;
+
+    // 2. Build a small dataset (in production this happens once, in a
+    //    secure setting).
+    let mut data = Dataset::empty(&schema);
+    let cities = ["Paris", "Oslo", "Rome"];
+    for i in 0..3i64 {
+        data.push_row(
+            TableId(0),
+            vec![Value::Int(i), Value::Text(cities[i as usize].into())],
+        )?;
+    }
+    for i in 0..30i64 {
+        data.push_row(
+            TableId(1),
+            vec![
+                Value::Int(i),                     // EmpID
+                Value::Int(i % 5),                 // Grade (visible)
+                Value::Int(40_000 + 1_000 * i),    // Salary (hidden!)
+                Value::Int(i % 3),                 // TeamID (hidden fk)
+            ],
+        )?;
+    }
+
+    // 3. Create the database: visible columns go to the (untrusted) PC,
+    //    hidden columns to the simulated smart USB device.
+    let db = GhostDb::create(DDL, DeviceConfig::default_2007(), &data)?;
+    println!("device: {}\n", db.device_report());
+
+    // 4. Query across the split. Salary is hidden: the selection runs on
+    //    the device; Grade is visible: the PC evaluates it and ships row
+    //    ids only.
+    let sql = "SELECT Emp.EmpID, Emp.Salary, Team.City \
+               FROM Employee Emp, Team \
+               WHERE Emp.Salary >= 60000 \
+                 AND Emp.Grade >= 2 \
+                 AND Emp.TeamID = Team.TeamID";
+    let out = db.query(sql)?;
+    println!("{}", out.rows.render(10));
+    println!("{}", out.report.render());
+
+    // 5. The spy's view: the query text and visible data crossed the bus;
+    //    salaries did not.
+    println!("--- spy view ---\n{}", db.spy_report());
+    let secret = Value::Int(65_000);
+    println!(
+        "spy saw a salary of 65000? {}",
+        db.spy_sees_value(&secret)
+    );
+    assert!(!db.spy_sees_value(&secret));
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! GhostDB umbrella crate: re-exports the public facade.
+pub use ghostdb_core::*;

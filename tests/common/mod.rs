@@ -1,0 +1,56 @@
+//! Shared helpers for the integration tests.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use ghostdb::{GhostDb, QueryOutcome};
+use ghostdb_types::{DeviceConfig, Value};
+use ghostdb_workload::{generate_medical, MedicalConfig, MEDICAL_DDL};
+
+/// Build a loaded medical GhostDB at the given root cardinality.
+pub fn medical_db(prescriptions: usize) -> (GhostDb, MedicalConfig) {
+    let cfg = MedicalConfig::scaled(prescriptions);
+    let data = generate_medical(&cfg).expect("generate");
+    let db = GhostDb::create(MEDICAL_DDL, DeviceConfig::default_2007(), &data)
+        .expect("create db");
+    (db, cfg)
+}
+
+/// Build a loaded medical GhostDB plus the raw dataset (for reference
+/// checks — the dataset never leaves the test harness).
+pub fn medical_db_with_data(
+    prescriptions: usize,
+) -> (GhostDb, MedicalConfig, ghostdb_storage::Dataset) {
+    let cfg = MedicalConfig::scaled(prescriptions);
+    let data = generate_medical(&cfg).expect("generate");
+    let db = GhostDb::create(MEDICAL_DDL, DeviceConfig::default_2007(), &data)
+        .expect("create db");
+    (db, cfg, data)
+}
+
+/// Compare engine output against the naive reference engine.
+pub fn assert_matches_reference(
+    db: &GhostDb,
+    data: &ghostdb_storage::Dataset,
+    sql: &str,
+    out: &QueryOutcome,
+) {
+    let spec = db.bind(sql).expect("bind");
+    let expect = ghostdb_workload::reference_execute(
+        db.schema(),
+        db.tree(),
+        data,
+        spec.anchor,
+        &spec.projections,
+        &spec.predicates,
+    )
+    .expect("reference");
+    assert_eq!(
+        out.rows.rows, expect,
+        "engine and reference disagree for {sql}"
+    );
+}
+
+/// Rows as a flat debug string (stable diagnostics).
+#[allow(dead_code)]
+pub fn rows_digest(rows: &[Vec<Value>]) -> String {
+    format!("{rows:?}")
+}

@@ -1,0 +1,162 @@
+//! Edge cases the demo never shows but a production engine must handle.
+
+mod common;
+
+use common::{assert_matches_reference, medical_db_with_data};
+use ghostdb_storage::Dataset;
+use ghostdb_types::{DeviceConfig, TableId, Value};
+
+#[test]
+fn predicate_on_hidden_foreign_key_uses_scan_or_verify() {
+    // FK columns get no climbing value index (they are key plumbing), so
+    // the planner must fall back to scan+translate or hidden-verify —
+    // and still be correct.
+    let (db, _cfg, data) = medical_db_with_data(1_500);
+    let sql = "SELECT Vis.VisID FROM Visit Vis WHERE Vis.DocID = 2";
+    let out = db.query(sql).unwrap();
+    assert_matches_reference(&db, &data, sql, &out);
+    // Every enumerated plan agrees too.
+    for cp in db.plans(sql).unwrap() {
+        let o = db.query_with_plan(sql, &cp.plan).unwrap();
+        assert_eq!(o.rows.rows, out.rows.rows, "plan {}", cp.plan.label);
+    }
+}
+
+#[test]
+fn duplicate_projection_columns() {
+    let (db, _cfg, data) = medical_db_with_data(500);
+    let sql = "SELECT Vis.Purpose, Vis.Purpose, Vis.VisID FROM Visit Vis \
+               WHERE Vis.VisID < 3";
+    let out = db.query(sql).unwrap();
+    assert_eq!(out.rows.rows.len(), 3);
+    for r in &out.rows.rows {
+        assert_eq!(r[0], r[1]);
+    }
+    assert_matches_reference(&db, &data, sql, &out);
+}
+
+#[test]
+fn predicate_on_primary_key_column() {
+    let (db, _cfg, data) = medical_db_with_data(500);
+    // Pk columns are visible by construction; selection delegates.
+    let sql = "SELECT Pre.PreID, Pre.Quantity FROM Prescription Pre \
+               WHERE Pre.PreID >= 495";
+    let out = db.query(sql).unwrap();
+    assert_eq!(out.rows.rows.len(), 5);
+    assert_matches_reference(&db, &data, sql, &out);
+}
+
+#[test]
+fn contradictory_predicates_yield_empty() {
+    let (db, _cfg, data) = medical_db_with_data(500);
+    let sql = "SELECT Pre.PreID FROM Prescription Pre \
+               WHERE Pre.Quantity > 5 AND Pre.Quantity < 3";
+    let out = db.query(sql).unwrap();
+    assert!(out.rows.is_empty());
+    assert_matches_reference(&db, &data, sql, &out);
+}
+
+#[test]
+fn equality_on_extreme_values() {
+    let (db, _cfg, data) = medical_db_with_data(500);
+    for sql in [
+        "SELECT Pre.PreID FROM Prescription Pre WHERE Pre.Quantity = -9223372036854775808",
+        "SELECT Pre.PreID FROM Prescription Pre WHERE Pre.Quantity >= 9223372036854775807",
+        "SELECT Pre.PreID FROM Prescription Pre WHERE Pre.Quantity <= -1",
+    ] {
+        let out = db.query(sql).unwrap();
+        assert!(out.rows.is_empty(), "{sql}");
+        assert_matches_reference(&db, &data, sql, &out);
+    }
+}
+
+#[test]
+fn single_row_tables() {
+    const DDL: &str = "\
+        CREATE TABLE Dim (did INTEGER PRIMARY KEY, secret CHAR(8) HIDDEN); \
+        CREATE TABLE Fact (fid INTEGER PRIMARY KEY, \
+                           val INTEGER, \
+                           did REFERENCES Dim(did) HIDDEN);";
+    let stmts = ghostdb_sql::parse_statements(DDL).unwrap();
+    let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
+    let mut data = Dataset::empty(&schema);
+    data.push_row(TableId(0), vec![Value::Int(0), Value::Text("only".into())])
+        .unwrap();
+    data.push_row(
+        TableId(1),
+        vec![Value::Int(0), Value::Int(42), Value::Int(0)],
+    )
+    .unwrap();
+    let db = ghostdb::GhostDb::create(DDL, DeviceConfig::default_2007(), &data).unwrap();
+    let out = db
+        .query(
+            "SELECT Fact.fid, Dim.secret FROM Fact, Dim \
+             WHERE Dim.secret = 'only' AND Fact.val = 42 AND Fact.did = Dim.did",
+        )
+        .unwrap();
+    assert_eq!(
+        out.rows.rows,
+        vec![vec![Value::Int(0), Value::Text("only".into())]]
+    );
+}
+
+#[test]
+fn retail_mid_tree_anchor_with_child_predicate() {
+    use ghostdb_workload::{generate_retail, RetailConfig, RETAIL_DDL};
+    let data = generate_retail(&RetailConfig::scaled(1_000)).unwrap();
+    let db = ghostdb::GhostDb::create(RETAIL_DDL, DeviceConfig::default_2007(), &data).unwrap();
+    // Anchor at Store (internal, has its own SKT); Region is its child.
+    let sql = "SELECT Store.StoreID, Region.Name FROM Store, Region \
+               WHERE Region.Climate = 'Alpine' AND Store.Margin >= 20 \
+                 AND Store.RegID = Region.RegID";
+    let out = db.query(sql).unwrap();
+    let spec = db.bind(sql).unwrap();
+    let expect = ghostdb_workload::reference_execute(
+        db.schema(),
+        db.tree(),
+        &data,
+        spec.anchor,
+        &spec.projections,
+        &spec.predicates,
+    )
+    .unwrap();
+    assert_eq!(out.rows.rows, expect);
+}
+
+#[test]
+fn repeated_queries_reuse_the_device_cleanly() {
+    // The same db instance serves many different queries back-to-back
+    // with no RAM or flash residue between them.
+    let (db, cfg, _data) = medical_db_with_data(1_000);
+    let live0 = db.volume().usage().live_pages;
+    for frac in [0.05, 0.5, 0.9] {
+        let sql = ghostdb_workload::selectivity_query(cfg.date_start, cfg.date_span_days, frac);
+        let _ = db.query(&sql).unwrap();
+        assert_eq!(db.ram().used(), 0, "RAM residue after frac {frac}");
+        assert_eq!(
+            db.volume().usage().live_pages,
+            live0,
+            "flash residue after frac {frac}"
+        );
+    }
+}
+
+#[test]
+fn query_on_empty_purpose_string() {
+    // Empty strings are legal CHAR values end to end.
+    const DDL: &str = "\
+        CREATE TABLE T (tid INTEGER PRIMARY KEY, s CHAR(8) HIDDEN);";
+    let stmts = ghostdb_sql::parse_statements(DDL).unwrap();
+    let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
+    let mut data = Dataset::empty(&schema);
+    for (i, s) in ["", "a", "", "b"].iter().enumerate() {
+        data.push_row(TableId(0), vec![Value::Int(i as i64), Value::Text(s.to_string())])
+            .unwrap();
+    }
+    let db = ghostdb::GhostDb::create(DDL, DeviceConfig::default_2007(), &data).unwrap();
+    let out = db.query("SELECT T.tid FROM T WHERE T.s = ''").unwrap();
+    assert_eq!(
+        out.rows.rows,
+        vec![vec![Value::Int(0)], vec![Value::Int(2)]]
+    );
+}

@@ -1,0 +1,157 @@
+//! End-to-end correctness: SQL in, rows out, checked against the naive
+//! reference engine on the medical workload.
+
+mod common;
+
+use common::{assert_matches_reference, medical_db_with_data};
+use ghostdb_types::Date;
+use ghostdb_workload::paper_query;
+
+#[test]
+fn paper_example_query_matches_reference() {
+    let (db, cfg, data) = medical_db_with_data(4_000);
+    let cutoff = Date(cfg.date_start.0 + (cfg.date_span_days / 2) as i32);
+    let sql = paper_query(cutoff);
+    let out = db.query(&sql).unwrap();
+    assert_matches_reference(&db, &data, &sql, &out);
+}
+
+#[test]
+fn hidden_only_query() {
+    let (db, _cfg, data) = medical_db_with_data(2_000);
+    let sql = "SELECT Vis.VisID, Vis.Purpose FROM Visit Vis \
+               WHERE Vis.Purpose = 'Sclerosis'";
+    let out = db.query(sql).unwrap();
+    assert!(!out.rows.rows.is_empty());
+    assert_matches_reference(&db, &data, sql, &out);
+}
+
+#[test]
+fn visible_only_query() {
+    let (db, _cfg, data) = medical_db_with_data(2_000);
+    let sql = "SELECT Doc.Name FROM Doctor Doc WHERE Doc.Country = 'Spain'";
+    let out = db.query(sql).unwrap();
+    assert_matches_reference(&db, &data, sql, &out);
+}
+
+#[test]
+fn no_predicate_full_join() {
+    let (db, _cfg, data) = medical_db_with_data(600);
+    let sql = "SELECT Pre.PreID, Med.Name FROM Prescription Pre, Medicine Med \
+               WHERE Med.MedID = Pre.MedID";
+    let out = db.query(sql).unwrap();
+    assert_eq!(out.rows.len(), 600);
+    assert_matches_reference(&db, &data, sql, &out);
+}
+
+#[test]
+fn deep_join_doctor_to_prescription() {
+    let (db, _cfg, data) = medical_db_with_data(3_000);
+    let sql = "SELECT Pre.PreID, Doc.Country FROM Prescription Pre, Visit Vis, Doctor Doc \
+               WHERE Doc.Country = 'France' \
+                 AND Vis.Purpose = 'Checkup' \
+                 AND Vis.VisID = Pre.VisID \
+                 AND Vis.DocID = Doc.DocID";
+    let out = db.query(sql).unwrap();
+    assert_matches_reference(&db, &data, sql, &out);
+}
+
+#[test]
+fn range_predicates_on_hidden_columns() {
+    let (db, _cfg, data) = medical_db_with_data(2_000);
+    for sql in [
+        "SELECT Pre.PreID FROM Prescription Pre WHERE Pre.Quantity >= 8",
+        "SELECT Pre.PreID FROM Prescription Pre WHERE Pre.Quantity < 2",
+        "SELECT Pat.PatID FROM Patient Pat WHERE Pat.BodyMassIndex > 40",
+        "SELECT Pat.PatID, Pat.Name FROM Patient Pat WHERE Pat.Name >= 'z'",
+    ] {
+        let out = db.query(sql).unwrap();
+        assert_matches_reference(&db, &data, sql, &out);
+    }
+}
+
+#[test]
+fn range_predicates_on_hidden_dates() {
+    let (db, cfg, data) = medical_db_with_data(2_000);
+    let mid = Date(cfg.date_start.0 + (cfg.date_span_days / 2) as i32);
+    let sql = format!(
+        "SELECT Pre.PreID FROM Prescription Pre WHERE Pre.WhenWritten <= '{mid}'"
+    );
+    let out = db.query(&sql).unwrap();
+    assert!(!out.rows.rows.is_empty());
+    assert_matches_reference(&db, &data, &sql, &out);
+}
+
+#[test]
+fn empty_results_are_clean() {
+    let (db, _cfg, data) = medical_db_with_data(500);
+    let sql = "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'NoSuchPurpose'";
+    let out = db.query(sql).unwrap();
+    assert!(out.rows.is_empty());
+    assert_matches_reference(&db, &data, sql, &out);
+}
+
+#[test]
+fn projection_mixes_every_kind_of_column() {
+    let (db, _cfg, data) = medical_db_with_data(1_000);
+    // pk, hidden attr, visible attr, hidden fk, hidden date — all at once.
+    let sql = "SELECT Pre.PreID, Pre.Quantity, Pre.Frequency, Pre.MedID, \
+                      Pre.WhenWritten, Vis.Date, Vis.Purpose \
+               FROM Prescription Pre, Visit Vis \
+               WHERE Pre.Quantity = 5 AND Vis.VisID = Pre.VisID";
+    let out = db.query(sql).unwrap();
+    assert_matches_reference(&db, &data, sql, &out);
+}
+
+#[test]
+fn retail_schema_end_to_end() {
+    use ghostdb_types::DeviceConfig;
+    use ghostdb_workload::{generate_retail, RetailConfig, RETAIL_DDL};
+    let cfg = RetailConfig::scaled(2_000);
+    let data = generate_retail(&cfg).unwrap();
+    let db = ghostdb::GhostDb::create(RETAIL_DDL, DeviceConfig::default_2007(), &data).unwrap();
+    let sql = "SELECT Sale.SaleID, Store.City, Region.Name \
+               FROM Sale, Store, Region \
+               WHERE Store.City = 'Rome' \
+                 AND Sale.Amount >= 900 \
+                 AND Region.Climate = 'Alpine' \
+                 AND Sale.StoreID = Store.StoreID \
+                 AND Store.RegID = Region.RegID";
+    let out = db.query(sql).unwrap();
+    let spec = db.bind(sql).unwrap();
+    let expect = ghostdb_workload::reference_execute(
+        db.schema(),
+        db.tree(),
+        &data,
+        spec.anchor,
+        &spec.projections,
+        &spec.predicates,
+    )
+    .unwrap();
+    assert_eq!(out.rows.rows, expect);
+}
+
+#[test]
+fn mid_tree_anchor_query() {
+    // Query anchored at Visit (not the root): Doctor joined below it.
+    let (db, _cfg, data) = medical_db_with_data(1_000);
+    let sql = "SELECT Vis.VisID, Doc.Name FROM Visit Vis, Doctor Doc \
+               WHERE Doc.Country = 'Spain' AND Vis.Purpose = 'Checkup' \
+                 AND Vis.DocID = Doc.DocID";
+    let out = db.query(sql).unwrap();
+    assert_matches_reference(&db, &data, sql, &out);
+}
+
+#[test]
+fn sql_errors_are_reported() {
+    let (db, _cfg) = common::medical_db(200);
+    assert!(db.query("SELECT Nope.X FROM Nope").is_err());
+    assert!(db
+        .query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 3")
+        .is_err());
+    // Missing join condition.
+    assert!(db
+        .query("SELECT Pre.PreID FROM Prescription Pre, Visit Vis \
+                WHERE Vis.Purpose = 'Checkup'")
+        .is_err());
+}

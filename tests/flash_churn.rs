@@ -1,0 +1,81 @@
+//! Flash lifecycle under sustained query churn: temp segments must be
+//! reclaimed, the volume must not fill, and wear must stay spread.
+
+mod common;
+
+use ghostdb_types::DeviceConfig;
+use ghostdb_workload::{generate_medical, selectivity_query, MedicalConfig, MEDICAL_DDL};
+
+#[test]
+fn repeated_spilling_queries_do_not_exhaust_flash() {
+    let cfg = MedicalConfig::scaled(3_000);
+    let data = generate_medical(&cfg).unwrap();
+    // Small-ish flash so leaks would surface quickly (32 MiB) and a
+    // tight RAM budget so translations must spill whole blocks of sort
+    // runs — the churn that exercises block reclamation.
+    let mut device = DeviceConfig::default_2007();
+    device.flash.num_blocks = 256;
+    device.ram_bytes = 16 * 1024;
+    let db = ghostdb::GhostDb::create(MEDICAL_DDL, device, &data).unwrap();
+
+    let live_after_load = db.volume().usage().live_pages;
+    let sql = selectivity_query(cfg.date_start, cfg.date_span_days, 0.8);
+    let spec = db.bind(&sql).unwrap();
+    let p1 = db.plan_pre(&spec);
+    let p2 = db.plan_post(&spec);
+    let mut rows = None;
+    for round in 0..30 {
+        let plan = if round % 2 == 0 { &p1 } else { &p2 };
+        let out = db.run(&spec, plan).unwrap();
+        match &rows {
+            None => rows = Some(out.rows.rows),
+            Some(r) => assert_eq!(r, &out.rows.rows, "round {round} diverged"),
+        }
+        let live = db.volume().usage().live_pages;
+        assert_eq!(
+            live, live_after_load,
+            "round {round}: temp pages leaked ({live} vs {live_after_load})"
+        );
+    }
+    // Churn produced erases and recycled blocks.
+    let stats = db.volume().nand().stats();
+    assert!(stats.block_erases > 0, "no block was ever recycled");
+    let (min_wear, max_wear) = db.volume().nand().wear_spread();
+    assert!(
+        max_wear - min_wear <= max_wear.max(4),
+        "wear badly skewed: {min_wear}..{max_wear}"
+    );
+}
+
+#[test]
+fn flash_full_is_a_clean_error() {
+    // A flash too small for the dataset + indexes must fail with the
+    // volume-full error, not corrupt anything.
+    let cfg = MedicalConfig::scaled(20_000);
+    let data = generate_medical(&cfg).unwrap();
+    let mut device = DeviceConfig::default_2007();
+    device.flash.num_blocks = 8; // 1 MiB, far below the dataset + indexes
+    match ghostdb::GhostDb::create(MEDICAL_DDL, device, &data) {
+        Err(e) => assert!(e.to_string().contains("full"), "{e}"),
+        Ok(_) => panic!("load cannot fit in 1 MiB"),
+    }
+}
+
+#[test]
+fn simulated_time_is_deterministic() {
+    // Two identical databases execute identical queries in *exactly* the
+    // same simulated time — the property that makes every experiment in
+    // EXPERIMENTS.md reproducible bit-for-bit.
+    let cfg = MedicalConfig::scaled(2_000);
+    let data = generate_medical(&cfg).unwrap();
+    let mk = || ghostdb::GhostDb::create(MEDICAL_DDL, DeviceConfig::default_2007(), &data).unwrap();
+    let db1 = mk();
+    let db2 = mk();
+    let sql = selectivity_query(cfg.date_start, cfg.date_span_days, 0.3);
+    let a = db1.query(&sql).unwrap();
+    let b = db2.query(&sql).unwrap();
+    assert_eq!(a.rows.rows, b.rows.rows);
+    assert_eq!(a.report.total_ns, b.report.total_ns);
+    assert_eq!(a.report.ram_peak, b.report.ram_peak);
+    assert_eq!(a.report.flash.page_reads, b.report.flash.page_reads);
+}

@@ -1,0 +1,114 @@
+//! RAM discipline: queries finish under tight budgets by spilling to
+//! flash, the budget is fully returned afterwards, and impossible
+//! budgets fail cleanly instead of thrashing.
+
+mod common;
+
+use ghostdb::GhostDb;
+use ghostdb_types::{Date, DeviceConfig, GhostError};
+use ghostdb_workload::{generate_medical, MedicalConfig, MEDICAL_DDL};
+
+fn db_with_ram(prescriptions: usize, ram: usize) -> GhostDb {
+    let cfg = MedicalConfig::scaled(prescriptions);
+    let data = generate_medical(&cfg).unwrap();
+    GhostDb::create(
+        MEDICAL_DDL,
+        DeviceConfig::default_2007().with_ram(ram),
+        &data,
+    )
+    .unwrap()
+}
+
+#[test]
+fn paper_budget_64k_handles_wide_queries() {
+    let db = db_with_ram(5_000, 64 * 1024);
+    let cfg = MedicalConfig::scaled(5_000);
+    let sql = ghostdb_workload::selectivity_query(cfg.date_start, cfg.date_span_days, 0.9);
+    let out = db.query(&sql).unwrap();
+    assert!(out.report.ram_peak <= 64 * 1024, "peak {}", out.report.ram_peak);
+    assert_eq!(db.ram().used(), 0, "RAM not returned after execution");
+}
+
+#[test]
+fn tight_budget_forces_spills_but_stays_correct() {
+    // 16 KB: translation of a wide visible selection cannot hold its
+    // output; the external sorter must spill.
+    let roomy = db_with_ram(4_000, 256 * 1024);
+    let tight = db_with_ram(4_000, 16 * 1024);
+    let cfg = MedicalConfig::scaled(4_000);
+    let sql = ghostdb_workload::selectivity_query(cfg.date_start, cfg.date_span_days, 0.8);
+
+    let spec = tight.bind(&sql).unwrap();
+    let p1 = tight.plan_pre(&spec);
+    let out_tight = tight.run(&spec, &p1).unwrap();
+    let spec_r = roomy.bind(&sql).unwrap();
+    let p1_r = roomy.plan_pre(&spec_r);
+    let out_roomy = roomy.run(&spec_r, &p1_r).unwrap();
+
+    assert_eq!(out_tight.rows.rows, out_roomy.rows.rows);
+    assert!(out_tight.report.ram_peak <= 16 * 1024);
+    // The tight run had to write spill runs to flash.
+    assert!(
+        out_tight.report.flash.page_programs > out_roomy.report.flash.page_programs,
+        "tight {} vs roomy {}",
+        out_tight.report.flash.page_programs,
+        out_roomy.report.flash.page_programs
+    );
+    assert_eq!(tight.ram().used(), 0);
+}
+
+#[test]
+fn simulated_time_grows_under_pressure() {
+    let roomy = db_with_ram(4_000, 256 * 1024);
+    let tight = db_with_ram(4_000, 16 * 1024);
+    let cfg = MedicalConfig::scaled(4_000);
+    let sql = ghostdb_workload::selectivity_query(cfg.date_start, cfg.date_span_days, 0.8);
+    let spec_t = tight.bind(&sql).unwrap();
+    let pt = tight.plan_pre(&spec_t);
+    let spec_r = roomy.bind(&sql).unwrap();
+    let pr = roomy.plan_pre(&spec_r);
+    let t = tight.run(&spec_t, &pt).unwrap().report.total_ns;
+    let r = roomy.run(&spec_r, &pr).unwrap().report.total_ns;
+    assert!(t > r, "tight {t} should be slower than roomy {r}");
+}
+
+#[test]
+fn impossible_budget_fails_cleanly() {
+    // Loading needs at least a handful of page buffers; with 1 KB the
+    // writer cannot even allocate one 2 KB page buffer.
+    let cfg = MedicalConfig::scaled(200);
+    let data = generate_medical(&cfg).unwrap();
+    let err = match GhostDb::create(
+        MEDICAL_DDL,
+        DeviceConfig::default_2007().with_ram(1024),
+        &data,
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("load should not fit in 1 KB of device RAM"),
+    };
+    assert!(matches!(err, GhostError::OutOfDeviceRam { .. }), "{err}");
+}
+
+#[test]
+fn ram_peak_is_reported_per_query() {
+    let db = db_with_ram(2_000, 64 * 1024);
+    let out = db
+        .query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'")
+        .unwrap();
+    assert!(out.report.ram_peak > 0);
+    // Operators report their local RAM too.
+    assert!(out.report.ops.iter().any(|o| o.ram_peak > 0));
+}
+
+#[test]
+fn date_cutoffs_are_inclusive_of_config_range() {
+    // Regression guard for the sweep helper: extreme fractions behave.
+    let cfg = MedicalConfig::scaled(100);
+    let q0 = ghostdb_workload::selectivity_query(cfg.date_start, cfg.date_span_days, 0.0);
+    let q1 = ghostdb_workload::selectivity_query(cfg.date_start, cfg.date_span_days, 1.0);
+    let db = db_with_ram(100, 64 * 1024);
+    let none = db.query(&q0).unwrap();
+    let all = db.query(&q1).unwrap();
+    assert!(none.rows.len() <= all.rows.len());
+    let _ = Date::from_ymd(2006, 1, 1).unwrap();
+}
