@@ -118,6 +118,184 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     "#".repeat(w.min(width))
 }
 
+pub mod vectorized {
+    //! Shared payloads for the scalar-vs-blocked pipeline benchmarks
+    //! (`benches/vectorized.rs` and the `bench_vectorized` runner that
+    //! records the perf trajectory in `BENCH_PR1.json`). Both measure
+    //! exactly these functions, so the JSON numbers and the criterion
+    //! output can be cross-checked.
+
+    use ghostdb_bloom::{BlockedBloomFilter, BloomFilter};
+    use ghostdb_exec::{MergeIntersect, ScalarMergeIntersect};
+    use ghostdb_ram::{RamBudget, RamScope};
+    use ghostdb_types::{IdStream, Result, RowId, ScalarFallback, SimClock, SliceIdStream};
+
+    /// Two ascending `n`-id lists sharing `overlap` of their ids.
+    ///
+    /// The unique ids come in alternating runs (~97 ids per list between
+    /// shared ids), the shape climbing-index postings take in practice:
+    /// children of one parent cluster, so one list's ids arrive in
+    /// stretches the other list skips entirely. This is the layout
+    /// `seek_at_least` galloping exists for.
+    pub fn overlapping_lists(n: usize, overlap: f64) -> (Vec<RowId>, Vec<RowId>) {
+        let shared = (((n as f64) * overlap.clamp(0.0, 1.0)).round() as usize).min(n);
+        let unique = n - shared;
+        let mut a: Vec<RowId> = Vec::with_capacity(n);
+        let mut b: Vec<RowId> = Vec::with_capacity(n);
+        let run = 97usize;
+        let mut next_id = 0u32;
+        let (mut ua, mut ub, mut s) = (0usize, 0usize, 0usize);
+        // Interleave: run of A-only, run of B-only, one shared id, …
+        while ua < unique || ub < unique || s < shared {
+            for _ in 0..run.min(unique - ua) {
+                a.push(RowId(next_id));
+                next_id += 1;
+                ua += 1;
+            }
+            for _ in 0..run.min(unique - ub) {
+                b.push(RowId(next_id));
+                next_id += 1;
+                ub += 1;
+            }
+            if s < shared {
+                a.push(RowId(next_id));
+                b.push(RowId(next_id));
+                next_id += 1;
+                s += 1;
+            }
+        }
+        (a, b)
+    }
+
+    /// Intersect with the blocked, galloping merge; returns the match
+    /// count. Streams borrow the slices (O(1) setup), so the timing is
+    /// pure merge cost.
+    pub fn merge_blocked(a: &[RowId], b: &[RowId]) -> Result<u64> {
+        let inputs: Vec<Box<dyn IdStream + '_>> = vec![
+            Box::new(SliceIdStream::new(a)),
+            Box::new(SliceIdStream::new(b)),
+        ];
+        let mut m = MergeIntersect::new(inputs, SimClock::new(), 1);
+        let mut block = ghostdb_types::IdBlock::new();
+        let mut count = 0u64;
+        loop {
+            m.next_block(&mut block)?;
+            if block.is_empty() {
+                return Ok(count);
+            }
+            count += block.len() as u64;
+        }
+    }
+
+    /// Intersect with the seed's id-at-a-time merge; returns the match
+    /// count.
+    pub fn merge_scalar(a: &[RowId], b: &[RowId]) -> Result<u64> {
+        let inputs: Vec<Box<dyn IdStream + '_>> = vec![
+            Box::new(ScalarFallback(SliceIdStream::new(a))),
+            Box::new(ScalarFallback(SliceIdStream::new(b))),
+        ];
+        let mut m = ScalarMergeIntersect::new(inputs, SimClock::new(), 1);
+        let mut count = 0u64;
+        while m.next_id()?.is_some() {
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Keys for the Bloom benchmarks: `n` members plus `n` probes with a
+    /// 50/50 hit/miss mix.
+    pub fn bloom_keys(n: usize) -> (Vec<u64>, Vec<u64>) {
+        let members: Vec<u64> = (0..n as u64).map(|i| i * 7 + 3).collect();
+        let probes: Vec<u64> = (0..n as u64)
+            .map(|i| if i % 2 == 0 { i * 7 + 3 } else { i * 7 + 4 })
+            .collect();
+        (members, probes)
+    }
+
+    /// Build a classic bit-array filter at 1% target fpr (k = 7, the
+    /// textbook probe cost) holding `members`.
+    pub fn bloom_scalar_filter(members: &[u64], scope: &RamScope) -> Result<BloomFilter> {
+        let mut f = BloomFilter::for_capacity(scope, members.len(), 0.01)?;
+        for &k in members {
+            f.insert(k);
+        }
+        Ok(f)
+    }
+
+    /// Build a cache-line-blocked filter with the same sizing, filled
+    /// through `insert_batch`.
+    pub fn bloom_blocked_filter(
+        members: &[u64],
+        scope: &RamScope,
+    ) -> Result<BlockedBloomFilter> {
+        let mut f = BlockedBloomFilter::for_capacity(scope, members.len(), 0.01)?;
+        f.insert_batch(members);
+        Ok(f)
+    }
+
+    /// Probe key-at-a-time (the seed's executor inner loop); returns the
+    /// hit count.
+    pub fn probe_scalar(f: &BloomFilter, probes: &[u64]) -> u64 {
+        probes.iter().filter(|&&k| f.contains(k)).count() as u64
+    }
+
+    /// Probe through `probe_batch`; `hits` is the reusable result
+    /// buffer. Returns the hit count.
+    pub fn probe_blocked(f: &BlockedBloomFilter, probes: &[u64], hits: &mut Vec<bool>) -> u64 {
+        f.probe_batch(probes, hits);
+        hits.iter().filter(|&&h| h).count() as u64
+    }
+
+    /// A scratch RAM scope big enough for the bench filters (1.2 MB per
+    /// filter at 10^6 keys).
+    pub fn bloom_scope() -> RamScope {
+        RamScope::new(&RamBudget::new(16 * 1024 * 1024))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn list_shapes_are_as_specified() {
+            let (a, b) = overlapping_lists(100_000, 0.01);
+            assert_eq!(a.len(), 100_000);
+            assert_eq!(b.len(), 100_000);
+            assert!(a.windows(2).all(|w| w[0] < w[1]));
+            assert!(b.windows(2).all(|w| w[0] < w[1]));
+            let bs: std::collections::HashSet<_> = b.iter().collect();
+            let shared = a.iter().filter(|id| bs.contains(id)).count();
+            assert_eq!(shared, 1_000);
+        }
+
+        #[test]
+        fn merges_agree_on_the_bench_payload() {
+            for &n in &[1_000usize, 10_000] {
+                let (a, b) = overlapping_lists(n, 0.01);
+                let expect = (n as f64 * 0.01).round() as u64;
+                assert_eq!(merge_blocked(&a, &b).unwrap(), expect);
+                assert_eq!(merge_scalar(&a, &b).unwrap(), expect);
+            }
+        }
+
+        #[test]
+        fn blooms_count_all_members() {
+            let scope = bloom_scope();
+            let (members, probes) = bloom_keys(10_000);
+            let scalar_f = bloom_scalar_filter(&members, &scope).unwrap();
+            let blocked_f = bloom_blocked_filter(&members, &scope).unwrap();
+            let scalar = probe_scalar(&scalar_f, &probes);
+            let mut hits = Vec::new();
+            let blocked = probe_blocked(&blocked_f, &probes, &mut hits);
+            // Every even probe is a member: at least half must hit, and
+            // the 1% target fpr keeps both counts close to n/2.
+            assert!(scalar >= 5_000);
+            assert!(blocked >= 5_000);
+            assert!(scalar <= 5_600 && blocked <= 5_600, "{scalar} {blocked}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

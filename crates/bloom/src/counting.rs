@@ -49,7 +49,7 @@ impl CountingBloom {
 
     fn get(&self, slot: usize) -> u8 {
         let byte = self.counters[slot / 2];
-        if slot % 2 == 0 {
+        if slot.is_multiple_of(2) {
             byte & 0x0F
         } else {
             byte >> 4
@@ -58,7 +58,7 @@ impl CountingBloom {
 
     fn set(&mut self, slot: usize, v: u8) {
         let byte = &mut self.counters[slot / 2];
-        if slot % 2 == 0 {
+        if slot.is_multiple_of(2) {
             *byte = (*byte & 0xF0) | (v & 0x0F);
         } else {
             *byte = (*byte & 0x0F) | (v << 4);

@@ -24,8 +24,10 @@
 use ghostdb_ram::{RamScope, ScopedGuard};
 use ghostdb_types::{GhostError, Result};
 
+mod blocked;
 mod counting;
 
+pub use blocked::{BlockedBloomFilter, BLOOM_BLOCK_BITS, BLOOM_BLOCK_BYTES};
 pub use counting::CountingBloom;
 
 /// SplitMix64 finalizer — cheap, well-distributed 64-bit mixing, the kind
@@ -40,14 +42,24 @@ pub fn mix64(mut z: u64) -> u64 {
 
 /// Optimal number of bits for `n` keys at false-positive rate `fpr`:
 /// `m = -n ln p / (ln 2)^2`.
+///
+/// Degenerate inputs are clamped rather than rejected, because the
+/// optimizer reaches this from cardinality *estimates*: `n = 0` sizes as
+/// `n = 1`, `fpr` outside `(0, 1)` (including NaN) is clamped to
+/// `[1e-9, 0.5]`, and the result is always at least 64 bits.
 pub fn optimal_bits(n: usize, fpr: f64) -> usize {
-    assert!(fpr > 0.0 && fpr < 1.0, "fpr must be in (0,1)");
+    let fpr = if fpr.is_finite() {
+        fpr.clamp(1e-9, 0.5)
+    } else {
+        0.5
+    };
     let ln2sq = std::f64::consts::LN_2 * std::f64::consts::LN_2;
-    ((-(n.max(1) as f64) * fpr.ln()) / ln2sq).ceil() as usize
+    (((-(n.max(1) as f64) * fpr.ln()) / ln2sq).ceil() as usize).max(64)
 }
 
 /// Optimal number of hash functions for `m` bits and `n` keys:
-/// `k = (m/n) ln 2`, clamped to `[1, 16]`.
+/// `k = (m/n) ln 2`, clamped to `[1, 16]`. `n = 0` counts as `n = 1`;
+/// `m_bits = 0` yields the minimum `k = 1`.
 pub fn optimal_hashes(m_bits: usize, n: usize) -> u32 {
     let k = (m_bits as f64 / n.max(1) as f64) * std::f64::consts::LN_2;
     (k.round() as u32).clamp(1, 16)
@@ -258,6 +270,27 @@ mod tests {
         // Degenerate inputs stay sane.
         assert!(optimal_bits(0, 0.01) > 0);
         assert_eq!(optimal_hashes(8, 1_000_000), 1);
+    }
+
+    #[test]
+    fn sizing_survives_degenerate_planner_inputs() {
+        // These are reachable from query planning with zero-row estimates
+        // and saturated selectivities; none may panic.
+        assert!(optimal_bits(0, 1.0) >= 64);
+        assert!(optimal_bits(0, 0.0) >= 64);
+        assert!(optimal_bits(10, -3.0) >= 64);
+        assert!(optimal_bits(10, f64::NAN) >= 64);
+        assert!(optimal_bits(10, f64::INFINITY) >= 64);
+        // fpr ~ 1.0 clamps to 0.5: one bit per key territory, never zero.
+        let m = optimal_bits(1000, 0.999_999);
+        assert!(m >= 1000, "m = {m}");
+        assert_eq!(optimal_hashes(0, 0), 1);
+        assert_eq!(optimal_hashes(usize::MAX / 2, 1), 16);
+        // A filter built from fully degenerate sizing still works.
+        let s = scope(64 * 1024);
+        let f =
+            BloomFilter::with_params(&s, optimal_bits(0, 1.0), optimal_hashes(0, 0)).unwrap();
+        assert!(!f.contains(42));
     }
 
     #[test]

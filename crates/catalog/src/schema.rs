@@ -215,10 +215,14 @@ impl Schema {
     }
 }
 
+/// One in-progress table: name, primary-key name, columns, and
+/// `(column position, referenced table)` foreign keys.
+type TableDraft = (String, Option<String>, Vec<ColumnDef>, Vec<(usize, String)>);
+
 /// Builder assembling a validated [`Schema`].
 #[derive(Debug, Default)]
 pub struct SchemaBuilder {
-    tables: Vec<(String, Option<String>, Vec<ColumnDef>, Vec<(usize, String)>)>,
+    tables: Vec<TableDraft>,
 }
 
 impl SchemaBuilder {

@@ -69,7 +69,7 @@ impl TreeSchema {
         // only parentless table — so termination within n steps implies
         // connectivity.
         let mut depth = vec![0usize; n];
-        for i in 0..n {
+        for (i, slot) in depth.iter_mut().enumerate() {
             let mut d = 0;
             let mut cur = i;
             while let Some((p, _)) = parent[cur] {
@@ -79,7 +79,7 @@ impl TreeSchema {
                 }
                 cur = p.index();
             }
-            depth[i] = d;
+            *slot = d;
         }
         Ok(TreeSchema {
             root,

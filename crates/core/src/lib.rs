@@ -25,7 +25,8 @@ pub use link::BusPcLink;
 use ghostdb_bus::{Bus, BusTrace, Endpoint, Message};
 use ghostdb_catalog::{Schema, SchemaStats, TreeSchema};
 use ghostdb_exec::{
-    execute, CostedPlan, ExecContext, ExecReport, Optimizer, Plan, QuerySpec, ResultSet,
+    execute, CostedPlan, ExecContext, ExecReport, Optimizer, PipelineMode, Plan, QuerySpec,
+    ResultSet,
 };
 use ghostdb_flash::{Nand, Volume};
 use ghostdb_index::IndexSet;
@@ -198,7 +199,7 @@ impl GhostDb {
         )
     }
 
-    fn exec_context(&self) -> ExecContext<'_> {
+    fn exec_context(&self, pipeline: PipelineMode) -> ExecContext<'_> {
         ExecContext {
             schema: &self.schema,
             tree: &self.tree,
@@ -209,6 +210,7 @@ impl GhostDb {
             hidden: &self.hidden,
             indexes: &self.indexes,
             pc: &self.pc_link,
+            pipeline,
         }
     }
 
@@ -246,6 +248,23 @@ impl GhostDb {
 
     /// Execute an already-bound spec with a plan.
     pub fn run(&self, spec: &QuerySpec, plan: &Plan) -> Result<QueryOutcome> {
+        self.run_with_pipeline(spec, plan, PipelineMode::Blocked)
+    }
+
+    /// Execute with the seed's scalar (id-at-a-time) operators instead
+    /// of the blocked pipeline. Results and tuple counts must match
+    /// [`run`](Self::run) exactly; only simulated timings differ. Kept
+    /// public as the equivalence foil for tests and benchmarks.
+    pub fn run_scalar(&self, spec: &QuerySpec, plan: &Plan) -> Result<QueryOutcome> {
+        self.run_with_pipeline(spec, plan, PipelineMode::Scalar)
+    }
+
+    fn run_with_pipeline(
+        &self,
+        spec: &QuerySpec,
+        plan: &Plan,
+        pipeline: PipelineMode,
+    ) -> Result<QueryOutcome> {
         // The query text is public: the PC poses it to the device.
         self.bus.transmit(
             Endpoint::Pc,
@@ -254,7 +273,7 @@ impl GhostDb {
                 sql: spec.sql.clone(),
             },
         )?;
-        let ctx = self.exec_context();
+        let ctx = self.exec_context(pipeline);
         let (rows, report) = execute(&ctx, spec, plan)?;
         // Results exist only sealed on the device...
         let sealed = Sealed::new(rows);

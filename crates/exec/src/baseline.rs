@@ -53,6 +53,7 @@ fn order_keys_of(ids: &[RowId]) -> Vec<u64> {
 
 /// Count rows of `fk_table` whose hidden FK column references an id in
 /// `matching`, via Grace hash join under the device RAM budget.
+#[allow(clippy::too_many_arguments)] // mirrors the executor's context split
 pub fn grace_hash_join_count(
     volume: &Volume,
     ram: &RamBudget,
@@ -177,6 +178,7 @@ fn partition_join(
 
 /// Count ids reached at `target` by traversing one tree edge at a time
 /// through per-edge (binary) join indexes, materializing between hops.
+#[allow(clippy::too_many_arguments)] // mirrors the executor's context split
 pub fn join_index_count(
     volume: &Volume,
     ram: &RamBudget,
@@ -231,6 +233,7 @@ pub fn join_index_count(
 
 /// The climbing-index fast path for the same task: one translation
 /// straight to `target`.
+#[allow(clippy::too_many_arguments)] // mirrors the executor's context split
 pub fn climbing_translate_count(
     volume: &Volume,
     ram: &RamBudget,

@@ -1,44 +1,76 @@
-//! The device-side plan executor.
+//! The device-side plan executor: a **block-at-a-time pull pipeline**
+//! with O(pages) device RAM.
 //!
-//! Execution is a pull pipeline with O(pages) device RAM:
+//! The unit of exchange on the hot path is an [`IdBlock`] (up to
+//! [`BLOCK_CAP`](ghostdb_types::BLOCK_CAP) ids), not a single id: each
+//! stage moves a block per virtual call, and clock/stat charges are
+//! accumulated per block instead of per id. Stages:
 //!
 //! 1. **Prologue** — for every Bloom post-filter and every projected
 //!    visible column, fetch the (predicate-filtered) column from the PC
-//!    once into a flash temp; Bloom filters fill from the same transfer.
+//!    once into a flash temp. Bloom filters fill from the same transfer,
+//!    buffered into batches and inserted via
+//!    [`BlockedBloomFilter::insert_batch`] with one clock charge per
+//!    batch.
 //! 2. **Sources** — each pre-filtering source yields an ascending
 //!    anchor-id stream (climbing probe, delegate+translate, scan, or
-//!    cross-filter group).
-//! 3. **Merge** — sources are merge-intersected.
-//! 4. **SKT access** — each surviving anchor id fetches its Subtree Key
-//!    Table row (page-batched).
-//! 5. **Post steps** — Bloom probes (with exact flash-temp verification)
-//!    and hidden verifies drop candidates.
+//!    cross-filter group). Posting streams serve whole blocks with
+//!    chunked flash reads.
+//! 3. **Merge** — sources are merge-intersected by the galloping
+//!    [`MergeIntersect`]: the pivot advances via
+//!    [`seek_at_least`](IdStream::seek_at_least), which binary-searches
+//!    fixed-width posting lists on flash instead of pulling one id per
+//!    virtual call, and the CPU clock is charged once per output block.
+//! 4. **SKT access** — candidate blocks fill a RAM-budget-sized batch of
+//!    Subtree Key Table rows (page-batched fetches).
+//! 5. **Post steps** — Bloom probes run over the whole batch
+//!    ([`BlockedBloomFilter::probe_batch`]: one cache-line touch per
+//!    probe, one clock charge per batch), positives are confirmed
+//!    exactly against the flash temps in one sequential merge-scan, and
+//!    hidden verifies drop the rest.
 //! 6. **Project** — hidden attributes read from the hidden store,
 //!    visible attributes probed from the flash temps; rows stream out.
 //!
 //! Every stage records the demo's per-operator statistics (tuples, RAM,
-//! simulated time).
+//! simulated time). [`PipelineMode::Scalar`] re-runs the same plan with
+//! the seed's id-at-a-time operators (the default `IdStream` method
+//! bodies); both modes must produce byte-identical results and identical
+//! tuple counts — `tests/properties.rs` proves it on random plans.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ghostdb_bloom::BloomFilter;
+use ghostdb_bloom::BlockedBloomFilter;
 use ghostdb_catalog::{ColumnRole, Predicate, Schema, TreeSchema};
 use ghostdb_flash::Volume;
 use ghostdb_index::{IndexSet, TRANSLATE_SORT_RAM};
 use ghostdb_ram::{RamBudget, RamScope};
 use ghostdb_storage::{HiddenStore, KeyRange};
 use ghostdb_types::{
-    ColumnId, DeviceConfig, GhostError, IdStream, Result, RowId, SimClock, TableId, Value,
+    ColumnId, DeviceConfig, GhostError, IdBlock, IdStream, Result, RowId, ScalarFallback,
+    SimClock, TableId, Value, BLOCK_CAP,
 };
 
-use crate::ops::{FullScanSource, MergeIntersect};
+use crate::ops::{FullScanSource, MergeIntersect, ScalarMergeIntersect};
 use crate::pc::PcLink;
 use crate::plan::{Plan, PostStep, Source};
 use crate::query::QuerySpec;
 use crate::stats::{ExecReport, OpStats, ResultSet};
 use crate::temp::{IdTemp, TempProber, VisibleTemp};
+
+/// Which operator implementations the executor wires together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Block-at-a-time pull with galloping merges and batched Bloom
+    /// charges (the production path).
+    #[default]
+    Blocked,
+    /// The seed's id-at-a-time operators, kept as the correctness foil
+    /// and benchmark baseline: every stream is forced through the
+    /// default scalar `IdStream` methods.
+    Scalar,
+}
 
 /// Everything the executor needs about one device + PC pairing.
 pub struct ExecContext<'a> {
@@ -60,6 +92,9 @@ pub struct ExecContext<'a> {
     pub indexes: &'a IndexSet,
     /// Handle to the untrusted PC.
     pub pc: &'a dyn PcLink,
+    /// Operator implementation choice (blocked unless a verification
+    /// pass asks for the scalar foil).
+    pub pipeline: PipelineMode,
 }
 
 impl ExecContext<'_> {
@@ -103,12 +138,99 @@ impl IdStream for Timed<'_> {
         }
         r
     }
+
+    fn next_block(&mut self, block: &mut IdBlock) -> Result<()> {
+        let t0 = self.clock.now();
+        let r = self.inner.next_block(block);
+        self.meter
+            .ns
+            .fetch_add(self.clock.now().since(t0), Ordering::Relaxed);
+        if r.is_ok() {
+            self.meter.out.fetch_add(block.len() as u64, Ordering::Relaxed);
+        }
+        r
+    }
+
+    fn seek_at_least(&mut self, target: RowId) -> Result<Option<RowId>> {
+        // Forward so galloping reaches the wrapped stream; the merge
+        // above us owns the tuple accounting for skipped ids.
+        let t0 = self.clock.now();
+        let r = self.inner.seek_at_least(target);
+        self.meter
+            .ns
+            .fetch_add(self.clock.now().since(t0), Ordering::Relaxed);
+        if let Ok(Some(_)) = r {
+            self.meter.out.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
 }
 
 struct BuiltSource<'a> {
     stream: Box<dyn IdStream + 'a>,
     meter: Arc<StreamMeter>,
     stats: OpStats,
+}
+
+/// Feeds ids into a Bloom filter in [`BLOCK_CAP`] batches: one
+/// `insert_batch` and one hash-cost clock charge per batch instead of
+/// per id. All three executor fill sites share this. Callers must
+/// [`flush`](Self::flush) after the last id.
+struct BatchedBloomFill<'b> {
+    bloom: &'b mut BlockedBloomFilter,
+    clock: SimClock,
+    /// Clock cost per inserted key (`hash_ns * k`).
+    key_ns: u64,
+    pending: Vec<u64>,
+}
+
+impl<'b> BatchedBloomFill<'b> {
+    fn new(bloom: &'b mut BlockedBloomFilter, clock: SimClock, hash_ns: u64) -> Self {
+        let key_ns = hash_ns * bloom.k() as u64;
+        BatchedBloomFill {
+            bloom,
+            clock,
+            key_ns,
+            pending: Vec::with_capacity(BLOCK_CAP),
+        }
+    }
+
+    fn push(&mut self, key: u64) {
+        self.pending.push(key);
+        if self.pending.len() == BLOCK_CAP {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.bloom.insert_batch(&self.pending);
+        self.clock
+            .advance(self.key_ns * self.pending.len() as u64);
+        self.pending.clear();
+    }
+}
+
+/// The merge operator for the context's pipeline mode.
+fn make_merge<'a>(
+    ctx: &ExecContext<'_>,
+    inputs: Vec<Box<dyn IdStream + 'a>>,
+) -> Box<dyn IdStream + 'a> {
+    match ctx.pipeline {
+        PipelineMode::Blocked => Box::new(MergeIntersect::new(
+            inputs,
+            ctx.clock.clone(),
+            ctx.config.cpu.tuple_op_ns,
+        )),
+        PipelineMode::Scalar => Box::new(ScalarMergeIntersect::new(
+            inputs,
+            ctx.clock.clone(),
+            ctx.config.cpu.tuple_op_ns,
+        )),
+    }
 }
 
 /// Execute `plan` for `spec` and return results plus the report.
@@ -140,23 +262,27 @@ pub fn execute(
     let fetch_scope = RamScope::new(ctx.ram);
     let fetch_one = |cref: ghostdb_catalog::ColumnRef,
                          filter: Option<&Predicate>,
-                         bloom: Option<&mut BloomFilter>|
+                         bloom: Option<&mut BlockedBloomFilter>|
      -> Result<(VisibleTemp, OpStats)> {
         let def = ctx.schema.column_def(cref);
         let t0 = ctx.clock.now();
         let mut pairs = ctx.pc.fetch_column(cref.table, cref.column, filter)?;
-        let mut hook_count = 0u64;
         let temp = match bloom {
             Some(b) => {
-                let k = b.k() as u64;
-                let clock = ctx.clock.clone();
-                let hash_ns = ctx.config.cpu.hash_ns;
-                let mut hook = |id: RowId| {
-                    b.insert(id.0 as u64);
-                    hook_count += 1;
-                    clock.advance(hash_ns * k);
+                let mut fill =
+                    BatchedBloomFill::new(b, ctx.clock.clone(), ctx.config.cpu.hash_ns);
+                let temp = {
+                    let mut hook = |id: RowId| fill.push(id.0 as u64);
+                    VisibleTemp::build(
+                        ctx.volume,
+                        &fetch_scope,
+                        def.ty,
+                        pairs.as_mut(),
+                        Some(&mut hook),
+                    )?
                 };
-                VisibleTemp::build(ctx.volume, &fetch_scope, def.ty, pairs.as_mut(), Some(&mut hook))?
+                fill.flush();
+                temp
             }
             None => VisibleTemp::build(ctx.volume, &fetch_scope, def.ty, pairs.as_mut(), None)?,
         };
@@ -197,7 +323,7 @@ pub fn execute(
     // Bloom post-filters: filter + an exact-verify temp per predicate.
     struct BloomStep<'p> {
         pred: &'p Predicate,
-        bloom: BloomFilter,
+        bloom: BlockedBloomFilter,
         /// Temp holding exactly the ids satisfying the predicate. Either
         /// shared with a projection temp (same filter) or private.
         verify: VerifySource,
@@ -218,7 +344,8 @@ pub fn execute(
         };
         let p = &spec.predicates[*pred];
         let n_est = ctx.hidden.row_count(p.column.table) as usize;
-        let mut bloom = BloomFilter::within_ram(&bloom_scope, n_est.max(16), ctx.bloom_ram())?;
+        let mut bloom =
+            BlockedBloomFilter::within_ram(&bloom_scope, n_est.max(16), ctx.bloom_ram())?;
         let key = (p.column.table.0, p.column.column.0);
         let shared = proj_temps.contains_key(&key)
             && filter_pred_of.get(&p.column.table).copied() == Some(p);
@@ -231,11 +358,12 @@ pub fn execute(
             // second bus transfer).
             let temp = proj_temps.get(&key).expect("checked");
             let ids = temp_ids(temp, &bloom_scope)?;
+            let mut fill =
+                BatchedBloomFill::new(&mut bloom, ctx.clock.clone(), ctx.config.cpu.hash_ns);
             for id in &ids {
-                bloom.insert(id.0 as u64);
+                fill.push(id.0 as u64);
             }
-            ctx.clock
-                .advance(ctx.config.cpu.hash_ns * bloom.k() as u64 * ids.len() as u64);
+            fill.flush();
             inserted = ids.len() as u64;
             verify = VerifySource::Shared(key);
         } else {
@@ -243,16 +371,13 @@ pub fn execute(
             // fetching (id, value) pairs, and membership is all the
             // verification needs.
             let mut ids = ctx.pc.eval_predicate(p)?;
-            let k = bloom.k() as u64;
-            let clock = ctx.clock.clone();
-            let hash_ns = ctx.config.cpu.hash_ns;
+            let mut fill =
+                BatchedBloomFill::new(&mut bloom, ctx.clock.clone(), ctx.config.cpu.hash_ns);
             let temp = {
-                let mut hook = |id: RowId| {
-                    bloom.insert(id.0 as u64);
-                    clock.advance(hash_ns * k);
-                };
+                let mut hook = |id: RowId| fill.push(id.0 as u64);
                 IdTemp::build(ctx.volume, &fetch_scope, ids.as_mut(), Some(&mut hook))?
             };
+            fill.flush();
             inserted = temp.len();
             own_verify_temps.push(temp);
             verify = VerifySource::Own(own_verify_temps.len() - 1);
@@ -325,11 +450,7 @@ pub fn execute(
             source_meta.push((s.stats, s.meter));
             inputs.push(s.stream);
         }
-        Box::new(MergeIntersect::new(
-            inputs,
-            ctx.clock.clone(),
-            ctx.config.cpu.tuple_op_ns,
-        ))
+        make_merge(ctx, inputs)
     };
     let mut candidates = Timed {
         inner: candidates_inner,
@@ -423,16 +544,30 @@ pub fn execute(
         rows: Vec::new(),
     };
 
+    // Candidate ids arrive block-at-a-time; the block outlives one batch
+    // (a batch may be smaller or larger than a block).
+    let mut cand_block = IdBlock::new();
+    let mut cand_pos = 0usize;
+    // Scratch for the batched Bloom probes, reused across batches.
+    let mut probe_keys: Vec<u64> = Vec::new();
+    let mut probe_rows: Vec<usize> = Vec::new();
+    let mut probe_hits: Vec<bool> = Vec::new();
     let mut exhausted = false;
     while !exhausted {
         // Phase 1: fill the batch with SKT rows.
         batch.clear();
         let mut batch_rows = 0usize;
         while batch_rows < batch_cap {
-            let Some(id) = candidates.next_id()? else {
-                exhausted = true;
-                break;
-            };
+            if cand_pos == cand_block.len() {
+                candidates.next_block(&mut cand_block)?;
+                cand_pos = 0;
+                if cand_block.is_empty() {
+                    exhausted = true;
+                    break;
+                }
+            }
+            let id = cand_block.as_slice()[cand_pos];
+            cand_pos += 1;
             let t0 = ctx.clock.now();
             skt_in += 1;
             match cursor.as_mut() {
@@ -454,24 +589,32 @@ pub fn execute(
         };
         let mut alive = vec![true; batch_rows];
 
-        // Phase 2: Bloom steps — probe, then batched exact verification.
+        // Phase 2: Bloom steps — batch-probe, then batched exact
+        // verification.
         for (bi, b) in bloom_steps.iter_mut().enumerate() {
             let t0 = ctx.clock.now();
             let member_col = col_of(b.pred.column.table)?;
-            // Probe the filter; collect positives as (member, batch row).
-            let mut positives: Vec<(RowId, usize)> = Vec::new();
-            for (i, a) in alive.iter_mut().enumerate() {
-                if !*a {
-                    continue;
+            // Gather the surviving members and probe them in one batch:
+            // one cache-line touch per key, one clock charge for all.
+            probe_keys.clear();
+            probe_rows.clear();
+            for (i, a) in alive.iter().enumerate() {
+                if *a {
+                    probe_keys.push(batch.as_slice()[i * n_cols + member_col].0 as u64);
+                    probe_rows.push(i);
                 }
-                bloom_runtime[bi].0 += 1;
-                let member = batch.as_slice()[i * n_cols + member_col];
-                ctx.clock
-                    .advance(ctx.config.cpu.hash_ns * b.bloom.k() as u64);
-                if b.bloom.contains(member.0 as u64) {
-                    positives.push((member, i));
+            }
+            bloom_runtime[bi].0 += probe_keys.len() as u64;
+            ctx.clock.advance(
+                ctx.config.cpu.hash_ns * b.bloom.k() as u64 * probe_keys.len() as u64,
+            );
+            b.bloom.probe_batch(&probe_keys, &mut probe_hits);
+            let mut positives: Vec<(RowId, usize)> = Vec::new();
+            for ((&key, &row), &hit) in probe_keys.iter().zip(&probe_rows).zip(&probe_hits) {
+                if hit {
+                    positives.push((RowId(key as u32), row));
                 } else {
-                    *a = false;
+                    alive[row] = false;
                 }
             }
             // Exact confirmation: one sequential scan of the temp per
@@ -753,11 +896,7 @@ fn build_source<'a>(
             let mut combined: Box<dyn IdStream + 'a> = if level_streams.len() == 1 {
                 level_streams.pop().expect("one")
             } else {
-                Box::new(MergeIntersect::new(
-                    level_streams,
-                    ctx.clock.clone(),
-                    ctx.config.cpu.tuple_op_ns,
-                ))
+                make_merge(ctx, level_streams)
             };
             let stream: Box<dyn IdStream + 'a> = if *table == anchor {
                 combined
@@ -778,6 +917,11 @@ fn build_source<'a>(
         }
     };
     let setup_ns = ctx.clock.now().since(t0);
+    // The scalar foil: strip every stream down to id-at-a-time pulls.
+    let stream: Box<dyn IdStream + 'a> = match ctx.pipeline {
+        PipelineMode::Blocked => stream,
+        PipelineMode::Scalar => Box::new(ScalarFallback(stream)),
+    };
     let meter = Arc::new(StreamMeter::default());
     Ok(BuiltSource {
         stream: Box::new(Timed {

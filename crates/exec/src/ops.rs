@@ -1,19 +1,34 @@
 //! Streaming id-list operators.
 
-use ghostdb_types::{GhostError, IdStream, Result, RowId, SimClock};
+use ghostdb_types::{GhostError, IdBlock, IdStream, Result, RowId, SimClock};
 
-/// N-ary merge intersection of ascending id streams.
+/// N-ary merge intersection of ascending id streams — the "Merge" box of
+/// the paper's Figure 6 plans: all pre-filtered anchor-id lists must
+/// agree.
 ///
-/// This is the "Merge" box of the paper's Figure 6 plans: all
-/// pre-filtered anchor-id lists must agree. O(1) RAM — one cursor per
-/// input — and one CPU tuple-op charged per advanced cursor.
+/// The merge is **block-at-a-time**: results are produced into an
+/// [`IdBlock`], inputs are advanced with
+/// [`seek_at_least`](IdStream::seek_at_least) (galloping past whole
+/// posting pages instead of pulling one id per virtual call), and the
+/// CPU clock is charged **once per block** with the batch's accumulated
+/// cursor advances instead of once per id. RAM stays O(1): one cursor
+/// per input plus one output block.
+///
+/// Scalar consumers keep working: [`next_id`](IdStream::next_id) drains
+/// an internal block. [`ScalarMergeIntersect`] preserves the id-at-a-time
+/// algorithm as the correctness foil and benchmark baseline.
 pub struct MergeIntersect<'a> {
     inputs: Vec<Box<dyn IdStream + 'a>>,
-    /// CPU cost per advance, charged to the device clock.
+    /// CPU cost per cursor advance, charged to the device clock.
     clock: SimClock,
     tuple_op_ns: u64,
     advanced: u64,
     emitted: u64,
+    /// Buffer for scalar (`next_id`) consumers.
+    buf: IdBlock,
+    buf_pos: usize,
+    /// Set once any input is exhausted: no further id can agree.
+    done: bool,
 }
 
 impl<'a> MergeIntersect<'a> {
@@ -26,10 +41,167 @@ impl<'a> MergeIntersect<'a> {
             tuple_op_ns,
             advanced: 0,
             emitted: 0,
+            buf: IdBlock::new(),
+            buf_pos: 0,
+            done: false,
         }
     }
 
-    /// Ids pulled from inputs so far ("tuples processed").
+    /// Cursor advances (pulls and seeks) so far ("tuples processed").
+    pub fn tuples_in(&self) -> u64 {
+        self.advanced
+    }
+
+    /// Ids emitted so far.
+    pub fn tuples_out(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Produce the next output block directly into `out`. The clock is
+    /// charged once, for every cursor advance the block required.
+    fn fill(&mut self, out: &mut IdBlock) -> Result<()> {
+        out.clear();
+        if self.inputs.is_empty() {
+            return Err(GhostError::exec("intersection of zero streams"));
+        }
+        if self.done {
+            return Ok(());
+        }
+        let mut advances = 0u64;
+        let r = self.fill_inner(out, &mut advances);
+        self.advanced += advances;
+        self.clock.advance(self.tuple_op_ns * advances);
+        r
+    }
+
+    fn fill_inner(&mut self, out: &mut IdBlock, advances: &mut u64) -> Result<()> {
+        let n = self.inputs.len();
+        if n == 1 {
+            // Pass-through: one virtual call moves a whole block.
+            self.inputs[0].next_block(out)?;
+            *advances += out.len() as u64;
+            self.emitted += out.len() as u64;
+            // A short-but-nonempty block proves nothing; only an empty
+            // pull marks the end.
+            if out.is_empty() {
+                self.done = true;
+            }
+            return Ok(());
+        }
+        // Pivot from stream 0; every other stream must gallop to it.
+        let mut candidate = {
+            *advances += 1;
+            match self.inputs[0].next_id()? {
+                Some(id) => id,
+                None => {
+                    self.done = true;
+                    return Ok(());
+                }
+            }
+        };
+        let mut agreed = 1usize; // streams known to contain candidate
+        let mut i = 1usize;
+        loop {
+            if agreed == n {
+                out.push(candidate);
+                self.emitted += 1;
+                if out.is_full() {
+                    // The emitted candidate is consumed everywhere, so
+                    // the next fill restarts cleanly with a fresh pull.
+                    return Ok(());
+                }
+                *advances += 1;
+                match self.inputs[0].next_id()? {
+                    Some(id) => candidate = id,
+                    None => {
+                        self.done = true;
+                        return Ok(());
+                    }
+                }
+                agreed = 1;
+                i = 1;
+                continue;
+            }
+            *advances += 1;
+            match self.inputs[i].seek_at_least(candidate)? {
+                None => {
+                    self.done = true;
+                    return Ok(());
+                }
+                Some(id) if id == candidate => {
+                    agreed += 1;
+                    i = (i + 1) % n;
+                }
+                Some(id) => {
+                    // Overshot: id becomes the new candidate (stream i is
+                    // the one stream known to contain it).
+                    candidate = id;
+                    agreed = 1;
+                    i = (i + 1) % n;
+                }
+            }
+        }
+    }
+}
+
+impl IdStream for MergeIntersect<'_> {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        loop {
+            if self.buf_pos < self.buf.len() {
+                let id = self.buf.as_slice()[self.buf_pos];
+                self.buf_pos += 1;
+                return Ok(Some(id));
+            }
+            if self.done && self.buf_pos >= self.buf.len() {
+                return Ok(None);
+            }
+            let mut blk = std::mem::take(&mut self.buf);
+            let r = self.fill(&mut blk);
+            self.buf = blk;
+            self.buf_pos = 0;
+            r?;
+            if self.buf.is_empty() {
+                return Ok(None);
+            }
+        }
+    }
+
+    fn next_block(&mut self, block: &mut IdBlock) -> Result<()> {
+        // Drain any scalar leftover first so mixed consumers never skip.
+        if self.buf_pos < self.buf.len() {
+            block.clear();
+            let taken = block.extend_from_slice(&self.buf.as_slice()[self.buf_pos..]);
+            self.buf_pos += taken;
+            return Ok(());
+        }
+        self.fill(block)
+    }
+}
+
+/// The seed's id-at-a-time merge intersection, retained verbatim as the
+/// scalar baseline: equivalence tests prove the blocked merge emits the
+/// identical id sequence, and `benches/vectorized.rs` measures the gap.
+pub struct ScalarMergeIntersect<'a> {
+    inputs: Vec<Box<dyn IdStream + 'a>>,
+    clock: SimClock,
+    tuple_op_ns: u64,
+    advanced: u64,
+    emitted: u64,
+}
+
+impl<'a> ScalarMergeIntersect<'a> {
+    /// Intersect `inputs` (each ascending), advancing one id per call.
+    pub fn new(inputs: Vec<Box<dyn IdStream + 'a>>, clock: SimClock, tuple_op_ns: u64) -> Self {
+        ScalarMergeIntersect {
+            inputs,
+            clock,
+            tuple_op_ns,
+            advanced: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Ids pulled from inputs so far.
     pub fn tuples_in(&self) -> u64 {
         self.advanced
     }
@@ -46,25 +218,23 @@ impl<'a> MergeIntersect<'a> {
     }
 }
 
-impl IdStream for MergeIntersect<'_> {
+impl IdStream for ScalarMergeIntersect<'_> {
     fn next_id(&mut self) -> Result<Option<RowId>> {
         if self.inputs.is_empty() {
             return Err(GhostError::exec("intersection of zero streams"));
         }
-        // Candidate from stream 0; every other stream must reach it.
         let mut candidate = match self.pull(0)? {
             Some(id) => id,
             None => return Ok(None),
         };
         let n = self.inputs.len();
-        let mut agreed = 1usize; // streams currently known to contain candidate
+        let mut agreed = 1usize;
         let mut i = 1usize;
         loop {
             if agreed == n {
                 self.emitted += 1;
                 return Ok(Some(candidate));
             }
-            // Advance stream i until >= candidate.
             loop {
                 match self.pull(i)? {
                     None => return Ok(None),
@@ -75,7 +245,6 @@ impl IdStream for MergeIntersect<'_> {
                         break;
                     }
                     Some(id) => {
-                        // Overshot: id becomes the new candidate.
                         candidate = id;
                         agreed = 1;
                         i = (i + 1) % n;
@@ -110,12 +279,34 @@ impl IdStream for FullScanSource {
         self.next += 1;
         Ok(Some(id))
     }
+
+    fn next_block(&mut self, block: &mut IdBlock) -> Result<()> {
+        block.clear();
+        let end = self
+            .rows
+            .min(self.next.saturating_add(ghostdb_types::BLOCK_CAP as u32));
+        for id in self.next..end {
+            block.push(RowId(id));
+        }
+        self.next = end;
+        Ok(())
+    }
+
+    fn seek_at_least(&mut self, target: RowId) -> Result<Option<RowId>> {
+        self.next = self.next.max(target.0);
+        self.next_id()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = (self.rows - self.next.min(self.rows)) as usize;
+        (rest, Some(rest))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ghostdb_types::{collect_ids, VecIdStream};
+    use ghostdb_types::{collect_ids, ScalarFallback, VecIdStream};
 
     fn ids(v: Vec<u32>) -> Vec<RowId> {
         v.into_iter().map(RowId).collect()
@@ -127,6 +318,17 @@ mod tests {
             .map(|l| Box::new(VecIdStream::new(ids(l))) as Box<dyn IdStream>)
             .collect();
         let mut m = MergeIntersect::new(inputs, SimClock::new(), 1);
+        collect_ids(&mut m).unwrap()
+    }
+
+    fn intersect_scalar(lists: Vec<Vec<u32>>) -> Vec<RowId> {
+        let inputs: Vec<Box<dyn IdStream>> = lists
+            .into_iter()
+            .map(|l| {
+                Box::new(ScalarFallback(VecIdStream::new(ids(l)))) as Box<dyn IdStream>
+            })
+            .collect();
+        let mut m = ScalarMergeIntersect::new(inputs, SimClock::new(), 1);
         collect_ids(&mut m).unwrap()
     }
 
@@ -170,6 +372,68 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matches_scalar_baseline() {
+        // Deterministic pseudo-random lists exercising overshoot chains,
+        // long skip runs, and results spanning multiple blocks.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move |m: u32| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % m
+        };
+        for &(n_lists, len, stride) in
+            &[(2usize, 5_000u32, 3u32), (3, 2_000, 7), (4, 800, 2), (2, 3_000, 1)]
+        {
+            let mut lists: Vec<Vec<u32>> = Vec::new();
+            for _ in 0..n_lists {
+                let mut v: Vec<u32> = (0..len).map(|_| next(len * stride)).collect();
+                v.sort_unstable();
+                v.dedup();
+                lists.push(v);
+            }
+            assert_eq!(
+                intersect(lists.clone()),
+                intersect_scalar(lists),
+                "case ({n_lists}, {len}, {stride})"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_scalar_and_block_pulls_never_skip() {
+        let a: Vec<u32> = (0..4_000).map(|i| i * 2).collect();
+        let b: Vec<u32> = (0..4_000).map(|i| i * 3).collect();
+        let expect: Vec<RowId> = intersect(vec![a.clone(), b.clone()]);
+        let inputs: Vec<Box<dyn IdStream>> = vec![
+            Box::new(VecIdStream::new(ids(a))),
+            Box::new(VecIdStream::new(ids(b))),
+        ];
+        let mut m = MergeIntersect::new(inputs, SimClock::new(), 1);
+        let mut got = Vec::new();
+        let mut block = IdBlock::new();
+        // Alternate: a few scalar pulls, then a block pull.
+        loop {
+            let mut progressed = false;
+            for _ in 0..3 {
+                if let Some(id) = m.next_id().unwrap() {
+                    got.push(id);
+                    progressed = true;
+                }
+            }
+            m.next_block(&mut block).unwrap();
+            if !block.is_empty() {
+                got.extend_from_slice(block.as_slice());
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
     fn intersection_charges_cpu_time() {
         let clock = SimClock::new();
         let inputs: Vec<Box<dyn IdStream>> = vec![
@@ -184,8 +448,32 @@ mod tests {
     }
 
     #[test]
+    fn scalar_merge_charges_per_pull() {
+        let clock = SimClock::new();
+        let inputs: Vec<Box<dyn IdStream>> = vec![
+            Box::new(VecIdStream::new(ids(vec![1, 2, 3]))),
+            Box::new(VecIdStream::new(ids(vec![3]))),
+        ];
+        let mut m = ScalarMergeIntersect::new(inputs, clock.clone(), 100);
+        collect_ids(&mut m).unwrap();
+        assert!(clock.now().0 >= 400, "clock {:?}", clock.now());
+        assert!(m.tuples_in() >= 4);
+        assert_eq!(m.tuples_out(), 1);
+    }
+
+    #[test]
     fn full_scan_counts_up() {
         let mut s = FullScanSource::new(4);
         assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn full_scan_blocks_and_seeks() {
+        let mut s = FullScanSource::new(3_000);
+        let mut b = IdBlock::new();
+        s.next_block(&mut b).unwrap();
+        assert_eq!(b.len(), ghostdb_types::BLOCK_CAP);
+        assert_eq!(s.seek_at_least(RowId(2_500)).unwrap(), Some(RowId(2_500)));
+        assert_eq!(s.seek_at_least(RowId(9_999)).unwrap(), None);
     }
 }

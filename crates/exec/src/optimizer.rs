@@ -165,7 +165,8 @@ pub fn enumerate_plans(
                 _ => {}
             }
         }
-        let groupable: Vec<(TableId, (Vec<usize>, Vec<usize>))> = by_table
+        type Grouped = Vec<(TableId, (Vec<usize>, Vec<usize>))>;
+        let groupable: Grouped = by_table
             .into_iter()
             .filter(|(_, (h, v))| h.len() + v.len() >= 2)
             .collect();

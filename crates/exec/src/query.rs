@@ -67,12 +67,12 @@ impl QuerySpec {
                 )));
             }
             let def = schema.column_def(p.column);
-            let ok = match (&def.ty, &p.value) {
-                (ghostdb_types::DataType::Integer, ghostdb_types::Value::Int(_)) => true,
-                (ghostdb_types::DataType::Date, ghostdb_types::Value::Date(_)) => true,
-                (ghostdb_types::DataType::Char(_), ghostdb_types::Value::Text(_)) => true,
-                _ => false,
-            };
+            let ok = matches!(
+                (&def.ty, &p.value),
+                (ghostdb_types::DataType::Integer, ghostdb_types::Value::Int(_))
+                    | (ghostdb_types::DataType::Date, ghostdb_types::Value::Date(_))
+                    | (ghostdb_types::DataType::Char(_), ghostdb_types::Value::Text(_))
+            );
             if !ok {
                 return Err(GhostError::sql(format!(
                     "predicate value {} does not match type {} of {}",

@@ -14,7 +14,7 @@
 
 use ghostdb_flash::{Segment, SegmentReader, Volume};
 use ghostdb_ram::{RamScope, ScopedGuard};
-use ghostdb_types::{DataType, GhostError, Result, RowId, Value};
+use ghostdb_types::{DataType, GhostError, IdBlock, IdStream, Result, RowId, Value, BLOCK_CAP};
 
 use crate::pc::PairStream;
 
@@ -181,24 +181,31 @@ impl IdTemp {
     pub fn build(
         volume: &Volume,
         scope: &RamScope,
-        ids: &mut dyn ghostdb_types::IdStream,
+        ids: &mut dyn IdStream,
         mut on_id: Option<&mut dyn FnMut(RowId)>,
     ) -> Result<IdTemp> {
         let mut w = volume.writer(scope)?;
         let mut count = 0u64;
         let mut last: Option<RowId> = None;
-        while let Some(id) = ids.next_id()? {
-            if let Some(prev) = last {
-                if id <= prev {
-                    return Err(GhostError::bus("PC sent ids out of order".to_string()));
+        let mut block = IdBlock::new();
+        loop {
+            ids.next_block(&mut block)?;
+            if block.is_empty() {
+                break;
+            }
+            for &id in block.as_slice() {
+                if let Some(prev) = last {
+                    if id <= prev {
+                        return Err(GhostError::bus("PC sent ids out of order".to_string()));
+                    }
+                }
+                last = Some(id);
+                w.write(&id.0.to_le_bytes())?;
+                if let Some(f) = on_id.as_deref_mut() {
+                    f(id);
                 }
             }
-            last = Some(id);
-            w.write(&id.0.to_le_bytes())?;
-            if let Some(f) = on_id.as_deref_mut() {
-                f(id);
-            }
-            count += 1;
+            count += block.len() as u64;
         }
         Ok(IdTemp {
             volume: volume.clone(),
@@ -246,7 +253,8 @@ impl IdTemp {
 }
 
 /// Sequential id scan over an [`IdTemp`] or the id prefix of a
-/// [`VisibleTemp`]'s records.
+/// [`VisibleTemp`]'s records. Implements [`IdStream`], so batched
+/// verification can pull whole blocks of stored ids per virtual call.
 #[derive(Debug)]
 pub struct TempIdScan {
     reader: SegmentReader,
@@ -254,9 +262,9 @@ pub struct TempIdScan {
     remaining: u64,
 }
 
-impl TempIdScan {
+impl IdStream for TempIdScan {
     /// Next stored id (ascending), or `None` at the end.
-    pub fn next_id(&mut self) -> Result<Option<RowId>> {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
         if self.remaining == 0 {
             return Ok(None);
         }
@@ -272,6 +280,30 @@ impl TempIdScan {
             self.reader.seek(pos + (self.record_width - 4) as u64)?;
         }
         Ok(Some(RowId(u32::from_le_bytes(rec))))
+    }
+
+    fn next_block(&mut self, block: &mut IdBlock) -> Result<()> {
+        block.clear();
+        if self.record_width != 4 {
+            // Wide records interleave value bytes; the per-id skip path
+            // already stays inside the page buffer.
+            while !block.is_full() {
+                match self.next_id()? {
+                    Some(id) => block.push(id),
+                    None => break,
+                }
+            }
+            return Ok(());
+        }
+        // Packed 4-byte ids: chunked reads straight out of the segment.
+        let take = self.remaining.min(BLOCK_CAP as u64) as usize;
+        self.reader.read_ids_into(take, block)?;
+        self.remaining -= take as u64;
+        Ok(())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
     }
 }
 

@@ -365,6 +365,30 @@ impl SegmentReader {
         }
         Ok(())
     }
+
+    /// Bulk-read `count` packed little-endian `u32` row ids into
+    /// `block`: one chunked read per staging buffer instead of one
+    /// 4-byte read per id. Shared by the posting-list and flash-temp
+    /// block streams.
+    pub fn read_ids_into(
+        &mut self,
+        count: usize,
+        block: &mut ghostdb_types::IdBlock,
+    ) -> Result<()> {
+        let mut raw = [0u8; 256];
+        let mut left = count;
+        while left > 0 {
+            let chunk = left.min(raw.len() / 4);
+            self.read_exact(&mut raw[..chunk * 4])?;
+            for c in raw[..chunk * 4].chunks_exact(4) {
+                block.push(ghostdb_types::RowId(u32::from_le_bytes(
+                    c.try_into().expect("4B"),
+                )));
+            }
+            left -= chunk;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@ use ghostdb_catalog::{ColumnRef, TreeSchema};
 use ghostdb_flash::{Segment, SegmentReader, Volume};
 use ghostdb_ram::{RamScope, ScopedGuard};
 use ghostdb_storage::{Dataset, KeyRange, LoadEncoders};
-use ghostdb_types::{GhostError, IdStream, Result, RowId, TableId};
+use ghostdb_types::{GhostError, IdBlock, IdStream, Result, RowId, TableId, BLOCK_CAP};
 
 use crate::sort::{ExternalSorter, SortedStream};
 use crate::wide_rows;
@@ -335,20 +335,27 @@ impl ClimbingIndex {
         let mut sorter: ExternalSorter<u32> =
             ExternalSorter::new(&self.volume, scope, sort_ram)?;
         let mut buf = [0u8; 4];
-        while let Some(id) = input.next_id()? {
-            if id.0 >= self.entries {
-                return Err(GhostError::exec(format!(
-                    "translate input id {id} out of range ({} entries)",
-                    self.entries
-                )));
+        let mut block = IdBlock::new();
+        loop {
+            input.next_block(&mut block)?;
+            if block.is_empty() {
+                break;
             }
-            let e = self.read_entry(&mut cur, id.0)?;
-            debug_assert_eq!(e.key, id.0 as u64);
-            let (off, len) = e.slots[level];
-            reader.seek(off as u64 * 4)?;
-            for _ in 0..len {
-                reader.read_exact(&mut buf)?;
-                sorter.push(u32::from_le_bytes(buf))?;
+            for &id in block.as_slice() {
+                if id.0 >= self.entries {
+                    return Err(GhostError::exec(format!(
+                        "translate input id {id} out of range ({} entries)",
+                        self.entries
+                    )));
+                }
+                let e = self.read_entry(&mut cur, id.0)?;
+                debug_assert_eq!(e.key, id.0 as u64);
+                let (off, len) = e.slots[level];
+                reader.seek(off as u64 * 4)?;
+                for _ in 0..len {
+                    reader.read_exact(&mut buf)?;
+                    sorter.push(u32::from_le_bytes(buf))?;
+                }
             }
         }
         Ok(PostingStream::Sorted {
@@ -460,6 +467,108 @@ impl IdStream for PostingStream {
                 }
                 Ok(None)
             }
+        }
+    }
+
+    fn next_block(&mut self, block: &mut IdBlock) -> Result<()> {
+        block.clear();
+        match self {
+            PostingStream::Empty => Ok(()),
+            PostingStream::Direct { reader, remaining } => {
+                // One chunked flash read per buffer instead of one
+                // virtual call + 4-byte read per id.
+                let take = (*remaining).min(BLOCK_CAP as u64) as usize;
+                reader.read_ids_into(take, block)?;
+                *remaining -= take as u64;
+                Ok(())
+            }
+            PostingStream::Sorted { stream, last } => {
+                while !block.is_full() {
+                    match stream.next_rec()? {
+                        None => break,
+                        Some(v) if Some(v) == *last => continue,
+                        Some(v) => {
+                            *last = Some(v);
+                            block.push(RowId(v));
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn seek_at_least(&mut self, target: RowId) -> Result<Option<RowId>> {
+        match self {
+            PostingStream::Empty => Ok(None),
+            PostingStream::Direct { reader, remaining } => {
+                // The list is sorted and fixed-width on flash: gallop
+                // from the cursor, then binary-search the bracketing
+                // window, skipping whole posting pages.
+                if *remaining == 0 {
+                    return Ok(None);
+                }
+                let base = reader.position();
+                let mut buf = [0u8; 4];
+                let mut id_at = |j: u64, reader: &mut SegmentReader| -> Result<u32> {
+                    reader.seek(base + j * 4)?;
+                    reader.read_exact(&mut buf)?;
+                    Ok(u32::from_le_bytes(buf))
+                };
+                // Gallop: find the first probe >= target.
+                let mut step = 1u64;
+                let mut lo = 0u64; // ids at [0, lo) are all < target
+                let mut hi = *remaining;
+                loop {
+                    let probe = lo + step;
+                    if probe >= *remaining {
+                        break;
+                    }
+                    if id_at(probe - 1, reader)? < target.0 {
+                        lo = probe;
+                        step *= 2;
+                    } else {
+                        hi = probe;
+                        break;
+                    }
+                }
+                // Binary search in [lo, hi).
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if id_at(mid, reader)? < target.0 {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                if lo >= *remaining {
+                    *remaining = 0;
+                    return Ok(None);
+                }
+                let found = id_at(lo, reader)?;
+                *remaining -= lo + 1;
+                Ok(Some(RowId(found)))
+            }
+            PostingStream::Sorted { .. } => {
+                // Merge-of-runs streams cannot seek; scan forward.
+                while let Some(id) = self.next_id()? {
+                    if id >= target {
+                        return Ok(Some(id));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            PostingStream::Empty => (0, Some(0)),
+            PostingStream::Direct { remaining, .. } => {
+                (*remaining as usize, Some(*remaining as usize))
+            }
+            // Duplicates collapse while draining, so only an upper bound.
+            PostingStream::Sorted { stream, .. } => (0, Some(stream.len() as usize)),
         }
     }
 }
@@ -648,6 +757,54 @@ mod tests {
         let idx = ClimbingIndex::build_key_index(&vol, &scope, &tree, &data, TableId(1)).unwrap();
         assert!(idx.level_of(TableId(0)).is_err()); // Doctor below Visit
         assert!(idx.level_of(TableId(2)).is_ok());
+    }
+
+    #[test]
+    fn direct_posting_stream_blocks_and_seeks() {
+        let (vol, scope, _s, tree, data, enc) = setup();
+        let cref = ColumnRef {
+            table: TableId(0),
+            column: ghostdb_types::ColumnId(1),
+        };
+        let idx =
+            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        let spain = enc
+            .key_of(TableId(0), ghostdb_types::ColumnId(1), &Value::Text("Spain".into()))
+            .unwrap();
+        let range = KeyRange { lo: spain, hi: spain };
+        // Single-key probe = Direct stream; Prescription level has
+        // postings {1,4,7,10,13,16,19,22}.
+        let mut s = idx.lookup(&scope, range, TableId(2), 4096).unwrap();
+        assert!(matches!(s, PostingStream::Direct { .. }));
+        let mut b = IdBlock::new();
+        s.next_block(&mut b).unwrap();
+        assert_eq!(b.as_slice(), &ids(vec![1, 4, 7, 10, 13, 16, 19, 22])[..]);
+
+        // Galloping seek on flash skips ids without yielding them, and
+        // lands on the same answers as the scalar fallback.
+        for (target, expect) in [
+            (0u32, Some(1u32)),
+            (1, Some(1)),
+            (2, Some(4)),
+            (11, Some(13)),
+            (22, Some(22)),
+            (23, None),
+        ] {
+            let mut fast = idx.lookup(&scope, range, TableId(2), 4096).unwrap();
+            let got = fast.seek_at_least(RowId(target)).unwrap();
+            assert_eq!(got, expect.map(RowId), "seek {target}");
+            let mut slow = ghostdb_types::ScalarFallback(
+                idx.lookup(&scope, range, TableId(2), 4096).unwrap(),
+            );
+            assert_eq!(slow.seek_at_least(RowId(target)).unwrap(), got);
+            // After an in-range seek, the stream resumes past the hit.
+            if got.is_some() {
+                assert_eq!(fast.next_id().unwrap(), slow.next_id().unwrap());
+            }
+        }
+        // Seeking an exhausted/empty stream stays None.
+        let mut s = PostingStream::empty();
+        assert_eq!(s.seek_at_least(RowId(0)).unwrap(), None);
     }
 
     #[test]

@@ -64,6 +64,7 @@ impl SortRecord for (u32, u32) {
 /// Sorted output: either a small in-RAM vector (no spill happened) or a
 /// stream over a flash segment.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Ram is the common case; boxing it would cost a pointer chase per record
 pub enum SortedStream<T: SortRecord> {
     /// Everything fit in the run buffer; not spilled.
     Ram {

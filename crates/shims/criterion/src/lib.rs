@@ -1,0 +1,242 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the benches are
+//! served by this shim: same `criterion_group!`/`criterion_main!` source
+//! shape, a calibrated-iteration timing loop (target ~0.3 s per
+//! benchmark after warmup), and a one-line median/mean report per
+//! benchmark on stdout. Statistical machinery (outlier detection,
+//! HTML reports, baselines) is intentionally absent.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Passed to the measurement closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Total time measured across sample batches.
+    elapsed: Duration,
+    /// Iterations actually executed.
+    iters: u64,
+    /// Per-iteration samples (batch mean), ns.
+    samples: Vec<f64>,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly: a warmup batch sizes the calibrated
+    /// batches, then batches run until the target measurement time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count lasting >= ~5 ms.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break dt.as_secs_f64() / batch as f64;
+            }
+            batch *= 2;
+        };
+        let total_iters = (self.target.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64;
+        let n_batches = 10u64;
+        let batch = (total_iters / n_batches).max(1);
+        for _ in 0..n_batches {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.elapsed += dt;
+            self.iters += batch;
+            self.samples.push(dt.as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Shrink/grow the sample budget. The shim maps criterion's sample
+    /// count onto measurement time: fewer samples, shorter run.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.target = Duration::from_millis((3 * n as u64).clamp(30, 1_000));
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: R) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            samples: Vec::new(),
+            target: self.criterion.target,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Benchmark a closure with an input value.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (printing is per-benchmark; nothing left to do).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        if b.iters == 0 {
+            println!("{}/{:<40} (no measurement)", self.name, id.id);
+            return;
+        }
+        let mut sorted = b.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let median = sorted[sorted.len() / 2];
+        let mean = b.elapsed.as_secs_f64() * 1e9 / b.iters as f64;
+        println!(
+            "{}/{:<40} median {:>12}  mean {:>12}  ({} iters)",
+            self.name,
+            id.id,
+            fmt_ns(median),
+            fmt_ns(mean),
+            b.iters,
+        );
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep the default short: the full bench suite runs in CI-ish
+        // loops, and the simulator-backed payloads are already slow.
+        Criterion {
+            target: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure the per-benchmark measurement time.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.target = t;
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Benchmark without a group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, f: R) -> &mut Self {
+        self.benchmark_group("bench").bench_function(BenchmarkId::from(name), f);
+        self
+    }
+}
+
+/// Declare a group-running function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(10);
+        let mut ran = false;
+        g.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,171 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the handful of calls
+//! the workload generators make (`StdRng::seed_from_u64`,
+//! `random_range`, `random::<f64>()`) are served by this shim. The
+//! generator is xoshiro256** — a solid, well-known PRNG — seeded through
+//! SplitMix64 exactly like the real `rand` seeds small-state generators,
+//! so fixtures stay deterministic across runs and platforms.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types samplable uniformly over their full domain (subset of
+/// `rand::distr::StandardUniform` support).
+pub trait Standard: Sized {
+    /// Draw one uniform sample from `rng`.
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut rngs::StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Range types usable with [`RngExt::random_range`]. Generic over the
+/// output type so integer-literal ranges infer from the call site, like
+/// the real `rand`.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the (half-open) range.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is ~2^-64 for the spans used here.
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(i32, i64, u32, u64, usize);
+
+/// Convenience sampling methods (subset of `rand::Rng`).
+pub trait RngExt {
+    /// A uniform sample over `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// A uniform sample over the type's full domain (`[0,1)` for f64).
+    fn random<T: Standard>(&mut self) -> T;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix64, RngExt, SampleRange, SeedableRng, Standard};
+
+    /// xoshiro256** generator (stands in for `rand`'s `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            range.sample(self)
+        }
+
+        fn random<T: Standard>(&mut self) -> T {
+            T::sample(self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000i64), b.random_range(0..1000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10..20i32);
+            assert!((10..20).contains(&v));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<i64> = (0..16).map(|_| a.random_range(0..1_000_000i64)).collect();
+        let vb: Vec<i64> = (0..16).map(|_| b.random_range(0..1_000_000i64)).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -29,7 +29,9 @@ pub use config::{BusConfig, CpuConfig, DeviceConfig, FlashConfig};
 pub use error::{GhostError, Result};
 pub use ids::{ColumnId, RowId, TableId};
 pub use scalar::ScalarOp;
-pub use stream::{collect_ids, IdStream, VecIdStream};
+pub use stream::{
+    collect_ids, IdBlock, IdStream, ScalarFallback, SliceIdStream, VecIdStream, BLOCK_CAP,
+};
 pub use sealed::{DisplayTicket, Sealed};
 pub use value::{DataType, Date, Value};
 pub use wire::{decode_all, Wire};

@@ -5,15 +5,194 @@
 //! results). Streams keep RAM usage O(1): only the operators that
 //! genuinely need materialization (Bloom build, external sort runs) hold
 //! buffers, and those are charged to the RAM budget.
+//!
+//! Two pull granularities coexist:
+//!
+//! * **scalar** — [`IdStream::next_id`], one id per virtual call. Always
+//!   available; simple operators and tests use it directly.
+//! * **block-at-a-time** — [`IdStream::next_block`] fills an [`IdBlock`]
+//!   (up to [`BLOCK_CAP`] ids) per virtual call, and
+//!   [`IdStream::seek_at_least`] lets consumers skip runs of ids without
+//!   touching them. The executor's hot merge → Bloom → SKT path runs on
+//!   these; the default implementations fall back to `next_id` loops so
+//!   scalar-only streams keep working unchanged.
 
 use crate::error::Result;
 use crate::ids::RowId;
 
-/// A pull-based stream of ascending row ids.
+/// Ids per [`IdBlock`]: 4 KiB of ids — big enough to amortize virtual
+/// dispatch and per-block accounting to noise, small enough that a block
+/// plus its consumers' state stays well inside the device RAM budget
+/// (64 KB class hardware).
+pub const BLOCK_CAP: usize = 1024;
+
+/// A fixed-capacity buffer of ascending row ids, the unit of exchange of
+/// the batched pipeline.
+#[derive(Debug, Default, Clone)]
+pub struct IdBlock {
+    ids: Vec<RowId>,
+}
+
+impl IdBlock {
+    /// An empty block with its full capacity preallocated.
+    pub fn new() -> IdBlock {
+        IdBlock {
+            ids: Vec::with_capacity(BLOCK_CAP),
+        }
+    }
+
+    /// Ids currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no ids are held.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// True when another [`push`](Self::push) would exceed [`BLOCK_CAP`].
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.ids.len() >= BLOCK_CAP
+    }
+
+    /// Drop all ids (capacity is retained).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.ids.clear();
+    }
+
+    /// Append an id. Capacity is debug-checked; ordering is the
+    /// producing stream's contract (untrusted producers are validated by
+    /// the consumers that persist their ids, so a violation surfaces as
+    /// an error there rather than a panic here).
+    #[inline]
+    pub fn push(&mut self, id: RowId) {
+        debug_assert!(self.ids.len() < BLOCK_CAP, "IdBlock overflow");
+        self.ids.push(id);
+    }
+
+    /// Bulk-append from an ascending slice, up to capacity; returns how
+    /// many ids were taken.
+    #[inline]
+    pub fn extend_from_slice(&mut self, ids: &[RowId]) -> usize {
+        let take = ids.len().min(BLOCK_CAP - self.ids.len());
+        debug_assert!(ids[..take].windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(
+            take == 0 || self.ids.last().is_none_or(|&last| last < ids[0]),
+            "IdBlock ids must ascend"
+        );
+        self.ids.extend_from_slice(&ids[..take]);
+        take
+    }
+
+    /// The held ids, ascending.
+    #[inline]
+    pub fn as_slice(&self) -> &[RowId] {
+        &self.ids
+    }
+}
+
+/// A pull-based stream of row ids.
+///
+/// **Contract:** ids are yielded in **strictly ascending** order — no
+/// duplicates — unless an implementation documents otherwise. Producers
+/// that may see equal neighbours (posting unions, translations) must
+/// deduplicate before yielding. All three pull methods share one cursor:
+/// after `seek_at_least(t)` returns `Some(id)`, the ids below `id` are
+/// gone and the next pull continues after `id`.
 pub trait IdStream {
-    /// The next id, or `None` at end of stream. Implementations yield ids
-    /// in strictly ascending order unless documented otherwise.
+    /// The next id, or `None` at end of stream.
     fn next_id(&mut self) -> Result<Option<RowId>>;
+
+    /// Fill `block` (cleared first) with up to [`BLOCK_CAP`] ids. An
+    /// empty block afterwards means end of stream.
+    ///
+    /// The default loops [`next_id`](Self::next_id); implementations on
+    /// the hot path override it with bulk copies/reads so the per-id
+    /// virtual call, `Result` wrap, and bounds checks amortize across
+    /// the block.
+    fn next_block(&mut self, block: &mut IdBlock) -> Result<()> {
+        block.clear();
+        while !block.is_full() {
+            match self.next_id()? {
+                Some(id) => block.push(id),
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Discard ids `< target` and return the first id `>= target` (or
+    /// `None` if the stream ends first).
+    ///
+    /// The default scans with [`next_id`](Self::next_id); seekable
+    /// streams (in-memory vectors, flash posting lists) override it with
+    /// galloping/binary search so a merge can skip whole pages.
+    fn seek_at_least(&mut self, target: RowId) -> Result<Option<RowId>> {
+        while let Some(id) = self.next_id()? {
+            if id >= target {
+                return Ok(Some(id));
+            }
+        }
+        Ok(None)
+    }
+
+    /// `(lower, upper)` bounds on the ids still to come, mirroring
+    /// [`Iterator::size_hint`]. Used as a capacity hint by
+    /// [`collect_ids`].
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, None)
+    }
+}
+
+/// Boxed streams forward every method, so specialized `next_block` /
+/// `seek_at_least` implementations survive type erasure.
+impl<S: IdStream + ?Sized> IdStream for Box<S> {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        (**self).next_id()
+    }
+
+    fn next_block(&mut self, block: &mut IdBlock) -> Result<()> {
+        (**self).next_block(block)
+    }
+
+    fn seek_at_least(&mut self, target: RowId) -> Result<Option<RowId>> {
+        (**self).seek_at_least(target)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (**self).size_hint()
+    }
+}
+
+/// Forwards **only** [`IdStream::next_id`], forcing the default
+/// (scalar) `next_block`/`seek_at_least` code paths. This is the
+/// batched pipeline's correctness foil: wrapping any stream in
+/// `ScalarFallback` must never change the id sequence.
+#[derive(Debug)]
+pub struct ScalarFallback<S>(pub S);
+
+impl<S: IdStream> IdStream for ScalarFallback<S> {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        self.0.next_id()
+    }
+}
+
+/// Galloping (exponential) search: offset within `rest` of the first id
+/// `>= target`. O(log distance) comparisons wherever the cursor lands.
+#[inline]
+fn gallop_offset(rest: &[RowId], target: RowId) -> usize {
+    let mut hi = 1usize;
+    while hi < rest.len() && rest[hi - 1] < target {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = hi.min(rest.len());
+    lo + rest[lo..hi].partition_point(|&id| id < target)
 }
 
 /// A stream over an in-memory sorted vector (used for small lists and in
@@ -25,9 +204,12 @@ pub struct VecIdStream {
 }
 
 impl VecIdStream {
-    /// Wrap a sorted vector.
-    pub fn new(ids: Vec<RowId>) -> Self {
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must ascend");
+    /// Wrap an ascending vector. Equal adjacent ids are tolerated and
+    /// deduplicated here; descending pairs are a caller bug
+    /// (debug-checked).
+    pub fn new(mut ids: Vec<RowId>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] <= w[1]), "ids must ascend");
+        ids.dedup();
         VecIdStream { ids, pos: 0 }
     }
 }
@@ -35,29 +217,101 @@ impl VecIdStream {
 impl IdStream for VecIdStream {
     fn next_id(&mut self) -> Result<Option<RowId>> {
         let id = self.ids.get(self.pos).copied();
-        self.pos += 1;
+        if id.is_some() {
+            self.pos += 1;
+        }
         Ok(id)
+    }
+
+    fn next_block(&mut self, block: &mut IdBlock) -> Result<()> {
+        block.clear();
+        self.pos += block.extend_from_slice(&self.ids[self.pos..]);
+        Ok(())
+    }
+
+    fn seek_at_least(&mut self, target: RowId) -> Result<Option<RowId>> {
+        self.pos += gallop_offset(&self.ids[self.pos..], target);
+        self.next_id()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.ids.len() - self.pos;
+        (rest, Some(rest))
+    }
+}
+
+/// A borrowed twin of [`VecIdStream`]: streams a strictly-ascending
+/// slice without cloning it. O(1) to construct, so benchmarks (and any
+/// caller re-running a merge over the same lists) pay for merging, not
+/// for fixture copies.
+#[derive(Debug)]
+pub struct SliceIdStream<'a> {
+    ids: &'a [RowId],
+    pos: usize,
+}
+
+impl<'a> SliceIdStream<'a> {
+    /// Wrap a strictly-ascending slice (debug-checked; unlike
+    /// [`VecIdStream::new`] this cannot dedup, so equal neighbours are
+    /// rejected too).
+    pub fn new(ids: &'a [RowId]) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must ascend");
+        SliceIdStream { ids, pos: 0 }
+    }
+}
+
+impl IdStream for SliceIdStream<'_> {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        let id = self.ids.get(self.pos).copied();
+        if id.is_some() {
+            self.pos += 1;
+        }
+        Ok(id)
+    }
+
+    fn next_block(&mut self, block: &mut IdBlock) -> Result<()> {
+        block.clear();
+        self.pos += block.extend_from_slice(&self.ids[self.pos..]);
+        Ok(())
+    }
+
+    fn seek_at_least(&mut self, target: RowId) -> Result<Option<RowId>> {
+        self.pos += gallop_offset(&self.ids[self.pos..], target);
+        self.next_id()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.ids.len() - self.pos;
+        (rest, Some(rest))
     }
 }
 
 /// Drain a stream into a vector (tests and small-list paths).
 pub fn collect_ids(stream: &mut dyn IdStream) -> Result<Vec<RowId>> {
-    let mut out = Vec::new();
-    while let Some(id) = stream.next_id()? {
-        out.push(id);
+    let mut out = Vec::with_capacity(stream.size_hint().0);
+    let mut block = IdBlock::new();
+    loop {
+        stream.next_block(&mut block)?;
+        if block.is_empty() {
+            return Ok(out);
+        }
+        out.extend_from_slice(block.as_slice());
     }
-    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn ids(v: &[u32]) -> Vec<RowId> {
+        v.iter().copied().map(RowId).collect()
+    }
+
     #[test]
     fn vec_stream_yields_all() {
-        let mut s = VecIdStream::new(vec![RowId(1), RowId(5), RowId(9)]);
+        let mut s = VecIdStream::new(ids(&[1, 5, 9]));
         let got = collect_ids(&mut s).unwrap();
-        assert_eq!(got, vec![RowId(1), RowId(5), RowId(9)]);
+        assert_eq!(got, ids(&[1, 5, 9]));
         assert!(s.next_id().unwrap().is_none());
     }
 
@@ -65,5 +319,91 @@ mod tests {
     fn empty_stream() {
         let mut s = VecIdStream::new(vec![]);
         assert!(s.next_id().unwrap().is_none());
+        let mut b = IdBlock::new();
+        s.next_block(&mut b).unwrap();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn equal_adjacent_ids_are_deduped() {
+        let mut s = VecIdStream::new(ids(&[1, 1, 2, 5, 5, 5, 9]));
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(&[1, 2, 5, 9]));
+    }
+
+    #[test]
+    fn blocks_split_long_streams() {
+        let all: Vec<RowId> = (0..2_500u32).map(RowId).collect();
+        let mut s = VecIdStream::new(all.clone());
+        let mut b = IdBlock::new();
+        s.next_block(&mut b).unwrap();
+        assert_eq!(b.len(), BLOCK_CAP);
+        assert_eq!(b.as_slice()[0], RowId(0));
+        s.next_block(&mut b).unwrap();
+        assert_eq!(b.len(), BLOCK_CAP);
+        assert_eq!(b.as_slice()[0], RowId(BLOCK_CAP as u32));
+        s.next_block(&mut b).unwrap();
+        assert_eq!(b.len(), 2_500 - 2 * BLOCK_CAP);
+        s.next_block(&mut b).unwrap();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn seek_at_least_edge_cases() {
+        // Empty stream.
+        let mut s = VecIdStream::new(vec![]);
+        assert_eq!(s.seek_at_least(RowId(5)).unwrap(), None);
+
+        // Seek past the end.
+        let mut s = VecIdStream::new(ids(&[1, 2, 3]));
+        assert_eq!(s.seek_at_least(RowId(10)).unwrap(), None);
+        assert_eq!(s.next_id().unwrap(), None);
+
+        // Seek to the current position is a plain pull.
+        let mut s = VecIdStream::new(ids(&[4, 7, 9]));
+        assert_eq!(s.seek_at_least(RowId(4)).unwrap(), Some(RowId(4)));
+        assert_eq!(s.next_id().unwrap(), Some(RowId(7)));
+
+        // Seek below the current position is also a plain pull.
+        let mut s = VecIdStream::new(ids(&[4, 7, 9]));
+        assert_eq!(s.seek_at_least(RowId(0)).unwrap(), Some(RowId(4)));
+
+        // Seek between ids lands on the next one, consuming the skipped.
+        let mut s = VecIdStream::new(ids(&[1, 3, 8, 12]));
+        assert_eq!(s.seek_at_least(RowId(4)).unwrap(), Some(RowId(8)));
+        assert_eq!(s.next_id().unwrap(), Some(RowId(12)));
+    }
+
+    #[test]
+    fn seek_matches_scalar_fallback() {
+        let v: Vec<RowId> = (0..800u32).map(|i| RowId(i * 3)).collect();
+        for target in [0u32, 1, 2, 3, 500, 2_396, 2_397, 2_398, 5_000] {
+            let mut fast = VecIdStream::new(v.clone());
+            let mut slow = ScalarFallback(VecIdStream::new(v.clone()));
+            assert_eq!(
+                fast.seek_at_least(RowId(target)).unwrap(),
+                slow.seek_at_least(RowId(target)).unwrap(),
+                "seek {target}"
+            );
+            assert_eq!(fast.next_id().unwrap(), slow.next_id().unwrap());
+        }
+    }
+
+    #[test]
+    fn scalar_fallback_same_sequence() {
+        let v: Vec<RowId> = (0..3_000u32).map(|i| RowId(i * 2)).collect();
+        let mut fast = VecIdStream::new(v.clone());
+        let mut slow = ScalarFallback(VecIdStream::new(v));
+        assert_eq!(
+            collect_ids(&mut fast).unwrap(),
+            collect_ids(&mut slow).unwrap()
+        );
+    }
+
+    #[test]
+    fn collect_uses_size_hint() {
+        let mut s = VecIdStream::new((0..100u32).map(RowId).collect());
+        assert_eq!(s.size_hint(), (100, Some(100)));
+        let _ = s.next_id().unwrap();
+        assert_eq!(s.size_hint(), (99, Some(99)));
     }
 }

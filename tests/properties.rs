@@ -107,6 +107,48 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The blocked (galloping) merge intersection emits exactly the id
+    /// sequence of the scalar id-at-a-time baseline, for arbitrary input
+    /// lists.
+    #[test]
+    fn blocked_merge_matches_scalar(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(any::<u16>(), 0..400),
+            1..4,
+        ),
+    ) {
+        use ghostdb_exec::{MergeIntersect, ScalarMergeIntersect};
+        use ghostdb_types::{collect_ids, IdStream, ScalarFallback, VecIdStream};
+        let lists: Vec<Vec<RowId>> = lists
+            .into_iter()
+            .map(|mut l| {
+                l.sort_unstable();
+                l.dedup();
+                l.into_iter().map(|v| RowId(v as u32)).collect()
+            })
+            .collect();
+        let blocked_inputs: Vec<Box<dyn IdStream>> = lists
+            .iter()
+            .map(|l| Box::new(VecIdStream::new(l.clone())) as Box<dyn IdStream>)
+            .collect();
+        let scalar_inputs: Vec<Box<dyn IdStream>> = lists
+            .iter()
+            .map(|l| {
+                Box::new(ScalarFallback(VecIdStream::new(l.clone()))) as Box<dyn IdStream>
+            })
+            .collect();
+        let mut blocked = MergeIntersect::new(blocked_inputs, SimClock::new(), 1);
+        let mut scalar = ScalarMergeIntersect::new(scalar_inputs, SimClock::new(), 1);
+        prop_assert_eq!(
+            collect_ids(&mut blocked).unwrap(),
+            collect_ids(&mut scalar).unwrap()
+        );
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
 
     /// Random two-level tree data: the full engine (best plan) agrees
@@ -170,5 +212,101 @@ proptest! {
         ).unwrap();
         prop_assert_eq!(out.rows.rows, expect);
         let _ = ColumnId(0);
+    }
+}
+
+mod pipeline_equivalence {
+    //! The batched (blocked) pipeline and the scalar fallback must be
+    //! observationally identical: same rows, same per-operator tuple
+    //! counts, across random plans. Only simulated timings (and the
+    //! amount of data the galloping merge *touches* on its input
+    //! streams) may differ.
+
+    use super::common::medical_db;
+    use ghostdb_exec::ExecReport;
+    use proptest::prelude::*;
+
+    /// The result-bearing operators whose tuple counts are structural:
+    /// every id/row that flows through them is part of the query's
+    /// semantics. (Source streams are excluded on purpose — the whole
+    /// point of `seek_at_least` is that the blocked merge touches fewer
+    /// of their ids.)
+    const SEMANTIC_OPS: &[&str] = &[
+        "merge-intersect",
+        "access-skt",
+        "anchor-rows",
+        "fetch-column",
+        "bloom-build",
+        "bloom-probe",
+        "hidden-verify",
+        "project",
+    ];
+
+    fn semantic_counts(report: &ExecReport) -> Vec<(String, u64, u64)> {
+        report
+            .ops
+            .iter()
+            .filter(|op| SEMANTIC_OPS.contains(&op.name.as_str()))
+            .map(|op| (op.name.clone(), op.tuples_in, op.tuples_out))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+        /// Every enumerated plan of a random conjunctive query returns
+        /// byte-identical rows and identical semantic tuple counts under
+        /// both pipelines.
+        #[test]
+        fn blocked_and_scalar_pipelines_agree(
+            quantity in 1i64..10,
+            q_op in 0usize..3,
+            date_frac in 0.0f64..1.0,
+            purpose in prop::sample::select(vec!["Sclerosis", "Checkup", "Diabetes"]),
+            use_type in proptest::any::<bool>(),
+        ) {
+            let (db, cfg) = medical_db(700);
+            let ops = ["=", ">", "<="];
+            let cutoff = ghostdb_types::Date(
+                cfg.date_start.0 + ((cfg.date_span_days as f64) * date_frac) as i32,
+            );
+            let mut sql = format!(
+                "SELECT Pre.PreID, Vis.Purpose, Med.Name \
+                 FROM Prescription Pre, Visit Vis, Medicine Med \
+                 WHERE Pre.Quantity {} {} \
+                   AND Vis.Date > '{}' \
+                   AND Vis.Purpose = '{}' ",
+                ops[q_op], quantity, cutoff, purpose,
+            );
+            if use_type {
+                sql.push_str("AND Med.Type = 'Antibiotic' ");
+            }
+            sql.push_str("AND Vis.VisID = Pre.VisID AND Med.MedID = Pre.MedID");
+
+            let spec = db.bind(&sql).unwrap();
+            let plans = db.plans(&sql).unwrap();
+            prop_assert!(!plans.is_empty());
+            // First, middle, and last plan: the panel spans pure
+            // Pre-filtering through Bloom-heavy Post-filtering.
+            let picks = [0, plans.len() / 2, plans.len() - 1];
+            for &pi in &picks {
+                let plan = &plans[pi].plan;
+                let blocked = db.run(&spec, plan).unwrap();
+                let scalar = db.run_scalar(&spec, plan).unwrap();
+                prop_assert_eq!(
+                    &blocked.rows.rows, &scalar.rows.rows,
+                    "rows diverge for plan {}", plan.label
+                );
+                prop_assert_eq!(
+                    blocked.report.result_rows, scalar.report.result_rows,
+                    "result_rows diverge for plan {}", plan.label
+                );
+                prop_assert_eq!(
+                    semantic_counts(&blocked.report),
+                    semantic_counts(&scalar.report),
+                    "tuple counts diverge for plan {}", plan.label
+                );
+            }
+        }
     }
 }
