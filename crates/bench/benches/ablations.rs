@@ -109,10 +109,16 @@ fn bench_verify_source(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_verify_source");
     g.sample_size(10);
     g.bench_function("shared_pair_temp", |b| {
-        b.iter(|| f.db.query_with_plan(&shared_sql, &shared_plan).expect("run"))
+        b.iter(|| {
+            f.db.query_with_plan(&shared_sql, &shared_plan)
+                .expect("run")
+        })
     });
     g.bench_function("id_only_temp", |b| {
-        b.iter(|| f.db.query_with_plan(&idonly_sql, &idonly_plan).expect("run"))
+        b.iter(|| {
+            f.db.query_with_plan(&idonly_sql, &idonly_plan)
+                .expect("run")
+        })
     });
     g.finish();
 }

@@ -41,10 +41,8 @@ fn stack() -> &'static Stack {
         let volume = Volume::new(Nand::new(device.flash.clone(), clock.clone()));
         let ram = RamBudget::new(device.ram_bytes);
         let scope = RamScope::new(&ram);
-        let (hidden, _v, _s, enc) =
-            split_dataset(&volume, &scope, &schema, &data).expect("split");
-        let indexes =
-            IndexSet::build(&volume, &scope, &schema, &tree, &data, &enc).expect("idx");
+        let (hidden, _v, _s, enc) = split_dataset(&volume, &scope, &schema, &data).expect("split");
+        let indexes = IndexSet::build(&volume, &scope, &schema, &tree, &data, &enc).expect("idx");
         let visit = schema.resolve_table("Visit").expect("t");
         let pre = schema.resolve_table("Prescription").expect("t");
         let fk_col = schema.resolve_column(pre, "VisID").expect("c").column;
@@ -77,7 +75,13 @@ fn bench_baselines(c: &mut Criterion) {
     g.bench_function("climbing_index", |b| {
         b.iter(|| {
             climbing_translate_count(
-                &s.volume, &s.ram, &s.clock, &s.device, &s.indexes, s.visit, &s.matching,
+                &s.volume,
+                &s.ram,
+                &s.clock,
+                &s.device,
+                &s.indexes,
+                s.visit,
+                &s.matching,
                 s.pre,
             )
             .expect("climb")
@@ -86,8 +90,15 @@ fn bench_baselines(c: &mut Criterion) {
     g.bench_function("join_index_chain", |b| {
         b.iter(|| {
             join_index_count(
-                &s.volume, &s.ram, &s.clock, &s.device, &s.indexes, &s.tree, s.visit,
-                &s.matching, s.pre,
+                &s.volume,
+                &s.ram,
+                &s.clock,
+                &s.device,
+                &s.indexes,
+                &s.tree,
+                s.visit,
+                &s.matching,
+                s.pre,
             )
             .expect("jidx")
         })
@@ -95,7 +106,13 @@ fn bench_baselines(c: &mut Criterion) {
     g.bench_function("grace_hash_join", |b| {
         b.iter(|| {
             grace_hash_join_count(
-                &s.volume, &s.ram, &s.clock, &s.device, &s.hidden, s.pre, s.fk_col,
+                &s.volume,
+                &s.ram,
+                &s.clock,
+                &s.device,
+                &s.hidden,
+                s.pre,
+                s.fk_col,
                 &s.matching,
             )
             .expect("grace")

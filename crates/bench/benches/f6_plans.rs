@@ -37,7 +37,9 @@ fn bench_f6(c: &mut Criterion) {
     g.bench_function("optimizer_best", |b| {
         b.iter(|| f.db.query_with_plan(&sql, &best).expect("run"))
     });
-    g.bench_function("optimize_only", |b| b.iter(|| f.db.plans(&sql).expect("plans")));
+    g.bench_function("optimize_only", |b| {
+        b.iter(|| f.db.plans(&sql).expect("plans"))
+    });
     g.finish();
 }
 

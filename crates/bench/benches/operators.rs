@@ -10,9 +10,7 @@ use ghostdb_exec::MergeIntersect;
 use ghostdb_flash::{Nand, Volume};
 use ghostdb_index::ExternalSorter;
 use ghostdb_ram::{RamBudget, RamScope};
-use ghostdb_types::{
-    collect_ids, DeviceConfig, IdStream, RowId, SimClock, VecIdStream,
-};
+use ghostdb_types::{collect_ids, DeviceConfig, IdStream, RowId, SimClock, VecIdStream};
 
 fn fixture() -> &'static Fixture {
     static FIX: OnceLock<Fixture> = OnceLock::new();
@@ -50,26 +48,22 @@ fn bench_sort(c: &mut Criterion) {
     g.sample_size(10);
     for &(n, ram) in &[(5_000usize, 64 * 1024usize), (50_000, 8 * 1024)] {
         let label = if n * 4 <= ram { "in_ram" } else { "spilling" };
-        g.bench_with_input(
-            BenchmarkId::new(label, n),
-            &(n, ram),
-            |bench, &(n, ram)| {
-                bench.iter(|| {
-                    let (volume, scope) = scratch_volume();
-                    let mut s: ExternalSorter<u32> =
-                        ExternalSorter::new(&volume, &scope, ram).expect("sorter");
-                    for i in (0..n as u32).rev() {
-                        s.push(i.wrapping_mul(2_654_435_761)).expect("push");
-                    }
-                    let mut out = s.finish().expect("finish");
-                    let mut count = 0u64;
-                    while out.next_rec().expect("rec").is_some() {
-                        count += 1;
-                    }
-                    count
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new(label, n), &(n, ram), |bench, &(n, ram)| {
+            bench.iter(|| {
+                let (volume, scope) = scratch_volume();
+                let mut s: ExternalSorter<u32> =
+                    ExternalSorter::new(&volume, &scope, ram).expect("sorter");
+                for i in (0..n as u32).rev() {
+                    s.push(i.wrapping_mul(2_654_435_761)).expect("push");
+                }
+                let mut out = s.finish().expect("finish");
+                let mut count = 0u64;
+                while out.next_rec().expect("rec").is_some() {
+                    count += 1;
+                }
+                count
+            })
+        });
     }
     g.finish();
 }
@@ -81,9 +75,11 @@ fn bench_device_ops(c: &mut Criterion) {
     // A hidden-only point query: climbing probe + SKT + hidden project.
     g.bench_function("climb_skt_project", |b| {
         b.iter(|| {
-            f.db.query("SELECT Pre.PreID, Pre.Quantity FROM Prescription Pre, Visit Vis \
-                        WHERE Vis.Purpose = 'Sclerosis' AND Vis.VisID = Pre.VisID")
-                .expect("query")
+            f.db.query(
+                "SELECT Pre.PreID, Pre.Quantity FROM Prescription Pre, Visit Vis \
+                        WHERE Vis.Purpose = 'Sclerosis' AND Vis.VisID = Pre.VisID",
+            )
+            .expect("query")
         })
     });
     // Pure hidden scan fallback (no index on FK columns).

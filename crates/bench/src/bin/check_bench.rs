@@ -1,0 +1,62 @@
+//! Perf-trajectory gate checker: reads every `BENCH_PR*.json` at the
+//! repo root and fails (exit 1) if any recorded gate regressed.
+//!
+//! Usage: `cargo run --release -p ghostdb-bench --bin check_bench`
+//! (CI's bench-smoke job). Gate semantics live in
+//! [`ghostdb_bench::gates`].
+
+use ghostdb_bench::gates::{check_gates, parse_acceptance};
+
+fn main() {
+    let mut files: Vec<String> = std::fs::read_dir(".")
+        .expect("read repo root")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_PR") && n.ends_with(".json"))
+        .collect();
+    files.sort();
+
+    if files.is_empty() {
+        eprintln!("check_bench: no BENCH_PR*.json files found in the current directory");
+        std::process::exit(1);
+    }
+
+    let mut failed = false;
+    for name in &files {
+        let body = match std::fs::read_to_string(name) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("FAIL {name}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match parse_acceptance(&body) {
+            Err(e) => {
+                eprintln!("FAIL {name}: {e}");
+                failed = true;
+            }
+            Ok(entries) => {
+                let violations = check_gates(&entries);
+                if violations.is_empty() {
+                    let gates = entries
+                        .iter()
+                        .filter(|(k, _)| k.contains("_gate") || k == "pass")
+                        .count();
+                    println!("OK   {name}: {gates} gate(s) hold");
+                } else {
+                    failed = true;
+                    for v in violations {
+                        eprintln!("FAIL {name}: {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("check_bench: perf trajectory regressed");
+        std::process::exit(1);
+    }
+    println!("check_bench: all {} file(s) pass", files.len());
+}

@@ -17,10 +17,10 @@ use ghostdb_flash::{Nand, Volume};
 use ghostdb_index::IndexSet;
 use ghostdb_ram::{RamBudget, RamScope};
 use ghostdb_storage::split_dataset;
-use ghostdb_types::{
-    format_ns, BusConfig, DeviceConfig, Result, RowId, SimClock, Value,
+use ghostdb_types::{format_ns, BusConfig, DeviceConfig, Result, RowId, SimClock, Value};
+use ghostdb_workload::{
+    game_queries, generate_medical, paper_query, selectivity_query, MedicalConfig,
 };
-use ghostdb_workload::{game_queries, generate_medical, paper_query, selectivity_query, MedicalConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -75,15 +75,11 @@ fn exp_f6(scale: usize) -> Result<()> {
     let f = medical_fixture(scale)?;
     let sql = paper_query(f.mid_date());
     let spec = f.db.bind(&sql)?;
-    let plans = [
-        f.db.plan_pre(&spec),
-        f.db.plan_post(&spec),
-        {
-            let mut p = f.db.plans(&sql)?.remove(0).plan;
-            p.label = "best".into();
-            p
-        },
-    ];
+    let plans = [f.db.plan_pre(&spec), f.db.plan_post(&spec), {
+        let mut p = f.db.plans(&sql)?.remove(0).plan;
+        p.label = "best".into();
+        p
+    }];
     let mut measured = Vec::new();
     for p in &plans {
         measured.push(measure_plan(&f.db, &sql, p)?);
@@ -100,7 +96,10 @@ fn exp_f6(scale: usize) -> Result<()> {
             m.rows,
             bar(m.sim_ns as f64, max, 40)
         );
-        csv.push(format!("{},{},{},{}", m.label, m.sim_ns, m.ram_peak, m.rows));
+        csv.push(format!(
+            "{},{},{},{}",
+            m.label, m.sim_ns, m.ram_peak, m.rows
+        ));
     }
     ghostdb_bench::write_csv("f6_plans", "plan,sim_ns,ram_peak,rows", &csv).map_err(csv_err)?;
     println!("\n  shape check: both plans return identical rows; the spread between");
@@ -123,7 +122,11 @@ fn exp_d2a(scale: usize) -> Result<()> {
         let p2 = measure_plan(&f.db, &sql, &f.db.plan_post(&spec))?;
         let best_plan = f.db.plans(&sql)?.remove(0).plan;
         let best = measure_plan(&f.db, &sql, &best_plan)?;
-        let winner = if p1.sim_ns <= p2.sim_ns { "pre" } else { "post" };
+        let winner = if p1.sim_ns <= p2.sim_ns {
+            "pre"
+        } else {
+            "post"
+        };
         println!(
             "  {:<9} {:<13} {:<13} {:<13} {:<7} {:<8} {:<8}",
             frac,
@@ -225,14 +228,13 @@ fn exp_d1(scale: usize) -> Result<()> {
                 }
             }
         }
-        let display: u64 = f
-            .db
-            .trace()
-            .events()
-            .iter()
-            .filter(|e| !e.spy_visible())
-            .map(|e| e.bytes as u64)
-            .sum();
+        let display: u64 =
+            f.db.trace()
+                .events()
+                .iter()
+                .filter(|e| !e.spy_visible())
+                .map(|e| e.bytes as u64)
+                .sum();
         println!(
             "  {:<17} {:<11} {:<11} {:<14} {}",
             name, frames, bytes, display, leaks
@@ -266,7 +268,11 @@ fn exp_s3(scale: usize) -> Result<()> {
             let spec = f.db.bind(&sql)?;
             let p1 = measure_plan(&f.db, &sql, &f.db.plan_pre(&spec))?;
             let p2 = measure_plan(&f.db, &sql, &f.db.plan_post(&spec))?;
-            let winner = if p1.sim_ns <= p2.sim_ns { "pre" } else { "post" };
+            let winner = if p1.sim_ns <= p2.sim_ns {
+                "pre"
+            } else {
+                "post"
+            };
             println!(
                 "  {:<6} {:<11} {:<14} {:<13} {}",
                 ratio,
@@ -317,13 +323,15 @@ fn exp_b1(scale: usize) -> Result<()> {
     );
 
     let fk_col = schema.resolve_column(pre, "VisID")?.column;
-    let climb =
-        climbing_translate_count(&volume, &ram, &clock, &device, &indexes, visit, &matching, pre)?;
+    let climb = climbing_translate_count(
+        &volume, &ram, &clock, &device, &indexes, visit, &matching, pre,
+    )?;
     let jidx = join_index_count(
         &volume, &ram, &clock, &device, &indexes, &tree, visit, &matching, pre,
     )?;
-    let grace =
-        grace_hash_join_count(&volume, &ram, &clock, &device, &hidden, pre, fk_col, &matching)?;
+    let grace = grace_hash_join_count(
+        &volume, &ram, &clock, &device, &hidden, pre, fk_col, &matching,
+    )?;
     assert_eq!(climb.result_count, jidx.result_count);
     assert_eq!(climb.result_count, grace.result_count);
 
@@ -332,10 +340,25 @@ fn exp_b1(scale: usize) -> Result<()> {
         .map(|i| RowId(i as u32))
         .collect();
     let climb2 = climbing_translate_count(
-        &volume, &ram, &clock, &device, &indexes, doctor, &doc_matching, pre,
+        &volume,
+        &ram,
+        &clock,
+        &device,
+        &indexes,
+        doctor,
+        &doc_matching,
+        pre,
     )?;
     let jidx2 = join_index_count(
-        &volume, &ram, &clock, &device, &indexes, &tree, doctor, &doc_matching, pre,
+        &volume,
+        &ram,
+        &clock,
+        &device,
+        &indexes,
+        &tree,
+        doctor,
+        &doc_matching,
+        pre,
     )?;
     assert_eq!(climb2.result_count, jidx2.result_count);
 

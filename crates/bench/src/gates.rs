@@ -1,0 +1,210 @@
+//! Perf-trajectory gate checking over the `BENCH_PR*.json` files.
+//!
+//! Every perf PR records its headline numbers in a `BENCH_PR<n>.json`
+//! at the repo root, with an `"acceptance"` object naming the measured
+//! values and their gates. The `check_bench` binary (CI's bench-smoke
+//! job) parses every file with this module and fails the build if any
+//! recorded gate regressed — the trajectory is enforced, not
+//! aspirational.
+//!
+//! Gate naming convention inside `"acceptance"`:
+//!
+//! * `<name>_gate_min`: the sibling key `<name>` must be **≥** the gate
+//!   (throughputs, speedups).
+//! * `<name>_gate_max`: the sibling key `<name>` must be **≤** the gate
+//!   (write amplification, wear spread).
+//! * `<prefix>_gate` (legacy, PR 1): the measured key is the one
+//!   starting with `<prefix>` (e.g. `merge_gate` gates
+//!   `merge_speedup_100k`), and must be **≥** the gate.
+//! * `pass`: must be present and `true` (the runner's own verdict).
+//!
+//! The parser handles exactly the flat number/bool acceptance objects
+//! our runners emit — no external JSON crate (the build is offline).
+
+/// A value in an acceptance object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateValue {
+    /// A JSON number.
+    Num(f64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+/// Extract the flat `"acceptance": { ... }` object from a bench JSON
+/// file as `(key, value)` pairs. Errors on a missing or malformed
+/// object.
+pub fn parse_acceptance(json: &str) -> Result<Vec<(String, GateValue)>, String> {
+    let start = json
+        .find("\"acceptance\"")
+        .ok_or_else(|| "no \"acceptance\" object".to_string())?;
+    let open = json[start..]
+        .find('{')
+        .map(|i| start + i)
+        .ok_or_else(|| "no '{' after \"acceptance\"".to_string())?;
+    let close = json[open..]
+        .find('}')
+        .map(|i| open + i)
+        .ok_or_else(|| "unterminated acceptance object".to_string())?;
+    let body = &json[open + 1..close];
+
+    let mut entries = Vec::new();
+    for field in body.split(',') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| format!("malformed acceptance field {field:?}"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim();
+        let parsed = match value {
+            "true" => GateValue::Bool(true),
+            "false" => GateValue::Bool(false),
+            num => GateValue::Num(
+                num.parse::<f64>()
+                    .map_err(|_| format!("non-numeric acceptance value {num:?} for {key}"))?,
+            ),
+        };
+        entries.push((key, parsed));
+    }
+    Ok(entries)
+}
+
+fn num_of(entries: &[(String, GateValue)], key: &str) -> Option<f64> {
+    entries.iter().find_map(|(k, v)| match v {
+        GateValue::Num(n) if k == key => Some(*n),
+        _ => None,
+    })
+}
+
+/// Apply the gate rules to one parsed acceptance object; returns the
+/// list of violations (empty = all gates hold).
+pub fn check_gates(entries: &[(String, GateValue)]) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    match entries.iter().find(|(k, _)| k == "pass") {
+        Some((_, GateValue::Bool(true))) => {}
+        Some((_, v)) => violations.push(format!("\"pass\" is {v:?}, expected true")),
+        None => violations.push("acceptance object has no \"pass\" verdict".to_string()),
+    }
+
+    for (key, value) in entries {
+        let GateValue::Num(gate) = *value else {
+            continue;
+        };
+        if let Some(name) = key.strip_suffix("_gate_min") {
+            match num_of(entries, name) {
+                Some(measured) if measured >= gate => {}
+                Some(measured) => {
+                    violations.push(format!("{name} = {measured} regressed below gate {gate}"))
+                }
+                None => violations.push(format!("gate {key} has no measured sibling {name}")),
+            }
+        } else if let Some(name) = key.strip_suffix("_gate_max") {
+            match num_of(entries, name) {
+                Some(measured) if measured <= gate => {}
+                Some(measured) => {
+                    violations.push(format!("{name} = {measured} regressed above gate {gate}"))
+                }
+                None => violations.push(format!("gate {key} has no measured sibling {name}")),
+            }
+        } else if let Some(prefix) = key.strip_suffix("_gate") {
+            // Legacy form: gate the measured key sharing the prefix.
+            let measured = entries.iter().find_map(|(k, v)| match v {
+                GateValue::Num(n) if k != key && k.starts_with(prefix) && !k.contains("_gate") => {
+                    Some((k.clone(), *n))
+                }
+                _ => None,
+            });
+            match measured {
+                Some((_, m)) if m >= gate => {}
+                Some((name, m)) => {
+                    violations.push(format!("{name} = {m} regressed below gate {gate}"))
+                }
+                None => violations.push(format!(
+                    "gate {key} has no measured sibling starting with {prefix:?}"
+                )),
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PR1_STYLE: &str = r#"{
+  "pr": 1,
+  "results": [],
+  "acceptance": {
+    "merge_speedup_100k": 34.42,
+    "merge_gate": 3.0,
+    "bloom_speedup_100k": 2.11,
+    "bloom_gate": 2.0,
+    "pass": true
+  }
+}"#;
+
+    #[test]
+    fn pr1_file_parses_and_passes() {
+        let entries = parse_acceptance(PR1_STYLE).unwrap();
+        assert_eq!(entries.len(), 5);
+        assert_eq!(num_of(&entries, "merge_speedup_100k"), Some(34.42));
+        assert!(check_gates(&entries).is_empty());
+    }
+
+    #[test]
+    fn legacy_gate_regression_is_caught() {
+        let json = PR1_STYLE.replace("34.42", "2.9");
+        let entries = parse_acceptance(&json).unwrap();
+        let v = check_gates(&entries);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("merge_speedup_100k"), "{v:?}");
+    }
+
+    #[test]
+    fn min_and_max_gates() {
+        let json = r#"{"acceptance": {
+            "gc_reclaim_mb_per_s": 120.5,
+            "gc_reclaim_mb_per_s_gate_min": 10.0,
+            "write_amp": 1.4,
+            "write_amp_gate_max": 2.0,
+            "pass": true
+        }}"#;
+        let entries = parse_acceptance(json).unwrap();
+        assert!(check_gates(&entries).is_empty());
+
+        let worse = json.replace("1.4", "2.5");
+        let v = check_gates(&parse_acceptance(&worse).unwrap());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("write_amp"), "{v:?}");
+
+        let slower = json.replace("120.5", "3.0");
+        let v = check_gates(&parse_acceptance(&slower).unwrap());
+        assert!(v[0].contains("gc_reclaim_mb_per_s"), "{v:?}");
+    }
+
+    #[test]
+    fn pass_false_or_missing_fails() {
+        let json = PR1_STYLE.replace("\"pass\": true", "\"pass\": false");
+        assert!(!check_gates(&parse_acceptance(&json).unwrap()).is_empty());
+        let json = r#"{"acceptance": {"x": 1.0}}"#;
+        assert!(!check_gates(&parse_acceptance(json).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn missing_acceptance_is_an_error() {
+        assert!(parse_acceptance("{\"pr\": 9}").is_err());
+        assert!(parse_acceptance("{\"acceptance\": 3}").is_err());
+    }
+
+    #[test]
+    fn dangling_gate_is_a_violation() {
+        let json = r#"{"acceptance": {"lonely_gate_min": 5.0, "pass": true}}"#;
+        let v = check_gates(&parse_acceptance(json).unwrap());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("lonely"), "{v:?}");
+    }
+}

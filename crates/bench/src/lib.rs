@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gates;
+
 use std::io::Write as _;
 use std::path::Path;
 
@@ -77,11 +79,7 @@ pub struct Measured {
 }
 
 /// Execute `sql` under `plan` and collect the headline numbers.
-pub fn measure_plan(
-    db: &GhostDb,
-    sql: &str,
-    plan: &ghostdb_exec::Plan,
-) -> Result<Measured> {
+pub fn measure_plan(db: &GhostDb, sql: &str, plan: &ghostdb_exec::Plan) -> Result<Measured> {
     let out = db.query_with_plan(sql, plan)?;
     Ok(Measured {
         label: plan.label.clone(),
@@ -224,10 +222,7 @@ pub mod vectorized {
 
     /// Build a cache-line-blocked filter with the same sizing, filled
     /// through `insert_batch`.
-    pub fn bloom_blocked_filter(
-        members: &[u64],
-        scope: &RamScope,
-    ) -> Result<BlockedBloomFilter> {
+    pub fn bloom_blocked_filter(members: &[u64], scope: &RamScope) -> Result<BlockedBloomFilter> {
         let mut f = BlockedBloomFilter::for_capacity(scope, members.len(), 0.01)?;
         f.insert_batch(members);
         Ok(f)

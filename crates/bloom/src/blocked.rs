@@ -96,8 +96,7 @@ impl BlockedBloomFilter {
         let start = (h2 >> 60) as usize;
         // Fixed-size array ref: the compiler sees `(start+i) % 8 < 8`
         // and drops every bounds check from the hot loop.
-        let block: &mut [u64; WORDS_PER_BLOCK] = (&mut self.words
-            [base..base + WORDS_PER_BLOCK])
+        let block: &mut [u64; WORDS_PER_BLOCK] = (&mut self.words[base..base + WORDS_PER_BLOCK])
             .try_into()
             .expect("one block");
         for i in 0..self.k as usize {

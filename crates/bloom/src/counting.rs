@@ -94,7 +94,10 @@ impl CountingBloom {
 
     /// Membership test.
     pub fn contains(&self, key: u64) -> bool {
-        self.slots(key).collect::<Vec<_>>().iter().all(|&s| self.get(s) > 0)
+        self.slots(key)
+            .collect::<Vec<_>>()
+            .iter()
+            .all(|&s| self.get(s) > 0)
     }
 
     /// Heap bytes held by the counter array (4 bits per slot).
@@ -129,7 +132,10 @@ mod tests {
             f.remove(i);
         }
         // Removed keys are (very likely) gone, remaining keys must stay.
-        assert!((50..100).all(|i| f.contains(i)), "false negative after remove");
+        assert!(
+            (50..100).all(|i| f.contains(i)),
+            "false negative after remove"
+        );
         let still: usize = (0..50u64).filter(|&i| f.contains(i)).count();
         assert!(still < 10, "{still} of 50 removed keys still present");
     }

@@ -288,8 +288,7 @@ mod tests {
         assert_eq!(optimal_hashes(usize::MAX / 2, 1), 16);
         // A filter built from fully degenerate sizing still works.
         let s = scope(64 * 1024);
-        let f =
-            BloomFilter::with_params(&s, optimal_bits(0, 1.0), optimal_hashes(0, 0)).unwrap();
+        let f = BloomFilter::with_params(&s, optimal_bits(0, 1.0), optimal_hashes(0, 0)).unwrap();
         assert!(!f.contains(42));
     }
 

@@ -112,7 +112,8 @@ impl Bus {
             )));
         }
         let payload = msg.to_bytes();
-        self.clock.advance(self.config.transfer_cost_ns(payload.len()));
+        self.clock
+            .advance(self.config.transfer_cost_ns(payload.len()));
         let ctr = if to == Endpoint::Device {
             &self.to_device
         } else {
@@ -327,8 +328,6 @@ mod tests {
         };
         b.transmit(Endpoint::Pc, Endpoint::Device, &e).unwrap();
         b.transmit(Endpoint::Device, Endpoint::Pc, &e).unwrap();
-        assert!(b
-            .transmit(Endpoint::Device, Endpoint::Display, &e)
-            .is_err());
+        assert!(b.transmit(Endpoint::Device, Endpoint::Display, &e).is_err());
     }
 }

@@ -286,7 +286,10 @@ mod tests {
         });
         roundtrip(Message::ColumnChunk {
             request: 9,
-            pairs: vec![(RowId(1), Value::Int(5)), (RowId(2), Value::Text("x".into()))],
+            pairs: vec![
+                (RowId(1), Value::Int(5)),
+                (RowId(2), Value::Text("x".into())),
+            ],
             done: true,
         });
         roundtrip(Message::Error {

@@ -107,9 +107,8 @@ impl BusTrace {
 
     /// Render the spy's view as a table (demo phase 1).
     pub fn spy_report(&self) -> String {
-        let mut out = String::from(
-            "seq  time           dir            kind           bytes  summary\n",
-        );
+        let mut out =
+            String::from("seq  time           dir            kind           bytes  summary\n");
         for ev in self.spy_frames() {
             let dir = format!("{:?} -> {:?}", ev.from, ev.to);
             out.push_str(&format!(

@@ -72,10 +72,13 @@ impl TableDef {
 
     /// Foreign-key columns with their referenced tables.
     pub fn foreign_keys(&self) -> impl Iterator<Item = (ColumnId, TableId)> + '_ {
-        self.columns.iter().enumerate().filter_map(|(i, c)| match c.role {
-            ColumnRole::ForeignKey(t) => Some((ColumnId(i as u16), t)),
-            _ => None,
-        })
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match c.role {
+                ColumnRole::ForeignKey(t) => Some((ColumnId(i as u16), t)),
+                _ => None,
+            })
     }
 }
 
@@ -348,7 +351,9 @@ impl TableSlot<'_> {
             role: ColumnRole::ForeignKey(TableId(u16::MAX)),
         });
         let idx = cols.len() - 1;
-        self.builder.tables[self.index].3.push((idx, target.to_string()));
+        self.builder.tables[self.index]
+            .3
+            .push((idx, target.to_string()));
         self
     }
 }

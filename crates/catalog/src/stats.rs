@@ -73,10 +73,7 @@ impl ColumnStats {
     pub fn build(values: &[Value], buckets: usize) -> ColumnStats {
         let rows = values.len() as u64;
         let mut distinct_probe: Vec<&Value> = values.iter().collect();
-        distinct_probe.sort_by(|a, b| {
-            a.cmp_same_type(b)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        distinct_probe.sort_by(|a, b| a.cmp_same_type(b).unwrap_or(std::cmp::Ordering::Equal));
         distinct_probe.dedup_by(|a, b| a == b);
         let distinct = distinct_probe.len() as u64;
         let keys: Option<Vec<u64>> = values.iter().map(|v| v.order_key()).collect();
@@ -143,10 +140,7 @@ impl SchemaStats {
 
     /// Cardinality of a table (0 if unknown).
     pub fn rows(&self, table: ghostdb_types::TableId) -> u64 {
-        self.tables
-            .get(table.index())
-            .map(|t| t.rows)
-            .unwrap_or(0)
+        self.tables.get(table.index()).map(|t| t.rows).unwrap_or(0)
     }
 
     /// Stats for one column, if collected.
@@ -186,7 +180,7 @@ mod tests {
     fn histogram_empty_and_skewed() {
         let h = Histogram::build(vec![], 10);
         assert_eq!(h.fraction_le(5), 0.5); // agnostic default
-        // 90% of mass at one value.
+                                           // 90% of mass at one value.
         let mut keys = vec![7u64; 900];
         keys.extend(0..100u64);
         let h = Histogram::build(keys, 20);
@@ -240,7 +234,10 @@ mod tests {
             table: TableId(0),
             column: ColumnId(0),
         };
-        assert_eq!(stats.selectivity(missing, ScalarOp::Eq, &Value::Int(1)), 0.1);
+        assert_eq!(
+            stats.selectivity(missing, ScalarOp::Eq, &Value::Int(1)),
+            0.1
+        );
     }
 
     #[test]

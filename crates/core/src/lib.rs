@@ -33,9 +33,7 @@ use ghostdb_index::IndexSet;
 use ghostdb_ram::{RamBudget, RamScope};
 use ghostdb_sql::{bind_schema, bind_select, parse_statements, Statement};
 use ghostdb_storage::{split_dataset, Dataset, HiddenStore};
-use ghostdb_types::{
-    format_ns, DeviceConfig, GhostError, Result, Sealed, SimClock, Value,
-};
+use ghostdb_types::{format_ns, DeviceConfig, GhostError, Result, Sealed, SimClock, Value};
 
 /// Summary of the secure bulk load.
 #[derive(Debug, Clone)]
@@ -437,9 +435,7 @@ mod tests {
     fn explain_lists_costed_plans() {
         let db = tiny();
         let text = db
-            .explain(
-                "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Checkup'",
-            )
+            .explain("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Checkup'")
             .unwrap();
         assert!(text.contains("candidate plan"));
         assert!(text.contains("estimated"));

@@ -132,7 +132,11 @@ fn partition_join(
         for _ in 0..probe_n {
             r.read_exact(&mut buf)?;
             clock.advance(config.cpu.tuple_op_ns);
-            if table.as_slice().binary_search(&u64::from_le_bytes(buf)).is_ok() {
+            if table
+                .as_slice()
+                .binary_search(&u64::from_le_bytes(buf))
+                .is_ok()
+            {
                 count += 1;
             }
         }

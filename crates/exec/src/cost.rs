@@ -56,7 +56,10 @@ impl<'a> CostModel<'a> {
     /// Sequential write of `bytes` to flash.
     fn seq_write(&self, bytes: f64) -> f64 {
         (bytes / self.page()).ceil().max(0.0)
-            * self.config.flash.program_cost_ns(self.config.flash.page_size) as f64
+            * self
+                .config
+                .flash
+                .program_cost_ns(self.config.flash.page_size) as f64
     }
 
     /// One random read of `bytes` within a page.
@@ -135,8 +138,8 @@ impl<'a> CostModel<'a> {
                 let out = sel * anchor_rows;
                 let entries_touched = (sel * distinct).max(1.0);
                 let entry_w = 8.0; // key probe reads
-                let dir = (distinct.log2().max(1.0) + entries_touched)
-                    * self.rand_read(entry_w as usize);
+                let dir =
+                    (distinct.log2().max(1.0) + entries_touched) * self.rand_read(entry_w as usize);
                 let postings = self.seq_read(out * 4.0);
                 let union = if entries_touched > 1.5 {
                     self.sort(out * 4.0, 16.0 * 1024.0)
@@ -222,11 +225,7 @@ impl<'a> CostModel<'a> {
         let candidates = (anchor_rows * pre_sel).max(0.0);
 
         // SKT access: ascending candidates; page-batched.
-        let skt_tables = self
-            .schema
-            .tables()
-            .len()
-            .min(spec.tables.len().max(1)) as f64;
+        let skt_tables = self.schema.tables().len().min(spec.tables.len().max(1)) as f64;
         let row_w = skt_tables.max(1.0) * 4.0;
         let skt_pages = anchor_rows * row_w / self.page();
         let dense_cost = self.seq_read(anchor_rows * row_w);
@@ -270,9 +269,7 @@ impl<'a> CostModel<'a> {
                     let fpr = 0.01;
                     let positives = surviving * (sel + fpr);
                     cost += self.hash(surviving * 7.0)
-                        + positives
-                            * matches.log2().max(1.0)
-                            * self.rand_read(rec_w as usize);
+                        + positives * matches.log2().max(1.0) * self.rand_read(rec_w as usize);
                     surviving *= sel;
                 }
                 PostStep::HiddenVerify { pred } => {
@@ -299,30 +296,23 @@ impl<'a> CostModel<'a> {
             } else {
                 // Fetch once (unless a bloom step already fetched it).
                 let already = plan.post.iter().any(|s| match s {
-                    PostStep::BloomVisible { pred } => {
-                        spec.predicates[*pred].column == *cref
-                    }
+                    PostStep::BloomVisible { pred } => spec.predicates[*pred].column == *cref,
                     _ => false,
                 });
                 let t_rows = self.rows(cref.table);
                 let filter_sel: f64 = spec
                     .predicates
                     .iter()
-                    .filter(|p| {
-                        !self.schema.is_hidden(p.column) && p.column.table == cref.table
-                    })
+                    .filter(|p| !self.schema.is_hidden(p.column) && p.column.table == cref.table)
                     .map(|p| self.selectivity(p))
                     .next()
                     .unwrap_or(1.0);
                 let fetched = t_rows * filter_sel;
                 let vw = self.value_width(*cref);
                 if !already {
-                    cost += self.bus(fetched * (4.0 + vw))
-                        + self.seq_write(fetched * (4.0 + vw));
+                    cost += self.bus(fetched * (4.0 + vw)) + self.seq_write(fetched * (4.0 + vw));
                 }
-                cost += surviving
-                    * fetched.log2().max(1.0)
-                    * self.rand_read((4.0 + vw) as usize);
+                cost += surviving * fetched.log2().max(1.0) * self.rand_read((4.0 + vw) as usize);
             }
         }
         cost + self.cpu(surviving)

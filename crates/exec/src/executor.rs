@@ -48,8 +48,8 @@ use ghostdb_index::{IndexSet, TRANSLATE_SORT_RAM};
 use ghostdb_ram::{RamBudget, RamScope};
 use ghostdb_storage::{HiddenStore, KeyRange};
 use ghostdb_types::{
-    ColumnId, DeviceConfig, GhostError, IdBlock, IdStream, Result, RowId, ScalarFallback,
-    SimClock, TableId, Value, BLOCK_CAP,
+    ColumnId, DeviceConfig, GhostError, IdBlock, IdStream, Result, RowId, ScalarFallback, SimClock,
+    TableId, Value, BLOCK_CAP,
 };
 
 use crate::ops::{FullScanSource, MergeIntersect, ScalarMergeIntersect};
@@ -146,7 +146,9 @@ impl IdStream for Timed<'_> {
             .ns
             .fetch_add(self.clock.now().since(t0), Ordering::Relaxed);
         if r.is_ok() {
-            self.meter.out.fetch_add(block.len() as u64, Ordering::Relaxed);
+            self.meter
+                .out
+                .fetch_add(block.len() as u64, Ordering::Relaxed);
         }
         r
     }
@@ -208,8 +210,7 @@ impl<'b> BatchedBloomFill<'b> {
 
     fn flush(&mut self) {
         self.bloom.insert_batch(&self.pending);
-        self.clock
-            .advance(self.key_ns * self.pending.len() as u64);
+        self.clock.advance(self.key_ns * self.pending.len() as u64);
         self.pending.clear();
     }
 }
@@ -261,16 +262,15 @@ pub fn execute(
 
     let fetch_scope = RamScope::new(ctx.ram);
     let fetch_one = |cref: ghostdb_catalog::ColumnRef,
-                         filter: Option<&Predicate>,
-                         bloom: Option<&mut BlockedBloomFilter>|
+                     filter: Option<&Predicate>,
+                     bloom: Option<&mut BlockedBloomFilter>|
      -> Result<(VisibleTemp, OpStats)> {
         let def = ctx.schema.column_def(cref);
         let t0 = ctx.clock.now();
         let mut pairs = ctx.pc.fetch_column(cref.table, cref.column, filter)?;
         let temp = match bloom {
             Some(b) => {
-                let mut fill =
-                    BatchedBloomFill::new(b, ctx.clock.clone(), ctx.config.cpu.hash_ns);
+                let mut fill = BatchedBloomFill::new(b, ctx.clock.clone(), ctx.config.cpu.hash_ns);
                 let temp = {
                     let mut hook = |id: RowId| fill.push(id.0 as u64);
                     VisibleTemp::build(
@@ -480,9 +480,18 @@ pub fn execute(
 
     // Precompute projection dispatch.
     enum Proj {
-        Pk { col: usize },
-        Hidden { table: TableId, column: ColumnId, col: usize },
-        Visible { key: (u16, u16), col: usize },
+        Pk {
+            col: usize,
+        },
+        Hidden {
+            table: TableId,
+            column: ColumnId,
+            col: usize,
+        },
+        Visible {
+            key: (u16, u16),
+            col: usize,
+        },
     }
     let mut projs: Vec<Proj> = Vec::new();
     for cref in &spec.projections {
@@ -524,8 +533,8 @@ pub fn execute(
     // verification scans' page buffers; preallocated exactly so the
     // tracked vector never grows past its share.
     let page = ctx.volume.page_size();
-    let batch_cap = ((ctx.ram.available() / 2).saturating_sub(2 * page) / row_width.max(1))
-        .clamp(16, 8192);
+    let batch_cap =
+        ((ctx.ram.available() / 2).saturating_sub(2 * page) / row_width.max(1)).clamp(16, 8192);
     let batch_scope = RamScope::new(ctx.ram);
     let mut batch: ghostdb_ram::TrackedVec<RowId> =
         ghostdb_ram::TrackedVec::with_capacity(&batch_scope, batch_cap * n_cols)?;
@@ -605,9 +614,8 @@ pub fn execute(
                 }
             }
             bloom_runtime[bi].0 += probe_keys.len() as u64;
-            ctx.clock.advance(
-                ctx.config.cpu.hash_ns * b.bloom.k() as u64 * probe_keys.len() as u64,
-            );
+            ctx.clock
+                .advance(ctx.config.cpu.hash_ns * b.bloom.k() as u64 * probe_keys.len() as u64);
             b.bloom.probe_batch(&probe_keys, &mut probe_hits);
             let mut positives: Vec<(RowId, usize)> = Vec::new();
             for ((&key, &row), &hit) in probe_keys.iter().zip(&probe_rows).zip(&probe_hits) {
@@ -663,9 +671,9 @@ pub fn execute(
                 let pass = match v.range {
                     None => false,
                     Some(r) => {
-                        let key = ctx
-                            .hidden
-                            .key_at(v.pred.column.table, v.pred.column.column, member)?;
+                        let key =
+                            ctx.hidden
+                                .key_at(v.pred.column.table, v.pred.column.column, member)?;
                         r.contains(key)
                     }
                 };
@@ -690,12 +698,12 @@ pub fn execute(
                 ctx.clock.advance(ctx.config.cpu.tuple_op_ns);
                 match p {
                     Proj::Pk { col } => row.push(Value::Int(row_ids[*col].0 as i64)),
-                    Proj::Hidden { table, column, col } => row.push(ctx.hidden.value(
-                        &probe_scope,
-                        *table,
-                        *column,
-                        row_ids[*col],
-                    )?),
+                    Proj::Hidden { table, column, col } => {
+                        row.push(
+                            ctx.hidden
+                                .value(&probe_scope, *table, *column, row_ids[*col])?,
+                        )
+                    }
                     Proj::Visible { key, col } => {
                         let prober = proj_probers
                             .get_mut(key)
@@ -848,8 +856,7 @@ fn build_source<'a>(
                             .filter_scan(&scope, p.column.table, p.column.column, r)?;
                     // One comparison per stored tuple.
                     ctx.clock.advance(
-                        ctx.config.cpu.tuple_op_ns
-                            * ctx.hidden.row_count(p.column.table) as u64,
+                        ctx.config.cpu.tuple_op_ns * ctx.hidden.row_count(p.column.table) as u64,
                     );
                     if p.column.table == anchor {
                         Box::new(scan) as Box<dyn IdStream + 'a>
@@ -881,9 +888,9 @@ fn build_source<'a>(
             for &i in hidden {
                 let p = &spec.predicates[i];
                 let idx = ctx.indexes.value_index(p.column)?;
-                let range = ctx
-                    .hidden
-                    .key_range(p.column.table, p.column.column, p.op, &p.value)?;
+                let range =
+                    ctx.hidden
+                        .key_range(p.column.table, p.column.column, p.op, &p.value)?;
                 level_streams.push(match range {
                     None => empty(),
                     Some(r) => Box::new(idx.lookup(&scope, r, *table, ctx.sort_ram())?),

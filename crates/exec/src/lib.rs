@@ -35,11 +35,13 @@ mod query;
 mod stats;
 mod temp;
 
-pub use baseline::{climbing_translate_count, grace_hash_join_count, join_index_count, BaselineReport};
+pub use baseline::{
+    climbing_translate_count, grace_hash_join_count, join_index_count, BaselineReport,
+};
 pub use cost::CostModel;
 pub use executor::{execute, ExecContext, PipelineMode};
 pub use ops::{FullScanSource, MergeIntersect, ScalarMergeIntersect};
-pub use optimizer::{enumerate_plans, plan_all_pre, plan_all_post, CostedPlan, Optimizer};
+pub use optimizer::{enumerate_plans, plan_all_post, plan_all_pre, CostedPlan, Optimizer};
 pub use pc::{PairStream, PcLink, VecPairStream};
 pub use plan::{Plan, PostStep, Source};
 pub use query::QuerySpec;

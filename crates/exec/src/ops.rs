@@ -324,9 +324,7 @@ mod tests {
     fn intersect_scalar(lists: Vec<Vec<u32>>) -> Vec<RowId> {
         let inputs: Vec<Box<dyn IdStream>> = lists
             .into_iter()
-            .map(|l| {
-                Box::new(ScalarFallback(VecIdStream::new(ids(l)))) as Box<dyn IdStream>
-            })
+            .map(|l| Box::new(ScalarFallback(VecIdStream::new(ids(l)))) as Box<dyn IdStream>)
             .collect();
         let mut m = ScalarMergeIntersect::new(inputs, SimClock::new(), 1);
         collect_ids(&mut m).unwrap()
@@ -382,9 +380,12 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             ((state >> 33) as u32) % m
         };
-        for &(n_lists, len, stride) in
-            &[(2usize, 5_000u32, 3u32), (3, 2_000, 7), (4, 800, 2), (2, 3_000, 1)]
-        {
+        for &(n_lists, len, stride) in &[
+            (2usize, 5_000u32, 3u32),
+            (3, 2_000, 7),
+            (4, 800, 2),
+            (2, 3_000, 1),
+        ] {
             let mut lists: Vec<Vec<u32>> = Vec::new();
             for _ in 0..n_lists {
                 let mut v: Vec<u32> = (0..len).map(|_| next(len * stride)).collect();

@@ -212,7 +212,10 @@ pub fn enumerate_plans(
         .filter(|p| p.validate(schema, spec).is_ok())
         .map(|p| {
             let est = model.plan_cost(spec, &p);
-            CostedPlan { plan: p, est_ns: est }
+            CostedPlan {
+                plan: p,
+                est_ns: est,
+            }
         })
         .collect();
     costed.sort_by(|a, b| a.est_ns.total_cmp(&b.est_ns));
@@ -254,7 +257,14 @@ impl<'a> Optimizer<'a> {
         spec: &QuerySpec,
         has_index: impl Fn(ColumnRef) -> bool + Copy,
     ) -> Result<Vec<CostedPlan>> {
-        enumerate_plans(self.schema, self.tree, self.stats, self.config, spec, has_index)
+        enumerate_plans(
+            self.schema,
+            self.tree,
+            self.stats,
+            self.config,
+            spec,
+            has_index,
+        )
     }
 
     /// The cheapest plan.
@@ -334,18 +344,23 @@ mod tests {
     #[test]
     fn enumeration_covers_pre_post_and_cross() {
         let (schema, tree, stats, config, spec) = setup();
-        let plans =
-            enumerate_plans(&schema, &tree, &stats, &config, &spec, |_| true).unwrap();
+        let plans = enumerate_plans(&schema, &tree, &stats, &config, &spec, |_| true).unwrap();
         assert!(plans.len() >= 6, "only {} plans", plans.len());
         // All valid, sorted by cost.
         assert!(plans.windows(2).all(|w| w[0].est_ns <= w[1].est_ns));
-        let has_cross = plans
-            .iter()
-            .any(|p| p.plan.sources.iter().any(|s| matches!(s, Source::CrossGroup { .. })));
+        let has_cross = plans.iter().any(|p| {
+            p.plan
+                .sources
+                .iter()
+                .any(|s| matches!(s, Source::CrossGroup { .. }))
+        });
         assert!(has_cross, "no cross-filtering variant enumerated");
-        let has_post = plans
-            .iter()
-            .any(|p| p.plan.post.iter().any(|s| matches!(s, PostStep::BloomVisible { .. })));
+        let has_post = plans.iter().any(|p| {
+            p.plan
+                .post
+                .iter()
+                .any(|s| matches!(s, PostStep::BloomVisible { .. }))
+        });
         assert!(has_post);
     }
 

@@ -67,10 +67,8 @@ mod tests {
 
     #[test]
     fn vec_pair_stream_yields_in_order() {
-        let mut s = VecPairStream::new(vec![
-            (RowId(1), Value::Int(10)),
-            (RowId(4), Value::Int(40)),
-        ]);
+        let mut s =
+            VecPairStream::new(vec![(RowId(1), Value::Int(10)), (RowId(4), Value::Int(40))]);
         assert_eq!(s.next_pair().unwrap(), Some((RowId(1), Value::Int(10))));
         assert_eq!(s.next_pair().unwrap(), Some((RowId(4), Value::Int(40))));
         assert_eq!(s.next_pair().unwrap(), None);

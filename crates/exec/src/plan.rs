@@ -116,9 +116,7 @@ impl Plan {
             match s {
                 Source::HiddenIndexClimb { pred } | Source::HiddenScanTranslate { pred } => {
                     if !schema.is_hidden(spec.predicates[*pred].column) {
-                        return Err(GhostError::exec(
-                            "hidden source over a visible predicate",
-                        ));
+                        return Err(GhostError::exec("hidden source over a visible predicate"));
                     }
                 }
                 Source::VisibleDelegate { pred } => {
@@ -165,9 +163,7 @@ impl Plan {
                 }
                 PostStep::HiddenVerify { pred } => {
                     if !schema.is_hidden(spec.predicates[*pred].column) {
-                        return Err(GhostError::exec(
-                            "hidden verify over a visible predicate",
-                        ));
+                        return Err(GhostError::exec("hidden verify over a visible predicate"));
                     }
                 }
             }
@@ -218,11 +214,8 @@ impl Plan {
                     hidden,
                     visible,
                 } => {
-                    let members: Vec<String> = hidden
-                        .iter()
-                        .chain(visible)
-                        .map(|&i| pred_str(i))
-                        .collect();
+                    let members: Vec<String> =
+                        hidden.iter().chain(visible).map(|&i| pred_str(i)).collect();
                     format!(
                         "cross-filter at {} [{}]",
                         schema.table(*table).name,

@@ -69,9 +69,14 @@ impl QuerySpec {
             let def = schema.column_def(p.column);
             let ok = matches!(
                 (&def.ty, &p.value),
-                (ghostdb_types::DataType::Integer, ghostdb_types::Value::Int(_))
-                    | (ghostdb_types::DataType::Date, ghostdb_types::Value::Date(_))
-                    | (ghostdb_types::DataType::Char(_), ghostdb_types::Value::Text(_))
+                (
+                    ghostdb_types::DataType::Integer,
+                    ghostdb_types::Value::Int(_)
+                ) | (ghostdb_types::DataType::Date, ghostdb_types::Value::Date(_))
+                    | (
+                        ghostdb_types::DataType::Char(_),
+                        ghostdb_types::Value::Text(_)
+                    )
             );
             if !ok {
                 return Err(GhostError::sql(format!(
@@ -98,7 +103,13 @@ impl QuerySpec {
         // (a) between mentioned tables and (b) explicitly joined.
         let normalized: Vec<(ColumnRef, ColumnRef)> = joins
             .iter()
-            .map(|(a, b)| if (a.table, a.column) <= (b.table, b.column) { (*a, *b) } else { (*b, *a) })
+            .map(|(a, b)| {
+                if (a.table, a.column) <= (b.table, b.column) {
+                    (*a, *b)
+                } else {
+                    (*b, *a)
+                }
+            })
             .collect();
         for &t in &tables {
             if t == anchor {
@@ -106,9 +117,9 @@ impl QuerySpec {
             }
             let mut cur = t;
             while cur != anchor {
-                let (parent, fk_col) = tree.parent(cur).ok_or_else(|| {
-                    GhostError::sql("table not under the anchor (planner bug)")
-                })?;
+                let (parent, fk_col) = tree
+                    .parent(cur)
+                    .ok_or_else(|| GhostError::sql("table not under the anchor (planner bug)"))?;
                 if !tables.contains(&parent) {
                     return Err(GhostError::sql(format!(
                         "join path requires table {} in FROM",
@@ -253,13 +264,34 @@ mod tests {
                 cref(&s, "Visit", "Date"),
             ],
             vec![
-                Predicate::new(vis, ColumnId(1), ScalarOp::Gt, Value::Date(ghostdb_types::Date(13_000))),
-                Predicate::new(vis, ColumnId(2), ScalarOp::Eq, Value::Text("Sclerosis".into())),
-                Predicate::new(med, ColumnId(1), ScalarOp::Eq, Value::Text("Antibiotic".into())),
+                Predicate::new(
+                    vis,
+                    ColumnId(1),
+                    ScalarOp::Gt,
+                    Value::Date(ghostdb_types::Date(13_000)),
+                ),
+                Predicate::new(
+                    vis,
+                    ColumnId(2),
+                    ScalarOp::Eq,
+                    Value::Text("Sclerosis".into()),
+                ),
+                Predicate::new(
+                    med,
+                    ColumnId(1),
+                    ScalarOp::Eq,
+                    Value::Text("Antibiotic".into()),
+                ),
             ],
             vec![
-                (cref(&s, "Prescription", "MedID"), cref(&s, "Medicine", "MedID")),
-                (cref(&s, "Visit", "VisID"), cref(&s, "Prescription", "VisID")),
+                (
+                    cref(&s, "Prescription", "MedID"),
+                    cref(&s, "Medicine", "MedID"),
+                ),
+                (
+                    cref(&s, "Visit", "VisID"),
+                    cref(&s, "Prescription", "VisID"),
+                ),
             ],
         )
         .unwrap();
@@ -309,16 +341,8 @@ mod tests {
         let med = s.resolve_table("Medicine").unwrap();
         let doc = s.resolve_table("Doctor").unwrap();
         // Doctor and Medicine only connect through Prescription+Visit.
-        let err = QuerySpec::bind(
-            &s,
-            &t,
-            "SELECT ...",
-            vec![med, doc],
-            vec![],
-            vec![],
-            vec![],
-        )
-        .unwrap_err();
+        let err = QuerySpec::bind(&s, &t, "SELECT ...", vec![med, doc], vec![], vec![], vec![])
+            .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("connected") || msg.contains("FROM"), "{msg}");
     }
@@ -337,9 +361,15 @@ mod tests {
             vec![],
             vec![
                 // Correct edge join...
-                (cref(&s, "Prescription", "VisID"), cref(&s, "Visit", "VisID")),
+                (
+                    cref(&s, "Prescription", "VisID"),
+                    cref(&s, "Visit", "VisID"),
+                ),
                 // ...plus a bogus one.
-                (cref(&s, "Prescription", "Quantity"), cref(&s, "Visit", "VisID")),
+                (
+                    cref(&s, "Prescription", "Quantity"),
+                    cref(&s, "Visit", "VisID"),
+                ),
             ],
         )
         .unwrap_err();

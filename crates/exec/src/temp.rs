@@ -11,6 +11,13 @@
 //! The same structure doubles as the **exact verifier** behind Bloom
 //! post-filters: a Bloom positive is confirmed by probing the temp (a
 //! miss drops the row), so Bloom false positives never reach results.
+//!
+//! Temps are the volume's churn workload: built per query, freed when
+//! the query ends, and frequently sharing erase blocks with long-lived
+//! dataset segments. Their probers and scans address pages through the
+//! volume's logical→physical translation table, so the flash garbage
+//! collector can compact a temp's blocks *while a prober is open* —
+//! nothing here may cache physical page locations.
 
 use ghostdb_flash::{Segment, SegmentReader, Volume};
 use ghostdb_ram::{RamScope, ScopedGuard};
@@ -152,7 +159,7 @@ impl VisibleTemp {
             buf: vec![0u8; page],
             buf_page: u64::MAX,
             probes: 0,
-        _ram: guard,
+            _ram: guard,
         })
     }
 
@@ -381,7 +388,9 @@ impl TempProber<'_> {
             self.buf[off..off + width as usize].to_vec()
         } else {
             let mut raw = vec![0u8; width as usize];
-            self.temp.volume.read_at(&self.temp.segment, start, &mut raw)?;
+            self.temp
+                .volume
+                .read_at(&self.temp.segment, start, &mut raw)?;
             raw
         };
         let id = RowId(u32::from_le_bytes(raw[..4].try_into().expect("4B")));
@@ -456,8 +465,7 @@ mod tests {
             .map(|i| (RowId(i), Value::Int(i as i64 * 10)))
             .collect();
         let mut stream = VecPairStream::new(pairs);
-        let temp =
-            VisibleTemp::build(&vol, &scope, DataType::Integer, &mut stream, None).unwrap();
+        let temp = VisibleTemp::build(&vol, &scope, DataType::Integer, &mut stream, None).unwrap();
         assert_eq!(temp.len(), 17);
         let mut p = temp.prober(&scope).unwrap();
         assert_eq!(p.probe(RowId(9)).unwrap(), Some(Value::Int(90)));
@@ -476,8 +484,7 @@ mod tests {
             (RowId(9), Value::Text("0123456789".into())),
         ];
         let mut stream = VecPairStream::new(pairs);
-        let temp =
-            VisibleTemp::build(&vol, &scope, DataType::Char(10), &mut stream, None).unwrap();
+        let temp = VisibleTemp::build(&vol, &scope, DataType::Char(10), &mut stream, None).unwrap();
         let mut p = temp.prober(&scope).unwrap();
         assert_eq!(p.probe(RowId(2)).unwrap(), Some(Value::Text("ab".into())));
         assert_eq!(p.probe(RowId(5)).unwrap(), Some(Value::Text("".into())));
@@ -492,8 +499,7 @@ mod tests {
         let (vol, scope) = setup();
         let pairs = vec![(RowId(1), Value::Date(Date(13_456)))];
         let mut stream = VecPairStream::new(pairs);
-        let temp =
-            VisibleTemp::build(&vol, &scope, DataType::Date, &mut stream, None).unwrap();
+        let temp = VisibleTemp::build(&vol, &scope, DataType::Date, &mut stream, None).unwrap();
         let mut p = temp.prober(&scope).unwrap();
         assert_eq!(p.probe(RowId(1)).unwrap(), Some(Value::Date(Date(13_456))));
     }
@@ -540,8 +546,7 @@ mod tests {
     fn empty_temp_probes_none() {
         let (vol, scope) = setup();
         let mut stream = VecPairStream::new(vec![]);
-        let temp =
-            VisibleTemp::build(&vol, &scope, DataType::Integer, &mut stream, None).unwrap();
+        let temp = VisibleTemp::build(&vol, &scope, DataType::Integer, &mut stream, None).unwrap();
         assert!(temp.is_empty());
         let mut p = temp.prober(&scope).unwrap();
         assert_eq!(p.probe(RowId(0)).unwrap(), None);
@@ -550,11 +555,9 @@ mod tests {
     #[test]
     fn free_releases_flash() {
         let (vol, scope) = setup();
-        let pairs: Vec<(RowId, Value)> =
-            (0..100u32).map(|i| (RowId(i), Value::Int(1))).collect();
+        let pairs: Vec<(RowId, Value)> = (0..100u32).map(|i| (RowId(i), Value::Int(1))).collect();
         let mut stream = VecPairStream::new(pairs);
-        let temp =
-            VisibleTemp::build(&vol, &scope, DataType::Integer, &mut stream, None).unwrap();
+        let temp = VisibleTemp::build(&vol, &scope, DataType::Integer, &mut stream, None).unwrap();
         assert!(vol.usage().live_pages > 0);
         temp.free().unwrap();
         assert_eq!(vol.usage().live_pages, 0);

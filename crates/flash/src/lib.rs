@@ -21,6 +21,13 @@
 //! reclamation when segments are freed — this is where the "no in-place
 //! writes" constraint becomes visible to the query engine (sort runs are
 //! written once and never updated).
+//!
+//! Segments address their pages through a volume-owned **translation
+//! table** (logical page numbers, not physical addresses), which lets the
+//! [`Volume::gc`] garbage collector compact fragmented blocks — migrating
+//! live pages out from under open readers and long-lived datasets — with
+//! wear-aware victim and destination selection. See the `volume` module
+//! docs for the full design.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,4 +36,4 @@ mod nand;
 mod volume;
 
 pub use nand::{BlockId, FlashStats, Nand, PageAddr, PageState};
-pub use volume::{Segment, SegmentReader, SegmentWriter, Volume, VolumeUsage};
+pub use volume::{GcStats, Segment, SegmentReader, SegmentWriter, Volume, VolumeUsage};

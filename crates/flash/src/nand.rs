@@ -249,6 +249,25 @@ impl Nand {
         Ok(self.state.lock().expect("nand poisoned").wear[block.index()])
     }
 
+    /// Erase counts of every block, indexed by [`BlockId`] — the input to
+    /// the volume's wear-aware victim selection.
+    pub fn wear_snapshot(&self) -> Vec<u32> {
+        self.state.lock().expect("nand poisoned").wear.clone()
+    }
+
+    /// Index into `candidates` of the least-worn block (ties broken by
+    /// lowest block id, keeping selection deterministic), or `None` when
+    /// `candidates` is empty. One lock, no allocation — this sits on the
+    /// volume's block-open hot path.
+    pub fn least_worn(&self, candidates: &[BlockId]) -> Option<usize> {
+        let state = self.state.lock().expect("nand poisoned");
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, b)| (state.wear[b.index()], b.0))
+            .map(|(i, _)| i)
+    }
+
     /// Spread between the most- and least-worn block (wear-leveling
     /// quality metric).
     pub fn wear_spread(&self) -> (u32, u32) {

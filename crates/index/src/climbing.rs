@@ -118,9 +118,7 @@ impl ClimbingIndex {
                 .ok_or_else(|| GhostError::catalog("table missing from root subtree"))?;
             for (root_row, &t_id) in t_ids.iter().enumerate() {
                 let k = keys[t_id as usize];
-                let lists = groups
-                    .get_mut(&k)
-                    .expect("level-0 pass created every key");
+                let lists = groups.get_mut(&k).expect("level-0 pass created every key");
                 for (li, lt) in levels.iter().enumerate().skip(1) {
                     let id = if *lt == root {
                         root_row as u32
@@ -181,9 +179,7 @@ impl ClimbingIndex {
         self.levels
             .iter()
             .position(|&t| t == table)
-            .ok_or_else(|| {
-                GhostError::exec(format!("{table} is not on this index's climb path"))
-            })
+            .ok_or_else(|| GhostError::exec(format!("{table} is not on this index's climb path")))
     }
 
     /// Number of distinct keys.
@@ -332,8 +328,7 @@ impl ClimbingIndex {
         let level = self.level_of(level_table)?;
         let mut cur = DirCursor::new(scope, &self.volume)?;
         let mut reader = self.volume.reader(scope, &self.postings)?;
-        let mut sorter: ExternalSorter<u32> =
-            ExternalSorter::new(&self.volume, scope, sort_ram)?;
+        let mut sorter: ExternalSorter<u32> = ExternalSorter::new(&self.volume, scope, sort_ram)?;
         let mut buf = [0u8; 4];
         let mut block = IdBlock::new();
         loop {
@@ -583,20 +578,10 @@ mod tests {
     use ghostdb_types::{collect_ids, DataType, FlashConfig, SimClock, Value};
 
     /// Doctor <- Visit <- Prescription chain with country values.
-    fn setup() -> (
-        Volume,
-        RamScope,
-        Schema,
-        TreeSchema,
-        Dataset,
-        LoadEncoders,
-    ) {
+    fn setup() -> (Volume, RamScope, Schema, TreeSchema, Dataset, LoadEncoders) {
         let mut b = SchemaBuilder::new();
-        b.table("Doctor", "DocID").column(
-            "Country",
-            DataType::Char(10),
-            Visibility::Hidden,
-        );
+        b.table("Doctor", "DocID")
+            .column("Country", DataType::Char(10), Visibility::Hidden);
         b.table("Visit", "VisID")
             .foreign_key("DocID", "Doctor", Visibility::Hidden);
         b.table("Prescription", "PreID")
@@ -631,8 +616,7 @@ mod tests {
         };
         let volume = Volume::new(Nand::new(cfg, SimClock::new()));
         let scope = RamScope::new(&RamBudget::new(64 * 1024));
-        let (_store, encoders) =
-            HiddenStore::build(&volume, &scope, &schema, &data).unwrap();
+        let (_store, encoders) = HiddenStore::build(&volume, &scope, &schema, &data).unwrap();
         (volume, scope, schema, tree, data, encoders)
     }
 
@@ -647,14 +631,20 @@ mod tests {
             table: TableId(0),
             column: ghostdb_types::ColumnId(1),
         };
-        let idx =
-            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        let idx = ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
         assert_eq!(idx.entry_count(), 3); // France, Spain, USA
-        // Spain = doctors 1 and 4.
+                                          // Spain = doctors 1 and 4.
         let spain = enc
-            .key_of(TableId(0), ghostdb_types::ColumnId(1), &Value::Text("Spain".into()))
+            .key_of(
+                TableId(0),
+                ghostdb_types::ColumnId(1),
+                &Value::Text("Spain".into()),
+            )
             .unwrap();
-        let range = KeyRange { lo: spain, hi: spain };
+        let range = KeyRange {
+            lo: spain,
+            hi: spain,
+        };
         let mut s = idx.lookup(&scope, range, TableId(0), 4096).unwrap();
         assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![1, 4]));
     }
@@ -666,13 +656,19 @@ mod tests {
             table: TableId(0),
             column: ghostdb_types::ColumnId(1),
         };
-        let idx =
-            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        let idx = ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
         assert_eq!(idx.levels(), &[TableId(0), TableId(1), TableId(2)]);
         let spain = enc
-            .key_of(TableId(0), ghostdb_types::ColumnId(1), &Value::Text("Spain".into()))
+            .key_of(
+                TableId(0),
+                ghostdb_types::ColumnId(1),
+                &Value::Text("Spain".into()),
+            )
             .unwrap();
-        let range = KeyRange { lo: spain, hi: spain };
+        let range = KeyRange {
+            lo: spain,
+            hi: spain,
+        };
         // Visits of doctors {1,4}: visit v has doctor v%6 -> {1,4,7,10}.
         let mut s = idx.lookup(&scope, range, TableId(1), 4096).unwrap();
         assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![1, 4, 7, 10]));
@@ -691,8 +687,7 @@ mod tests {
             table: TableId(0),
             column: ghostdb_types::ColumnId(1),
         };
-        let idx =
-            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        let idx = ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
         // Range covering France + Spain (codes 0 and 1).
         let range = KeyRange { lo: 0, hi: 1 };
         let mut s = idx.lookup(&scope, range, TableId(0), 4096).unwrap();
@@ -766,12 +761,18 @@ mod tests {
             table: TableId(0),
             column: ghostdb_types::ColumnId(1),
         };
-        let idx =
-            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        let idx = ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
         let spain = enc
-            .key_of(TableId(0), ghostdb_types::ColumnId(1), &Value::Text("Spain".into()))
+            .key_of(
+                TableId(0),
+                ghostdb_types::ColumnId(1),
+                &Value::Text("Spain".into()),
+            )
             .unwrap();
-        let range = KeyRange { lo: spain, hi: spain };
+        let range = KeyRange {
+            lo: spain,
+            hi: spain,
+        };
         // Single-key probe = Direct stream; Prescription level has
         // postings {1,4,7,10,13,16,19,22}.
         let mut s = idx.lookup(&scope, range, TableId(2), 4096).unwrap();
@@ -793,9 +794,8 @@ mod tests {
             let mut fast = idx.lookup(&scope, range, TableId(2), 4096).unwrap();
             let got = fast.seek_at_least(RowId(target)).unwrap();
             assert_eq!(got, expect.map(RowId), "seek {target}");
-            let mut slow = ghostdb_types::ScalarFallback(
-                idx.lookup(&scope, range, TableId(2), 4096).unwrap(),
-            );
+            let mut slow =
+                ghostdb_types::ScalarFallback(idx.lookup(&scope, range, TableId(2), 4096).unwrap());
             assert_eq!(slow.seek_at_least(RowId(target)).unwrap(), got);
             // After an in-range seek, the stream resumes past the hit.
             if got.is_some() {
@@ -814,8 +814,7 @@ mod tests {
             table: TableId(0),
             column: ghostdb_types::ColumnId(1),
         };
-        let idx =
-            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        let idx = ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
         assert!(idx.flash_bytes() > 0);
         assert!(idx.avg_postings(0) >= 1.0);
     }

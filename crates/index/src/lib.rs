@@ -75,8 +75,7 @@ impl IndexSet {
             if !matches!(def.role, ghostdb_catalog::ColumnRole::Attribute) {
                 continue;
             }
-            let idx =
-                ClimbingIndex::build_value_index(volume, scope, tree, data, encoders, cref)?;
+            let idx = ClimbingIndex::build_value_index(volume, scope, tree, data, encoders, cref)?;
             value_indexes.insert((cref.table.0, cref.column.0), idx);
         }
         // Visible attribute columns never get climbing indexes: their
@@ -99,9 +98,9 @@ impl IndexSet {
 
     /// The SKT rooted at `table` (internal tables only).
     pub fn skt(&self, table: TableId) -> Result<&SubtreeKeyTable> {
-        self.skts.get(&table.0).ok_or_else(|| {
-            GhostError::exec(format!("no Subtree Key Table rooted at {table}"))
-        })
+        self.skts
+            .get(&table.0)
+            .ok_or_else(|| GhostError::exec(format!("no Subtree Key Table rooted at {table}")))
     }
 
     /// Climbing value index on a hidden attribute column.
@@ -119,9 +118,9 @@ impl IndexSet {
 
     /// Climbing key index on a non-root table's primary key.
     pub fn key_index(&self, table: TableId) -> Result<&ClimbingIndex> {
-        self.key_indexes.get(&table.0).ok_or_else(|| {
-            GhostError::exec(format!("no key climbing index for {table}"))
-        })
+        self.key_indexes
+            .get(&table.0)
+            .ok_or_else(|| GhostError::exec(format!("no key climbing index for {table}")))
     }
 
     /// Total flash bytes occupied by the index set (the paper's "extra

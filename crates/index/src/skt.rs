@@ -158,7 +158,9 @@ impl SktCursor<'_> {
             raw.copy_from_slice(&self.buf[off..off + width]);
         } else {
             // Row straddles pages: read it directly (rare).
-            self.skt.volume.read_at(&self.skt.segment, start, &mut raw)?;
+            self.skt
+                .volume
+                .read_at(&self.skt.segment, start, &mut raw)?;
             self.buf_page = u64::MAX;
             self.reads += 1;
         }

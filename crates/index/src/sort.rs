@@ -212,14 +212,12 @@ impl<T: SortRecord> ExternalSorter<T> {
         if self.runs.is_empty() {
             // Pure in-RAM sort.
             self.run.as_mut_slice().sort_unstable();
-            let items = std::mem::replace(
-                &mut self.run,
-                TrackedVec::with_capacity(&self.scope, 0)?,
-            );
+            let items =
+                std::mem::replace(&mut self.run, TrackedVec::with_capacity(&self.scope, 0)?);
             return Ok(SortedStream::Ram { items, pos: 0 });
         }
         self.spill()?; // flush the tail run
-        // Release the run buffer before allocating merge readers.
+                       // Release the run buffer before allocating merge readers.
         self.run = TrackedVec::with_capacity(&self.scope, 0)?;
         // Multi-pass merge bounded by available RAM: each input run costs
         // one page buffer, plus one writer page.
@@ -308,8 +306,7 @@ mod tests {
     #[test]
     fn in_ram_sort_small() {
         let (vol, scope) = setup(64 * 1024);
-        let mut sorter: ExternalSorter<u64> =
-            ExternalSorter::new(&vol, &scope, 8 * 1024).unwrap();
+        let mut sorter: ExternalSorter<u64> = ExternalSorter::new(&vol, &scope, 8 * 1024).unwrap();
         for v in [5u64, 3, 9, 1, 7] {
             sorter.push(v).unwrap();
         }
@@ -369,8 +366,7 @@ mod tests {
         let (vol, scope) = setup(64 * 1024);
         let live_before = vol.usage().live_pages;
         {
-            let mut sorter: ExternalSorter<u64> =
-                ExternalSorter::new(&vol, &scope, 256).unwrap();
+            let mut sorter: ExternalSorter<u64> = ExternalSorter::new(&vol, &scope, 256).unwrap();
             for v in (0..4000u64).rev() {
                 sorter.push(v).unwrap();
             }

@@ -117,7 +117,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark a closure.
-    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: R) -> &mut Self {
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: R,
+    ) -> &mut Self {
         let id = id.into();
         let mut b = Bencher {
             elapsed: Duration::ZERO,
@@ -196,7 +200,8 @@ impl Criterion {
 
     /// Benchmark without a group.
     pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, f: R) -> &mut Self {
-        self.benchmark_group("bench").bench_function(BenchmarkId::from(name), f);
+        self.benchmark_group("bench")
+            .bench_function(BenchmarkId::from(name), f);
         self
     }
 }

@@ -220,7 +220,10 @@ fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
     let rest = pat.strip_prefix('[')?;
     let close = rest.find(']')?;
     let (class_src, rep) = rest.split_at(close);
-    let rep = rep.strip_prefix(']')?.strip_prefix('{')?.strip_suffix('}')?;
+    let rep = rep
+        .strip_prefix(']')?
+        .strip_prefix('{')?
+        .strip_suffix('}')?;
     let (lo, hi) = match rep.split_once(',') {
         Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
         None => {

@@ -152,9 +152,7 @@ impl FromScope<'_> {
                     .iter()
                     .find(|(_, names)| names.iter().any(|n| n.eq_ignore_ascii_case(t)))
                     .map(|(id, _)| *id)
-                    .ok_or_else(|| {
-                        GhostError::sql(format!("table or alias {t:?} not in FROM"))
-                    })?;
+                    .ok_or_else(|| GhostError::sql(format!("table or alias {t:?} not in FROM")))?;
                 self.schema.resolve_column(tid, &q.column)
             }
             None => {
@@ -349,10 +347,9 @@ mod tests {
     fn ambiguous_unqualified_column() {
         let s = schema();
         let tree = TreeSchema::analyze(&s).unwrap();
-        let stmts = parse_statements(
-            "SELECT Name FROM Doctor, Medicine WHERE Doctor.DocID = Doctor.DocID",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("SELECT Name FROM Doctor, Medicine WHERE Doctor.DocID = Doctor.DocID")
+                .unwrap();
         let Statement::Select(sel) = &stmts[0] else {
             panic!()
         };

@@ -176,8 +176,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         k += 1;
                     }
                     if k > d3 {
-                        let text: String =
-                            chars[start..k].iter().map(|&(_, ch)| ch).collect();
+                        let text: String = chars[start..k].iter().map(|&(_, ch)| ch).collect();
                         out.push(Token {
                             kind: TokenKind::DateLit(text),
                             pos,
@@ -254,7 +253,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -285,9 +285,7 @@ impl<'a> Parser<'a> {
                 match self.next() {
                     Some(TokenKind::Comma) => continue,
                     Some(TokenKind::RParen) => break,
-                    other => {
-                        return Err(self.err(format!("expected , or ) found {other:?}")))
-                    }
+                    other => return Err(self.err(format!("expected , or ) found {other:?}"))),
                 }
             }
             rows.push(row);
@@ -383,8 +381,7 @@ mod tests {
     #[test]
     fn parses_insert() {
         let stmts =
-            parse_statements("INSERT INTO Medicine VALUES (0, 'Aspirin'), (1, 'Statin');")
-                .unwrap();
+            parse_statements("INSERT INTO Medicine VALUES (0, 'Aspirin'), (1, 'Statin');").unwrap();
         let Statement::Insert(ins) = &stmts[0] else {
             panic!("not an insert")
         };

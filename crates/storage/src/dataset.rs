@@ -112,7 +112,9 @@ impl Dataset {
                 if cdata.len() != rows {
                     return Err(GhostError::catalog(format!(
                         "table {} column {}: ragged column ({} vs {rows} rows)",
-                        tdef.name, cdef.name, cdata.len()
+                        tdef.name,
+                        cdef.name,
+                        cdata.len()
                     )));
                 }
                 for (ri, v) in cdata.iter().enumerate() {
@@ -239,11 +241,7 @@ mod tests {
         d.push_row(TableId(0), vec![Value::Int(0)]).unwrap();
         d.push_row(
             TableId(1),
-            vec![
-                Value::Int(0),
-                Value::Text("toolong".into()),
-                Value::Int(0),
-            ],
+            vec![Value::Int(0), Value::Text("toolong".into()), Value::Int(0)],
         )
         .unwrap();
         let err = d.validate(&s).unwrap_err();

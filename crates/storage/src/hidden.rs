@@ -16,15 +16,20 @@
 //! this key space; the climbing indexes in `ghostdb-index` use the same
 //! reduction, so scans and index probes are interchangeable plan
 //! alternatives.
+//!
+//! Column segments are the volume's *long-lived* residents: they are
+//! written once at load and then interleave with every query's temp
+//! spills. All access goes through [`Volume::read_at`]/[`SegmentReader`]
+//! logical pages, so the flash garbage collector is free to migrate a
+//! column's pages when compacting the blocks around them — the store
+//! never sees physical addresses.
 
 use std::collections::HashMap;
 
 use ghostdb_catalog::Schema;
 use ghostdb_flash::{Segment, SegmentReader, Volume};
 use ghostdb_ram::RamScope;
-use ghostdb_types::{
-    ColumnId, DataType, GhostError, Result, RowId, ScalarOp, TableId, Value,
-};
+use ghostdb_types::{ColumnId, DataType, GhostError, Result, RowId, ScalarOp, TableId, Value};
 
 use crate::dataset::Dataset;
 
@@ -162,9 +167,7 @@ impl HiddenStore {
                         let mut uniq: Vec<&str> =
                             values.iter().filter_map(|v| v.as_text()).collect();
                         if uniq.len() != values.len() {
-                            return Err(GhostError::corrupt(
-                                "non-text value in CHAR column",
-                            ));
+                            return Err(GhostError::corrupt("non-text value in CHAR column"));
                         }
                         uniq.sort_unstable();
                         uniq.dedup();
@@ -187,9 +190,7 @@ impl HiddenStore {
                             let code = code_of[v.as_text().expect("checked text")];
                             codes.write(&code.to_le_bytes())?;
                         }
-                        encoders
-                            .dicts
-                            .insert((ti as u16, ci as u16), code_of);
+                        encoders.dicts.insert((ti as u16, ci as u16), code_of);
                         ColumnStore::Dict {
                             codes: codes.finish()?,
                             offsets: offsets.finish()?,
@@ -217,10 +218,7 @@ impl HiddenStore {
     /// Number of rows in `table` (the replicated primary keys are dense,
     /// so the count is the whole key set).
     pub fn row_count(&self, table: TableId) -> u32 {
-        self.tables
-            .get(table.index())
-            .map(|t| t.rows)
-            .unwrap_or(0)
+        self.tables.get(table.index()).map(|t| t.rows).unwrap_or(0)
     }
 
     fn store(&self, table: TableId, column: ColumnId) -> Result<&ColumnStore> {
@@ -245,7 +243,8 @@ impl HiddenStore {
         match self.store(table, column)? {
             ColumnStore::Fixed { keys, .. } => {
                 let mut buf = [0u8; 8];
-                self.volume.read_at(keys, row.index() as u64 * 8, &mut buf)?;
+                self.volume
+                    .read_at(keys, row.index() as u64 * 8, &mut buf)?;
                 Ok(u64::from_le_bytes(buf))
             }
             ColumnStore::Dict { codes, .. } => {
@@ -257,12 +256,7 @@ impl HiddenStore {
         }
     }
 
-    fn dict_entry(
-        &self,
-        offsets: &Segment,
-        bytes: &Segment,
-        code: u32,
-    ) -> Result<String> {
+    fn dict_entry(&self, offsets: &Segment, bytes: &Segment, code: u32) -> Result<String> {
         let mut b = [0u8; 8];
         self.volume.read_at(offsets, code as u64 * 4, &mut b)?;
         let start = u32::from_le_bytes(b[0..4].try_into().expect("4B")) as usize;
@@ -290,7 +284,8 @@ impl HiddenStore {
         match self.store(table, column)? {
             ColumnStore::Fixed { ty, keys } => {
                 let mut buf = [0u8; 8];
-                self.volume.read_at(keys, row.index() as u64 * 8, &mut buf)?;
+                self.volume
+                    .read_at(keys, row.index() as u64 * 8, &mut buf)?;
                 Value::from_order_key(*ty, u64::from_le_bytes(buf))
             }
             ColumnStore::Dict {
@@ -361,9 +356,9 @@ impl HiddenStore {
                 entries,
                 ..
             } => {
-                let s = value.as_text().ok_or_else(|| {
-                    GhostError::value("CHAR column predicate needs a text value")
-                })?;
+                let s = value
+                    .as_text()
+                    .ok_or_else(|| GhostError::value("CHAR column predicate needs a text value"))?;
                 let n = *entries;
                 if n == 0 {
                     return Ok(None);
@@ -401,12 +396,7 @@ impl HiddenStore {
 
     /// Stream every `(row id, order key)` of a stored column — the raw
     /// scan primitive under the index-free baselines (grace hash join).
-    pub fn key_scan(
-        &self,
-        scope: &RamScope,
-        table: TableId,
-        column: ColumnId,
-    ) -> Result<KeyScan> {
+    pub fn key_scan(&self, scope: &RamScope, table: TableId, column: ColumnId) -> Result<KeyScan> {
         let (reader, width) = match self.store(table, column)? {
             ColumnStore::Fixed { keys, .. } => (self.volume.reader(scope, keys)?, 8),
             ColumnStore::Dict { codes, .. } => (self.volume.reader(scope, codes)?, 4),

@@ -123,7 +123,12 @@ mod tests {
 
         // Hidden values come back from flash.
         let v = hidden
-            .value(&scope, TableId(0), ghostdb_types::ColumnId(2), ghostdb_types::RowId(3))
+            .value(
+                &scope,
+                TableId(0),
+                ghostdb_types::ColumnId(2),
+                ghostdb_types::RowId(3),
+            )
             .unwrap();
         assert_eq!(v, Value::Text("name3".into()));
 

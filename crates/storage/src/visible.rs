@@ -54,10 +54,7 @@ impl VisibleStore {
 
     /// Rows in `table`.
     pub fn row_count(&self, table: TableId) -> u32 {
-        self.tables
-            .get(table.index())
-            .map(|t| t.rows)
-            .unwrap_or(0)
+        self.tables.get(table.index()).map(|t| t.rows).unwrap_or(0)
     }
 
     fn column(&self, table: TableId, column: ColumnId) -> Result<&[Value]> {

@@ -33,6 +33,14 @@ pub struct FlashConfig {
     pub program_byte_ns: u64,
     /// Cost of erasing one block, ns.
     pub erase_block_ns: u64,
+    /// Garbage-collection trigger: when a segment writer needs a fresh
+    /// erase block and the free list holds at most this many blocks, the
+    /// volume runs a GC pass before allocating. `0` disables the
+    /// allocation-time trigger (explicit `Volume::gc` calls still work).
+    pub gc_low_watermark_blocks: usize,
+    /// Upper bound on victim blocks migrated per GC pass, bounding the
+    /// latency a single allocation can absorb.
+    pub gc_max_victims_per_pass: usize,
 }
 
 impl FlashConfig {
@@ -49,6 +57,8 @@ impl FlashConfig {
             program_latency_ns: 600_000,
             program_byte_ns: 30,
             erase_block_ns: 2_000_000,
+            gc_low_watermark_blocks: 16,
+            gc_max_victims_per_pass: 8,
         }
     }
 

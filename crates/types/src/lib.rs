@@ -19,8 +19,8 @@ mod config;
 mod error;
 mod ids;
 mod scalar;
-mod stream;
 mod sealed;
+mod stream;
 mod value;
 mod wire;
 
@@ -29,9 +29,9 @@ pub use config::{BusConfig, CpuConfig, DeviceConfig, FlashConfig};
 pub use error::{GhostError, Result};
 pub use ids::{ColumnId, RowId, TableId};
 pub use scalar::ScalarOp;
+pub use sealed::{DisplayTicket, Sealed};
 pub use stream::{
     collect_ids, IdBlock, IdStream, ScalarFallback, SliceIdStream, VecIdStream, BLOCK_CAP,
 };
-pub use sealed::{DisplayTicket, Sealed};
 pub use value::{DataType, Date, Value};
 pub use wire::{decode_all, Wire};

@@ -99,9 +99,7 @@ mod tests {
         assert!(!ScalarOp::Gt.matches(&a, &b).unwrap());
         assert!(ScalarOp::Ge.matches(&b, &a).unwrap());
         assert!(ScalarOp::Eq.matches(&a, &a).unwrap());
-        assert!(ScalarOp::Eq
-            .matches(&a, &Value::Text("x".into()))
-            .is_err());
+        assert!(ScalarOp::Eq.matches(&a, &Value::Text("x".into())).is_err());
     }
 
     #[test]

@@ -76,7 +76,9 @@ impl Date {
             31,
         ][(m - 1) as usize];
         if d == 0 || d > dim {
-            return Err(GhostError::value(format!("day {d} out of range for {y}-{m:02}")));
+            return Err(GhostError::value(format!(
+                "day {d} out of range for {y}-{m:02}"
+            )));
         }
         // days_from_civil (Howard Hinnant).
         let y = if m <= 2 { y - 1 } else { y } as i64;
@@ -277,7 +279,9 @@ mod tests {
             Value::Int(1).cmp_same_type(&Value::Int(2)).unwrap(),
             Ordering::Less
         );
-        assert!(Value::Int(1).cmp_same_type(&Value::Text("x".into())).is_err());
+        assert!(Value::Int(1)
+            .cmp_same_type(&Value::Text("x".into()))
+            .is_err());
     }
 
     #[test]

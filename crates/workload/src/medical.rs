@@ -125,21 +125,53 @@ const COUNTRIES: &[&str] = &[
     "Japan", "Brazil", "Canada",
 ];
 const SPECIALITIES: &[&str] = &[
-    "Cardiology", "Neurology", "Oncology", "Pediatrics", "Radiology", "Surgery",
-    "Dermatology", "Psychiatry",
+    "Cardiology",
+    "Neurology",
+    "Oncology",
+    "Pediatrics",
+    "Radiology",
+    "Surgery",
+    "Dermatology",
+    "Psychiatry",
 ];
 const PURPOSES: &[&str] = &[
-    "Checkup", "Diabetes", "Hypertension", "Influenza", "Asthma", "Migraine", "Fracture",
-    "Allergy", "Bronchitis", "Arthritis", "Depression", "Insomnia", "Anemia", "Obesity",
-    "Dermatitis", "Gastritis",
+    "Checkup",
+    "Diabetes",
+    "Hypertension",
+    "Influenza",
+    "Asthma",
+    "Migraine",
+    "Fracture",
+    "Allergy",
+    "Bronchitis",
+    "Arthritis",
+    "Depression",
+    "Insomnia",
+    "Anemia",
+    "Obesity",
+    "Dermatitis",
+    "Gastritis",
 ];
 const EFFECTS: &[&str] = &[
-    "Analgesic", "Antipyretic", "Sedative", "Stimulant", "Diuretic", "Laxative",
-    "Antiseptic", "Vasodilator",
+    "Analgesic",
+    "Antipyretic",
+    "Sedative",
+    "Stimulant",
+    "Diuretic",
+    "Laxative",
+    "Antiseptic",
+    "Vasodilator",
 ];
 const TYPES: &[&str] = &[
-    "Placebo", "Antiviral", "Vaccine", "Statin", "Betablocker", "Steroid", "Insulin",
-    "Antihistamine", "Opioid",
+    "Placebo",
+    "Antiviral",
+    "Vaccine",
+    "Statin",
+    "Betablocker",
+    "Steroid",
+    "Insulin",
+    "Antihistamine",
+    "Opioid",
 ];
 const SYLLABLES: &[&str] = &[
     "ka", "ro", "mi", "ta", "le", "su", "ne", "vo", "ri", "da", "pa", "zu", "be", "no",

@@ -15,23 +15,20 @@ fn main() -> Result<()> {
     println!("device                              P1(pre)        P2(post)      winner");
 
     let labs: Vec<(&str, DeviceConfig)> = vec![
-        ("paper 2007 (64KB, 8.8x, 12Mb/s)", DeviceConfig::default_2007()),
         (
-            "slow flash (write/read = 10x)",
-            {
-                let mut d = DeviceConfig::default_2007();
-                d.flash = d.flash.with_write_read_ratio(10.0);
-                d
-            },
+            "paper 2007 (64KB, 8.8x, 12Mb/s)",
+            DeviceConfig::default_2007(),
         ),
-        (
-            "fast flash (write/read = 3x)",
-            {
-                let mut d = DeviceConfig::default_2007();
-                d.flash = d.flash.with_write_read_ratio(3.0);
-                d
-            },
-        ),
+        ("slow flash (write/read = 10x)", {
+            let mut d = DeviceConfig::default_2007();
+            d.flash = d.flash.with_write_read_ratio(10.0);
+            d
+        }),
+        ("fast flash (write/read = 3x)", {
+            let mut d = DeviceConfig::default_2007();
+            d.flash = d.flash.with_write_read_ratio(3.0);
+            d
+        }),
         (
             "future link (USB 480 Mb/s)",
             DeviceConfig::default_2007().with_bus(BusConfig::usb_high_speed()),

@@ -37,10 +37,10 @@ fn main() -> Result<()> {
         data.push_row(
             TableId(1),
             vec![
-                Value::Int(i),                     // EmpID
-                Value::Int(i % 5),                 // Grade (visible)
-                Value::Int(40_000 + 1_000 * i),    // Salary (hidden!)
-                Value::Int(i % 3),                 // TeamID (hidden fk)
+                Value::Int(i),                  // EmpID
+                Value::Int(i % 5),              // Grade (visible)
+                Value::Int(40_000 + 1_000 * i), // Salary (hidden!)
+                Value::Int(i % 3),              // TeamID (hidden fk)
             ],
         )?;
     }
@@ -66,10 +66,7 @@ fn main() -> Result<()> {
     //    salaries did not.
     println!("--- spy view ---\n{}", db.spy_report());
     let secret = Value::Int(65_000);
-    println!(
-        "spy saw a salary of 65000? {}",
-        db.spy_sees_value(&secret)
-    );
+    println!("spy saw a salary of 65000? {}", db.spy_sees_value(&secret));
     assert!(!db.spy_sees_value(&secret));
     Ok(())
 }

@@ -53,9 +53,7 @@ fn main() -> Result<()> {
         }
         let _ = purpose;
     }
-    println!(
-        "\nhidden result values observed by the spy: {leaked} (must be 0)"
-    );
+    println!("\nhidden result values observed by the spy: {leaked} (must be 0)");
     assert_eq!(leaked, 0);
 
     // Contrast: the visible constant from the query is of course visible.

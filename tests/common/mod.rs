@@ -9,8 +9,7 @@ use ghostdb_workload::{generate_medical, MedicalConfig, MEDICAL_DDL};
 pub fn medical_db(prescriptions: usize) -> (GhostDb, MedicalConfig) {
     let cfg = MedicalConfig::scaled(prescriptions);
     let data = generate_medical(&cfg).expect("generate");
-    let db = GhostDb::create(MEDICAL_DDL, DeviceConfig::default_2007(), &data)
-        .expect("create db");
+    let db = GhostDb::create(MEDICAL_DDL, DeviceConfig::default_2007(), &data).expect("create db");
     (db, cfg)
 }
 
@@ -21,8 +20,7 @@ pub fn medical_db_with_data(
 ) -> (GhostDb, MedicalConfig, ghostdb_storage::Dataset) {
     let cfg = MedicalConfig::scaled(prescriptions);
     let data = generate_medical(&cfg).expect("generate");
-    let db = GhostDb::create(MEDICAL_DDL, DeviceConfig::default_2007(), &data)
-        .expect("create db");
+    let db = GhostDb::create(MEDICAL_DDL, DeviceConfig::default_2007(), &data).expect("create db");
     (db, cfg, data)
 }
 

@@ -150,8 +150,11 @@ fn query_on_empty_purpose_string() {
     let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
     let mut data = Dataset::empty(&schema);
     for (i, s) in ["", "a", "", "b"].iter().enumerate() {
-        data.push_row(TableId(0), vec![Value::Int(i as i64), Value::Text(s.to_string())])
-            .unwrap();
+        data.push_row(
+            TableId(0),
+            vec![Value::Int(i as i64), Value::Text(s.to_string())],
+        )
+        .unwrap();
     }
     let db = ghostdb::GhostDb::create(DDL, DeviceConfig::default_2007(), &data).unwrap();
     let out = db.query("SELECT T.tid FROM T WHERE T.s = ''").unwrap();

@@ -74,9 +74,7 @@ fn range_predicates_on_hidden_columns() {
 fn range_predicates_on_hidden_dates() {
     let (db, cfg, data) = medical_db_with_data(2_000);
     let mid = Date(cfg.date_start.0 + (cfg.date_span_days / 2) as i32);
-    let sql = format!(
-        "SELECT Pre.PreID FROM Prescription Pre WHERE Pre.WhenWritten <= '{mid}'"
-    );
+    let sql = format!("SELECT Pre.PreID FROM Prescription Pre WHERE Pre.WhenWritten <= '{mid}'");
     let out = db.query(&sql).unwrap();
     assert!(!out.rows.rows.is_empty());
     assert_matches_reference(&db, &data, &sql, &out);
@@ -151,7 +149,9 @@ fn sql_errors_are_reported() {
         .is_err());
     // Missing join condition.
     assert!(db
-        .query("SELECT Pre.PreID FROM Prescription Pre, Visit Vis \
-                WHERE Vis.Purpose = 'Checkup'")
+        .query(
+            "SELECT Pre.PreID FROM Prescription Pre, Visit Vis \
+                WHERE Vis.Purpose = 'Checkup'"
+        )
         .is_err());
 }

@@ -3,7 +3,9 @@
 
 mod common;
 
-use ghostdb_types::DeviceConfig;
+use ghostdb_flash::{Nand, Volume};
+use ghostdb_ram::{RamBudget, RamScope};
+use ghostdb_types::{DeviceConfig, FlashConfig, SimClock};
 use ghostdb_workload::{generate_medical, selectivity_query, MedicalConfig, MEDICAL_DDL};
 
 #[test]
@@ -45,6 +47,82 @@ fn repeated_spilling_queries_do_not_exhaust_flash() {
         max_wear - min_wear <= max_wear.max(4),
         "wear badly skewed: {min_wear}..{max_wear}"
     );
+}
+
+/// The fragmentation case the garbage collector exists to fix: every
+/// erase block ends up holding one long-lived dataset page interleaved
+/// with temp-spill pages. Freeing the temps leaves no block fully dead,
+/// so the seed's recycler (which only erased all-dead blocks) pinned
+/// every block and reported "flash volume full" after ~32 rounds on this
+/// geometry. With the GC, the volume must survive arbitrarily many
+/// rounds, keep the persistent bytes intact across page migration, stay
+/// inside the documented wear bound, and still catch double frees.
+#[test]
+fn interleaved_persistent_and_temp_churn_survives_gc() {
+    // 256-block volume, 8 pages per block, 64 B pages (2 KiB blocks).
+    let cfg = FlashConfig {
+        page_size: 64,
+        pages_per_block: 8,
+        num_blocks: 256,
+        ..FlashConfig::default_2007()
+    };
+    let vol = Volume::new(Nand::new(cfg, SimClock::new()));
+    let budget = RamBudget::new(64 * 1024);
+    let scope = RamScope::new(&budget);
+
+    let mut persistent = Vec::new();
+    for round in 0..40u32 {
+        let tag = (round % 251) as u8;
+        // Two writers share the allocation frontier, so their pages
+        // interleave physically: one persistent page, then seven temp
+        // pages, repeating — every block gets pinned by a keeper page.
+        let mut keeper = vol.writer(&scope).unwrap();
+        let mut temp = vol.writer(&scope).unwrap();
+        for _ in 0..8 {
+            keeper.write(&[tag; 64]).unwrap();
+            temp.write(&[0xEE; 64 * 7]).unwrap();
+        }
+        let kseg = keeper.finish().unwrap();
+        let tseg = temp.finish().unwrap();
+        vol.free(tseg)
+            .unwrap_or_else(|e| panic!("round {round}: temp free failed: {e}"));
+        persistent.push((kseg, tag));
+    }
+
+    // The GC actually ran and reclaimed fragmented blocks.
+    let gc = vol.gc_stats();
+    assert!(
+        gc.blocks_reclaimed > 0,
+        "GC never reclaimed a block: {gc:?}"
+    );
+    assert!(gc.pages_migrated > 0, "GC never migrated a live page");
+
+    // All persistent data survived page migration bit-for-bit.
+    for (seg, tag) in &persistent {
+        let mut r = vol.reader(&scope, seg).unwrap();
+        let mut back = vec![0u8; seg.len() as usize];
+        r.read_exact(&mut back).unwrap();
+        assert!(
+            back.iter().all(|b| b == tag),
+            "persistent segment corrupted after GC migration"
+        );
+    }
+
+    // Wear-aware victim/destination selection keeps the spread bounded:
+    // max − min erase count stays within 4 under this churn (the bound
+    // documented in ROADMAP.md "Storage architecture").
+    let (min_wear, max_wear) = vol.nand().wear_spread();
+    assert!(
+        max_wear - min_wear <= 4,
+        "wear spread {min_wear}..{max_wear} exceeds documented bound of 4"
+    );
+
+    // Double-free invariant holds across remapping: a segment freed once
+    // cannot be freed again, even after its pages were migrated.
+    let (seg, _) = persistent.pop().unwrap();
+    vol.free(seg.clone()).unwrap();
+    let err = vol.free(seg).unwrap_err();
+    assert!(err.to_string().contains("double free"), "{err}");
 }
 
 #[test]

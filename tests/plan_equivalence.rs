@@ -28,11 +28,7 @@ fn all_plans_agree_on_the_paper_query() {
                 assert_matches_reference(&db, &data, &sql, &out);
                 first = Some(out.rows.rows);
             }
-            Some(expect) => assert_eq!(
-                &out.rows.rows, expect,
-                "plan {} disagrees",
-                cp.plan.label
-            ),
+            Some(expect) => assert_eq!(&out.rows.rows, expect, "plan {} disagrees", cp.plan.label),
         }
     }
 }
@@ -41,8 +37,7 @@ fn all_plans_agree_on_the_paper_query() {
 fn all_plans_agree_across_selectivities() {
     let (db, cfg, _data) = medical_db_with_data(2_000);
     for frac in [0.001, 0.05, 0.5, 0.95] {
-        let sql =
-            ghostdb_workload::selectivity_query(cfg.date_start, cfg.date_span_days, frac);
+        let sql = ghostdb_workload::selectivity_query(cfg.date_start, cfg.date_span_days, frac);
         let plans = db.plans(&sql).unwrap();
         let mut first: Option<usize> = None;
         for cp in plans.iter() {

@@ -25,7 +25,11 @@ fn paper_budget_64k_handles_wide_queries() {
     let cfg = MedicalConfig::scaled(5_000);
     let sql = ghostdb_workload::selectivity_query(cfg.date_start, cfg.date_span_days, 0.9);
     let out = db.query(&sql).unwrap();
-    assert!(out.report.ram_peak <= 64 * 1024, "peak {}", out.report.ram_peak);
+    assert!(
+        out.report.ram_peak <= 64 * 1024,
+        "peak {}",
+        out.report.ram_peak
+    );
     assert_eq!(db.ram().used(), 0, "RAM not returned after execution");
 }
 
