@@ -89,17 +89,18 @@ impl Bus {
     ///
     /// * `Query`, `IdChunk`, `ColumnChunk` travel PC → device only
     ///   (visible data flowing *into* the trusted zone);
-    /// * `EvalPredicate`, `FetchColumn` travel device → PC only (plan
-    ///   requests derived from the public query text);
+    /// * `EvalPredicate`, `FetchColumn`, `AppendVisible` travel
+    ///   device → PC only (plan requests derived from the public query
+    ///   text, and the visible halves of post-load inserts);
     /// * nothing else exists, so hidden data has no vehicle.
     pub fn transmit(&self, from: Endpoint, to: Endpoint, msg: &Message) -> Result<usize> {
         let legal = match msg {
             Message::Query { .. } | Message::IdChunk { .. } | Message::ColumnChunk { .. } => {
                 from == Endpoint::Pc && to == Endpoint::Device
             }
-            Message::EvalPredicate { .. } | Message::FetchColumn { .. } => {
-                from == Endpoint::Device && to == Endpoint::Pc
-            }
+            Message::EvalPredicate { .. }
+            | Message::FetchColumn { .. }
+            | Message::AppendVisible { .. } => from == Endpoint::Device && to == Endpoint::Pc,
             Message::Error { .. } => {
                 (from == Endpoint::Pc && to == Endpoint::Device)
                     || (from == Endpoint::Device && to == Endpoint::Pc)

@@ -72,6 +72,19 @@ pub enum Message {
         /// True on the final chunk.
         done: bool,
     },
+    /// Push the **visible** half of one inserted row to the PC store
+    /// (device → PC). Hidden values never ride this message: the insert
+    /// itself enters through the device's secure port, and only the
+    /// public columns are disclosed — the same visibility contract the
+    /// query protocol keeps.
+    AppendVisible {
+        /// Table receiving the row.
+        table: TableId,
+        /// The new (public, dense) row id.
+        row: RowId,
+        /// `(column, value)` pairs for the visible columns only.
+        values: Vec<(ColumnId, Value)>,
+    },
     /// Protocol-level failure notice (either direction).
     Error {
         /// Human-readable description.
@@ -88,6 +101,7 @@ impl Message {
             Message::IdChunk { .. } => "IdChunk",
             Message::FetchColumn { .. } => "FetchColumn",
             Message::ColumnChunk { .. } => "ColumnChunk",
+            Message::AppendVisible { .. } => "AppendVisible",
             Message::Error { .. } => "Error",
         }
     }
@@ -120,6 +134,10 @@ impl Message {
                 pairs.len(),
                 if *done { " (final)" } else { "" }
             ),
+            Message::AppendVisible { table, row, values } => {
+                let cols: Vec<String> = values.iter().map(|(c, v)| format!("{c} = {v}")).collect();
+                format!("append {table} row {row}: {}", cols.join(", "))
+            }
             Message::Error { message } => format!("error: {message}"),
         }
     }
@@ -182,6 +200,12 @@ impl Wire for Message {
                 pairs.encode(out);
                 done.encode(out);
             }
+            Message::AppendVisible { table, row, values } => {
+                out.push(6);
+                table.encode(out);
+                row.encode(out);
+                values.encode(out);
+            }
             Message::Error { message } => {
                 out.push(5);
                 message.encode(out);
@@ -239,6 +263,11 @@ impl Wire for Message {
             5 => Message::Error {
                 message: String::decode(buf)?,
             },
+            6 => Message::AppendVisible {
+                table: TableId::decode(buf)?,
+                row: RowId::decode(buf)?,
+                values: Vec::<(ColumnId, Value)>::decode(buf)?,
+            },
             t => return Err(GhostError::corrupt(format!("message tag {t}"))),
         })
     }
@@ -294,6 +323,14 @@ mod tests {
         });
         roundtrip(Message::Error {
             message: "boom".into(),
+        });
+        roundtrip(Message::AppendVisible {
+            table: TableId(1),
+            row: RowId(400),
+            values: vec![
+                (ColumnId(1), Value::Int(7)),
+                (ColumnId(2), Value::Text("public".into())),
+            ],
         });
     }
 

@@ -84,6 +84,18 @@ impl ColumnStats {
         }
     }
 
+    /// Absorb one post-load value: bump the row count and, when the
+    /// caller knows the value was previously unseen, the distinct count.
+    /// The histogram is left as built at load time — the delta is small
+    /// relative to the base by construction (it is flushed at a bounded
+    /// threshold), so the load-time distribution stays a sound estimate.
+    pub fn absorb(&mut self, known_new_value: bool) {
+        self.rows += 1;
+        if known_new_value {
+            self.distinct += 1;
+        }
+    }
+
     /// Estimated selectivity (result fraction) of `column OP value`.
     pub fn selectivity(&self, op: ScalarOp, value: &Value) -> f64 {
         if self.rows == 0 {
@@ -106,7 +118,11 @@ impl ColumnStats {
                     ScalarOp::Lt => (le - 1.0 / self.distinct.max(1) as f64).max(0.0),
                     ScalarOp::Ge => 1.0 - le + 1.0 / self.distinct.max(1) as f64,
                     ScalarOp::Gt => 1.0 - le,
-                    ScalarOp::Eq => unreachable!(),
+                    // Defensive: the outer match already answered Eq, but
+                    // a panic here would abort the whole planner if the
+                    // dispatch ever changes — fall back to the same 1/ndv
+                    // estimate instead.
+                    ScalarOp::Eq => 1.0 / self.distinct.max(1) as f64,
                 }
                 .clamp(0.0, 1.0)
             }
@@ -158,6 +174,23 @@ impl SchemaStats {
         self.column(cref)
             .map(|c| c.selectivity(op, value))
             .unwrap_or(0.1)
+    }
+
+    /// Incremental refresh for one inserted row: bump the table
+    /// cardinality and every collected column's row count, so the
+    /// planner sees base + delta cardinalities immediately.
+    /// `new_value_columns` lists the column ids known to carry a
+    /// previously-unseen value (their distinct counts grow too).
+    pub fn absorb_row(&mut self, table: ghostdb_types::TableId, new_value_columns: &[u16]) {
+        let Some(t) = self.tables.get_mut(table.index()) else {
+            return;
+        };
+        t.rows += 1;
+        for (ci, col) in t.columns.iter_mut().enumerate() {
+            if let Some(c) = col {
+                c.absorb(new_value_columns.contains(&(ci as u16)));
+            }
+        }
     }
 }
 

@@ -14,6 +14,25 @@
 //! phases: run queries (`query`), inspect and hand-build plans
 //! (`plans`, `query_with_plan`, `explain`), and audit the spy's view
 //! (`spy_report`, `spy_sees_value`).
+//!
+//! # Mutability: the post-load write path
+//!
+//! The facade is no longer frozen at bulk load. [`GhostDb::execute`]
+//! accepts `INSERT` statements (and `SELECT`s) after load: each row is
+//! validated against the live tree schema (dense PK, FK range, types),
+//! its hidden half appended to the [`HiddenStore`]'s RAM delta, its
+//! visible half pushed to the PC over the bus (an `AppendVisible` frame
+//! — public data, visible to the spy like any visible column), and every
+//! index maintained LSM-style through RAM deltas that queries union with
+//! the flash base. Inserts enter through the **device's secure port**,
+//! the same trust path as the initial bulk load: the insert text is
+//! never transmitted to the PC, so hidden values still have no vehicle
+//! across the spied link. Once the combined delta reaches
+//! [`DeviceConfig::delta_flush_rows`] rows the engine merges everything
+//! into rebuilt flash segments ([`GhostDb::flush_deltas`]), freeing the
+//! old segments for the flash GC to reclaim.
+//!
+//! [`HiddenStore`]: ghostdb_storage::HiddenStore
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,9 +50,13 @@ use ghostdb_exec::{
 use ghostdb_flash::{Nand, Volume};
 use ghostdb_index::IndexSet;
 use ghostdb_ram::{RamBudget, RamScope};
-use ghostdb_sql::{bind_schema, bind_select, parse_statements, Statement};
-use ghostdb_storage::{split_dataset, Dataset, HiddenStore};
-use ghostdb_types::{format_ns, DeviceConfig, GhostError, Result, Sealed, SimClock, Value};
+use std::collections::HashMap;
+
+use ghostdb_sql::{bind_insert, bind_schema, bind_select, parse_statements, InsertStmt, Statement};
+use ghostdb_storage::{split_dataset, validate_row, Dataset, HiddenStore};
+use ghostdb_types::{
+    format_ns, ColumnId, DeviceConfig, GhostError, Result, RowId, Sealed, SimClock, TableId, Value,
+};
 
 /// Summary of the secure bulk load.
 #[derive(Debug, Clone)]
@@ -56,6 +79,29 @@ pub struct QueryOutcome {
     pub rows: ResultSet,
     /// Per-operator statistics and totals.
     pub report: ExecReport,
+}
+
+/// Summary of one applied `INSERT`.
+#[derive(Debug, Clone)]
+pub struct InsertReport {
+    /// Table that received the rows.
+    pub table: TableId,
+    /// Rows appended.
+    pub rows: u64,
+    /// Whether this statement tripped the automatic delta flush.
+    pub flushed: bool,
+    /// Simulated time spent (validation, flash/bus appends, and the
+    /// flush if one ran).
+    pub sim_ns: u64,
+}
+
+/// Outcome of one statement run through [`GhostDb::execute`].
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// A `SELECT`'s rows and report.
+    Query(QueryOutcome),
+    /// An `INSERT`'s application summary.
+    Insert(InsertReport),
 }
 
 /// A loaded GhostDB instance (PC + device + display).
@@ -173,6 +219,167 @@ impl GhostDb {
     /// Would a spy have seen this value on the PC ↔ device link?
     pub fn spy_sees_value(&self, v: &Value) -> bool {
         self.bus.trace().spy_sees_value(v)
+    }
+
+    /// Run a statement script post-load: `INSERT`s mutate the database
+    /// (validated per row, applied through the LSM-style deltas),
+    /// `SELECT`s run with the optimizer's best plan. The paper's promise
+    /// holds — no changes to the SQL text — and so does the trust model:
+    /// inserts enter through the device's secure port, so their hidden
+    /// values never cross the spied PC ↔ device link.
+    pub fn execute(&mut self, sql: &str) -> Result<Vec<ExecOutcome>> {
+        let stmts = parse_statements(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in &stmts {
+            match s {
+                Statement::Select(sel) => out.push(ExecOutcome::Query(self.query(&sel.text)?)),
+                Statement::Insert(ins) => out.push(ExecOutcome::Insert(self.apply_insert(ins)?)),
+                Statement::CreateTable(ct) => {
+                    return Err(GhostError::unsupported(format!(
+                        "CREATE TABLE {} after load (the tree schema is fixed at create time)",
+                        ct.name
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_insert(&mut self, ins: &InsertStmt) -> Result<InsertReport> {
+        let bound = bind_insert(&self.schema, ins)?;
+        self.insert_rows(bound.table, bound.rows)
+    }
+
+    /// Programmatic insert path (also the backend of
+    /// [`execute`](Self::execute)): validate and append `rows` (full
+    /// rows in declaration order, dense primary key first) to `table`,
+    /// maintaining the hidden store, the PC's visible store, every
+    /// index, and the catalog statistics. Trips the automatic delta
+    /// flush when the combined delta reaches
+    /// [`DeviceConfig::delta_flush_rows`].
+    pub fn insert_rows(&mut self, table: TableId, rows: Vec<Vec<Value>>) -> Result<InsertReport> {
+        let t0 = self.clock.now();
+        let scope = RamScope::new(&self.ram);
+        // Validate the WHOLE batch before applying any row, so a bad
+        // statement is atomic: either every row lands or none does.
+        // Row k's dense primary key must be base count + k; foreign-key
+        // limits are stable across the batch because a statement targets
+        // one table and tree schemas have no self-references.
+        {
+            let start = self.hidden.row_count(table) as u64;
+            let hidden = &self.hidden;
+            let row_count_of = |t: TableId| hidden.row_count(t) as u64;
+            for (k, values) in rows.iter().enumerate() {
+                validate_row(&self.schema, table, start + k as u64, values, &row_count_of)?;
+            }
+        }
+        for values in &rows {
+            let new_id = RowId(self.hidden.row_count(table));
+            // Resolve the new row's joins down the subtree before any
+            // mutation (reads may touch the SKTs' base + delta).
+            let wide = self.wide_row_for(table, new_id, values, &scope)?;
+            // Hidden half → device flash delta (never the bus).
+            let new_value_cols = self.hidden.append_row(&self.schema, table, values)?;
+            // Visible half → the PC, over the (spied) bus.
+            let visible: Vec<(ColumnId, Value)> = self
+                .schema
+                .table(table)
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.visibility.is_hidden())
+                .map(|(ci, _)| (ColumnId(ci as u16), values[ci].clone()))
+                .collect();
+            self.pc_link.append_row(table, new_id, visible)?;
+            // Index maintenance at every affected level.
+            self.indexes.apply_insert(
+                &self.tree,
+                &scope,
+                &self.hidden,
+                ghostdb_index::RowInsert {
+                    table,
+                    id: new_id,
+                    values,
+                },
+                &wide,
+            )?;
+            // Planner sees base + delta cardinalities immediately.
+            self.stats.absorb_row(table, &new_value_cols);
+        }
+        let threshold = self.config.delta_flush_rows;
+        let mut flushed = false;
+        if threshold > 0 && self.hidden.total_delta_rows() >= threshold as u64 {
+            self.flush_deltas()?;
+            flushed = true;
+        }
+        Ok(InsertReport {
+            table,
+            rows: rows.len() as u64,
+            flushed,
+            sim_ns: self.clock.now().since(t0),
+        })
+    }
+
+    /// The wide row of one inserted row: the id of every table in
+    /// `table`'s subtree that the new row joins to, resolved by chasing
+    /// each foreign key through the child's Subtree Key Table.
+    fn wide_row_for(
+        &self,
+        table: TableId,
+        new_id: RowId,
+        values: &[Value],
+        scope: &RamScope,
+    ) -> Result<HashMap<u16, RowId>> {
+        let mut wide = HashMap::new();
+        wide.insert(table.0, new_id);
+        for (fk_col, child) in self.schema.table(table).foreign_keys() {
+            let fk = values
+                .get(fk_col.index())
+                .and_then(|v| v.as_int())
+                .ok_or_else(|| GhostError::exec("non-integer foreign key in insert"))?;
+            self.extend_wide(child, RowId(fk as u32), scope, &mut wide)?;
+        }
+        Ok(wide)
+    }
+
+    fn extend_wide(
+        &self,
+        t: TableId,
+        id: RowId,
+        scope: &RamScope,
+        wide: &mut HashMap<u16, RowId>,
+    ) -> Result<()> {
+        if self.tree.children(t).is_empty() {
+            wide.insert(t.0, id);
+            return Ok(());
+        }
+        let skt = self.indexes.skt(t)?;
+        let row = skt.cursor(scope)?.fetch(id)?;
+        for (pos, tt) in skt.table_order().iter().enumerate() {
+            wide.insert(tt.0, row.ids[pos]);
+        }
+        Ok(())
+    }
+
+    /// Merge every RAM-resident delta — hidden columns, climbing
+    /// indexes, SKTs — into rebuilt flash segments, freeing the old
+    /// segments for the GC. Returns the number of delta rows merged.
+    /// Runs automatically at the [`DeviceConfig::delta_flush_rows`]
+    /// threshold; callable explicitly for tests and maintenance windows.
+    pub fn flush_deltas(&mut self) -> Result<u64> {
+        let delta_rows = self.hidden.total_delta_rows();
+        if delta_rows == 0 && self.indexes.delta_entries() == 0 {
+            return Ok(0);
+        }
+        let scope = RamScope::new(&self.ram);
+        let remaps = self.hidden.flush(&scope)?;
+        self.indexes.flush(&scope, &self.hidden, &remaps)?;
+        Ok(delta_rows)
+    }
+
+    /// Un-flushed delta rows across all tables (observability).
+    pub fn delta_rows(&self) -> u64 {
+        self.hidden.total_delta_rows()
     }
 
     /// Bind a SELECT statement into an executable [`QuerySpec`].
@@ -466,6 +673,206 @@ mod tests {
         let rep = db.device_report();
         assert!(rep.contains("SKT"));
         let _ = db.trace().events();
+    }
+
+    /// The acceptance shape in miniature: inserts then query ==
+    /// fresh-load query, before and after a forced flush, both
+    /// pipelines.
+    #[test]
+    fn post_load_inserts_match_fresh_load() {
+        let mut db = tiny();
+        // New doctor 4, new visits 16..20 (some referencing doctor 4,
+        // one carrying a string outside the base dictionary).
+        db.execute("INSERT INTO Doctor VALUES (4, 'doc4', 'Japan')")
+            .unwrap();
+        db.execute(
+            "INSERT INTO Visit VALUES (16, 7, 'Sclerosis', 4), \
+             (17, 4, 'Migraine', 4), (18, 5, 'Sclerosis', 1), (19, 9, 'Migraine', 2)",
+        )
+        .unwrap();
+        assert!(db.delta_rows() > 0);
+
+        // The same content loaded fresh.
+        let stmts = parse_statements(DDL).unwrap();
+        let schema = bind_schema(&stmts).unwrap();
+        let mut data = Dataset::empty(&schema);
+        let countries = ["France", "Spain"];
+        for i in 0..4i64 {
+            data.push_row(
+                TableId(0),
+                vec![
+                    Value::Int(i),
+                    Value::Text(format!("doc{i}")),
+                    Value::Text(countries[(i % 2) as usize].into()),
+                ],
+            )
+            .unwrap();
+        }
+        data.push_row(
+            TableId(0),
+            vec![
+                Value::Int(4),
+                Value::Text("doc4".into()),
+                Value::Text("Japan".into()),
+            ],
+        )
+        .unwrap();
+        let purposes = ["Checkup", "Sclerosis"];
+        for i in 0..16i64 {
+            data.push_row(
+                TableId(1),
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 8),
+                    Value::Text(purposes[(i % 2) as usize].into()),
+                    Value::Int(i % 4),
+                ],
+            )
+            .unwrap();
+        }
+        for (vid, sev, purpose, doc) in [
+            (16i64, 7i64, "Sclerosis", 4i64),
+            (17, 4, "Migraine", 4),
+            (18, 5, "Sclerosis", 1),
+            (19, 9, "Migraine", 2),
+        ] {
+            data.push_row(
+                TableId(1),
+                vec![
+                    Value::Int(vid),
+                    Value::Int(sev),
+                    Value::Text(purpose.into()),
+                    Value::Int(doc),
+                ],
+            )
+            .unwrap();
+        }
+        let mut config = DeviceConfig::default_2007();
+        config.flash.page_size = 256;
+        config.flash.pages_per_block = 8;
+        config.flash.num_blocks = 2048;
+        let fresh = GhostDb::create(DDL, config, &data).unwrap();
+
+        let queries = [
+            "SELECT Vis.VisID, Doc.Name FROM Visit Vis, Doctor Doc \
+             WHERE Vis.Purpose = 'Sclerosis' AND Vis.DocID = Doc.DocID",
+            "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Migraine'",
+            "SELECT Vis.VisID, Vis.Purpose FROM Visit Vis, Doctor Doc \
+             WHERE Doc.Country = 'Japan' AND Vis.Severity >= 4 \
+               AND Vis.DocID = Doc.DocID",
+        ];
+        let check = |db: &GhostDb, phase: &str| {
+            for sql in &queries {
+                let expect = fresh.query(sql).unwrap().rows.rows;
+                let spec = db.bind(sql).unwrap();
+                for cp in db.plans(sql).unwrap() {
+                    let got = db.run(&spec, &cp.plan).unwrap();
+                    assert_eq!(got.rows.rows, expect, "{phase}/blocked: {sql}");
+                    let got = db.run_scalar(&spec, &cp.plan).unwrap();
+                    assert_eq!(got.rows.rows, expect, "{phase}/scalar: {sql}");
+                }
+            }
+        };
+        check(&db, "unflushed");
+        let merged = db.flush_deltas().unwrap();
+        assert_eq!(merged, 5);
+        assert_eq!(db.delta_rows(), 0);
+        check(&db, "flushed");
+    }
+
+    #[test]
+    fn insert_validation_rejects_bad_rows() {
+        let mut db = tiny();
+        // Sparse primary key.
+        assert!(db
+            .execute("INSERT INTO Visit VALUES (99, 1, 'Checkup', 0)")
+            .is_err());
+        // Foreign key out of range.
+        assert!(db
+            .execute("INSERT INTO Visit VALUES (16, 1, 'Checkup', 9)")
+            .is_err());
+        // Type mismatch.
+        assert!(db
+            .execute("INSERT INTO Visit VALUES (16, 'high', 'Checkup', 0)")
+            .is_err());
+        // CHAR capacity: Doctor.Country is CHAR(20).
+        assert!(db
+            .execute(&format!(
+                "INSERT INTO Doctor VALUES (4, 'd', '{}')",
+                "x".repeat(30)
+            ))
+            .is_err());
+        // Multi-row statements are atomic: a bad later row means no row
+        // of the batch is applied.
+        assert!(db
+            .execute("INSERT INTO Visit VALUES (16, 1, 'Checkup', 0), (16, 2, 'Checkup', 0)")
+            .is_err());
+        // Failed statements leave no delta behind.
+        assert_eq!(db.delta_rows(), 0);
+        // And the DDL path stays closed post-load.
+        assert!(db
+            .execute("CREATE TABLE T (id INTEGER PRIMARY KEY)")
+            .is_err());
+    }
+
+    #[test]
+    fn automatic_flush_trips_at_threshold() {
+        let stmts = parse_statements(DDL).unwrap();
+        let schema = bind_schema(&stmts).unwrap();
+        let mut data = Dataset::empty(&schema);
+        data.push_row(
+            TableId(0),
+            vec![
+                Value::Int(0),
+                Value::Text("doc0".into()),
+                Value::Text("France".into()),
+            ],
+        )
+        .unwrap();
+        let mut config = DeviceConfig::default_2007();
+        config.flash.page_size = 256;
+        config.flash.pages_per_block = 8;
+        config.flash.num_blocks = 2048;
+        config.delta_flush_rows = 3;
+        let mut db = GhostDb::create(DDL, config, &data).unwrap();
+        let r = db
+            .insert_rows(
+                TableId(1),
+                vec![
+                    vec![
+                        Value::Int(0),
+                        Value::Int(1),
+                        Value::Text("Checkup".into()),
+                        Value::Int(0),
+                    ],
+                    vec![
+                        Value::Int(1),
+                        Value::Int(2),
+                        Value::Text("Checkup".into()),
+                        Value::Int(0),
+                    ],
+                ],
+            )
+            .unwrap();
+        assert!(!r.flushed);
+        assert_eq!(db.delta_rows(), 2);
+        let r = db
+            .insert_rows(
+                TableId(1),
+                vec![vec![
+                    Value::Int(2),
+                    Value::Int(3),
+                    Value::Text("Checkup".into()),
+                    Value::Int(0),
+                ]],
+            )
+            .unwrap();
+        assert!(r.flushed, "threshold of 3 delta rows must trip the flush");
+        assert_eq!(db.delta_rows(), 0);
+        let out = db
+            .query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Severity >= 2")
+            .unwrap();
+        assert_eq!(out.rows.rows.len(), 2);
     }
 
     #[test]

@@ -39,6 +39,24 @@ impl BusPcLink {
     fn request_id(&self) -> u32 {
         self.next_request.fetch_add(1, Ordering::Relaxed)
     }
+
+    /// Push the visible half of one inserted row to the PC: the
+    /// `AppendVisible` frame crosses the bus (visible data is public by
+    /// design — the spy sees exactly what it would see of any visible
+    /// column) and the PC appends it to its store.
+    pub fn append_row(
+        &mut self,
+        table: TableId,
+        row: RowId,
+        values: Vec<(ColumnId, Value)>,
+    ) -> Result<()> {
+        let msg = Message::AppendVisible { table, row, values };
+        self.bus.transmit(Endpoint::Device, Endpoint::Pc, &msg)?;
+        let Message::AppendVisible { values, .. } = msg else {
+            unreachable!("constructed above");
+        };
+        self.visible.push_row(table, row, &values)
+    }
 }
 
 impl PcLink for BusPcLink {

@@ -668,15 +668,17 @@ pub fn execute(
                 v.checked += 1;
                 let member = batch.as_slice()[i * n_cols + member_col];
                 ctx.clock.advance(ctx.config.cpu.tuple_op_ns);
-                let pass = match v.range {
-                    None => false,
-                    Some(r) => {
-                        let key =
-                            ctx.hidden
-                                .key_at(v.pred.column.table, v.pred.column.column, member)?;
-                        r.contains(key)
-                    }
-                };
+                // Base rows test their stored key against the
+                // precomputed range; delta rows compare values in RAM
+                // (exact even for delta-dictionary strings).
+                let pass = ctx.hidden.matches_at(
+                    v.pred.column.table,
+                    v.pred.column.column,
+                    member,
+                    v.pred.op,
+                    &v.pred.value,
+                    v.range,
+                )?;
                 if pass {
                     v.passed += 1;
                 } else {
@@ -829,42 +831,41 @@ fn build_source<'a>(
     let scope = RamScope::new(ctx.ram);
     let t0 = ctx.clock.now();
     let anchor = spec.anchor;
-    let empty = || Box::new(ghostdb_types::VecIdStream::new(vec![])) as Box<dyn IdStream + 'a>;
     let (stream, name, detail): (Box<dyn IdStream + 'a>, &str, String) = match source {
         Source::HiddenIndexClimb { pred } => {
             let p = &spec.predicates[*pred];
             let idx = ctx.indexes.value_index(p.column)?;
+            // Base key range for the flash directory; the index's RAM
+            // delta is matched by value inside lookup_pred, so rows
+            // inserted after load (even with strings outside the base
+            // dictionary) are found too.
             let range = ctx
                 .hidden
                 .key_range(p.column.table, p.column.column, p.op, &p.value)?;
-            let stream = match range {
-                None => empty(),
-                Some(r) => Box::new(idx.lookup(&scope, r, anchor, ctx.sort_ram())?),
-            };
+            let stream: Box<dyn IdStream + 'a> =
+                Box::new(idx.lookup_pred(&scope, p.op, &p.value, range, anchor, ctx.sort_ram())?);
             (stream, "climbing-index", ctx.pred_str(p))
         }
         Source::HiddenScanTranslate { pred } => {
             let p = &spec.predicates[*pred];
-            let range = ctx
-                .hidden
-                .key_range(p.column.table, p.column.column, p.op, &p.value)?;
-            let stream = match range {
-                None => empty(),
-                Some(r) => {
-                    let mut scan =
-                        ctx.hidden
-                            .filter_scan(&scope, p.column.table, p.column.column, r)?;
-                    // One comparison per stored tuple.
-                    ctx.clock.advance(
-                        ctx.config.cpu.tuple_op_ns * ctx.hidden.row_count(p.column.table) as u64,
-                    );
-                    if p.column.table == anchor {
-                        Box::new(scan) as Box<dyn IdStream + 'a>
-                    } else {
-                        let kidx = ctx.indexes.key_index(p.column.table)?;
-                        Box::new(kidx.translate(&scope, &mut scan, anchor, ctx.sort_ram())?)
-                    }
-                }
+            // Delta-aware scan: flash base filtered through the key
+            // range, RAM delta by value comparison.
+            let mut scan = ctx.hidden.predicate_scan(
+                &scope,
+                p.column.table,
+                p.column.column,
+                p.op,
+                &p.value,
+            )?;
+            // One comparison per tuple the scan actually examines (zero
+            // base rows when the key range proves emptiness).
+            ctx.clock
+                .advance(ctx.config.cpu.tuple_op_ns * scan.planned_rows());
+            let stream: Box<dyn IdStream + 'a> = if p.column.table == anchor {
+                Box::new(scan)
+            } else {
+                let kidx = ctx.indexes.key_index(p.column.table)?;
+                Box::new(kidx.translate(&scope, &mut scan, anchor, ctx.sort_ram())?)
             };
             (stream, "scan+translate", ctx.pred_str(p))
         }
@@ -891,10 +892,14 @@ fn build_source<'a>(
                 let range =
                     ctx.hidden
                         .key_range(p.column.table, p.column.column, p.op, &p.value)?;
-                level_streams.push(match range {
-                    None => empty(),
-                    Some(r) => Box::new(idx.lookup(&scope, r, *table, ctx.sort_ram())?),
-                });
+                level_streams.push(Box::new(idx.lookup_pred(
+                    &scope,
+                    p.op,
+                    &p.value,
+                    range,
+                    *table,
+                    ctx.sort_ram(),
+                )?));
             }
             for &i in visible {
                 let p = &spec.predicates[i];

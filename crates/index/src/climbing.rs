@@ -23,12 +23,40 @@
 //!
 //! Range probes over several directory entries union their postings
 //! through the external sorter — bounded RAM, honest flash costs.
+//!
+//! # LSM-style deltas (the post-load write path)
+//!
+//! The flash base built at load time is immutable; post-load inserts
+//! land in a RAM-resident **delta** layered on top:
+//!
+//! * value indexes key their delta by the indexed column's **`Value`**
+//!   (not its order key), because a fresh `CHAR` string may have no slot
+//!   in the base dictionary's rank space — delta probes compare values
+//!   directly ([`ClimbingIndex::lookup_pred`]);
+//! * dense key indexes key their delta by row id
+//!   ([`ClimbingIndex::insert_delta_key`]), and
+//!   [`translate`](ClimbingIndex::translate) consults both layers.
+//!
+//! Every id a delta posting carries belongs to a row inserted after the
+//! base was built, so delta ids are strictly greater than any base
+//! posting id at the same level — queries union the two layers by simple
+//! concatenation ([`PostingStream::WithTail`]), keeping streams
+//! ascending without a merge. [`ClimbingIndex::flush`] rebuilds the
+//! directory + postings segments with the delta merged in (re-keying
+//! base entries through the dictionary remap a [`HiddenStore`] flush
+//! reports) and frees the old segments for the GC.
+//!
+//! [`HiddenStore`]: ghostdb_storage::HiddenStore
+
+use std::collections::BTreeMap;
 
 use ghostdb_catalog::{ColumnRef, TreeSchema};
-use ghostdb_flash::{Segment, SegmentReader, Volume};
+use ghostdb_flash::{Segment, SegmentReader, SegmentWriter, Volume};
 use ghostdb_ram::{RamScope, ScopedGuard};
 use ghostdb_storage::{Dataset, KeyRange, LoadEncoders};
-use ghostdb_types::{GhostError, IdBlock, IdStream, Result, RowId, TableId, BLOCK_CAP};
+use ghostdb_types::{
+    GhostError, IdBlock, IdStream, Result, RowId, ScalarOp, TableId, Value, VecIdStream, BLOCK_CAP,
+};
 
 use crate::sort::{ExternalSorter, SortedStream};
 use crate::wide_rows;
@@ -36,7 +64,17 @@ use crate::wide_rows;
 const KEY_BYTES: usize = 8;
 const PER_LEVEL_BYTES: usize = 8; // u32 offset + u32 length
 
-/// A climbing index on flash.
+/// RAM-resident delta postings layered over the flash base.
+#[derive(Debug)]
+enum IndexDelta {
+    /// Value indexes: keyed by the indexed column's value (delta strings
+    /// may be outside the base dictionary's rank space).
+    ByValue(Vec<(Value, Vec<Vec<u32>>)>),
+    /// Dense key indexes: keyed by row id.
+    ByKey(BTreeMap<u64, Vec<Vec<u32>>>),
+}
+
+/// A climbing index: an immutable flash base plus a RAM delta.
 #[derive(Debug)]
 pub struct ClimbingIndex {
     volume: Volume,
@@ -49,6 +87,8 @@ pub struct ClimbingIndex {
     dense: bool,
     /// Total postings per level (for cost estimation).
     level_postings: Vec<u64>,
+    /// Un-flushed post-load insertions.
+    delta: IndexDelta,
 }
 
 impl ClimbingIndex {
@@ -166,7 +206,72 @@ impl ClimbingIndex {
             entries,
             dense,
             level_postings,
+            delta: if dense {
+                IndexDelta::ByKey(BTreeMap::new())
+            } else {
+                IndexDelta::ByValue(Vec::new())
+            },
         })
+    }
+
+    /// Record a post-load posting in a **value** index: the inserted row
+    /// `id` (of the table at `level_table`) joins the entry for `value`
+    /// (the indexed column's value on the relevant level-0 row).
+    pub fn insert_delta_value(
+        &mut self,
+        value: &Value,
+        level_table: TableId,
+        id: RowId,
+    ) -> Result<()> {
+        let level = self.level_of(level_table)?;
+        let n_levels = self.levels.len();
+        let IndexDelta::ByValue(entries) = &mut self.delta else {
+            return Err(GhostError::exec(
+                "insert_delta_value requires a value index".to_string(),
+            ));
+        };
+        let lists = match entries.iter_mut().find(|(v, _)| v == value) {
+            Some((_, lists)) => lists,
+            None => {
+                entries.push((value.clone(), vec![Vec::new(); n_levels]));
+                &mut entries.last_mut().expect("just pushed").1
+            }
+        };
+        // New row ids grow monotonically, so each list stays ascending;
+        // the same id can arrive only once per (value, level).
+        if lists[level].last() != Some(&id.0) {
+            lists[level].push(id.0);
+        }
+        Ok(())
+    }
+
+    /// Record a post-load posting in a **dense key** index: the inserted
+    /// row `id` (of the table at `level_table`) joins the directory
+    /// entry for `key` (a row id of the indexed table — possibly itself
+    /// a delta row, which creates the entry).
+    pub fn insert_delta_key(&mut self, key: u64, level_table: TableId, id: RowId) -> Result<()> {
+        let level = self.level_of(level_table)?;
+        let n_levels = self.levels.len();
+        let IndexDelta::ByKey(entries) = &mut self.delta else {
+            return Err(GhostError::exec(
+                "insert_delta_key requires a dense key index".to_string(),
+            ));
+        };
+        let lists = entries
+            .entry(key)
+            .or_insert_with(|| vec![Vec::new(); n_levels]);
+        if lists[level].last() != Some(&id.0) {
+            lists[level].push(id.0);
+        }
+        Ok(())
+    }
+
+    /// Un-flushed delta entries (observability / flush-trigger metric).
+    pub fn delta_entries(&self) -> usize {
+        match &self.delta {
+            IndexDelta::ByValue(v) => v.len(),
+            IndexDelta::ByKey(m) => m.len(),
+        }
     }
 
     /// The climb path (level 0 = indexed table, last = root).
@@ -307,12 +412,183 @@ impl ClimbingIndex {
         }
     }
 
+    /// Predicate-level probe: the delta-aware face of
+    /// [`lookup`](Self::lookup). The flash base is probed with
+    /// `base_range` (the key-space reduction computed by the hidden
+    /// store; `None` = no base entry can match), the RAM delta by direct
+    /// `op`/`value` comparison — exact even for strings outside the base
+    /// dictionary. Delta ids are strictly greater than base ids at the
+    /// same level, so the union is a concatenation and stays ascending.
+    pub fn lookup_pred(
+        &self,
+        scope: &RamScope,
+        op: ScalarOp,
+        value: &Value,
+        base_range: Option<KeyRange>,
+        level_table: TableId,
+        sort_ram: usize,
+    ) -> Result<PostingStream> {
+        let level = self.level_of(level_table)?;
+        let base = match base_range {
+            None => PostingStream::empty(),
+            Some(r) => self.lookup(scope, r, level_table, sort_ram)?,
+        };
+        let mut tail_ids: Vec<RowId> = Vec::new();
+        if let IndexDelta::ByValue(entries) = &self.delta {
+            for (v, lists) in entries {
+                if op.matches(v, value)? {
+                    tail_ids.extend(lists[level].iter().map(|&i| RowId(i)));
+                }
+            }
+        }
+        if tail_ids.is_empty() {
+            return Ok(base);
+        }
+        tail_ids.sort_unstable();
+        tail_ids.dedup();
+        Ok(PostingStream::WithTail {
+            base: Box::new(base),
+            tail: VecIdStream::new(tail_ids),
+            base_done: false,
+        })
+    }
+
+    /// Merge the RAM delta into rebuilt directory + postings segments
+    /// and free the old ones. `remap_key` re-keys base directory entries
+    /// (the old→new code map after a dictionary rebuild — identity for
+    /// fixed-key columns and key indexes; must be monotonic so the
+    /// directory stays sorted), and `encode` resolves a delta entry's
+    /// value to its key in the *new* key space (every delta string is in
+    /// the rebuilt dictionary by the time this runs).
+    pub fn flush(
+        &mut self,
+        scope: &RamScope,
+        remap_key: &dyn Fn(u64) -> u64,
+        encode: &dyn Fn(&Value) -> Result<u64>,
+    ) -> Result<()> {
+        let n_levels = self.levels.len();
+        let drained = std::mem::replace(
+            &mut self.delta,
+            if self.dense {
+                IndexDelta::ByKey(BTreeMap::new())
+            } else {
+                IndexDelta::ByValue(Vec::new())
+            },
+        );
+        let delta: Vec<(u64, Vec<Vec<u32>>)> = match drained {
+            IndexDelta::ByKey(m) => m.into_iter().collect(),
+            IndexDelta::ByValue(v) => {
+                let mut out = Vec::with_capacity(v.len());
+                for (val, lists) in v {
+                    out.push((encode(&val)?, lists));
+                }
+                out.sort_by_key(|(k, _)| *k);
+                out
+            }
+        };
+
+        fn write_delta_entry(
+            dir_w: &mut SegmentWriter,
+            post_w: &mut SegmentWriter,
+            key: u64,
+            lists: &[Vec<u32>],
+            written: &mut u32,
+            level_postings: &mut [u64],
+        ) -> Result<()> {
+            dir_w.write(&key.to_le_bytes())?;
+            for (li, list) in lists.iter().enumerate() {
+                dir_w.write(&written.to_le_bytes())?;
+                dir_w.write(&(list.len() as u32).to_le_bytes())?;
+                for &id in list {
+                    post_w.write(&id.to_le_bytes())?;
+                }
+                *written += list.len() as u32;
+                level_postings[li] += list.len() as u64;
+            }
+            Ok(())
+        }
+
+        let mut dir_w = self.volume.writer(scope)?;
+        let mut post_w = self.volume.writer(scope)?;
+        let mut reader = self.volume.reader(scope, &self.postings)?;
+        let mut cur = DirCursor::new(scope, &self.volume)?;
+        let mut level_postings = vec![0u64; n_levels];
+        let mut written: u32 = 0;
+        let mut out_entries: u32 = 0;
+        let mut di = 0usize;
+        let mut buf4 = [0u8; 4];
+        for idx in 0..self.entries {
+            let e = self.read_entry(&mut cur, idx)?;
+            let new_key = remap_key(e.key);
+            while di < delta.len() && delta[di].0 < new_key {
+                write_delta_entry(
+                    &mut dir_w,
+                    &mut post_w,
+                    delta[di].0,
+                    &delta[di].1,
+                    &mut written,
+                    &mut level_postings,
+                )?;
+                out_entries += 1;
+                di += 1;
+            }
+            let extra = if di < delta.len() && delta[di].0 == new_key {
+                di += 1;
+                Some(&delta[di - 1].1)
+            } else {
+                None
+            };
+            dir_w.write(&new_key.to_le_bytes())?;
+            for (li, lp) in level_postings.iter_mut().enumerate() {
+                let (off, len) = e.slots[li];
+                let extra_list: &[u32] = extra.map(|l| l[li].as_slice()).unwrap_or(&[]);
+                dir_w.write(&written.to_le_bytes())?;
+                dir_w.write(&(len + extra_list.len() as u32).to_le_bytes())?;
+                reader.seek(off as u64 * 4)?;
+                for _ in 0..len {
+                    reader.read_exact(&mut buf4)?;
+                    post_w.write(&buf4)?;
+                }
+                for &id in extra_list {
+                    post_w.write(&id.to_le_bytes())?;
+                }
+                written += len + extra_list.len() as u32;
+                *lp += (len + extra_list.len() as u32) as u64;
+            }
+            out_entries += 1;
+        }
+        while di < delta.len() {
+            write_delta_entry(
+                &mut dir_w,
+                &mut post_w,
+                delta[di].0,
+                &delta[di].1,
+                &mut written,
+                &mut level_postings,
+            )?;
+            out_entries += 1;
+            di += 1;
+        }
+        drop(cur);
+        drop(reader);
+        let new_dir = dir_w.finish()?;
+        let new_post = post_w.finish()?;
+        let old_dir = std::mem::replace(&mut self.directory, new_dir);
+        let old_post = std::mem::replace(&mut self.postings, new_post);
+        self.volume.free(old_dir)?;
+        self.volume.free(old_post)?;
+        self.entries = out_entries;
+        self.level_postings = level_postings;
+        Ok(())
+    }
+
     /// Translate an ascending id stream (over this index's level-0 table)
     /// to the ascending, deduplicated ids at `level_table`.
     ///
     /// Only valid on dense key indexes: each input id addresses its
-    /// directory entry directly. This is the Pre-filtering step that
-    /// turns a delegated list of, say, VisIDs into PreIDs.
+    /// directory entry directly (base rows) or its delta entry (rows
+    /// inserted after the last flush). This is the Pre-filtering step
+    /// that turns a delegated list of, say, VisIDs into PreIDs.
     pub fn translate(
         &self,
         scope: &RamScope,
@@ -337,19 +613,33 @@ impl ClimbingIndex {
                 break;
             }
             for &id in block.as_slice() {
-                if id.0 >= self.entries {
+                let mut known = false;
+                if id.0 < self.entries {
+                    let e = self.read_entry(&mut cur, id.0)?;
+                    debug_assert_eq!(e.key, id.0 as u64);
+                    let (off, len) = e.slots[level];
+                    reader.seek(off as u64 * 4)?;
+                    for _ in 0..len {
+                        reader.read_exact(&mut buf)?;
+                        sorter.push(u32::from_le_bytes(buf))?;
+                    }
+                    known = true;
+                }
+                // Delta postings: additions to base entries and entries
+                // for rows inserted after the base was built.
+                if let IndexDelta::ByKey(m) = &self.delta {
+                    if let Some(lists) = m.get(&(id.0 as u64)) {
+                        for &pid in &lists[level] {
+                            sorter.push(pid)?;
+                        }
+                        known = true;
+                    }
+                }
+                if !known {
                     return Err(GhostError::exec(format!(
                         "translate input id {id} out of range ({} entries)",
                         self.entries
                     )));
-                }
-                let e = self.read_entry(&mut cur, id.0)?;
-                debug_assert_eq!(e.key, id.0 as u64);
-                let (off, len) = e.slots[level];
-                reader.seek(off as u64 * 4)?;
-                for _ in 0..len {
-                    reader.read_exact(&mut buf)?;
-                    sorter.push(u32::from_le_bytes(buf))?;
                 }
             }
         }
@@ -429,6 +719,17 @@ pub enum PostingStream {
         /// Last id yielded (for dedup).
         last: Option<u32>,
     },
+    /// A flash-base stream followed by RAM-delta ids. Every tail id is
+    /// greater than every base id (delta rows postdate the base build),
+    /// so concatenation preserves ascending order.
+    WithTail {
+        /// The flash-base stream.
+        base: Box<PostingStream>,
+        /// Ascending, deduplicated delta ids.
+        tail: VecIdStream,
+        /// True once the base stream is exhausted.
+        base_done: bool,
+    },
     /// Provably empty result.
     Empty,
 }
@@ -462,6 +763,19 @@ impl IdStream for PostingStream {
                 }
                 Ok(None)
             }
+            PostingStream::WithTail {
+                base,
+                tail,
+                base_done,
+            } => {
+                if !*base_done {
+                    if let Some(id) = base.next_id()? {
+                        return Ok(Some(id));
+                    }
+                    *base_done = true;
+                }
+                tail.next_id()
+            }
         }
     }
 
@@ -469,6 +783,20 @@ impl IdStream for PostingStream {
         block.clear();
         match self {
             PostingStream::Empty => Ok(()),
+            PostingStream::WithTail {
+                base,
+                tail,
+                base_done,
+            } => {
+                if !*base_done {
+                    base.next_block(block)?;
+                    if !block.is_empty() {
+                        return Ok(());
+                    }
+                    *base_done = true;
+                }
+                tail.next_block(block)
+            }
             PostingStream::Direct { reader, remaining } => {
                 // One chunked flash read per buffer instead of one
                 // virtual call + 4-byte read per id.
@@ -496,6 +824,19 @@ impl IdStream for PostingStream {
     fn seek_at_least(&mut self, target: RowId) -> Result<Option<RowId>> {
         match self {
             PostingStream::Empty => Ok(None),
+            PostingStream::WithTail {
+                base,
+                tail,
+                base_done,
+            } => {
+                if !*base_done {
+                    if let Some(id) = base.seek_at_least(target)? {
+                        return Ok(Some(id));
+                    }
+                    *base_done = true;
+                }
+                tail.seek_at_least(target)
+            }
             PostingStream::Direct { reader, remaining } => {
                 // The list is sorted and fixed-width on flash: gallop
                 // from the cursor, then binary-search the bracketing
@@ -564,6 +905,11 @@ impl IdStream for PostingStream {
             }
             // Duplicates collapse while draining, so only an upper bound.
             PostingStream::Sorted { stream, .. } => (0, Some(stream.len() as usize)),
+            PostingStream::WithTail { base, tail, .. } => {
+                let (blo, bhi) = base.size_hint();
+                let (tlo, thi) = tail.size_hint();
+                (blo + tlo, bhi.zip(thi).map(|(b, t)| b + t))
+            }
         }
     }
 }
@@ -805,6 +1151,100 @@ mod tests {
         // Seeking an exhausted/empty stream stays None.
         let mut s = PostingStream::empty();
         assert_eq!(s.seek_at_least(RowId(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn value_index_delta_union_and_flush() {
+        let (vol, scope, _s, tree, data, enc) = setup();
+        let cref = ColumnRef {
+            table: TableId(0),
+            column: ghostdb_types::ColumnId(1),
+        };
+        let mut idx =
+            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        // Simulate inserting visit 12 under a Spain doctor, and visit 13
+        // under a doctor whose country the base dictionary lacks.
+        idx.insert_delta_value(&Value::Text("Spain".into()), TableId(1), RowId(12))
+            .unwrap();
+        idx.insert_delta_value(&Value::Text("Atlantis".into()), TableId(1), RowId(13))
+            .unwrap();
+        assert_eq!(idx.delta_entries(), 2);
+        // Base ∪ delta through the value-exact probe.
+        let spain = KeyRange { lo: 1, hi: 1 };
+        let mut s = idx
+            .lookup_pred(
+                &scope,
+                ghostdb_types::ScalarOp::Eq,
+                &Value::Text("Spain".into()),
+                Some(spain),
+                TableId(1),
+                4096,
+            )
+            .unwrap();
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![1, 4, 7, 10, 12]));
+        // Delta-only string: no base range at all.
+        let mut s = idx
+            .lookup_pred(
+                &scope,
+                ghostdb_types::ScalarOp::Eq,
+                &Value::Text("Atlantis".into()),
+                None,
+                TableId(1),
+                4096,
+            )
+            .unwrap();
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![13]));
+
+        // Flush under a rebuilt dictionary [Atlantis, France, Spain, USA]:
+        // base codes shift by one, Atlantis takes rank 0.
+        let remap = |k: u64| k + 1;
+        let encode = |v: &Value| -> Result<u64> {
+            Ok(match v.as_text().unwrap() {
+                "Atlantis" => 0,
+                "France" => 1,
+                "Spain" => 2,
+                "USA" => 3,
+                other => panic!("unexpected {other}"),
+            })
+        };
+        idx.flush(&scope, &remap, &encode).unwrap();
+        assert_eq!(idx.entry_count(), 4);
+        assert_eq!(idx.delta_entries(), 0);
+        let mut s = idx
+            .lookup(&scope, KeyRange { lo: 2, hi: 2 }, TableId(1), 4096)
+            .unwrap();
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![1, 4, 7, 10, 12]));
+        let mut s = idx
+            .lookup(&scope, KeyRange { lo: 0, hi: 0 }, TableId(1), 4096)
+            .unwrap();
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![13]));
+    }
+
+    #[test]
+    fn key_index_delta_translate_and_flush() {
+        let (vol, scope, _s, tree, data, _enc) = setup();
+        // Key index on Visit: levels Vis -> Pre; 12 base entries.
+        let mut idx =
+            ClimbingIndex::build_key_index(&vol, &scope, &tree, &data, TableId(1)).unwrap();
+        // New prescription 24 references base visit 5; new visit 12
+        // creates a fresh dense entry.
+        idx.insert_delta_key(5, TableId(2), RowId(24)).unwrap();
+        idx.insert_delta_key(12, TableId(1), RowId(12)).unwrap();
+        let mut input = ghostdb_types::VecIdStream::new(ids(vec![5, 12]));
+        let mut out = idx.translate(&scope, &mut input, TableId(2), 4096).unwrap();
+        // Base postings of visit 5 ({5, 17}) plus the delta posting 24;
+        // visit 12 is delta-only and contributes nothing at Pre level.
+        assert_eq!(collect_ids(&mut out).unwrap(), ids(vec![5, 17, 24]));
+
+        idx.flush(&scope, &|k| k, &|_| panic!("no values in key index"))
+            .unwrap();
+        assert_eq!(idx.entry_count(), 13);
+        let mut input = ghostdb_types::VecIdStream::new(ids(vec![5, 12]));
+        let mut out = idx.translate(&scope, &mut input, TableId(2), 4096).unwrap();
+        assert_eq!(collect_ids(&mut out).unwrap(), ids(vec![5, 17, 24]));
+        // Truly unknown ids still fail.
+        let mut input = ghostdb_types::VecIdStream::new(ids(vec![99]));
+        assert!(idx.translate(&scope, &mut input, TableId(2), 4096).is_err());
     }
 
     #[test]

@@ -34,8 +34,19 @@ use std::collections::HashMap;
 use ghostdb_catalog::{ColumnRef, Schema, TreeSchema, Visibility};
 use ghostdb_flash::Volume;
 use ghostdb_ram::RamScope;
-use ghostdb_storage::{Dataset, LoadEncoders};
-use ghostdb_types::{GhostError, Result, TableId};
+use ghostdb_storage::{Dataset, DictRemap, HiddenStore, LoadEncoders};
+use ghostdb_types::{ColumnId, GhostError, Result, RowId, TableId, Value};
+
+/// One inserted row, as the index-maintenance layer sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct RowInsert<'a> {
+    /// Table that received the row.
+    pub table: TableId,
+    /// The new dense row id.
+    pub id: RowId,
+    /// Full row values in declaration order.
+    pub values: &'a [Value],
+}
 
 /// The device's full index set, as the paper prescribes:
 ///
@@ -121,6 +132,117 @@ impl IndexSet {
         self.key_indexes
             .get(&table.0)
             .ok_or_else(|| GhostError::exec(format!("no key climbing index for {table}")))
+    }
+
+    /// Index maintenance for one inserted row: every structure whose
+    /// coverage includes the new row gains a RAM-delta posting.
+    ///
+    /// `wide` maps each table in the row's subtree to the row id the new
+    /// row joins to (`wide[row.table] == row.id`). Concretely: value
+    /// indexes on any subtree table `S` gain posting `row.id` at the
+    /// inserted table's level under the key of `S`'s joined row; key
+    /// indexes on `S` gain the same posting under key `wide[S]` (which
+    /// for `S == row.table` creates the new dense entry); and the SKT
+    /// rooted at the inserted table appends the wide row.
+    pub fn apply_insert(
+        &mut self,
+        tree: &TreeSchema,
+        scope: &RamScope,
+        hidden: &HiddenStore,
+        row: RowInsert<'_>,
+        wide: &HashMap<u16, RowId>,
+    ) -> Result<()> {
+        let RowInsert {
+            table,
+            id: new_id,
+            values,
+        } = row;
+        let subtree = tree.subtree(table);
+        for &s in &subtree {
+            let s_id = *wide
+                .get(&s.0)
+                .ok_or_else(|| GhostError::exec(format!("wide row missing subtree table {s}")))?;
+            for ((t, c), idx) in self.value_indexes.iter_mut() {
+                if *t != s.0 {
+                    continue;
+                }
+                let column = ColumnId(*c);
+                let v = if s == table {
+                    values
+                        .get(column.index())
+                        .ok_or_else(|| GhostError::exec("insert row too short for index"))?
+                        .clone()
+                } else {
+                    hidden.value(scope, s, column, s_id)?
+                };
+                idx.insert_delta_value(&v, table, new_id)?;
+            }
+            if let Some(kidx) = self.key_indexes.get_mut(&s.0) {
+                kidx.insert_delta_key(s_id.0 as u64, table, new_id)?;
+            }
+        }
+        if let Some(skt) = self.skts.get_mut(&table.0) {
+            let order = skt.table_order().to_vec();
+            let ids = order
+                .iter()
+                .map(|t| {
+                    wide.get(&t.0)
+                        .copied()
+                        .ok_or_else(|| GhostError::exec(format!("wide row missing SKT table {t}")))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            skt.append_row(ids)?;
+        }
+        Ok(())
+    }
+
+    /// Merge every structure's RAM delta into rebuilt flash segments.
+    /// Runs after [`HiddenStore::flush`], whose [`DictRemap`]s re-key
+    /// the value-index directories over rebuilt dictionaries.
+    pub fn flush(
+        &mut self,
+        scope: &RamScope,
+        hidden: &HiddenStore,
+        remaps: &[DictRemap],
+    ) -> Result<()> {
+        for ((t, c), idx) in self.value_indexes.iter_mut() {
+            let remap = remaps.iter().find(|r| r.table.0 == *t && r.column.0 == *c);
+            if remap.is_none() && idx.delta_entries() == 0 {
+                continue;
+            }
+            let remap_fn: Box<dyn Fn(u64) -> u64> = match remap {
+                Some(r) => {
+                    let map = r.map.clone();
+                    Box::new(move |k| map[k as usize] as u64)
+                }
+                None => Box::new(|k| k),
+            };
+            let (table, column) = (TableId(*t), ColumnId(*c));
+            let encode = |v: &Value| hidden.encode_value(table, column, v);
+            idx.flush(scope, &remap_fn, &encode)?;
+        }
+        for idx in self.key_indexes.values_mut() {
+            if idx.delta_entries() == 0 {
+                continue;
+            }
+            idx.flush(scope, &|k| k, &|_| {
+                Err(GhostError::exec(
+                    "key-index deltas are keyed by id, not value".to_string(),
+                ))
+            })?;
+        }
+        for skt in self.skts.values_mut() {
+            skt.flush(scope)?;
+        }
+        Ok(())
+    }
+
+    /// Un-flushed delta entries across every structure (observability).
+    pub fn delta_entries(&self) -> usize {
+        let vi: usize = self.value_indexes.values().map(|i| i.delta_entries()).sum();
+        let ki: usize = self.key_indexes.values().map(|i| i.delta_entries()).sum();
+        let skt: usize = self.skts.values().map(|s| s.delta_rows() as usize).sum();
+        vi + ki + skt
     }
 
     /// Total flash bytes occupied by the index set (the paper's "extra

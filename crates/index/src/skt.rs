@@ -31,14 +31,19 @@ impl SktRow {
     }
 }
 
-/// A Subtree Key Table on flash.
+/// A Subtree Key Table: a fixed-width flash base plus a RAM-resident
+/// delta of rows appended by post-load inserts (flushed into a rebuilt
+/// segment by [`SubtreeKeyTable::flush`]).
 #[derive(Debug)]
 pub struct SubtreeKeyTable {
     volume: Volume,
     segment: Segment,
     /// Tables covered, preorder; position = column within the row.
     tables: Vec<TableId>,
+    /// Rows resident in the flash base.
     rows: u32,
+    /// Appended wide rows (root ids `rows..rows + delta.len()`).
+    delta: Vec<Vec<RowId>>,
 }
 
 impl SubtreeKeyTable {
@@ -68,7 +73,62 @@ impl SubtreeKeyTable {
             segment: w.finish()?,
             tables,
             rows,
+            delta: Vec::new(),
         })
+    }
+
+    /// Append one wide row (ids in [`table_order`](Self::table_order);
+    /// `ids[0]` must be the next dense root id). Post-load inserts land
+    /// here; the row lives in RAM until the next [`flush`](Self::flush).
+    pub fn append_row(&mut self, ids: Vec<RowId>) -> Result<()> {
+        if ids.len() != self.tables.len() {
+            return Err(GhostError::exec(format!(
+                "SKT row arity {} != {} covered tables",
+                ids.len(),
+                self.tables.len()
+            )));
+        }
+        let expect = self.rows + self.delta.len() as u32;
+        if ids[0] != RowId(expect) {
+            return Err(GhostError::exec(format!(
+                "SKT append out of order: got root id {}, expected {expect}",
+                ids[0]
+            )));
+        }
+        self.delta.push(ids);
+        Ok(())
+    }
+
+    /// Un-flushed delta rows.
+    pub fn delta_rows(&self) -> u32 {
+        self.delta.len() as u32
+    }
+
+    /// Merge the RAM delta into a rebuilt flash segment (base bytes
+    /// streamed, delta rows appended) and free the old segment.
+    pub fn flush(&mut self, scope: &RamScope) -> Result<()> {
+        if self.delta.is_empty() {
+            return Ok(());
+        }
+        let mut w = self.volume.writer(scope)?;
+        let mut reader = self.volume.reader(scope, &self.segment)?;
+        let mut buf = [0u8; 4];
+        for _ in 0..self.segment.len() / 4 {
+            reader.read_exact(&mut buf)?;
+            w.write(&buf)?;
+        }
+        drop(reader);
+        for row in &self.delta {
+            for id in row {
+                w.write(&id.0.to_le_bytes())?;
+            }
+        }
+        let new_seg = w.finish()?;
+        let old = std::mem::replace(&mut self.segment, new_seg);
+        self.volume.free(old)?;
+        self.rows += self.delta.len() as u32;
+        self.delta.clear();
+        Ok(())
     }
 
     /// Tables covered, in column order (`[0]` is the subtree root).
@@ -89,9 +149,10 @@ impl SubtreeKeyTable {
         self.tables.len() * 4
     }
 
-    /// Number of rows (= root-table cardinality).
+    /// Number of rows including the un-flushed delta (= root-table
+    /// cardinality).
     pub fn row_count(&self) -> u32 {
-        self.rows
+        self.rows + self.delta.len() as u32
     }
 
     /// Flash bytes occupied.
@@ -129,13 +190,18 @@ pub struct SktCursor<'a> {
 }
 
 impl SktCursor<'_> {
-    /// Fetch the SKT row for root id `id`.
+    /// Fetch the SKT row for root id `id` (flash base or RAM delta).
     pub fn fetch(&mut self, id: RowId) -> Result<SktRow> {
-        if id.0 >= self.skt.rows {
+        if id.0 >= self.skt.row_count() {
             return Err(GhostError::exec(format!(
                 "SKT row {id} out of range ({} rows)",
-                self.skt.rows
+                self.skt.row_count()
             )));
+        }
+        if id.0 >= self.skt.rows {
+            return Ok(SktRow {
+                ids: self.skt.delta[(id.0 - self.skt.rows) as usize].clone(),
+            });
         }
         let width = self.skt.row_width();
         let page_size = self.buf.len();
@@ -289,6 +355,42 @@ mod tests {
             "expected page batching, got {} reads",
             cur.page_reads()
         );
+    }
+
+    #[test]
+    fn delta_append_fetch_flush() {
+        let (vol, scope, tree, data, t) = setup();
+        let pre = t[4];
+        let mut skt = SubtreeKeyTable::build(&vol, &scope, &tree, &data, pre).unwrap();
+        // New prescription 20 -> medicine 2, visit 3 (doctor 3, patient 3).
+        let order = skt.table_order().to_vec();
+        let wide = |table: TableId| match table.0 {
+            0 => RowId(3),  // doctor
+            1 => RowId(3),  // patient
+            2 => RowId(2),  // medicine
+            3 => RowId(3),  // visit
+            4 => RowId(20), // prescription
+            _ => unreachable!(),
+        };
+        let row: Vec<RowId> = order.iter().map(|&tt| wide(tt)).collect();
+        // Out-of-order root ids are rejected.
+        let mut bad = row.clone();
+        bad[0] = RowId(25);
+        assert!(skt.append_row(bad).is_err());
+        skt.append_row(row.clone()).unwrap();
+        assert_eq!(skt.row_count(), 21);
+        assert_eq!(skt.delta_rows(), 1);
+        let mut cur = skt.cursor(&scope).unwrap();
+        assert_eq!(cur.fetch(RowId(20)).unwrap().ids, row);
+        assert!(cur.fetch(RowId(21)).is_err());
+        drop(cur);
+        skt.flush(&scope).unwrap();
+        assert_eq!(skt.delta_rows(), 0);
+        assert_eq!(skt.row_count(), 21);
+        let mut cur = skt.cursor(&scope).unwrap();
+        assert_eq!(cur.fetch(RowId(20)).unwrap().ids, row);
+        // Base rows survive the segment rebuild.
+        assert_eq!(cur.fetch(RowId(7)).unwrap().root_id(), RowId(7));
     }
 
     #[test]

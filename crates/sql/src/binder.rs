@@ -3,7 +3,7 @@
 use ghostdb_catalog::{ColumnRef, Predicate, Schema, SchemaBuilder, TreeSchema, Visibility};
 use ghostdb_types::{DataType, Date, GhostError, Result, TableId, Value};
 
-use crate::ast::{CreateTable, Literal, QualCol, SelectStmt, Statement, TypeDecl};
+use crate::ast::{CreateTable, InsertStmt, Literal, QualCol, SelectStmt, Statement, TypeDecl};
 
 // Note: the executor's QuerySpec lives in ghostdb-exec; depending on exec
 // from sql would invert the layering, so the binder returns the raw bound
@@ -115,6 +115,44 @@ pub fn bind_schema(stmts: &[Statement]) -> Result<Schema> {
         }
     }
     Ok(schema)
+}
+
+/// The bound pieces of an INSERT: the resolved target table and every
+/// row's literals coerced against the column types (in declaration
+/// order, primary key first). Row-level integrity — dense PK, FK range —
+/// is the storage layer's `validate_row`, which the engine runs against
+/// its *live* cardinalities at apply time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundInsert {
+    /// Target table.
+    pub table: TableId,
+    /// Coerced rows in statement order.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Bind a parsed INSERT against the schema: resolve the table and
+/// type-coerce every literal (arity and type errors surface here, before
+/// any state changes).
+pub fn bind_insert(schema: &Schema, stmt: &InsertStmt) -> Result<BoundInsert> {
+    let tid = schema.resolve_table(&stmt.table)?;
+    let tdef = schema.table(tid);
+    let mut rows = Vec::with_capacity(stmt.rows.len());
+    for (ri, lits) in stmt.rows.iter().enumerate() {
+        if lits.len() != tdef.columns.len() {
+            return Err(GhostError::sql(format!(
+                "INSERT row {ri}: {} value(s) for {} column(s) of {}",
+                lits.len(),
+                tdef.columns.len(),
+                tdef.name
+            )));
+        }
+        let mut row = Vec::with_capacity(lits.len());
+        for (cdef, lit) in tdef.columns.iter().zip(lits) {
+            row.push(coerce_literal(lit, cdef.ty)?);
+        }
+        rows.push(row);
+    }
+    Ok(BoundInsert { table: tid, rows })
 }
 
 /// Coerce a literal against a column type.

@@ -30,6 +30,6 @@ pub use ast::{
     ColumnDecl, CreateTable, InsertStmt, Literal, QualCol, SelectStmt, Statement, TypeDecl,
     WhereAtom,
 };
-pub use binder::{bind_schema, bind_select, coerce_literal, BoundSelect};
+pub use binder::{bind_insert, bind_schema, bind_select, coerce_literal, BoundInsert, BoundSelect};
 pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::parse_statements;

@@ -9,6 +9,80 @@
 use ghostdb_catalog::{ColumnRole, Schema};
 use ghostdb_types::{GhostError, Result, RowId, TableId, Value};
 
+/// Validate one row of `table` against the schema: arity, value types,
+/// `CHAR` capacity, dense primary key (`pk == expected_row`), and
+/// foreign keys in range (`row_count_of` answers the current cardinality
+/// of each referenced table).
+///
+/// This is the single row-integrity check of the engine: the secure bulk
+/// load ([`Dataset::validate`]) and the post-load `INSERT` path both call
+/// it, so the two ingestion paths can never drift apart. Generic over
+/// [`Borrow<Value>`](std::borrow::Borrow) so column-major callers can
+/// pass `&[&Value]` without cloning cells.
+pub fn validate_row<V: std::borrow::Borrow<Value>>(
+    schema: &Schema,
+    table: TableId,
+    expected_row: u64,
+    values: &[V],
+    row_count_of: &dyn Fn(TableId) -> u64,
+) -> Result<()> {
+    let tdef = schema.table(table);
+    if values.len() != tdef.columns.len() {
+        return Err(GhostError::catalog(format!(
+            "table {}: row arity {} != column count {}",
+            tdef.name,
+            values.len(),
+            tdef.columns.len()
+        )));
+    }
+    for (cdef, v) in tdef.columns.iter().zip(values) {
+        let v: &Value = v.borrow();
+        if !cdef.ty.admits(v) {
+            return Err(GhostError::catalog(format!(
+                "table {} column {} row {expected_row}: {v} does not conform to {}",
+                tdef.name, cdef.name, cdef.ty
+            )));
+        }
+        if let ghostdb_types::DataType::Char(cap) = cdef.ty {
+            if let Value::Text(s) = v {
+                if s.len() > cap as usize {
+                    return Err(GhostError::catalog(format!(
+                        "table {} column {} row {expected_row}: string exceeds CHAR({cap})",
+                        tdef.name, cdef.name
+                    )));
+                }
+            }
+        }
+        match cdef.role {
+            ColumnRole::PrimaryKey => {
+                if v.as_int() != Some(expected_row as i64) {
+                    return Err(GhostError::catalog(format!(
+                        "table {}: primary key not dense at row {expected_row}",
+                        tdef.name
+                    )));
+                }
+            }
+            ColumnRole::ForeignKey(target) => {
+                let limit = row_count_of(target) as i64;
+                match v.as_int() {
+                    Some(fk) if fk >= 0 && fk < limit => {}
+                    other => {
+                        return Err(GhostError::catalog(format!(
+                            "table {} row {expected_row}: foreign key {:?} out of range \
+                             (target {} has {limit} rows)",
+                            tdef.name,
+                            other,
+                            schema.table(target).name
+                        )))
+                    }
+                }
+            }
+            ColumnRole::Attribute => {}
+        }
+    }
+    Ok(())
+}
+
 /// Column-major data for one table.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TableData {
@@ -98,7 +172,7 @@ impl Dataset {
                 schema.table_count()
             )));
         }
-        for (tdef, tdata) in schema.tables().iter().zip(&self.tables) {
+        for (ti, (tdef, tdata)) in schema.tables().iter().zip(&self.tables).enumerate() {
             if tdata.columns.len() != tdef.columns.len() {
                 return Err(GhostError::catalog(format!(
                     "table {}: dataset has {} columns, schema {}",
@@ -117,50 +191,18 @@ impl Dataset {
                         cdata.len()
                     )));
                 }
-                for (ri, v) in cdata.iter().enumerate() {
-                    if !cdef.ty.admits(v) {
-                        return Err(GhostError::catalog(format!(
-                            "table {} column {} row {ri}: {v} does not conform to {}",
-                            tdef.name, cdef.name, cdef.ty
-                        )));
-                    }
-                    if let ghostdb_types::DataType::Char(cap) = cdef.ty {
-                        if let Value::Text(s) = v {
-                            if s.len() > cap as usize {
-                                return Err(GhostError::catalog(format!(
-                                    "table {} column {} row {ri}: string exceeds CHAR({cap})",
-                                    tdef.name, cdef.name
-                                )));
-                            }
-                        }
-                    }
-                    match cdef.role {
-                        ColumnRole::PrimaryKey => {
-                            if v.as_int() != Some(ri as i64) {
-                                return Err(GhostError::catalog(format!(
-                                    "table {}: primary key not dense at row {ri}",
-                                    tdef.name
-                                )));
-                            }
-                        }
-                        ColumnRole::ForeignKey(target) => {
-                            let limit = self.row_count(target) as i64;
-                            match v.as_int() {
-                                Some(fk) if fk >= 0 && fk < limit => {}
-                                other => {
-                                    return Err(GhostError::catalog(format!(
-                                        "table {} row {ri}: foreign key {:?} out of range \
-                                         (target {} has {limit} rows)",
-                                        tdef.name,
-                                        other,
-                                        schema.table(target).name
-                                    )))
-                                }
-                            }
-                        }
-                        ColumnRole::Attribute => {}
-                    }
+            }
+            // Per-row integrity through the shared check (the same one
+            // the post-load insert path runs).
+            let tid = TableId(ti as u16);
+            let row_count_of = |target: TableId| self.row_count(target) as u64;
+            let mut row_buf: Vec<&Value> = Vec::with_capacity(tdef.columns.len());
+            for ri in 0..rows {
+                row_buf.clear();
+                for cdata in &tdata.columns {
+                    row_buf.push(&cdata[ri]);
                 }
+                validate_row(schema, tid, ri as u64, &row_buf, &row_count_of)?;
             }
         }
         Ok(())

@@ -18,11 +18,30 @@
 //! alternatives.
 //!
 //! Column segments are the volume's *long-lived* residents: they are
-//! written once at load and then interleave with every query's temp
-//! spills. All access goes through [`Volume::read_at`]/[`SegmentReader`]
-//! logical pages, so the flash garbage collector is free to migrate a
-//! column's pages when compacting the blocks around them — the store
-//! never sees physical addresses.
+//! written at load (and rebuilt by delta flushes) and then interleave
+//! with every query's temp spills. All access goes through
+//! [`Volume::read_at`]/[`SegmentReader`] logical pages, so the flash
+//! garbage collector is free to migrate a column's pages when compacting
+//! the blocks around them — the store never sees physical addresses.
+//!
+//! # The post-load write path (LSM-style deltas)
+//!
+//! Since PR 3 the store is **mutable after load**: [`HiddenStore::append_row`]
+//! accepts new rows whose hidden halves accumulate in a RAM-resident
+//! **delta** on top of the immutable flash base. Reads union the two:
+//! row ids below [`HiddenStore::base_rows`] resolve on flash, ids at or
+//! above it resolve in the delta. `CHAR` columns pose the one wrinkle —
+//! the base dictionary's rank encoding cannot absorb a new string in
+//! place — so each dict column keeps a **delta dictionary** of unseen
+//! strings (codes `entries + i`, identity-only, *not* order-preserving)
+//! and predicates over delta rows are evaluated on the **values**
+//! directly ([`HiddenStore::matches_at`], [`HiddenStore::predicate_scan`])
+//! rather than through the base key space. [`HiddenStore::flush`] merges
+//! every delta into rebuilt flash segments — for dict columns it rebuilds
+//! the dictionary (re-ranking all codes) and reports the old→new code
+//! remap so the climbing indexes can rebuild their directories in the
+//! same pass — and frees the old segments for PR 2's garbage collector
+//! to reclaim.
 
 use std::collections::HashMap;
 
@@ -74,7 +93,7 @@ pub fn key_range_for(op: ScalarOp, key: u64, key_max: u64) -> Option<KeyRange> {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum ColumnStore {
     /// 8-byte order keys; decodes through `ty`.
     Fixed { ty: DataType, keys: Segment },
@@ -92,6 +111,39 @@ struct TableStore {
     rows: u32,
     /// Indexed by column id; `None` for visible columns (stored on the PC).
     columns: Vec<Option<ColumnStore>>,
+}
+
+/// RAM-resident appended values of one hidden column (rows
+/// `base_rows..base_rows + values.len()`).
+#[derive(Debug, Default, Clone)]
+struct ColumnDelta {
+    values: Vec<Value>,
+    /// Dict columns only: appended strings absent from the base
+    /// dictionary, in first-appearance order. Delta code = base
+    /// `entries` + position — an identity code, **not** order-preserving
+    /// relative to the base ranks.
+    new_strings: Vec<String>,
+}
+
+/// Per-table delta: appended row count plus per-column value tails.
+#[derive(Debug, Default, Clone)]
+struct TableDelta {
+    rows: u32,
+    /// Parallel to the table's columns; empty vecs for visible columns.
+    columns: Vec<ColumnDelta>,
+}
+
+/// Old→new code remap of one dict column after a flush rebuilt its
+/// dictionary: `map[old_base_code] = new_code`, plus the new code of
+/// every delta string. Index flushes use this to re-key directories.
+#[derive(Debug, Clone)]
+pub struct DictRemap {
+    /// Table owning the rebuilt column.
+    pub table: TableId,
+    /// The rebuilt column.
+    pub column: ColumnId,
+    /// `map[old_code] = new_code` for the base dictionary's codes.
+    pub map: Vec<u32>,
 }
 
 /// In-memory value→key encoders, alive only during the secure bulk load
@@ -120,11 +172,14 @@ impl LoadEncoders {
     }
 }
 
-/// The hidden half of the database, on device flash.
+/// The hidden half of the database: an immutable flash base per column
+/// plus a RAM-resident delta of post-load appends.
 #[derive(Debug)]
 pub struct HiddenStore {
     volume: Volume,
     tables: Vec<TableStore>,
+    /// Post-load appends, parallel to `tables`.
+    deltas: Vec<TableDelta>,
 }
 
 impl HiddenStore {
@@ -206,19 +261,97 @@ impl HiddenStore {
                 columns,
             });
         }
+        let deltas = tables
+            .iter()
+            .map(|t| TableDelta {
+                rows: 0,
+                columns: vec![ColumnDelta::default(); t.columns.len()],
+            })
+            .collect();
         Ok((
             HiddenStore {
                 volume: volume.clone(),
                 tables,
+                deltas,
             },
             encoders,
         ))
     }
 
-    /// Number of rows in `table` (the replicated primary keys are dense,
-    /// so the count is the whole key set).
+    /// Number of rows in `table`, **including** un-flushed delta rows
+    /// (the replicated primary keys are dense, so the count is the whole
+    /// key set).
     pub fn row_count(&self, table: TableId) -> u32 {
+        self.base_rows(table) + self.delta_rows(table)
+    }
+
+    /// Rows resident in the flash base (row ids below this resolve on
+    /// flash, ids at or above it in the RAM delta).
+    pub fn base_rows(&self, table: TableId) -> u32 {
         self.tables.get(table.index()).map(|t| t.rows).unwrap_or(0)
+    }
+
+    /// Un-flushed delta rows of `table`.
+    pub fn delta_rows(&self, table: TableId) -> u32 {
+        self.deltas.get(table.index()).map(|d| d.rows).unwrap_or(0)
+    }
+
+    /// Un-flushed delta rows summed over every table (the flush-trigger
+    /// metric).
+    pub fn total_delta_rows(&self) -> u64 {
+        self.deltas.iter().map(|d| d.rows as u64).sum()
+    }
+
+    /// Append one validated row's hidden half to the delta. `values` is
+    /// the **full** row in declaration order (visible columns are
+    /// ignored here — the PC stores those). Returns the column ids that
+    /// received a value no base or delta dictionary had seen before
+    /// (for the catalog's incremental distinct counts).
+    pub fn append_row(
+        &mut self,
+        schema: &Schema,
+        table: TableId,
+        values: &[Value],
+    ) -> Result<Vec<u16>> {
+        let tdef = schema.table(table);
+        if values.len() != tdef.columns.len() {
+            return Err(GhostError::catalog(format!(
+                "append arity {} != column count {}",
+                values.len(),
+                tdef.columns.len()
+            )));
+        }
+        let mut new_value_columns = Vec::new();
+        for (ci, (cdef, v)) in tdef.columns.iter().zip(values).enumerate() {
+            if !cdef.visibility.is_hidden() {
+                continue;
+            }
+            // Dict columns: track strings the base dictionary cannot
+            // encode (their rank space is frozen until the next flush).
+            if let Some(ColumnStore::Dict {
+                offsets,
+                bytes,
+                entries,
+                ..
+            }) = &self.tables[table.index()].columns[ci]
+            {
+                let s = v
+                    .as_text()
+                    .ok_or_else(|| GhostError::corrupt("non-text value in CHAR column"))?;
+                let (offsets, bytes, entries) = (offsets.clone(), bytes.clone(), *entries);
+                let in_base = entries > 0 && self.dict_lower_bound(&offsets, &bytes, entries, s)?.1;
+                let delta = &mut self.deltas[table.index()].columns[ci];
+                if !in_base && !delta.new_strings.iter().any(|d| d == s) {
+                    delta.new_strings.push(s.to_string());
+                    new_value_columns.push(ci as u16);
+                }
+            }
+            self.deltas[table.index()].columns[ci]
+                .values
+                .push(v.clone());
+        }
+        self.deltas[table.index()].rows += 1;
+        Ok(new_value_columns)
     }
 
     fn store(&self, table: TableId, column: ColumnId) -> Result<&ColumnStore> {
@@ -238,8 +371,52 @@ impl HiddenStore {
         self.store(table, column).is_ok()
     }
 
-    /// Raw order key of one cell.
+    /// The delta value of one cell (rows at or above the flash base).
+    fn delta_value(&self, table: TableId, column: ColumnId, row: RowId) -> Result<&Value> {
+        let base = self.base_rows(table);
+        self.deltas
+            .get(table.index())
+            .and_then(|d| d.columns.get(column.index()))
+            .and_then(|c| c.values.get((row.0 - base) as usize))
+            .ok_or_else(|| GhostError::exec(format!("row {row} out of range for {table}")))
+    }
+
+    /// Raw order key of one cell. Delta rows of dict columns whose
+    /// string is absent from the base dictionary get **identity** codes
+    /// (`entries + i`) — usable for equality/hashing, not for order.
     pub fn key_at(&self, table: TableId, column: ColumnId, row: RowId) -> Result<u64> {
+        if row.0 >= self.base_rows(table) {
+            let v = self.delta_value(table, column, row)?.clone();
+            return match self.store(table, column)? {
+                ColumnStore::Fixed { .. } => v
+                    .order_key()
+                    .ok_or_else(|| GhostError::corrupt("non-numeric value in fixed column")),
+                ColumnStore::Dict {
+                    offsets,
+                    bytes,
+                    entries,
+                    ..
+                } => {
+                    let s = v
+                        .as_text()
+                        .ok_or_else(|| GhostError::corrupt("non-text value in CHAR column"))?;
+                    let n = *entries;
+                    if n > 0 {
+                        let (code, exact) = self.dict_lower_bound(offsets, bytes, n, s)?;
+                        if exact {
+                            return Ok(code as u64);
+                        }
+                    }
+                    let delta = &self.deltas[table.index()].columns[column.index()];
+                    delta
+                        .new_strings
+                        .iter()
+                        .position(|d| d == s)
+                        .map(|i| n as u64 + i as u64)
+                        .ok_or_else(|| GhostError::corrupt("delta string missing from delta dict"))
+                }
+            };
+        }
         match self.store(table, column)? {
             ColumnStore::Fixed { keys, .. } => {
                 let mut buf = [0u8; 8];
@@ -280,6 +457,10 @@ impl HiddenStore {
             return Err(GhostError::exec(format!(
                 "row {row} out of range for {table}"
             )));
+        }
+        if row.0 >= self.base_rows(table) {
+            self.store(table, column)?; // hidden-column check
+            return Ok(self.delta_value(table, column, row)?.clone());
         }
         match self.store(table, column)? {
             ColumnStore::Fixed { ty, keys } => {
@@ -394,23 +575,117 @@ impl HiddenStore {
         }
     }
 
+    /// Does row `row` satisfy `column OP value`? Base rows test their
+    /// stored key against `base_range` (precomputed once per predicate
+    /// via [`key_range`](Self::key_range); `None` = no base row can
+    /// match); delta rows compare their RAM-resident **value** directly,
+    /// which stays exact even for strings the base dictionary cannot
+    /// encode.
+    pub fn matches_at(
+        &self,
+        table: TableId,
+        column: ColumnId,
+        row: RowId,
+        op: ScalarOp,
+        value: &Value,
+        base_range: Option<KeyRange>,
+    ) -> Result<bool> {
+        if row.0 >= self.base_rows(table) {
+            let v = self.delta_value(table, column, row)?;
+            return op.matches(v, value);
+        }
+        match base_range {
+            None => Ok(false),
+            Some(r) => Ok(r.contains(self.key_at(table, column, row)?)),
+        }
+    }
+
+    /// Exact order key of `value` in the column's current key space
+    /// (dictionary probes resolve on flash). Errors if a dict column
+    /// does not contain the string — after a [`flush`](Self::flush)
+    /// every stored string is in the rebuilt dictionary, which is what
+    /// the index flush relies on.
+    pub fn encode_value(&self, table: TableId, column: ColumnId, value: &Value) -> Result<u64> {
+        match self.store(table, column)? {
+            ColumnStore::Fixed { .. } => value
+                .order_key()
+                .ok_or_else(|| GhostError::value("text value on a fixed-key column")),
+            ColumnStore::Dict {
+                offsets,
+                bytes,
+                entries,
+                ..
+            } => {
+                let s = value
+                    .as_text()
+                    .ok_or_else(|| GhostError::value("dict column expects text"))?;
+                if *entries > 0 {
+                    let (code, exact) = self.dict_lower_bound(offsets, bytes, *entries, s)?;
+                    if exact {
+                        return Ok(code as u64);
+                    }
+                }
+                Err(GhostError::corrupt(format!(
+                    "value {s:?} missing from dictionary"
+                )))
+            }
+        }
+    }
+
+    /// Delta row ids matching `column OP value` (ascending; value-exact
+    /// comparison, so delta-dictionary strings behave correctly).
+    fn delta_matches(
+        &self,
+        table: TableId,
+        column: ColumnId,
+        op: ScalarOp,
+        value: &Value,
+    ) -> Result<Vec<RowId>> {
+        let base = self.base_rows(table);
+        let mut out = Vec::new();
+        if let Some(d) = self
+            .deltas
+            .get(table.index())
+            .and_then(|d| d.columns.get(column.index()))
+        {
+            for (i, v) in d.values.iter().enumerate() {
+                if op.matches(v, value)? {
+                    out.push(RowId(base + i as u32));
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Stream every `(row id, order key)` of a stored column — the raw
     /// scan primitive under the index-free baselines (grace hash join).
+    /// Delta rows follow the base with [`key_at`](Self::key_at) keys.
     pub fn key_scan(&self, scope: &RamScope, table: TableId, column: ColumnId) -> Result<KeyScan> {
         let (reader, width) = match self.store(table, column)? {
             ColumnStore::Fixed { keys, .. } => (self.volume.reader(scope, keys)?, 8),
             ColumnStore::Dict { codes, .. } => (self.volume.reader(scope, codes)?, 4),
         };
+        let base = self.base_rows(table);
+        let mut tail = Vec::new();
+        for i in 0..self.delta_rows(table) {
+            let row = RowId(base + i);
+            tail.push((row, self.key_at(table, column, row)?));
+        }
         Ok(KeyScan {
             reader,
             width,
             next_row: 0,
-            rows: self.row_count(table),
+            rows: base,
+            tail,
+            tail_pos: 0,
         })
     }
 
     /// Stream the row ids whose key falls in `range`, scanning the whole
-    /// column off flash (the paper's index-free fallback).
+    /// column off flash (the paper's index-free fallback). Delta rows
+    /// are matched through their [`key_at`](Self::key_at) keys; prefer
+    /// [`predicate_scan`](Self::predicate_scan) for predicate semantics
+    /// over delta-dictionary strings.
     pub fn filter_scan(
         &self,
         scope: &RamScope,
@@ -422,14 +697,176 @@ impl HiddenStore {
             ColumnStore::Fixed { keys, .. } => (self.volume.reader(scope, keys)?, 8),
             ColumnStore::Dict { codes, .. } => (self.volume.reader(scope, codes)?, 4),
         };
+        let base = self.base_rows(table);
+        let mut tail = Vec::new();
+        for i in 0..self.delta_rows(table) {
+            let row = RowId(base + i);
+            if range.contains(self.key_at(table, column, row)?) {
+                tail.push(row);
+            }
+        }
         Ok(FilterScan {
             reader,
             width,
             range,
             next_row: 0,
-            rows: self.row_count(table),
+            rows: base,
             scanned: 0,
+            tail,
+            tail_pos: 0,
         })
+    }
+
+    /// Predicate-level scan: base rows filter through the key-space
+    /// reduction, delta rows by direct value comparison. This is the
+    /// delta-aware face of [`filter_scan`](Self::filter_scan) the
+    /// executor uses.
+    pub fn predicate_scan(
+        &self,
+        scope: &RamScope,
+        table: TableId,
+        column: ColumnId,
+        op: ScalarOp,
+        value: &Value,
+    ) -> Result<FilterScan> {
+        let base_range = self.key_range(table, column, op, value)?;
+        let (reader, width) = match self.store(table, column)? {
+            ColumnStore::Fixed { keys, .. } => (self.volume.reader(scope, keys)?, 8),
+            ColumnStore::Dict { codes, .. } => (self.volume.reader(scope, codes)?, 4),
+        };
+        let tail = self.delta_matches(table, column, op, value)?;
+        Ok(FilterScan {
+            reader,
+            width,
+            range: base_range.unwrap_or(KeyRange { lo: 1, hi: 0 }),
+            next_row: 0,
+            // A `None` range proves no *base* row matches; skip the scan.
+            rows: if base_range.is_some() {
+                self.base_rows(table)
+            } else {
+                0
+            },
+            scanned: 0,
+            tail,
+            tail_pos: 0,
+        })
+    }
+
+    /// Merge every un-flushed delta into rebuilt flash segments and free
+    /// the old ones (PR 2's GC reclaims the space). Fixed columns append
+    /// their new order keys; dict columns rebuild the dictionary —
+    /// re-ranking every code so order-preservation covers the absorbed
+    /// strings — and rewrite the codes segment through the returned
+    /// old→new [`DictRemap`]s, which the index flush applies to its
+    /// directories in the same maintenance pass.
+    pub fn flush(&mut self, scope: &RamScope) -> Result<Vec<DictRemap>> {
+        let volume = self.volume.clone();
+        let mut remaps = Vec::new();
+        for ti in 0..self.tables.len() {
+            let drows = self.deltas[ti].rows;
+            if drows == 0 {
+                continue;
+            }
+            let base_rows = self.tables[ti].rows;
+            for ci in 0..self.tables[ti].columns.len() {
+                let Some(store) = self.tables[ti].columns[ci].clone() else {
+                    continue;
+                };
+                let delta = std::mem::take(&mut self.deltas[ti].columns[ci]);
+                match store {
+                    ColumnStore::Fixed { ty, keys } => {
+                        let mut w = volume.writer(scope)?;
+                        let mut reader = volume.reader(scope, &keys)?;
+                        let mut buf = [0u8; 8];
+                        for _ in 0..base_rows {
+                            reader.read_exact(&mut buf)?;
+                            w.write(&buf)?;
+                        }
+                        drop(reader);
+                        for v in &delta.values {
+                            let k = v.order_key().ok_or_else(|| {
+                                GhostError::corrupt("non-numeric value in fixed column")
+                            })?;
+                            w.write(&k.to_le_bytes())?;
+                        }
+                        let new_keys = w.finish()?;
+                        volume.free(keys)?;
+                        self.tables[ti].columns[ci] =
+                            Some(ColumnStore::Fixed { ty, keys: new_keys });
+                    }
+                    ColumnStore::Dict {
+                        codes,
+                        offsets,
+                        bytes,
+                        entries,
+                    } => {
+                        let mut base_strings = Vec::with_capacity(entries as usize);
+                        for c in 0..entries {
+                            base_strings.push(self.dict_entry(&offsets, &bytes, c)?);
+                        }
+                        let mut merged: Vec<String> = base_strings
+                            .iter()
+                            .cloned()
+                            .chain(delta.new_strings.iter().cloned())
+                            .collect();
+                        merged.sort_unstable();
+                        merged.dedup();
+                        let code_of = |s: &str| -> Result<u32> {
+                            merged
+                                .binary_search_by(|m| m.as_str().cmp(s))
+                                .map(|i| i as u32)
+                                .map_err(|_| GhostError::corrupt("string missing from merge"))
+                        };
+                        let remap: Vec<u32> = base_strings
+                            .iter()
+                            .map(|s| code_of(s))
+                            .collect::<Result<_>>()?;
+                        let mut offs_w = volume.writer(scope)?;
+                        let mut bytes_w = volume.writer(scope)?;
+                        let mut off = 0u32;
+                        for s in &merged {
+                            offs_w.write(&off.to_le_bytes())?;
+                            bytes_w.write(s.as_bytes())?;
+                            off += s.len() as u32;
+                        }
+                        offs_w.write(&off.to_le_bytes())?;
+                        let mut codes_w = volume.writer(scope)?;
+                        let mut reader = volume.reader(scope, &codes)?;
+                        let mut buf = [0u8; 4];
+                        for _ in 0..base_rows {
+                            reader.read_exact(&mut buf)?;
+                            let old = u32::from_le_bytes(buf);
+                            codes_w.write(&remap[old as usize].to_le_bytes())?;
+                        }
+                        drop(reader);
+                        for v in &delta.values {
+                            let s = v
+                                .as_text()
+                                .ok_or_else(|| GhostError::corrupt("non-text in CHAR column"))?;
+                            codes_w.write(&code_of(s)?.to_le_bytes())?;
+                        }
+                        let new_store = ColumnStore::Dict {
+                            codes: codes_w.finish()?,
+                            offsets: offs_w.finish()?,
+                            bytes: bytes_w.finish()?,
+                            entries: merged.len() as u32,
+                        };
+                        volume.free(codes)?;
+                        volume.free(offsets)?;
+                        volume.free(bytes)?;
+                        remaps.push(DictRemap {
+                            table: TableId(ti as u16),
+                            column: ColumnId(ci as u16),
+                            map: remap,
+                        });
+                        self.tables[ti].columns[ci] = Some(new_store);
+                    }
+                }
+            }
+            self.tables[ti].rows += drows;
+            self.deltas[ti].rows = 0;
+        }
+        Ok(remaps)
     }
 }
 
@@ -441,13 +878,20 @@ pub struct KeyScan {
     width: usize,
     next_row: u32,
     rows: u32,
+    /// Delta `(row, key)` pairs served after the flash base.
+    tail: Vec<(RowId, u64)>,
+    tail_pos: usize,
 }
 
 impl KeyScan {
     /// Next `(row id, order key)` pair, or `None` at end of column.
     pub fn next_entry(&mut self) -> Result<Option<(RowId, u64)>> {
         if self.next_row >= self.rows {
-            return Ok(None);
+            let e = self.tail.get(self.tail_pos).copied();
+            if e.is_some() {
+                self.tail_pos += 1;
+            }
+            return Ok(e);
         }
         let row = self.next_row;
         self.next_row += 1;
@@ -472,6 +916,9 @@ pub struct FilterScan {
     next_row: u32,
     rows: u32,
     scanned: u64,
+    /// Pre-matched delta row ids served after the flash base.
+    tail: Vec<RowId>,
+    tail_pos: usize,
 }
 
 impl FilterScan {
@@ -492,12 +939,24 @@ impl FilterScan {
                 return Ok(Some(RowId(row)));
             }
         }
-        Ok(None)
+        let id = self.tail.get(self.tail_pos).copied();
+        if id.is_some() {
+            self.tail_pos += 1;
+            self.scanned += 1;
+        }
+        Ok(id)
     }
 
     /// Rows examined so far (the per-operator "tuples processed" stat).
     pub fn scanned(&self) -> u64 {
         self.scanned
+    }
+
+    /// Rows this scan will examine end to end: the base rows it covers
+    /// (zero when the key range proved no base row can match) plus the
+    /// pre-matched delta tail. The executor charges CPU per planned row.
+    pub fn planned_rows(&self) -> u64 {
+        self.rows as u64 + self.tail.len() as u64
     }
 }
 
@@ -689,6 +1148,100 @@ mod tests {
         assert!(enc
             .key_of(TableId(0), ColumnId(2), &Value::Text("Nope".into()))
             .is_err());
+    }
+
+    #[test]
+    fn delta_append_read_flush_roundtrip() {
+        let (volume, scope, schema, data) = setup();
+        let (mut store, _) = HiddenStore::build(&volume, &scope, &schema, &data).unwrap();
+        let t = TableId(0);
+        assert_eq!(store.base_rows(t), 100);
+
+        // Row 100 reuses a base string; row 101 mints a new one.
+        let new_cols = store
+            .append_row(
+                &schema,
+                t,
+                &[
+                    Value::Int(100),
+                    Value::Date(Date(10_100)),
+                    Value::Text("Flu".into()),
+                    Value::Int(150),
+                ],
+            )
+            .unwrap();
+        assert!(new_cols.is_empty(), "base string is not a new value");
+        let new_cols = store
+            .append_row(
+                &schema,
+                t,
+                &[
+                    Value::Int(101),
+                    Value::Date(Date(10_101)),
+                    Value::Text("Zoster".into()),
+                    Value::Int(151),
+                ],
+            )
+            .unwrap();
+        assert_eq!(new_cols, vec![2], "delta-dictionary string reported");
+        assert_eq!(store.row_count(t), 102);
+        assert_eq!(store.delta_rows(t), 2);
+
+        // Delta reads: values, keys (base code vs identity delta code).
+        let c = ColumnId(2);
+        assert_eq!(
+            store.value(&scope, t, c, RowId(101)).unwrap(),
+            Value::Text("Zoster".into())
+        );
+        assert_eq!(store.key_at(t, c, RowId(100)).unwrap(), 2); // base "Flu"
+        assert_eq!(store.key_at(t, c, RowId(101)).unwrap(), 4); // entries + 0
+
+        // Value-exact delta predicate evaluation.
+        assert!(store
+            .matches_at(
+                t,
+                c,
+                RowId(101),
+                ScalarOp::Eq,
+                &Value::Text("Zoster".into()),
+                None
+            )
+            .unwrap());
+        let scan = store
+            .predicate_scan(&scope, t, c, ScalarOp::Eq, &Value::Text("Zoster".into()))
+            .unwrap();
+        let got: Vec<u32> = scan.map(|r| r.unwrap().0).collect();
+        assert_eq!(got, vec![101]);
+
+        // Flush: dictionary rebuilt (remap reported), reads unchanged.
+        let remaps = store.flush(&scope).unwrap();
+        assert_eq!(remaps.len(), 1);
+        assert_eq!(remaps[0].map, vec![0, 1, 2, 3], "prefix ranks preserved");
+        assert_eq!(store.base_rows(t), 102);
+        assert_eq!(store.delta_rows(t), 0);
+        assert_eq!(
+            store.value(&scope, t, c, RowId(101)).unwrap(),
+            Value::Text("Zoster".into())
+        );
+        // "Zoster" is now rank-encoded (sorted after "Sclerosis").
+        assert_eq!(
+            store
+                .encode_value(t, c, &Value::Text("Zoster".into()))
+                .unwrap(),
+            4
+        );
+        let range = store
+            .key_range(t, c, ScalarOp::Ge, &Value::Text("Zoster".into()))
+            .unwrap()
+            .unwrap();
+        let scan = store.filter_scan(&scope, t, c, range).unwrap();
+        let got: Vec<u32> = scan.map(|r| r.unwrap().0).collect();
+        assert_eq!(got, vec![101]);
+        // Fixed column delta merged too.
+        assert_eq!(
+            store.value(&scope, t, ColumnId(1), RowId(100)).unwrap(),
+            Value::Date(Date(10_100))
+        );
     }
 
     #[test]

@@ -30,8 +30,10 @@ mod dataset;
 mod hidden;
 mod visible;
 
-pub use dataset::{Dataset, TableData};
-pub use hidden::{key_range_for, FilterScan, HiddenStore, KeyRange, KeyScan, LoadEncoders};
+pub use dataset::{validate_row, Dataset, TableData};
+pub use hidden::{
+    key_range_for, DictRemap, FilterScan, HiddenStore, KeyRange, KeyScan, LoadEncoders,
+};
 pub use visible::VisibleStore;
 
 use ghostdb_catalog::{ColumnStats, Schema, SchemaStats, TableStats};

@@ -57,6 +57,51 @@ impl VisibleStore {
         self.tables.get(table.index()).map(|t| t.rows).unwrap_or(0)
     }
 
+    /// Append the visible half of one inserted row. `values` holds
+    /// `(column, value)` pairs for the visible columns; `row` must be
+    /// the next dense row id (the PC tracks cardinality for its
+    /// predicate evaluation, so the id sequence is checked).
+    pub fn push_row(
+        &mut self,
+        table: TableId,
+        row: RowId,
+        values: &[(ColumnId, Value)],
+    ) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table.index())
+            .ok_or_else(|| GhostError::exec(format!("PC has no table {table}")))?;
+        if row.0 != t.rows {
+            return Err(GhostError::exec(format!(
+                "append out of order: row {row}, PC holds {} rows",
+                t.rows
+            )));
+        }
+        for (c, v) in values {
+            let col = t
+                .columns
+                .get_mut(c.index())
+                .and_then(|c| c.as_mut())
+                .ok_or_else(|| {
+                    GhostError::exec(format!("PC does not hold column {table}.{c} (hidden?)"))
+                })?;
+            col.push(v.clone());
+        }
+        t.rows += 1;
+        // Every visible column must have received a value (ragged
+        // columns would desynchronize row ids).
+        for (ci, col) in t.columns.iter().enumerate() {
+            if let Some(col) = col {
+                if col.len() != t.rows as usize {
+                    return Err(GhostError::exec(format!(
+                        "append missing value for visible column {table}.c{ci}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn column(&self, table: TableId, column: ColumnId) -> Result<&[Value]> {
         self.tables
             .get(table.index())

@@ -184,6 +184,12 @@ pub struct DeviceConfig {
     pub bus: BusConfig,
     /// Secure-chip CPU cost constants.
     pub cpu: CpuConfig,
+    /// Post-load write path: once the RAM-resident delta (rows inserted
+    /// since the last flush, summed over all tables) reaches this many
+    /// rows, the engine merges the deltas into rebuilt flash segments
+    /// (the LSM-style flush). `0` disables the automatic trigger;
+    /// explicit `flush_deltas` calls still work.
+    pub delta_flush_rows: usize,
 }
 
 impl DeviceConfig {
@@ -194,7 +200,14 @@ impl DeviceConfig {
             flash: FlashConfig::default_2007(),
             bus: BusConfig::usb_full_speed(),
             cpu: CpuConfig::default_2007(),
+            delta_flush_rows: 4096,
         }
+    }
+
+    /// Override the delta flush threshold (builder style).
+    pub fn with_delta_flush_rows(mut self, rows: usize) -> Self {
+        self.delta_flush_rows = rows;
+        self
     }
 
     /// Override the RAM budget (builder style).

@@ -154,6 +154,70 @@ fn spy_does_see_visible_traffic() {
     assert!(db.spy_report().contains("EvalPredicate"));
 }
 
+/// Post-load inserts: hidden values ride the device's secure port, so a
+/// spy watching the bus sees the visible halves (public by design) but
+/// never the hidden ones — before or after the LSM delta flush.
+#[test]
+fn inserted_hidden_values_never_cross_the_bus() {
+    const INS_TEXT: &str = "XQZ-SENTINEL-INSERTED-55107";
+    const INS_INT: i64 = -991_188_227_744;
+    let mut db = build();
+    db.clear_trace();
+    db.execute(&format!(
+        "INSERT INTO Record VALUES (400, 13, '{INS_TEXT}', {INS_INT}, 2)"
+    ))
+    .unwrap();
+    db.execute("INSERT INTO Clinic VALUES (5, 'City5')")
+        .unwrap();
+    db.execute(&format!(
+        "INSERT INTO Record VALUES (401, 14, 'diag-1', {}, 5)",
+        INS_INT + 1
+    ))
+    .unwrap();
+
+    // The visible half did cross (that is the protocol), the hidden
+    // half did not.
+    assert!(
+        db.spy_sees_value(&Value::Int(13)),
+        "visible insert traffic should be spy-visible"
+    );
+    assert!(
+        !db.spy_sees_value(&Value::Text(INS_TEXT.into())),
+        "inserted hidden text leaked on append"
+    );
+    assert!(!db.spy_sees_value(&Value::Int(INS_INT)));
+
+    // Query the inserted sentinels through every plan, un-flushed...
+    let sql = "SELECT Rec.Diagnosis, Rec.SecretScore, Clinic.City \
+               FROM Record Rec, Clinic \
+               WHERE Rec.Vitals >= 13 AND Rec.ClinicID = Clinic.ClinicID";
+    for cp in db.plans(sql).unwrap() {
+        db.clear_trace();
+        let out = db.query_with_plan(sql, &cp.plan).unwrap();
+        assert!(out
+            .rows
+            .rows
+            .iter()
+            .any(|r| r[0] == Value::Text(INS_TEXT.into())));
+        assert!(
+            !db.spy_sees_value(&Value::Text(INS_TEXT.into())),
+            "inserted hidden text leaked during plan {}",
+            cp.plan.label
+        );
+        assert!(!db.spy_sees_value(&Value::Int(INS_INT)));
+        assert_no_sentinel(&db, &format!("insert-phase plan {}", cp.plan.label));
+    }
+    // ...and again after the delta merge rebuilt the flash segments.
+    assert!(db.flush_deltas().unwrap() > 0);
+    db.clear_trace();
+    let out = db
+        .query_with_plan(sql, &db.plans(sql).unwrap()[0].plan)
+        .unwrap();
+    assert!(out.rows.rows.iter().any(|r| r[1] == Value::Int(INS_INT)));
+    assert!(!db.spy_sees_value(&Value::Text(INS_TEXT.into())));
+    assert!(!db.spy_sees_value(&Value::Int(INS_INT)));
+}
+
 #[test]
 fn results_only_reach_the_display_channel() {
     let db = build();
