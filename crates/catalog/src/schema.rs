@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use ghostdb_types::{ColumnId, DataType, GhostError, Result, ScalarOp, TableId, Value};
+use ghostdb_types::{ColumnId, DataType, GhostError, Result, ScalarOp, TableId, Value, Wire};
 
 /// Where a column's values may live (paper §2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -215,6 +215,100 @@ impl Schema {
             }
         }
         out
+    }
+}
+
+// --- durable-image codec -------------------------------------------------
+//
+// The sealed device image (ghostdb-persist) serializes the bound schema
+// with the same self-contained [`Wire`] codec the bus uses, so a mounted
+// database needs no DDL text. These bytes live on the device's NAND
+// only; they never cross the spied link.
+
+impl Wire for Visibility {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.is_hidden() as u8);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(if bool::decode(buf)? {
+            Visibility::Hidden
+        } else {
+            Visibility::Visible
+        })
+    }
+}
+
+impl Wire for ColumnRole {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ColumnRole::PrimaryKey => out.push(0),
+            ColumnRole::ForeignKey(t) => {
+                out.push(1);
+                t.encode(out);
+            }
+            ColumnRole::Attribute => out.push(2),
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(ColumnRole::PrimaryKey),
+            1 => Ok(ColumnRole::ForeignKey(TableId::decode(buf)?)),
+            2 => Ok(ColumnRole::Attribute),
+            t => Err(GhostError::corrupt(format!("column role tag {t}"))),
+        }
+    }
+}
+
+impl Wire for ColumnDef {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.ty.encode(out);
+        self.visibility.encode(out);
+        self.role.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(ColumnDef {
+            name: String::decode(buf)?,
+            ty: DataType::decode(buf)?,
+            visibility: Visibility::decode(buf)?,
+            role: ColumnRole::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for TableDef {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.alias.encode(out);
+        self.columns.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(TableDef {
+            name: String::decode(buf)?,
+            alias: Option::<String>::decode(buf)?,
+            columns: Vec::<ColumnDef>::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for Schema {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tables.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let schema = Schema {
+            tables: Vec::<TableDef>::decode(buf)?,
+        };
+        for t in &schema.tables {
+            for (_, target) in t.foreign_keys() {
+                if target.index() >= schema.tables.len() {
+                    return Err(GhostError::corrupt(format!(
+                        "decoded schema: fk target {target} out of range"
+                    )));
+                }
+            }
+        }
+        Ok(schema)
     }
 }
 

@@ -8,7 +8,7 @@
 //! is bulk-loaded "in a secure setting") and drive the cost model in
 //! `ghostdb-exec`.
 
-use ghostdb_types::{ScalarOp, Value};
+use ghostdb_types::{Result, ScalarOp, Value, Wire};
 
 use crate::schema::ColumnRef;
 
@@ -191,6 +191,64 @@ impl SchemaStats {
                 c.absorb(new_value_columns.contains(&(ci as u16)));
             }
         }
+    }
+}
+
+// --- durable-image codec -------------------------------------------------
+//
+// Statistics ride the sealed device image so a mounted database plans
+// with the same estimates as the instance that sealed it. Like the rest
+// of the image these bytes stay on the device's NAND.
+
+impl Wire for Histogram {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.bounds.encode(out);
+        self.rows.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(Histogram {
+            bounds: Vec::<u64>::decode(buf)?,
+            rows: u64::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for ColumnStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rows.encode(out);
+        self.distinct.encode(out);
+        self.histogram.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(ColumnStats {
+            rows: u64::decode(buf)?,
+            distinct: u64::decode(buf)?,
+            histogram: Option::<Histogram>::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for TableStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rows.encode(out);
+        self.columns.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(TableStats {
+            rows: u64::decode(buf)?,
+            columns: Vec::<Option<ColumnStats>>::decode(buf)?,
+        })
+    }
+}
+
+impl Wire for SchemaStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tables.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(SchemaStats {
+            tables: Vec::<TableStats>::decode(buf)?,
+        })
     }
 }
 

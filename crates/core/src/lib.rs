@@ -32,6 +32,22 @@
 //! into rebuilt flash segments ([`GhostDb::flush_deltas`]), freeing the
 //! old segments for the flash GC to reclaim.
 //!
+//! # Durability: seal, mount, and the WAL
+//!
+//! [`GhostDb::seal`] makes the device state durable: deltas merge, a
+//! CRC-checked image of the whole device (schema, statistics, segment
+//! manifests, l2p table, PC snapshot) lands in the flash part's
+//! reserved metadata slots, and from then on every insert batch is
+//! write-ahead logged before it touches RAM. [`GhostDb::mount`] is the
+//! payoff — and the paper's elevator pitch: unplug the key
+//! ([`GhostDb::nand`] + drop), plug it elsewhere, and remount the
+//! database from the NAND alone, unflushed inserts replayed
+//! batch-atomically from the WAL. A delta flush on a sealed instance
+//! re-seals under a fresh epoch. Crash consistency is enforced by the
+//! volume (sealed pages are pinned until the superseding image is
+//! durable) and proved by `tests/crash_recovery.rs`, which cuts power
+//! at every program/erase boundary.
+//!
 //! [`HiddenStore`]: ghostdb_storage::HiddenStore
 
 #![forbid(unsafe_code)]
@@ -42,20 +58,22 @@ mod link;
 pub use link::BusPcLink;
 
 use ghostdb_bus::{Bus, BusTrace, Endpoint, Message};
-use ghostdb_catalog::{Schema, SchemaStats, TreeSchema};
+use ghostdb_catalog::{ColumnStats, Histogram, Schema, SchemaStats, TreeSchema};
 use ghostdb_exec::{
     execute, CostedPlan, ExecContext, ExecReport, Optimizer, PipelineMode, Plan, QuerySpec,
     ResultSet,
 };
 use ghostdb_flash::{Nand, Volume};
 use ghostdb_index::IndexSet;
+use ghostdb_persist::{DeviceImage, Wal};
 use ghostdb_ram::{RamBudget, RamScope};
 use std::collections::HashMap;
 
 use ghostdb_sql::{bind_insert, bind_schema, bind_select, parse_statements, InsertStmt, Statement};
-use ghostdb_storage::{split_dataset, validate_row, Dataset, HiddenStore};
+use ghostdb_storage::{split_dataset, validate_row, Dataset, HiddenStore, STATS_BUCKETS};
 use ghostdb_types::{
-    format_ns, ColumnId, DeviceConfig, GhostError, Result, RowId, Sealed, SimClock, TableId, Value,
+    format_ns, ColumnId, DataType, DeviceConfig, GhostError, Result, RowId, Sealed, SimClock,
+    TableId, Value, Wire,
 };
 
 /// Summary of the secure bulk load.
@@ -104,6 +122,45 @@ pub enum ExecOutcome {
     Insert(InsertReport),
 }
 
+/// Summary of one [`GhostDb::seal`].
+#[derive(Debug, Clone)]
+pub struct SealReport {
+    /// The sealed image's epoch (monotonic; mount picks the highest
+    /// valid one).
+    pub epoch: u64,
+    /// On-flash size of the image (superblock + metadata segments +
+    /// l2p table), bytes.
+    pub image_bytes: u64,
+    /// Delta rows merged into flash before the image was written.
+    pub merged_rows: u64,
+    /// Simulated time the seal took (merge + erases + programs).
+    pub sim_ns: u64,
+}
+
+/// Durability bookkeeping of a sealed (or mounted) instance.
+struct DurableState {
+    /// Epoch of the image currently on flash.
+    epoch: u64,
+    /// The write-ahead log, positioned after everything durable.
+    wal: Wal,
+    /// Size of the sealed image, bytes.
+    image_bytes: u64,
+    /// Metadata segments the image references.
+    meta_segments: usize,
+    /// Entries in the sealed l2p table.
+    l2p_entries: usize,
+}
+
+/// How a batch reaches [`GhostDb::apply_batch`].
+#[derive(Clone, Copy, PartialEq)]
+enum BatchOrigin {
+    /// A live insert: WAL it first, honor the auto-flush threshold.
+    Live,
+    /// WAL replay during mount: already on flash, never re-logged, and
+    /// the flush threshold waits for fresh traffic.
+    Replay,
+}
+
 /// A loaded GhostDB instance (PC + device + display).
 pub struct GhostDb {
     schema: Schema,
@@ -117,6 +174,9 @@ pub struct GhostDb {
     indexes: IndexSet,
     stats: SchemaStats,
     pc_link: BusPcLink,
+    /// `Some` once the instance has sealed (or was mounted): inserts are
+    /// write-ahead logged and delta flushes re-seal.
+    durable: Option<DurableState>,
 }
 
 impl GhostDb {
@@ -137,7 +197,16 @@ impl GhostDb {
         let tree = TreeSchema::analyze(&schema)?;
         let clock = SimClock::new();
         let nand = Nand::new(config.flash.clone(), clock.clone());
-        let volume = Volume::new(nand);
+        let reserved = config.flash.reserved_blocks();
+        if reserved >= config.flash.num_blocks {
+            return Err(GhostError::flash(format!(
+                "flash volume full before load: the part's {} blocks cannot hold the \
+                 {reserved}-block durability reserve (shrink meta_slot_blocks/wal_blocks, \
+                 or set them to 0 to disable durability)",
+                config.flash.num_blocks
+            )));
+        }
+        let volume = Volume::with_reserved(nand, reserved);
         let ram = RamBudget::new(config.ram_bytes);
         let bus = Bus::new(config.bus.clone(), clock.clone());
 
@@ -158,7 +227,76 @@ impl GhostDb {
             indexes,
             stats,
             pc_link,
+            durable: None,
         })
+    }
+
+    /// Remount a device from its NAND part alone — no `Dataset`, no DDL:
+    /// the sealed image provides the schema, statistics, segment
+    /// manifests, and translation table, and the write-ahead log replays
+    /// every insert batch committed after the seal. `config` supplies
+    /// the host-side knobs (RAM budget, bus, CPU, flush threshold); its
+    /// flash geometry must match the part the image was sealed on.
+    pub fn mount(nand: Nand, config: DeviceConfig) -> Result<GhostDb> {
+        if nand.config() != &config.flash {
+            return Err(GhostError::corrupt(
+                "mount config flash geometry does not match the NAND part",
+            ));
+        }
+        let loaded = ghostdb_persist::read_latest_image(&nand)?.ok_or_else(|| {
+            GhostError::corrupt(
+                "no valid sealed image on this part (never sealed, or both slots torn)",
+            )
+        })?;
+        let meta_segments = loaded.image.metadata_segment_count();
+        let l2p_entries = loaded.image.l2p.len();
+        let DeviceImage {
+            schema,
+            stats,
+            hidden,
+            indexes,
+            visible,
+            l2p,
+        } = loaded.image;
+        let reserved = config.flash.reserved_blocks();
+        let volume = Volume::mount(nand.clone(), reserved, l2p)?;
+        let tree = TreeSchema::analyze(&schema)?;
+        let hidden = HiddenStore::restore(&volume, &hidden)?;
+        let indexes = IndexSet::restore(&volume, &indexes)?;
+        let clock = nand.clock().clone();
+        let bus = Bus::new(config.bus.clone(), clock.clone());
+        let ram = RamBudget::new(config.ram_bytes);
+        let pc_link = BusPcLink::new(bus.clone(), visible);
+        let mut db = GhostDb {
+            schema,
+            tree,
+            config,
+            clock,
+            bus,
+            volume,
+            ram,
+            hidden,
+            indexes,
+            stats,
+            pc_link,
+            durable: None,
+        };
+        // Replay the WAL: every fully-committed post-seal batch, in
+        // order, through the normal apply path (validation included) —
+        // but never re-logged, and without tripping the auto-flush.
+        let opened = Wal::open(nand, loaded.epoch)?;
+        for rec in &opened.records {
+            let (table, rows) = decode_wal_record(rec)?;
+            db.apply_batch(table, rows, BatchOrigin::Replay)?;
+        }
+        db.durable = Some(DurableState {
+            epoch: loaded.epoch,
+            wal: opened.wal,
+            image_bytes: loaded.bytes,
+            meta_segments,
+            l2p_entries,
+        });
+        Ok(db)
     }
 
     /// The bound schema.
@@ -258,7 +396,26 @@ impl GhostDb {
     /// flush when the combined delta reaches
     /// [`DeviceConfig::delta_flush_rows`].
     pub fn insert_rows(&mut self, table: TableId, rows: Vec<Vec<Value>>) -> Result<InsertReport> {
+        self.apply_batch(table, rows, BatchOrigin::Live)
+    }
+
+    /// The shared batch-apply path behind [`insert_rows`](Self::insert_rows)
+    /// and the mount-time WAL replay.
+    fn apply_batch(
+        &mut self,
+        table: TableId,
+        rows: Vec<Vec<Value>>,
+        origin: BatchOrigin,
+    ) -> Result<InsertReport> {
         let t0 = self.clock.now();
+        if rows.is_empty() {
+            return Ok(InsertReport {
+                table,
+                rows: 0,
+                flushed: false,
+                sim_ns: 0,
+            });
+        }
         let scope = RamScope::new(&self.ram);
         // Validate the WHOLE batch before applying any row, so a bad
         // statement is atomic: either every row lands or none does.
@@ -273,6 +430,38 @@ impl GhostDb {
                 validate_row(&self.schema, table, start + k as u64, values, &row_count_of)?;
             }
         }
+        // Durable instances log the batch to the flash WAL in the same
+        // operation that applies it: space is checked up front (a full
+        // log forces a delta flush, which re-seals and truncates), the
+        // record is programmed right after the apply loop, and only
+        // then does the call return Ok — so the WAL replays exactly the
+        // batches the caller saw commit, whole (records are CRC-framed;
+        // a torn tail drops the interrupted batch) or not at all.
+        let record = if origin == BatchOrigin::Live && self.durable.is_some() {
+            let record = encode_wal_record(table, &rows);
+            let fits = self
+                .durable
+                .as_ref()
+                .expect("checked above")
+                .wal
+                .fits(record.len());
+            if !fits {
+                self.flush_deltas()?;
+                // Re-check against the truncated log: a batch no empty
+                // region can hold must fail *before* any state moves.
+                let wal = &self.durable.as_ref().expect("still durable").wal;
+                if !wal.fits(record.len()) {
+                    return Err(GhostError::flash(format!(
+                        "insert batch ({} B) exceeds the WAL region; raise \
+                         FlashConfig::wal_blocks or split the batch",
+                        record.len()
+                    )));
+                }
+            }
+            Some(record)
+        } else {
+            None
+        };
         for values in &rows {
             let new_id = RowId(self.hidden.row_count(table));
             // Resolve the new row's joins down the subtree before any
@@ -306,9 +495,19 @@ impl GhostDb {
             // Planner sees base + delta cardinalities immediately.
             self.stats.absorb_row(table, &new_value_cols);
         }
+        if let Some(record) = &record {
+            self.durable
+                .as_mut()
+                .expect("durable when a record was encoded")
+                .wal
+                .append(record)?;
+        }
         let threshold = self.config.delta_flush_rows;
         let mut flushed = false;
-        if threshold > 0 && self.hidden.total_delta_rows() >= threshold as u64 {
+        if origin == BatchOrigin::Live
+            && threshold > 0
+            && self.hidden.total_delta_rows() >= threshold as u64
+        {
             self.flush_deltas()?;
             flushed = true;
         }
@@ -363,10 +562,28 @@ impl GhostDb {
 
     /// Merge every RAM-resident delta — hidden columns, climbing
     /// indexes, SKTs — into rebuilt flash segments, freeing the old
-    /// segments for the GC. Returns the number of delta rows merged.
-    /// Runs automatically at the [`DeviceConfig::delta_flush_rows`]
+    /// segments for the GC, and rebuild the per-column equi-depth
+    /// histograms over the merged layout so planner estimates track the
+    /// absorbed rows. Returns the number of delta rows merged. Runs
+    /// automatically at the [`DeviceConfig::delta_flush_rows`]
     /// threshold; callable explicitly for tests and maintenance windows.
+    ///
+    /// On a sealed instance the flush **re-seals**: the merge writes new
+    /// segments (frees of the old, image-referenced ones are deferred by
+    /// the volume), a fresh image is written, the deferred frees commit,
+    /// and the WAL truncates — in that order, so a power cut at any
+    /// boundary mounts either the old image + full WAL or the new image.
     pub fn flush_deltas(&mut self) -> Result<u64> {
+        let merged = self.merge_deltas()?;
+        if merged > 0 && self.durable.is_some() {
+            self.seal_image(merged)?;
+        }
+        Ok(merged)
+    }
+
+    /// The merge alone (no re-seal): the pre-PR 4 `flush_deltas` body
+    /// plus the histogram rebuild.
+    fn merge_deltas(&mut self) -> Result<u64> {
         let delta_rows = self.hidden.total_delta_rows();
         if delta_rows == 0 && self.indexes.delta_entries() == 0 {
             return Ok(0);
@@ -374,7 +591,151 @@ impl GhostDb {
         let scope = RamScope::new(&self.ram);
         let remaps = self.hidden.flush(&scope)?;
         self.indexes.flush(&scope, &self.hidden, &remaps)?;
+        self.refresh_statistics(&scope)?;
         Ok(delta_rows)
+    }
+
+    /// Rebuild every column's statistics over the just-merged layout.
+    /// ROADMAP's open item: `absorb_row` keeps cardinalities fresh
+    /// per-insert, but histograms stayed load-time, so range-selectivity
+    /// estimates drifted as merged deltas accumulated. Hidden columns
+    /// rescan their flash key segments (order keys for fixed columns —
+    /// rank codes carry no histogram, matching load time); visible
+    /// columns rebuild from the PC's store — public data, recomputed on
+    /// the resource-rich side. Like the secure bulk load and seal, this
+    /// is a host-side maintenance pass: its working buffers are not
+    /// charged to the device RAM budget.
+    fn refresh_statistics(&mut self, scope: &RamScope) -> Result<()> {
+        for (ti, tdef) in self.schema.tables().iter().enumerate() {
+            let table = TableId(ti as u16);
+            let rows = self.hidden.row_count(table) as u64;
+            for (ci, cdef) in tdef.columns.iter().enumerate() {
+                let column = ColumnId(ci as u16);
+                let rebuilt = if cdef.visibility.is_hidden() {
+                    let mut scan = self.hidden.key_scan(scope, table, column)?;
+                    let mut keys = Vec::with_capacity(rows as usize);
+                    while let Some((_, k)) = scan.next_entry()? {
+                        keys.push(k);
+                    }
+                    keys.sort_unstable();
+                    let n = keys.len() as u64;
+                    let distinct = 1 + keys.windows(2).filter(|w| w[0] != w[1]).count() as u64;
+                    let histogram = match cdef.ty {
+                        DataType::Integer | DataType::Date => {
+                            Some(Histogram::build(keys, STATS_BUCKETS))
+                        }
+                        // Dictionary codes are ranks, not order keys of
+                        // the value domain: no histogram (as at load).
+                        DataType::Char(_) => None,
+                    };
+                    ColumnStats {
+                        rows: n,
+                        distinct: if n == 0 { 0 } else { distinct },
+                        histogram,
+                    }
+                } else {
+                    let values: Vec<Value> = self
+                        .pc_link
+                        .visible()
+                        .fetch_column(table, column, None)?
+                        .into_iter()
+                        .map(|(_, v)| v)
+                        .collect();
+                    ColumnStats::build(&values, STATS_BUCKETS)
+                };
+                if let Some(t) = self.stats.tables.get_mut(ti) {
+                    t.rows = rows;
+                    if let Some(slot) = t.columns.get_mut(ci) {
+                        *slot = Some(rebuilt);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Make the current state durable: merge any outstanding deltas,
+    /// write a fresh sealed image, and truncate the WAL. The first seal
+    /// turns durability on — from then on every insert batch is
+    /// write-ahead logged and every delta flush re-seals, so
+    /// [`GhostDb::mount`] can rebuild this exact state from the NAND
+    /// part alone.
+    pub fn seal(&mut self) -> Result<SealReport> {
+        if !ghostdb_persist::durability_enabled(&self.config.flash) {
+            return Err(GhostError::flash(
+                "durability disabled: FlashConfig::{meta_slot_blocks, wal_blocks} must be > 0",
+            ));
+        }
+        let t0 = self.clock.now();
+        let merged = self.merge_deltas()?;
+        let mut report = self.seal_image(merged)?;
+        report.sim_ns = self.clock.now().since(t0);
+        Ok(report)
+    }
+
+    /// Write the image for the (already merged) current state, commit
+    /// the volume's deferred frees, and truncate the WAL under the new
+    /// epoch. Crash-ordering is the heart of the durability argument:
+    ///
+    /// 1. the image programs into the *older* metadata slot — a cut
+    ///    here leaves the previous superblock (and every flash page it
+    ///    references, all still intact thanks to deferred frees) the
+    ///    newest valid image;
+    /// 2. only then do deferred frees erase old segments
+    ///    ([`Volume::commit_seal`]) — a cut mid-erase is harmless, the
+    ///    new image references none of those pages;
+    /// 3. the WAL truncates last — a cut mid-erase leaves stale pages
+    ///    whose epoch no longer matches, which replay ignores.
+    fn seal_image(&mut self, merged_rows: u64) -> Result<SealReport> {
+        let epoch = self.durable.as_ref().map(|d| d.epoch + 1).unwrap_or(1);
+        let image = DeviceImage {
+            schema: self.schema.clone(),
+            stats: self.stats.clone(),
+            hidden: self.hidden.manifest()?,
+            indexes: self.indexes.manifest()?,
+            visible: self.pc_link.visible().clone(),
+            l2p: self.volume.l2p_snapshot(),
+        };
+        let meta_segments = image.metadata_segment_count();
+        let l2p_entries = image.l2p.len();
+        let image_bytes = ghostdb_persist::write_image(self.volume.nand(), epoch, &image)?;
+        self.volume.commit_seal()?;
+        let mut wal = match self.durable.take() {
+            Some(d) => d.wal,
+            None => Wal::new(self.volume.nand().clone(), epoch),
+        };
+        // Record the durable state before propagating a truncation
+        // failure: the epoch-N image *is* on flash at this point, so the
+        // instance must keep WAL-logging under epoch N either way (the
+        // truncate resets its cursor state before the fallible erases,
+        // and appends erase dirty blocks on entry).
+        let truncated = wal.truncate(epoch);
+        self.durable = Some(DurableState {
+            epoch,
+            wal,
+            image_bytes,
+            meta_segments,
+            l2p_entries,
+        });
+        truncated?;
+        Ok(SealReport {
+            epoch,
+            image_bytes,
+            merged_rows,
+            sim_ns: 0,
+        })
+    }
+
+    /// The sealed epoch, once durability is on.
+    pub fn sealed_epoch(&self) -> Option<u64> {
+        self.durable.as_ref().map(|d| d.epoch)
+    }
+
+    /// The raw NAND part. Clone the handle before dropping the facade to
+    /// model unplugging the key: `GhostDb::mount` rebuilds everything
+    /// from it.
+    pub fn nand(&self) -> &Nand {
+        self.volume.nand()
     }
 
     /// Un-flushed delta rows across all tables (observability).
@@ -503,17 +864,51 @@ impl GhostDb {
         Ok(out)
     }
 
-    /// Device-side storage report (flash occupancy, index overhead).
+    /// Device-side storage report (flash occupancy, index overhead,
+    /// durability state).
     pub fn device_report(&self) -> String {
         let usage = self.volume.usage();
+        let durability = match &self.durable {
+            None => "unsealed (volatile until the first seal())".to_string(),
+            Some(d) => format!(
+                "sealed epoch {}, image {} B across {} metadata segment(s), \
+                 l2p {} entries, WAL {} B in {} record(s)",
+                d.epoch,
+                d.image_bytes,
+                d.meta_segments,
+                d.l2p_entries,
+                d.wal.bytes(),
+                d.wal.records(),
+            ),
+        };
         format!(
-            "flash: {}/{} blocks free, {} live pages; indexes: {}",
+            "flash: {}/{} blocks free, {} live pages; indexes: {}; durability: {}",
             usage.free_blocks,
             usage.total_blocks,
             usage.live_pages,
-            self.indexes.describe()
+            self.indexes.describe(),
+            durability
         )
     }
+}
+
+/// Encode one insert batch as a WAL record: `(table, rows)` in the
+/// tuple [`Wire`] format (so [`decode_wal_record`] is `decode_all` of a
+/// tuple). These bytes hold hidden values — they live on the device's
+/// NAND only and never cross the bus.
+fn encode_wal_record(table: TableId, rows: &[Vec<Value>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    table.encode(&mut out);
+    (rows.len() as u32).encode(&mut out);
+    for row in rows {
+        row.encode(&mut out);
+    }
+    out
+}
+
+/// Decode one WAL record back into its insert batch.
+fn decode_wal_record(bytes: &[u8]) -> Result<(TableId, Vec<Vec<Value>>)> {
+    ghostdb_types::decode_all::<(TableId, Vec<Vec<Value>>)>(bytes)
 }
 
 #[cfg(test)]
@@ -873,6 +1268,155 @@ mod tests {
             .query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Severity >= 2")
             .unwrap();
         assert_eq!(out.rows.rows.len(), 2);
+    }
+
+    /// The delta flush rebuilds per-column statistics: range estimates
+    /// must track merged inserts instead of staying frozen at load time.
+    #[test]
+    fn flush_rebuilds_histograms() {
+        let mut db = tiny();
+        // Base severities are 0..8; insert 32 visits far above that
+        // range, so a stale load-time histogram would estimate ~0
+        // selectivity for `Severity > 50`.
+        let rows: Vec<Vec<Value>> = (16..48i64)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(100 + i),
+                    Value::Text("Checkup".into()),
+                    Value::Int(i % 4),
+                ]
+            })
+            .collect();
+        db.insert_rows(TableId(1), rows).unwrap();
+        db.flush_deltas().unwrap();
+
+        let sev = ghostdb_catalog::ColumnRef {
+            table: TableId(1),
+            column: ColumnId(1),
+        };
+        let stats = db.stats().column(sev).expect("severity stats");
+        assert_eq!(stats.rows, 48);
+        let sel = stats.selectivity(ghostdb_types::ScalarOp::Gt, &Value::Int(50));
+        let truth = 32.0 / 48.0;
+        assert!(
+            (sel - truth).abs() < 0.15,
+            "rebuilt histogram estimates {sel:.2}, truth {truth:.2}"
+        );
+        // Hidden fixed column (the DocID fk) rebuilt too: distinct
+        // tracks the merged key set exactly.
+        let fk = ghostdb_catalog::ColumnRef {
+            table: TableId(1),
+            column: ColumnId(3),
+        };
+        let fk_stats = db.stats().column(fk).expect("fk stats");
+        assert_eq!(fk_stats.rows, 48);
+        assert_eq!(fk_stats.distinct, 4);
+    }
+
+    /// Seal, insert (WAL-only), "unplug", and remount from the NAND
+    /// alone: the replayed deltas and the sealed base must answer
+    /// queries exactly like the live instance did.
+    #[test]
+    fn seal_mount_roundtrip_with_wal_replay() {
+        let mut db = tiny();
+        let report = db.seal().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert!(report.image_bytes > 0);
+        db.execute("INSERT INTO Doctor VALUES (4, 'doc4', 'Japan')")
+            .unwrap();
+        db.execute("INSERT INTO Visit VALUES (16, 7, 'Sclerosis', 4)")
+            .unwrap();
+        assert_eq!(db.delta_rows(), 2);
+        let sql = "SELECT Vis.VisID, Doc.Name FROM Visit Vis, Doctor Doc \
+                   WHERE Vis.Purpose = 'Sclerosis' AND Vis.DocID = Doc.DocID";
+        let live = db.query(sql).unwrap().rows.rows;
+        let report = db.device_report();
+        assert!(report.contains("sealed epoch 1"), "{report}");
+
+        // Unplug the key.
+        let nand = db.nand().clone();
+        let config = db.config().clone();
+        drop(db);
+
+        let db2 = GhostDb::mount(nand, config).unwrap();
+        assert_eq!(db2.sealed_epoch(), Some(1));
+        assert_eq!(db2.delta_rows(), 2, "WAL batches replay into the delta");
+        assert_eq!(db2.query(sql).unwrap().rows.rows, live);
+        assert_eq!(db2.stats().rows(TableId(1)), 17);
+    }
+
+    /// A WAL that fills up forces a delta flush (which re-seals and
+    /// truncates) and the append retries — inserts never fail just
+    /// because the log region is small.
+    #[test]
+    fn wal_full_triggers_flush_and_retry() {
+        let stmts = parse_statements(DDL).unwrap();
+        let schema = bind_schema(&stmts).unwrap();
+        let mut data = Dataset::empty(&schema);
+        data.push_row(
+            TableId(0),
+            vec![
+                Value::Int(0),
+                Value::Text("doc0".into()),
+                Value::Text("France".into()),
+            ],
+        )
+        .unwrap();
+        let mut config = DeviceConfig::default_2007().with_delta_flush_rows(0);
+        config.flash.page_size = 256;
+        config.flash.pages_per_block = 8;
+        config.flash.num_blocks = 2048;
+        config.flash.wal_blocks = 1; // 8 pages: fills after a few batches
+        let mut db = GhostDb::create(DDL, config, &data).unwrap();
+        db.seal().unwrap();
+        for i in 0..24i64 {
+            db.insert_rows(
+                TableId(1),
+                vec![vec![
+                    Value::Int(i),
+                    Value::Int(i % 5),
+                    Value::Text("Checkup".into()),
+                    Value::Int(0),
+                ]],
+            )
+            .unwrap();
+        }
+        assert!(
+            db.sealed_epoch().unwrap() > 1,
+            "forced flushes must have re-sealed"
+        );
+        // Everything survives a power cycle.
+        let nand = db.nand().clone();
+        let config = db.config().clone();
+        drop(db);
+        let db = GhostDb::mount(nand, config).unwrap();
+        let out = db
+            .query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Severity >= 0")
+            .unwrap();
+        assert_eq!(out.rows.rows.len(), 24);
+    }
+
+    /// A flush on a sealed instance re-seals (new epoch) and truncates
+    /// the WAL; the remount then needs no replay.
+    #[test]
+    fn flush_reseals_and_truncates_wal() {
+        let mut db = tiny();
+        db.seal().unwrap();
+        db.execute("INSERT INTO Visit VALUES (16, 7, 'Sclerosis', 1)")
+            .unwrap();
+        assert!(db.flush_deltas().unwrap() > 0);
+        assert_eq!(db.sealed_epoch(), Some(2));
+        let nand = db.nand().clone();
+        let config = db.config().clone();
+        drop(db);
+        let db2 = GhostDb::mount(nand, config).unwrap();
+        assert_eq!(db2.sealed_epoch(), Some(2));
+        assert_eq!(db2.delta_rows(), 0, "nothing left to replay");
+        let out = db2
+            .query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Severity = 7")
+            .unwrap();
+        assert_eq!(out.rows.rows.len(), 3); // visits 7, 15, 16
     }
 
     #[test]

@@ -40,6 +40,12 @@ impl BusPcLink {
         self.next_request.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// The PC's visible store (the durability layer snapshots it into
+    /// the sealed image; it holds public data only, by construction).
+    pub fn visible(&self) -> &VisibleStore {
+        &self.visible
+    }
+
     /// Push the visible half of one inserted row to the PC: the
     /// `AppendVisible` frame crosses the bus (visible data is public by
     /// design — the spy sees exactly what it would see of any visible

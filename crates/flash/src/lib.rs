@@ -35,5 +35,7 @@
 mod nand;
 mod volume;
 
-pub use nand::{BlockId, FlashStats, Nand, PageAddr, PageState};
-pub use volume::{GcStats, Segment, SegmentReader, SegmentWriter, Volume, VolumeUsage};
+pub use nand::{BlockId, FlashStats, Nand, PageAddr, PageState, POWER_CUT_MSG};
+pub use volume::{
+    GcStats, Segment, SegmentManifest, SegmentReader, SegmentWriter, Volume, VolumeUsage,
+};

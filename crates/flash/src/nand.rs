@@ -82,7 +82,29 @@ struct NandState {
     pages: Vec<PageState>,
     /// Per-block erase count (wear).
     wear: Vec<u32>,
+    /// Armed power-cut fault (crash-injection harness).
+    power_cut: Option<PowerCut>,
 }
+
+/// Fault-injection state: "the user yanks the key" after a set number of
+/// state-changing operations (programs + erases).
+#[derive(Debug, Clone, Copy)]
+struct PowerCut {
+    /// Programs/erases still allowed before the cut.
+    remaining_ops: u64,
+    /// When the cut lands on a program, commit only the first half of
+    /// the page (a torn write) instead of failing cleanly before any
+    /// byte is committed; when it lands on an erase, leave the block
+    /// half-erased. Models the worst-case interrupted operation.
+    torn: bool,
+    /// The cut has happened; every further program/erase fails.
+    tripped: bool,
+}
+
+/// Message carried by every error after the simulated power cut; crash
+/// tests (and callers deciding whether a failure is injected or real)
+/// match on it.
+pub const POWER_CUT_MSG: &str = "simulated power cut";
 
 /// The simulated NAND part. Cheap to clone (shared state).
 #[derive(Clone)]
@@ -112,6 +134,7 @@ impl Nand {
                 data: vec![0xFF; pages * cfg.page_size],
                 pages: vec![PageState::Erased; pages],
                 wear: vec![0; cfg.num_blocks],
+                power_cut: None,
             })),
             stats: Arc::new(AtomicStats::default()),
             cfg,
@@ -180,6 +203,59 @@ impl Nand {
         Ok(())
     }
 
+    /// Arm the power-cut hook: the next `after_ops` state-changing
+    /// operations (programs and erases) succeed, the one after that is
+    /// the cut — failing cleanly, or (with `torn`) committing only half
+    /// of the interrupted page/block first — and every subsequent
+    /// program/erase fails with [`POWER_CUT_MSG`]. Reads keep working so
+    /// post-mortem inspection is possible; call
+    /// [`disarm_power_cut`](Self::disarm_power_cut) to "plug the key
+    /// back in" before mounting.
+    pub fn arm_power_cut(&self, after_ops: u64, torn: bool) {
+        self.state.lock().expect("nand poisoned").power_cut = Some(PowerCut {
+            remaining_ops: after_ops,
+            torn,
+            tripped: false,
+        });
+    }
+
+    /// Restore power: clears the armed/tripped fault.
+    pub fn disarm_power_cut(&self) {
+        self.state.lock().expect("nand poisoned").power_cut = None;
+    }
+
+    /// True once the armed cut has fired (the crash harness uses this to
+    /// tell an injected failure from a workload that ran to completion).
+    pub fn power_cut_tripped(&self) -> bool {
+        self.state
+            .lock()
+            .expect("nand poisoned")
+            .power_cut
+            .map(|pc| pc.tripped)
+            .unwrap_or(false)
+    }
+
+    /// Consume one op against the armed fault. `Ok(true)` = proceed,
+    /// `Ok(false)` = this op is the cut and should tear, `Err` = fail
+    /// cleanly (cut without tearing, or already dead).
+    fn power_gate(state: &mut NandState) -> Result<bool> {
+        let Some(pc) = &mut state.power_cut else {
+            return Ok(true);
+        };
+        if pc.tripped {
+            return Err(GhostError::flash(POWER_CUT_MSG));
+        }
+        if pc.remaining_ops == 0 {
+            pc.tripped = true;
+            if pc.torn {
+                return Ok(false);
+            }
+            return Err(GhostError::flash(POWER_CUT_MSG));
+        }
+        pc.remaining_ops -= 1;
+        Ok(true)
+    }
+
     /// Program a full page. The page must be erased; programming a
     /// programmed page is a protocol violation (writes in place are
     /// precluded on NAND).
@@ -197,6 +273,14 @@ impl Nand {
             return Err(GhostError::flash(format!(
                 "program of non-erased page {page:?} (no in-place writes)"
             )));
+        }
+        if !Self::power_gate(&mut state)? {
+            // Torn write: half the page commits, then the lights go out.
+            let half = data.len() / 2;
+            let base = page.index() * self.cfg.page_size;
+            state.data[base..base + half].copy_from_slice(&data[..half]);
+            state.pages[page.index()] = PageState::Programmed;
+            return Err(GhostError::flash(POWER_CUT_MSG));
         }
         let base = page.index() * self.cfg.page_size;
         state.data[base..base + data.len()].copy_from_slice(data);
@@ -222,6 +306,17 @@ impl Nand {
         }
         let mut state = self.state.lock().expect("nand poisoned");
         let first = block.index() * self.cfg.pages_per_block;
+        if !Self::power_gate(&mut state)? {
+            // Torn erase: half the block's pages reset, then power dies.
+            let half = self.cfg.pages_per_block / 2;
+            for p in first..first + half {
+                state.pages[p] = PageState::Erased;
+            }
+            let base = first * self.cfg.page_size;
+            state.data[base..base + half * self.cfg.page_size].fill(0xFF);
+            state.wear[block.index()] += 1;
+            return Err(GhostError::flash(POWER_CUT_MSG));
+        }
         for p in first..first + self.cfg.pages_per_block {
             state.pages[p] = PageState::Erased;
         }
@@ -403,6 +498,55 @@ mod tests {
         let d = nand.stats().since(&snap);
         assert_eq!(d.page_programs, 1);
         assert_eq!(d.page_reads, 0);
+    }
+
+    #[test]
+    fn power_cut_clean_kills_ops_after_budget() {
+        let nand = small();
+        nand.arm_power_cut(1, false);
+        nand.program(PageAddr(0), &[1; 64]).unwrap(); // the budgeted op
+        let err = nand.program(PageAddr(1), &[2; 64]).unwrap_err();
+        assert!(err.to_string().contains(POWER_CUT_MSG), "{err}");
+        assert!(nand.power_cut_tripped());
+        // A clean cut commits nothing, and the device stays dead.
+        assert_eq!(nand.page_state(PageAddr(1)).unwrap(), PageState::Erased);
+        assert!(nand.erase(BlockId(1)).is_err());
+        // Reads survive (post-mortem inspection), power restores fully.
+        let mut buf = [0u8; 1];
+        nand.read_into(PageAddr(0), 0, &mut buf).unwrap();
+        nand.disarm_power_cut();
+        nand.program(PageAddr(1), &[2; 64]).unwrap();
+    }
+
+    #[test]
+    fn torn_program_commits_half_the_page() {
+        let nand = small();
+        nand.arm_power_cut(0, true);
+        assert!(nand.program(PageAddr(0), &[7; 64]).is_err());
+        nand.disarm_power_cut();
+        // Half the bytes landed; the page counts as programmed (so it
+        // cannot be silently reused without an erase).
+        assert_eq!(nand.page_state(PageAddr(0)).unwrap(), PageState::Programmed);
+        let mut buf = [0u8; 64];
+        nand.read_into(PageAddr(0), 0, &mut buf).unwrap();
+        assert_eq!(&buf[..32], &[7; 32]);
+        assert_eq!(&buf[32..], &[0xFF; 32]);
+    }
+
+    #[test]
+    fn torn_erase_resets_half_the_block() {
+        let nand = small();
+        for p in 0..4 {
+            nand.program(PageAddr(p), &[3; 64]).unwrap();
+        }
+        nand.arm_power_cut(0, true);
+        assert!(nand.erase(BlockId(0)).is_err());
+        nand.disarm_power_cut();
+        assert_eq!(nand.page_state(PageAddr(0)).unwrap(), PageState::Erased);
+        assert_eq!(nand.page_state(PageAddr(1)).unwrap(), PageState::Erased);
+        assert_eq!(nand.page_state(PageAddr(2)).unwrap(), PageState::Programmed);
+        assert_eq!(nand.page_state(PageAddr(3)).unwrap(), PageState::Programmed);
+        assert_eq!(nand.wear(BlockId(0)).unwrap(), 1, "wear counts the start");
     }
 
     #[test]

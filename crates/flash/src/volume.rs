@@ -36,14 +36,34 @@
 //! charged the same way — the tiny-RAM discipline applies even to
 //! reclamation.
 //!
+//! # Sealed images (durability)
+//!
+//! The durability layer (`ghostdb-persist`) periodically **seals** the
+//! volume: it records the translation table ([`Volume::l2p_snapshot`])
+//! and every live segment's LPN list in an on-flash image. Until the
+//! next seal supersedes that image, the volume guarantees the recorded
+//! mappings stay physically valid:
+//!
+//! * sealed pages are never **migrated** — blocks holding one are
+//!   exempt from GC victim selection (the image stores *physical*
+//!   addresses; moving a page would strand them);
+//! * sealed pages are never **erased** — a [`Volume::free`] against one
+//!   is deferred, and only [`Volume::commit_seal`] (called once the
+//!   superseding image is durable) releases it.
+//!
+//! That pair of rules is what makes a power cut anywhere inside a delta
+//! flush recoverable: the old image's pages are all still exactly where
+//! it says they are.
+//!
 //! [`FlashConfig::gc_low_watermark_blocks`]: ghostdb_types::FlashConfig::gc_low_watermark_blocks
 
+use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
 use ghostdb_ram::{RamScope, ScopedGuard};
-use ghostdb_types::{GhostError, Result};
+use ghostdb_types::{GhostError, Result, Wire};
 
-use crate::nand::{BlockId, Nand, PageAddr};
+use crate::nand::{BlockId, Nand, PageAddr, PageState};
 
 /// Stable logical page number; the translation table maps it to the
 /// page's current physical address.
@@ -66,6 +86,18 @@ pub struct Segment {
 }
 
 impl Segment {
+    /// The segment's durable description (LPN list + length), for the
+    /// durability layer's metadata segments. LPNs stay valid across GC
+    /// migrations (the translation table tracks the moves), which is
+    /// exactly what makes them the right currency for a sealed on-flash
+    /// image.
+    pub fn manifest(&self) -> SegmentManifest {
+        SegmentManifest {
+            lpns: self.pages.iter().map(|l| l.0).collect(),
+            len: self.len_bytes,
+        }
+    }
+
     /// Logical length in bytes.
     pub fn len(&self) -> u64 {
         self.len_bytes
@@ -79,6 +111,31 @@ impl Segment {
     /// Number of flash pages backing the segment.
     pub fn page_count(&self) -> usize {
         self.pages.len()
+    }
+}
+
+/// Durable description of one segment: its logical page numbers plus its
+/// byte length. This is what the sealed device image stores per segment;
+/// [`Volume::restore_manifest`] turns it back into a live [`Segment`]
+/// against the mounted translation table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentManifest {
+    /// Logical page numbers, in segment order.
+    pub lpns: Vec<u32>,
+    /// Logical length in bytes.
+    pub len: u64,
+}
+
+impl Wire for SegmentManifest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.lpns.encode(out);
+        self.len.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(SegmentManifest {
+            lpns: Vec::<u32>::decode(buf)?,
+            len: u64::decode(buf)?,
+        })
     }
 }
 
@@ -118,6 +175,18 @@ struct AllocState {
     p2l: Vec<u32>,
     /// Cumulative GC counters.
     gc: GcStats,
+    /// Per-LPN "referenced by the sealed on-flash image" flag (parallel
+    /// to `l2p`, short tails read as unsealed). Sealed pages may be
+    /// neither migrated (the image records their physical l2p mapping)
+    /// nor freed (the image still reads them) until the next seal.
+    sealed: Vec<bool>,
+    /// Per-block count of sealed live pages — blocks holding any are
+    /// exempt from GC victim selection.
+    sealed_in_block: Vec<u32>,
+    /// Sealed LPNs whose `free` was deferred; physically released (and
+    /// their blocks made reclaimable) by [`Volume::commit_seal`] once
+    /// the superseding image is durable.
+    deferred_free: HashSet<u32>,
 }
 
 impl AllocState {
@@ -127,13 +196,20 @@ impl AllocState {
         pins(self.current) || pins(self.gc_current)
     }
 
+    fn is_sealed(&self, lpn: u32) -> bool {
+        self.sealed.get(lpn as usize).copied().unwrap_or(false)
+    }
+
     /// A block the GC may reclaim: fully allocated (it will never be
-    /// written again), holding at least one dead page, and not pinned by
-    /// a write frontier. Shared by the pre-check and victim selection so
-    /// the two cannot drift.
+    /// written again), holding at least one dead page, not pinned by a
+    /// write frontier, and free of sealed pages (migrating those would
+    /// invalidate the physical mappings the sealed image recorded).
+    /// Shared by the pre-check and victim selection so the two cannot
+    /// drift.
     fn victim_eligible(&self, b: usize, ppb: usize) -> bool {
         self.allocated[b] as usize == ppb
             && self.allocated[b] > self.live[b]
+            && self.sealed_in_block[b] == 0
             && !self.is_frontier(BlockId(b as u32), ppb)
     }
 }
@@ -162,11 +238,23 @@ pub struct Volume {
 impl Volume {
     /// Take ownership of a blank NAND part.
     pub fn new(nand: Nand) -> Self {
+        Self::with_reserved(nand, 0)
+    }
+
+    /// Take ownership of a blank NAND part whose first `reserved` erase
+    /// blocks belong to someone else (the durability layer's metadata
+    /// slots and WAL region): the volume never allocates, erases, or
+    /// garbage-collects them.
+    pub fn with_reserved(nand: Nand, reserved: usize) -> Self {
         let blocks = nand.block_count();
         let pages = nand.page_count();
+        assert!(
+            reserved < blocks,
+            "reserved region ({reserved} blocks) swallows the whole part ({blocks} blocks)"
+        );
         Volume {
             state: Arc::new(Mutex::new(AllocState {
-                free_blocks: (0..blocks as u32).map(BlockId).collect(),
+                free_blocks: (reserved as u32..blocks as u32).map(BlockId).collect(),
                 current: None,
                 gc_current: None,
                 live: vec![0; blocks],
@@ -175,9 +263,185 @@ impl Volume {
                 free_lpns: Vec::new(),
                 p2l: vec![UNMAPPED; pages],
                 gc: GcStats::default(),
+                sealed: Vec::new(),
+                sealed_in_block: vec![0; blocks],
+                deferred_free: HashSet::new(),
             })),
             nand,
         }
+    }
+
+    /// Reconstruct a volume from a **sealed translation table** on a
+    /// part that already holds data — the mount path. `l2p[lpn]` is the
+    /// physical page recorded by the sealed image (`u32::MAX` =
+    /// unmapped). Per-block accounting is rebuilt conservatively:
+    ///
+    /// * a block with mapped pages is treated as fully allocated (its
+    ///   erased tail pages — the interrupted frontier — are never
+    ///   reused; the GC reclaims them with the block);
+    /// * a block with no mapped page returns to the free list if fully
+    ///   erased, otherwise it is all-dead feedstock for the GC (stale
+    ///   data from writes the crash outran);
+    /// * every mapped page is immediately **sealed** (the image that
+    ///   described it is the one we just mounted).
+    pub fn mount(nand: Nand, reserved: usize, l2p: Vec<u32>) -> Result<Self> {
+        let blocks = nand.block_count();
+        let pages = nand.page_count();
+        let ppb = nand.config().pages_per_block;
+        let mut p2l = vec![UNMAPPED; pages];
+        let mut live = vec![0u32; blocks];
+        let mut sealed_in_block = vec![0u32; blocks];
+        let mut free_lpns = Vec::new();
+        for (lpn, &phys) in l2p.iter().enumerate() {
+            if phys == UNMAPPED {
+                free_lpns.push(lpn as u32);
+                continue;
+            }
+            let p = PageAddr(phys);
+            if p.index() >= pages || p.index() / ppb < reserved {
+                return Err(GhostError::corrupt(format!(
+                    "mounted l2p entry {lpn} points at invalid page {phys}"
+                )));
+            }
+            if p2l[p.index()] != UNMAPPED {
+                return Err(GhostError::corrupt(format!(
+                    "mounted l2p maps page {phys} twice"
+                )));
+            }
+            if nand.page_state(p)? != PageState::Programmed {
+                return Err(GhostError::corrupt(format!(
+                    "mounted l2p entry {lpn} points at erased page {phys}"
+                )));
+            }
+            p2l[p.index()] = lpn as u32;
+            let b = p.index() / ppb;
+            live[b] += 1;
+            sealed_in_block[b] += 1;
+        }
+        let mut free_blocks = Vec::new();
+        let mut allocated = vec![0u32; blocks];
+        for b in reserved..blocks {
+            if live[b] > 0 {
+                allocated[b] = ppb as u32;
+                continue;
+            }
+            let first = b * ppb;
+            let fully_erased = (first..first + ppb)
+                .all(|p| matches!(nand.page_state(PageAddr(p as u32)), Ok(PageState::Erased)));
+            if fully_erased {
+                free_blocks.push(BlockId(b as u32));
+            } else {
+                // Stale programmed pages with no owner: all-dead, fully
+                // allocated, so the GC erases the block when picked.
+                allocated[b] = ppb as u32;
+            }
+        }
+        let sealed = l2p.iter().map(|&p| p != UNMAPPED).collect();
+        Ok(Volume {
+            state: Arc::new(Mutex::new(AllocState {
+                free_blocks,
+                current: None,
+                gc_current: None,
+                live,
+                allocated,
+                l2p,
+                free_lpns,
+                p2l,
+                gc: GcStats::default(),
+                sealed,
+                sealed_in_block,
+                deferred_free: HashSet::new(),
+            })),
+            nand,
+        })
+    }
+
+    /// The translation table as the durability layer seals it:
+    /// `out[lpn]` = current physical page, with deferred-freed pages
+    /// already masked out (the image being written no longer references
+    /// them, even though they stay physically intact until
+    /// [`commit_seal`](Self::commit_seal) runs).
+    pub fn l2p_snapshot(&self) -> Vec<u32> {
+        let st = self.state.lock().expect("volume poisoned");
+        let mut out = st.l2p.clone();
+        for &lpn in &st.deferred_free {
+            out[lpn as usize] = UNMAPPED;
+        }
+        out
+    }
+
+    /// Rebuild a [`Segment`] handle from its durable [`SegmentManifest`].
+    pub fn restore_manifest(&self, m: &SegmentManifest) -> Result<Segment> {
+        self.restore_segment(&m.lpns, m.len)
+    }
+
+    /// Rebuild a [`Segment`] handle from a sealed manifest (LPN list +
+    /// byte length). Every LPN must be live in the translation table.
+    pub fn restore_segment(&self, lpns: &[u32], len_bytes: u64) -> Result<Segment> {
+        let ps = self.page_size() as u64;
+        if len_bytes > lpns.len() as u64 * ps || (lpns.len() as u64) > len_bytes.div_ceil(ps) {
+            return Err(GhostError::corrupt(format!(
+                "segment manifest length {len_bytes} does not fit {} pages",
+                lpns.len()
+            )));
+        }
+        let st = self.state.lock().expect("volume poisoned");
+        for &lpn in lpns {
+            match st.l2p.get(lpn as usize) {
+                Some(&p) if p != UNMAPPED => {}
+                _ => {
+                    return Err(GhostError::corrupt(format!(
+                        "segment manifest references unmapped logical page {lpn}"
+                    )))
+                }
+            }
+        }
+        Ok(Segment {
+            pages: Arc::new(lpns.iter().map(|&l| Lpn(l)).collect()),
+            len_bytes,
+        })
+    }
+
+    /// Finish a seal: physically release every deferred free (the old
+    /// image's pages — the new image is durable, so they may finally
+    /// die), then pin the entire live set as the new sealed generation.
+    pub fn commit_seal(&self) -> Result<()> {
+        let deferred: Vec<u32> = {
+            let mut st = self.state.lock().expect("volume poisoned");
+            let d: Vec<u32> = st.deferred_free.drain().collect();
+            // Unseal first so free_now treats them as ordinary pages.
+            for &lpn in &d {
+                if st.is_sealed(lpn) {
+                    let phys = st.l2p[lpn as usize];
+                    let b = (phys as usize) / self.nand.config().pages_per_block;
+                    st.sealed[lpn as usize] = false;
+                    st.sealed_in_block[b] -= 1;
+                }
+            }
+            d
+        };
+        for lpn in deferred {
+            self.free_now(Lpn(lpn))?;
+        }
+        let mut st = self.state.lock().expect("volume poisoned");
+        let ppb = self.nand.config().pages_per_block;
+        st.sealed = st.l2p.iter().map(|&p| p != UNMAPPED).collect();
+        let mut per_block = vec![0u32; self.nand.block_count()];
+        for &phys in st.l2p.iter().filter(|&&p| p != UNMAPPED) {
+            per_block[(phys as usize) / ppb] += 1;
+        }
+        st.sealed_in_block = per_block;
+        Ok(())
+    }
+
+    /// Live pages whose release is deferred until the next
+    /// [`commit_seal`](Self::commit_seal) (observability).
+    pub fn deferred_free_pages(&self) -> usize {
+        self.state
+            .lock()
+            .expect("volume poisoned")
+            .deferred_free
+            .len()
     }
 
     /// The underlying NAND part (for stats and config).
@@ -279,7 +543,40 @@ impl Volume {
         }
     }
 
+    /// Release one logical page. Pages referenced by the sealed on-flash
+    /// image are **deferred**: they stay physically intact (the sealed
+    /// l2p still points at them) and are released by
+    /// [`commit_seal`](Self::commit_seal) once a superseding image is
+    /// durable — the mechanism that keeps a crash mid-flush mountable
+    /// from the previous image.
     fn free_page(&self, lpn: Lpn) -> Result<()> {
+        {
+            let mut st = self.state.lock().expect("volume poisoned");
+            if st.is_sealed(lpn.0) {
+                match st.l2p.get(lpn.0 as usize) {
+                    Some(&p) if p != UNMAPPED => {}
+                    _ => {
+                        return Err(GhostError::flash(format!(
+                            "double free of logical page {}",
+                            lpn.0
+                        )))
+                    }
+                }
+                if !st.deferred_free.insert(lpn.0) {
+                    return Err(GhostError::flash(format!(
+                        "double free of (sealed) logical page {}",
+                        lpn.0
+                    )));
+                }
+                return Ok(());
+            }
+        }
+        self.free_now(lpn)
+    }
+
+    /// The physical release path: unmap, recycle the LPN, and erase the
+    /// block once it is fully allocated and fully dead.
+    fn free_now(&self, lpn: Lpn) -> Result<()> {
         let ppb = self.nand.config().pages_per_block;
         {
             let mut st = self.state.lock().expect("volume poisoned");
@@ -939,5 +1236,107 @@ mod tests {
         assert!(vol.gc(&starved).is_err());
         // A funded scope can.
         assert!(vol.gc(&scope).unwrap().blocks_reclaimed > 0);
+    }
+
+    #[test]
+    fn reserved_blocks_are_never_allocated() {
+        let (vol, scope) = setup(4);
+        let vol = Volume::with_reserved(vol.nand().clone(), 2);
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&[9u8; 64 * 8]).unwrap(); // both non-reserved blocks
+        let seg = w.finish().unwrap();
+        let st = vol.state.lock().unwrap();
+        for &lpn in seg.pages.iter() {
+            let phys = PageAddr(st.l2p[lpn.0 as usize]);
+            assert!(phys.index() / 4 >= 2, "page {phys:?} in reserved block");
+        }
+        drop(st);
+        // The part is "full" even though reserved blocks sit erased.
+        let mut w = vol.writer(&scope).unwrap();
+        assert!(w.write(&[1u8; 64]).is_err());
+    }
+
+    #[test]
+    fn sealed_pages_defer_frees_and_block_gc() {
+        let (vol, scope) = setup(8);
+        let (keeper, junk) = fragment(&vol, &scope, 4);
+        // Seal the current state: every live page is pinned.
+        vol.commit_seal().unwrap();
+        vol.free(junk.clone()).unwrap();
+        assert_eq!(vol.deferred_free_pages(), 12, "sealed frees defer");
+        // Double free of a deferred segment is still caught.
+        let err = vol.free(junk).unwrap_err();
+        assert!(err.to_string().contains("double free"), "{err}");
+        // The GC may not touch blocks holding sealed pages, and the
+        // deferred pages never become opportunistic-erase fodder.
+        assert_eq!(vol.gc(&scope).unwrap(), GcStats::default());
+        assert_eq!(vol.nand().stats().block_erases, 0);
+        // The snapshot the *next* image records excludes the deferred
+        // pages (it no longer references them)...
+        let snap = vol.l2p_snapshot();
+        let mapped = snap.iter().filter(|&&p| p != UNMAPPED).count();
+        assert_eq!(mapped, 4, "only the keeper's pages stay in the image");
+        // ...and committing the seal releases them for real: the GC can
+        // now compact the fragmented blocks.
+        vol.commit_seal().unwrap();
+        assert_eq!(vol.deferred_free_pages(), 0);
+        // Fresh (post-commit) state has the keeper sealed again; its
+        // blocks are exempt, but all-dead blocks reclaim fine.
+        let mut r = vol.reader(&scope, &keeper).unwrap();
+        let mut back = vec![0u8; keeper.len() as usize];
+        r.read_exact(&mut back).unwrap();
+        assert!(back.iter().all(|&b| b == 0x11), "keeper intact");
+    }
+
+    #[test]
+    fn mount_restores_segments_and_accounting() {
+        let (vol, scope) = setup(8);
+        let data: Vec<u8> = (0..700u32).map(|i| (i % 251) as u8).collect();
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&data).unwrap();
+        let seg = w.finish().unwrap();
+        let manifest = seg.manifest();
+        let l2p = vol.l2p_snapshot();
+        let live_before = vol.usage().live_pages;
+
+        // "Power cycle": a brand-new volume over the same part.
+        let vol2 = Volume::mount(vol.nand().clone(), 0, l2p).unwrap();
+        assert_eq!(vol2.usage().live_pages, live_before);
+        let seg2 = vol2.restore_manifest(&manifest).unwrap();
+        let mut r = vol2.reader(&scope, &seg2).unwrap();
+        let mut back = vec![0u8; data.len()];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(back, data);
+        // New writes land on erased blocks and read back fine.
+        let mut w = vol2.writer(&scope).unwrap();
+        w.write(&[0x5A; 64 * 2]).unwrap();
+        let extra = w.finish().unwrap();
+        let mut r = vol2.reader(&scope, &extra).unwrap();
+        let mut b2 = vec![0u8; 128];
+        r.read_exact(&mut b2).unwrap();
+        assert!(b2.iter().all(|&b| b == 0x5A));
+    }
+
+    #[test]
+    fn mount_rejects_corrupt_tables() {
+        let (vol, scope) = setup(4);
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&[1u8; 64]).unwrap();
+        let _seg = w.finish().unwrap();
+        let l2p = vol.l2p_snapshot();
+        // Out-of-range physical page.
+        let mut bad = l2p.clone();
+        bad[0] = 9999;
+        assert!(Volume::mount(vol.nand().clone(), 0, bad).is_err());
+        // Two LPNs on one page.
+        let mut bad = l2p.clone();
+        bad.push(bad[0]);
+        assert!(Volume::mount(vol.nand().clone(), 0, bad).is_err());
+        // Mapping into the reserved region.
+        assert!(Volume::mount(vol.nand().clone(), 1, l2p).is_err());
+        // A manifest over unmapped pages is rejected too.
+        let vol2 = Volume::mount(vol.nand().clone(), 0, vol.l2p_snapshot()).unwrap();
+        assert!(vol2.restore_segment(&[42], 64).is_err());
+        assert!(vol2.restore_segment(&[0], 6400).is_err());
     }
 }

@@ -51,11 +51,12 @@
 use std::collections::BTreeMap;
 
 use ghostdb_catalog::{ColumnRef, TreeSchema};
-use ghostdb_flash::{Segment, SegmentReader, SegmentWriter, Volume};
+use ghostdb_flash::{Segment, SegmentManifest, SegmentReader, SegmentWriter, Volume};
 use ghostdb_ram::{RamScope, ScopedGuard};
 use ghostdb_storage::{Dataset, KeyRange, LoadEncoders};
 use ghostdb_types::{
-    GhostError, IdBlock, IdStream, Result, RowId, ScalarOp, TableId, Value, VecIdStream, BLOCK_CAP,
+    GhostError, IdBlock, IdStream, Result, RowId, ScalarOp, TableId, Value, VecIdStream, Wire,
+    BLOCK_CAP,
 };
 
 use crate::sort::{ExternalSorter, SortedStream};
@@ -646,6 +647,95 @@ impl ClimbingIndex {
         Ok(PostingStream::Sorted {
             stream: sorter.finish()?,
             last: None,
+        })
+    }
+}
+
+/// Durable description of one climbing index: directory + postings
+/// segment manifests plus the directory geometry. Carries no key or
+/// posting bytes — those stay in the referenced flash segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClimbingManifest {
+    /// The directory segment.
+    pub directory: SegmentManifest,
+    /// The postings segment.
+    pub postings: SegmentManifest,
+    /// Climb path (level 0 = indexed table, last = root).
+    pub levels: Vec<TableId>,
+    /// Distinct keys in the directory.
+    pub entries: u32,
+    /// Direct-addressed (dense key index) flag.
+    pub dense: bool,
+    /// Total postings per level (cost estimation).
+    pub level_postings: Vec<u64>,
+}
+
+impl Wire for ClimbingManifest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.directory.encode(out);
+        self.postings.encode(out);
+        self.levels.encode(out);
+        self.entries.encode(out);
+        self.dense.encode(out);
+        self.level_postings.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(ClimbingManifest {
+            directory: SegmentManifest::decode(buf)?,
+            postings: SegmentManifest::decode(buf)?,
+            levels: Vec::<TableId>::decode(buf)?,
+            entries: u32::decode(buf)?,
+            dense: bool::decode(buf)?,
+            level_postings: Vec::<u64>::decode(buf)?,
+        })
+    }
+}
+
+impl ClimbingIndex {
+    /// The index's durable manifest (requires an empty delta — seal
+    /// flushes first; un-flushed postings ride the WAL instead).
+    pub fn manifest(&self) -> Result<ClimbingManifest> {
+        if self.delta_entries() != 0 {
+            return Err(GhostError::exec(
+                "climbing-index manifest requires a flushed delta".to_string(),
+            ));
+        }
+        Ok(ClimbingManifest {
+            directory: self.directory.manifest(),
+            postings: self.postings.manifest(),
+            levels: self.levels.clone(),
+            entries: self.entries,
+            dense: self.dense,
+            level_postings: self.level_postings.clone(),
+        })
+    }
+
+    /// Rebuild the index from a mounted volume and its sealed manifest.
+    pub fn restore(volume: &Volume, m: &ClimbingManifest) -> Result<ClimbingIndex> {
+        if m.levels.is_empty() || m.level_postings.len() != m.levels.len() {
+            return Err(GhostError::corrupt(
+                "climbing manifest level shape is inconsistent",
+            ));
+        }
+        let directory = volume.restore_manifest(&m.directory)?;
+        if directory.len() != m.entries as u64 * Self::entry_width(m.levels.len()) as u64 {
+            return Err(GhostError::corrupt(
+                "climbing manifest entry count disagrees with directory length",
+            ));
+        }
+        Ok(ClimbingIndex {
+            volume: volume.clone(),
+            directory,
+            postings: volume.restore_manifest(&m.postings)?,
+            levels: m.levels.clone(),
+            entries: m.entries,
+            dense: m.dense,
+            level_postings: m.level_postings.clone(),
+            delta: if m.dense {
+                IndexDelta::ByKey(BTreeMap::new())
+            } else {
+                IndexDelta::ByValue(Vec::new())
+            },
         })
     }
 }

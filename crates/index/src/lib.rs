@@ -25,8 +25,8 @@ mod climbing;
 mod skt;
 mod sort;
 
-pub use climbing::{ClimbingIndex, PostingStream};
-pub use skt::{SktCursor, SktRow, SubtreeKeyTable};
+pub use climbing::{ClimbingIndex, ClimbingManifest, PostingStream};
+pub use skt::{SktCursor, SktManifest, SktRow, SubtreeKeyTable};
 pub use sort::{ExternalSorter, SortRecord, SortedStream};
 
 use std::collections::HashMap;
@@ -35,7 +35,7 @@ use ghostdb_catalog::{ColumnRef, Schema, TreeSchema, Visibility};
 use ghostdb_flash::Volume;
 use ghostdb_ram::RamScope;
 use ghostdb_storage::{Dataset, DictRemap, HiddenStore, LoadEncoders};
-use ghostdb_types::{ColumnId, GhostError, Result, RowId, TableId, Value};
+use ghostdb_types::{ColumnId, GhostError, Result, RowId, TableId, Value, Wire};
 
 /// One inserted row, as the index-maintenance layer sees it.
 #[derive(Debug, Clone, Copy)]
@@ -270,6 +270,92 @@ impl IndexSet {
     /// naive reference engine).
     pub fn column_order_of_skt(&self, table: TableId) -> Result<&[TableId]> {
         Ok(self.skt(table)?.table_order())
+    }
+
+    /// The index set's durable manifest (deterministic order: sorted by
+    /// table/column id so identical states seal byte-identical images).
+    /// Requires every delta to be flushed first.
+    pub fn manifest(&self) -> Result<IndexSetManifest> {
+        let mut skts: Vec<(u16, SktManifest)> = self
+            .skts
+            .iter()
+            .map(|(t, s)| Ok((*t, s.manifest()?)))
+            .collect::<Result<_>>()?;
+        skts.sort_by_key(|(t, _)| *t);
+        let mut value_indexes: Vec<((u16, u16), ClimbingManifest)> = self
+            .value_indexes
+            .iter()
+            .map(|(k, i)| Ok((*k, i.manifest()?)))
+            .collect::<Result<_>>()?;
+        value_indexes.sort_by_key(|(k, _)| *k);
+        let mut key_indexes: Vec<(u16, ClimbingManifest)> = self
+            .key_indexes
+            .iter()
+            .map(|(t, i)| Ok((*t, i.manifest()?)))
+            .collect::<Result<_>>()?;
+        key_indexes.sort_by_key(|(t, _)| *t);
+        Ok(IndexSetManifest {
+            skts,
+            value_indexes,
+            key_indexes,
+        })
+    }
+
+    /// Rebuild every index from a mounted volume and the sealed
+    /// manifest — the mount path's replacement for [`IndexSet::build`].
+    pub fn restore(volume: &Volume, m: &IndexSetManifest) -> Result<IndexSet> {
+        let mut skts = HashMap::new();
+        for (t, sm) in &m.skts {
+            skts.insert(*t, SubtreeKeyTable::restore(volume, sm)?);
+        }
+        let mut value_indexes = HashMap::new();
+        for (key, cm) in &m.value_indexes {
+            value_indexes.insert(*key, ClimbingIndex::restore(volume, cm)?);
+        }
+        let mut key_indexes = HashMap::new();
+        for (t, cm) in &m.key_indexes {
+            key_indexes.insert(*t, ClimbingIndex::restore(volume, cm)?);
+        }
+        Ok(IndexSet {
+            skts,
+            value_indexes,
+            key_indexes,
+        })
+    }
+}
+
+/// Durable description of the full index set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSetManifest {
+    /// `(root table id, manifest)` per SKT, sorted by table id.
+    pub skts: Vec<(u16, SktManifest)>,
+    /// `((table, column), manifest)` per value index, sorted.
+    pub value_indexes: Vec<((u16, u16), ClimbingManifest)>,
+    /// `(table, manifest)` per key index, sorted by table id.
+    pub key_indexes: Vec<(u16, ClimbingManifest)>,
+}
+
+impl IndexSetManifest {
+    /// Number of flash segments the manifest references (each SKT is one
+    /// segment, each climbing index two) — the `device_report`
+    /// durability line counts these.
+    pub fn segment_count(&self) -> usize {
+        self.skts.len() + 2 * (self.value_indexes.len() + self.key_indexes.len())
+    }
+}
+
+impl Wire for IndexSetManifest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.skts.encode(out);
+        self.value_indexes.encode(out);
+        self.key_indexes.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(IndexSetManifest {
+            skts: Vec::<(u16, SktManifest)>::decode(buf)?,
+            value_indexes: Vec::<((u16, u16), ClimbingManifest)>::decode(buf)?,
+            key_indexes: Vec::<(u16, ClimbingManifest)>::decode(buf)?,
+        })
     }
 }
 

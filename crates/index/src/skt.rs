@@ -9,10 +9,10 @@
 //! step" costs one partial page read.
 
 use ghostdb_catalog::TreeSchema;
-use ghostdb_flash::{Segment, Volume};
+use ghostdb_flash::{Segment, SegmentManifest, Volume};
 use ghostdb_ram::{RamScope, ScopedGuard};
 use ghostdb_storage::Dataset;
-use ghostdb_types::{GhostError, Result, RowId, TableId};
+use ghostdb_types::{GhostError, Result, RowId, TableId, Wire};
 
 use crate::wide_rows;
 
@@ -175,6 +175,69 @@ impl SubtreeKeyTable {
             buf_page: u64::MAX,
             reads: 0,
             _ram: guard,
+        })
+    }
+}
+
+/// Durable description of one Subtree Key Table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SktManifest {
+    /// The fixed-width rows segment.
+    pub segment: SegmentManifest,
+    /// Tables covered, preorder.
+    pub tables: Vec<TableId>,
+    /// Rows resident in the flash base.
+    pub rows: u32,
+}
+
+impl Wire for SktManifest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.segment.encode(out);
+        self.tables.encode(out);
+        self.rows.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(SktManifest {
+            segment: SegmentManifest::decode(buf)?,
+            tables: Vec::<TableId>::decode(buf)?,
+            rows: u32::decode(buf)?,
+        })
+    }
+}
+
+impl SubtreeKeyTable {
+    /// The SKT's durable manifest (requires an empty delta — seal
+    /// flushes first).
+    pub fn manifest(&self) -> Result<SktManifest> {
+        if !self.delta.is_empty() {
+            return Err(GhostError::exec(
+                "SKT manifest requires a flushed delta".to_string(),
+            ));
+        }
+        Ok(SktManifest {
+            segment: self.segment.manifest(),
+            tables: self.tables.clone(),
+            rows: self.rows,
+        })
+    }
+
+    /// Rebuild the SKT from a mounted volume and its sealed manifest.
+    pub fn restore(volume: &Volume, m: &SktManifest) -> Result<SubtreeKeyTable> {
+        if m.tables.is_empty() {
+            return Err(GhostError::corrupt("SKT manifest covers no tables"));
+        }
+        let segment = volume.restore_manifest(&m.segment)?;
+        if segment.len() != m.rows as u64 * (m.tables.len() * 4) as u64 {
+            return Err(GhostError::corrupt(
+                "SKT manifest row count disagrees with segment length",
+            ));
+        }
+        Ok(SubtreeKeyTable {
+            volume: volume.clone(),
+            segment,
+            tables: m.tables.clone(),
+            rows: m.rows,
+            delta: Vec::new(),
         })
     }
 }

@@ -1,0 +1,240 @@
+//! The sealed device image: superblock header + Wire-encoded metadata
+//! body, ping-ponged between the two reserved slots.
+
+use ghostdb_catalog::{Schema, SchemaStats};
+use ghostdb_flash::{Nand, PageAddr, PageState};
+use ghostdb_index::IndexSetManifest;
+use ghostdb_storage::{HiddenManifest, VisibleStore};
+use ghostdb_types::{decode_all, GhostError, Result, Wire};
+
+use crate::crc::crc32;
+
+/// Superblock magic ("GHSB").
+const MAGIC: u32 = 0x4748_5342;
+
+/// On-flash image format version.
+pub const IMAGE_VERSION: u32 = 1;
+
+/// Fixed size of the superblock header at the head of a slot: magic +
+/// version (4+4), epoch (8), body length (8), body CRC (4), five
+/// geometry echoes (20), header CRC (4).
+const HEADER_BYTES: usize = 52;
+
+/// Everything a mount needs, beyond the NAND itself. The tree schema is
+/// *not* stored — `TreeSchema::analyze` re-derives it from the schema,
+/// so the two can never disagree.
+#[derive(Debug, Clone)]
+pub struct DeviceImage {
+    /// The bound schema.
+    pub schema: Schema,
+    /// Catalog statistics (histograms included).
+    pub stats: SchemaStats,
+    /// Hidden-column segment manifests.
+    pub hidden: HiddenManifest,
+    /// Climbing-index directories and SKT layouts.
+    pub indexes: IndexSetManifest,
+    /// Snapshot of the PC's visible store (public data; co-located on
+    /// the key so the whole system remounts from the NAND alone).
+    pub visible: VisibleStore,
+    /// The volume's logical→physical translation table at seal time.
+    pub l2p: Vec<u32>,
+}
+
+impl Wire for DeviceImage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.schema.encode(out);
+        self.stats.encode(out);
+        self.hidden.encode(out);
+        self.indexes.encode(out);
+        self.visible.encode(out);
+        self.l2p.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(DeviceImage {
+            schema: Schema::decode(buf)?,
+            stats: SchemaStats::decode(buf)?,
+            hidden: HiddenManifest::decode(buf)?,
+            indexes: IndexSetManifest::decode(buf)?,
+            visible: VisibleStore::decode(buf)?,
+            l2p: Vec::<u32>::decode(buf)?,
+        })
+    }
+}
+
+impl DeviceImage {
+    /// Number of metadata segments the image references (hidden-column
+    /// segments plus index segments) — reported by `device_report`.
+    pub fn metadata_segment_count(&self) -> usize {
+        let hidden: usize = self
+            .hidden
+            .tables
+            .iter()
+            .flat_map(|t| t.columns.iter())
+            .filter_map(|c| c.as_ref())
+            .map(|c| match c {
+                ghostdb_storage::ColumnManifest::Fixed { .. } => 1,
+                ghostdb_storage::ColumnManifest::Dict { .. } => 3,
+            })
+            .sum();
+        hidden + self.indexes.segment_count()
+    }
+}
+
+fn header_bytes(nand: &Nand, epoch: u64, body: &[u8]) -> Vec<u8> {
+    let cfg = nand.config();
+    let mut h = Vec::with_capacity(HEADER_BYTES);
+    MAGIC.encode(&mut h);
+    IMAGE_VERSION.encode(&mut h);
+    epoch.encode(&mut h);
+    (body.len() as u64).encode(&mut h);
+    crc32(body).encode(&mut h);
+    (cfg.page_size as u32).encode(&mut h);
+    (cfg.pages_per_block as u32).encode(&mut h);
+    (cfg.num_blocks as u32).encode(&mut h);
+    (cfg.meta_slot_blocks as u32).encode(&mut h);
+    (cfg.wal_blocks as u32).encode(&mut h);
+    crc32(&h).encode(&mut h);
+    debug_assert_eq!(h.len(), HEADER_BYTES);
+    h
+}
+
+/// Write `image` as epoch `epoch` into slot `epoch % 2`: erase the
+/// slot's blocks, program the superblock header page, then the body
+/// pages. The other slot — holding the previous epoch — is untouched,
+/// so a power cut anywhere in here leaves a mountable part. Returns the
+/// image size in bytes (header + body).
+pub fn write_image(nand: &Nand, epoch: u64, image: &DeviceImage) -> Result<u64> {
+    let cfg = nand.config().clone();
+    let slots = cfg.meta_slot_blocks;
+    if slots == 0 {
+        return Err(GhostError::flash(
+            "durability disabled: FlashConfig::meta_slot_blocks is 0",
+        ));
+    }
+    let body = image.to_bytes();
+    let slot_pages = slots * cfg.pages_per_block;
+    let body_pages = (body.len()).div_ceil(cfg.page_size);
+    if body_pages + 1 > slot_pages {
+        return Err(GhostError::flash(format!(
+            "device image ({} B, {body_pages} pages) exceeds the metadata slot \
+             ({} pages); raise FlashConfig::meta_slot_blocks",
+            body.len(),
+            slot_pages
+        )));
+    }
+    let first_block = (epoch % 2) as usize * slots;
+    for b in first_block..first_block + slots {
+        nand.erase(ghostdb_flash::BlockId(b as u32))?;
+    }
+    let first_page = first_block * cfg.pages_per_block;
+    nand.program(
+        PageAddr(first_page as u32),
+        &header_bytes(nand, epoch, &body),
+    )?;
+    for (i, chunk) in body.chunks(cfg.page_size).enumerate() {
+        nand.program(PageAddr((first_page + 1 + i) as u32), chunk)?;
+    }
+    Ok((HEADER_BYTES + body.len()) as u64)
+}
+
+/// Parse one slot: `Ok(Some((epoch, body)))` when its header and body
+/// CRCs check out against this part's geometry.
+fn read_slot(nand: &Nand, slot: usize) -> Result<Option<(u64, Vec<u8>)>> {
+    let cfg = nand.config().clone();
+    let first_page = slot * cfg.meta_slot_blocks * cfg.pages_per_block;
+    if nand.page_state(PageAddr(first_page as u32))? != PageState::Programmed {
+        return Ok(None);
+    }
+    let mut h = vec![0u8; HEADER_BYTES];
+    nand.read_into(PageAddr(first_page as u32), 0, &mut h)?;
+    let stored_crc = u32::from_le_bytes(h[HEADER_BYTES - 4..].try_into().expect("4B"));
+    if crc32(&h[..HEADER_BYTES - 4]) != stored_crc {
+        return Ok(None);
+    }
+    let mut cur = &h[..];
+    let magic = u32::decode(&mut cur)?;
+    let version = u32::decode(&mut cur)?;
+    let epoch = u64::decode(&mut cur)?;
+    let body_len = u64::decode(&mut cur)? as usize;
+    let body_crc = u32::decode(&mut cur)?;
+    let geo = [
+        u32::decode(&mut cur)? as usize,
+        u32::decode(&mut cur)? as usize,
+        u32::decode(&mut cur)? as usize,
+        u32::decode(&mut cur)? as usize,
+        u32::decode(&mut cur)? as usize,
+    ];
+    if magic != MAGIC || version != IMAGE_VERSION {
+        return Ok(None);
+    }
+    if geo
+        != [
+            cfg.page_size,
+            cfg.pages_per_block,
+            cfg.num_blocks,
+            cfg.meta_slot_blocks,
+            cfg.wal_blocks,
+        ]
+    {
+        return Err(GhostError::corrupt(
+            "sealed image geometry does not match this part's configuration",
+        ));
+    }
+    let slot_capacity = (cfg.meta_slot_blocks * cfg.pages_per_block - 1) * cfg.page_size;
+    if body_len > slot_capacity {
+        return Ok(None);
+    }
+    let mut body = vec![0u8; body_len];
+    let mut off = 0usize;
+    let mut page = first_page + 1;
+    while off < body_len {
+        let take = cfg.page_size.min(body_len - off);
+        nand.read_into(PageAddr(page as u32), 0, &mut body[off..off + take])?;
+        off += take;
+        page += 1;
+    }
+    if crc32(&body) != body_crc {
+        return Ok(None);
+    }
+    Ok(Some((epoch, body)))
+}
+
+/// A successfully read sealed image.
+#[derive(Debug)]
+pub struct LoadedImage {
+    /// The image's epoch (monotonic per seal).
+    pub epoch: u64,
+    /// On-flash size of the image (header + body), bytes.
+    pub bytes: u64,
+    /// The decoded metadata.
+    pub image: DeviceImage,
+}
+
+/// Read the newest valid sealed image: both slots are parsed, CRCs
+/// checked, and the higher epoch wins. `Ok(None)` when the part carries
+/// no valid image (blank key, or both slots torn).
+pub fn read_latest_image(nand: &Nand) -> Result<Option<LoadedImage>> {
+    let mut candidates: Vec<(u64, Vec<u8>)> = Vec::new();
+    for slot in 0..2 {
+        if let Some(c) = read_slot(nand, slot)? {
+            candidates.push(c);
+        }
+    }
+    candidates.sort_by_key(|(e, _)| *e);
+    while let Some((epoch, body)) = candidates.pop() {
+        match decode_all::<DeviceImage>(&body) {
+            Ok(image) => {
+                return Ok(Some(LoadedImage {
+                    epoch,
+                    bytes: (HEADER_BYTES + body.len()) as u64,
+                    image,
+                }))
+            }
+            // A CRC-valid body that fails structural decode means a
+            // format bug, not bitrot — but the older slot may still
+            // mount, so fall through rather than hard-failing.
+            Err(_) => continue,
+        }
+    }
+    Ok(None)
+}

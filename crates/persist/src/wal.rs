@@ -1,0 +1,383 @@
+//! The flash-resident write-ahead log.
+//!
+//! One record per `insert_rows` batch, appended *before* the batch
+//! mutates any RAM state, so replay-after-power-loss is batch-atomic:
+//! a record either decodes completely (whole batch re-applied) or its
+//! tail is torn (whole batch dropped — it never committed).
+//!
+//! Layout: records are packed into self-describing pages inside the
+//! reserved WAL blocks. Every record starts on a fresh page (the resync
+//! points replay needs after a torn tail); large records continue onto
+//! following pages. Page header:
+//!
+//! ```text
+//! magic (4) | epoch (8) | seq (4) | used (4) | start (1) | crc (4)
+//! ```
+//!
+//! `seq` is the page's position in the region (self-describing), `used`
+//! the payload bytes carried, `start` whether a record begins at payload
+//! offset 0, and `crc` covers epoch..payload. Pages whose epoch differs
+//! from the mounted image's are stale leftovers of an interrupted
+//! truncation and are ignored. Records carry their own length + CRC on
+//! top, so a record spanning pages is only replayed if every page of it
+//! survived.
+
+use ghostdb_flash::{BlockId, Nand, PageAddr, PageState};
+use ghostdb_types::{GhostError, Result};
+
+use crate::crc::crc32;
+
+/// WAL page magic ("GWAL").
+const MAGIC: u32 = 0x4757_414C;
+
+/// Per-page header size.
+const PAGE_HEADER: usize = 25;
+
+/// Per-record header size (len + crc).
+const REC_HEADER: usize = 8;
+
+/// Append cursor over the reserved WAL region.
+#[derive(Debug)]
+pub struct Wal {
+    nand: Nand,
+    first_block: usize,
+    blocks: usize,
+    epoch: u64,
+    /// Next page index within the region.
+    next_page: usize,
+    /// Payload bytes appended since the last truncation.
+    appended_bytes: u64,
+    /// Records appended since the last truncation.
+    records: u64,
+}
+
+/// Result of [`Wal::open`]: the cursor plus the batch records to replay.
+#[derive(Debug)]
+pub struct WalOpen {
+    /// The append cursor, positioned after everything on flash.
+    pub wal: Wal,
+    /// Fully-committed records of the mounted epoch, in append order.
+    pub records: Vec<Vec<u8>>,
+}
+
+impl Wal {
+    fn region_pages(&self) -> usize {
+        self.blocks * self.nand.config().pages_per_block
+    }
+
+    fn page_addr(&self, idx: usize) -> PageAddr {
+        PageAddr((self.first_block * self.nand.config().pages_per_block + idx) as u32)
+    }
+
+    /// A fresh cursor at the head of the region (used right after a
+    /// truncation sealed the region erased).
+    pub fn new(nand: Nand, epoch: u64) -> Wal {
+        let cfg = nand.config();
+        Wal {
+            first_block: crate::wal_first_block(cfg),
+            blocks: cfg.wal_blocks,
+            nand,
+            epoch,
+            next_page: 0,
+            appended_bytes: 0,
+            records: 0,
+        }
+    }
+
+    /// Scan the region after a mount: collect the committed records of
+    /// `epoch` (in order, resyncing at record-start pages past any torn
+    /// tail) and position the cursor after the last *programmed* page —
+    /// torn or stale pages can never be reprogrammed without an erase,
+    /// so they are skipped, not reused.
+    pub fn open(nand: Nand, epoch: u64) -> Result<WalOpen> {
+        let mut wal = Wal::new(nand, epoch);
+        let ps = wal.nand.config().page_size;
+        let mut records = Vec::new();
+        let mut pending: Vec<u8> = Vec::new();
+        let mut in_record = false;
+        let mut last_programmed: Option<usize> = None;
+        let mut bytes = 0u64;
+        for idx in 0..wal.region_pages() {
+            let addr = wal.page_addr(idx);
+            if wal.nand.page_state(addr)? != PageState::Programmed {
+                continue;
+            }
+            last_programmed = Some(idx);
+            let mut page = vec![0u8; ps];
+            wal.nand.read_into(addr, 0, &mut page)?;
+            let Some((start, payload)) = parse_page(&page, epoch, idx as u32) else {
+                // Torn or stale page: any record running through it died.
+                in_record = false;
+                pending.clear();
+                continue;
+            };
+            if start {
+                // Resync point: drop a partial predecessor.
+                pending.clear();
+                in_record = true;
+            }
+            if !in_record {
+                continue;
+            }
+            pending.extend_from_slice(payload);
+            // Drain every complete record in the pending stream (one
+            // append = one record, but stay defensive about the shape).
+            if pending.len() >= REC_HEADER {
+                let len = u32::from_le_bytes(pending[..4].try_into().expect("4B")) as usize;
+                let crc = u32::from_le_bytes(pending[4..8].try_into().expect("4B"));
+                if pending.len() >= REC_HEADER + len {
+                    let body = pending[REC_HEADER..REC_HEADER + len].to_vec();
+                    if crc32(&body) == crc {
+                        bytes += body.len() as u64;
+                        records.push(body);
+                    }
+                    pending.clear();
+                    in_record = false;
+                }
+            }
+        }
+        wal.next_page = last_programmed.map(|p| p + 1).unwrap_or(0);
+        wal.records = records.len() as u64;
+        wal.appended_bytes = bytes;
+        Ok(WalOpen { wal, records })
+    }
+
+    /// Would a record of `payload_len` bytes fit in the remaining
+    /// region? Callers check this *before* committing RAM state, so
+    /// "full WAL" is handled by flushing (which truncates) rather than
+    /// by dissecting an append error after the fact.
+    pub fn fits(&self, payload_len: usize) -> bool {
+        let per_page = self.nand.config().page_size - PAGE_HEADER;
+        let pages_needed = (REC_HEADER + payload_len).div_ceil(per_page);
+        self.next_page + pages_needed <= self.region_pages()
+    }
+
+    /// Append one record (the encoded insert batch). Errors — without
+    /// writing anything the replay path would trust — when the region
+    /// cannot hold it (see [`fits`](Self::fits)); the caller's answer
+    /// to a full WAL is a delta flush, which re-seals and truncates.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let cfg = self.nand.config().clone();
+        let per_page = cfg.page_size - PAGE_HEADER;
+        if !self.fits(payload.len()) {
+            return Err(GhostError::flash(format!(
+                "WAL region full ({} of {} pages used); flush the deltas to truncate it",
+                self.next_page,
+                self.region_pages()
+            )));
+        }
+        let total = REC_HEADER + payload.len();
+        let mut stream = Vec::with_capacity(total);
+        (payload.len() as u32).encode_into(&mut stream);
+        crc32(payload).encode_into(&mut stream);
+        stream.extend_from_slice(payload);
+        for (i, chunk) in stream.chunks(per_page).enumerate() {
+            let idx = self.next_page;
+            if idx.is_multiple_of(cfg.pages_per_block) {
+                // Entering a block: erase it if a stale page lingers
+                // from before an interrupted truncation.
+                let block = self.first_block + idx / cfg.pages_per_block;
+                let first = block * cfg.pages_per_block;
+                let dirty = (first..first + cfg.pages_per_block).any(|p| {
+                    !matches!(
+                        self.nand.page_state(PageAddr(p as u32)),
+                        Ok(PageState::Erased)
+                    )
+                });
+                if dirty {
+                    self.nand.erase(BlockId(block as u32))?;
+                }
+            }
+            let mut page = Vec::with_capacity(PAGE_HEADER + chunk.len());
+            MAGIC.encode_into(&mut page);
+            self.epoch.encode_into(&mut page);
+            (idx as u32).encode_into(&mut page);
+            (chunk.len() as u32).encode_into(&mut page);
+            page.push((i == 0) as u8);
+            let crc = crc32(&[&page[4..], chunk].concat());
+            crc.encode_into(&mut page);
+            page.extend_from_slice(chunk);
+            self.nand.program(self.page_addr(idx), &page)?;
+            self.next_page += 1;
+        }
+        self.appended_bytes += payload.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Restart the log under `new_epoch` and erase every dirty block
+    /// (called after the epoch's image is durable). The cursor state
+    /// resets *before* the erases so a failure mid-erase leaves a
+    /// coherent log: replay ignores the stale-epoch pages, and the next
+    /// [`append`](Self::append) erases its block on entry anyway.
+    pub fn truncate(&mut self, new_epoch: u64) -> Result<()> {
+        self.epoch = new_epoch;
+        self.next_page = 0;
+        self.appended_bytes = 0;
+        self.records = 0;
+        let cfg = self.nand.config().clone();
+        for b in self.first_block..self.first_block + self.blocks {
+            let first = b * cfg.pages_per_block;
+            let dirty = (first..first + cfg.pages_per_block).any(|p| {
+                !matches!(
+                    self.nand.page_state(PageAddr(p as u32)),
+                    Ok(PageState::Erased)
+                )
+            });
+            if dirty {
+                self.nand.erase(BlockId(b as u32))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Payload bytes appended since the last truncation.
+    pub fn bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
+    /// Records appended since the last truncation.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The epoch this log extends.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// Little-endian encode helper (avoids pulling `Wire` into scope for
+/// plain integers).
+trait EncodeInto {
+    fn encode_into(&self, out: &mut Vec<u8>);
+}
+
+macro_rules! encode_into {
+    ($($t:ty),*) => {$(
+        impl EncodeInto for $t {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+
+encode_into!(u32, u64);
+
+/// Validate one page against the mounted epoch and its own position;
+/// returns `(starts_record, payload)` for valid pages.
+fn parse_page(page: &[u8], epoch: u64, seq: u32) -> Option<(bool, &[u8])> {
+    if page.len() < PAGE_HEADER {
+        return None;
+    }
+    let magic = u32::from_le_bytes(page[..4].try_into().expect("4B"));
+    let page_epoch = u64::from_le_bytes(page[4..12].try_into().expect("8B"));
+    let page_seq = u32::from_le_bytes(page[12..16].try_into().expect("4B"));
+    let used = u32::from_le_bytes(page[16..20].try_into().expect("4B")) as usize;
+    let start = page[20];
+    let crc = u32::from_le_bytes(page[21..25].try_into().expect("4B"));
+    if magic != MAGIC || page_epoch != epoch || page_seq != seq || start > 1 {
+        return None;
+    }
+    if used > page.len() - PAGE_HEADER {
+        return None;
+    }
+    let payload = &page[PAGE_HEADER..PAGE_HEADER + used];
+    let mut covered = page[4..21].to_vec();
+    covered.extend_from_slice(payload);
+    if crc32(&covered) != crc {
+        return None;
+    }
+    Some((start == 1, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_types::{FlashConfig, SimClock};
+
+    fn nand() -> Nand {
+        let cfg = FlashConfig {
+            page_size: 64,
+            pages_per_block: 4,
+            num_blocks: 32,
+            meta_slot_blocks: 2,
+            wal_blocks: 4,
+            ..FlashConfig::default_2007()
+        };
+        Nand::new(cfg, SimClock::new())
+    }
+
+    #[test]
+    fn append_then_open_replays_in_order() {
+        let n = nand();
+        let mut wal = Wal::new(n.clone(), 7);
+        wal.append(b"alpha").unwrap();
+        wal.append(&[0xAB; 200]).unwrap(); // spans pages
+        wal.append(b"omega").unwrap();
+        assert_eq!(wal.records(), 3);
+
+        let opened = Wal::open(n, 7).unwrap();
+        assert_eq!(opened.records.len(), 3);
+        assert_eq!(opened.records[0], b"alpha");
+        assert_eq!(opened.records[1], [0xAB; 200]);
+        assert_eq!(opened.records[2], b"omega");
+        assert_eq!(opened.wal.bytes(), 5 + 200 + 5);
+    }
+
+    #[test]
+    fn torn_tail_drops_only_the_interrupted_batch() {
+        let n = nand();
+        let mut wal = Wal::new(n.clone(), 1);
+        wal.append(b"committed").unwrap();
+        // Cut power on the second page of a two-page record.
+        n.arm_power_cut(1, true);
+        assert!(wal.append(&[7u8; 90]).is_err());
+        n.disarm_power_cut();
+
+        let opened = Wal::open(n.clone(), 1).unwrap();
+        assert_eq!(opened.records.len(), 1);
+        assert_eq!(opened.records[0], b"committed");
+        // Appends after recovery land past the torn page and replay.
+        let mut wal = opened.wal;
+        wal.append(b"after-crash").unwrap();
+        let reopened = Wal::open(n, 1).unwrap();
+        assert_eq!(reopened.records.len(), 2);
+        assert_eq!(reopened.records[1], b"after-crash");
+    }
+
+    #[test]
+    fn truncate_filters_by_epoch_even_half_done() {
+        let n = nand();
+        let mut wal = Wal::new(n.clone(), 1);
+        wal.append(b"old-epoch").unwrap();
+        // Interrupt the truncation after it erased nothing.
+        n.arm_power_cut(0, false);
+        assert!(wal.truncate(2).is_err());
+        n.disarm_power_cut();
+        // The stale epoch-1 pages are ignored under epoch 2...
+        let opened = Wal::open(n.clone(), 2).unwrap();
+        assert!(opened.records.is_empty());
+        // ...and new epoch-2 appends (which erase on demand) replay.
+        let mut wal = opened.wal;
+        wal.append(b"new-epoch").unwrap();
+        let reopened = Wal::open(n, 2).unwrap();
+        assert_eq!(reopened.records, vec![b"new-epoch".to_vec()]);
+    }
+
+    #[test]
+    fn full_region_is_a_clean_error() {
+        let n = nand();
+        let mut wal = Wal::new(n, 3);
+        // 16 pages of 39 B payload capacity each.
+        for _ in 0..16 {
+            wal.append(b"x").unwrap();
+        }
+        let err = wal.append(b"overflow").unwrap_err();
+        assert!(err.to_string().contains("WAL region full"), "{err}");
+        // Truncation recovers the space.
+        wal.truncate(4).unwrap();
+        wal.append(b"fits again").unwrap();
+    }
+}

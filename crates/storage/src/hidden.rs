@@ -46,9 +46,11 @@
 use std::collections::HashMap;
 
 use ghostdb_catalog::Schema;
-use ghostdb_flash::{Segment, SegmentReader, Volume};
+use ghostdb_flash::{Segment, SegmentManifest, SegmentReader, Volume};
 use ghostdb_ram::RamScope;
-use ghostdb_types::{ColumnId, DataType, GhostError, Result, RowId, ScalarOp, TableId, Value};
+use ghostdb_types::{
+    ColumnId, DataType, GhostError, Result, RowId, ScalarOp, TableId, Value, Wire,
+};
 
 use crate::dataset::Dataset;
 
@@ -867,6 +869,202 @@ impl HiddenStore {
             self.deltas[ti].rows = 0;
         }
         Ok(remaps)
+    }
+}
+
+// --- durable-image manifest ----------------------------------------------
+
+/// Durable description of one hidden column's flash layout. Holds only
+/// segment pointers, types, and dictionary cardinalities — never a
+/// hidden *value* (those stay inside the referenced segments on NAND).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnManifest {
+    /// 8-byte order-key column.
+    Fixed {
+        /// Decoding type.
+        ty: DataType,
+        /// The keys segment.
+        keys: SegmentManifest,
+    },
+    /// Dictionary-coded CHAR column.
+    Dict {
+        /// The 4-byte codes segment.
+        codes: SegmentManifest,
+        /// The dictionary offsets segment.
+        offsets: SegmentManifest,
+        /// The dictionary bytes segment.
+        bytes: SegmentManifest,
+        /// Dictionary cardinality.
+        entries: u32,
+    },
+}
+
+impl Wire for ColumnManifest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ColumnManifest::Fixed { ty, keys } => {
+                out.push(0);
+                ty.encode(out);
+                keys.encode(out);
+            }
+            ColumnManifest::Dict {
+                codes,
+                offsets,
+                bytes,
+                entries,
+            } => {
+                out.push(1);
+                codes.encode(out);
+                offsets.encode(out);
+                bytes.encode(out);
+                entries.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(ColumnManifest::Fixed {
+                ty: DataType::decode(buf)?,
+                keys: SegmentManifest::decode(buf)?,
+            }),
+            1 => Ok(ColumnManifest::Dict {
+                codes: SegmentManifest::decode(buf)?,
+                offsets: SegmentManifest::decode(buf)?,
+                bytes: SegmentManifest::decode(buf)?,
+                entries: u32::decode(buf)?,
+            }),
+            t => Err(GhostError::corrupt(format!("column manifest tag {t}"))),
+        }
+    }
+}
+
+/// Durable description of one table's hidden half.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableManifest {
+    /// Rows resident in the flash base.
+    pub rows: u32,
+    /// Per column (index = column id); `None` for visible columns.
+    pub columns: Vec<Option<ColumnManifest>>,
+}
+
+impl Wire for TableManifest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rows.encode(out);
+        self.columns.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(TableManifest {
+            rows: u32::decode(buf)?,
+            columns: Vec::<Option<ColumnManifest>>::decode(buf)?,
+        })
+    }
+}
+
+/// Durable description of the whole hidden store (one entry per table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HiddenManifest {
+    /// Per-table manifests, indexed by [`TableId`].
+    pub tables: Vec<TableManifest>,
+}
+
+impl Wire for HiddenManifest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tables.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(HiddenManifest {
+            tables: Vec::<TableManifest>::decode(buf)?,
+        })
+    }
+}
+
+impl HiddenStore {
+    /// The store's durable manifest. Requires every delta to be flushed
+    /// first — the image format keeps un-flushed rows in the WAL, not in
+    /// the metadata segments.
+    pub fn manifest(&self) -> Result<HiddenManifest> {
+        if self.total_delta_rows() != 0 {
+            return Err(GhostError::exec(
+                "hidden store manifest requires flushed deltas".to_string(),
+            ));
+        }
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| TableManifest {
+                rows: t.rows,
+                columns: t
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        c.as_ref().map(|c| match c {
+                            ColumnStore::Fixed { ty, keys } => ColumnManifest::Fixed {
+                                ty: *ty,
+                                keys: keys.manifest(),
+                            },
+                            ColumnStore::Dict {
+                                codes,
+                                offsets,
+                                bytes,
+                                entries,
+                            } => ColumnManifest::Dict {
+                                codes: codes.manifest(),
+                                offsets: offsets.manifest(),
+                                bytes: bytes.manifest(),
+                                entries: *entries,
+                            },
+                        })
+                    })
+                    .collect(),
+            })
+            .collect();
+        Ok(HiddenManifest { tables })
+    }
+
+    /// Rebuild the store from a mounted volume and its sealed manifest —
+    /// the mount path: no `Dataset`, no secure reload; every column
+    /// segment resolves through the restored translation table.
+    pub fn restore(volume: &Volume, manifest: &HiddenManifest) -> Result<HiddenStore> {
+        let mut tables = Vec::with_capacity(manifest.tables.len());
+        for tm in &manifest.tables {
+            let mut columns = Vec::with_capacity(tm.columns.len());
+            for cm in &tm.columns {
+                columns.push(match cm {
+                    None => None,
+                    Some(ColumnManifest::Fixed { ty, keys }) => Some(ColumnStore::Fixed {
+                        ty: *ty,
+                        keys: volume.restore_manifest(keys)?,
+                    }),
+                    Some(ColumnManifest::Dict {
+                        codes,
+                        offsets,
+                        bytes,
+                        entries,
+                    }) => Some(ColumnStore::Dict {
+                        codes: volume.restore_manifest(codes)?,
+                        offsets: volume.restore_manifest(offsets)?,
+                        bytes: volume.restore_manifest(bytes)?,
+                        entries: *entries,
+                    }),
+                });
+            }
+            tables.push(TableStore {
+                rows: tm.rows,
+                columns,
+            });
+        }
+        let deltas = tables
+            .iter()
+            .map(|t| TableDelta {
+                rows: 0,
+                columns: vec![ColumnDelta::default(); t.columns.len()],
+            })
+            .collect();
+        Ok(HiddenStore {
+            volume: volume.clone(),
+            tables,
+            deltas,
+        })
     }
 }
 

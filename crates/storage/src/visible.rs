@@ -12,20 +12,20 @@
 //! sentinels.
 
 use ghostdb_catalog::Schema;
-use ghostdb_types::{ColumnId, GhostError, Result, RowId, ScalarOp, TableId, Value};
+use ghostdb_types::{ColumnId, GhostError, Result, RowId, ScalarOp, TableId, Value, Wire};
 
 use crate::dataset::Dataset;
 
 /// Visible columns of one table (index = column id; `None` = hidden,
 /// stored on the device instead).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct VisibleTable {
     rows: u32,
     columns: Vec<Option<Vec<Value>>>,
 }
 
 /// The visible half of the database, held by the untrusted PC.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VisibleStore {
     tables: Vec<VisibleTable>,
 }
@@ -161,6 +161,48 @@ impl VisibleStore {
             out.push((RowId(i as u32), v.clone()));
         }
         Ok(out)
+    }
+}
+
+// --- durable-image codec -------------------------------------------------
+//
+// The PC's visible database persists on the PC's own storage in the
+// paper's deployment — it is public data on a resource-rich host, so its
+// durability is trivial there. The reproduction co-locates a snapshot of
+// it inside the sealed device image so `GhostDb::mount(nand, config)`
+// can rebuild the *whole* Figure 1 from the key alone. Encoding it with
+// [`Wire`] is safe by construction: this store only ever holds columns
+// declared visible (spy-observable anyway).
+
+impl Wire for VisibleTable {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rows.encode(out);
+        self.columns.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let t = VisibleTable {
+            rows: u32::decode(buf)?,
+            columns: Vec::<Option<Vec<Value>>>::decode(buf)?,
+        };
+        for c in t.columns.iter().flatten() {
+            if c.len() != t.rows as usize {
+                return Err(GhostError::corrupt(
+                    "visible snapshot column length disagrees with row count",
+                ));
+            }
+        }
+        Ok(t)
+    }
+}
+
+impl Wire for VisibleStore {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tables.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok(VisibleStore {
+            tables: Vec::<VisibleTable>::decode(buf)?,
+        })
     }
 }
 

@@ -41,6 +41,19 @@ pub struct FlashConfig {
     /// Upper bound on victim blocks migrated per GC pass, bounding the
     /// latency a single allocation can absorb.
     pub gc_max_victims_per_pass: usize,
+    /// Erase blocks reserved per **metadata slot** at the head of the
+    /// part. The durability layer keeps two slots (written alternately,
+    /// so a power cut during one seal leaves the other intact); each
+    /// slot must hold one serialized device image (superblock page +
+    /// metadata segments + l2p table). `0` disables durability:
+    /// `GhostDb::seal` fails cleanly and no blocks are reserved.
+    pub meta_slot_blocks: usize,
+    /// Erase blocks reserved for the flash-resident write-ahead log
+    /// right after the two metadata slots. Each post-seal insert batch
+    /// appends one WAL record; the region is erased when a delta flush
+    /// seals a fresh image. `0` disables durability together with
+    /// `meta_slot_blocks`.
+    pub wal_blocks: usize,
 }
 
 impl FlashConfig {
@@ -59,7 +72,20 @@ impl FlashConfig {
             erase_block_ns: 2_000_000,
             gc_low_watermark_blocks: 16,
             gc_max_victims_per_pass: 8,
+            meta_slot_blocks: 8,
+            wal_blocks: 8,
         }
+    }
+
+    /// Erase blocks the durability layer claims at the head of the part
+    /// (two metadata slots plus the WAL region); the volume's
+    /// log-structured store owns everything above. Zero when either
+    /// knob disables durability.
+    pub fn reserved_blocks(&self) -> usize {
+        if self.meta_slot_blocks == 0 || self.wal_blocks == 0 {
+            return 0;
+        }
+        2 * self.meta_slot_blocks + self.wal_blocks
     }
 
     /// Total capacity in bytes.

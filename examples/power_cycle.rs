@@ -1,0 +1,103 @@
+//! Power cycle: the paper's story end to end. Load the hidden database
+//! onto the USB key in a secure setting, seal it, insert a few records
+//! through the secure port, then **unplug the key** (drop the whole
+//! instance — PC state, RAM deltas, everything) and remount from the
+//! NAND alone: the sealed image restores the base, the write-ahead log
+//! replays the unplugged-away inserts, and the data answers queries as
+//! if nothing happened — while the bus spy still sees no hidden value.
+//!
+//! Run with: `cargo run --release --example power_cycle`
+
+use ghostdb::GhostDb;
+use ghostdb_storage::Dataset;
+use ghostdb_types::{DeviceConfig, Result, TableId, Value};
+
+const DDL: &str = "\
+CREATE TABLE Doctor (
+  DocID INTEGER PRIMARY KEY,
+  Name CHAR(40),
+  Country CHAR(20));
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Severity INTEGER,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);";
+
+const PROBE: &str = "SELECT Vis.VisID, Vis.Purpose, Doc.Name \
+                     FROM Visit Vis, Doctor Doc \
+                     WHERE Vis.Severity >= 6 AND Vis.DocID = Doc.DocID";
+
+fn main() -> Result<()> {
+    // 1. Secure bulk load.
+    let stmts = ghostdb_sql::parse_statements(DDL)?;
+    let schema = ghostdb_sql::bind_schema(&stmts)?;
+    let mut data = Dataset::empty(&schema);
+    for (i, (name, country)) in [("Dupont", "France"), ("Garcia", "Spain")]
+        .iter()
+        .enumerate()
+    {
+        data.push_row(
+            TableId(0),
+            vec![
+                Value::Int(i as i64),
+                Value::Text((*name).into()),
+                Value::Text((*country).into()),
+            ],
+        )?;
+    }
+    for i in 0..12i64 {
+        data.push_row(
+            TableId(1),
+            vec![
+                Value::Int(i),
+                Value::Int(i % 8),
+                Value::Text(if i % 3 == 0 { "Sclerosis" } else { "Checkup" }.into()),
+                Value::Int(i % 2),
+            ],
+        )?;
+    }
+    let config = DeviceConfig::default_2007();
+    let mut db = GhostDb::create(DDL, config.clone(), &data)?;
+    println!("loaded:   {}\n", db.device_report());
+
+    // 2. Seal: the device state becomes a durable on-flash image.
+    let seal = db.seal()?;
+    println!(
+        "sealed:   epoch {}, image {} B ({} delta rows merged)\n",
+        seal.epoch, seal.image_bytes, seal.merged_rows
+    );
+
+    // 3. Inserts through the secure port. Their hidden halves exist in
+    //    RAM and the flash WAL only; "Burnout" is a diagnosis the
+    //    sealed dictionary has never seen.
+    db.execute(
+        "INSERT INTO Visit VALUES (12, 7, 'Burnout', 1), \
+         (13, 9, 'Sclerosis', 0)",
+    )?;
+    println!("inserted: {}\n", db.device_report());
+    let before = db.query(PROBE)?;
+
+    // 4. Unplug. Dropping the facade discards the PC, the bus, the RAM
+    //    deltas — everything except the NAND part itself.
+    let nand = db.nand().clone();
+    drop(db);
+    println!("-- key unplugged; power gone; only the NAND remains --\n");
+
+    // 5. Remount from the key alone: image + WAL replay.
+    let db = GhostDb::mount(nand, config)?;
+    println!("mounted:  {}\n", db.device_report());
+    let after = db.query(PROBE)?;
+    assert_eq!(before.rows.rows, after.rows.rows);
+
+    println!("severe visits, same answer before and after the power cycle:");
+    for row in &after.rows.rows {
+        println!("  {row:?}");
+    }
+
+    // 6. The spy saw the mount's replay traffic — and still no hidden
+    //    value crossed.
+    assert!(!db.spy_sees_value(&Value::Text("Burnout".into())));
+    assert!(!db.spy_sees_value(&Value::Text("Sclerosis".into())));
+    println!("\nspy view of the remount + queries:\n{}", db.spy_report());
+    Ok(())
+}

@@ -218,6 +218,78 @@ fn inserted_hidden_values_never_cross_the_bus() {
     assert!(!db.spy_sees_value(&Value::Int(INS_INT)));
 }
 
+/// Durability stays entirely on the device side of the spied link:
+/// `seal()` programs the NAND directly (zero bus frames), and a
+/// mount's WAL replay re-transmits only the visible halves — the
+/// sentinels never appear in either instance's trace.
+#[test]
+fn seal_mount_and_wal_replay_leak_nothing() {
+    const INS_TEXT: &str = "XQZ-SENTINEL-WAL-88403";
+    const INS_INT: i64 = -337_799_551_100;
+    let mut db = build();
+    db.clear_trace();
+
+    // Sealing moves every hidden structure into the image, off-bus.
+    db.seal().unwrap();
+    assert_no_sentinel(&db, "seal");
+    assert_eq!(
+        db.trace().spy_bytes(),
+        0,
+        "seal must not touch the PC \u{2194} device link"
+    );
+
+    // Post-seal inserts: hidden halves go to the WAL (device NAND),
+    // visible halves cross the bus as usual.
+    db.execute(&format!(
+        "INSERT INTO Record VALUES (400, 77, '{INS_TEXT}', {INS_INT}, 3)"
+    ))
+    .unwrap();
+    assert!(!db.spy_sees_value(&Value::Text(INS_TEXT.into())));
+    assert!(!db.spy_sees_value(&Value::Int(INS_INT)));
+    assert!(db.spy_sees_value(&Value::Int(77)), "visible half crosses");
+
+    // Unplug, remount: the replay runs on a fresh bus with an empty
+    // trace, so anything hidden it transmitted would be caught here.
+    let nand = db.nand().clone();
+    let config = db.config().clone();
+    drop(db);
+    let db = GhostDb::mount(nand, config.clone()).unwrap();
+    assert_no_sentinel(&db, "mount + WAL replay");
+    assert!(
+        !db.spy_sees_value(&Value::Text(INS_TEXT.into())),
+        "replayed hidden text leaked"
+    );
+    assert!(!db.spy_sees_value(&Value::Int(INS_INT)));
+
+    // The replayed hidden data is queryable (secure display only)...
+    let sql = "SELECT Rec.Diagnosis, Rec.SecretScore FROM Record Rec \
+               WHERE Rec.Vitals = 77";
+    for cp in db.plans(sql).unwrap() {
+        let out = db.query_with_plan(sql, &cp.plan).unwrap();
+        assert_eq!(out.rows.rows.len(), 1);
+        assert_eq!(out.rows.rows[0][0], Value::Text(INS_TEXT.into()));
+        assert_no_sentinel(&db, &format!("mounted plan {}", cp.plan.label));
+        assert!(!db.spy_sees_value(&Value::Text(INS_TEXT.into())));
+    }
+
+    // ...and the flush + re-seal + second power cycle stay clean too.
+    let mut db = db;
+    assert!(db.flush_deltas().unwrap() > 0);
+    let nand = db.nand().clone();
+    drop(db);
+    let db = GhostDb::mount(nand, config).unwrap();
+    assert_eq!(
+        db.trace().spy_bytes(),
+        0,
+        "a replay-free mount is entirely off-bus"
+    );
+    let out = db.query(sql).unwrap();
+    assert_eq!(out.rows.rows[0][1], Value::Int(INS_INT));
+    assert_no_sentinel(&db, "re-sealed mount");
+    assert!(!db.spy_sees_value(&Value::Text(INS_TEXT.into())));
+    assert!(!db.spy_sees_value(&Value::Int(INS_INT)));
+}
+
 #[test]
 fn results_only_reach_the_display_channel() {
     let db = build();

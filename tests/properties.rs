@@ -362,6 +362,159 @@ mod insert_equivalence {
     }
 }
 
+mod seal_mount_equivalence {
+    //! The durability subsystem's ground truth (PR 4 acceptance): a
+    //! database sealed to flash, "unplugged" (dropped), and remounted
+    //! from the NAND alone answers every query exactly like a fresh
+    //! `GhostDb::create` of the same content — across random insert
+    //! batches committed *after* the seal (so they exist only in the
+    //! WAL and must replay), every enumerated plan, both pipeline
+    //! modes, and again after the replayed deltas are flushed (which
+    //! re-seals) and the key is power-cycled a second time.
+
+    use ghostdb::GhostDb;
+    use ghostdb_storage::Dataset;
+    use ghostdb_types::{DeviceConfig, TableId, Value};
+    use proptest::prelude::*;
+
+    const DDL: &str = "\
+        CREATE TABLE Child (
+          cid INTEGER PRIMARY KEY,
+          vis INTEGER,
+          hid INTEGER HIDDEN,
+          tag CHAR(12) HIDDEN);
+        CREATE TABLE Root (
+          rid INTEGER PRIMARY KEY,
+          amt INTEGER HIDDEN,
+          cid REFERENCES Child(cid) HIDDEN);";
+
+    fn child_row(i: i64, next: &mut impl FnMut() -> i64, tags: usize) -> Vec<Value> {
+        vec![
+            Value::Int(i),
+            Value::Int(next() % 50),
+            Value::Int(next() % 50),
+            Value::Text(format!("tag-{}", next().rem_euclid(tags as i64))),
+        ]
+    }
+
+    fn root_row(i: i64, children: i64, next: &mut impl FnMut() -> i64) -> Vec<Value> {
+        vec![
+            Value::Int(i),
+            Value::Int(next() % 50),
+            Value::Int(next().rem_euclid(children)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+        #[test]
+        fn sealed_mounted_and_fresh_loaded_agree(
+            seed in any::<u64>(),
+            base_children in 3usize..10,
+            base_roots in 5usize..24,
+            ins_children in 1usize..5,
+            ins_roots in 1usize..8,
+            hidden_cut in 0i64..50,
+            tag_pick in 0usize..12,
+        ) {
+            let mut state = seed | 1;
+            let mut next = move || -> i64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as i64
+            };
+            let stmts = ghostdb_sql::parse_statements(DDL).unwrap();
+            let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
+
+            let mut base = Dataset::empty(&schema);
+            for i in 0..base_children as i64 {
+                base.push_row(TableId(0), child_row(i, &mut next, 6)).unwrap();
+            }
+            for i in 0..base_roots as i64 {
+                base.push_row(TableId(1), root_row(i, base_children as i64, &mut next)).unwrap();
+            }
+            let mut child_batch = Vec::new();
+            for i in 0..ins_children as i64 {
+                child_batch.push(child_row(base_children as i64 + i, &mut next, 12));
+            }
+            let total_children = (base_children + ins_children) as i64;
+            let mut root_batch = Vec::new();
+            for i in 0..ins_roots as i64 {
+                root_batch.push(root_row(base_roots as i64 + i, total_children, &mut next));
+            }
+
+            // Seal the base, then insert: the batches live only in the
+            // flash WAL (and RAM deltas the unplug below discards).
+            let config = DeviceConfig::default_2007().with_delta_flush_rows(0);
+            let mut db = GhostDb::create(DDL, config.clone(), &base).unwrap();
+            db.seal().unwrap();
+            db.insert_rows(TableId(0), child_batch.clone()).unwrap();
+            db.insert_rows(TableId(1), root_batch.clone()).unwrap();
+
+            // The same content as one initial dataset (the oracle).
+            let mut full = base.clone();
+            for r in &child_batch {
+                full.push_row(TableId(0), r.clone()).unwrap();
+            }
+            for r in &root_batch {
+                full.push_row(TableId(1), r.clone()).unwrap();
+            }
+            let fresh = GhostDb::create(DDL, config.clone(), &full).unwrap();
+
+            // Unplug and remount: base from metadata segments, inserts
+            // from WAL replay.
+            let nand = db.nand().clone();
+            drop(db);
+            let mut db = GhostDb::mount(nand, config.clone()).unwrap();
+            prop_assert_eq!(db.delta_rows(), (ins_children + ins_roots) as u64);
+
+            let queries = [
+                format!(
+                    "SELECT Root.rid, Child.tag FROM Root, Child \
+                     WHERE Child.tag = 'tag-{tag_pick}' AND Root.cid = Child.cid"
+                ),
+                format!(
+                    "SELECT Root.rid, Child.hid FROM Root, Child \
+                     WHERE Child.hid >= {hidden_cut} AND Child.vis < 40 \
+                       AND Root.cid = Child.cid"
+                ),
+                "SELECT Child.cid, Child.tag FROM Child WHERE Child.tag >= 'tag-3'".to_string(),
+                format!("SELECT Root.rid FROM Root WHERE Root.amt <= {hidden_cut}"),
+            ];
+            let check = |db: &GhostDb, phase: &str| {
+                for sql in &queries {
+                    let expect = fresh.query(sql).unwrap().rows.rows;
+                    let spec = db.bind(sql).unwrap();
+                    for cp in db.plans(sql).unwrap() {
+                        let blocked = db.run(&spec, &cp.plan).unwrap();
+                        prop_assert_eq!(
+                            &blocked.rows.rows, &expect,
+                            "{}/blocked plan {}: {}", phase, cp.plan.label, sql
+                        );
+                        let scalar = db.run_scalar(&spec, &cp.plan).unwrap();
+                        prop_assert_eq!(
+                            &scalar.rows.rows, &expect,
+                            "{}/scalar plan {}: {}", phase, cp.plan.label, sql
+                        );
+                    }
+                }
+            };
+            check(&db, "wal-replayed");
+
+            // Flush (re-seals under a new epoch), power-cycle again:
+            // this time everything mounts from the metadata segments.
+            prop_assert_eq!(db.flush_deltas().unwrap(), (ins_children + ins_roots) as u64);
+            let nand = db.nand().clone();
+            drop(db);
+            let db = GhostDb::mount(nand, config).unwrap();
+            prop_assert_eq!(db.delta_rows(), 0);
+            check(&db, "flushed-resealed");
+        }
+    }
+}
+
 mod pipeline_equivalence {
     //! The batched (blocked) pipeline and the scalar fallback must be
     //! observationally identical: same rows, same per-operator tuple
