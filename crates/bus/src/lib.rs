@@ -89,9 +89,10 @@ impl Bus {
     ///
     /// * `Query`, `IdChunk`, `ColumnChunk` travel PC → device only
     ///   (visible data flowing *into* the trusted zone);
-    /// * `EvalPredicate`, `FetchColumn`, `AppendVisible` travel
-    ///   device → PC only (plan requests derived from the public query
-    ///   text, and the visible halves of post-load inserts);
+    /// * `EvalPredicate`, `FetchColumn`, `AppendVisible`, `DeleteRows`,
+    ///   `UpdateVisible`, `CompactRows` travel device → PC only (plan
+    ///   requests derived from the public query text, and the visible
+    ///   halves / row-identity effects of post-load mutations);
     /// * nothing else exists, so hidden data has no vehicle.
     pub fn transmit(&self, from: Endpoint, to: Endpoint, msg: &Message) -> Result<usize> {
         let legal = match msg {
@@ -100,7 +101,10 @@ impl Bus {
             }
             Message::EvalPredicate { .. }
             | Message::FetchColumn { .. }
-            | Message::AppendVisible { .. } => from == Endpoint::Device && to == Endpoint::Pc,
+            | Message::AppendVisible { .. }
+            | Message::DeleteRows { .. }
+            | Message::UpdateVisible { .. }
+            | Message::CompactRows { .. } => from == Endpoint::Device && to == Endpoint::Pc,
             Message::Error { .. } => {
                 (from == Endpoint::Pc && to == Endpoint::Device)
                     || (from == Endpoint::Device && to == Endpoint::Pc)

@@ -85,6 +85,35 @@ pub enum Message {
         /// `(column, value)` pairs for the visible columns only.
         values: Vec<(ColumnId, Value)>,
     },
+    /// Announce that rows died (device → PC): the PC marks its visible
+    /// halves dead and stops serving them. Only row **identities** cross
+    /// — which hidden values (if any) motivated the delete never does,
+    /// so the spy learns churn, not content.
+    DeleteRows {
+        /// Table losing the rows.
+        table: TableId,
+        /// The dead (physical) row ids.
+        rows: Vec<RowId>,
+    },
+    /// Overwrite the visible half of one updated row on the PC
+    /// (device → PC). Hidden-column rewrites never ride this message —
+    /// they stay inside the device, exactly like inserted hidden values.
+    UpdateVisible {
+        /// Table owning the row.
+        table: TableId,
+        /// The (physical) row id.
+        row: RowId,
+        /// `(column, new value)` pairs for visible columns only.
+        values: Vec<(ColumnId, Value)>,
+    },
+    /// Tell the PC a delta flush compacted these tables (device → PC):
+    /// the PC drops its dead rows and renumbers, mirroring the device's
+    /// flash compaction. Carries table ids only — the dead sets were
+    /// already public via [`Message::DeleteRows`].
+    CompactRows {
+        /// The compacted tables.
+        tables: Vec<TableId>,
+    },
     /// Protocol-level failure notice (either direction).
     Error {
         /// Human-readable description.
@@ -102,6 +131,9 @@ impl Message {
             Message::FetchColumn { .. } => "FetchColumn",
             Message::ColumnChunk { .. } => "ColumnChunk",
             Message::AppendVisible { .. } => "AppendVisible",
+            Message::DeleteRows { .. } => "DeleteRows",
+            Message::UpdateVisible { .. } => "UpdateVisible",
+            Message::CompactRows { .. } => "CompactRows",
             Message::Error { .. } => "Error",
         }
     }
@@ -137,6 +169,17 @@ impl Message {
             Message::AppendVisible { table, row, values } => {
                 let cols: Vec<String> = values.iter().map(|(c, v)| format!("{c} = {v}")).collect();
                 format!("append {table} row {row}: {}", cols.join(", "))
+            }
+            Message::DeleteRows { table, rows } => {
+                format!("delete {} row(s) of {table}", rows.len())
+            }
+            Message::UpdateVisible { table, row, values } => {
+                let cols: Vec<String> = values.iter().map(|(c, v)| format!("{c} = {v}")).collect();
+                format!("update {table} row {row}: {}", cols.join(", "))
+            }
+            Message::CompactRows { tables } => {
+                let ts: Vec<String> = tables.iter().map(|t| t.to_string()).collect();
+                format!("compact table(s) {}", ts.join(", "))
             }
             Message::Error { message } => format!("error: {message}"),
         }
@@ -206,6 +249,21 @@ impl Wire for Message {
                 row.encode(out);
                 values.encode(out);
             }
+            Message::DeleteRows { table, rows } => {
+                out.push(7);
+                table.encode(out);
+                rows.encode(out);
+            }
+            Message::UpdateVisible { table, row, values } => {
+                out.push(8);
+                table.encode(out);
+                row.encode(out);
+                values.encode(out);
+            }
+            Message::CompactRows { tables } => {
+                out.push(9);
+                tables.encode(out);
+            }
             Message::Error { message } => {
                 out.push(5);
                 message.encode(out);
@@ -267,6 +325,18 @@ impl Wire for Message {
                 table: TableId::decode(buf)?,
                 row: RowId::decode(buf)?,
                 values: Vec::<(ColumnId, Value)>::decode(buf)?,
+            },
+            7 => Message::DeleteRows {
+                table: TableId::decode(buf)?,
+                rows: Vec::<RowId>::decode(buf)?,
+            },
+            8 => Message::UpdateVisible {
+                table: TableId::decode(buf)?,
+                row: RowId::decode(buf)?,
+                values: Vec::<(ColumnId, Value)>::decode(buf)?,
+            },
+            9 => Message::CompactRows {
+                tables: Vec::<TableId>::decode(buf)?,
             },
             t => return Err(GhostError::corrupt(format!("message tag {t}"))),
         })
@@ -331,6 +401,18 @@ mod tests {
                 (ColumnId(1), Value::Int(7)),
                 (ColumnId(2), Value::Text("public".into())),
             ],
+        });
+        roundtrip(Message::DeleteRows {
+            table: TableId(2),
+            rows: vec![RowId(3), RowId(17)],
+        });
+        roundtrip(Message::UpdateVisible {
+            table: TableId(0),
+            row: RowId(9),
+            values: vec![(ColumnId(1), Value::Int(42))],
+        });
+        roundtrip(Message::CompactRows {
+            tables: vec![TableId(0), TableId(3)],
         });
     }
 

@@ -96,6 +96,15 @@ impl ColumnStats {
         }
     }
 
+    /// Retire `n` deleted rows: the row count shrinks immediately so
+    /// estimated result cardinalities track live data. Distinct counts
+    /// and the histogram are left alone — without per-value refcounts we
+    /// cannot know whether the dead rows' values survive elsewhere, and
+    /// both are rebuilt exactly at the next delta flush.
+    pub fn retire(&mut self, n: u64) {
+        self.rows = self.rows.saturating_sub(n);
+    }
+
     /// Estimated selectivity (result fraction) of `column OP value`.
     pub fn selectivity(&self, op: ScalarOp, value: &Value) -> f64 {
         if self.rows == 0 {
@@ -189,6 +198,35 @@ impl SchemaStats {
         for (ci, col) in t.columns.iter_mut().enumerate() {
             if let Some(c) = col {
                 c.absorb(new_value_columns.contains(&(ci as u16)));
+            }
+        }
+    }
+
+    /// Incremental refresh for `n` deleted rows: the table cardinality
+    /// and every collected column's row count decrement, so planner
+    /// estimates shrink with the live data instead of drifting upward
+    /// until the next flush. (`absorb_row`'s mirror image — the ROADMAP
+    /// mutation-drift fix.)
+    pub fn retire_rows(&mut self, table: ghostdb_types::TableId, n: u64) {
+        let Some(t) = self.tables.get_mut(table.index()) else {
+            return;
+        };
+        t.rows = t.rows.saturating_sub(n);
+        for col in t.columns.iter_mut().flatten() {
+            col.retire(n);
+        }
+    }
+
+    /// Incremental refresh for one updated row: row counts are
+    /// unchanged, but columns that received a previously-unseen value
+    /// (`new_value_columns`) grow their distinct estimate.
+    pub fn absorb_update(&mut self, table: ghostdb_types::TableId, new_value_columns: &[u16]) {
+        let Some(t) = self.tables.get_mut(table.index()) else {
+            return;
+        };
+        for &ci in new_value_columns {
+            if let Some(Some(c)) = t.columns.get_mut(ci as usize) {
+                c.distinct += 1;
             }
         }
     }
@@ -335,5 +373,40 @@ mod tests {
     fn empty_column_zero_selectivity() {
         let s = ColumnStats::build(&[], 4);
         assert_eq!(s.selectivity(ScalarOp::Eq, &Value::Int(1)), 0.0);
+    }
+
+    /// The planner-drift satellite: a bulk delete must shrink estimated
+    /// result cardinalities (rows × selectivity) immediately, not at the
+    /// next flush.
+    #[test]
+    fn bulk_delete_shrinks_cardinality_estimates() {
+        let mut stats = SchemaStats::empty(1);
+        let values: Vec<Value> = (0..1000).map(Value::Int).collect();
+        stats.tables[0].rows = 1000;
+        stats.tables[0].columns = vec![None, Some(ColumnStats::build(&values, 32))];
+        let cref = ColumnRef {
+            table: TableId(0),
+            column: ColumnId(1),
+        };
+        let est_before =
+            stats.rows(TableId(0)) as f64 * stats.selectivity(cref, ScalarOp::Gt, &Value::Int(500));
+
+        stats.retire_rows(TableId(0), 600);
+        assert_eq!(stats.rows(TableId(0)), 400);
+        assert_eq!(stats.column(cref).unwrap().rows, 400);
+        let est_after =
+            stats.rows(TableId(0)) as f64 * stats.selectivity(cref, ScalarOp::Gt, &Value::Int(500));
+        assert!(
+            est_after < est_before / 2.0,
+            "estimate {est_after} did not shrink from {est_before}"
+        );
+        // Saturates rather than underflows.
+        stats.retire_rows(TableId(0), 10_000);
+        assert_eq!(stats.rows(TableId(0)), 0);
+
+        // Updates that mint a fresh value grow the distinct estimate.
+        let d0 = stats.column(cref).unwrap().distinct;
+        stats.absorb_update(TableId(0), &[1]);
+        assert_eq!(stats.column(cref).unwrap().distinct, d0 + 1);
     }
 }

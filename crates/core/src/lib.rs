@@ -15,22 +15,35 @@
 //! (`plans`, `query_with_plan`, `explain`), and audit the spy's view
 //! (`spy_report`, `spy_sees_value`).
 //!
-//! # Mutability: the post-load write path
+//! # Mutability: the post-load write path (full DML)
 //!
 //! The facade is no longer frozen at bulk load. [`GhostDb::execute`]
-//! accepts `INSERT` statements (and `SELECT`s) after load: each row is
-//! validated against the live tree schema (dense PK, FK range, types),
-//! its hidden half appended to the [`HiddenStore`]'s RAM delta, its
-//! visible half pushed to the PC over the bus (an `AppendVisible` frame
-//! — public data, visible to the spy like any visible column), and every
-//! index maintained LSM-style through RAM deltas that queries union with
-//! the flash base. Inserts enter through the **device's secure port**,
-//! the same trust path as the initial bulk load: the insert text is
-//! never transmitted to the PC, so hidden values still have no vehicle
-//! across the spied link. Once the combined delta reaches
-//! [`DeviceConfig::delta_flush_rows`] rows the engine merges everything
-//! into rebuilt flash segments ([`GhostDb::flush_deltas`]), freeing the
-//! old segments for the flash GC to reclaim.
+//! accepts `INSERT`, `DELETE` and `UPDATE` statements (and `SELECT`s)
+//! after load. Inserts are validated against the live tree schema
+//! (dense PK, FK range, types), their hidden halves appended to the
+//! [`HiddenStore`]'s RAM delta, their visible halves pushed to the PC
+//! over the bus (an `AppendVisible` frame — public data), and every
+//! index maintained LSM-style through RAM deltas that queries union
+//! with the flash base. A `DELETE`'s `WHERE` resolves to row ids
+//! through the normal planner/executor, then flips bits in a per-table
+//! tombstone set (referential integrity is RESTRICT); an `UPDATE`
+//! overwrites cells through value-rewrite overlays and re-homes the
+//! affected value-index postings. User-visible primary keys are the
+//! dense *live-rank* view of the tombstone set (`Vec::remove`
+//! semantics).
+//!
+//! All three mutations enter through the **device's secure port**, the
+//! same trust path as the initial bulk load: the statement text is
+//! never transmitted to the PC (an `UPDATE`'s new values or a
+//! `DELETE`'s constants may name hidden values), so hidden data still
+//! has no vehicle across the spied link — the spy sees only delegated
+//! visible predicate evaluations and the row-identity effects
+//! (`DeleteRows`, `UpdateVisible`, `CompactRows`). Once the combined
+//! un-flushed mutation count reaches
+//! [`DeviceConfig::delta_flush_rows`] the engine merges everything into
+//! rebuilt flash segments ([`GhostDb::flush_deltas`]), physically
+//! dropping tombstoned rows (survivors renumber, the PC compacts in
+//! lockstep) and freeing the old segments for the flash GC to reclaim.
 //!
 //! # Durability: seal, mount, and the WAL
 //!
@@ -58,7 +71,9 @@ mod link;
 pub use link::BusPcLink;
 
 use ghostdb_bus::{Bus, BusTrace, Endpoint, Message};
-use ghostdb_catalog::{ColumnStats, Histogram, Schema, SchemaStats, TreeSchema};
+use ghostdb_catalog::{
+    ColumnRef, ColumnRole, ColumnStats, Histogram, Predicate, Schema, SchemaStats, TreeSchema,
+};
 use ghostdb_exec::{
     execute, CostedPlan, ExecContext, ExecReport, Optimizer, PipelineMode, Plan, QuerySpec,
     ResultSet,
@@ -69,7 +84,10 @@ use ghostdb_persist::{DeviceImage, Wal};
 use ghostdb_ram::{RamBudget, RamScope};
 use std::collections::HashMap;
 
-use ghostdb_sql::{bind_insert, bind_schema, bind_select, parse_statements, InsertStmt, Statement};
+use ghostdb_sql::{
+    bind_delete, bind_insert, bind_schema, bind_select, bind_update, parse_statements, DeleteStmt,
+    InsertStmt, Statement, UpdateStmt,
+};
 use ghostdb_storage::{split_dataset, validate_row, Dataset, HiddenStore, STATS_BUCKETS};
 use ghostdb_types::{
     format_ns, ColumnId, DataType, DeviceConfig, GhostError, Result, RowId, Sealed, SimClock,
@@ -113,6 +131,21 @@ pub struct InsertReport {
     pub sim_ns: u64,
 }
 
+/// Summary of one applied `DELETE` or `UPDATE`.
+#[derive(Debug, Clone)]
+pub struct MutationReport {
+    /// Table that was mutated.
+    pub table: TableId,
+    /// Rows deleted / updated (the `WHERE` clause's match count).
+    pub rows: u64,
+    /// Whether this statement tripped the automatic delta flush (which
+    /// physically compacts the tombstoned rows away).
+    pub flushed: bool,
+    /// Simulated time spent (filter evaluation, bus frames, WAL append,
+    /// and the flush if one ran).
+    pub sim_ns: u64,
+}
+
 /// Outcome of one statement run through [`GhostDb::execute`].
 #[derive(Debug)]
 pub enum ExecOutcome {
@@ -120,6 +153,10 @@ pub enum ExecOutcome {
     Query(QueryOutcome),
     /// An `INSERT`'s application summary.
     Insert(InsertReport),
+    /// A `DELETE`'s application summary.
+    Delete(MutationReport),
+    /// An `UPDATE`'s application summary.
+    Update(MutationReport),
 }
 
 /// Summary of one [`GhostDb::seal`].
@@ -256,12 +293,14 @@ impl GhostDb {
             hidden,
             indexes,
             visible,
+            tombstones,
             l2p,
         } = loaded.image;
         let reserved = config.flash.reserved_blocks();
         let volume = Volume::mount(nand.clone(), reserved, l2p)?;
         let tree = TreeSchema::analyze(&schema)?;
-        let hidden = HiddenStore::restore(&volume, &hidden)?;
+        let mut hidden = HiddenStore::restore(&volume, &hidden)?;
+        hidden.restore_liveness(&tombstones)?;
         let indexes = IndexSet::restore(&volume, &indexes)?;
         let clock = nand.clock().clone();
         let bus = Bus::new(config.bus.clone(), clock.clone());
@@ -286,8 +325,17 @@ impl GhostDb {
         // but never re-logged, and without tripping the auto-flush.
         let opened = Wal::open(nand, loaded.epoch)?;
         for rec in &opened.records {
-            let (table, rows) = decode_wal_record(rec)?;
-            db.apply_batch(table, rows, BatchOrigin::Replay)?;
+            match decode_wal_record(rec)? {
+                WalRecord::Insert(table, rows) => {
+                    db.apply_batch(table, rows, BatchOrigin::Replay)?;
+                }
+                WalRecord::Delete(table, rows) => {
+                    db.apply_delete_batch(table, rows, BatchOrigin::Replay)?;
+                }
+                WalRecord::Update(table, rows, assignments) => {
+                    db.apply_update_batch(table, rows, assignments, BatchOrigin::Replay)?;
+                }
+            }
         }
         db.durable = Some(DurableState {
             epoch: loaded.epoch,
@@ -372,6 +420,8 @@ impl GhostDb {
             match s {
                 Statement::Select(sel) => out.push(ExecOutcome::Query(self.query(&sel.text)?)),
                 Statement::Insert(ins) => out.push(ExecOutcome::Insert(self.apply_insert(ins)?)),
+                Statement::Delete(del) => out.push(ExecOutcome::Delete(self.apply_delete(del)?)),
+                Statement::Update(upd) => out.push(ExecOutcome::Update(self.apply_update(upd)?)),
                 Statement::CreateTable(ct) => {
                     return Err(GhostError::unsupported(format!(
                         "CREATE TABLE {} after load (the tree schema is fixed at create time)",
@@ -386,6 +436,326 @@ impl GhostDb {
     fn apply_insert(&mut self, ins: &InsertStmt) -> Result<InsertReport> {
         let bound = bind_insert(&self.schema, ins)?;
         self.insert_rows(bound.table, bound.rows)
+    }
+
+    fn apply_delete(&mut self, del: &DeleteStmt) -> Result<MutationReport> {
+        let bound = bind_delete(&self.schema, del)?;
+        let rows = self.matching_rows(&bound.sql, bound.table, &bound.predicates)?;
+        self.delete_rows(bound.table, rows)
+    }
+
+    fn apply_update(&mut self, upd: &UpdateStmt) -> Result<MutationReport> {
+        let bound = bind_update(&self.schema, upd)?;
+        let rows = self.matching_rows(&bound.sql, bound.table, &bound.predicates)?;
+        self.update_rows(bound.table, rows, bound.assignments)
+    }
+
+    /// Resolve a mutation's `WHERE` to the logical row ids it matches:
+    /// the filter runs as an ordinary single-table query — best plan,
+    /// normal executor, liveness-filtered like any `SELECT` — projecting
+    /// the primary key. Deletes and updates really are "queries that end
+    /// in a mutation".
+    ///
+    /// Unlike a `SELECT` (posed by the PC, its text public by the
+    /// paper's model), mutations enter through the **device's secure
+    /// port** — the same trust path as `INSERT` — so the statement text
+    /// is *never* transmitted: an `UPDATE`'s new values and a `DELETE`'s
+    /// selection constants may name hidden values. Only the plan's
+    /// side effects cross the bus: delegated *visible* predicate
+    /// evaluations, and the row identities the mutation ends up
+    /// touching.
+    fn matching_rows(
+        &self,
+        sql: &str,
+        table: TableId,
+        predicates: &[Predicate],
+    ) -> Result<Vec<RowId>> {
+        let pk = ColumnRef {
+            table,
+            column: ColumnId(0),
+        };
+        let spec = QuerySpec::bind(
+            &self.schema,
+            &self.tree,
+            sql,
+            vec![table],
+            vec![pk],
+            predicates.to_vec(),
+            vec![],
+        )?;
+        let opt = Optimizer::new(&self.schema, &self.tree, &self.stats, &self.config);
+        let plan = opt.best(&spec, |c| self.indexes.has_value_index(c))?;
+        let ctx = self.exec_context(PipelineMode::Blocked);
+        let (rows, _report) = execute(&ctx, &spec, &plan)?;
+        rows.rows
+            .iter()
+            .map(|r| {
+                r[0].as_int()
+                    .map(|v| RowId(v as u32))
+                    .ok_or_else(|| GhostError::exec("mutation filter projected a non-integer pk"))
+            })
+            .collect()
+    }
+
+    /// Programmatic delete path (also the backend of
+    /// [`execute`](Self::execute)): tombstone the rows with the given
+    /// **logical** ids (current dense primary keys) in `table`.
+    /// Referential integrity is RESTRICT — a row still referenced by a
+    /// live row refuses to die, so delete bottom-up (root first).
+    /// Queries stop seeing the rows immediately; their flash bytes are
+    /// reclaimed by the next delta flush, which compacts them away.
+    pub fn delete_rows(&mut self, table: TableId, rows: Vec<RowId>) -> Result<MutationReport> {
+        self.apply_delete_batch(table, rows, BatchOrigin::Live)
+    }
+
+    fn apply_delete_batch(
+        &mut self,
+        table: TableId,
+        rows: Vec<RowId>,
+        origin: BatchOrigin,
+    ) -> Result<MutationReport> {
+        let t0 = self.clock.now();
+        let mut logical = rows;
+        logical.sort_unstable();
+        logical.dedup();
+        if logical.is_empty() {
+            return Ok(MutationReport {
+                table,
+                rows: 0,
+                flushed: false,
+                sim_ns: 0,
+            });
+        }
+        let live = self.hidden.live_count(table);
+        if let Some(bad) = logical.iter().find(|r| r.0 >= live) {
+            return Err(GhostError::exec(format!(
+                "delete of {} row {bad}: only {live} live row(s)",
+                self.schema.table(table).name
+            )));
+        }
+        // WAL space first (logical ids survive the forced flush a full
+        // log triggers — a flush only makes physical ids dense again).
+        let record = self.wal_reserve(origin, || encode_delete_record(table, &logical))?;
+        // Resolve to physical ids and enforce RESTRICT: none of the dying
+        // rows may be referenced by a live row of the referencing table.
+        let phys: Vec<u32> = logical
+            .iter()
+            .map(|r| self.hidden.select_live(table, r.0).map(|p| p.0))
+            .collect::<Result<_>>()?;
+        self.assert_unreferenced(table, &phys)?;
+        // Tombstone on the device; announce the row identities to the PC
+        // (ids only — which hidden values died stays hidden); shrink the
+        // planner's live-cardinality estimates.
+        self.hidden.delete_rows_physical(table, &phys)?;
+        self.pc_link
+            .delete_rows(table, phys.iter().map(|&p| RowId(p)).collect())?;
+        self.stats.retire_rows(table, phys.len() as u64);
+        self.wal_commit(record)?;
+        let mut flushed = false;
+        if origin == BatchOrigin::Live && self.over_flush_threshold() {
+            self.flush_deltas()?;
+            flushed = true;
+        }
+        Ok(MutationReport {
+            table,
+            rows: logical.len() as u64,
+            flushed,
+            sim_ns: self.clock.now().since(t0),
+        })
+    }
+
+    /// No live row of the referencing (tree-parent) table may point at
+    /// any of the dying physical rows. The check is the climbing layout
+    /// itself: `table`'s key index translates the dying ids to the
+    /// parent level, and anything live there is a violation.
+    fn assert_unreferenced(&self, table: TableId, phys: &[u32]) -> Result<()> {
+        let Some((parent, _)) = self.tree.parent(table) else {
+            return Ok(()); // the root is referenced by nobody
+        };
+        let scope = RamScope::new(&self.ram);
+        let kidx = self.indexes.key_index(table)?;
+        let mut input = ghostdb_types::VecIdStream::new(phys.iter().map(|&p| RowId(p)).collect());
+        let refs = kidx.translate(
+            &scope,
+            &mut input,
+            parent,
+            ghostdb_index::TRANSLATE_SORT_RAM,
+        )?;
+        let mut live_refs = ghostdb_types::LiveFilter::new(refs, self.hidden.liveness(parent));
+        use ghostdb_types::IdStream;
+        if let Some(r) = live_refs.next_id()? {
+            return Err(GhostError::exec(format!(
+                "delete restricted: {} row(s) are still referenced by live {} rows (e.g. row {})",
+                self.schema.table(table).name,
+                self.schema.table(parent).name,
+                self.hidden.live_rank(parent, r)
+            )));
+        }
+        Ok(())
+    }
+
+    /// Programmatic update path (also the backend of
+    /// [`execute`](Self::execute)): overwrite `assignments` on the rows
+    /// with the given **logical** ids. Only attribute columns are
+    /// updatable (primary keys are row identity; foreign keys are the
+    /// precomputed join skeleton). Hidden rewrites stay on the device;
+    /// visible rewrites cross the bus as `UpdateVisible` frames.
+    pub fn update_rows(
+        &mut self,
+        table: TableId,
+        rows: Vec<RowId>,
+        assignments: Vec<(ColumnId, Value)>,
+    ) -> Result<MutationReport> {
+        self.apply_update_batch(table, rows, assignments, BatchOrigin::Live)
+    }
+
+    fn apply_update_batch(
+        &mut self,
+        table: TableId,
+        rows: Vec<RowId>,
+        assignments: Vec<(ColumnId, Value)>,
+        origin: BatchOrigin,
+    ) -> Result<MutationReport> {
+        let t0 = self.clock.now();
+        let mut logical = rows;
+        logical.sort_unstable();
+        logical.dedup();
+        // Validate everything before any state moves (statement
+        // atomicity, like inserts).
+        let tdef = self.schema.table(table);
+        for (c, v) in &assignments {
+            let cdef = tdef
+                .columns
+                .get(c.index())
+                .ok_or_else(|| GhostError::catalog(format!("no column {c} in {}", tdef.name)))?;
+            if cdef.role != ColumnRole::Attribute {
+                return Err(GhostError::unsupported(format!(
+                    "UPDATE of key column {}.{}",
+                    tdef.name, cdef.name
+                )));
+            }
+            if !cdef.ty.admits(v) {
+                return Err(GhostError::catalog(format!(
+                    "update value {v} does not conform to {} of {}.{}",
+                    cdef.ty, tdef.name, cdef.name
+                )));
+            }
+            if let (DataType::Char(cap), Value::Text(s)) = (cdef.ty, v) {
+                if s.len() > cap as usize {
+                    return Err(GhostError::catalog(format!(
+                        "update value exceeds CHAR({cap}) of {}.{}",
+                        tdef.name, cdef.name
+                    )));
+                }
+            }
+        }
+        if logical.is_empty() || assignments.is_empty() {
+            return Ok(MutationReport {
+                table,
+                rows: 0,
+                flushed: false,
+                sim_ns: 0,
+            });
+        }
+        let live = self.hidden.live_count(table);
+        if let Some(bad) = logical.iter().find(|r| r.0 >= live) {
+            return Err(GhostError::exec(format!(
+                "update of {} row {bad}: only {live} live row(s)",
+                self.schema.table(table).name
+            )));
+        }
+        let record = self.wal_reserve(origin, || {
+            encode_update_record(table, &logical, &assignments)
+        })?;
+        let phys: Vec<u32> = logical
+            .iter()
+            .map(|r| self.hidden.select_live(table, r.0).map(|p| p.0))
+            .collect::<Result<_>>()?;
+        let scope = RamScope::new(&self.ram);
+        for &p in &phys {
+            let row = RowId(p);
+            let mut visible: Vec<(ColumnId, Value)> = Vec::new();
+            for (c, v) in &assignments {
+                if self.schema.table(table).columns[c.index()]
+                    .visibility
+                    .is_hidden()
+                {
+                    let old = self.hidden.value(&scope, table, *c, row)?;
+                    if &old == v {
+                        continue; // no-op rewrite: skip index churn
+                    }
+                    // Overlay first (the delta dictionary must know a
+                    // fresh string before the index re-posts under it).
+                    let minted = self.hidden.update_cell(table, *c, row, v)?;
+                    self.indexes.apply_update(&scope, table, *c, row, &old, v)?;
+                    if minted {
+                        self.stats.absorb_update(table, &[c.0]);
+                    }
+                } else {
+                    visible.push((*c, v.clone()));
+                }
+            }
+            if !visible.is_empty() {
+                self.pc_link.update_row(table, row, visible)?;
+            }
+        }
+        self.wal_commit(record)?;
+        let mut flushed = false;
+        if origin == BatchOrigin::Live && self.over_flush_threshold() {
+            self.flush_deltas()?;
+            flushed = true;
+        }
+        Ok(MutationReport {
+            table,
+            rows: logical.len() as u64,
+            flushed,
+            sim_ns: self.clock.now().since(t0),
+        })
+    }
+
+    /// The durable half of a mutation's prologue: encode the WAL record
+    /// and make room for it (a full log forces a flush, which re-seals
+    /// and truncates). Returns `None` for volatile instances and WAL
+    /// replay.
+    fn wal_reserve(
+        &mut self,
+        origin: BatchOrigin,
+        encode: impl FnOnce() -> Vec<u8>,
+    ) -> Result<Option<Vec<u8>>> {
+        if origin != BatchOrigin::Live || self.durable.is_none() {
+            return Ok(None);
+        }
+        let record = encode();
+        let fits = self
+            .durable
+            .as_ref()
+            .expect("checked above")
+            .wal
+            .fits(record.len());
+        if !fits {
+            self.flush_deltas()?;
+            let wal = &self.durable.as_ref().expect("still durable").wal;
+            if !wal.fits(record.len()) {
+                return Err(GhostError::flash(format!(
+                    "mutation batch ({} B) exceeds the WAL region; raise \
+                     FlashConfig::wal_blocks or split the batch",
+                    record.len()
+                )));
+            }
+        }
+        Ok(Some(record))
+    }
+
+    /// Append a reserved WAL record after the batch applied.
+    fn wal_commit(&mut self, record: Option<Vec<u8>>) -> Result<()> {
+        if let Some(record) = &record {
+            self.durable
+                .as_mut()
+                .expect("durable when a record was reserved")
+                .wal
+                .append(record)?;
+        }
+        Ok(())
     }
 
     /// Programmatic insert path (also the backend of
@@ -419,13 +789,13 @@ impl GhostDb {
         let scope = RamScope::new(&self.ram);
         // Validate the WHOLE batch before applying any row, so a bad
         // statement is atomic: either every row lands or none does.
-        // Row k's dense primary key must be base count + k; foreign-key
-        // limits are stable across the batch because a statement targets
-        // one table and tree schemas have no self-references.
+        // The user speaks the *logical* id space: row k's dense primary
+        // key must be live count + k, and foreign keys address live
+        // rows. (Identity with the physical space until rows die.)
         {
-            let start = self.hidden.row_count(table) as u64;
+            let start = self.hidden.live_count(table) as u64;
             let hidden = &self.hidden;
-            let row_count_of = |t: TableId| hidden.row_count(t) as u64;
+            let row_count_of = |t: TableId| hidden.live_count(t) as u64;
             for (k, values) in rows.iter().enumerate() {
                 validate_row(&self.schema, table, start + k as u64, values, &row_count_of)?;
             }
@@ -436,34 +806,16 @@ impl GhostDb {
         // record is programmed right after the apply loop, and only
         // then does the call return Ok — so the WAL replays exactly the
         // batches the caller saw commit, whole (records are CRC-framed;
-        // a torn tail drops the interrupted batch) or not at all.
-        let record = if origin == BatchOrigin::Live && self.durable.is_some() {
-            let record = encode_wal_record(table, &rows);
-            let fits = self
-                .durable
-                .as_ref()
-                .expect("checked above")
-                .wal
-                .fits(record.len());
-            if !fits {
-                self.flush_deltas()?;
-                // Re-check against the truncated log: a batch no empty
-                // region can hold must fail *before* any state moves.
-                let wal = &self.durable.as_ref().expect("still durable").wal;
-                if !wal.fits(record.len()) {
-                    return Err(GhostError::flash(format!(
-                        "insert batch ({} B) exceeds the WAL region; raise \
-                         FlashConfig::wal_blocks or split the batch",
-                        record.len()
-                    )));
-                }
-            }
-            Some(record)
-        } else {
-            None
-        };
+        // a torn tail drops the interrupted batch) or not at all. The
+        // logged rows are the caller's *logical* rows: replay re-runs
+        // the same translation against an identically-evolved state.
+        let record = self.wal_reserve(origin, || encode_insert_record(table, &rows))?;
         for values in &rows {
             let new_id = RowId(self.hidden.row_count(table));
+            // Everything *stored* — flash keys, postings, SKT rows, the
+            // PC's columns — speaks physical ids; rewrite the row's PK
+            // and FK values from the logical space the user wrote.
+            let values = &self.physical_row(table, new_id, values)?;
             // Resolve the new row's joins down the subtree before any
             // mutation (reads may touch the SKTs' base + delta).
             let wide = self.wide_row_for(table, new_id, values, &scope)?;
@@ -495,19 +847,9 @@ impl GhostDb {
             // Planner sees base + delta cardinalities immediately.
             self.stats.absorb_row(table, &new_value_cols);
         }
-        if let Some(record) = &record {
-            self.durable
-                .as_mut()
-                .expect("durable when a record was encoded")
-                .wal
-                .append(record)?;
-        }
-        let threshold = self.config.delta_flush_rows;
+        self.wal_commit(record)?;
         let mut flushed = false;
-        if origin == BatchOrigin::Live
-            && threshold > 0
-            && self.hidden.total_delta_rows() >= threshold as u64
-        {
+        if origin == BatchOrigin::Live && self.over_flush_threshold() {
             self.flush_deltas()?;
             flushed = true;
         }
@@ -517,6 +859,36 @@ impl GhostDb {
             flushed,
             sim_ns: self.clock.now().since(t0),
         })
+    }
+
+    /// Has the combined un-flushed mutation count — appended rows,
+    /// tombstones, overwritten cells — reached the auto-flush threshold?
+    fn over_flush_threshold(&self) -> bool {
+        let threshold = self.config.delta_flush_rows;
+        threshold > 0 && self.hidden.total_pending_mutations() >= threshold as u64
+    }
+
+    /// Rewrite one insert row from the logical id space (what the user
+    /// writes: dense PKs over live rows, FKs addressing live rows) into
+    /// the physical space everything stored speaks. Identity while
+    /// nothing is dead.
+    fn physical_row(&self, table: TableId, new_id: RowId, values: &[Value]) -> Result<Vec<Value>> {
+        let tdef = self.schema.table(table);
+        let mut out = values.to_vec();
+        for (ci, cdef) in tdef.columns.iter().enumerate() {
+            match cdef.role {
+                ColumnRole::PrimaryKey => out[ci] = Value::Int(new_id.0 as i64),
+                ColumnRole::ForeignKey(target) => {
+                    let logical = out[ci]
+                        .as_int()
+                        .ok_or_else(|| GhostError::exec("non-integer foreign key in insert"))?;
+                    let phys = self.hidden.select_live(target, logical as u32)?;
+                    out[ci] = Value::Int(phys.0 as i64);
+                }
+                ColumnRole::Attribute => {}
+            }
+        }
+        Ok(out)
     }
 
     /// The wide row of one inserted row: the id of every table in
@@ -560,13 +932,18 @@ impl GhostDb {
         Ok(())
     }
 
-    /// Merge every RAM-resident delta — hidden columns, climbing
-    /// indexes, SKTs — into rebuilt flash segments, freeing the old
-    /// segments for the GC, and rebuild the per-column equi-depth
-    /// histograms over the merged layout so planner estimates track the
-    /// absorbed rows. Returns the number of delta rows merged. Runs
-    /// automatically at the [`DeviceConfig::delta_flush_rows`]
-    /// threshold; callable explicitly for tests and maintenance windows.
+    /// Merge every RAM-resident mutation — appended delta rows,
+    /// tombstones, overwrite overlays, index deltas — into rebuilt flash
+    /// segments, freeing the old segments for the GC, and rebuild the
+    /// per-column equi-depth histograms over the merged layout so
+    /// planner estimates track the absorbed rows. Dead rows are
+    /// **physically dropped** here: survivors renumber dense, the PC
+    /// compacts its mirror in the same pass, and the freed segments are
+    /// what a post-delete flush reclaims. Returns the number of delta
+    /// rows merged (a deletes-only flush reports 0 merged rows but still
+    /// compacts). Runs automatically at the
+    /// [`DeviceConfig::delta_flush_rows`] threshold; callable explicitly
+    /// for tests and maintenance windows.
     ///
     /// On a sealed instance the flush **re-seals**: the merge writes new
     /// segments (frees of the old, image-referenced ones are deferred by
@@ -574,25 +951,32 @@ impl GhostDb {
     /// and the WAL truncates — in that order, so a power cut at any
     /// boundary mounts either the old image + full WAL or the new image.
     pub fn flush_deltas(&mut self) -> Result<u64> {
-        let merged = self.merge_deltas()?;
-        if merged > 0 && self.durable.is_some() {
+        let Some(merged) = self.merge_deltas()? else {
+            return Ok(0);
+        };
+        if self.durable.is_some() {
             self.seal_image(merged)?;
         }
         Ok(merged)
     }
 
-    /// The merge alone (no re-seal): the pre-PR 4 `flush_deltas` body
-    /// plus the histogram rebuild.
-    fn merge_deltas(&mut self) -> Result<u64> {
+    /// The merge alone (no re-seal): `None` when there was nothing to
+    /// do, otherwise the number of delta rows merged.
+    fn merge_deltas(&mut self) -> Result<Option<u64>> {
         let delta_rows = self.hidden.total_delta_rows();
-        if delta_rows == 0 && self.indexes.delta_entries() == 0 {
-            return Ok(0);
+        if self.hidden.total_pending_mutations() == 0 && self.indexes.delta_entries() == 0 {
+            return Ok(None);
         }
         let scope = RamScope::new(&self.ram);
-        let remaps = self.hidden.flush(&scope)?;
+        let remaps = self.hidden.flush(&scope, &self.schema)?;
         self.indexes.flush(&scope, &self.hidden, &remaps)?;
+        if remaps.any_compaction() {
+            // The PC drops its dead rows and renumbers in lockstep (the
+            // dead sets were already announced; one frame says "now").
+            self.pc_link.compact(&self.schema)?;
+        }
         self.refresh_statistics(&scope)?;
-        Ok(delta_rows)
+        Ok(Some(delta_rows))
     }
 
     /// Rebuild every column's statistics over the just-merged layout.
@@ -667,7 +1051,7 @@ impl GhostDb {
             ));
         }
         let t0 = self.clock.now();
-        let merged = self.merge_deltas()?;
+        let merged = self.merge_deltas()?.unwrap_or(0);
         let mut report = self.seal_image(merged)?;
         report.sim_ns = self.clock.now().since(t0);
         Ok(report)
@@ -694,6 +1078,9 @@ impl GhostDb {
             hidden: self.hidden.manifest()?,
             indexes: self.indexes.manifest()?,
             visible: self.pc_link.visible().clone(),
+            tombstones: (0..self.schema.table_count())
+                .map(|t| self.hidden.liveness(TableId(t as u16)).clone())
+                .collect(),
             l2p: self.volume.l2p_snapshot(),
         };
         let meta_segments = image.metadata_segment_count();
@@ -865,7 +1252,7 @@ impl GhostDb {
     }
 
     /// Device-side storage report (flash occupancy, index overhead,
-    /// durability state).
+    /// durability state, and per-region wear).
     pub fn device_report(&self) -> String {
         let usage = self.volume.usage();
         let durability = match &self.durable {
@@ -882,22 +1269,68 @@ impl GhostDb {
             ),
         };
         format!(
-            "flash: {}/{} blocks free, {} live pages; indexes: {}; durability: {}",
+            "flash: {}/{} blocks free, {} live pages; indexes: {}; durability: {}; wear: {}",
             usage.free_blocks,
             usage.total_blocks,
             usage.live_pages,
             self.indexes.describe(),
-            durability
+            durability,
+            self.wear_report(),
+        )
+    }
+
+    /// Per-region erase-wear summary over [`Nand::wear_snapshot`]: the
+    /// fixed metadata slots and WAL blocks wear independently of the
+    /// GC-leveled volume — every seal erases the same slot blocks and
+    /// every truncation the same WAL blocks, so their wear is
+    /// **unbounded by design** (the ROADMAP caveat; slot rotation stays
+    /// future work). Surfacing the split here is what lets an operator
+    /// see that budget being spent.
+    pub fn wear_report(&self) -> String {
+        let wear = self.volume.nand().wear_snapshot();
+        let cfg = &self.config.flash;
+        let seg = |range: std::ops::Range<usize>| -> String {
+            let s = &wear[range];
+            if s.is_empty() {
+                return "n/a".to_string();
+            }
+            let max = s.iter().max().copied().unwrap_or(0);
+            let avg = s.iter().map(|&w| w as u64).sum::<u64>() as f64 / s.len() as f64;
+            format!("max {max} avg {avg:.1}")
+        };
+        let meta = 2 * cfg.meta_slot_blocks;
+        let reserved = cfg.reserved_blocks();
+        if reserved == 0 {
+            return format!("volume {}", seg(0..wear.len()));
+        }
+        format!(
+            "meta slots {} | WAL {} | volume {} (fixed-slot seal wear is \
+             unbounded by design — no rotation)",
+            seg(0..meta),
+            seg(meta..reserved),
+            seg(reserved..wear.len()),
         )
     }
 }
 
-/// Encode one insert batch as a WAL record: `(table, rows)` in the
-/// tuple [`Wire`] format (so [`decode_wal_record`] is `decode_all` of a
-/// tuple). These bytes hold hidden values — they live on the device's
+/// A decoded WAL record: one committed mutation batch. All three kinds
+/// replay batch-atomically through the same validated paths live
+/// traffic takes; delete/update records carry **logical** row ids, which
+/// are stable across the flushes a replay may interleave with. Insert
+/// and update records hold hidden values — they live on the device's
 /// NAND only and never cross the bus.
-fn encode_wal_record(table: TableId, rows: &[Vec<Value>]) -> Vec<u8> {
-    let mut out = Vec::new();
+enum WalRecord {
+    /// An insert batch (tag 0).
+    Insert(TableId, Vec<Vec<Value>>),
+    /// A delete batch (tag 1): logical row ids.
+    Delete(TableId, Vec<RowId>),
+    /// An update batch (tag 2): logical row ids + assignments.
+    Update(TableId, Vec<RowId>, Vec<(ColumnId, Value)>),
+}
+
+/// Encode one insert batch as a WAL record.
+fn encode_insert_record(table: TableId, rows: &[Vec<Value>]) -> Vec<u8> {
+    let mut out = vec![0u8];
     table.encode(&mut out);
     (rows.len() as u32).encode(&mut out);
     for row in rows {
@@ -906,9 +1339,55 @@ fn encode_wal_record(table: TableId, rows: &[Vec<Value>]) -> Vec<u8> {
     out
 }
 
-/// Decode one WAL record back into its insert batch.
-fn decode_wal_record(bytes: &[u8]) -> Result<(TableId, Vec<Vec<Value>>)> {
-    ghostdb_types::decode_all::<(TableId, Vec<Vec<Value>>)>(bytes)
+/// Encode one delete batch as a WAL record.
+fn encode_delete_record(table: TableId, rows: &[RowId]) -> Vec<u8> {
+    let mut out = vec![1u8];
+    table.encode(&mut out);
+    rows.to_vec().encode(&mut out);
+    out
+}
+
+/// Encode one update batch as a WAL record.
+fn encode_update_record(
+    table: TableId,
+    rows: &[RowId],
+    assignments: &[(ColumnId, Value)],
+) -> Vec<u8> {
+    let mut out = vec![2u8];
+    table.encode(&mut out);
+    rows.to_vec().encode(&mut out);
+    assignments.to_vec().encode(&mut out);
+    out
+}
+
+/// Decode one WAL record back into its mutation batch.
+fn decode_wal_record(bytes: &[u8]) -> Result<WalRecord> {
+    let Some((&tag, mut buf)) = bytes.split_first() else {
+        return Err(GhostError::corrupt("empty WAL record"));
+    };
+    let buf = &mut buf;
+    let rec = match tag {
+        0 => {
+            let table = TableId::decode(buf)?;
+            let n = u32::decode(buf)?;
+            let mut rows = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                rows.push(Vec::<Value>::decode(buf)?);
+            }
+            WalRecord::Insert(table, rows)
+        }
+        1 => WalRecord::Delete(TableId::decode(buf)?, Vec::<RowId>::decode(buf)?),
+        2 => WalRecord::Update(
+            TableId::decode(buf)?,
+            Vec::<RowId>::decode(buf)?,
+            Vec::<(ColumnId, Value)>::decode(buf)?,
+        ),
+        t => return Err(GhostError::corrupt(format!("WAL record tag {t}"))),
+    };
+    if !buf.is_empty() {
+        return Err(GhostError::corrupt("trailing bytes in WAL record"));
+    }
+    Ok(rec)
 }
 
 #[cfg(test)]
@@ -1173,6 +1652,122 @@ mod tests {
         assert_eq!(merged, 5);
         assert_eq!(db.delta_rows(), 0);
         check(&db, "flushed");
+    }
+
+    /// DELETE/UPDATE in miniature: tombstone-resident results equal the
+    /// compacted ones, primary keys renumber like `Vec::remove`, and
+    /// RESTRICT protects referenced rows.
+    #[test]
+    fn delete_update_roundtrip() {
+        let mut db = tiny();
+        // Visits with Severity = 0 are {0, 8}.
+        let out = db.execute("DELETE FROM Visit WHERE Severity = 0").unwrap();
+        let ExecOutcome::Delete(rep) = &out[0] else {
+            panic!("not a delete outcome")
+        };
+        assert_eq!(rep.rows, 2);
+        assert_eq!(db.stats().rows(TableId(1)), 14);
+
+        // Rows are gone; surviving PKs renumber dense (old 1 → 0, ...).
+        let out = db
+            .query("SELECT Vis.VisID, Vis.Purpose FROM Visit Vis WHERE Vis.Severity <= 1")
+            .unwrap();
+        // Survivors with severity <= 1: old visits {1, 9} → logical {0, 7}.
+        assert_eq!(
+            out.rows.rows,
+            vec![
+                vec![Value::Int(0), Value::Text("Sclerosis".into())],
+                vec![Value::Int(7), Value::Text("Sclerosis".into())],
+            ]
+        );
+
+        // UPDATE rewrites hidden values, including fresh dict strings.
+        let out = db
+            .execute("UPDATE Visit SET Purpose = 'Recovered' WHERE Severity >= 6")
+            .unwrap();
+        let ExecOutcome::Update(rep) = &out[0] else {
+            panic!("not an update outcome")
+        };
+        assert_eq!(rep.rows, 4); // old visits {6,7,14,15}
+        let recovered = db
+            .query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Recovered'")
+            .unwrap();
+        assert_eq!(recovered.rows.rows.len(), 4);
+
+        // RESTRICT: every doctor still has live visits.
+        let err = db
+            .execute("DELETE FROM Doctor WHERE Name = 'doc0'")
+            .unwrap_err();
+        assert!(err.to_string().contains("restricted"), "{err}");
+
+        // The physical compaction changes nothing observable.
+        let before = db
+            .query("SELECT Vis.VisID, Vis.Purpose, Vis.Severity FROM Visit Vis WHERE Vis.Severity >= 0")
+            .unwrap()
+            .rows
+            .rows;
+        assert!(db.delta_rows() == 0);
+        db.flush_deltas().unwrap();
+        let after = db
+            .query("SELECT Vis.VisID, Vis.Purpose, Vis.Severity FROM Visit Vis WHERE Vis.Severity >= 0")
+            .unwrap()
+            .rows
+            .rows;
+        assert_eq!(before, after, "flush-time compaction must be invisible");
+        assert_eq!(after.len(), 14);
+
+        // Now unreferenced: delete a doctor after its visits are gone.
+        db.execute("DELETE FROM Visit WHERE DocID = 2").unwrap();
+        db.execute("DELETE FROM Doctor WHERE DocID = 2").unwrap();
+        assert_eq!(db.stats().rows(TableId(0)), 3);
+        // FK values renumber with the referenced table: doctor 3 is now
+        // logical 2.
+        let out = db
+            .query("SELECT Vis.DocID FROM Visit Vis WHERE Vis.Severity = 3")
+            .unwrap();
+        assert_eq!(
+            out.rows.rows,
+            vec![vec![Value::Int(2)], vec![Value::Int(2)]]
+        );
+
+        // Inserts after deletes: logical PK = live count.
+        db.execute("INSERT INTO Doctor VALUES (3, 'docN', 'Japan')")
+            .unwrap();
+        let out = db
+            .query("SELECT Doc.DocID FROM Doctor Doc WHERE Doc.Country = 'Japan'")
+            .unwrap();
+        assert_eq!(out.rows.rows, vec![vec![Value::Int(3)]]);
+    }
+
+    /// Mutation bus protocol: deletes/updates announce identities and
+    /// visible halves only, and the report mentions wear + mutations.
+    #[test]
+    fn mutation_bus_frames_and_report() {
+        let mut db = tiny();
+        db.clear_trace();
+        db.execute("DELETE FROM Visit WHERE Severity = 7").unwrap();
+        db.execute("UPDATE Visit SET Severity = 1 WHERE Severity = 6")
+            .unwrap();
+        let kinds: Vec<String> = db
+            .trace()
+            .spy_frames()
+            .iter()
+            .map(|e| e.kind.to_string())
+            .collect();
+        assert!(kinds.iter().any(|k| k == "DeleteRows"), "{kinds:?}");
+        assert!(kinds.iter().any(|k| k == "UpdateVisible"), "{kinds:?}");
+        db.clear_trace();
+        db.flush_deltas().unwrap();
+        let kinds: Vec<String> = db
+            .trace()
+            .spy_frames()
+            .iter()
+            .map(|e| e.kind.to_string())
+            .collect();
+        assert!(kinds.iter().any(|k| k == "CompactRows"), "{kinds:?}");
+        let report = db.device_report();
+        assert!(report.contains("wear:"), "{report}");
+        assert!(report.contains("unbounded"), "{report}");
     }
 
     #[test]

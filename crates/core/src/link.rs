@@ -63,6 +63,51 @@ impl BusPcLink {
         };
         self.visible.push_row(table, row, &values)
     }
+
+    /// Announce deleted rows to the PC: the `DeleteRows` frame crosses
+    /// the bus carrying row **identities** only (which hidden values
+    /// died never has a vehicle), and the PC tombstones its visible
+    /// halves until the next compaction.
+    pub fn delete_rows(&mut self, table: TableId, rows: Vec<RowId>) -> Result<()> {
+        let msg = Message::DeleteRows { table, rows };
+        self.bus.transmit(Endpoint::Device, Endpoint::Pc, &msg)?;
+        let Message::DeleteRows { rows, .. } = msg else {
+            unreachable!("constructed above");
+        };
+        self.visible.delete_rows(table, &rows)
+    }
+
+    /// Push the visible half of one `UPDATE` to the PC (public data —
+    /// hidden rewrites stay on the device, like inserted hidden values).
+    pub fn update_row(
+        &mut self,
+        table: TableId,
+        row: RowId,
+        values: Vec<(ColumnId, Value)>,
+    ) -> Result<()> {
+        let msg = Message::UpdateVisible { table, row, values };
+        self.bus.transmit(Endpoint::Device, Endpoint::Pc, &msg)?;
+        let Message::UpdateVisible { values, .. } = msg else {
+            unreachable!("constructed above");
+        };
+        self.visible.update_row(table, row, &values)
+    }
+
+    /// Mirror the device's flush-time compaction on the PC: dead rows
+    /// drop, survivors renumber, key values rewrite. The `CompactRows`
+    /// frame names only the compacted tables — the dead sets were
+    /// already public via the delete protocol.
+    pub fn compact(&mut self, schema: &ghostdb_catalog::Schema) -> Result<()> {
+        let tables = self.visible.compact(schema)?;
+        if !tables.is_empty() {
+            self.bus.transmit(
+                Endpoint::Device,
+                Endpoint::Pc,
+                &Message::CompactRows { tables },
+            )?;
+        }
+        Ok(())
+    }
 }
 
 impl PcLink for BusPcLink {

@@ -48,8 +48,8 @@ use ghostdb_index::{IndexSet, TRANSLATE_SORT_RAM};
 use ghostdb_ram::{RamBudget, RamScope};
 use ghostdb_storage::{HiddenStore, KeyRange};
 use ghostdb_types::{
-    ColumnId, DeviceConfig, GhostError, IdBlock, IdStream, Result, RowId, ScalarFallback, SimClock,
-    TableId, Value, BLOCK_CAP,
+    ColumnId, DeviceConfig, GhostError, IdBlock, IdStream, LiveFilter, Result, RowId,
+    ScalarFallback, SimClock, TableId, Value, BLOCK_CAP,
 };
 
 use crate::ops::{FullScanSource, MergeIntersect, ScalarMergeIntersect};
@@ -247,12 +247,24 @@ pub fn execute(
     let bus_start = ctx.pc.bus_stats();
     let mut report_ops: Vec<OpStats> = Vec::new();
 
+    // The query text speaks the *logical* id space (dense primary keys
+    // over live rows); stored data — flash segments, postings, the PC's
+    // columns — lives in the *physical* space tombstones are defined
+    // over. Translate every PK/FK predicate constant once, up front
+    // (identity unless rows have been deleted since the last flush), and
+    // use the translated set everywhere below.
+    let preds: Vec<Predicate> = spec
+        .predicates
+        .iter()
+        .map(|p| ctx.hidden.physical_predicate(ctx.schema, p))
+        .collect();
+
     // ---- Prologue: fetch visible columns into flash temps ----
     // One visible predicate per table may restrict that table's fetches
     // (any conjunct is a sound filter).
     let filter_pred_of: HashMap<TableId, &Predicate> = {
         let mut m = HashMap::new();
-        for p in &spec.predicates {
+        for p in &preds {
             if !ctx.schema.is_hidden(p.column) {
                 m.entry(p.column.table).or_insert(p);
             }
@@ -342,7 +354,7 @@ pub fn execute(
         let PostStep::BloomVisible { pred } = step else {
             continue;
         };
-        let p = &spec.predicates[*pred];
+        let p = &preds[*pred];
         let n_est = ctx.hidden.row_count(p.column.table) as usize;
         let mut bloom =
             BlockedBloomFilter::within_ram(&bloom_scope, n_est.max(16), ctx.bloom_ram())?;
@@ -415,7 +427,7 @@ pub fn execute(
     let mut verify_steps: Vec<VerifyStep<'_>> = Vec::new();
     for step in &plan.post {
         if let PostStep::HiddenVerify { pred } = step {
-            let p = &spec.predicates[*pred];
+            let p = &preds[*pred];
             let range = ctx
                 .hidden
                 .key_range(p.column.table, p.column.column, p.op, &p.value)?;
@@ -432,7 +444,7 @@ pub fn execute(
     // ---- Sources ----
     let mut built: Vec<BuiltSource<'_>> = Vec::new();
     for source in &plan.sources {
-        built.push(build_source(ctx, spec, source)?);
+        built.push(build_source(ctx, spec, &preds, source)?);
     }
     let anchor_rows = ctx.hidden.row_count(spec.anchor);
     let mut source_meta: Vec<(OpStats, Arc<StreamMeter>)> = Vec::new();
@@ -451,6 +463,16 @@ pub fn execute(
             inputs.push(s.stream);
         }
         make_merge(ctx, inputs)
+    };
+    // Tombstone-resident deletes: drop dead anchors block-at-a-time
+    // before any SKT fetch. (RESTRICT semantics guarantee a live anchor
+    // joins only live subtree rows, so this one choke point covers the
+    // whole pipeline; a no-op while everything is live.)
+    let anchor_live = ctx.hidden.liveness(spec.anchor);
+    let candidates_inner: Box<dyn IdStream + '_> = if anchor_live.all_live() {
+        candidates_inner
+    } else {
+        Box::new(LiveFilter::new(candidates_inner, anchor_live))
     };
     let mut candidates = Timed {
         inner: candidates_inner,
@@ -478,38 +500,61 @@ pub fn execute(
         }
     };
 
-    // Precompute projection dispatch.
+    // Precompute projection dispatch. Stored PK/FK values are physical
+    // ids; results present the logical (live-rank) view, so key
+    // projections carry the table whose liveness renumbers them.
     enum Proj {
         Pk {
+            table: TableId,
             col: usize,
         },
         Hidden {
             table: TableId,
             column: ColumnId,
             col: usize,
+            fk_target: Option<TableId>,
         },
         Visible {
             key: (u16, u16),
             col: usize,
+            fk_target: Option<TableId>,
         },
     }
     let mut projs: Vec<Proj> = Vec::new();
     for cref in &spec.projections {
         let def = ctx.schema.column_def(*cref);
         let col = col_of(cref.table)?;
+        let fk_target = match def.role {
+            ColumnRole::ForeignKey(t) => Some(t),
+            _ => None,
+        };
         projs.push(match (&def.role, def.visibility.is_hidden()) {
-            (ColumnRole::PrimaryKey, _) => Proj::Pk { col },
+            (ColumnRole::PrimaryKey, _) => Proj::Pk {
+                table: cref.table,
+                col,
+            },
             (_, true) => Proj::Hidden {
                 table: cref.table,
                 column: cref.column,
                 col,
+                fk_target,
             },
             (_, false) => Proj::Visible {
                 key: (cref.table.0, cref.column.0),
                 col,
+                fk_target,
             },
         });
     }
+    // Present a stored (physical) key value in the logical space.
+    let logical_key = |target: Option<TableId>, v: Value| -> Value {
+        match (target, &v) {
+            (Some(t), Value::Int(id)) if !ctx.hidden.liveness(t).all_live() => {
+                Value::Int(ctx.hidden.live_rank(t, RowId(*id as u32)) as i64)
+            }
+            _ => v,
+        }
+    };
 
     // Probers over all temps.
     let probe_scope = RamScope::new(ctx.ram);
@@ -699,19 +744,30 @@ pub fn execute(
             for p in &projs {
                 ctx.clock.advance(ctx.config.cpu.tuple_op_ns);
                 match p {
-                    Proj::Pk { col } => row.push(Value::Int(row_ids[*col].0 as i64)),
-                    Proj::Hidden { table, column, col } => {
-                        row.push(
-                            ctx.hidden
-                                .value(&probe_scope, *table, *column, row_ids[*col])?,
-                        )
+                    Proj::Pk { table, col } => row.push(Value::Int(
+                        ctx.hidden.live_rank(*table, row_ids[*col]) as i64,
+                    )),
+                    Proj::Hidden {
+                        table,
+                        column,
+                        col,
+                        fk_target,
+                    } => {
+                        let v = ctx
+                            .hidden
+                            .value(&probe_scope, *table, *column, row_ids[*col])?;
+                        row.push(logical_key(*fk_target, v));
                     }
-                    Proj::Visible { key, col } => {
+                    Proj::Visible {
+                        key,
+                        col,
+                        fk_target,
+                    } => {
                         let prober = proj_probers
                             .get_mut(key)
                             .ok_or_else(|| GhostError::exec("missing projection temp"))?;
                         match prober.probe(row_ids[*col])? {
-                            Some(v) => row.push(v),
+                            Some(v) => row.push(logical_key(*fk_target, v)),
                             None => {
                                 // The fetch was filtered by a predicate
                                 // this candidate fails — drop it
@@ -826,6 +882,7 @@ fn temp_ids(temp: &VisibleTemp, scope: &RamScope) -> Result<Vec<RowId>> {
 fn build_source<'a>(
     ctx: &'a ExecContext<'_>,
     spec: &QuerySpec,
+    preds: &[Predicate],
     source: &Source,
 ) -> Result<BuiltSource<'a>> {
     let scope = RamScope::new(ctx.ram);
@@ -833,7 +890,7 @@ fn build_source<'a>(
     let anchor = spec.anchor;
     let (stream, name, detail): (Box<dyn IdStream + 'a>, &str, String) = match source {
         Source::HiddenIndexClimb { pred } => {
-            let p = &spec.predicates[*pred];
+            let p = &preds[*pred];
             let idx = ctx.indexes.value_index(p.column)?;
             // Base key range for the flash directory; the index's RAM
             // delta is matched by value inside lookup_pred, so rows
@@ -847,7 +904,7 @@ fn build_source<'a>(
             (stream, "climbing-index", ctx.pred_str(p))
         }
         Source::HiddenScanTranslate { pred } => {
-            let p = &spec.predicates[*pred];
+            let p = &preds[*pred];
             // Delta-aware scan: flash base filtered through the key
             // range, RAM delta by value comparison.
             let mut scan = ctx.hidden.predicate_scan(
@@ -870,7 +927,7 @@ fn build_source<'a>(
             (stream, "scan+translate", ctx.pred_str(p))
         }
         Source::VisibleDelegate { pred } => {
-            let p = &spec.predicates[*pred];
+            let p = &preds[*pred];
             let mut delegated = ctx.pc.eval_predicate(p)?;
             let stream: Box<dyn IdStream + 'a> = if p.column.table == anchor {
                 delegated
@@ -887,7 +944,7 @@ fn build_source<'a>(
         } => {
             let mut level_streams: Vec<Box<dyn IdStream + 'a>> = Vec::new();
             for &i in hidden {
-                let p = &spec.predicates[i];
+                let p = &preds[i];
                 let idx = ctx.indexes.value_index(p.column)?;
                 let range =
                     ctx.hidden
@@ -902,7 +959,7 @@ fn build_source<'a>(
                 )?));
             }
             for &i in visible {
-                let p = &spec.predicates[i];
+                let p = &preds[i];
                 level_streams.push(ctx.pc.eval_predicate(p)?);
             }
             let mut combined: Box<dyn IdStream + 'a> = if level_streams.len() == 1 {

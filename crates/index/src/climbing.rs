@@ -37,14 +37,33 @@
 //!   ([`ClimbingIndex::insert_delta_key`]), and
 //!   [`translate`](ClimbingIndex::translate) consults both layers.
 //!
-//! Every id a delta posting carries belongs to a row inserted after the
-//! base was built, so delta ids are strictly greater than any base
-//! posting id at the same level — queries union the two layers by simple
+//! Every id an *insert* posting carries belongs to a row appended after
+//! the base was built, so those delta ids are strictly greater than any
+//! base posting id at the same level — insert-only unions are a simple
 //! concatenation ([`PostingStream::WithTail`]), keeping streams
-//! ascending without a merge. [`ClimbingIndex::flush`] rebuilds the
-//! directory + postings segments with the delta merged in (re-keying
-//! base entries through the dictionary remap a [`HiddenStore`] flush
-//! reports) and frees the old segments for the GC.
+//! ascending without a merge.
+//!
+//! # Liveness and updates (full DML)
+//!
+//! Deletes never touch the index at all: tombstoned rows are filtered
+//! out of result streams by the executor's liveness layer (a dead id in
+//! a posting list is harmless — it can only lead to dead rows, by the
+//! delete-time RESTRICT check). Updates do touch it: when the indexed
+//! column of a row is overwritten, [`ClimbingIndex::reindex_value`]
+//! removes the row (and its ancestor postings at every level) from the
+//! old value's delta entry, **suppresses** them out of the flash base —
+//! each id appears under exactly one key per level, so suppression by
+//! id is sound — and re-posts them under the new value. Re-homed base
+//! ids may interleave with base postings, so probes on a moved index
+//! switch from tail concatenation to an ordered merge
+//! ([`PostingStream::Merged`]).
+//!
+//! [`ClimbingIndex::flush`] rebuilds the directory + postings segments
+//! with the delta merged in — re-keying base entries through the
+//! dictionary remap a [`HiddenStore`] flush reports, dropping dead
+//! dense keys, filtering suppressed and dead postings, and renumbering
+//! every surviving id through the compaction's per-table remap — and
+//! frees the old segments for the GC.
 //!
 //! [`HiddenStore`]: ghostdb_storage::HiddenStore
 
@@ -75,7 +94,11 @@ enum IndexDelta {
     ByKey(BTreeMap<u64, Vec<Vec<u32>>>),
 }
 
-/// A climbing index: an immutable flash base plus a RAM delta.
+/// A climbing index: an immutable flash base plus a RAM delta, plus —
+/// since updates exist — per-level **suppression sets** of base posting
+/// ids whose indexed value was overwritten (each id appears under
+/// exactly one key per level, so suppressing by id alone is sound; the
+/// id's new home is a delta posting under the new value).
 #[derive(Debug)]
 pub struct ClimbingIndex {
     volume: Volume,
@@ -90,6 +113,13 @@ pub struct ClimbingIndex {
     level_postings: Vec<u64>,
     /// Un-flushed post-load insertions.
     delta: IndexDelta,
+    /// Per level: sorted base posting ids an update moved away from
+    /// their build-time entry (value indexes only; cleared by `flush`).
+    suppressed: Vec<Vec<u32>>,
+    /// True once an update re-homed a base id into the delta: delta ids
+    /// may then interleave with base ids, so probes switch from tail
+    /// concatenation to an ordered merge.
+    moved: bool,
 }
 
 impl ClimbingIndex {
@@ -212,6 +242,8 @@ impl ClimbingIndex {
             } else {
                 IndexDelta::ByValue(Vec::new())
             },
+            suppressed: vec![Vec::new(); n_levels],
+            moved: false,
         })
     }
 
@@ -273,6 +305,71 @@ impl ClimbingIndex {
             IndexDelta::ByValue(v) => v.len(),
             IndexDelta::ByKey(m) => m.len(),
         }
+    }
+
+    /// Any un-flushed state at all — delta entries or suppressions.
+    pub fn has_pending(&self) -> bool {
+        self.delta_entries() > 0 || self.suppressed.iter().any(|s| !s.is_empty())
+    }
+
+    /// Re-home postings after an `UPDATE` of the indexed column (value
+    /// indexes only): `per_level_ids[li]` are the ids at level `li`
+    /// joined to the updated row — the row itself at level 0, its
+    /// referencing ancestors above. Each id is removed from any delta
+    /// entry matching `old_value`, suppressed out of the flash base
+    /// (where it can only appear under the old value's entry), and
+    /// re-posted under `new_value`.
+    pub fn reindex_value(
+        &mut self,
+        old_value: &Value,
+        new_value: &Value,
+        per_level_ids: &[Vec<u32>],
+    ) -> Result<()> {
+        let n_levels = self.levels.len();
+        if per_level_ids.len() != n_levels {
+            return Err(GhostError::exec(
+                "reindex_value level arity mismatch".to_string(),
+            ));
+        }
+        let IndexDelta::ByValue(entries) = &mut self.delta else {
+            return Err(GhostError::exec(
+                "reindex_value requires a value index".to_string(),
+            ));
+        };
+        // Drop the moved ids from the old value's delta entry (if any).
+        if let Some((_, lists)) = entries.iter_mut().find(|(v, _)| v == old_value) {
+            for (li, ids) in per_level_ids.iter().enumerate() {
+                lists[li].retain(|id| !ids.contains(id));
+            }
+        }
+        // Suppress them out of the base (sorted insert; ids not present
+        // in the base are harmlessly suppressed too).
+        for (li, ids) in per_level_ids.iter().enumerate() {
+            for &id in ids {
+                if let Err(pos) = self.suppressed[li].binary_search(&id) {
+                    self.suppressed[li].insert(pos, id);
+                }
+            }
+        }
+        // Re-post under the new value. Moved ids are arbitrary (base
+        // rows included), so the list needs a sorted insert — and probes
+        // must merge rather than concatenate from here on.
+        let lists = match entries.iter_mut().find(|(v, _)| v == new_value) {
+            Some((_, lists)) => lists,
+            None => {
+                entries.push((new_value.clone(), vec![Vec::new(); n_levels]));
+                &mut entries.last_mut().expect("just pushed").1
+            }
+        };
+        for (li, ids) in per_level_ids.iter().enumerate() {
+            for &id in ids {
+                if let Err(pos) = lists[li].binary_search(&id) {
+                    lists[li].insert(pos, id);
+                }
+            }
+        }
+        self.moved = true;
+        Ok(())
     }
 
     /// The climb path (level 0 = indexed table, last = root).
@@ -416,10 +513,14 @@ impl ClimbingIndex {
     /// Predicate-level probe: the delta-aware face of
     /// [`lookup`](Self::lookup). The flash base is probed with
     /// `base_range` (the key-space reduction computed by the hidden
-    /// store; `None` = no base entry can match), the RAM delta by direct
-    /// `op`/`value` comparison — exact even for strings outside the base
-    /// dictionary. Delta ids are strictly greater than base ids at the
-    /// same level, so the union is a concatenation and stays ascending.
+    /// store; `None` = no base entry can match) and filtered against the
+    /// suppression set; the RAM delta is matched by direct `op`/`value`
+    /// comparison — exact even for strings outside the base dictionary.
+    /// Inserted delta ids are strictly greater than base ids at the same
+    /// level, so insert-only unions stay a concatenation
+    /// ([`PostingStream::WithTail`]); once an update has re-homed base
+    /// ids ([`reindex_value`](Self::reindex_value)) the union switches
+    /// to an ordered merge ([`PostingStream::Merged`]).
     pub fn lookup_pred(
         &self,
         scope: &RamScope,
@@ -434,6 +535,15 @@ impl ClimbingIndex {
             None => PostingStream::empty(),
             Some(r) => self.lookup(scope, r, level_table, sort_ram)?,
         };
+        let base = if self.suppressed[level].is_empty() {
+            base
+        } else {
+            PostingStream::Filtered {
+                inner: Box::new(base),
+                drop: self.suppressed[level].clone(),
+                drop_pos: 0,
+            }
+        };
         let mut tail_ids: Vec<RowId> = Vec::new();
         if let IndexDelta::ByValue(entries) = &self.delta {
             for (v, lists) in entries {
@@ -447,27 +557,51 @@ impl ClimbingIndex {
         }
         tail_ids.sort_unstable();
         tail_ids.dedup();
-        Ok(PostingStream::WithTail {
-            base: Box::new(base),
-            tail: VecIdStream::new(tail_ids),
-            base_done: false,
-        })
+        if self.moved {
+            Ok(PostingStream::Merged {
+                base: Box::new(base),
+                base_next: None,
+                primed: false,
+                tail: tail_ids,
+                tail_pos: 0,
+            })
+        } else {
+            Ok(PostingStream::WithTail {
+                base: Box::new(base),
+                tail: VecIdStream::new(tail_ids),
+                base_done: false,
+            })
+        }
     }
 
     /// Merge the RAM delta into rebuilt directory + postings segments
-    /// and free the old ones. `remap_key` re-keys base directory entries
-    /// (the old→new code map after a dictionary rebuild — identity for
-    /// fixed-key columns and key indexes; must be monotonic so the
-    /// directory stays sorted), and `encode` resolves a delta entry's
-    /// value to its key in the *new* key space (every delta string is in
-    /// the rebuilt dictionary by the time this runs).
+    /// and free the old ones.
+    ///
+    /// * `remap_key` re-keys base directory entries (the old→new code
+    ///   map after a dictionary rebuild, or — for dense key indexes —
+    ///   the indexed table's compaction remap; must be monotonic on the
+    ///   surviving keys so the directory stays sorted). `None` drops the
+    ///   entry and its postings: the dense key died.
+    /// * `encode` resolves a delta entry's value to its key in the *new*
+    ///   key space (every delta string is in the rebuilt dictionary by
+    ///   the time this runs).
+    /// * `map_id` filters and renumbers every posting id — base and
+    ///   delta — per level: `None` drops a dead row's posting, `Some`
+    ///   is its post-compaction id (identity when nothing died).
+    ///
+    /// Suppressed base postings (updates that re-homed ids into the
+    /// delta) are dropped here and the suppression sets cleared — the
+    /// moved ids are written from their delta entries instead.
     pub fn flush(
         &mut self,
         scope: &RamScope,
-        remap_key: &dyn Fn(u64) -> u64,
+        remap_key: &dyn Fn(u64) -> Option<u64>,
         encode: &dyn Fn(&Value) -> Result<u64>,
+        map_id: &dyn Fn(usize, u32) -> Option<u32>,
     ) -> Result<()> {
         let n_levels = self.levels.len();
+        let suppressed = std::mem::replace(&mut self.suppressed, vec![Vec::new(); n_levels]);
+        self.moved = false;
         let drained = std::mem::replace(
             &mut self.delta,
             if self.dense {
@@ -476,19 +610,32 @@ impl ClimbingIndex {
                 IndexDelta::ByValue(Vec::new())
             },
         );
+        // Delta entries in the *new* key space, dead keys dropped, every
+        // posting filtered + renumbered. (BTreeMap order + monotone
+        // remap keeps ByKey sorted; ByValue sorts after encoding.)
+        let map_lists = |lists: Vec<Vec<u32>>| -> Vec<Vec<u32>> {
+            lists
+                .into_iter()
+                .enumerate()
+                .map(|(li, l)| l.into_iter().filter_map(|id| map_id(li, id)).collect())
+                .collect()
+        };
         let delta: Vec<(u64, Vec<Vec<u32>>)> = match drained {
-            IndexDelta::ByKey(m) => m.into_iter().collect(),
+            IndexDelta::ByKey(m) => m
+                .into_iter()
+                .filter_map(|(k, lists)| remap_key(k).map(|nk| (nk, map_lists(lists))))
+                .collect(),
             IndexDelta::ByValue(v) => {
                 let mut out = Vec::with_capacity(v.len());
                 for (val, lists) in v {
-                    out.push((encode(&val)?, lists));
+                    out.push((encode(&val)?, map_lists(lists)));
                 }
                 out.sort_by_key(|(k, _)| *k);
                 out
             }
         };
 
-        fn write_delta_entry(
+        fn write_entry(
             dir_w: &mut SegmentWriter,
             post_w: &mut SegmentWriter,
             key: u64,
@@ -518,11 +665,14 @@ impl ClimbingIndex {
         let mut out_entries: u32 = 0;
         let mut di = 0usize;
         let mut buf4 = [0u8; 4];
+        let mut merged_lists: Vec<Vec<u32>> = Vec::new();
         for idx in 0..self.entries {
             let e = self.read_entry(&mut cur, idx)?;
-            let new_key = remap_key(e.key);
+            let Some(new_key) = remap_key(e.key) else {
+                continue; // dead dense key: entry and postings dropped
+            };
             while di < delta.len() && delta[di].0 < new_key {
-                write_delta_entry(
+                write_entry(
                     &mut dir_w,
                     &mut post_w,
                     delta[di].0,
@@ -539,27 +689,52 @@ impl ClimbingIndex {
             } else {
                 None
             };
-            dir_w.write(&new_key.to_le_bytes())?;
-            for (li, lp) in level_postings.iter_mut().enumerate() {
+            // Filter + renumber the base postings (suppressed ids moved
+            // into some delta entry and are not rewritten from here),
+            // then append the delta list — in RAM first, because the
+            // directory records each list's final length up front.
+            merged_lists.clear();
+            for li in 0..n_levels {
                 let (off, len) = e.slots[li];
-                let extra_list: &[u32] = extra.map(|l| l[li].as_slice()).unwrap_or(&[]);
-                dir_w.write(&written.to_le_bytes())?;
-                dir_w.write(&(len + extra_list.len() as u32).to_le_bytes())?;
+                let mut list = Vec::with_capacity(len as usize);
                 reader.seek(off as u64 * 4)?;
                 for _ in 0..len {
                     reader.read_exact(&mut buf4)?;
-                    post_w.write(&buf4)?;
+                    let id = u32::from_le_bytes(buf4);
+                    if suppressed[li].binary_search(&id).is_ok() {
+                        continue;
+                    }
+                    if let Some(new_id) = map_id(li, id) {
+                        list.push(new_id);
+                    }
                 }
-                for &id in extra_list {
-                    post_w.write(&id.to_le_bytes())?;
+                if let Some(extra) = extra {
+                    // Delta ids may interleave with base ids once
+                    // updates moved rows; re-sort only when they do.
+                    let needs_sort = matches!(
+                        (list.last(), extra[li].first()),
+                        (Some(a), Some(b)) if a >= b
+                    );
+                    list.extend_from_slice(&extra[li]);
+                    if needs_sort {
+                        list.sort_unstable();
+                        list.dedup();
+                    }
                 }
-                written += len + extra_list.len() as u32;
-                *lp += (len + extra_list.len() as u32) as u64;
+                merged_lists.push(list);
             }
+            write_entry(
+                &mut dir_w,
+                &mut post_w,
+                new_key,
+                &merged_lists,
+                &mut written,
+                &mut level_postings,
+            )?;
             out_entries += 1;
         }
         while di < delta.len() {
-            write_delta_entry(
+            write_entry(
                 &mut dir_w,
                 &mut post_w,
                 delta[di].0,
@@ -692,10 +867,11 @@ impl Wire for ClimbingManifest {
 }
 
 impl ClimbingIndex {
-    /// The index's durable manifest (requires an empty delta — seal
-    /// flushes first; un-flushed postings ride the WAL instead).
+    /// The index's durable manifest (requires an empty delta and no
+    /// suppressions — seal flushes first; un-flushed mutations ride the
+    /// WAL instead).
     pub fn manifest(&self) -> Result<ClimbingManifest> {
-        if self.delta_entries() != 0 {
+        if self.has_pending() {
             return Err(GhostError::exec(
                 "climbing-index manifest requires a flushed delta".to_string(),
             ));
@@ -736,6 +912,8 @@ impl ClimbingIndex {
             } else {
                 IndexDelta::ByValue(Vec::new())
             },
+            suppressed: vec![Vec::new(); m.levels.len()],
+            moved: false,
         })
     }
 }
@@ -820,6 +998,31 @@ pub enum PostingStream {
         /// True once the base stream is exhausted.
         base_done: bool,
     },
+    /// An ordered union of a flash-base stream and RAM-delta ids that
+    /// may interleave (updates re-home base ids into the delta, so the
+    /// concatenation guarantee is gone). Deduplicates on the fly.
+    Merged {
+        /// The flash-base stream.
+        base: Box<PostingStream>,
+        /// One-id lookahead into `base`.
+        base_next: Option<RowId>,
+        /// Whether `base_next` is valid.
+        primed: bool,
+        /// Ascending, deduplicated delta ids.
+        tail: Vec<RowId>,
+        /// Cursor into `tail`.
+        tail_pos: usize,
+    },
+    /// A base stream minus a suppression set (ids whose indexed value
+    /// was overwritten since the last flush).
+    Filtered {
+        /// The underlying stream.
+        inner: Box<PostingStream>,
+        /// Sorted ids to drop.
+        drop: Vec<u32>,
+        /// Cursor into `drop` (both streams ascend).
+        drop_pos: usize,
+    },
     /// Provably empty result.
     Empty,
 }
@@ -831,10 +1034,68 @@ impl PostingStream {
     }
 }
 
+/// Advance a sorted drop-list cursor past ids `< id`; true if `id` is
+/// in the list.
+#[inline]
+fn dropped(drop: &[u32], pos: &mut usize, id: RowId) -> bool {
+    while *pos < drop.len() && drop[*pos] < id.0 {
+        *pos += 1;
+    }
+    *pos < drop.len() && drop[*pos] == id.0
+}
+
 impl IdStream for PostingStream {
     fn next_id(&mut self) -> Result<Option<RowId>> {
         match self {
             PostingStream::Empty => Ok(None),
+            PostingStream::Filtered {
+                inner,
+                drop,
+                drop_pos,
+            } => {
+                while let Some(id) = inner.next_id()? {
+                    if !dropped(drop, drop_pos, id) {
+                        return Ok(Some(id));
+                    }
+                }
+                Ok(None)
+            }
+            PostingStream::Merged {
+                base,
+                base_next,
+                primed,
+                tail,
+                tail_pos,
+            } => {
+                if !*primed {
+                    *base_next = base.next_id()?;
+                    *primed = true;
+                }
+                let t = tail.get(*tail_pos).copied();
+                match (*base_next, t) {
+                    (None, None) => Ok(None),
+                    (Some(b), None) => {
+                        *base_next = base.next_id()?;
+                        Ok(Some(b))
+                    }
+                    (None, Some(t)) => {
+                        *tail_pos += 1;
+                        Ok(Some(t))
+                    }
+                    (Some(b), Some(t)) => {
+                        if b <= t {
+                            *base_next = base.next_id()?;
+                            if b == t {
+                                *tail_pos += 1;
+                            }
+                            Ok(Some(b))
+                        } else {
+                            *tail_pos += 1;
+                            Ok(Some(t))
+                        }
+                    }
+                }
+            }
             PostingStream::Direct { reader, remaining } => {
                 if *remaining == 0 {
                     return Ok(None);
@@ -870,8 +1131,35 @@ impl IdStream for PostingStream {
     }
 
     fn next_block(&mut self, block: &mut IdBlock) -> Result<()> {
+        // The ordered merge interleaves two cursors; fill it id-at-a-time
+        // (the inputs still serve their own blocks underneath).
+        if matches!(self, PostingStream::Merged { .. }) {
+            block.clear();
+            while !block.is_full() {
+                match self.next_id()? {
+                    Some(id) => block.push(id),
+                    None => break,
+                }
+            }
+            return Ok(());
+        }
         block.clear();
         match self {
+            PostingStream::Merged { .. } => unreachable!("handled above"),
+            PostingStream::Filtered {
+                inner,
+                drop,
+                drop_pos,
+            } => loop {
+                inner.next_block(block)?;
+                if block.is_empty() {
+                    return Ok(());
+                }
+                block.retain(|id| !dropped(drop, drop_pos, id));
+                if !block.is_empty() {
+                    return Ok(());
+                }
+            },
             PostingStream::Empty => Ok(()),
             PostingStream::WithTail {
                 base,
@@ -914,6 +1202,57 @@ impl IdStream for PostingStream {
     fn seek_at_least(&mut self, target: RowId) -> Result<Option<RowId>> {
         match self {
             PostingStream::Empty => Ok(None),
+            PostingStream::Filtered {
+                inner,
+                drop,
+                drop_pos,
+            } => {
+                let mut cur = inner.seek_at_least(target)?;
+                while let Some(id) = cur {
+                    if !dropped(drop, drop_pos, id) {
+                        return Ok(Some(id));
+                    }
+                    cur = inner.next_id()?;
+                }
+                Ok(None)
+            }
+            PostingStream::Merged {
+                base,
+                base_next,
+                primed,
+                tail,
+                tail_pos,
+            } => {
+                if !*primed || base_next.is_none_or(|b| b < target) {
+                    *base_next = base.seek_at_least(target)?;
+                    *primed = true;
+                }
+                *tail_pos += tail[*tail_pos..].partition_point(|&t| t < target);
+                let t = tail.get(*tail_pos).copied();
+                match (*base_next, t) {
+                    (None, None) => Ok(None),
+                    (Some(b), None) => {
+                        *base_next = base.next_id()?;
+                        Ok(Some(b))
+                    }
+                    (None, Some(t)) => {
+                        *tail_pos += 1;
+                        Ok(Some(t))
+                    }
+                    (Some(b), Some(t)) => {
+                        if b <= t {
+                            *base_next = base.next_id()?;
+                            if b == t {
+                                *tail_pos += 1;
+                            }
+                            Ok(Some(b))
+                        } else {
+                            *tail_pos += 1;
+                            Ok(Some(t))
+                        }
+                    }
+                }
+            }
             PostingStream::WithTail {
                 base,
                 tail,
@@ -1000,6 +1339,18 @@ impl IdStream for PostingStream {
                 let (tlo, thi) = tail.size_hint();
                 (blo + tlo, bhi.zip(thi).map(|(b, t)| b + t))
             }
+            // Duplicates collapse in the merge; dropped ids shrink the
+            // filter: upper bounds only.
+            PostingStream::Merged {
+                base,
+                tail,
+                tail_pos,
+                ..
+            } => {
+                let (_, bhi) = base.size_hint();
+                (0, bhi.map(|b| b + (tail.len() - tail_pos)))
+            }
+            PostingStream::Filtered { inner, .. } => (0, inner.size_hint().1),
         }
     }
 }
@@ -1287,7 +1638,7 @@ mod tests {
 
         // Flush under a rebuilt dictionary [Atlantis, France, Spain, USA]:
         // base codes shift by one, Atlantis takes rank 0.
-        let remap = |k: u64| k + 1;
+        let remap = |k: u64| Some(k + 1);
         let encode = |v: &Value| -> Result<u64> {
             Ok(match v.as_text().unwrap() {
                 "Atlantis" => 0,
@@ -1297,7 +1648,8 @@ mod tests {
                 other => panic!("unexpected {other}"),
             })
         };
-        idx.flush(&scope, &remap, &encode).unwrap();
+        idx.flush(&scope, &remap, &encode, &|_, id| Some(id))
+            .unwrap();
         assert_eq!(idx.entry_count(), 4);
         assert_eq!(idx.delta_entries(), 0);
         let mut s = idx
@@ -1326,8 +1678,13 @@ mod tests {
         // visit 12 is delta-only and contributes nothing at Pre level.
         assert_eq!(collect_ids(&mut out).unwrap(), ids(vec![5, 17, 24]));
 
-        idx.flush(&scope, &|k| k, &|_| panic!("no values in key index"))
-            .unwrap();
+        idx.flush(
+            &scope,
+            &Some,
+            &|_| panic!("no values in key index"),
+            &|_, id| Some(id),
+        )
+        .unwrap();
         assert_eq!(idx.entry_count(), 13);
         let mut input = ghostdb_types::VecIdStream::new(ids(vec![5, 12]));
         let mut out = idx.translate(&scope, &mut input, TableId(2), 4096).unwrap();
@@ -1335,6 +1692,127 @@ mod tests {
         // Truly unknown ids still fail.
         let mut input = ghostdb_types::VecIdStream::new(ids(vec![99]));
         assert!(idx.translate(&scope, &mut input, TableId(2), 4096).is_err());
+    }
+
+    /// Updates: suppression + delta re-posting keeps probes exact, the
+    /// ordered merge keeps streams ascending when base ids re-enter via
+    /// the delta, and the flush bakes everything back in.
+    #[test]
+    fn value_index_reindex_after_update() {
+        let (vol, scope, _s, tree, data, enc) = setup();
+        let cref = ColumnRef {
+            table: TableId(0),
+            column: ghostdb_types::ColumnId(1),
+        };
+        let mut idx =
+            ClimbingIndex::build_value_index(&vol, &scope, &tree, &data, &enc, cref).unwrap();
+        // Doctor 1 (Spain) moves to France. Its subtree: visits {1,7}
+        // (v%6 == 1), prescriptions {1,7,13,19} (p%12 ∈ {1,7}).
+        idx.reindex_value(
+            &Value::Text("Spain".into()),
+            &Value::Text("France".into()),
+            &[vec![1], vec![1, 7], vec![1, 7, 13, 19]],
+        )
+        .unwrap();
+        assert!(idx.has_pending());
+        // Spain keeps doctor 4 only → visits {4, 10}.
+        let spain = KeyRange { lo: 1, hi: 1 };
+        let mut s = idx
+            .lookup_pred(
+                &scope,
+                ghostdb_types::ScalarOp::Eq,
+                &Value::Text("Spain".into()),
+                Some(spain),
+                TableId(1),
+                4096,
+            )
+            .unwrap();
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![4, 10]));
+        // France (doctors {0,3}: visits {0,3,6,9}) gains doctor 1's
+        // {1,7}, interleaved — the ordered merge keeps the stream
+        // ascending.
+        let france = KeyRange { lo: 0, hi: 0 };
+        let mut s = idx
+            .lookup_pred(
+                &scope,
+                ghostdb_types::ScalarOp::Eq,
+                &Value::Text("France".into()),
+                Some(france),
+                TableId(1),
+                4096,
+            )
+            .unwrap();
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![0, 1, 3, 6, 7, 9]));
+        // Seek semantics survive the merge.
+        let mut s = idx
+            .lookup_pred(
+                &scope,
+                ghostdb_types::ScalarOp::Eq,
+                &Value::Text("France".into()),
+                Some(france),
+                TableId(1),
+                4096,
+            )
+            .unwrap();
+        assert_eq!(s.seek_at_least(RowId(2)).unwrap(), Some(RowId(3)));
+        assert_eq!(s.next_id().unwrap(), Some(RowId(6)));
+
+        // Flush with identity remaps bakes the move into the base.
+        idx.flush(
+            &scope,
+            &Some,
+            &|v| {
+                Ok(match v.as_text().unwrap() {
+                    "France" => 0,
+                    "Spain" => 1,
+                    "USA" => 2,
+                    other => panic!("unexpected {other}"),
+                })
+            },
+            &|_, id| Some(id),
+        )
+        .unwrap();
+        assert!(!idx.has_pending());
+        let mut s = idx.lookup(&scope, france, TableId(1), 4096).unwrap();
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![0, 1, 3, 6, 7, 9]));
+        let mut s = idx.lookup(&scope, spain, TableId(1), 4096).unwrap();
+        assert_eq!(collect_ids(&mut s).unwrap(), ids(vec![4, 10]));
+    }
+
+    /// Deletes at flush: dead dense keys drop their entries, dead
+    /// posting ids vanish everywhere, survivors renumber.
+    #[test]
+    fn key_index_flush_compacts_dead_rows() {
+        let (vol, scope, _s, tree, data, _enc) = setup();
+        // Key index on Visit (12 entries), levels Vis → Pre.
+        let mut idx =
+            ClimbingIndex::build_key_index(&vol, &scope, &tree, &data, TableId(1)).unwrap();
+        // Kill visit 0 and prescriptions {0, 12} (its referencing rows).
+        // Visit remap: 0→dead, i→i-1; prescription remap: drop {0,12}.
+        let vis_remap = |k: u64| -> Option<u64> { k.checked_sub(1) };
+        let pre_map = |id: u32| -> Option<u32> {
+            match id {
+                0 | 12 => None,
+                i if i < 12 => Some(i - 1),
+                i => Some(i - 2),
+            }
+        };
+        idx.flush(
+            &scope,
+            &vis_remap,
+            &|_| panic!("no values in key index"),
+            &|li, id| match li {
+                0 => vis_remap(id as u64).map(|n| n as u32),
+                _ => pre_map(id),
+            },
+        )
+        .unwrap();
+        assert_eq!(idx.entry_count(), 11);
+        // Old visit 5 is now entry 4; its prescriptions {5,17} became
+        // {4, 15} under the prescription remap.
+        let mut input = ghostdb_types::VecIdStream::new(ids(vec![4]));
+        let mut out = idx.translate(&scope, &mut input, TableId(2), 4096).unwrap();
+        assert_eq!(collect_ids(&mut out).unwrap(), ids(vec![4, 15]));
     }
 
     #[test]

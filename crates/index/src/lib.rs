@@ -34,8 +34,10 @@ use std::collections::HashMap;
 use ghostdb_catalog::{ColumnRef, Schema, TreeSchema, Visibility};
 use ghostdb_flash::Volume;
 use ghostdb_ram::RamScope;
-use ghostdb_storage::{Dataset, DictRemap, HiddenStore, LoadEncoders};
-use ghostdb_types::{ColumnId, GhostError, Result, RowId, TableId, Value, Wire};
+use ghostdb_storage::{Dataset, FlushRemaps, HiddenStore, LoadEncoders};
+use ghostdb_types::{
+    collect_ids, ColumnId, GhostError, Result, RowId, TableId, Value, VecIdStream, Wire,
+};
 
 /// One inserted row, as the index-maintenance layer sees it.
 #[derive(Debug, Clone, Copy)]
@@ -196,50 +198,124 @@ impl IndexSet {
         Ok(())
     }
 
+    /// Index maintenance for one `UPDATE` of a hidden attribute column:
+    /// the value index on `(table, column)` — if one exists — re-homes
+    /// the updated row's postings at **every** climb level from the old
+    /// value's entry to the new value's. The affected ancestor ids are
+    /// found by translating the updated row through `table`'s own key
+    /// index (the inverse-join the climbing layout precomputes); key
+    /// indexes and SKTs are untouched — updates never move key
+    /// structure.
+    pub fn apply_update(
+        &mut self,
+        scope: &RamScope,
+        table: TableId,
+        column: ColumnId,
+        row: RowId,
+        old_value: &Value,
+        new_value: &Value,
+    ) -> Result<()> {
+        let Some(idx) = self.value_indexes.get_mut(&(table.0, column.0)) else {
+            return Ok(());
+        };
+        let levels = idx.levels().to_vec();
+        let mut per_level: Vec<Vec<u32>> = vec![vec![row.0]];
+        if levels.len() > 1 {
+            let kidx = self
+                .key_indexes
+                .get(&table.0)
+                .ok_or_else(|| GhostError::exec(format!("no key climbing index for {table}")))?;
+            for lt in &levels[1..] {
+                let mut input = VecIdStream::new(vec![row]);
+                let mut out = kidx.translate(scope, &mut input, *lt, TRANSLATE_SORT_RAM)?;
+                per_level.push(collect_ids(&mut out)?.into_iter().map(|r| r.0).collect());
+            }
+        }
+        idx.reindex_value(old_value, new_value, &per_level)
+    }
+
     /// Merge every structure's RAM delta into rebuilt flash segments.
-    /// Runs after [`HiddenStore::flush`], whose [`DictRemap`]s re-key
-    /// the value-index directories over rebuilt dictionaries.
+    /// Runs after [`HiddenStore::flush`], whose [`FlushRemaps`] carry
+    /// the dictionary code maps (re-keying value-index directories over
+    /// rebuilt dictionaries) and — when rows died — the per-table id
+    /// remaps of the compaction, which filter and renumber every
+    /// posting, dense directory key, and SKT wide row.
     pub fn flush(
         &mut self,
         scope: &RamScope,
         hidden: &HiddenStore,
-        remaps: &[DictRemap],
+        remaps: &FlushRemaps,
     ) -> Result<()> {
+        let compacted = |t: TableId| {
+            remaps
+                .ids
+                .get(t.index())
+                .map(|m| m.is_some())
+                .unwrap_or(false)
+        };
         for ((t, c), idx) in self.value_indexes.iter_mut() {
-            let remap = remaps.iter().find(|r| r.table.0 == *t && r.column.0 == *c);
-            if remap.is_none() && idx.delta_entries() == 0 {
+            let dict = remaps
+                .dicts
+                .iter()
+                .find(|r| r.table.0 == *t && r.column.0 == *c);
+            let levels = idx.levels().to_vec();
+            let touched =
+                dict.is_some() || idx.has_pending() || levels.iter().any(|&lt| compacted(lt));
+            if !touched {
                 continue;
             }
-            let remap_fn: Box<dyn Fn(u64) -> u64> = match remap {
+            let remap_fn: Box<dyn Fn(u64) -> Option<u64>> = match dict {
                 Some(r) => {
                     let map = r.map.clone();
-                    Box::new(move |k| map[k as usize] as u64)
+                    Box::new(move |k| Some(map[k as usize] as u64))
                 }
-                None => Box::new(|k| k),
+                None => Box::new(Some),
             };
             let (table, column) = (TableId(*t), ColumnId(*c));
             let encode = |v: &Value| hidden.encode_value(table, column, v);
-            idx.flush(scope, &remap_fn, &encode)?;
+            let map_id = |li: usize, id: u32| remaps.map_id(levels[li], id);
+            idx.flush(scope, &remap_fn, &encode, &map_id)?;
         }
-        for idx in self.key_indexes.values_mut() {
-            if idx.delta_entries() == 0 {
+        for (t, idx) in self.key_indexes.iter_mut() {
+            let own = TableId(*t);
+            let levels = idx.levels().to_vec();
+            let touched = idx.has_pending() || levels.iter().any(|&lt| compacted(lt));
+            if !touched {
                 continue;
             }
-            idx.flush(scope, &|k| k, &|_| {
-                Err(GhostError::exec(
-                    "key-index deltas are keyed by id, not value".to_string(),
-                ))
-            })?;
+            let remap_key = |k: u64| remaps.map_id(own, k as u32).map(|n| n as u64);
+            let map_id = |li: usize, id: u32| remaps.map_id(levels[li], id);
+            idx.flush(
+                scope,
+                &remap_key,
+                &|_| {
+                    Err(GhostError::exec(
+                        "key-index deltas are keyed by id, not value".to_string(),
+                    ))
+                },
+                &map_id,
+            )?;
         }
         for skt in self.skts.values_mut() {
-            skt.flush(scope)?;
+            let order = skt.table_order().to_vec();
+            let touched = skt.delta_rows() > 0 || order.iter().any(|&tt| compacted(tt));
+            if !touched {
+                continue;
+            }
+            let map_id = |col: usize, id: u32| remaps.map_id(order[col], id);
+            skt.flush(scope, &map_id)?;
         }
         Ok(())
     }
 
-    /// Un-flushed delta entries across every structure (observability).
+    /// Un-flushed delta entries across every structure (observability;
+    /// update suppressions count — they are un-flushed state too).
     pub fn delta_entries(&self) -> usize {
-        let vi: usize = self.value_indexes.values().map(|i| i.delta_entries()).sum();
+        let vi: usize = self
+            .value_indexes
+            .values()
+            .map(|i| i.delta_entries().max(i.has_pending() as usize))
+            .sum();
         let ki: usize = self.key_indexes.values().map(|i| i.delta_entries()).sum();
         let skt: usize = self.skts.values().map(|s| s.delta_rows() as usize).sum();
         vi + ki + skt

@@ -104,30 +104,64 @@ impl SubtreeKeyTable {
         self.delta.len() as u32
     }
 
-    /// Merge the RAM delta into a rebuilt flash segment (base bytes
-    /// streamed, delta rows appended) and free the old segment.
-    pub fn flush(&mut self, scope: &RamScope) -> Result<()> {
-        if self.delta.is_empty() {
-            return Ok(());
-        }
+    /// Merge the RAM delta into a rebuilt flash segment and free the old
+    /// one. `map_id(col, id)` filters and renumbers every stored id by
+    /// its column's table: `None` for the **root** column drops the whole
+    /// wide row (the root row died — its bytes are what a post-delete
+    /// flush reclaims); a `None` on any other column of a surviving row
+    /// is a referential-integrity violation (the delete-time RESTRICT
+    /// check forbids it). Identity `map_id` reproduces the old
+    /// append-only merge.
+    pub fn flush(
+        &mut self,
+        scope: &RamScope,
+        map_id: &dyn Fn(usize, u32) -> Option<u32>,
+    ) -> Result<()> {
         let mut w = self.volume.writer(scope)?;
         let mut reader = self.volume.reader(scope, &self.segment)?;
+        let n_cols = self.tables.len();
         let mut buf = [0u8; 4];
-        for _ in 0..self.segment.len() / 4 {
-            reader.read_exact(&mut buf)?;
-            w.write(&buf)?;
+        let mut row = vec![0u32; n_cols];
+        let mut out_rows = 0u32;
+        for _ in 0..self.rows {
+            for slot in row.iter_mut() {
+                reader.read_exact(&mut buf)?;
+                *slot = u32::from_le_bytes(buf);
+            }
+            self.write_mapped(&mut w, &row, map_id, &mut out_rows)?;
         }
         drop(reader);
-        for row in &self.delta {
-            for id in row {
-                w.write(&id.0.to_le_bytes())?;
-            }
+        let delta = std::mem::take(&mut self.delta);
+        for drow in &delta {
+            let raw: Vec<u32> = drow.iter().map(|id| id.0).collect();
+            self.write_mapped(&mut w, &raw, map_id, &mut out_rows)?;
         }
         let new_seg = w.finish()?;
         let old = std::mem::replace(&mut self.segment, new_seg);
         self.volume.free(old)?;
-        self.rows += self.delta.len() as u32;
-        self.delta.clear();
+        self.rows = out_rows;
+        Ok(())
+    }
+
+    /// Write one wide row through the remap; dead roots drop the row.
+    fn write_mapped(
+        &self,
+        w: &mut ghostdb_flash::SegmentWriter,
+        row: &[u32],
+        map_id: &dyn Fn(usize, u32) -> Option<u32>,
+        out_rows: &mut u32,
+    ) -> Result<()> {
+        let Some(root) = map_id(0, row[0]) else {
+            return Ok(());
+        };
+        w.write(&root.to_le_bytes())?;
+        for (col, &id) in row.iter().enumerate().skip(1) {
+            let mapped = map_id(col, id).ok_or_else(|| {
+                GhostError::corrupt("live SKT row references a deleted subtree row")
+            })?;
+            w.write(&mapped.to_le_bytes())?;
+        }
+        *out_rows += 1;
         Ok(())
     }
 
@@ -447,7 +481,7 @@ mod tests {
         assert_eq!(cur.fetch(RowId(20)).unwrap().ids, row);
         assert!(cur.fetch(RowId(21)).is_err());
         drop(cur);
-        skt.flush(&scope).unwrap();
+        skt.flush(&scope, &|_, id| Some(id)).unwrap();
         assert_eq!(skt.delta_rows(), 0);
         assert_eq!(skt.row_count(), 21);
         let mut cur = skt.cursor(&scope).unwrap();

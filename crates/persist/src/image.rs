@@ -5,15 +5,17 @@ use ghostdb_catalog::{Schema, SchemaStats};
 use ghostdb_flash::{Nand, PageAddr, PageState};
 use ghostdb_index::IndexSetManifest;
 use ghostdb_storage::{HiddenManifest, VisibleStore};
-use ghostdb_types::{decode_all, GhostError, Result, Wire};
+use ghostdb_types::{decode_all, GhostError, LiveSet, Result, Wire};
 
 use crate::crc::crc32;
 
 /// Superblock magic ("GHSB").
 const MAGIC: u32 = 0x4748_5342;
 
-/// On-flash image format version.
-pub const IMAGE_VERSION: u32 = 1;
+/// On-flash image format version. Version 2 added the per-table
+/// tombstone sets (and, in the same release, the WAL's record-kind
+/// tag); version-1 images are rejected cleanly rather than misdecoded.
+pub const IMAGE_VERSION: u32 = 2;
 
 /// Fixed size of the superblock header at the head of a slot: magic +
 /// version (4+4), epoch (8), body length (8), body CRC (4), five
@@ -36,6 +38,11 @@ pub struct DeviceImage {
     /// Snapshot of the PC's visible store (public data; co-located on
     /// the key so the whole system remounts from the NAND alone).
     pub visible: VisibleStore,
+    /// Per-table tombstone sets over the sealed segments' row spaces.
+    /// A seal flushes first — and a flush compacts — so these are
+    /// all-live in practice; the format carries them so the image is
+    /// self-describing about liveness rather than assuming it.
+    pub tombstones: Vec<LiveSet>,
     /// The volume's logical→physical translation table at seal time.
     pub l2p: Vec<u32>,
 }
@@ -47,6 +54,7 @@ impl Wire for DeviceImage {
         self.hidden.encode(out);
         self.indexes.encode(out);
         self.visible.encode(out);
+        self.tombstones.encode(out);
         self.l2p.encode(out);
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
@@ -56,6 +64,7 @@ impl Wire for DeviceImage {
             hidden: HiddenManifest::decode(buf)?,
             indexes: IndexSetManifest::decode(buf)?,
             visible: VisibleStore::decode(buf)?,
+            tombstones: Vec::<LiveSet>::decode(buf)?,
             l2p: Vec::<u32>::decode(buf)?,
         })
     }

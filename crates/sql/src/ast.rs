@@ -9,6 +9,10 @@ pub enum Statement {
     Select(SelectStmt),
     /// `INSERT INTO t VALUES (...), (...)`
     Insert(InsertStmt),
+    /// `DELETE FROM t WHERE ...`
+    Delete(DeleteStmt),
+    /// `UPDATE t SET c = v, ... WHERE ...`
+    Update(UpdateStmt),
 }
 
 /// Column type as written.
@@ -108,4 +112,31 @@ pub struct InsertStmt {
     pub table: String,
     /// Rows of literals.
     pub rows: Vec<Vec<Literal>>,
+}
+
+/// A `DELETE` statement. The `WHERE` clause reuses the `SELECT`
+/// machinery — a delete is a query that ends in a mutation — but only
+/// `column OP literal` conjuncts over the target table are legal (no
+/// joins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    /// Original statement text (disclosed on the bus like a query's).
+    pub text: String,
+    /// Target table.
+    pub table: String,
+    /// Conjuncts of the `WHERE` clause (empty = delete every row).
+    pub where_atoms: Vec<WhereAtom>,
+}
+
+/// An `UPDATE` statement (same `WHERE` shape as [`DeleteStmt`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    /// Original statement text.
+    pub text: String,
+    /// Target table.
+    pub table: String,
+    /// `SET column = literal` assignments, in statement order.
+    pub assignments: Vec<(String, Literal)>,
+    /// Conjuncts of the `WHERE` clause (empty = update every row).
+    pub where_atoms: Vec<WhereAtom>,
 }

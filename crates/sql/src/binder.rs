@@ -1,9 +1,14 @@
 //! Binding parsed statements against the catalog.
 
-use ghostdb_catalog::{ColumnRef, Predicate, Schema, SchemaBuilder, TreeSchema, Visibility};
-use ghostdb_types::{DataType, Date, GhostError, Result, TableId, Value};
+use ghostdb_catalog::{
+    ColumnRef, ColumnRole, Predicate, Schema, SchemaBuilder, TreeSchema, Visibility,
+};
+use ghostdb_types::{ColumnId, DataType, Date, GhostError, Result, TableId, Value};
 
-use crate::ast::{CreateTable, InsertStmt, Literal, QualCol, SelectStmt, Statement, TypeDecl};
+use crate::ast::{
+    CreateTable, DeleteStmt, InsertStmt, Literal, QualCol, SelectStmt, Statement, TypeDecl,
+    UpdateStmt, WhereAtom,
+};
 
 // Note: the executor's QuerySpec lives in ghostdb-exec; depending on exec
 // from sql would invert the layering, so the binder returns the raw bound
@@ -173,6 +178,123 @@ pub fn coerce_literal(lit: &Literal, ty: DataType) -> Result<Value> {
             "literal {lit:?} incompatible with column type {ty}"
         ))),
     }
+}
+
+/// The bound pieces of a `DELETE`: the resolved target table and the
+/// `WHERE` conjuncts as ordinary [`Predicate`]s over it. The engine
+/// resolves the predicates to row ids through the normal
+/// planner/executor — a delete is a query that ends in a mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundDelete {
+    /// Original statement text.
+    pub sql: String,
+    /// Target table.
+    pub table: TableId,
+    /// Conjunctive predicates (empty = every row).
+    pub predicates: Vec<Predicate>,
+}
+
+/// The bound pieces of an `UPDATE` (same filter shape as
+/// [`BoundDelete`], plus the coerced assignments).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundUpdate {
+    /// Original statement text.
+    pub sql: String,
+    /// Target table.
+    pub table: TableId,
+    /// `(column, new value)` assignments, literals coerced.
+    pub assignments: Vec<(ColumnId, Value)>,
+    /// Conjunctive predicates (empty = every row).
+    pub predicates: Vec<Predicate>,
+}
+
+/// Bind a mutation's `WHERE` conjuncts against its single target table:
+/// only `column OP literal` atoms are legal (a join condition has no
+/// meaning when one table is in scope).
+fn bind_mutation_filter(
+    schema: &Schema,
+    table: TableId,
+    atoms: &[WhereAtom],
+) -> Result<Vec<Predicate>> {
+    let scope = FromScope {
+        schema,
+        entries: vec![(table, vec![schema.table(table).name.clone()])],
+    };
+    let mut predicates = Vec::new();
+    for atom in atoms {
+        match atom {
+            WhereAtom::Compare { col, op, value } => {
+                let cref = scope.resolve(col)?;
+                let ty = schema.column_def(cref).ty;
+                predicates.push(Predicate {
+                    column: cref,
+                    op: *op,
+                    value: coerce_literal(value, ty)?,
+                });
+            }
+            WhereAtom::Join { .. } => {
+                return Err(GhostError::unsupported(
+                    "mutation WHERE clauses cannot contain join conditions".to_string(),
+                ))
+            }
+        }
+    }
+    Ok(predicates)
+}
+
+/// Bind a parsed `DELETE` against the schema.
+pub fn bind_delete(schema: &Schema, stmt: &DeleteStmt) -> Result<BoundDelete> {
+    let table = schema.resolve_table(&stmt.table)?;
+    Ok(BoundDelete {
+        sql: stmt.text.clone(),
+        table,
+        predicates: bind_mutation_filter(schema, table, &stmt.where_atoms)?,
+    })
+}
+
+/// Bind a parsed `UPDATE` against the schema: resolve and coerce every
+/// assignment (duplicate targets rejected), and restrict the targets to
+/// **attribute** columns — primary keys are the identity the tombstone
+/// layer is built on, and foreign keys are the join skeleton the SKTs
+/// and key indexes precompute; rewriting either is not a value update.
+pub fn bind_update(schema: &Schema, stmt: &UpdateStmt) -> Result<BoundUpdate> {
+    let table = schema.resolve_table(&stmt.table)?;
+    let mut assignments: Vec<(ColumnId, Value)> = Vec::with_capacity(stmt.assignments.len());
+    for (name, lit) in &stmt.assignments {
+        let cref = schema.resolve_column(table, name)?;
+        let def = schema.column_def(cref);
+        match def.role {
+            ColumnRole::Attribute => {}
+            ColumnRole::PrimaryKey => {
+                return Err(GhostError::unsupported(format!(
+                    "UPDATE of primary key {} (row identity is immutable)",
+                    schema.column_name(cref)
+                )))
+            }
+            ColumnRole::ForeignKey(_) => {
+                return Err(GhostError::unsupported(format!(
+                    "UPDATE of foreign key {} (delete and re-insert to re-parent a row)",
+                    schema.column_name(cref)
+                )))
+            }
+        }
+        if assignments.iter().any(|(c, _)| *c == cref.column) {
+            return Err(GhostError::sql(format!(
+                "duplicate SET target {}",
+                schema.column_name(cref)
+            )));
+        }
+        assignments.push((cref.column, coerce_literal(lit, def.ty)?));
+    }
+    if assignments.is_empty() {
+        return Err(GhostError::sql("UPDATE with no SET assignments"));
+    }
+    Ok(BoundUpdate {
+        sql: stmt.text.clone(),
+        table,
+        assignments,
+        predicates: bind_mutation_filter(schema, table, &stmt.where_atoms)?,
+    })
 }
 
 struct FromScope<'a> {
@@ -348,6 +470,64 @@ mod tests {
         );
         assert!(coerce_literal(&Literal::Int(5), DataType::Date).is_err());
         assert!(coerce_literal(&Literal::Str("toolongtext".into()), DataType::Char(3)).is_err());
+    }
+
+    #[test]
+    fn delete_and_update_bind() {
+        let s = schema();
+        let stmts = parse_statements(
+            "DELETE FROM Visit WHERE Purpose = 'Checkup'; \
+             UPDATE Visit SET Purpose = 'Recovered' WHERE VisID >= 3; \
+             UPDATE Visit SET VisID = 9; \
+             UPDATE Visit SET DocID = 0; \
+             UPDATE Visit SET Purpose = 'a', Purpose = 'b'; \
+             DELETE FROM Visit WHERE DocID = Doctor.DocID;",
+        )
+        .unwrap();
+        let Statement::Delete(del) = &stmts[0] else {
+            panic!()
+        };
+        let bound = bind_delete(&s, del).unwrap();
+        assert_eq!(bound.table, s.resolve_table("Visit").unwrap());
+        assert_eq!(bound.predicates.len(), 1);
+        assert_eq!(bound.predicates[0].value, Value::Text("Checkup".into()));
+
+        let Statement::Update(upd) = &stmts[1] else {
+            panic!()
+        };
+        let bound = bind_update(&s, upd).unwrap();
+        assert_eq!(bound.assignments.len(), 1);
+        assert_eq!(bound.predicates.len(), 1);
+
+        // PK / FK / duplicate targets and join filters are rejected.
+        let Statement::Update(pk) = &stmts[2] else {
+            panic!()
+        };
+        assert!(bind_update(&s, pk)
+            .unwrap_err()
+            .to_string()
+            .contains("primary key"));
+        let Statement::Update(fk) = &stmts[3] else {
+            panic!()
+        };
+        assert!(bind_update(&s, fk)
+            .unwrap_err()
+            .to_string()
+            .contains("foreign key"));
+        let Statement::Update(dup) = &stmts[4] else {
+            panic!()
+        };
+        assert!(bind_update(&s, dup)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
+        let Statement::Delete(join) = &stmts[5] else {
+            panic!()
+        };
+        assert!(bind_delete(&s, join)
+            .unwrap_err()
+            .to_string()
+            .contains("join"));
     }
 
     #[test]

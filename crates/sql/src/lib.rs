@@ -27,9 +27,12 @@ mod lexer;
 mod parser;
 
 pub use ast::{
-    ColumnDecl, CreateTable, InsertStmt, Literal, QualCol, SelectStmt, Statement, TypeDecl,
-    WhereAtom,
+    ColumnDecl, CreateTable, DeleteStmt, InsertStmt, Literal, QualCol, SelectStmt, Statement,
+    TypeDecl, UpdateStmt, WhereAtom,
 };
-pub use binder::{bind_insert, bind_schema, bind_select, coerce_literal, BoundInsert, BoundSelect};
+pub use binder::{
+    bind_delete, bind_insert, bind_schema, bind_select, bind_update, coerce_literal, BoundDelete,
+    BoundInsert, BoundSelect, BoundUpdate,
+};
 pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::parse_statements;

@@ -3,8 +3,8 @@
 use ghostdb_types::{GhostError, Result, ScalarOp};
 
 use crate::ast::{
-    ColumnDecl, CreateTable, InsertStmt, Literal, QualCol, SelectStmt, Statement, TypeDecl,
-    WhereAtom,
+    ColumnDecl, CreateTable, DeleteStmt, InsertStmt, Literal, QualCol, SelectStmt, Statement,
+    TypeDecl, UpdateStmt, WhereAtom,
 };
 use crate::lexer::{tokenize, Token, TokenKind};
 
@@ -83,8 +83,12 @@ impl<'a> Parser<'a> {
             self.select().map(Statement::Select)
         } else if self.at_kw("INSERT") {
             self.insert().map(Statement::Insert)
+        } else if self.at_kw("DELETE") {
+            self.delete().map(Statement::Delete)
+        } else if self.at_kw("UPDATE") {
+            self.update().map(Statement::Update)
         } else {
-            Err(self.err("expected CREATE TABLE, SELECT or INSERT"))
+            Err(self.err("expected CREATE TABLE, SELECT, INSERT, DELETE or UPDATE"))
         }
     }
 
@@ -298,6 +302,58 @@ impl<'a> Parser<'a> {
         let _ = self.eat_semi();
         Ok(InsertStmt { table, rows })
     }
+
+    /// Shared `WHERE` clause of DELETE/UPDATE (optional; conjuncts).
+    fn where_clause(&mut self) -> Result<Vec<WhereAtom>> {
+        let mut atoms = Vec::new();
+        if self.eat_kw("WHERE") {
+            loop {
+                atoms.push(self.where_atom()?);
+                if !self.eat_kw("AND") {
+                    break;
+                }
+            }
+        }
+        Ok(atoms)
+    }
+
+    fn delete(&mut self) -> Result<DeleteStmt> {
+        self.kw("DELETE")?;
+        self.kw("FROM")?;
+        let table = self.ident()?;
+        let where_atoms = self.where_clause()?;
+        let _ = self.eat_semi();
+        Ok(DeleteStmt {
+            text: self.text.to_string(),
+            table,
+            where_atoms,
+        })
+    }
+
+    fn update(&mut self) -> Result<UpdateStmt> {
+        self.kw("UPDATE")?;
+        let table = self.ident()?;
+        self.kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&TokenKind::Eq)?;
+            assignments.push((col, self.literal()?));
+            if matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let where_atoms = self.where_clause()?;
+        let _ = self.eat_semi();
+        Ok(UpdateStmt {
+            text: self.text.to_string(),
+            table,
+            assignments,
+            where_atoms,
+        })
+    }
 }
 
 /// Parse a script of `;`-separated statements.
@@ -388,6 +444,41 @@ mod tests {
         assert_eq!(ins.table, "Medicine");
         assert_eq!(ins.rows.len(), 2);
         assert_eq!(ins.rows[1][1], Literal::Str("Statin".into()));
+    }
+
+    #[test]
+    fn parses_delete_and_update() {
+        let stmts = parse_statements(
+            "DELETE FROM Visit WHERE Purpose = 'Checkup' AND Severity >= 3; \
+             DELETE FROM Visit; \
+             UPDATE Visit SET Purpose = 'Recovered', Severity = 0 WHERE VisID = 7;",
+        )
+        .unwrap();
+        let Statement::Delete(del) = &stmts[0] else {
+            panic!("not a delete")
+        };
+        assert_eq!(del.table, "Visit");
+        assert_eq!(del.where_atoms.len(), 2);
+        let Statement::Delete(all) = &stmts[1] else {
+            panic!("not a delete")
+        };
+        assert!(all.where_atoms.is_empty());
+        let Statement::Update(upd) = &stmts[2] else {
+            panic!("not an update")
+        };
+        assert_eq!(upd.table, "Visit");
+        assert_eq!(
+            upd.assignments,
+            vec![
+                ("Purpose".into(), Literal::Str("Recovered".into())),
+                ("Severity".into(), Literal::Int(0)),
+            ]
+        );
+        assert_eq!(upd.where_atoms.len(), 1);
+        // Malformed variants.
+        assert!(parse_statements("DELETE Visit").is_err());
+        assert!(parse_statements("UPDATE Visit WHERE x = 1").is_err());
+        assert!(parse_statements("UPDATE Visit SET").is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! garbage collector is free to migrate a column's pages when compacting
 //! the blocks around them — the store never sees physical addresses.
 //!
-//! # The post-load write path (LSM-style deltas)
+//! # The post-load write path (LSM-style deltas + liveness)
 //!
 //! Since PR 3 the store is **mutable after load**: [`HiddenStore::append_row`]
 //! accepts new rows whose hidden halves accumulate in a RAM-resident
@@ -36,20 +36,38 @@
 //! strings (codes `entries + i`, identity-only, *not* order-preserving)
 //! and predicates over delta rows are evaluated on the **values**
 //! directly ([`HiddenStore::matches_at`], [`HiddenStore::predicate_scan`])
-//! rather than through the base key space. [`HiddenStore::flush`] merges
-//! every delta into rebuilt flash segments — for dict columns it rebuilds
-//! the dictionary (re-ranking all codes) and reports the old→new code
-//! remap so the climbing indexes can rebuild their directories in the
-//! same pass — and frees the old segments for PR 2's garbage collector
-//! to reclaim.
+//! rather than through the base key space.
+//!
+//! PR 5 generalized the layer from "base + appended delta" to
+//! **base + delta + liveness**:
+//!
+//! * every table carries a tombstone [`LiveSet`] over its *physical* id
+//!   space — a `DELETE` flips bits, nothing moves on flash. The dense,
+//!   user-visible primary keys are the **logical** (live-rank) view of
+//!   that bitmap: [`HiddenStore::live_rank`]/[`HiddenStore::select_live`]
+//!   translate at the engine's boundaries, and are the identity while
+//!   nothing is dead;
+//! * an `UPDATE` of a flash-resident row lands in a per-column
+//!   **overwrite overlay** ([`HiddenStore::update_cell`]) consulted by
+//!   every read and scan before the segment bytes; overlay values of
+//!   dict columns route through the same delta dictionary as inserts,
+//!   and predicates over them are evaluated value-exact;
+//! * [`HiddenStore::flush`] merges everything into rebuilt flash
+//!   segments: delta rows append, overlays merge in place, **dead rows
+//!   are physically dropped** with survivors renumbered dense (foreign
+//!   keys re-pointed through the referenced table's remap), and dict
+//!   columns re-rank. The [`FlushRemaps`] it returns — dictionary code
+//!   maps plus per-table id maps — drive the index rebuild and the PC's
+//!   mirror compaction in the same maintenance pass; the freed segments
+//!   (the dead rows' bytes) go to PR 2's garbage collector.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use ghostdb_catalog::Schema;
+use ghostdb_catalog::{ColumnRole, Predicate, Schema};
 use ghostdb_flash::{Segment, SegmentManifest, SegmentReader, Volume};
 use ghostdb_ram::RamScope;
 use ghostdb_types::{
-    ColumnId, DataType, GhostError, Result, RowId, ScalarOp, TableId, Value, Wire,
+    ColumnId, DataType, GhostError, LiveSet, Result, RowId, ScalarOp, TableId, Value, Wire,
 };
 
 use crate::dataset::Dataset;
@@ -133,6 +151,21 @@ struct TableDelta {
     rows: u32,
     /// Parallel to the table's columns; empty vecs for visible columns.
     columns: Vec<ColumnDelta>,
+    /// Value-rewrite overlays of **base** rows, per column (`UPDATE`s of
+    /// rows already merged to flash; delta rows are rewritten in place).
+    /// The overlay value is authoritative until the next flush rewrites
+    /// the segment.
+    overwrites: Vec<BTreeMap<u32, Value>>,
+}
+
+impl TableDelta {
+    fn empty(columns: usize) -> TableDelta {
+        TableDelta {
+            rows: 0,
+            columns: vec![ColumnDelta::default(); columns],
+            overwrites: vec![BTreeMap::new(); columns],
+        }
+    }
 }
 
 /// Old→new code remap of one dict column after a flush rebuilt its
@@ -174,14 +207,50 @@ impl LoadEncoders {
     }
 }
 
+/// Remaps a delta flush reports to the index layer: dictionary code
+/// remaps of rebuilt `CHAR` columns plus, when rows died, the per-table
+/// physical-id remap of the compaction (dead rows dropped, survivors
+/// renumbered dense).
+#[derive(Debug, Default)]
+pub struct FlushRemaps {
+    /// Old→new code maps of rebuilt dictionaries.
+    pub dicts: Vec<DictRemap>,
+    /// Per table (index = table id): `Some(map)` when the flush
+    /// compacted it — `map[old_physical] = new id`, `u32::MAX` for dead
+    /// rows; `None` when ids were unchanged (identity).
+    pub ids: Vec<Option<Vec<u32>>>,
+}
+
+impl FlushRemaps {
+    /// Map one physical id of `table` through the compaction: `None`
+    /// for dead rows, the (possibly identical) new id otherwise.
+    pub fn map_id(&self, table: TableId, id: u32) -> Option<u32> {
+        match self.ids.get(table.index()).and_then(|m| m.as_ref()) {
+            None => Some(id),
+            Some(m) => match m.get(id as usize) {
+                Some(&n) if n != u32::MAX => Some(n),
+                _ => None,
+            },
+        }
+    }
+
+    /// Did the flush renumber any table?
+    pub fn any_compaction(&self) -> bool {
+        self.ids.iter().any(|m| m.is_some())
+    }
+}
+
 /// The hidden half of the database: an immutable flash base per column
-/// plus a RAM-resident delta of post-load appends.
+/// plus a RAM-resident delta of post-load appends, a tombstone
+/// [`LiveSet`] per table, and value-rewrite overlays for updated rows.
 #[derive(Debug)]
 pub struct HiddenStore {
     volume: Volume,
     tables: Vec<TableStore>,
-    /// Post-load appends, parallel to `tables`.
+    /// Post-load appends + overwrite overlays, parallel to `tables`.
     deltas: Vec<TableDelta>,
+    /// Per-table liveness over the physical id space (base + delta).
+    live: Vec<LiveSet>,
 }
 
 impl HiddenStore {
@@ -265,16 +334,15 @@ impl HiddenStore {
         }
         let deltas = tables
             .iter()
-            .map(|t| TableDelta {
-                rows: 0,
-                columns: vec![ColumnDelta::default(); t.columns.len()],
-            })
+            .map(|t| TableDelta::empty(t.columns.len()))
             .collect();
+        let live = tables.iter().map(|t| LiveSet::new_full(t.rows)).collect();
         Ok((
             HiddenStore {
                 volume: volume.clone(),
                 tables,
                 deltas,
+                live,
             },
             encoders,
         ))
@@ -302,6 +370,188 @@ impl HiddenStore {
     /// metric).
     pub fn total_delta_rows(&self) -> u64 {
         self.deltas.iter().map(|d| d.rows as u64).sum()
+    }
+
+    /// Un-flushed mutations of every kind: appended delta rows, resident
+    /// tombstones, and overwritten base cells. This is what the
+    /// auto-flush threshold compares against — a delete-heavy workload
+    /// must trigger compaction just like an insert-heavy one.
+    pub fn total_pending_mutations(&self) -> u64 {
+        let dead: u64 = self.live.iter().map(|l| l.dead_count() as u64).sum();
+        let over: u64 = self
+            .deltas
+            .iter()
+            .flat_map(|d| d.overwrites.iter())
+            .map(|m| m.len() as u64)
+            .sum();
+        self.total_delta_rows() + dead + over
+    }
+
+    /// The liveness set of `table` (physical id space, base + delta).
+    pub fn liveness(&self, table: TableId) -> &LiveSet {
+        &self.live[table.index()]
+    }
+
+    /// **Live** rows of `table` — the user-visible cardinality, and the
+    /// logical primary-key domain.
+    pub fn live_count(&self, table: TableId) -> u32 {
+        self.live
+            .get(table.index())
+            .map(|l| l.live_count())
+            .unwrap_or(0)
+    }
+
+    /// Is physical row `row` of `table` live?
+    pub fn is_live(&self, table: TableId, row: RowId) -> bool {
+        self.live
+            .get(table.index())
+            .map(|l| l.is_live(row.0))
+            .unwrap_or(false)
+    }
+
+    /// Logical (dense, user-visible) id of a live physical row.
+    pub fn live_rank(&self, table: TableId, row: RowId) -> u32 {
+        self.live[table.index()].rank(row.0)
+    }
+
+    /// Physical row behind logical id `rank`.
+    pub fn select_live(&self, table: TableId, rank: u32) -> Result<RowId> {
+        self.live[table.index()].select(rank).map(RowId)
+    }
+
+    /// Mark physical rows of `table` dead. The caller (the engine's
+    /// `delete_rows`) has already validated liveness and referential
+    /// integrity; this only flips the tombstone bits.
+    pub fn delete_rows_physical(&mut self, table: TableId, rows: &[u32]) -> Result<()> {
+        self.live[table.index()].kill_many(rows)
+    }
+
+    /// Rewrite a **predicate** from the logical id space the user writes
+    /// (dense primary keys over live rows) into the physical id space
+    /// stored on flash and the PC. Attribute predicates pass through;
+    /// PK/FK predicates translate their constant through the target
+    /// table's rank/select map, which is strictly monotone on live rows,
+    /// so every comparison operator is preserved. Identity while nothing
+    /// is deleted.
+    pub fn physical_predicate(&self, schema: &Schema, p: &Predicate) -> Predicate {
+        let target = match schema.column_def(p.column).role {
+            ColumnRole::PrimaryKey => p.column.table,
+            ColumnRole::ForeignKey(t) => t,
+            ColumnRole::Attribute => return p.clone(),
+        };
+        let live = &self.live[target.index()];
+        let Value::Int(v) = p.value else {
+            return p.clone();
+        };
+        if live.all_live() {
+            return p.clone();
+        }
+        // Monotone embedding of the logical line into the physical one:
+        // negatives stay below every id, live logicals map exactly, and
+        // logicals past the live count map past the physical universe.
+        let phys = if v < 0 {
+            v
+        } else if (v as u64) < live.live_count() as u64 {
+            live.select(v as u32).expect("in range") as i64
+        } else {
+            live.universe() as i64 + (v - live.live_count() as i64)
+        };
+        Predicate {
+            column: p.column,
+            op: p.op,
+            value: Value::Int(phys),
+        }
+    }
+
+    /// Overwrite one hidden cell (the storage half of `UPDATE`). `row`
+    /// is physical and must be live; the column must be hidden (visible
+    /// cells are rewritten on the PC). Returns `true` when a `CHAR`
+    /// value outside every known dictionary was minted (the catalog's
+    /// incremental distinct signal).
+    pub fn update_cell(
+        &mut self,
+        table: TableId,
+        column: ColumnId,
+        row: RowId,
+        value: &Value,
+    ) -> Result<bool> {
+        let store = self.store(table, column)?;
+        // Dict columns: register strings no dictionary has seen yet, so
+        // overlay/delta keys stay resolvable (identity codes) and the
+        // next flush absorbs them into the rebuilt dictionary.
+        let mut minted = false;
+        if let ColumnStore::Dict {
+            offsets,
+            bytes,
+            entries,
+            ..
+        } = store
+        {
+            let s = value
+                .as_text()
+                .ok_or_else(|| GhostError::corrupt("non-text value in CHAR column"))?;
+            let (offsets, bytes, entries) = (offsets.clone(), bytes.clone(), *entries);
+            let in_base = entries > 0 && self.dict_lower_bound(&offsets, &bytes, entries, s)?.1;
+            let delta = &mut self.deltas[table.index()].columns[column.index()];
+            if !in_base && !delta.new_strings.iter().any(|d| d == s) {
+                delta.new_strings.push(s.to_string());
+                minted = true;
+            }
+        }
+        let base = self.base_rows(table);
+        if row.0 >= base {
+            let slot = self.deltas[table.index()].columns[column.index()]
+                .values
+                .get_mut((row.0 - base) as usize)
+                .ok_or_else(|| GhostError::exec(format!("row {row} out of range for {table}")))?;
+            *slot = value.clone();
+        } else {
+            self.deltas[table.index()].overwrites[column.index()].insert(row.0, value.clone());
+        }
+        Ok(minted)
+    }
+
+    /// The overlay value of a base cell, if it was overwritten.
+    fn overlay(&self, table: TableId, column: ColumnId, row: RowId) -> Option<&Value> {
+        self.deltas
+            .get(table.index())
+            .and_then(|d| d.overwrites.get(column.index()))
+            .and_then(|m| m.get(&row.0))
+    }
+
+    /// Order key of an arbitrary value in the column's *current* key
+    /// space: fixed columns use the order key, dict columns resolve to a
+    /// base rank or a delta-dictionary identity code (`entries + i`).
+    fn key_of_value(&self, table: TableId, column: ColumnId, v: &Value) -> Result<u64> {
+        match self.store(table, column)? {
+            ColumnStore::Fixed { .. } => v
+                .order_key()
+                .ok_or_else(|| GhostError::corrupt("non-numeric value in fixed column")),
+            ColumnStore::Dict {
+                offsets,
+                bytes,
+                entries,
+                ..
+            } => {
+                let s = v
+                    .as_text()
+                    .ok_or_else(|| GhostError::corrupt("non-text value in CHAR column"))?;
+                let n = *entries;
+                if n > 0 {
+                    let (code, exact) = self.dict_lower_bound(offsets, bytes, n, s)?;
+                    if exact {
+                        return Ok(code as u64);
+                    }
+                }
+                let delta = &self.deltas[table.index()].columns[column.index()];
+                delta
+                    .new_strings
+                    .iter()
+                    .position(|d| d == s)
+                    .map(|i| n as u64 + i as u64)
+                    .ok_or_else(|| GhostError::corrupt("string missing from delta dictionary"))
+            }
+        }
     }
 
     /// Append one validated row's hidden half to the delta. `values` is
@@ -353,6 +603,7 @@ impl HiddenStore {
                 .push(v.clone());
         }
         self.deltas[table.index()].rows += 1;
+        self.live[table.index()].push_live();
         Ok(new_value_columns)
     }
 
@@ -383,41 +634,18 @@ impl HiddenStore {
             .ok_or_else(|| GhostError::exec(format!("row {row} out of range for {table}")))
     }
 
-    /// Raw order key of one cell. Delta rows of dict columns whose
-    /// string is absent from the base dictionary get **identity** codes
-    /// (`entries + i`) — usable for equality/hashing, not for order.
+    /// Raw order key of one cell. Delta rows (and overwritten base
+    /// rows) of dict columns whose string is absent from the base
+    /// dictionary get **identity** codes (`entries + i`) — usable for
+    /// equality/hashing, not for order.
     pub fn key_at(&self, table: TableId, column: ColumnId, row: RowId) -> Result<u64> {
         if row.0 >= self.base_rows(table) {
             let v = self.delta_value(table, column, row)?.clone();
-            return match self.store(table, column)? {
-                ColumnStore::Fixed { .. } => v
-                    .order_key()
-                    .ok_or_else(|| GhostError::corrupt("non-numeric value in fixed column")),
-                ColumnStore::Dict {
-                    offsets,
-                    bytes,
-                    entries,
-                    ..
-                } => {
-                    let s = v
-                        .as_text()
-                        .ok_or_else(|| GhostError::corrupt("non-text value in CHAR column"))?;
-                    let n = *entries;
-                    if n > 0 {
-                        let (code, exact) = self.dict_lower_bound(offsets, bytes, n, s)?;
-                        if exact {
-                            return Ok(code as u64);
-                        }
-                    }
-                    let delta = &self.deltas[table.index()].columns[column.index()];
-                    delta
-                        .new_strings
-                        .iter()
-                        .position(|d| d == s)
-                        .map(|i| n as u64 + i as u64)
-                        .ok_or_else(|| GhostError::corrupt("delta string missing from delta dict"))
-                }
-            };
+            return self.key_of_value(table, column, &v);
+        }
+        if let Some(v) = self.overlay(table, column, row) {
+            let v = v.clone();
+            return self.key_of_value(table, column, &v);
         }
         match self.store(table, column)? {
             ColumnStore::Fixed { keys, .. } => {
@@ -463,6 +691,10 @@ impl HiddenStore {
         if row.0 >= self.base_rows(table) {
             self.store(table, column)?; // hidden-column check
             return Ok(self.delta_value(table, column, row)?.clone());
+        }
+        if let Some(v) = self.overlay(table, column, row) {
+            self.store(table, column)?; // hidden-column check
+            return Ok(v.clone());
         }
         match self.store(table, column)? {
             ColumnStore::Fixed { ty, keys } => {
@@ -580,9 +812,9 @@ impl HiddenStore {
     /// Does row `row` satisfy `column OP value`? Base rows test their
     /// stored key against `base_range` (precomputed once per predicate
     /// via [`key_range`](Self::key_range); `None` = no base row can
-    /// match); delta rows compare their RAM-resident **value** directly,
-    /// which stays exact even for strings the base dictionary cannot
-    /// encode.
+    /// match); delta rows — and overwritten base rows — compare their
+    /// RAM-resident **value** directly, which stays exact even for
+    /// strings the base dictionary cannot encode.
     pub fn matches_at(
         &self,
         table: TableId,
@@ -594,6 +826,9 @@ impl HiddenStore {
     ) -> Result<bool> {
         if row.0 >= self.base_rows(table) {
             let v = self.delta_value(table, column, row)?;
+            return op.matches(v, value);
+        }
+        if let Some(v) = self.overlay(table, column, row) {
             return op.matches(v, value);
         }
         match base_range {
@@ -660,8 +895,12 @@ impl HiddenStore {
     }
 
     /// Stream every `(row id, order key)` of a stored column — the raw
-    /// scan primitive under the index-free baselines (grace hash join).
-    /// Delta rows follow the base with [`key_at`](Self::key_at) keys.
+    /// scan primitive under the index-free baselines (grace hash join)
+    /// and the statistics rebuild. Delta rows follow the base with
+    /// [`key_at`](Self::key_at) keys; overwritten base cells substitute
+    /// their overlay key. Row ids are **physical** and the scan includes
+    /// tombstoned rows — callers that need the live view filter through
+    /// [`liveness`](Self::liveness).
     pub fn key_scan(&self, scope: &RamScope, table: TableId, column: ColumnId) -> Result<KeyScan> {
         let (reader, width) = match self.store(table, column)? {
             ColumnStore::Fixed { keys, .. } => (self.volume.reader(scope, keys)?, 8),
@@ -673,11 +912,17 @@ impl HiddenStore {
             let row = RowId(base + i);
             tail.push((row, self.key_at(table, column, row)?));
         }
+        let mut key_overrides = Vec::new();
+        for (&row, v) in &self.deltas[table.index()].overwrites[column.index()] {
+            key_overrides.push((row, self.key_of_value(table, column, v)?));
+        }
         Ok(KeyScan {
             reader,
             width,
             next_row: 0,
             rows: base,
+            key_overrides,
+            override_pos: 0,
             tail,
             tail_pos: 0,
         })
@@ -707,6 +952,10 @@ impl HiddenStore {
                 tail.push(row);
             }
         }
+        let mut overrides = Vec::new();
+        for (&row, v) in &self.deltas[table.index()].overwrites[column.index()] {
+            overrides.push((row, range.contains(self.key_of_value(table, column, v)?)));
+        }
         Ok(FilterScan {
             reader,
             width,
@@ -714,6 +963,8 @@ impl HiddenStore {
             next_row: 0,
             rows: base,
             scanned: 0,
+            overrides,
+            override_pos: 0,
             tail,
             tail_pos: 0,
         })
@@ -737,59 +988,134 @@ impl HiddenStore {
             ColumnStore::Dict { codes, .. } => (self.volume.reader(scope, codes)?, 4),
         };
         let tail = self.delta_matches(table, column, op, value)?;
+        // Overwritten base cells decide by value — exact even for
+        // strings the base dictionary cannot encode.
+        let overwrites = &self.deltas[table.index()].overwrites[column.index()];
+        let mut overrides = Vec::with_capacity(overwrites.len());
+        for (&row, v) in overwrites {
+            overrides.push((row, op.matches(v, value)?));
+        }
+        // A `None` range proves no *unmodified* base row matches; the
+        // scan still has to cover overwritten rows, whose new value may
+        // match regardless of the base key space.
+        let rows = if base_range.is_some() || !overrides.is_empty() {
+            self.base_rows(table)
+        } else {
+            0
+        };
         Ok(FilterScan {
             reader,
             width,
             range: base_range.unwrap_or(KeyRange { lo: 1, hi: 0 }),
             next_row: 0,
-            // A `None` range proves no *base* row matches; skip the scan.
-            rows: if base_range.is_some() {
-                self.base_rows(table)
-            } else {
-                0
-            },
+            rows,
             scanned: 0,
+            overrides,
+            override_pos: 0,
             tail,
             tail_pos: 0,
         })
     }
 
-    /// Merge every un-flushed delta into rebuilt flash segments and free
-    /// the old ones (PR 2's GC reclaims the space). Fixed columns append
-    /// their new order keys; dict columns rebuild the dictionary —
-    /// re-ranking every code so order-preservation covers the absorbed
-    /// strings — and rewrite the codes segment through the returned
-    /// old→new [`DictRemap`]s, which the index flush applies to its
-    /// directories in the same maintenance pass.
-    pub fn flush(&mut self, scope: &RamScope) -> Result<Vec<DictRemap>> {
+    /// Merge every un-flushed mutation into rebuilt flash segments and
+    /// free the old ones (PR 2's GC reclaims the space):
+    ///
+    /// * appended delta rows land after the surviving base rows;
+    /// * **tombstoned rows are physically dropped** and the survivors
+    ///   renumbered dense — the per-table old→new id map is reported in
+    ///   [`FlushRemaps::ids`] so indexes, SKTs and the PC compact in the
+    ///   same pass. Foreign-key columns rewrite their stored ids through
+    ///   the *referenced* table's map (a table is rebuilt even when its
+    ///   only change is a compacted FK target);
+    /// * **overwritten cells** merge their overlay values in place;
+    /// * dict columns rebuild the dictionary — re-ranking every code so
+    ///   order-preservation covers absorbed strings — and report the
+    ///   old→new code map ([`FlushRemaps::dicts`]). Strings whose last
+    ///   referencing row died keep their (harmless) dictionary slot; the
+    ///   per-row data, postings and SKT rows are where dead bytes live,
+    ///   and those are dropped here.
+    ///
+    /// Afterwards every table is all-live over its new physical
+    /// universe: logical and physical ids coincide again.
+    pub fn flush(&mut self, scope: &RamScope, schema: &Schema) -> Result<FlushRemaps> {
         let volume = self.volume.clone();
-        let mut remaps = Vec::new();
+        let id_remaps: Vec<Option<Vec<u32>>> = self
+            .live
+            .iter()
+            .map(|l| (!l.all_live()).then(|| l.compaction_remap()))
+            .collect();
+        let mut dict_remaps = Vec::new();
         for ti in 0..self.tables.len() {
             let drows = self.deltas[ti].rows;
-            if drows == 0 {
-                continue;
-            }
+            let t_dead = id_remaps[ti].is_some();
+            let tdef = schema.table(TableId(ti as u16));
             let base_rows = self.tables[ti].rows;
             for ci in 0..self.tables[ti].columns.len() {
                 let Some(store) = self.tables[ti].columns[ci].clone() else {
                     continue;
                 };
+                let target_remap = match tdef.columns[ci].role {
+                    ColumnRole::ForeignKey(t) => id_remaps[t.index()].as_deref(),
+                    _ => None,
+                };
+                let has_overwrites = !self.deltas[ti].overwrites[ci].is_empty();
+                if drows == 0 && !t_dead && !has_overwrites && target_remap.is_none() {
+                    continue;
+                }
+                let overwrites = std::mem::take(&mut self.deltas[ti].overwrites[ci]);
                 let delta = std::mem::take(&mut self.deltas[ti].columns[ci]);
+                // Re-point a stored foreign-key id at its target's
+                // post-compaction id. A live row referencing a dead
+                // target would violate the delete-time RESTRICT check.
+                let map_fk = |id: i64| -> Result<i64> {
+                    match target_remap {
+                        None => Ok(id),
+                        Some(m) => match m.get(id as usize) {
+                            Some(&n) if n != u32::MAX => Ok(n as i64),
+                            _ => Err(GhostError::corrupt(
+                                "live row references a deleted foreign-key target",
+                            )),
+                        },
+                    }
+                };
                 match store {
                     ColumnStore::Fixed { ty, keys } => {
+                        let map_key = |k: u64| -> Result<u64> {
+                            if target_remap.is_none() {
+                                return Ok(k);
+                            }
+                            let id = Value::from_order_key(ty, k)?
+                                .as_int()
+                                .ok_or_else(|| GhostError::corrupt("non-integer fk key"))?;
+                            Ok(Value::Int(map_fk(id)?)
+                                .order_key()
+                                .expect("ints have order keys"))
+                        };
                         let mut w = volume.writer(scope)?;
                         let mut reader = volume.reader(scope, &keys)?;
                         let mut buf = [0u8; 8];
-                        for _ in 0..base_rows {
+                        for r in 0..base_rows {
                             reader.read_exact(&mut buf)?;
-                            w.write(&buf)?;
+                            if !self.live[ti].is_live(r) {
+                                continue;
+                            }
+                            let k = match overwrites.get(&r) {
+                                Some(v) => v.order_key().ok_or_else(|| {
+                                    GhostError::corrupt("non-numeric value in fixed column")
+                                })?,
+                                None => u64::from_le_bytes(buf),
+                            };
+                            w.write(&map_key(k)?.to_le_bytes())?;
                         }
                         drop(reader);
-                        for v in &delta.values {
+                        for (i, v) in delta.values.iter().enumerate() {
+                            if !self.live[ti].is_live(base_rows + i as u32) {
+                                continue;
+                            }
                             let k = v.order_key().ok_or_else(|| {
                                 GhostError::corrupt("non-numeric value in fixed column")
                             })?;
-                            w.write(&k.to_le_bytes())?;
+                            w.write(&map_key(k)?.to_le_bytes())?;
                         }
                         let new_keys = w.finish()?;
                         volume.free(keys)?;
@@ -835,13 +1161,27 @@ impl HiddenStore {
                         let mut codes_w = volume.writer(scope)?;
                         let mut reader = volume.reader(scope, &codes)?;
                         let mut buf = [0u8; 4];
-                        for _ in 0..base_rows {
+                        for r in 0..base_rows {
                             reader.read_exact(&mut buf)?;
-                            let old = u32::from_le_bytes(buf);
-                            codes_w.write(&remap[old as usize].to_le_bytes())?;
+                            if !self.live[ti].is_live(r) {
+                                continue;
+                            }
+                            let code = match overwrites.get(&r) {
+                                Some(v) => {
+                                    let s = v.as_text().ok_or_else(|| {
+                                        GhostError::corrupt("non-text in CHAR column")
+                                    })?;
+                                    code_of(s)?
+                                }
+                                None => remap[u32::from_le_bytes(buf) as usize],
+                            };
+                            codes_w.write(&code.to_le_bytes())?;
                         }
                         drop(reader);
-                        for v in &delta.values {
+                        for (i, v) in delta.values.iter().enumerate() {
+                            if !self.live[ti].is_live(base_rows + i as u32) {
+                                continue;
+                            }
                             let s = v
                                 .as_text()
                                 .ok_or_else(|| GhostError::corrupt("non-text in CHAR column"))?;
@@ -856,7 +1196,7 @@ impl HiddenStore {
                         volume.free(codes)?;
                         volume.free(offsets)?;
                         volume.free(bytes)?;
-                        remaps.push(DictRemap {
+                        dict_remaps.push(DictRemap {
                             table: TableId(ti as u16),
                             column: ColumnId(ci as u16),
                             map: remap,
@@ -865,10 +1205,17 @@ impl HiddenStore {
                     }
                 }
             }
-            self.tables[ti].rows += drows;
-            self.deltas[ti].rows = 0;
+            if drows > 0 || t_dead {
+                self.tables[ti].rows = self.live[ti].live_count();
+            }
+            let n_cols = self.tables[ti].columns.len();
+            self.deltas[ti] = TableDelta::empty(n_cols);
+            self.live[ti] = LiveSet::new_full(self.tables[ti].rows);
         }
-        Ok(remaps)
+        Ok(FlushRemaps {
+            dicts: dict_remaps,
+            ids: id_remaps,
+        })
     }
 }
 
@@ -979,13 +1326,14 @@ impl Wire for HiddenManifest {
 }
 
 impl HiddenStore {
-    /// The store's durable manifest. Requires every delta to be flushed
-    /// first — the image format keeps un-flushed rows in the WAL, not in
-    /// the metadata segments.
+    /// The store's durable manifest. Requires every mutation — appended
+    /// rows, tombstones, overwrites — to be flushed first: the image
+    /// format keeps un-flushed mutations in the WAL, not in the metadata
+    /// segments.
     pub fn manifest(&self) -> Result<HiddenManifest> {
-        if self.total_delta_rows() != 0 {
+        if self.total_pending_mutations() != 0 {
             return Err(GhostError::exec(
-                "hidden store manifest requires flushed deltas".to_string(),
+                "hidden store manifest requires flushed mutations".to_string(),
             ));
         }
         let tables = self
@@ -1055,16 +1403,35 @@ impl HiddenStore {
         }
         let deltas = tables
             .iter()
-            .map(|t| TableDelta {
-                rows: 0,
-                columns: vec![ColumnDelta::default(); t.columns.len()],
-            })
+            .map(|t| TableDelta::empty(t.columns.len()))
             .collect();
+        let live = tables.iter().map(|t| LiveSet::new_full(t.rows)).collect();
         Ok(HiddenStore {
             volume: volume.clone(),
             tables,
             deltas,
+            live,
         })
+    }
+
+    /// Replace the per-table liveness with the sets a sealed image
+    /// carried (the tombstone half of the mount path). Universe sizes
+    /// must agree with the restored segments.
+    pub fn restore_liveness(&mut self, sets: &[LiveSet]) -> Result<()> {
+        if sets.len() != self.tables.len() {
+            return Err(GhostError::corrupt(
+                "sealed tombstone sets do not match the table count",
+            ));
+        }
+        for (t, s) in self.tables.iter().zip(sets) {
+            if s.universe() != t.rows {
+                return Err(GhostError::corrupt(
+                    "sealed tombstone universe disagrees with the segment row count",
+                ));
+            }
+        }
+        self.live = sets.to_vec();
+        Ok(())
     }
 }
 
@@ -1076,6 +1443,9 @@ pub struct KeyScan {
     width: usize,
     next_row: u32,
     rows: u32,
+    /// `(row, overlay key)` of overwritten base cells, ascending.
+    key_overrides: Vec<(u32, u64)>,
+    override_pos: usize,
     /// Delta `(row, key)` pairs served after the flash base.
     tail: Vec<(RowId, u64)>,
     tail_pos: usize,
@@ -1095,11 +1465,19 @@ impl KeyScan {
         self.next_row += 1;
         let mut buf = [0u8; 8];
         self.reader.read_exact(&mut buf[..self.width])?;
-        let key = if self.width == 8 {
+        let mut key = if self.width == 8 {
             u64::from_le_bytes(buf)
         } else {
             u32::from_le_bytes(buf[..4].try_into().expect("4B")) as u64
         };
+        // Overwritten cells substitute their overlay key (the stored
+        // byte was still consumed to keep the reader sequential).
+        if let Some(&(orow, okey)) = self.key_overrides.get(self.override_pos) {
+            if orow == row {
+                key = okey;
+                self.override_pos += 1;
+            }
+        }
         Ok(Some((RowId(row), key)))
     }
 }
@@ -1114,6 +1492,11 @@ pub struct FilterScan {
     next_row: u32,
     rows: u32,
     scanned: u64,
+    /// `(row, matches)` decisions for overwritten base cells,
+    /// ascending; the precomputed value-exact verdict overrides the
+    /// stored key's range test.
+    overrides: Vec<(u32, bool)>,
+    override_pos: usize,
     /// Pre-matched delta row ids served after the flash base.
     tail: Vec<RowId>,
     tail_pos: usize,
@@ -1133,7 +1516,14 @@ impl FilterScan {
             } else {
                 u32::from_le_bytes(buf[..4].try_into().expect("4B")) as u64
             };
-            if self.range.contains(key) {
+            let mut hit = self.range.contains(key);
+            if let Some(&(orow, omatch)) = self.overrides.get(self.override_pos) {
+                if orow == row {
+                    hit = omatch;
+                    self.override_pos += 1;
+                }
+            }
+            if hit {
                 return Ok(Some(RowId(row)));
             }
         }
@@ -1412,9 +1802,14 @@ mod tests {
         assert_eq!(got, vec![101]);
 
         // Flush: dictionary rebuilt (remap reported), reads unchanged.
-        let remaps = store.flush(&scope).unwrap();
-        assert_eq!(remaps.len(), 1);
-        assert_eq!(remaps[0].map, vec![0, 1, 2, 3], "prefix ranks preserved");
+        let remaps = store.flush(&scope, &schema).unwrap();
+        assert_eq!(remaps.dicts.len(), 1);
+        assert!(!remaps.any_compaction(), "no deletes, no id remap");
+        assert_eq!(
+            remaps.dicts[0].map,
+            vec![0, 1, 2, 3],
+            "prefix ranks preserved"
+        );
         assert_eq!(store.base_rows(t), 102);
         assert_eq!(store.delta_rows(t), 0);
         assert_eq!(
@@ -1439,6 +1834,129 @@ mod tests {
         assert_eq!(
             store.value(&scope, t, ColumnId(1), RowId(100)).unwrap(),
             Value::Date(Date(10_100))
+        );
+    }
+
+    /// Tombstones + overlays + the compacting flush: logical view stays
+    /// fixed across the physical renumbering.
+    #[test]
+    fn delete_update_flush_compacts() {
+        let (volume, scope, schema, data) = setup();
+        let (mut store, _) = HiddenStore::build(&volume, &scope, &schema, &data).unwrap();
+        let t = TableId(0);
+        let date = ColumnId(1);
+        let purpose = ColumnId(2);
+
+        // Kill rows 0..20 and overwrite row 25's purpose with a string
+        // outside the base dictionary.
+        let dead: Vec<u32> = (0..20).collect();
+        store.delete_rows_physical(t, &dead).unwrap();
+        assert_eq!(store.live_count(t), 80);
+        assert_eq!(store.row_count(t), 100, "physical universe unchanged");
+        assert_eq!(store.live_rank(t, RowId(25)), 5);
+        assert_eq!(store.select_live(t, 5).unwrap(), RowId(25));
+        let minted = store
+            .update_cell(t, purpose, RowId(25), &Value::Text("Zoster".into()))
+            .unwrap();
+        assert!(minted);
+        assert_eq!(
+            store.value(&scope, t, purpose, RowId(25)).unwrap(),
+            Value::Text("Zoster".into())
+        );
+        // Value-exact predicate semantics over the overlay.
+        assert!(store
+            .matches_at(
+                t,
+                purpose,
+                RowId(25),
+                ScalarOp::Eq,
+                &Value::Text("Zoster".into()),
+                None
+            )
+            .unwrap());
+        let scan = store
+            .predicate_scan(
+                &scope,
+                t,
+                purpose,
+                ScalarOp::Eq,
+                &Value::Text("Zoster".into()),
+            )
+            .unwrap();
+        let got: Vec<u32> = scan.map(|r| r.unwrap().0).collect();
+        assert_eq!(got, vec![25], "overlay match with a None base range");
+        assert_eq!(store.total_pending_mutations(), 21);
+
+        // Flush: dead rows dropped, survivors renumbered dense.
+        let remaps = store.flush(&scope, &schema).unwrap();
+        assert!(remaps.any_compaction());
+        assert_eq!(remaps.map_id(t, 5), None, "dead row has no new id");
+        assert_eq!(remaps.map_id(t, 25), Some(5));
+        assert_eq!(store.base_rows(t), 80);
+        assert_eq!(store.live_count(t), 80);
+        assert_eq!(store.total_pending_mutations(), 0);
+        // Old physical 25 is now row 5; its overlay merged, its date is
+        // the original one.
+        assert_eq!(
+            store.value(&scope, t, purpose, RowId(5)).unwrap(),
+            Value::Text("Zoster".into())
+        );
+        assert_eq!(
+            store.value(&scope, t, date, RowId(5)).unwrap(),
+            Value::Date(Date(10_025))
+        );
+        // "Zoster" is rank-encoded post-flush.
+        let range = store
+            .key_range(t, purpose, ScalarOp::Ge, &Value::Text("Zoster".into()))
+            .unwrap()
+            .unwrap();
+        let scan = store.filter_scan(&scope, t, purpose, range).unwrap();
+        let got: Vec<u32> = scan.map(|r| r.unwrap().0).collect();
+        assert_eq!(got, vec![5]);
+    }
+
+    /// Predicate translation between the logical and physical id spaces
+    /// (PK and FK constants).
+    #[test]
+    fn physical_predicate_translation() {
+        use ghostdb_catalog::Predicate;
+        let mut b = SchemaBuilder::new();
+        b.table("Parent", "pid")
+            .foreign_key("cid", "Child", Visibility::Hidden);
+        b.table("Child", "cid");
+        let schema = b.build().unwrap();
+        let mut data = Dataset::empty(&schema);
+        for i in 0..4i64 {
+            data.push_row(TableId(0), vec![Value::Int(i), Value::Int(i % 2)])
+                .unwrap();
+        }
+        for i in 0..6i64 {
+            data.push_row(TableId(1), vec![Value::Int(i)]).unwrap();
+        }
+        let cfg = FlashConfig {
+            page_size: 256,
+            pages_per_block: 8,
+            num_blocks: 256,
+            ..FlashConfig::default_2007()
+        };
+        let volume = Volume::new(Nand::new(cfg, SimClock::new()));
+        let scope = RamScope::new(&RamBudget::new(64 * 1024));
+        let (mut store, _) = HiddenStore::build(&volume, &scope, &schema, &data).unwrap();
+
+        // Identity while everything is live.
+        let p = Predicate::new(TableId(0), ColumnId(1), ScalarOp::Eq, Value::Int(1));
+        assert_eq!(store.physical_predicate(&schema, &p), p);
+
+        // Kill child physical 1: logical 1 now names physical 2.
+        store.delete_rows_physical(TableId(1), &[1]).unwrap();
+        let q = store.physical_predicate(&schema, &p);
+        assert_eq!(q.value, Value::Int(2));
+        // Attribute predicates pass through untouched; out-of-range
+        // logicals land past the physical universe (monotone).
+        let past = Predicate::new(TableId(0), ColumnId(1), ScalarOp::Lt, Value::Int(7));
+        assert_eq!(
+            store.physical_predicate(&schema, &past).value,
+            Value::Int(6 + (7 - 5))
         );
     }
 

@@ -11,17 +11,23 @@
 //! leak-freedom tests double-check by scanning its responses for hidden
 //! sentinels.
 
-use ghostdb_catalog::Schema;
+use std::collections::BTreeSet;
+
+use ghostdb_catalog::{ColumnRole, Schema};
 use ghostdb_types::{ColumnId, GhostError, Result, RowId, ScalarOp, TableId, Value, Wire};
 
 use crate::dataset::Dataset;
 
 /// Visible columns of one table (index = column id; `None` = hidden,
-/// stored on the device instead).
+/// stored on the device instead). `dead` mirrors the device's tombstone
+/// set: the device announces deleted row ids (public information — row
+/// identities, never hidden values) and the PC stops serving them until
+/// the next compaction drops them physically.
 #[derive(Debug, Default, Clone)]
 struct VisibleTable {
     rows: u32,
     columns: Vec<Option<Vec<Value>>>,
+    dead: BTreeSet<u32>,
 }
 
 /// The visible half of the database, held by the untrusted PC.
@@ -47,6 +53,7 @@ impl VisibleStore {
             tables.push(VisibleTable {
                 rows: tdata.rows() as u32,
                 columns,
+                dead: BTreeSet::new(),
             });
         }
         Ok(VisibleStore { tables })
@@ -119,7 +126,9 @@ impl VisibleStore {
         self.column(table, column).is_ok()
     }
 
-    /// Evaluate a visible selection; returns matching row ids ascending.
+    /// Evaluate a visible selection; returns matching **live** row ids
+    /// ascending (rows announced dead via the delete protocol are
+    /// skipped — they are no longer part of the public database).
     pub fn eval_predicate(
         &self,
         table: TableId,
@@ -128,8 +137,12 @@ impl VisibleStore {
         value: &Value,
     ) -> Result<Vec<RowId>> {
         let col = self.column(table, column)?;
+        let dead = &self.tables[table.index()].dead;
         let mut out = Vec::new();
         for (i, v) in col.iter().enumerate() {
+            if dead.contains(&(i as u32)) {
+                continue;
+            }
             if op.matches(v, value)? {
                 out.push(RowId(i as u32));
             }
@@ -139,7 +152,8 @@ impl VisibleStore {
 
     /// Fetch `(row id, value)` pairs of a visible column, ascending by
     /// row id, optionally restricted by a visible predicate on the same
-    /// table. This answers the projection protocol's `FetchColumn`.
+    /// table. Dead rows are skipped. This answers the projection
+    /// protocol's `FetchColumn`.
     pub fn fetch_column(
         &self,
         table: TableId,
@@ -151,8 +165,12 @@ impl VisibleStore {
             Some((c, _, _)) => Some(self.column(table, *c)?),
             None => None,
         };
+        let dead = &self.tables[table.index()].dead;
         let mut out = Vec::new();
         for (i, v) in col.iter().enumerate() {
+            if dead.contains(&(i as u32)) {
+                continue;
+            }
             if let (Some(fcol), Some((_, op, pv))) = (filter_col, &predicate) {
                 if !op.matches(&fcol[i], pv)? {
                     continue;
@@ -161,6 +179,121 @@ impl VisibleStore {
             out.push((RowId(i as u32), v.clone()));
         }
         Ok(out)
+    }
+
+    /// Mark rows dead (the PC side of the delete protocol). Ids are the
+    /// device's physical row ids; double deletes and out-of-range ids
+    /// are protocol errors.
+    pub fn delete_rows(&mut self, table: TableId, rows: &[RowId]) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table.index())
+            .ok_or_else(|| GhostError::exec(format!("PC has no table {table}")))?;
+        for r in rows {
+            if r.0 >= t.rows || !t.dead.insert(r.0) {
+                return Err(GhostError::exec(format!(
+                    "delete of {table} row {r} is out of range or repeated"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Overwrite the visible half of one updated row (the PC side of
+    /// `UPDATE`). The row must be live.
+    pub fn update_row(
+        &mut self,
+        table: TableId,
+        row: RowId,
+        values: &[(ColumnId, Value)],
+    ) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table.index())
+            .ok_or_else(|| GhostError::exec(format!("PC has no table {table}")))?;
+        if row.0 >= t.rows || t.dead.contains(&row.0) {
+            return Err(GhostError::exec(format!(
+                "update of {table} row {row}: row is not live"
+            )));
+        }
+        for (c, v) in values {
+            let col = t
+                .columns
+                .get_mut(c.index())
+                .and_then(|c| c.as_mut())
+                .ok_or_else(|| {
+                    GhostError::exec(format!("PC does not hold column {table}.{c} (hidden?)"))
+                })?;
+            col[row.index()] = v.clone();
+        }
+        Ok(())
+    }
+
+    /// Mirror the device's flush-time compaction: drop every dead row,
+    /// renumber the survivors dense, and rewrite primary-key and
+    /// foreign-key *values* to the new id space (the remaps are derived
+    /// from the dead sets the delete protocol already announced — no new
+    /// information crosses). Returns the compacted table ids.
+    pub fn compact(&mut self, schema: &Schema) -> Result<Vec<TableId>> {
+        let remaps: Vec<Option<Vec<u32>>> = self
+            .tables
+            .iter()
+            .map(|t| {
+                if t.dead.is_empty() {
+                    return None;
+                }
+                let mut map = Vec::with_capacity(t.rows as usize);
+                let mut next = 0u32;
+                for i in 0..t.rows {
+                    if t.dead.contains(&i) {
+                        map.push(u32::MAX);
+                    } else {
+                        map.push(next);
+                        next += 1;
+                    }
+                }
+                Some(map)
+            })
+            .collect();
+        let mut compacted = Vec::new();
+        for (ti, tdef) in schema.tables().iter().enumerate() {
+            let own = remaps[ti].as_ref();
+            if own.is_some() {
+                compacted.push(TableId(ti as u16));
+            }
+            for (ci, cdef) in tdef.columns.iter().enumerate() {
+                let key_remap = match cdef.role {
+                    ColumnRole::PrimaryKey => remaps[ti].as_ref(),
+                    ColumnRole::ForeignKey(target) => remaps[target.index()].as_ref(),
+                    ColumnRole::Attribute => None,
+                };
+                let table = &mut self.tables[ti];
+                let Some(col) = table.columns[ci].as_mut() else {
+                    continue;
+                };
+                let dead = &table.dead;
+                let mut out = Vec::with_capacity(col.len() - dead.len());
+                for (r, v) in col.iter().enumerate() {
+                    if own.is_some() && dead.contains(&(r as u32)) {
+                        continue;
+                    }
+                    out.push(match (key_remap, v.as_int()) {
+                        (Some(m), Some(id)) => {
+                            let n = m.get(id as usize).copied().filter(|&n| n != u32::MAX);
+                            Value::Int(n.ok_or_else(|| {
+                                GhostError::corrupt("live row references a deleted key")
+                            })? as i64)
+                        }
+                        _ => v.clone(),
+                    });
+                }
+                *col = out;
+            }
+            let t = &mut self.tables[ti];
+            t.rows -= t.dead.len() as u32;
+            t.dead.clear();
+        }
+        Ok(compacted)
     }
 }
 
@@ -183,6 +316,9 @@ impl Wire for VisibleTable {
         let t = VisibleTable {
             rows: u32::decode(buf)?,
             columns: Vec::<Option<Vec<Value>>>::decode(buf)?,
+            // Dead sets are transient: a seal always compacts first, so
+            // the snapshot is all-live by construction.
+            dead: BTreeSet::new(),
         };
         for c in t.columns.iter().flatten() {
             if c.len() != t.rows as usize {

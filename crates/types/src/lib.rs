@@ -18,6 +18,7 @@ mod clock;
 mod config;
 mod error;
 mod ids;
+mod liveset;
 mod scalar;
 mod sealed;
 mod stream;
@@ -28,6 +29,7 @@ pub use clock::{format_ns, SimClock, SimTime};
 pub use config::{BusConfig, CpuConfig, DeviceConfig, FlashConfig};
 pub use error::{GhostError, Result};
 pub use ids::{ColumnId, RowId, TableId};
+pub use liveset::{LiveFilter, LiveSet};
 pub use scalar::ScalarOp;
 pub use sealed::{DisplayTicket, Sealed};
 pub use stream::{

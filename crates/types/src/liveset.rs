@@ -1,0 +1,386 @@
+//! Row liveness: the per-table tombstone set behind `DELETE`/`UPDATE`.
+//!
+//! Every mutable structure in GhostDB addresses rows by **physical** id —
+//! the dense position a row was given when it entered the store. Deletes
+//! never renumber those ids in place (flash segments, SKTs and posting
+//! lists are direct-addressed by them); instead each table keeps a
+//! [`LiveSet`], a bitmap over its physical id space, and a delete simply
+//! clears a bit. The **logical** id space the user sees — dense primary
+//! keys over the *surviving* rows — is the rank space of this bitmap:
+//!
+//! * [`LiveSet::rank`] maps a physical id to its logical id (the number
+//!   of live rows below it);
+//! * [`LiveSet::select`] maps a logical id back to the physical row.
+//!
+//! Both are the identity while nothing is dead, so the insert-only fast
+//! paths are untouched. A delta flush physically compacts the store
+//! (dead rows dropped, survivors renumbered) and resets the set to
+//! all-live over the new, smaller universe.
+//!
+//! [`LiveFilter`] is the stream face of the set: it drops dead ids out
+//! of any ascending [`IdStream`] block-at-a-time, so the executor's
+//! galloping merge pipeline stays vectorized while tombstones are
+//! resident.
+
+use crate::error::{GhostError, Result};
+use crate::ids::RowId;
+use crate::stream::{IdBlock, IdStream};
+use crate::wire::Wire;
+
+/// A liveness bitmap over a table's physical row ids, with rank/select
+/// between the physical and logical (live-rank) id spaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveSet {
+    /// One bit per physical row; 1 = live.
+    words: Vec<u64>,
+    /// Physical universe size (live + dead).
+    len: u32,
+    /// Dead rows.
+    dead: u32,
+    /// `prefix[w]` = live rows in words `0..w` (kept fresh by mutators,
+    /// so `rank`/`select` are O(1)-ish on `&self`).
+    prefix: Vec<u32>,
+}
+
+impl Default for LiveSet {
+    fn default() -> Self {
+        LiveSet::new_full(0)
+    }
+}
+
+impl LiveSet {
+    /// An all-live set over `n` physical rows.
+    pub fn new_full(n: u32) -> LiveSet {
+        let words = n.div_ceil(64) as usize;
+        let mut s = LiveSet {
+            words: vec![u64::MAX; words],
+            len: n,
+            dead: 0,
+            prefix: Vec::new(),
+        };
+        // Mask the tail word so popcounts stay exact.
+        if !n.is_multiple_of(64) {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << (n % 64)) - 1;
+            }
+        }
+        s.rebuild_prefix();
+        s
+    }
+
+    fn rebuild_prefix(&mut self) {
+        self.prefix.clear();
+        self.prefix.reserve(self.words.len() + 1);
+        self.prefix.push(0);
+        let mut acc = 0u32;
+        for w in &self.words {
+            acc += w.count_ones();
+            self.prefix.push(acc);
+        }
+    }
+
+    /// Physical universe size (live + dead rows).
+    pub fn universe(&self) -> u32 {
+        self.len
+    }
+
+    /// Live rows.
+    pub fn live_count(&self) -> u32 {
+        self.len - self.dead
+    }
+
+    /// Dead rows.
+    pub fn dead_count(&self) -> u32 {
+        self.dead
+    }
+
+    /// True when no row has been deleted (rank/select are the identity).
+    pub fn all_live(&self) -> bool {
+        self.dead == 0
+    }
+
+    /// Grow the universe by one live row (an insert); returns its
+    /// physical id.
+    pub fn push_live(&mut self) -> u32 {
+        let id = self.len;
+        self.len += 1;
+        if id.is_multiple_of(64) {
+            self.words.push(1);
+            self.prefix
+                .push(self.prefix.last().copied().unwrap_or(0) + 1);
+        } else {
+            *self.words.last_mut().expect("non-empty") |= 1u64 << (id % 64);
+            *self.prefix.last_mut().expect("non-empty") += 1;
+        }
+        id
+    }
+
+    /// Is physical row `id` live? Out-of-range ids are dead.
+    #[inline]
+    pub fn is_live(&self, id: u32) -> bool {
+        id < self.len && (self.words[(id / 64) as usize] >> (id % 64)) & 1 == 1
+    }
+
+    /// Kill a batch of physical rows. Errors if any id is out of range,
+    /// already dead, or repeated in the batch (the callers validate
+    /// against the live view, so a double kill is a bug upstream) —
+    /// validated *before* any bit flips, so a failed call leaves the
+    /// set untouched.
+    pub fn kill_many(&mut self, ids: &[u32]) -> Result<()> {
+        for (i, &id) in ids.iter().enumerate() {
+            if !self.is_live(id) || ids[..i].contains(&id) {
+                return Err(GhostError::exec(format!(
+                    "row #{id} is not live (universe {}, {} dead)",
+                    self.len, self.dead
+                )));
+            }
+        }
+        for &id in ids {
+            self.words[(id / 64) as usize] &= !(1u64 << (id % 64));
+            self.dead += 1;
+        }
+        self.rebuild_prefix();
+        Ok(())
+    }
+
+    /// Logical id of physical row `id`: the number of live rows strictly
+    /// below it. (Only meaningful for live rows, but defined for all.)
+    #[inline]
+    pub fn rank(&self, id: u32) -> u32 {
+        if self.dead == 0 {
+            return id.min(self.len);
+        }
+        let id = id.min(self.len);
+        let w = (id / 64) as usize;
+        let below = if id.is_multiple_of(64) {
+            0
+        } else {
+            (self.words[w] & ((1u64 << (id % 64)) - 1)).count_ones()
+        };
+        self.prefix[w] + below
+    }
+
+    /// Physical id of the live row with logical id `rank`
+    /// (`rank < live_count`).
+    pub fn select(&self, rank: u32) -> Result<u32> {
+        if rank >= self.live_count() {
+            return Err(GhostError::exec(format!(
+                "logical row #{rank} out of range ({} live rows)",
+                self.live_count()
+            )));
+        }
+        if self.dead == 0 {
+            return Ok(rank);
+        }
+        // Find the word holding the (rank+1)-th live bit, then scan it.
+        let w = self.prefix.partition_point(|&p| p <= rank) - 1;
+        let mut remaining = rank - self.prefix[w];
+        let mut word = self.words[w];
+        loop {
+            let bit = word.trailing_zeros();
+            if remaining == 0 {
+                return Ok(w as u32 * 64 + bit);
+            }
+            word &= word - 1;
+            remaining -= 1;
+        }
+    }
+
+    /// The physical→new-dense remap a compaction applies: live rows map
+    /// to their rank, dead rows to `u32::MAX`.
+    pub fn compaction_remap(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        let mut next = 0u32;
+        for id in 0..self.len {
+            if self.is_live(id) {
+                out.push(next);
+                next += 1;
+            } else {
+                out.push(u32::MAX);
+            }
+        }
+        out
+    }
+
+    /// Iterate the live physical ids ascending.
+    pub fn iter_live(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).filter(move |&i| self.is_live(i))
+    }
+}
+
+impl Wire for LiveSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len.encode(out);
+        self.words.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        let len = u32::decode(buf)?;
+        let words = Vec::<u64>::decode(buf)?;
+        if words.len() != len.div_ceil(64) as usize {
+            return Err(GhostError::corrupt("liveness bitmap length mismatch"));
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last() {
+                if last & !((1u64 << (len % 64)) - 1) != 0 {
+                    return Err(GhostError::corrupt("liveness bitmap tail bits set"));
+                }
+            }
+        }
+        let live: u32 = words.iter().map(|w| w.count_ones()).sum();
+        let mut s = LiveSet {
+            words,
+            len,
+            dead: len - live,
+            prefix: Vec::new(),
+        };
+        s.rebuild_prefix();
+        Ok(s)
+    }
+}
+
+/// Drops dead ids out of an ascending [`IdStream`], block-at-a-time.
+///
+/// `next_block` pulls whole blocks from the inner stream and compacts
+/// the live ids in place, so the batched pipeline above (Bloom probes,
+/// SKT batches) keeps its per-block amortization; `seek_at_least`
+/// forwards to the inner stream's galloping seek and only falls back to
+/// scalar pulls across a (rare) run of dead ids.
+#[derive(Debug)]
+pub struct LiveFilter<'a, S> {
+    inner: S,
+    live: &'a LiveSet,
+    scratch: IdBlock,
+}
+
+impl<'a, S: IdStream> LiveFilter<'a, S> {
+    /// Filter `inner` through `live`.
+    pub fn new(inner: S, live: &'a LiveSet) -> Self {
+        LiveFilter {
+            inner,
+            live,
+            scratch: IdBlock::new(),
+        }
+    }
+}
+
+impl<S: IdStream> IdStream for LiveFilter<'_, S> {
+    fn next_id(&mut self) -> Result<Option<RowId>> {
+        while let Some(id) = self.inner.next_id()? {
+            if self.live.is_live(id.0) {
+                return Ok(Some(id));
+            }
+        }
+        Ok(None)
+    }
+
+    fn next_block(&mut self, block: &mut IdBlock) -> Result<()> {
+        block.clear();
+        loop {
+            self.inner.next_block(&mut self.scratch)?;
+            if self.scratch.is_empty() {
+                return Ok(());
+            }
+            for &id in self.scratch.as_slice() {
+                if self.live.is_live(id.0) {
+                    block.push(id);
+                }
+            }
+            if !block.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+
+    fn seek_at_least(&mut self, target: RowId) -> Result<Option<RowId>> {
+        match self.inner.seek_at_least(target)? {
+            None => Ok(None),
+            Some(id) if self.live.is_live(id.0) => Ok(Some(id)),
+            Some(_) => self.next_id(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, self.inner.size_hint().1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{collect_ids, VecIdStream};
+
+    #[test]
+    fn full_set_is_identity() {
+        let s = LiveSet::new_full(100);
+        assert!(s.all_live());
+        assert_eq!(s.rank(42), 42);
+        assert_eq!(s.select(42).unwrap(), 42);
+        assert_eq!(s.live_count(), 100);
+        assert!(s.is_live(99) && !s.is_live(100));
+    }
+
+    #[test]
+    fn kill_rank_select_roundtrip() {
+        let mut s = LiveSet::new_full(10);
+        s.kill_many(&[0, 3, 7]).unwrap();
+        assert_eq!(s.live_count(), 7);
+        assert!(!s.is_live(3) && s.is_live(4));
+        // Live physicals: 1,2,4,5,6,8,9 → logical 0..7.
+        let live: Vec<u32> = s.iter_live().collect();
+        assert_eq!(live, vec![1, 2, 4, 5, 6, 8, 9]);
+        for (logical, &phys) in live.iter().enumerate() {
+            assert_eq!(s.rank(phys), logical as u32, "rank of {phys}");
+            assert_eq!(s.select(logical as u32).unwrap(), phys);
+        }
+        assert!(s.select(7).is_err());
+        // Double kill is a caller bug.
+        assert!(s.kill_many(&[3]).is_err());
+        assert!(s.kill_many(&[10]).is_err());
+    }
+
+    #[test]
+    fn push_live_extends_universe() {
+        let mut s = LiveSet::new_full(63);
+        s.kill_many(&[5]).unwrap();
+        assert_eq!(s.push_live(), 63);
+        assert_eq!(s.push_live(), 64); // crosses a word boundary
+        assert_eq!(s.universe(), 65);
+        assert_eq!(s.live_count(), 64);
+        assert_eq!(s.rank(64), 63);
+        assert_eq!(s.select(63).unwrap(), 64);
+    }
+
+    #[test]
+    fn compaction_remap_matches_rank() {
+        let mut s = LiveSet::new_full(6);
+        s.kill_many(&[1, 4]).unwrap();
+        assert_eq!(s.compaction_remap(), vec![0, u32::MAX, 1, 2, u32::MAX, 3]);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut s = LiveSet::new_full(130);
+        s.kill_many(&[0, 64, 129]).unwrap();
+        let bytes = s.to_bytes();
+        let back: LiveSet = crate::wire::decode_all(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.rank(129), 127);
+    }
+
+    #[test]
+    fn live_filter_blocks_and_seeks() {
+        let mut s = LiveSet::new_full(3000);
+        let dead: Vec<u32> = (0..3000).filter(|i| i % 3 == 1).collect();
+        s.kill_many(&dead).unwrap();
+        let all: Vec<RowId> = (0..3000).map(RowId).collect();
+        let mut f = LiveFilter::new(VecIdStream::new(all.clone()), &s);
+        let got = collect_ids(&mut f).unwrap();
+        let expect: Vec<RowId> = (0..3000).filter(|i| i % 3 != 1).map(RowId).collect();
+        assert_eq!(got, expect);
+
+        // Seek lands on the first live id >= target.
+        let mut f = LiveFilter::new(VecIdStream::new(all), &s);
+        assert_eq!(f.seek_at_least(RowId(4)).unwrap(), Some(RowId(5)));
+        assert_eq!(f.next_id().unwrap(), Some(RowId(6)));
+    }
+}

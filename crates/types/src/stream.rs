@@ -94,6 +94,13 @@ impl IdBlock {
     pub fn as_slice(&self) -> &[RowId] {
         &self.ids
     }
+
+    /// Keep only the ids the predicate accepts (in place, order
+    /// preserved) — the primitive block-level filters compact with.
+    #[inline]
+    pub fn retain(&mut self, mut f: impl FnMut(RowId) -> bool) {
+        self.ids.retain(|&id| f(id));
+    }
 }
 
 /// A pull-based stream of row ids.

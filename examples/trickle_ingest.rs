@@ -1,7 +1,9 @@
-//! Trickle ingest: interleave post-load `INSERT`s with queries and let
-//! the spy report prove that nothing hidden leaks while the database
-//! grows — the scenario GhostDB's write path exists for (an append-heavy
-//! log that must stay queryable *and* private).
+//! Trickle ingest: interleave post-load `INSERT`s — and, since the
+//! write layer went full-DML, `UPDATE`s and `DELETE`s — with queries,
+//! and let the spy report prove that nothing hidden leaks while the
+//! database churns: the scenario GhostDB's write path exists for (an
+//! append-heavy log that must stay queryable, *expirable*, and
+//! private).
 //!
 //! Run with: `cargo run --release --example trickle_ingest`
 
@@ -79,18 +81,69 @@ fn main() -> Result<()> {
         );
     }
 
-    // 3. The pirate's view: the inserts' visible halves and the query
-    //    protocol crossed the bus — the hidden readings never did.
-    //    ('breach' does appear once: inside the public query *text*,
-    //    which the paper's model discloses by design. 'alert' was only
-    //    ever stored, and stored values must never cross.)
+    // 3. Records change and expire. An UPDATE rewrites hidden cells in
+    //    place (resolved breaches stand down); a DELETE retires the
+    //    early-morning readings — tombstoned now, physically compacted
+    //    away at the next flush. Both statements enter through the
+    //    device's secure port: their text (which names hidden values!)
+    //    never crosses the bus — the spy sees only the row identities
+    //    that churned.
+    for outcome in db
+        .execute("UPDATE Reading SET Status = 'resolved', Level = 987654 WHERE Status = 'breach'")?
+    {
+        if let ExecOutcome::Update(r) = outcome {
+            println!("\nupdate: {} breach reading(s) resolved", r.rows);
+        }
+    }
+    for outcome in db.execute("DELETE FROM Reading WHERE Hour < 6")? {
+        if let ExecOutcome::Delete(r) = outcome {
+            println!(
+                "delete: {} reading(s) retired{}",
+                r.rows,
+                if r.flushed {
+                    " (tripped the flush: dead rows compacted off flash)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+    let out = db.query(
+        "SELECT Read.ReadID, Read.Hour, Sen.Site FROM Reading Read, Sensor Sen \
+         WHERE Read.Status = 'resolved' AND Read.SenID = Sen.SenID",
+    )?;
+    println!(
+        "surviving resolved reading(s): {} (primary keys re-densified: {:?})",
+        out.rows.rows.len(),
+        out.rows
+            .rows
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect::<Vec<_>>()
+    );
+
+    // 4. The pirate's view: the inserts' visible halves, the query
+    //    protocol, and the mutation effects (DeleteRows/UpdateVisible/
+    //    CompactRows — row ids and public columns only) crossed the bus
+    //    — the hidden readings never did. ('breach' and 'resolved' do
+    //    each appear once: inside public query *text*, which the
+    //    paper's model discloses by design. 'alert' and the rewritten
+    //    levels were only ever stored, and stored values must never
+    //    cross.)
     println!("\n--- spy report (every byte that crossed the bus) ---");
     println!("{}", db.spy_report());
     assert!(
         !db.spy_sees_value(&Value::Text("alert".into())),
         "hidden status \"alert\" leaked"
     );
-    println!("spy saw hidden status \"alert\": no");
+    // 'resolved' crossed once — inside the public text of the *query*
+    // in step 3 (disclosed by design, like 'breach'); the updated
+    // hidden level 987654 was only ever stored and must not have.
+    assert!(
+        !db.spy_sees_value(&Value::Int(987_654)),
+        "updated hidden level leaked"
+    );
+    println!("spy saw hidden status \"alert\" / updated level 987654: no");
     assert!(
         db.spy_sees_value(&Value::Text("roof".into())),
         "visible site names should be spy-visible"

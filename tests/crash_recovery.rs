@@ -1,6 +1,6 @@
 //! Crash-injection recovery: cut power at **every** program/erase
-//! boundary of an insert + flush workload and prove each mount recovers
-//! a consistent, batch-atomic state.
+//! boundary of a mixed insert + delete + update + flush workload and
+//! prove each mount recovers a consistent, batch-atomic state.
 //!
 //! The harness arms the NAND's power-cut hook to fail after N
 //! state-changing operations, for every N from 0 up to the length of
@@ -8,12 +8,14 @@
 //! pages (half the interrupted page commits) and torn erases. After
 //! each cut the key is "replugged" (`disarm_power_cut`) and mounted;
 //! the recovered state must equal a fresh load of the base dataset plus
-//! some *prefix of whole batches* — never a partial batch, never a
-//! corrupted structure.
+//! some *prefix of whole batches* — all three WAL record kinds replay
+//! atomically; never a partial batch, never a corrupted structure. The
+//! mid-workload flush runs the full compaction (dead rows dropped,
+//! survivors renumbered, re-seal), so cuts land inside that too.
 
 use ghostdb::GhostDb;
 use ghostdb_storage::Dataset;
-use ghostdb_types::{DeviceConfig, TableId, Value};
+use ghostdb_types::{ColumnId, DeviceConfig, RowId, TableId, Value};
 
 const DDL: &str = "\
 CREATE TABLE Doctor ( \
@@ -72,28 +74,63 @@ fn base_dataset(schema: &ghostdb_catalog::Schema) -> Dataset {
     data
 }
 
-/// The workload's batches, in commit order: one doctor, then visit
-/// pairs (some carrying strings outside the base dictionary by way of
-/// "Migraine" being new to early prefixes — the delta-dictionary path).
-fn batches() -> Vec<(TableId, Vec<Vec<Value>>)> {
+/// One committed workload step (= one WAL record).
+#[derive(Clone)]
+enum Op {
+    Insert(TableId, Vec<Vec<Value>>),
+    /// Logical row ids.
+    Delete(TableId, Vec<u32>),
+    /// Logical row ids + assignments.
+    Update(TableId, Vec<u32>, Vec<(ColumnId, Value)>),
+}
+
+/// The workload's ops, in commit order: inserts (some carrying strings
+/// outside the base dictionary), a delete batch and an update batch
+/// before the mid-workload flush (so the compaction renumbers under
+/// them), and another delete + update after it (so they replay from the
+/// WAL on top of the re-sealed image).
+fn ops() -> Vec<Op> {
     let v = BASE_VISITS;
     let d = BASE_DOCTORS + 1;
     vec![
-        (TableId(0), vec![doctor(4)]),
-        (TableId(1), vec![visit(v, d), visit(v + 1, d)]),
-        (TableId(1), vec![visit(v + 2, d), visit(v + 3, d)]),
-        // The flush (a full merge + re-seal) happens after batch 2.
-        (TableId(1), vec![visit(v + 4, d), visit(v + 5, d)]),
+        Op::Insert(TableId(0), vec![doctor(4)]),
+        Op::Insert(TableId(1), vec![visit(v, d), visit(v + 1, d)]),
+        // Three visits die (logical ids 3, 10, 20).
+        Op::Delete(TableId(1), vec![3, 10, 20]),
+        Op::Update(
+            TableId(1),
+            vec![5, 17],
+            vec![
+                (ColumnId(2), Value::Text("Recovered".into())),
+                (ColumnId(1), Value::Int(7)),
+            ],
+        ),
+        // The flush (full compaction + re-seal) happens after op 3.
+        Op::Insert(TableId(1), vec![visit(v - 3 + 2, d), visit(v - 3 + 3, d)]),
+        Op::Delete(TableId(1), vec![0]),
+        Op::Update(TableId(1), vec![8], vec![(ColumnId(1), Value::Int(7))]),
     ]
 }
 
-/// Apply the insert + flush workload; any error (the injected cut)
-/// aborts it exactly where a real power loss would.
+/// Index of the op after which the workload flushes.
+const FLUSH_AFTER: usize = 3;
+
+/// Apply the mixed workload; any error (the injected cut) aborts it
+/// exactly where a real power loss would.
 fn run_workload(db: &mut GhostDb) -> ghostdb_types::Result<()> {
-    let batches = batches();
-    for (k, (table, rows)) in batches.iter().enumerate() {
-        db.insert_rows(*table, rows.clone())?;
-        if k == 2 {
+    for (k, op) in ops().into_iter().enumerate() {
+        match op {
+            Op::Insert(table, rows) => {
+                db.insert_rows(table, rows)?;
+            }
+            Op::Delete(table, rows) => {
+                db.delete_rows(table, rows.into_iter().map(RowId).collect())?;
+            }
+            Op::Update(table, rows, assignments) => {
+                db.update_rows(table, rows.into_iter().map(RowId).collect(), assignments)?;
+            }
+        }
+        if k == FLUSH_AFTER {
             db.flush_deltas()?;
         }
     }
@@ -116,16 +153,61 @@ const PROBES: &[&str] = &[
     "SELECT Doc.DocID FROM Doctor Doc WHERE Doc.Country = 'Spain'",
 ];
 
-/// Expected probe results after the first `k` batches committed, from a
-/// fresh load of base + prefix.
+/// Host-side mirror after the first `k` ops, with `Vec::remove`
+/// semantics — rows are stored without their primary key, which is the
+/// dense position. Only visits are mutated by the workload, and
+/// doctors are never deleted, so foreign keys need no renumbering.
+fn mirror_after(k: usize) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    let mut docs: Vec<Vec<Value>> = (0..BASE_DOCTORS).map(|i| doctor(i)[1..].to_vec()).collect();
+    let mut visits: Vec<Vec<Value>> = (0..BASE_VISITS)
+        .map(|i| visit(i, BASE_DOCTORS)[1..].to_vec())
+        .collect();
+    for op in ops().into_iter().take(k) {
+        match op {
+            Op::Insert(table, rows) => {
+                for r in rows {
+                    if table == TableId(0) {
+                        docs.push(r[1..].to_vec());
+                    } else {
+                        visits.push(r[1..].to_vec());
+                    }
+                }
+            }
+            Op::Delete(table, ids) => {
+                assert_eq!(table, TableId(1), "workload deletes visits only");
+                for &i in ids.iter().rev() {
+                    visits.remove(i as usize);
+                }
+            }
+            Op::Update(table, ids, assignments) => {
+                assert_eq!(table, TableId(1));
+                for &i in &ids {
+                    for (c, v) in &assignments {
+                        visits[i as usize][c.index() - 1] = v.clone();
+                    }
+                }
+            }
+        }
+    }
+    (docs, visits)
+}
+
+/// Expected probe results after the first `k` ops committed, from a
+/// fresh load of the mirror.
 fn reference_rows(k: usize) -> Vec<Vec<Vec<Value>>> {
     let stmts = ghostdb_sql::parse_statements(DDL).unwrap();
     let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
-    let mut data = base_dataset(&schema);
-    for (table, rows) in batches().into_iter().take(k) {
-        for r in rows {
-            data.push_row(table, r).unwrap();
-        }
+    let (docs, visits) = mirror_after(k);
+    let mut data = Dataset::empty(&schema);
+    for (i, r) in docs.into_iter().enumerate() {
+        let mut row = vec![Value::Int(i as i64)];
+        row.extend(r);
+        data.push_row(TableId(0), row).unwrap();
+    }
+    for (i, r) in visits.into_iter().enumerate() {
+        let mut row = vec![Value::Int(i as i64)];
+        row.extend(r);
+        data.push_row(TableId(1), row).unwrap();
     }
     let db = GhostDb::create(DDL, config(), &data).unwrap();
     PROBES
@@ -134,18 +216,10 @@ fn reference_rows(k: usize) -> Vec<Vec<Vec<Value>>> {
         .collect()
 }
 
-/// Row counts per table after `k` batches (batch-atomicity check).
+/// Row counts per table after `k` ops (batch-atomicity check).
 fn prefix_counts(k: usize) -> (u64, u64) {
-    let mut doctors = BASE_DOCTORS as u64;
-    let mut visits = BASE_VISITS as u64;
-    for (table, rows) in batches().into_iter().take(k) {
-        if table == TableId(0) {
-            doctors += rows.len() as u64;
-        } else {
-            visits += rows.len() as u64;
-        }
-    }
-    (doctors, visits)
+    let (docs, visits) = mirror_after(k);
+    (docs.len() as u64, visits.len() as u64)
 }
 
 /// Ops (programs + erases) the uninterrupted post-seal workload issues.
@@ -160,7 +234,7 @@ fn workload_ops() -> u64 {
 fn sweep(torn: bool) {
     let total = workload_ops();
     assert!(total > 20, "workload too small to be interesting: {total}");
-    let references: Vec<_> = (0..=batches().len()).map(reference_rows).collect();
+    let references: Vec<_> = (0..=ops().len()).map(reference_rows).collect();
     let mut seen_prefixes = std::collections::HashSet::new();
     for n in 0..total {
         let mut db = build_sealed();
@@ -176,27 +250,30 @@ fn sweep(torn: bool) {
         let db = GhostDb::mount(nand, config())
             .unwrap_or_else(|e| panic!("mount after cut at op {n} (torn={torn}): {e}"));
 
-        // Batch atomicity: the recovered cardinalities must match some
-        // whole-batch prefix...
+        // Batch atomicity: the recovered state must be *exactly* some
+        // whole-op prefix — cardinalities AND every probe's rows (an
+        // update batch leaves counts unchanged, so counts alone cannot
+        // identify the prefix).
         let doctors = db.stats().rows(TableId(0));
         let visits = db.stats().rows(TableId(1));
-        let k = (0..=batches().len())
-            .find(|&k| prefix_counts(k) == (doctors, visits))
+        let probed: Vec<_> = PROBES
+            .iter()
+            .map(|sql| db.query(sql).unwrap().rows.rows)
+            .collect();
+        let k = (0..=ops().len())
+            .find(|&k| prefix_counts(k) == (doctors, visits) && references[k] == probed)
             .unwrap_or_else(|| {
-                panic!("cut at op {n} (torn={torn}): ({doctors}, {visits}) is no batch prefix")
+                panic!(
+                    "cut at op {n} (torn={torn}): recovered state \
+                     ({doctors} doctors, {visits} visits) matches no whole-op prefix"
+                )
             });
         seen_prefixes.insert(k);
-        // ...and every probe must answer exactly like a fresh load of
-        // that prefix.
-        for (sql, expect) in PROBES.iter().zip(&references[k]) {
-            let got = db.query(sql).unwrap().rows.rows;
-            assert_eq!(&got, expect, "cut at op {n} (torn={torn}): {sql}");
-        }
     }
     // The sweep must actually exercise intermediate prefixes, not just
     // all-or-nothing.
     assert!(
-        seen_prefixes.len() >= 3,
+        seen_prefixes.len() >= 4,
         "sweep saw only prefixes {seen_prefixes:?}"
     );
 }
@@ -220,7 +297,7 @@ fn uninterrupted_run_remounts_complete() {
     let nand = db.nand().clone();
     drop(db);
     let db = GhostDb::mount(nand, config()).unwrap();
-    let all = batches().len();
+    let all = ops().len();
     assert_eq!(
         (db.stats().rows(TableId(0)), db.stats().rows(TableId(1))),
         prefix_counts(all)

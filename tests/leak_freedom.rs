@@ -218,6 +218,75 @@ fn inserted_hidden_values_never_cross_the_bus() {
     assert!(!db.spy_sees_value(&Value::Int(INS_INT)));
 }
 
+/// The mutation protocol's disclosure set is row **identities** only:
+/// delete a row whose hidden half holds a sentinel, overwrite another
+/// with a fresh sentinel, flush (physical compaction + PC mirror
+/// compaction), seal — at every point the spy trace carries
+/// `DeleteRows`/`UpdateVisible`/`CompactRows` frames with ids and
+/// visible halves, and zero hidden bytes.
+#[test]
+fn deleted_hidden_values_never_cross_the_bus() {
+    const UPD_TEXT: &str = "XQZ-SENTINEL-UPDATED-31415";
+    const UPD_INT: i64 = -227_755_889_911;
+    let mut db = build();
+    db.clear_trace();
+
+    // Row 137 holds the text sentinel, row 201 the int sentinel.
+    db.execute("DELETE FROM Record WHERE RecID = 137").unwrap();
+    db.execute(&format!(
+        "UPDATE Record SET Diagnosis = '{UPD_TEXT}', SecretScore = {UPD_INT}, \
+         Vitals = 999 WHERE RecID = 150"
+    ))
+    .unwrap();
+    db.execute("DELETE FROM Record WHERE Vitals = 20").unwrap();
+
+    // The spy saw the churn (frames with row ids), never the values.
+    let kinds: Vec<&str> = db.trace().spy_frames().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&"DeleteRows"), "{kinds:?}");
+    assert!(kinds.contains(&"UpdateVisible"), "{kinds:?}");
+    assert_no_sentinel(&db, "delete/update batches");
+    assert!(!db.spy_sees_value(&Value::Text(UPD_TEXT.into())));
+    assert!(!db.spy_sees_value(&Value::Int(UPD_INT)));
+
+    // Queries over the tombstone-resident state stay clean on every plan.
+    let sql = "SELECT Rec.RecID, Rec.Diagnosis FROM Record Rec WHERE Rec.SecretScore <= -1";
+    for cp in db.plans(sql).unwrap() {
+        db.clear_trace();
+        let out = db.query_with_plan(sql, &cp.plan).unwrap();
+        assert!(out
+            .rows
+            .rows
+            .iter()
+            .any(|r| r[1] == Value::Text(UPD_TEXT.into())));
+        assert_no_sentinel(&db, &format!("tombstone-resident plan {}", cp.plan.label));
+        assert!(!db.spy_sees_value(&Value::Text(UPD_TEXT.into())));
+    }
+
+    // The merge: dead rows physically dropped, PC compacted in lockstep.
+    db.clear_trace();
+    assert!(db.flush_deltas().is_ok());
+    let kinds: Vec<&str> = db.trace().spy_frames().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&"CompactRows"), "{kinds:?}");
+    assert_no_sentinel(&db, "post-delete flush");
+    assert!(!db.spy_sees_value(&Value::Text(UPD_TEXT.into())));
+    assert!(!db.spy_sees_value(&Value::Int(UPD_INT)));
+
+    // Seal after the mutations: still zero hidden bytes on the link.
+    db.clear_trace();
+    db.seal().unwrap();
+    assert_eq!(db.trace().spy_bytes(), 0, "seal is off-bus");
+    assert_no_sentinel(&db, "post-mutation seal");
+
+    // And the updated sentinel still answers queries (display only).
+    let out = db
+        .query(&format!(
+            "SELECT Rec.Diagnosis FROM Record Rec WHERE Rec.SecretScore = {UPD_INT}"
+        ))
+        .unwrap();
+    assert_eq!(out.rows.rows.len(), 1);
+    assert!(!db.spy_sees_value(&Value::Int(UPD_INT)));
+}
+
 /// Durability stays entirely on the device side of the spied link:
 /// `seal()` programs the NAND directly (zero bus frames), and a
 /// mount's WAL replay re-transmits only the visible halves — the

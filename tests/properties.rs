@@ -362,6 +362,301 @@ mod insert_equivalence {
     }
 }
 
+mod mutation_equivalence {
+    //! The full-DML ground truth (PR 5 acceptance): after any random
+    //! interleaving of insert/delete/update batches, every enumerated
+    //! plan on either pipeline returns exactly what the same query
+    //! returns on a fresh `GhostDb::create` of **the surviving rows** —
+    //! survivors renumbered dense, foreign keys re-pointed, updated
+    //! values in place (`Vec::remove` semantics). Held in three states:
+    //! tombstone-resident (before any flush), physically compacted
+    //! (after `flush_deltas`), and across a seal → power-cut → mount
+    //! (mutations committed after the seal replay from the WAL).
+
+    use ghostdb::GhostDb;
+    use ghostdb_storage::Dataset;
+    use ghostdb_types::{ColumnId, DeviceConfig, RowId, TableId, Value};
+    use proptest::prelude::*;
+
+    const DDL: &str = "\
+        CREATE TABLE Child (
+          cid INTEGER PRIMARY KEY,
+          vis INTEGER,
+          hid INTEGER HIDDEN,
+          tag CHAR(12) HIDDEN);
+        CREATE TABLE Root (
+          rid INTEGER PRIMARY KEY,
+          amt INTEGER HIDDEN,
+          cid REFERENCES Child(cid) HIDDEN);";
+
+    /// Host-side oracle: plain vectors mutated with `Vec::remove`
+    /// semantics — exactly the logical view the engine must expose.
+    #[derive(Clone, Default)]
+    struct Mirror {
+        /// (vis, hid, tag) per live child, dense.
+        children: Vec<(i64, i64, String)>,
+        /// (amt, cid) per live root, dense; cid indexes `children`.
+        roots: Vec<(i64, i64)>,
+    }
+
+    impl Mirror {
+        fn dataset(&self, schema: &ghostdb_catalog::Schema) -> Dataset {
+            let mut d = Dataset::empty(schema);
+            for (i, (vis, hid, tag)) in self.children.iter().enumerate() {
+                d.push_row(
+                    TableId(0),
+                    vec![
+                        Value::Int(i as i64),
+                        Value::Int(*vis),
+                        Value::Int(*hid),
+                        Value::Text(tag.clone()),
+                    ],
+                )
+                .unwrap();
+            }
+            for (i, (amt, cid)) in self.roots.iter().enumerate() {
+                d.push_row(
+                    TableId(1),
+                    vec![Value::Int(i as i64), Value::Int(*amt), Value::Int(*cid)],
+                )
+                .unwrap();
+            }
+            d
+        }
+
+        fn referenced(&self, cid: i64) -> bool {
+            self.roots.iter().any(|(_, c)| *c == cid)
+        }
+    }
+
+    /// Apply `steps` random mutation batches to both the engine and the
+    /// mirror.
+    fn mutate(
+        db: &mut GhostDb,
+        mirror: &mut Mirror,
+        next: &mut impl FnMut() -> i64,
+        steps: usize,
+        tags: usize,
+    ) {
+        for _ in 0..steps {
+            match next().rem_euclid(6) {
+                // Insert children.
+                0 => {
+                    let n = 1 + next().rem_euclid(3) as usize;
+                    let start = mirror.children.len();
+                    let mut batch = Vec::new();
+                    for k in 0..n {
+                        let (vis, hid) = (next() % 50, next() % 50);
+                        let tag = format!("tag-{}", next().rem_euclid(tags as i64));
+                        batch.push(vec![
+                            Value::Int((start + k) as i64),
+                            Value::Int(vis),
+                            Value::Int(hid),
+                            Value::Text(tag.clone()),
+                        ]);
+                        mirror.children.push((vis, hid, tag));
+                    }
+                    db.insert_rows(TableId(0), batch).unwrap();
+                }
+                // Insert roots.
+                1 => {
+                    if mirror.children.is_empty() {
+                        continue;
+                    }
+                    let n = 1 + next().rem_euclid(4) as usize;
+                    let start = mirror.roots.len();
+                    let mut batch = Vec::new();
+                    for k in 0..n {
+                        let amt = next() % 50;
+                        let cid = next().rem_euclid(mirror.children.len() as i64);
+                        batch.push(vec![
+                            Value::Int((start + k) as i64),
+                            Value::Int(amt),
+                            Value::Int(cid),
+                        ]);
+                        mirror.roots.push((amt, cid));
+                    }
+                    db.insert_rows(TableId(1), batch).unwrap();
+                }
+                // Delete roots (freely: nothing references the root).
+                2 => {
+                    if mirror.roots.is_empty() {
+                        continue;
+                    }
+                    let mut picks: Vec<u32> = (0..1 + next().rem_euclid(3))
+                        .map(|_| next().rem_euclid(mirror.roots.len() as i64) as u32)
+                        .collect();
+                    picks.sort_unstable();
+                    picks.dedup();
+                    db.delete_rows(TableId(1), picks.iter().map(|&r| RowId(r)).collect())
+                        .unwrap();
+                    for &r in picks.iter().rev() {
+                        mirror.roots.remove(r as usize);
+                    }
+                }
+                // Delete one unreferenced child (RESTRICT-safe).
+                3 => {
+                    let free: Vec<usize> = (0..mirror.children.len())
+                        .filter(|&c| !mirror.referenced(c as i64))
+                        .collect();
+                    if free.is_empty() {
+                        continue;
+                    }
+                    let c = free[next().rem_euclid(free.len() as i64) as usize];
+                    db.delete_rows(TableId(0), vec![RowId(c as u32)]).unwrap();
+                    mirror.children.remove(c);
+                    for (_, cid) in mirror.roots.iter_mut() {
+                        assert_ne!(*cid, c as i64, "picked a referenced child");
+                        if *cid > c as i64 {
+                            *cid -= 1;
+                        }
+                    }
+                }
+                // Update a child: visible vis + hidden tag (dict strings,
+                // sometimes outside every dictionary so far).
+                4 => {
+                    if mirror.children.is_empty() {
+                        continue;
+                    }
+                    let c = next().rem_euclid(mirror.children.len() as i64) as usize;
+                    let vis = next() % 50;
+                    let tag = format!("tag-{}", next().rem_euclid((2 * tags) as i64));
+                    db.update_rows(
+                        TableId(0),
+                        vec![RowId(c as u32)],
+                        vec![
+                            (ColumnId(1), Value::Int(vis)),
+                            (ColumnId(3), Value::Text(tag.clone())),
+                        ],
+                    )
+                    .unwrap();
+                    mirror.children[c].0 = vis;
+                    mirror.children[c].2 = tag;
+                }
+                // Update hidden integers on a couple of roots.
+                _ => {
+                    if mirror.roots.is_empty() {
+                        continue;
+                    }
+                    let mut picks: Vec<u32> = (0..1 + next().rem_euclid(2))
+                        .map(|_| next().rem_euclid(mirror.roots.len() as i64) as u32)
+                        .collect();
+                    picks.sort_unstable();
+                    picks.dedup();
+                    let amt = next() % 50;
+                    db.update_rows(
+                        TableId(1),
+                        picks.iter().map(|&r| RowId(r)).collect(),
+                        vec![(ColumnId(1), Value::Int(amt))],
+                    )
+                    .unwrap();
+                    for &r in &picks {
+                        mirror.roots[r as usize].0 = amt;
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+        #[test]
+        fn mutated_and_fresh_loaded_agree(
+            seed in any::<u64>(),
+            base_children in 3usize..10,
+            base_roots in 6usize..24,
+            steps in 4usize..14,
+            hidden_cut in 0i64..50,
+            tag_pick in 0usize..12,
+        ) {
+            let mut state = seed | 1;
+            let mut next = move || -> i64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as i64
+            };
+            let stmts = ghostdb_sql::parse_statements(DDL).unwrap();
+            let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
+
+            // Base load.
+            let mut mirror = Mirror::default();
+            for _ in 0..base_children {
+                let (vis, hid) = (next() % 50, next() % 50);
+                let tag = format!("tag-{}", next().rem_euclid(6));
+                mirror.children.push((vis, hid, tag));
+            }
+            for _ in 0..base_roots {
+                let amt = next() % 50;
+                let cid = next().rem_euclid(mirror.children.len() as i64);
+                mirror.roots.push((amt, cid));
+            }
+            let base = mirror.dataset(&schema);
+            let config = DeviceConfig::default_2007().with_delta_flush_rows(0);
+            let mut db = GhostDb::create(DDL, config.clone(), &base).unwrap();
+
+            // Random interleaved mutations.
+            mutate(&mut db, &mut mirror, &mut next, steps, 6);
+
+            let queries = [
+                format!(
+                    "SELECT Root.rid, Child.tag FROM Root, Child \
+                     WHERE Child.tag = 'tag-{tag_pick}' AND Root.cid = Child.cid"
+                ),
+                format!(
+                    "SELECT Root.rid, Child.hid FROM Root, Child \
+                     WHERE Child.hid >= {hidden_cut} AND Child.vis < 40 \
+                       AND Root.cid = Child.cid"
+                ),
+                "SELECT Child.cid, Child.tag FROM Child WHERE Child.tag >= 'tag-3'".to_string(),
+                format!("SELECT Root.rid, Root.cid FROM Root WHERE Root.amt <= {hidden_cut}"),
+            ];
+            let check = |db: &GhostDb, oracle: &GhostDb, phase: &str| {
+                for sql in &queries {
+                    let expect = oracle.query(sql).unwrap().rows.rows;
+                    let spec = db.bind(sql).unwrap();
+                    for cp in db.plans(sql).unwrap() {
+                        let blocked = db.run(&spec, &cp.plan).unwrap();
+                        prop_assert_eq!(
+                            &blocked.rows.rows, &expect,
+                            "{}/blocked plan {}: {}", phase, cp.plan.label, sql
+                        );
+                        let scalar = db.run_scalar(&spec, &cp.plan).unwrap();
+                        prop_assert_eq!(
+                            &scalar.rows.rows, &expect,
+                            "{}/scalar plan {}: {}", phase, cp.plan.label, sql
+                        );
+                    }
+                }
+            };
+
+            // Phase 1: tombstone-resident (no flush has run).
+            let fresh = GhostDb::create(DDL, config.clone(), &mirror.dataset(&schema)).unwrap();
+            prop_assert_eq!(db.stats().rows(TableId(0)), mirror.children.len() as u64);
+            prop_assert_eq!(db.stats().rows(TableId(1)), mirror.roots.len() as u64);
+            check(&db, &fresh, "tombstone-resident");
+
+            // Phase 2: physically compacted.
+            db.flush_deltas().unwrap();
+            prop_assert_eq!(db.delta_rows(), 0);
+            check(&db, &fresh, "compacted");
+
+            // Phase 3: seal, mutate again (WAL-resident), power-cut,
+            // mount — the replayed state must match the updated mirror.
+            db.seal().unwrap();
+            mutate(&mut db, &mut mirror, &mut next, steps / 2 + 1, 6);
+            let nand = db.nand().clone();
+            drop(db);
+            let db = GhostDb::mount(nand, config.clone()).unwrap();
+            let fresh = GhostDb::create(DDL, config, &mirror.dataset(&schema)).unwrap();
+            prop_assert_eq!(db.stats().rows(TableId(0)), mirror.children.len() as u64);
+            prop_assert_eq!(db.stats().rows(TableId(1)), mirror.roots.len() as u64);
+            check(&db, &fresh, "wal-replayed");
+        }
+    }
+}
+
 mod seal_mount_equivalence {
     //! The durability subsystem's ground truth (PR 4 acceptance): a
     //! database sealed to flash, "unplugged" (dropped), and remounted
