@@ -295,9 +295,10 @@ impl GhostDb {
             visible,
             tombstones,
             l2p,
+            bad_blocks,
         } = loaded.image;
         let reserved = config.flash.reserved_blocks();
-        let volume = Volume::mount(nand.clone(), reserved, l2p)?;
+        let volume = Volume::mount(nand.clone(), reserved, l2p, &bad_blocks)?;
         let tree = TreeSchema::analyze(&schema)?;
         let mut hidden = HiddenStore::restore(&volume, &hidden)?;
         hidden.restore_liveness(&tombstones)?;
@@ -344,6 +345,14 @@ impl GhostDb {
             meta_segments,
             l2p_entries,
         });
+        if opened.truncated {
+            // Replay stopped at the last good record: a committed batch
+            // rotted away, so the WAL's surviving tail describes state
+            // this instance no longer has. Re-seal immediately — the new
+            // epoch makes the stale tail unreadable and the part
+            // reflects exactly what replay recovered.
+            db.seal()?;
+        }
         Ok(db)
     }
 
@@ -1082,6 +1091,7 @@ impl GhostDb {
                 .map(|t| self.hidden.liveness(TableId(t as u16)).clone())
                 .collect(),
             l2p: self.volume.l2p_snapshot(),
+            bad_blocks: self.volume.nand().grown_bad_blocks(),
         };
         let meta_segments = image.metadata_segment_count();
         let l2p_entries = image.l2p.len();
@@ -1268,13 +1278,25 @@ impl GhostDb {
                 d.wal.records(),
             ),
         };
+        let rel = self.volume.reliability();
+        let reliability = format!(
+            "{} corrected read(s), {} uncorrectable, {} of {} spare block(s) used, \
+             {} page(s) scrubbed",
+            rel.corrected,
+            rel.uncorrectable,
+            rel.retired_blocks,
+            rel.spare_blocks,
+            rel.scrubbed_pages,
+        );
         format!(
-            "flash: {}/{} blocks free, {} live pages; indexes: {}; durability: {}; wear: {}",
+            "flash: {}/{} blocks free, {} live pages; indexes: {}; durability: {}; \
+             reliability: {}; wear: {}",
             usage.free_blocks,
             usage.total_blocks,
             usage.live_pages,
             self.indexes.describe(),
             durability,
+            reliability,
             self.wear_report(),
         )
     }

@@ -28,14 +28,49 @@
 //! live pages out from under open readers and long-lived datasets — with
 //! wear-aware victim and destination selection. See the `volume` module
 //! docs for the full design.
+//!
+//! # Error model (who assumes what)
+//!
+//! Real USB-key flash dies slowly, and each layer of this crate assumes a
+//! precisely bounded slice of that decay:
+//!
+//! * **[`Nand`]** is the fault *injector*, never a corrector. Armed via
+//!   [`Nand::arm_bit_rot`] (per-read retention flips plus read-disturb),
+//!   [`Nand::arm_program_failures`] / [`Nand::arm_erase_failures`] (blocks
+//!   grow bad mid-operation), and the PR 4 power cut, it delivers raw bits
+//!   exactly as stored — rotted or not — and reports program/erase
+//!   failures as errors after marking the block grown-bad. The built-in
+//!   rot injector self-bounds at **one flip per page per program cycle**;
+//!   [`Nand::corrupt_page`] is the unbounded escape hatch for past-budget
+//!   tests.
+//! * **[`Volume`]** assumes at most one flipped bit per page between
+//!   programs (the [`ecc`] codeword's correction budget), that a grown-bad
+//!   block's already-programmed pages stay *readable* (the defect is in
+//!   program/erase), and that failures are per-block, bounded by
+//!   [`spare_blocks`](ghostdb_types::FlashConfig::spare_blocks). Within
+//!   those assumptions every read is served corrected, bad blocks are
+//!   retired and their live pages evacuated, and pages nearing the rot
+//!   budget are scrubbed to fresh cells. Past them, reads fail with a
+//!   clean `corrupt` error ("uncorrectable bit errors") and retirement
+//!   fails with "flash part worn out" — never silent corruption.
+//! * **`ghostdb-persist` and above** assume the volume's usable page
+//!   ([`Volume::page_size`]) is reliable-or-error: layers above the volume
+//!   never see a flipped bit. The durability layer seals the same
+//!   codeword onto its own (reserved-region) meta and WAL pages, so a
+//!   rotted superblock falls back to the older epoch slot and a rotted
+//!   WAL page ends replay at the last good record.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ecc;
 mod nand;
 mod volume;
 
-pub use nand::{BlockId, FlashStats, Nand, PageAddr, PageState, POWER_CUT_MSG};
+pub use nand::{
+    BlockId, FlashStats, Nand, PageAddr, PageState, ERASE_FAIL_MSG, POWER_CUT_MSG, PROGRAM_FAIL_MSG,
+};
 pub use volume::{
-    GcStats, Segment, SegmentManifest, SegmentReader, SegmentWriter, Volume, VolumeUsage,
+    GcStats, ReliabilityStats, ScrubReport, Segment, SegmentManifest, SegmentReader, SegmentWriter,
+    Volume, VolumeUsage,
 };

@@ -54,14 +54,18 @@ pub struct FlashStats {
 }
 
 impl FlashStats {
-    /// Pointwise difference against an earlier snapshot.
+    /// Pointwise difference against an earlier snapshot. Saturating, so
+    /// a swapped or stale snapshot pair reports zeros instead of
+    /// panicking on u64 underflow.
     pub fn since(&self, earlier: &FlashStats) -> FlashStats {
         FlashStats {
-            page_reads: self.page_reads - earlier.page_reads,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            page_programs: self.page_programs - earlier.page_programs,
-            bytes_programmed: self.bytes_programmed - earlier.bytes_programmed,
-            block_erases: self.block_erases - earlier.block_erases,
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            page_programs: self.page_programs.saturating_sub(earlier.page_programs),
+            bytes_programmed: self
+                .bytes_programmed
+                .saturating_sub(earlier.bytes_programmed),
+            block_erases: self.block_erases.saturating_sub(earlier.block_erases),
         }
     }
 }
@@ -84,6 +88,60 @@ struct NandState {
     wear: Vec<u32>,
     /// Armed power-cut fault (crash-injection harness).
     power_cut: Option<PowerCut>,
+    /// Armed retention/read-disturb bit-rot fault.
+    bit_rot: Option<BitRot>,
+    /// Armed per-program grown-bad-block fault.
+    program_fail: Option<FaultArm>,
+    /// Armed per-erase grown-bad-block fault.
+    erase_fail: Option<FaultArm>,
+    /// Per-block grown-bad flags. Persistent: once a block trips a
+    /// program/erase failure it stays bad across disarms (a physical
+    /// defect, not an armed hook). Reads keep working.
+    grown_bad: Vec<bool>,
+    /// Per-block read counters driving the read-disturb model; reset
+    /// when bit rot is armed.
+    block_reads: Vec<u32>,
+    /// Per-page count of rot flips injected since the page was last
+    /// programmed/erased. The injector bounds itself at one flip per
+    /// page per program cycle — the SECDED correction budget — so an
+    /// armed fault is always recoverable; tests exceed the budget
+    /// explicitly with [`Nand::corrupt_page`].
+    rot_flips: Vec<u8>,
+    /// Total rot flips injected (observability for fault tests).
+    flips_injected: u64,
+}
+
+/// Deterministic splitmix64 step — the seedable fault model's PRNG.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a PRNG draw onto [0, 1).
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Armed retention + read-disturb fault: each read of a programmed page
+/// flips one stored bit with probability `flip_prob`, and every
+/// `disturb_every`-th read of a block flips one stored bit in a random
+/// programmed page of that block.
+#[derive(Debug, Clone, Copy)]
+struct BitRot {
+    rng: u64,
+    flip_prob: f64,
+    disturb_every: u32,
+}
+
+/// Armed grown-bad-block fault: each program (or erase) trips with
+/// probability `prob`, permanently marking the block bad.
+#[derive(Debug, Clone, Copy)]
+struct FaultArm {
+    rng: u64,
+    prob: f64,
 }
 
 /// Fault-injection state: "the user yanks the key" after a set number of
@@ -105,6 +163,12 @@ struct PowerCut {
 /// tests (and callers deciding whether a failure is injected or real)
 /// match on it.
 pub const POWER_CUT_MSG: &str = "simulated power cut";
+
+/// Message carried by a program that tripped the armed grown-bad fault.
+pub const PROGRAM_FAIL_MSG: &str = "simulated program failure: block grown bad";
+
+/// Message carried by an erase that tripped the armed grown-bad fault.
+pub const ERASE_FAIL_MSG: &str = "simulated erase failure: block grown bad";
 
 /// The simulated NAND part. Cheap to clone (shared state).
 #[derive(Clone)]
@@ -135,6 +199,13 @@ impl Nand {
                 pages: vec![PageState::Erased; pages],
                 wear: vec![0; cfg.num_blocks],
                 power_cut: None,
+                bit_rot: None,
+                program_fail: None,
+                erase_fail: None,
+                grown_bad: vec![false; cfg.num_blocks],
+                block_reads: vec![0; cfg.num_blocks],
+                rot_flips: vec![0; pages],
+                flips_injected: 0,
             })),
             stats: Arc::new(AtomicStats::default()),
             cfg,
@@ -191,7 +262,10 @@ impl Nand {
                 self.cfg.page_size
             )));
         }
-        let state = self.state.lock().expect("nand poisoned");
+        let mut state = self.state.lock().expect("nand poisoned");
+        if state.bit_rot.is_some() {
+            self.inject_rot(&mut state, page);
+        }
         let base = page.index() * self.cfg.page_size + offset;
         buf.copy_from_slice(&state.data[base..base + buf.len()]);
         drop(state);
@@ -235,6 +309,143 @@ impl Nand {
             .unwrap_or(false)
     }
 
+    /// Arm the bit-rot fault: every read of a programmed page flips one
+    /// stored bit of that page with probability `flip_prob`, and every
+    /// `disturb_every`-th read of a block flips one stored bit in a
+    /// random programmed page of the block (read disturb; `0` disables
+    /// the disturb component). Flips are **persistent** — they corrupt
+    /// the stored array, not the returned copy — and deterministic for
+    /// a given seed and operation sequence. The injector never puts a
+    /// second flip into a page that still carries an unrepaired one, so
+    /// armed rot always stays within the volume's single-bit correction
+    /// budget; use [`corrupt_page`](Self::corrupt_page) to exceed it.
+    pub fn arm_bit_rot(&self, seed: u64, flip_prob: f64, disturb_every: u32) {
+        let mut state = self.state.lock().expect("nand poisoned");
+        state.block_reads.fill(0);
+        state.bit_rot = Some(BitRot {
+            rng: seed ^ 0xB17_F11B5,
+            flip_prob,
+            disturb_every,
+        });
+    }
+
+    /// Disarm the bit-rot fault. Flips already injected stay in the
+    /// array (they are physical), but no new ones land.
+    pub fn disarm_bit_rot(&self) {
+        self.state.lock().expect("nand poisoned").bit_rot = None;
+    }
+
+    /// Rot flips injected so far (fault-test observability).
+    pub fn flips_injected(&self) -> u64 {
+        self.state.lock().expect("nand poisoned").flips_injected
+    }
+
+    /// Arm the program-failure fault: each page program trips with
+    /// probability `prob`, committing garbage (half the page), marking
+    /// the page programmed, permanently marking the block **grown bad**
+    /// — all later programs/erases of it fail; reads keep working —
+    /// and failing with [`PROGRAM_FAIL_MSG`].
+    pub fn arm_program_failures(&self, seed: u64, prob: f64) {
+        self.state.lock().expect("nand poisoned").program_fail = Some(FaultArm {
+            rng: seed ^ 0x9806_FA11,
+            prob,
+        });
+    }
+
+    /// Arm the erase-failure fault: each block erase trips with
+    /// probability `prob`, leaving the block's pages dirty, counting
+    /// the wear (the erase pulse started), permanently marking the
+    /// block grown bad, and failing with [`ERASE_FAIL_MSG`].
+    pub fn arm_erase_failures(&self, seed: u64, prob: f64) {
+        self.state.lock().expect("nand poisoned").erase_fail = Some(FaultArm {
+            rng: seed ^ 0xE6A5_EFA1,
+            prob,
+        });
+    }
+
+    /// Disarm the program/erase failure hooks. Blocks already grown bad
+    /// stay bad — the defect is physical, not simulated.
+    pub fn disarm_block_failures(&self) {
+        let mut state = self.state.lock().expect("nand poisoned");
+        state.program_fail = None;
+        state.erase_fail = None;
+    }
+
+    /// True once `block` has grown bad (failed a program or erase).
+    pub fn is_grown_bad(&self, block: BlockId) -> bool {
+        let state = self.state.lock().expect("nand poisoned");
+        state.grown_bad.get(block.index()).copied().unwrap_or(false)
+    }
+
+    /// Every grown-bad block id, ascending.
+    pub fn grown_bad_blocks(&self) -> Vec<u32> {
+        let state = self.state.lock().expect("nand poisoned");
+        state
+            .grown_bad
+            .iter()
+            .enumerate()
+            .filter_map(|(b, &bad)| bad.then_some(b as u32))
+            .collect()
+    }
+
+    /// Deterministically flip one stored bit of `page` (bit index
+    /// within the page). Unlike the armed fault, this injection is not
+    /// bounded by the correction budget — it is how tests rot a page
+    /// past repair.
+    pub fn corrupt_page(&self, page: PageAddr, bit: u32) -> Result<()> {
+        self.check_page(page)?;
+        if bit as usize >= self.cfg.page_size * 8 {
+            return Err(GhostError::flash("corrupt_page: bit out of range"));
+        }
+        let mut state = self.state.lock().expect("nand poisoned");
+        let base = page.index() * self.cfg.page_size;
+        state.data[base + (bit as usize >> 3)] ^= 1 << (bit & 7);
+        Ok(())
+    }
+
+    /// Apply the armed bit-rot model to one read of `page`.
+    fn inject_rot(&self, state: &mut NandState, page: PageAddr) {
+        let ppb = self.cfg.pages_per_block;
+        let block = page.index() / ppb;
+        let Some(mut rot) = state.bit_rot else { return };
+        // Retention component: the page being read, with probability.
+        if rot.flip_prob > 0.0
+            && state.pages[page.index()] == PageState::Programmed
+            && unit_f64(splitmix64(&mut rot.rng)) < rot.flip_prob
+        {
+            let bit = splitmix64(&mut rot.rng) % (self.cfg.page_size as u64 * 8);
+            Self::flip_within_budget(state, &self.cfg, page.index(), bit as usize);
+        }
+        // Read-disturb component: a random programmed neighbor in the
+        // block, every `disturb_every` reads.
+        state.block_reads[block] += 1;
+        if rot.disturb_every > 0 && state.block_reads[block].is_multiple_of(rot.disturb_every) {
+            let first = block * ppb;
+            let candidates: Vec<usize> = (first..first + ppb)
+                .filter(|&p| state.pages[p] == PageState::Programmed && state.rot_flips[p] == 0)
+                .collect();
+            if !candidates.is_empty() {
+                let victim =
+                    candidates[(splitmix64(&mut rot.rng) % candidates.len() as u64) as usize];
+                let bit = splitmix64(&mut rot.rng) % (self.cfg.page_size as u64 * 8);
+                Self::flip_within_budget(state, &self.cfg, victim, bit as usize);
+            }
+        }
+        state.bit_rot = Some(rot);
+    }
+
+    /// Flip `bit` of page `idx` unless the page already carries an
+    /// unrepaired flip (the one-flip-per-program-cycle budget).
+    fn flip_within_budget(state: &mut NandState, cfg: &FlashConfig, idx: usize, bit: usize) {
+        if state.rot_flips[idx] >= 1 {
+            return;
+        }
+        let base = idx * cfg.page_size;
+        state.data[base + (bit >> 3)] ^= 1 << (bit & 7);
+        state.rot_flips[idx] += 1;
+        state.flips_injected += 1;
+    }
+
     /// Consume one op against the armed fault. `Ok(true)` = proceed,
     /// `Ok(false)` = this op is the cut and should tear, `Err` = fail
     /// cleanly (cut without tearing, or already dead).
@@ -274,6 +485,12 @@ impl Nand {
                 "program of non-erased page {page:?} (no in-place writes)"
             )));
         }
+        let block = page.index() / self.cfg.pages_per_block;
+        if state.grown_bad[block] {
+            return Err(GhostError::flash(format!(
+                "program failed: block {block} is grown bad"
+            )));
+        }
         if !Self::power_gate(&mut state)? {
             // Torn write: half the page commits, then the lights go out.
             let half = data.len() / 2;
@@ -282,10 +499,26 @@ impl Nand {
             state.pages[page.index()] = PageState::Programmed;
             return Err(GhostError::flash(POWER_CUT_MSG));
         }
+        if let Some(mut arm) = state.program_fail {
+            let trip = arm.prob > 0.0 && unit_f64(splitmix64(&mut arm.rng)) < arm.prob;
+            state.program_fail = Some(arm);
+            if trip {
+                // The program pulse dies partway: half the page commits,
+                // the page counts as programmed (it cannot be reused
+                // without an erase), and the block is grown bad for good.
+                let half = data.len() / 2;
+                let base = page.index() * self.cfg.page_size;
+                state.data[base..base + half].copy_from_slice(&data[..half]);
+                state.pages[page.index()] = PageState::Programmed;
+                state.grown_bad[block] = true;
+                return Err(GhostError::flash(PROGRAM_FAIL_MSG));
+            }
+        }
         let base = page.index() * self.cfg.page_size;
         state.data[base..base + data.len()].copy_from_slice(data);
         // Remaining bytes keep their erased 0xFF pattern.
         state.pages[page.index()] = PageState::Programmed;
+        state.rot_flips[page.index()] = 0;
         drop(state);
         self.stats.page_programs.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -306,19 +539,39 @@ impl Nand {
         }
         let mut state = self.state.lock().expect("nand poisoned");
         let first = block.index() * self.cfg.pages_per_block;
+        if state.grown_bad[block.index()] {
+            return Err(GhostError::flash(format!(
+                "erase failed: block {} is grown bad",
+                block.0
+            )));
+        }
         if !Self::power_gate(&mut state)? {
             // Torn erase: half the block's pages reset, then power dies.
             let half = self.cfg.pages_per_block / 2;
             for p in first..first + half {
                 state.pages[p] = PageState::Erased;
+                state.rot_flips[p] = 0;
             }
             let base = first * self.cfg.page_size;
             state.data[base..base + half * self.cfg.page_size].fill(0xFF);
             state.wear[block.index()] += 1;
             return Err(GhostError::flash(POWER_CUT_MSG));
         }
+        if let Some(mut arm) = state.erase_fail {
+            let trip = arm.prob > 0.0 && unit_f64(splitmix64(&mut arm.rng)) < arm.prob;
+            state.erase_fail = Some(arm);
+            if trip {
+                // The erase pulse fails: pages keep their stale data,
+                // the wear counts (the pulse started), and the block is
+                // grown bad for good.
+                state.wear[block.index()] += 1;
+                state.grown_bad[block.index()] = true;
+                return Err(GhostError::flash(ERASE_FAIL_MSG));
+            }
+        }
         for p in first..first + self.cfg.pages_per_block {
             state.pages[p] = PageState::Erased;
+            state.rot_flips[p] = 0;
         }
         let base = first * self.cfg.page_size;
         let len = self.cfg.pages_per_block * self.cfg.page_size;
@@ -557,5 +810,107 @@ mod tests {
         nand.read_into(PageAddr(0), 4, &mut buf).unwrap();
         assert_eq!(&buf[..6], &[7; 6]);
         assert_eq!(&buf[6..], &[0xFF; 6]);
+    }
+
+    #[test]
+    fn stats_since_saturates_on_swapped_snapshots() {
+        let nand = small();
+        nand.program(PageAddr(0), &[0; 64]).unwrap();
+        let later = nand.stats();
+        nand.program(PageAddr(1), &[0; 64]).unwrap();
+        let newer = nand.stats();
+        // Arguments swapped: must report zeros, not panic.
+        let d = later.since(&newer);
+        assert_eq!(d.page_programs, 0);
+        assert_eq!(d.bytes_programmed, 0);
+    }
+
+    #[test]
+    fn bit_rot_flips_persistently_and_deterministically() {
+        let run = |seed: u64| -> (u64, Vec<u8>) {
+            let nand = small();
+            let data: Vec<u8> = (0..64).collect();
+            for p in 0..8 {
+                nand.program(PageAddr(p), &data).unwrap();
+            }
+            nand.arm_bit_rot(seed, 0.5, 0);
+            let mut buf = vec![0u8; 64];
+            for _ in 0..8 {
+                for p in 0..8 {
+                    nand.read_into(PageAddr(p), 0, &mut buf).unwrap();
+                }
+            }
+            nand.disarm_bit_rot();
+            nand.read_into(PageAddr(0), 0, &mut buf).unwrap();
+            (nand.flips_injected(), buf)
+        };
+        let (flips_a, page_a) = run(7);
+        let (flips_b, page_b) = run(7);
+        assert!(flips_a > 0, "no rot injected at 50% per read");
+        assert_eq!(flips_a, flips_b, "fault model must be deterministic");
+        assert_eq!(page_a, page_b);
+        // Budget: at most one flip per page survives in the array.
+        assert!(flips_a <= 8, "{flips_a} flips exceed one per page");
+    }
+
+    #[test]
+    fn read_disturb_rots_neighbors() {
+        let nand = small();
+        for p in 0..4 {
+            nand.program(PageAddr(p), &[0xA5; 64]).unwrap();
+        }
+        nand.arm_bit_rot(3, 0.0, 4); // disturb only, every 4th read
+        let mut buf = vec![0u8; 64];
+        for _ in 0..16 {
+            nand.read_into(PageAddr(0), 0, &mut buf).unwrap();
+        }
+        assert!(nand.flips_injected() > 0, "disturb never fired");
+    }
+
+    #[test]
+    fn program_failure_grows_block_bad() {
+        let nand = small();
+        nand.arm_program_failures(11, 1.0);
+        let err = nand.program(PageAddr(4), &[1; 64]).unwrap_err();
+        assert!(err.to_string().contains(PROGRAM_FAIL_MSG), "{err}");
+        assert!(nand.is_grown_bad(BlockId(1)));
+        assert_eq!(nand.grown_bad_blocks(), vec![1]);
+        // The failed page holds garbage but counts as programmed.
+        assert_eq!(nand.page_state(PageAddr(4)).unwrap(), PageState::Programmed);
+        // Disarm does not heal the defect: programs and erases of the
+        // bad block still fail, other blocks work, reads keep working.
+        nand.disarm_block_failures();
+        assert!(nand.program(PageAddr(5), &[1; 64]).is_err());
+        assert!(nand.erase(BlockId(1)).is_err());
+        nand.program(PageAddr(0), &[2; 64]).unwrap();
+        let mut buf = [0u8; 4];
+        nand.read_into(PageAddr(4), 0, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn erase_failure_grows_block_bad_and_keeps_data() {
+        let nand = small();
+        nand.program(PageAddr(0), &[9; 64]).unwrap();
+        nand.arm_erase_failures(5, 1.0);
+        let err = nand.erase(BlockId(0)).unwrap_err();
+        assert!(err.to_string().contains(ERASE_FAIL_MSG), "{err}");
+        nand.disarm_block_failures();
+        assert!(nand.is_grown_bad(BlockId(0)));
+        assert_eq!(nand.wear(BlockId(0)).unwrap(), 1, "failed pulse wears");
+        // Stale data is still readable.
+        let mut buf = [0u8; 1];
+        nand.read_into(PageAddr(0), 0, &mut buf).unwrap();
+        assert_eq!(buf[0], 9);
+    }
+
+    #[test]
+    fn corrupt_page_flips_the_exact_bit() {
+        let nand = small();
+        nand.program(PageAddr(0), &[0u8; 64]).unwrap();
+        nand.corrupt_page(PageAddr(0), 10).unwrap(); // byte 1, bit 2
+        let mut buf = [0u8; 2];
+        nand.read_into(PageAddr(0), 0, &mut buf).unwrap();
+        assert_eq!(buf, [0x00, 0x04]);
+        assert!(nand.corrupt_page(PageAddr(0), 64 * 8).is_err());
     }
 }

@@ -63,6 +63,7 @@ use std::sync::{Arc, Mutex};
 use ghostdb_ram::{RamScope, ScopedGuard};
 use ghostdb_types::{GhostError, Result, Wire};
 
+use crate::ecc;
 use crate::nand::{BlockId, Nand, PageAddr, PageState};
 
 /// Stable logical page number; the translation table maps it to the
@@ -187,6 +188,19 @@ struct AllocState {
     /// their blocks made reclaimable) by [`Volume::commit_seal`] once
     /// the superseding image is durable.
     deferred_free: HashSet<u32>,
+    /// Per-block grown-bad retirement flags — the volume's bad-block
+    /// table. Retired blocks are never allocated, never erased, never
+    /// GC victims; their still-readable pages stay mapped until freed.
+    bad: Vec<bool>,
+    /// Per-physical-page count of corrected reads since the page was
+    /// programmed — the scrub pass's trigger input.
+    corrected_reads: Vec<u32>,
+    /// Reads whose single-bit error the codeword repaired (cumulative).
+    corrected_total: u64,
+    /// Reads that failed past the correction budget (cumulative).
+    uncorrectable_total: u64,
+    /// Pages the scrub pass rewrote (cumulative).
+    scrubbed_pages: u64,
 }
 
 impl AllocState {
@@ -202,16 +216,50 @@ impl AllocState {
 
     /// A block the GC may reclaim: fully allocated (it will never be
     /// written again), holding at least one dead page, not pinned by a
-    /// write frontier, and free of sealed pages (migrating those would
-    /// invalidate the physical mappings the sealed image recorded).
-    /// Shared by the pre-check and victim selection so the two cannot
-    /// drift.
+    /// write frontier, free of sealed pages (migrating those would
+    /// invalidate the physical mappings the sealed image recorded), and
+    /// not retired to the bad-block table (it cannot be erased). Shared
+    /// by the pre-check and victim selection so the two cannot drift.
     fn victim_eligible(&self, b: usize, ppb: usize) -> bool {
         self.allocated[b] as usize == ppb
             && self.allocated[b] > self.live[b]
             && self.sealed_in_block[b] == 0
+            && !self.bad[b]
             && !self.is_frontier(BlockId(b as u32), ppb)
     }
+
+    fn retired_blocks(&self) -> usize {
+        self.bad.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Reliability counters surfaced by [`Volume::reliability`] (and the
+/// engine's `device_report()`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Page reads whose single-bit error the codeword repaired.
+    pub corrected: u64,
+    /// Page reads that failed past the correction budget.
+    pub uncorrectable: u64,
+    /// Blocks retired to the bad-block table.
+    pub retired_blocks: usize,
+    /// Retirement budget ([`FlashConfig::spare_blocks`]).
+    ///
+    /// [`FlashConfig::spare_blocks`]: ghostdb_types::FlashConfig::spare_blocks
+    pub spare_blocks: usize,
+    /// Pages the scrub pass has rewritten.
+    pub scrubbed_pages: u64,
+}
+
+/// What one scrub pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Pages rewritten to fresh locations (corrected-read count at or
+    /// past the threshold).
+    pub pages_rewritten: u64,
+    /// Pages at the threshold that could not move because the sealed
+    /// image pins their physical address; the next seal unpins them.
+    pub pages_skipped_sealed: u64,
 }
 
 /// Snapshot of space usage.
@@ -233,6 +281,10 @@ pub struct VolumeUsage {
 pub struct Volume {
     nand: Nand,
     state: Arc<Mutex<AllocState>>,
+    /// The hardware page register: random reads fault whole codewords
+    /// through here so ECC can verify them, without charging a
+    /// full-page buffer to the caller's RAM scope.
+    register: Arc<Mutex<Vec<u8>>>,
 }
 
 impl Volume {
@@ -252,6 +304,7 @@ impl Volume {
             reserved < blocks,
             "reserved region ({reserved} blocks) swallows the whole part ({blocks} blocks)"
         );
+        let register = Arc::new(Mutex::new(vec![0u8; nand.config().page_size]));
         Volume {
             state: Arc::new(Mutex::new(AllocState {
                 free_blocks: (reserved as u32..blocks as u32).map(BlockId).collect(),
@@ -266,8 +319,14 @@ impl Volume {
                 sealed: Vec::new(),
                 sealed_in_block: vec![0; blocks],
                 deferred_free: HashSet::new(),
+                bad: vec![false; blocks],
+                corrected_reads: vec![0; pages],
+                corrected_total: 0,
+                uncorrectable_total: 0,
+                scrubbed_pages: 0,
             })),
             nand,
+            register,
         }
     }
 
@@ -284,10 +343,31 @@ impl Volume {
     ///   data from writes the crash outran);
     /// * every mapped page is immediately **sealed** (the image that
     ///   described it is the one we just mounted).
-    pub fn mount(nand: Nand, reserved: usize, l2p: Vec<u32>) -> Result<Self> {
+    ///
+    /// `bad_blocks` is the persisted bad-block table: those blocks are
+    /// retired on arrival (never allocated, erased, or GC'd), though
+    /// any still-readable sealed pages they hold stay mapped. Blocks
+    /// that grew bad after the last seal simply re-fail on first use
+    /// and re-retire — the table is a cache of discoveries, not the
+    /// source of truth.
+    pub fn mount(nand: Nand, reserved: usize, l2p: Vec<u32>, bad_blocks: &[u32]) -> Result<Self> {
         let blocks = nand.block_count();
         let pages = nand.page_count();
         let ppb = nand.config().pages_per_block;
+        let mut bad = vec![false; blocks];
+        for &b in bad_blocks {
+            if b as usize >= blocks {
+                return Err(GhostError::corrupt(format!(
+                    "persisted bad-block table entry {b} out of range ({blocks} blocks)"
+                )));
+            }
+            // Entries inside the reserved region belong to the
+            // durability layer's own remapping; the volume tracks only
+            // its half of the part.
+            if b as usize >= reserved {
+                bad[b as usize] = true;
+            }
+        }
         let mut p2l = vec![UNMAPPED; pages];
         let mut live = vec![0u32; blocks];
         let mut sealed_in_block = vec![0u32; blocks];
@@ -321,6 +401,12 @@ impl Volume {
         let mut free_blocks = Vec::new();
         let mut allocated = vec![0u32; blocks];
         for b in reserved..blocks {
+            if bad[b] {
+                // Retired: never allocatable, never erased; treated as
+                // fully allocated so accounting stays consistent.
+                allocated[b] = ppb as u32;
+                continue;
+            }
             if live[b] > 0 {
                 allocated[b] = ppb as u32;
                 continue;
@@ -337,6 +423,7 @@ impl Volume {
             }
         }
         let sealed = l2p.iter().map(|&p| p != UNMAPPED).collect();
+        let register = Arc::new(Mutex::new(vec![0u8; nand.config().page_size]));
         Ok(Volume {
             state: Arc::new(Mutex::new(AllocState {
                 free_blocks,
@@ -351,8 +438,14 @@ impl Volume {
                 sealed,
                 sealed_in_block,
                 deferred_free: HashSet::new(),
+                bad,
+                corrected_reads: vec![0; pages],
+                corrected_total: 0,
+                uncorrectable_total: 0,
+                scrubbed_pages: 0,
             })),
             nand,
+            register,
         })
     }
 
@@ -449,9 +542,80 @@ impl Volume {
         &self.nand
     }
 
-    /// Page size of the underlying part.
+    /// **Usable** page payload: the raw page minus the out-of-band
+    /// codeword when ECC is enabled. Everything layered on the volume
+    /// (segment sizing, manifests, readers) works in this unit.
     pub fn page_size(&self) -> usize {
+        let raw = self.nand.config().page_size;
+        if self.nand.config().ecc_enabled {
+            raw - ecc::TAIL_BYTES
+        } else {
+            raw
+        }
+    }
+
+    /// Raw (physical) page size — the unit programs and page faults
+    /// actually move.
+    fn raw_page_size(&self) -> usize {
         self.nand.config().page_size
+    }
+
+    /// Retired blocks, ascending — what the durability layer persists.
+    pub fn bad_blocks_snapshot(&self) -> Vec<u32> {
+        let st = self.state.lock().expect("volume poisoned");
+        st.bad
+            .iter()
+            .enumerate()
+            .filter_map(|(b, &bad)| bad.then_some(b as u32))
+            .collect()
+    }
+
+    /// Reliability counters: ECC corrections, uncorrectable failures,
+    /// retired blocks against the spare budget, scrubbed pages.
+    pub fn reliability(&self) -> ReliabilityStats {
+        let st = self.state.lock().expect("volume poisoned");
+        ReliabilityStats {
+            corrected: st.corrected_total,
+            uncorrectable: st.uncorrectable_total,
+            retired_blocks: st.retired_blocks(),
+            spare_blocks: self.nand.config().spare_blocks,
+            scrubbed_pages: st.scrubbed_pages,
+        }
+    }
+
+    /// ECC bookkeeping for a raw page already read into `raw`: verify,
+    /// repair a single-bit error in place, update counters. The caller
+    /// holds the state lock.
+    fn verify_raw(&self, st: &mut AllocState, phys: PageAddr, raw: &mut [u8]) -> Result<()> {
+        if !self.nand.config().ecc_enabled {
+            return Ok(());
+        }
+        self.nand
+            .clock()
+            .advance(self.nand.config().ecc_cost_ns(raw.len()));
+        match ecc::verify_page(raw) {
+            ecc::Verdict::Clean => Ok(()),
+            ecc::Verdict::Corrected => {
+                st.corrected_total += 1;
+                st.corrected_reads[phys.index()] += 1;
+                Ok(())
+            }
+            ecc::Verdict::Uncorrectable => {
+                st.uncorrectable_total += 1;
+                Err(GhostError::corrupt(format!(
+                    "uncorrectable bit errors in flash page {} (past the single-bit ECC budget)",
+                    phys.0
+                )))
+            }
+        }
+    }
+
+    /// Fault one full raw page through the codeword check. `raw` must
+    /// be raw-page sized; the caller must **not** hold the state lock.
+    fn verified_read(&self, phys: PageAddr, raw: &mut [u8]) -> Result<()> {
+        self.nand.read_into(phys, 0, raw)?;
+        let mut st = self.state.lock().expect("volume poisoned");
+        self.verify_raw(&mut st, phys, raw)
     }
 
     /// Pull the least-worn block off the free list (wear-aware
@@ -504,6 +668,147 @@ impl Volume {
         Lpn(lpn)
     }
 
+    /// Build the raw page image for a payload of at most the usable
+    /// page size: the payload, erased-pattern padding, and the sealed
+    /// codeword when ECC is enabled (charging the encode cost).
+    fn seal_raw(&self, data: &[u8]) -> Vec<u8> {
+        if !self.nand.config().ecc_enabled {
+            return data.to_vec();
+        }
+        debug_assert!(data.len() <= self.page_size());
+        let mut raw = Vec::with_capacity(self.raw_page_size());
+        raw.extend_from_slice(data);
+        raw.resize(self.page_size(), 0xFF);
+        raw.resize(self.raw_page_size(), 0);
+        ecc::seal_page(&mut raw);
+        self.nand
+            .clock()
+            .advance(self.nand.config().ecc_cost_ns(raw.len()));
+        raw
+    }
+
+    /// Allocate a frontier page and program the sealed `raw` image into
+    /// it, retiring grown-bad blocks as they are discovered: a program
+    /// failure marks the in-flight page dead, retires the block
+    /// (re-targeting via the l2p table and evacuating its other live
+    /// pages), and retries on a fresh block. Caller holds the state
+    /// lock.
+    fn program_raw(&self, st: &mut AllocState, gc_frontier: bool, raw: &[u8]) -> Result<PageAddr> {
+        loop {
+            let phys = self.alloc_phys(st, gc_frontier)?;
+            match self.nand.program(phys, raw) {
+                Ok(()) => {
+                    st.corrected_reads[phys.index()] = 0;
+                    return Ok(phys);
+                }
+                Err(e) => {
+                    let block = self.nand.block_of(phys);
+                    // The allocated page is lost either way: it counts
+                    // dead (it was never mapped).
+                    st.live[block.index()] -= 1;
+                    if !self.nand.is_grown_bad(block) {
+                        return Err(e); // power cut / protocol violation
+                    }
+                    self.retire_block(st, block)?;
+                }
+            }
+        }
+    }
+
+    /// Move `block` to the bad-block table: off the free list, out of
+    /// both frontiers, never erased or allocated again. Its unsealed
+    /// live pages are evacuated to the cold frontier — the defect is in
+    /// programming/erasing, the stored copies are still readable.
+    /// Sealed pages stay put (the sealed image pins their physical
+    /// address) and stay readable; the next seal records their
+    /// successors. Fails with the "worn out" diagnostic once
+    /// retirements exceed the spare budget.
+    fn retire_block(&self, st: &mut AllocState, block: BlockId) -> Result<()> {
+        if st.bad[block.index()] {
+            return Ok(());
+        }
+        st.bad[block.index()] = true;
+        if let Some(i) = st.free_blocks.iter().position(|&b| b == block) {
+            st.free_blocks.swap_remove(i);
+        }
+        if matches!(st.current, Some((b, _)) if b == block) {
+            st.current = None;
+        }
+        if matches!(st.gc_current, Some((b, _)) if b == block) {
+            st.gc_current = None;
+        }
+        st.allocated[block.index()] = self.nand.config().pages_per_block as u32;
+        let retired = st.retired_blocks();
+        let budget = self.nand.config().spare_blocks;
+        if retired > budget {
+            return Err(GhostError::flash(format!(
+                "flash part worn out: {retired} blocks retired, spare budget is {budget}"
+            )));
+        }
+        self.evacuate_block(st, block)
+    }
+
+    /// Copy every unsealed live page off a just-retired block — GC
+    /// migration without the erase. The copy transits the part's page
+    /// register (copy-back), so no query RAM scope is charged.
+    fn evacuate_block(&self, st: &mut AllocState, block: BlockId) -> Result<()> {
+        let ppb = self.nand.config().pages_per_block;
+        let first = block.index() * ppb;
+        let mut buf = vec![0u8; self.raw_page_size()];
+        for slot in 0..ppb {
+            let lpn = st.p2l[first + slot];
+            if lpn == UNMAPPED || st.is_sealed(lpn) {
+                continue;
+            }
+            let src = PageAddr((first + slot) as u32);
+            self.nand.read_into(src, 0, &mut buf)?;
+            self.verify_raw(st, src, &mut buf)?;
+            self.reseal_raw(&mut buf);
+            let dest = self.program_raw(st, true, &buf)?;
+            st.l2p[lpn as usize] = dest.0;
+            st.p2l[dest.index()] = lpn;
+            st.p2l[first + slot] = UNMAPPED;
+            st.live[block.index()] -= 1;
+        }
+        Ok(())
+    }
+
+    /// Erase a fully-dead block and publish it to the free list. An
+    /// erase failure grows the block bad: it is retired (swallowing the
+    /// error — the data was dead anyway) instead of recycled.
+    fn recycle_block(&self, st: &mut AllocState, block: BlockId) -> Result<()> {
+        // Erase before publishing to the free list, so a block is
+        // never allocatable while still holding stale data.
+        match self.nand.erase(block) {
+            Ok(()) => {
+                st.allocated[block.index()] = 0;
+                let first = block.index() * self.nand.config().pages_per_block;
+                let ppb = self.nand.config().pages_per_block;
+                st.corrected_reads[first..first + ppb].fill(0);
+                st.free_blocks.push(block);
+                Ok(())
+            }
+            Err(e) if self.nand.is_grown_bad(block) => {
+                let _ = e;
+                self.retire_block(st, block)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Regenerate the codeword of a raw page about to be re-programmed
+    /// (migration, evacuation, scrub), so a rotted-but-tolerated tail is
+    /// not propagated to the new copy.
+    fn reseal_raw(&self, buf: &mut [u8]) {
+        if !self.nand.config().ecc_enabled {
+            return;
+        }
+        ecc::seal_page(buf);
+        self.nand
+            .clock()
+            .advance(self.nand.config().ecc_cost_ns(buf.len()));
+    }
+
     /// Allocate one page on the user frontier and program `data` into it
     /// (one critical section: the mapping is never visible while the
     /// page's contents are still unwritten), running a GC pass first when
@@ -521,13 +826,19 @@ impl Volume {
         // allocation below use whatever free blocks remain; only if that
         // also fails is the GC failure the better diagnosis.
         let gc_err = if needs_gc { self.gc(scope).err() } else { None };
+        let raw = self.seal_raw(data);
         let mut st = self.state.lock().expect("volume poisoned");
-        match self.alloc_phys(&mut st, false) {
-            Ok(phys) => {
-                self.nand.program(phys, data)?;
-                Ok(self.map_lpn(&mut st, phys))
+        match self.program_raw(&mut st, false, &raw) {
+            Ok(phys) => Ok(self.map_lpn(&mut st, phys)),
+            Err(e) => {
+                let out_of_blocks =
+                    matches!(&e, GhostError::Flash(m) if m.contains("no free blocks"));
+                if out_of_blocks {
+                    Err(gc_err.unwrap_or(e))
+                } else {
+                    Err(e)
+                }
             }
-            Err(e) => Err(gc_err.unwrap_or(e)),
         }
     }
 
@@ -597,15 +908,14 @@ impl Volume {
             let fully_allocated = st.allocated[block.index()] as usize == ppb;
             // A full block will never be written again, so it is safe to
             // recycle; only a block still accepting allocations (either
-            // frontier) is pinned.
-            let erase =
-                st.live[block.index()] == 0 && fully_allocated && !st.is_frontier(block, ppb);
+            // frontier) is pinned. Retired blocks are never erased —
+            // their dead pages are simply lost capacity.
+            let erase = st.live[block.index()] == 0
+                && fully_allocated
+                && !st.bad[block.index()]
+                && !st.is_frontier(block, ppb);
             if erase {
-                st.allocated[block.index()] = 0;
-                // Erase before publishing to the free list, so a block is
-                // never allocatable while still holding stale data.
-                self.nand.erase(block)?;
-                st.free_blocks.push(block);
+                self.recycle_block(&mut st, block)?;
             }
         }
         Ok(())
@@ -651,7 +961,10 @@ impl Volume {
     }
 
     /// Migrate `victim`'s live pages to the cold frontier, then erase and
-    /// recycle it. Caller holds the state lock.
+    /// recycle it. Every page read is ECC-verified (and repaired) before
+    /// the copy, and the codeword is regenerated for the new location —
+    /// migration doubles as error scrubbing. Caller holds the state lock;
+    /// `buf` is one raw page.
     fn migrate_block(
         &self,
         st: &mut AllocState,
@@ -669,8 +982,9 @@ impl Volume {
             }
             let src = PageAddr((first + slot) as u32);
             self.nand.read_into(src, 0, buf)?;
-            let dest = self.alloc_phys(st, true)?;
-            self.nand.program(dest, buf)?;
+            self.verify_raw(st, src, buf)?;
+            self.reseal_raw(buf);
+            let dest = self.program_raw(st, true, buf)?;
             st.l2p[lpn as usize] = dest.0;
             st.p2l[dest.index()] = lpn;
             st.p2l[first + slot] = UNMAPPED;
@@ -681,14 +995,24 @@ impl Volume {
             st.gc.pages_migrated += 1;
         }
         debug_assert_eq!(st.live[victim.index()], 0, "victim fully migrated");
-        st.allocated[victim.index()] = 0;
-        self.nand.erase(victim)?;
-        st.free_blocks.push(victim);
-        report.blocks_reclaimed += 1;
-        report.pages_reclaimed += dead;
-        st.gc.blocks_reclaimed += 1;
-        st.gc.pages_reclaimed += dead;
-        Ok(())
+        match self.nand.erase(victim) {
+            Ok(()) => {
+                st.allocated[victim.index()] = 0;
+                st.corrected_reads[first..first + ppb].fill(0);
+                st.free_blocks.push(victim);
+                report.blocks_reclaimed += 1;
+                report.pages_reclaimed += dead;
+                st.gc.blocks_reclaimed += 1;
+                st.gc.pages_reclaimed += dead;
+                Ok(())
+            }
+            Err(e) if self.nand.is_grown_bad(victim) => {
+                // The copies are safe; the victim just can't be recycled.
+                let _ = e;
+                self.retire_block(st, victim)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Run one garbage-collection pass: up to
@@ -698,11 +1022,12 @@ impl Volume {
     /// zeros when nothing was fragmented).
     pub fn gc(&self, scope: &RamScope) -> Result<GcStats> {
         let mut report = GcStats::default();
-        if !self.has_victim() {
+        let scrub_pending = self.has_scrub_work();
+        if !self.has_victim() && !scrub_pending {
             return Ok(report);
         }
-        let _ram = scope.alloc(self.page_size())?;
-        let mut buf = vec![0u8; self.page_size()];
+        let _ram = scope.alloc(self.raw_page_size())?;
+        let mut buf = vec![0u8; self.raw_page_size()];
         let max_victims = self.nand.config().gc_max_victims_per_pass.max(1);
         let mut st = self.state.lock().expect("volume poisoned");
         let mut outcome = Ok(());
@@ -718,12 +1043,87 @@ impl Volume {
                 break;
             }
         }
+        if outcome.is_ok() {
+            // Piggyback the scrub: pages whose corrected-read count
+            // crossed the threshold move to fresh cells while the copy
+            // buffer is already paid for.
+            outcome = self.scrub_locked(&mut st, &mut buf).map(|_| ());
+        }
         if report.blocks_reclaimed > 0 || report.pages_migrated > 0 {
             report.passes = 1;
             st.gc.passes += 1;
         }
         drop(st);
         outcome.map(|()| report)
+    }
+
+    /// True if any mapped page's corrected-read count has crossed the
+    /// scrub threshold (checked before charging the copy buffer).
+    fn has_scrub_work(&self) -> bool {
+        let threshold = self.nand.config().scrub_threshold;
+        if threshold == 0 || !self.nand.config().ecc_enabled {
+            return false;
+        }
+        let st = self.state.lock().expect("volume poisoned");
+        st.corrected_reads
+            .iter()
+            .enumerate()
+            .any(|(p, &c)| c >= threshold && st.p2l[p] != UNMAPPED)
+    }
+
+    /// Rewrite every unsealed mapped page whose corrected-read count has
+    /// crossed [`scrub_threshold`](ghostdb_types::FlashConfig::scrub_threshold)
+    /// to a fresh location before it rots past the single-bit budget.
+    /// Sealed pages cannot move (the image pins them) and are skipped
+    /// until the next seal. Caller holds the state lock; `buf` is one
+    /// raw page.
+    fn scrub_locked(&self, st: &mut AllocState, buf: &mut [u8]) -> Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        let threshold = self.nand.config().scrub_threshold;
+        if threshold == 0 || !self.nand.config().ecc_enabled {
+            return Ok(report);
+        }
+        for idx in 0..st.corrected_reads.len() {
+            if st.corrected_reads[idx] < threshold {
+                continue;
+            }
+            let lpn = st.p2l[idx];
+            if lpn == UNMAPPED {
+                // Dead page; the counter dies with it.
+                st.corrected_reads[idx] = 0;
+                continue;
+            }
+            if st.is_sealed(lpn) {
+                report.pages_skipped_sealed += 1;
+                continue;
+            }
+            let src = PageAddr(idx as u32);
+            self.nand.read_into(src, 0, buf)?;
+            self.verify_raw(st, src, buf)?;
+            self.reseal_raw(buf);
+            let dest = self.program_raw(st, true, buf)?;
+            let block = self.nand.block_of(src);
+            st.l2p[lpn as usize] = dest.0;
+            st.p2l[dest.index()] = lpn;
+            st.p2l[idx] = UNMAPPED;
+            st.live[block.index()] -= 1;
+            st.corrected_reads[idx] = 0;
+            st.scrubbed_pages += 1;
+            report.pages_rewritten += 1;
+        }
+        Ok(report)
+    }
+
+    /// Run a standalone scrub pass (the GC piggybacks the same pass);
+    /// the one-page copy buffer is charged to `scope`.
+    pub fn scrub(&self, scope: &RamScope) -> Result<ScrubReport> {
+        if !self.has_scrub_work() {
+            return Ok(ScrubReport::default());
+        }
+        let _ram = scope.alloc(self.raw_page_size())?;
+        let mut buf = vec![0u8; self.raw_page_size()];
+        let mut st = self.state.lock().expect("volume poisoned");
+        self.scrub_locked(&mut st, &mut buf)
     }
 
     /// Cumulative garbage-collection counters since volume creation.
@@ -736,7 +1136,7 @@ impl Volume {
     /// [`SegmentWriter::write`] trips the GC low-watermark, the pass
     /// charges its copy buffer here too.
     pub fn writer(&self, scope: &RamScope) -> Result<SegmentWriter> {
-        let guard = scope.alloc(self.page_size())?;
+        let guard = scope.alloc(self.raw_page_size())?;
         Ok(SegmentWriter {
             volume: self.clone(),
             scope: scope.clone(),
@@ -750,12 +1150,12 @@ impl Volume {
     /// Open a segment for buffered sequential reading; the one-page read
     /// buffer is charged to `scope`.
     pub fn reader(&self, scope: &RamScope, segment: &Segment) -> Result<SegmentReader> {
-        let guard = scope.alloc(self.page_size())?;
+        let guard = scope.alloc(self.raw_page_size())?;
         Ok(SegmentReader {
             volume: self.clone(),
             segment: segment.clone(),
             pos: 0,
-            buf: vec![0; self.page_size()],
+            buf: vec![0; self.raw_page_size()],
             buf_page: usize::MAX,
             _ram: guard,
         })
@@ -781,8 +1181,17 @@ impl Volume {
             let in_page = (pos % ps) as usize;
             let chunk = ((ps as usize) - in_page).min(buf.len() - done);
             let phys = self.phys_of(segment.pages[page_idx])?;
-            self.nand
-                .read_into(phys, in_page, &mut buf[done..done + chunk])?;
+            if self.nand.config().ecc_enabled {
+                // The whole codeword must be faulted through the part's
+                // page register so the ECC check can run — a random read
+                // costs a full-page transfer, not just the window.
+                let mut reg = self.register.lock().expect("register poisoned");
+                self.verified_read(phys, &mut reg)?;
+                buf[done..done + chunk].copy_from_slice(&reg[in_page..in_page + chunk]);
+            } else {
+                self.nand
+                    .read_into(phys, in_page, &mut buf[done..done + chunk])?;
+            }
             done += chunk;
         }
         Ok(())
@@ -915,10 +1324,11 @@ impl SegmentReader {
             let page_idx = (self.pos / ps as u64) as usize;
             if page_idx != self.buf_page {
                 // Fault in the page (full-page read: sequential scans
-                // consume whole pages). Resolved through the translation
+                // consume whole pages, and the ECC check needs the whole
+                // codeword anyway). Resolved through the translation
                 // table, so a concurrent GC migration is invisible here.
                 let phys = self.volume.phys_of(self.segment.pages[page_idx])?;
-                self.volume.nand.read_into(phys, 0, &mut self.buf)?;
+                self.volume.verified_read(phys, &mut self.buf)?;
                 self.buf_page = page_idx;
             }
             let in_page = (self.pos % ps as u64) as usize;
@@ -999,7 +1409,7 @@ mod tests {
         w.write(&data).unwrap();
         let seg = w.finish().unwrap();
         assert_eq!(seg.len(), 1000);
-        assert_eq!(seg.page_count(), 16); // ceil(1000/64)
+        assert_eq!(seg.page_count(), 1000usize.div_ceil(vol.page_size()));
 
         let mut r = vol.reader(&scope, &seg).unwrap();
         let mut back = vec![0u8; 1000];
@@ -1032,8 +1442,9 @@ mod tests {
         let seg = w.finish().unwrap();
 
         let mut buf = [0u8; 10];
-        vol.read_at(&seg, 60, &mut buf).unwrap(); // spans a page boundary
-        assert_eq!(&buf[..], &data[60..70]);
+        let edge = vol.page_size() - 4;
+        vol.read_at(&seg, edge as u64, &mut buf).unwrap(); // spans a page boundary
+        assert_eq!(&buf[..], &data[edge..edge + 10]);
         assert!(vol.read_at(&seg, 635, &mut buf).is_err());
     }
 
@@ -1058,21 +1469,22 @@ mod tests {
     #[test]
     fn free_recycles_blocks() {
         let (vol, scope) = setup(4); // 16 pages total
+        let ps = vol.page_size();
         let mut segs = Vec::new();
         for _ in 0..4 {
             let mut w = vol.writer(&scope).unwrap();
-            w.write(&[0xAB; 64 * 4]).unwrap(); // exactly one block
+            w.write(&vec![0xAB; ps * 4]).unwrap(); // exactly one block
             segs.push(w.finish().unwrap());
         }
         // Volume is now full.
         let mut w = vol.writer(&scope).unwrap();
-        assert!(w.write(&[0u8; 64]).is_err());
+        assert!(w.write(&vec![0u8; ps]).is_err());
         drop(w);
         // Free two segments; their blocks are erased and reusable.
         vol.free(segs.pop().unwrap()).unwrap();
         vol.free(segs.pop().unwrap()).unwrap();
         let mut w = vol.writer(&scope).unwrap();
-        w.write(&[0xCD; 64 * 6]).unwrap();
+        w.write(&vec![0xCD; ps * 6]).unwrap();
         let seg = w.finish().unwrap();
         assert_eq!(seg.page_count(), 6);
         assert!(vol.nand().stats().block_erases >= 2);
@@ -1081,14 +1493,15 @@ mod tests {
     #[test]
     fn abandoned_writer_releases_pages() {
         let (vol, scope) = setup(2); // 8 pages
+        let ps = vol.page_size();
         {
             let mut w = vol.writer(&scope).unwrap();
-            w.write(&[1u8; 64 * 8]).unwrap(); // all pages
-                                              // dropped without finish()
+            w.write(&vec![1u8; ps * 8]).unwrap(); // all pages
+                                                  // dropped without finish()
         }
         // A block becomes erasable once its pages are returned.
         let mut w = vol.writer(&scope).unwrap();
-        w.write(&[2u8; 64 * 4]).unwrap();
+        w.write(&vec![2u8; ps * 4]).unwrap();
         w.finish().unwrap();
     }
 
@@ -1104,7 +1517,7 @@ mod tests {
     fn usage_reports_live_pages() {
         let (vol, scope) = setup(4);
         let mut w = vol.writer(&scope).unwrap();
-        w.write(&[0u8; 64 * 3]).unwrap();
+        w.write(&vec![0u8; vol.page_size() * 3]).unwrap();
         let seg = w.finish().unwrap();
         assert_eq!(vol.usage().live_pages, 3);
         vol.free(seg).unwrap();
@@ -1126,11 +1539,12 @@ mod tests {
     /// in the same blocks, free the short-lived one, and return the
     /// survivor: the classic fragmentation the GC exists to fix.
     fn fragment(vol: &Volume, scope: &RamScope, blocks: usize) -> (Segment, Segment) {
+        let ps = vol.page_size();
         let mut keeper = vol.writer(scope).unwrap();
         let mut junk = vol.writer(scope).unwrap();
         for _ in 0..blocks {
-            keeper.write(&[0x11; 64]).unwrap(); // 1 page
-            junk.write(&[0x22; 64 * 3]).unwrap(); // 3 pages
+            keeper.write(&vec![0x11; ps]).unwrap(); // 1 page
+            junk.write(&vec![0x22; ps * 3]).unwrap(); // 3 pages
         }
         (keeper.finish().unwrap(), junk.finish().unwrap())
     }
@@ -1163,7 +1577,7 @@ mod tests {
     fn gc_noop_without_fragmentation() {
         let (vol, scope) = setup(4);
         let mut w = vol.writer(&scope).unwrap();
-        w.write(&[1u8; 64 * 4]).unwrap();
+        w.write(&vec![1u8; vol.page_size() * 4]).unwrap();
         let _seg = w.finish().unwrap();
         let report = vol.gc(&scope).unwrap();
         assert_eq!(report, GcStats::default());
@@ -1183,7 +1597,7 @@ mod tests {
         assert_eq!(vol.usage().free_blocks, 1);
         // 21 dead pages are reclaimable; this write needs 4 fresh pages.
         let mut w = vol.writer(&scope).unwrap();
-        w.write(&[0x33; 64 * 4]).unwrap();
+        w.write(&vec![0x33; vol.page_size() * 4]).unwrap();
         let seg = w.finish().unwrap();
         assert!(vol.gc_stats().blocks_reclaimed > 0);
         let mut r = vol.reader(&scope, &keeper).unwrap();
@@ -1216,7 +1630,7 @@ mod tests {
             vol.nand().erase(BlockId(0)).unwrap();
         }
         let mut w = vol.writer(&scope).unwrap();
-        w.write(&[7u8; 64]).unwrap();
+        w.write(&vec![7u8; vol.page_size()]).unwrap();
         let seg = w.finish().unwrap();
         // The first opened block must be one of the unworn ones.
         let st = vol.state.lock().unwrap();
@@ -1242,8 +1656,9 @@ mod tests {
     fn reserved_blocks_are_never_allocated() {
         let (vol, scope) = setup(4);
         let vol = Volume::with_reserved(vol.nand().clone(), 2);
+        let ps = vol.page_size();
         let mut w = vol.writer(&scope).unwrap();
-        w.write(&[9u8; 64 * 8]).unwrap(); // both non-reserved blocks
+        w.write(&vec![9u8; ps * 8]).unwrap(); // both non-reserved blocks
         let seg = w.finish().unwrap();
         let st = vol.state.lock().unwrap();
         for &lpn in seg.pages.iter() {
@@ -1253,7 +1668,7 @@ mod tests {
         drop(st);
         // The part is "full" even though reserved blocks sit erased.
         let mut w = vol.writer(&scope).unwrap();
-        assert!(w.write(&[1u8; 64]).is_err());
+        assert!(w.write(&vec![1u8; ps]).is_err());
     }
 
     #[test]
@@ -1300,7 +1715,7 @@ mod tests {
         let live_before = vol.usage().live_pages;
 
         // "Power cycle": a brand-new volume over the same part.
-        let vol2 = Volume::mount(vol.nand().clone(), 0, l2p).unwrap();
+        let vol2 = Volume::mount(vol.nand().clone(), 0, l2p, &[]).unwrap();
         assert_eq!(vol2.usage().live_pages, live_before);
         let seg2 = vol2.restore_manifest(&manifest).unwrap();
         let mut r = vol2.reader(&scope, &seg2).unwrap();
@@ -1308,11 +1723,12 @@ mod tests {
         r.read_exact(&mut back).unwrap();
         assert_eq!(back, data);
         // New writes land on erased blocks and read back fine.
+        let ps = vol2.page_size();
         let mut w = vol2.writer(&scope).unwrap();
-        w.write(&[0x5A; 64 * 2]).unwrap();
+        w.write(&vec![0x5A; ps * 2]).unwrap();
         let extra = w.finish().unwrap();
         let mut r = vol2.reader(&scope, &extra).unwrap();
-        let mut b2 = vec![0u8; 128];
+        let mut b2 = vec![0u8; ps * 2];
         r.read_exact(&mut b2).unwrap();
         assert!(b2.iter().all(|&b| b == 0x5A));
     }
@@ -1321,22 +1737,173 @@ mod tests {
     fn mount_rejects_corrupt_tables() {
         let (vol, scope) = setup(4);
         let mut w = vol.writer(&scope).unwrap();
-        w.write(&[1u8; 64]).unwrap();
+        w.write(&vec![1u8; vol.page_size()]).unwrap();
         let _seg = w.finish().unwrap();
         let l2p = vol.l2p_snapshot();
         // Out-of-range physical page.
         let mut bad = l2p.clone();
         bad[0] = 9999;
-        assert!(Volume::mount(vol.nand().clone(), 0, bad).is_err());
+        assert!(Volume::mount(vol.nand().clone(), 0, bad, &[]).is_err());
         // Two LPNs on one page.
         let mut bad = l2p.clone();
         bad.push(bad[0]);
-        assert!(Volume::mount(vol.nand().clone(), 0, bad).is_err());
+        assert!(Volume::mount(vol.nand().clone(), 0, bad, &[]).is_err());
         // Mapping into the reserved region.
-        assert!(Volume::mount(vol.nand().clone(), 1, l2p).is_err());
+        assert!(Volume::mount(vol.nand().clone(), 1, l2p.clone(), &[]).is_err());
+        // An out-of-range bad-block table entry.
+        assert!(Volume::mount(vol.nand().clone(), 0, l2p, &[99]).is_err());
         // A manifest over unmapped pages is rejected too.
-        let vol2 = Volume::mount(vol.nand().clone(), 0, vol.l2p_snapshot()).unwrap();
+        let vol2 = Volume::mount(vol.nand().clone(), 0, vol.l2p_snapshot(), &[]).unwrap();
         assert!(vol2.restore_segment(&[42], 64).is_err());
         assert!(vol2.restore_segment(&[0], 6400).is_err());
+    }
+
+    #[test]
+    fn single_bit_rot_is_corrected_on_read() {
+        let (vol, scope) = setup(4);
+        let ps = vol.page_size();
+        let data: Vec<u8> = (0..ps).map(|i| (i * 3) as u8).collect();
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&data).unwrap();
+        let seg = w.finish().unwrap();
+        let phys = vol.phys_of(seg.pages[0]).unwrap();
+        vol.nand().corrupt_page(phys, 137).unwrap();
+
+        let mut r = vol.reader(&scope, &seg).unwrap();
+        let mut back = vec![0u8; ps];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(back, data, "flip repaired before the data was served");
+        let rel = vol.reliability();
+        assert_eq!(rel.corrected, 1);
+        assert_eq!(rel.uncorrectable, 0);
+
+        // The repair serves clean data but the stored copy still rots:
+        // a random read_at faults the same codeword through the page
+        // register and corrects it again.
+        let mut probe = [0u8; 4];
+        vol.read_at(&seg, 8, &mut probe).unwrap();
+        assert_eq!(&probe, &data[8..12]);
+        assert_eq!(vol.reliability().corrected, 2);
+    }
+
+    #[test]
+    fn multi_bit_rot_is_a_clean_corrupt_error() {
+        let (vol, scope) = setup(4);
+        let ps = vol.page_size();
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&vec![0x42; ps]).unwrap();
+        let seg = w.finish().unwrap();
+        let phys = vol.phys_of(seg.pages[0]).unwrap();
+        vol.nand().corrupt_page(phys, 3).unwrap();
+        vol.nand().corrupt_page(phys, 77).unwrap();
+
+        let mut r = vol.reader(&scope, &seg).unwrap();
+        let mut sink = vec![0u8; ps];
+        let err = r.read_exact(&mut sink).unwrap_err();
+        assert!(err.to_string().contains("uncorrectable"), "{err}");
+        assert_eq!(vol.reliability().uncorrectable, 1);
+    }
+
+    #[test]
+    fn program_failure_retires_block_and_write_succeeds() {
+        let (vol, scope) = setup(16);
+        let ps = vol.page_size();
+        vol.nand().arm_program_failures(7, 0.15);
+        let data: Vec<u8> = (0..ps * 12).map(|i| (i % 251) as u8).collect();
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&data).unwrap();
+        let seg = w.finish().unwrap();
+        vol.nand().disarm_block_failures();
+
+        let rel = vol.reliability();
+        assert!(rel.retired_blocks > 0, "seed produced no program failure");
+        // Every byte is intact despite the mid-write retirements.
+        let mut r = vol.reader(&scope, &seg).unwrap();
+        let mut back = vec![0u8; data.len()];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(back, data);
+        // Retired blocks never return to the free list.
+        let badlist = vol.bad_blocks_snapshot();
+        let st = vol.state.lock().unwrap();
+        for &b in &badlist {
+            assert!(!st.free_blocks.contains(&BlockId(b)));
+        }
+    }
+
+    #[test]
+    fn spare_exhaustion_is_a_clean_wearout_error() {
+        let cfg = FlashConfig {
+            page_size: 64,
+            pages_per_block: 4,
+            num_blocks: 8,
+            gc_low_watermark_blocks: 0,
+            spare_blocks: 1,
+            ..FlashConfig::default_2007()
+        };
+        let vol = Volume::new(Nand::new(cfg, SimClock::new()));
+        let budget = RamBudget::new(64 * 1024);
+        let scope = RamScope::new(&budget);
+        vol.nand().arm_program_failures(3, 1.0); // every program fails
+        let mut w = vol.writer(&scope).unwrap();
+        let err = w.write(&vec![0u8; vol.page_size()]).unwrap_err();
+        assert!(err.to_string().contains("flash part worn out"), "{err}");
+    }
+
+    #[test]
+    fn scrub_rewrites_pages_past_threshold() {
+        let (vol, scope) = setup(8);
+        let ps = vol.page_size();
+        let data: Vec<u8> = (0..ps).map(|i| (i * 11) as u8).collect();
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&data).unwrap();
+        let seg = w.finish().unwrap();
+        let phys = vol.phys_of(seg.pages[0]).unwrap();
+        // Two corrected reads (threshold = 2 in default_2007): the flip
+        // stays in the stored page, so each fault re-corrects it.
+        vol.nand().corrupt_page(phys, 5).unwrap();
+        for _ in 0..2 {
+            let mut r = vol.reader(&scope, &seg).unwrap();
+            let mut sink = vec![0u8; ps];
+            r.read_exact(&mut sink).unwrap();
+        }
+        assert_eq!(vol.reliability().corrected, 2);
+
+        let report = vol.scrub(&scope).unwrap();
+        assert_eq!(report.pages_rewritten, 1);
+        assert_ne!(vol.phys_of(seg.pages[0]).unwrap(), phys, "page moved");
+        assert_eq!(vol.reliability().scrubbed_pages, 1);
+        // The rewritten copy reads back clean — no further corrections.
+        let mut r = vol.reader(&scope, &seg).unwrap();
+        let mut back = vec![0u8; ps];
+        r.read_exact(&mut back).unwrap();
+        assert_eq!(back, data);
+        // Two workload corrections plus the scrub's own corrected read
+        // of the rotted source; the fresh copy adds none.
+        assert_eq!(vol.reliability().corrected, 3, "fresh copy is clean");
+        // Nothing left to scrub.
+        assert_eq!(vol.scrub(&scope).unwrap(), ScrubReport::default());
+    }
+
+    #[test]
+    fn mount_honors_persisted_bad_block_table() {
+        let (vol, scope) = setup(8);
+        let mut w = vol.writer(&scope).unwrap();
+        w.write(&vec![0x66; vol.page_size()]).unwrap();
+        let seg = w.finish().unwrap();
+        let manifest = seg.manifest();
+        let l2p = vol.l2p_snapshot();
+        let vol2 = Volume::mount(vol.nand().clone(), 0, l2p, &[6, 7]).unwrap();
+        assert_eq!(vol2.reliability().retired_blocks, 2);
+        let st = vol2.state.lock().unwrap();
+        assert!(!st.free_blocks.contains(&BlockId(6)));
+        assert!(!st.free_blocks.contains(&BlockId(7)));
+        drop(st);
+        assert_eq!(vol2.bad_blocks_snapshot(), vec![6, 7]);
+        // The mounted data is still readable.
+        let seg2 = vol2.restore_manifest(&manifest).unwrap();
+        let mut r = vol2.reader(&scope, &seg2).unwrap();
+        let mut back = vec![0u8; vol2.page_size()];
+        r.read_exact(&mut back).unwrap();
+        assert!(back.iter().all(|&b| b == 0x66));
     }
 }

@@ -583,8 +583,9 @@ impl ClimbingIndex {
     ///   surviving keys so the directory stays sorted). `None` drops the
     ///   entry and its postings: the dense key died.
     /// * `encode` resolves a delta entry's value to its key in the *new*
-    ///   key space (every delta string is in the rebuilt dictionary by
-    ///   the time this runs).
+    ///   key space; `Ok(None)` means the value was dropped from the
+    ///   rebuilt dictionary (its last referencing row died), which drops
+    ///   the whole delta entry.
     /// * `map_id` filters and renumbers every posting id — base and
     ///   delta — per level: `None` drops a dead row's posting, `Some`
     ///   is its post-compaction id (identity when nothing died).
@@ -596,7 +597,7 @@ impl ClimbingIndex {
         &mut self,
         scope: &RamScope,
         remap_key: &dyn Fn(u64) -> Option<u64>,
-        encode: &dyn Fn(&Value) -> Result<u64>,
+        encode: &dyn Fn(&Value) -> Result<Option<u64>>,
         map_id: &dyn Fn(usize, u32) -> Option<u32>,
     ) -> Result<()> {
         let n_levels = self.levels.len();
@@ -628,7 +629,14 @@ impl ClimbingIndex {
             IndexDelta::ByValue(v) => {
                 let mut out = Vec::with_capacity(v.len());
                 for (val, lists) in v {
-                    out.push((encode(&val)?, map_lists(lists)));
+                    let Some(key) = encode(&val)? else {
+                        // The value died with its last referencing row
+                        // and was dropped from the rebuilt dictionary:
+                        // every posting under it (ancestor levels
+                        // included) is a stale claim. Drop the entry.
+                        continue;
+                    };
+                    out.push((key, map_lists(lists)));
                 }
                 out.sort_by_key(|(k, _)| *k);
                 out
@@ -1639,14 +1647,14 @@ mod tests {
         // Flush under a rebuilt dictionary [Atlantis, France, Spain, USA]:
         // base codes shift by one, Atlantis takes rank 0.
         let remap = |k: u64| Some(k + 1);
-        let encode = |v: &Value| -> Result<u64> {
-            Ok(match v.as_text().unwrap() {
+        let encode = |v: &Value| -> Result<Option<u64>> {
+            Ok(Some(match v.as_text().unwrap() {
                 "Atlantis" => 0,
                 "France" => 1,
                 "Spain" => 2,
                 "USA" => 3,
                 other => panic!("unexpected {other}"),
-            })
+            }))
         };
         idx.flush(&scope, &remap, &encode, &|_, id| Some(id))
             .unwrap();
@@ -1762,12 +1770,12 @@ mod tests {
             &scope,
             &Some,
             &|v| {
-                Ok(match v.as_text().unwrap() {
+                Ok(Some(match v.as_text().unwrap() {
                     "France" => 0,
                     "Spain" => 1,
                     "USA" => 2,
                     other => panic!("unexpected {other}"),
-                })
+                }))
             },
             &|_, id| Some(id),
         )

@@ -267,7 +267,12 @@ impl IndexSet {
             let remap_fn: Box<dyn Fn(u64) -> Option<u64>> = match dict {
                 Some(r) => {
                     let map = r.map.clone();
-                    Box::new(move |k| Some(map[k as usize] as u64))
+                    // u32::MAX marks a dictionary string whose last
+                    // referencing row died: its postings drop here.
+                    Box::new(move |k| match map[k as usize] {
+                        u32::MAX => None,
+                        n => Some(n as u64),
+                    })
                 }
                 None => Box::new(Some),
             };

@@ -1,8 +1,17 @@
 //! The sealed device image: superblock header + Wire-encoded metadata
 //! body, ping-ponged between the two reserved slots.
+//!
+//! Reliability: every metadata page carries the same out-of-band
+//! codeword the volume uses ([`ghostdb_flash::ecc`]), so a single
+//! flipped bit anywhere in a slot is repaired on read; anything worse
+//! makes the slot parse as invalid and the mount falls back to the
+//! older epoch. Slot blocks that grow bad are dropped from the slot —
+//! the header's block map records which blocks actually hold the image,
+//! so a dying metadata block relocates the seal instead of bricking the
+//! key.
 
 use ghostdb_catalog::{Schema, SchemaStats};
-use ghostdb_flash::{Nand, PageAddr, PageState};
+use ghostdb_flash::{ecc, BlockId, Nand, PageAddr, PageState};
 use ghostdb_index::IndexSetManifest;
 use ghostdb_storage::{HiddenManifest, VisibleStore};
 use ghostdb_types::{decode_all, GhostError, LiveSet, Result, Wire};
@@ -14,13 +23,15 @@ const MAGIC: u32 = 0x4748_5342;
 
 /// On-flash image format version. Version 2 added the per-table
 /// tombstone sets (and, in the same release, the WAL's record-kind
-/// tag); version-1 images are rejected cleanly rather than misdecoded.
-pub const IMAGE_VERSION: u32 = 2;
+/// tag); version 3 added per-page ECC codewords, the header's
+/// bad-block-aware slot map, and the persisted volume bad-block table.
+/// Older images are rejected cleanly rather than misdecoded.
+pub const IMAGE_VERSION: u32 = 3;
 
 /// Fixed size of the superblock header at the head of a slot: magic +
 /// version (4+4), epoch (8), body length (8), body CRC (4), five
-/// geometry echoes (20), header CRC (4).
-const HEADER_BYTES: usize = 52;
+/// geometry echoes (20), slot block map (4), header CRC (4).
+const HEADER_BYTES: usize = 56;
 
 /// Everything a mount needs, beyond the NAND itself. The tree schema is
 /// *not* stored — `TreeSchema::analyze` re-derives it from the schema,
@@ -45,6 +56,9 @@ pub struct DeviceImage {
     pub tombstones: Vec<LiveSet>,
     /// The volume's logical→physical translation table at seal time.
     pub l2p: Vec<u32>,
+    /// Grown-bad blocks at seal time (the whole part, reserved region
+    /// included) — the mount retires them before the first write.
+    pub bad_blocks: Vec<u32>,
 }
 
 impl Wire for DeviceImage {
@@ -56,6 +70,7 @@ impl Wire for DeviceImage {
         self.visible.encode(out);
         self.tombstones.encode(out);
         self.l2p.encode(out);
+        self.bad_blocks.encode(out);
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         Ok(DeviceImage {
@@ -66,6 +81,7 @@ impl Wire for DeviceImage {
             visible: VisibleStore::decode(buf)?,
             tombstones: Vec::<LiveSet>::decode(buf)?,
             l2p: Vec::<u32>::decode(buf)?,
+            bad_blocks: Vec::<u32>::decode(buf)?,
         })
     }
 }
@@ -89,7 +105,50 @@ impl DeviceImage {
     }
 }
 
-fn header_bytes(nand: &Nand, epoch: u64, body: &[u8]) -> Vec<u8> {
+/// Usable payload bytes per metadata page (the codeword tail is
+/// reserved when ECC is on).
+fn page_payload(nand: &Nand) -> usize {
+    let cfg = nand.config();
+    if cfg.ecc_enabled {
+        cfg.page_size - ecc::TAIL_BYTES
+    } else {
+        cfg.page_size
+    }
+}
+
+/// Program `payload` into `addr`, sealing the codeword tail on.
+fn program_meta_page(nand: &Nand, addr: PageAddr, payload: &[u8]) -> Result<()> {
+    let cfg = nand.config();
+    if !cfg.ecc_enabled {
+        return nand.program(addr, payload);
+    }
+    let mut raw = Vec::with_capacity(cfg.page_size);
+    raw.extend_from_slice(payload);
+    raw.resize(cfg.page_size - ecc::TAIL_BYTES, 0xFF);
+    raw.resize(cfg.page_size, 0);
+    ecc::seal_page(&mut raw);
+    nand.clock().advance(cfg.ecc_cost_ns(cfg.page_size));
+    nand.program(addr, &raw)
+}
+
+/// Read a full page through the codeword check: single-bit rot is
+/// repaired, worse returns `Ok(None)` (the caller treats the page as
+/// invalid and falls back to the older slot).
+fn read_meta_page(nand: &Nand, addr: PageAddr) -> Result<Option<Vec<u8>>> {
+    let cfg = nand.config();
+    let mut raw = vec![0u8; cfg.page_size];
+    nand.read_into(addr, 0, &mut raw)?;
+    if cfg.ecc_enabled {
+        nand.clock().advance(cfg.ecc_cost_ns(cfg.page_size));
+        if ecc::verify_page(&mut raw) == ecc::Verdict::Uncorrectable {
+            return Ok(None);
+        }
+        raw.truncate(cfg.page_size - ecc::TAIL_BYTES);
+    }
+    Ok(Some(raw))
+}
+
+fn header_bytes(nand: &Nand, epoch: u64, body: &[u8], block_map: u32) -> Vec<u8> {
     let cfg = nand.config();
     let mut h = Vec::with_capacity(HEADER_BYTES);
     MAGIC.encode(&mut h);
@@ -102,16 +161,40 @@ fn header_bytes(nand: &Nand, epoch: u64, body: &[u8]) -> Vec<u8> {
     (cfg.num_blocks as u32).encode(&mut h);
     (cfg.meta_slot_blocks as u32).encode(&mut h);
     (cfg.wal_blocks as u32).encode(&mut h);
+    block_map.encode(&mut h);
     crc32(&h).encode(&mut h);
     debug_assert_eq!(h.len(), HEADER_BYTES);
     h
 }
 
+/// The slot-relative pages holding an image whose header maps
+/// `block_map`: the used blocks' pages in ascending order (the header
+/// occupies the first, the body the rest).
+fn mapped_pages(
+    cfg: &ghostdb_types::FlashConfig,
+    first_block: usize,
+    block_map: u32,
+) -> Vec<PageAddr> {
+    let ppb = cfg.pages_per_block;
+    (0..cfg.meta_slot_blocks)
+        .filter(|rel| block_map & (1 << rel) != 0)
+        .flat_map(|rel| {
+            let first = (first_block + rel) * ppb;
+            (first..first + ppb).map(|p| PageAddr(p as u32))
+        })
+        .collect()
+}
+
 /// Write `image` as epoch `epoch` into slot `epoch % 2`: erase the
-/// slot's blocks, program the superblock header page, then the body
-/// pages. The other slot — holding the previous epoch — is untouched,
-/// so a power cut anywhere in here leaves a mountable part. Returns the
-/// image size in bytes (header + body).
+/// slot's usable blocks, program the superblock header page, then the
+/// body pages. The other slot — holding the previous epoch — is
+/// untouched, so a power cut anywhere in here leaves a mountable part.
+///
+/// Blocks that fail to erase or program grow bad and are dropped from
+/// the slot: the attempt restarts on the remaining good blocks (the
+/// header's block map records the survivors), failing cleanly only when
+/// the slot cannot hold the image any more. Returns the image size in
+/// bytes (header + body).
 pub fn write_image(nand: &Nand, epoch: u64, image: &DeviceImage) -> Result<u64> {
     let cfg = nand.config().clone();
     let slots = cfg.meta_slot_blocks;
@@ -120,92 +203,174 @@ pub fn write_image(nand: &Nand, epoch: u64, image: &DeviceImage) -> Result<u64> 
             "durability disabled: FlashConfig::meta_slot_blocks is 0",
         ));
     }
-    let body = image.to_bytes();
-    let slot_pages = slots * cfg.pages_per_block;
-    let body_pages = (body.len()).div_ceil(cfg.page_size);
-    if body_pages + 1 > slot_pages {
-        return Err(GhostError::flash(format!(
-            "device image ({} B, {body_pages} pages) exceeds the metadata slot \
-             ({} pages); raise FlashConfig::meta_slot_blocks",
-            body.len(),
-            slot_pages
-        )));
-    }
-    let first_block = (epoch % 2) as usize * slots;
-    for b in first_block..first_block + slots {
-        nand.erase(ghostdb_flash::BlockId(b as u32))?;
-    }
-    let first_page = first_block * cfg.pages_per_block;
-    nand.program(
-        PageAddr(first_page as u32),
-        &header_bytes(nand, epoch, &body),
-    )?;
-    for (i, chunk) in body.chunks(cfg.page_size).enumerate() {
-        nand.program(PageAddr((first_page + 1 + i) as u32), chunk)?;
-    }
-    Ok((HEADER_BYTES + body.len()) as u64)
-}
-
-/// Parse one slot: `Ok(Some((epoch, body)))` when its header and body
-/// CRCs check out against this part's geometry.
-fn read_slot(nand: &Nand, slot: usize) -> Result<Option<(u64, Vec<u8>)>> {
-    let cfg = nand.config().clone();
-    let first_page = slot * cfg.meta_slot_blocks * cfg.pages_per_block;
-    if nand.page_state(PageAddr(first_page as u32))? != PageState::Programmed {
-        return Ok(None);
-    }
-    let mut h = vec![0u8; HEADER_BYTES];
-    nand.read_into(PageAddr(first_page as u32), 0, &mut h)?;
-    let stored_crc = u32::from_le_bytes(h[HEADER_BYTES - 4..].try_into().expect("4B"));
-    if crc32(&h[..HEADER_BYTES - 4]) != stored_crc {
-        return Ok(None);
-    }
-    let mut cur = &h[..];
-    let magic = u32::decode(&mut cur)?;
-    let version = u32::decode(&mut cur)?;
-    let epoch = u64::decode(&mut cur)?;
-    let body_len = u64::decode(&mut cur)? as usize;
-    let body_crc = u32::decode(&mut cur)?;
-    let geo = [
-        u32::decode(&mut cur)? as usize,
-        u32::decode(&mut cur)? as usize,
-        u32::decode(&mut cur)? as usize,
-        u32::decode(&mut cur)? as usize,
-        u32::decode(&mut cur)? as usize,
-    ];
-    if magic != MAGIC || version != IMAGE_VERSION {
-        return Ok(None);
-    }
-    if geo
-        != [
-            cfg.page_size,
-            cfg.pages_per_block,
-            cfg.num_blocks,
-            cfg.meta_slot_blocks,
-            cfg.wal_blocks,
-        ]
-    {
-        return Err(GhostError::corrupt(
-            "sealed image geometry does not match this part's configuration",
+    if slots > 32 {
+        return Err(GhostError::flash(
+            "FlashConfig::meta_slot_blocks exceeds the 32-block slot map",
         ));
     }
-    let slot_capacity = (cfg.meta_slot_blocks * cfg.pages_per_block - 1) * cfg.page_size;
-    if body_len > slot_capacity {
-        return Ok(None);
+    let per_page = page_payload(nand);
+    if HEADER_BYTES > per_page {
+        return Err(GhostError::flash(
+            "metadata page payload too small for the superblock header",
+        ));
     }
-    let mut body = vec![0u8; body_len];
-    let mut off = 0usize;
-    let mut page = first_page + 1;
-    while off < body_len {
-        let take = cfg.page_size.min(body_len - off);
-        nand.read_into(PageAddr(page as u32), 0, &mut body[off..off + take])?;
-        off += take;
-        page += 1;
+    let body = image.to_bytes();
+    let body_pages = body.len().div_ceil(per_page);
+    let needed = body_pages + 1;
+    let first_block = (epoch % 2) as usize * slots;
+    // Each retry is caused by a block growing bad mid-program, and the
+    // slot only has `slots` blocks to lose — the loop is bounded.
+    for _attempt in 0..=slots {
+        // Erase the slot's usable blocks; a failed erase grows the
+        // block bad and removes it from the usable set.
+        let mut good: Vec<usize> = Vec::new();
+        for b in first_block..first_block + slots {
+            let block = BlockId(b as u32);
+            if nand.is_grown_bad(block) {
+                continue;
+            }
+            match nand.erase(block) {
+                Ok(()) => good.push(b),
+                Err(_) if nand.is_grown_bad(block) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if needed > good.len() * cfg.pages_per_block {
+            return Err(GhostError::flash(format!(
+                "device image ({} B, {needed} pages with header) exceeds the usable \
+                 metadata slot ({} good blocks of {slots}); raise \
+                 FlashConfig::meta_slot_blocks",
+                body.len(),
+                good.len()
+            )));
+        }
+        let used = needed.div_ceil(cfg.pages_per_block);
+        let mut block_map = 0u32;
+        for &b in &good[..used] {
+            block_map |= 1 << (b - first_block);
+        }
+        let pages = mapped_pages(&cfg, first_block, block_map);
+        let header = header_bytes(nand, epoch, &body, block_map);
+        let mut grew_bad = false;
+        for (i, chunk) in std::iter::once(&header[..])
+            .chain(body.chunks(per_page))
+            .enumerate()
+        {
+            match program_meta_page(nand, pages[i], chunk) {
+                Ok(()) => {}
+                Err(_) if nand.is_grown_bad(nand.block_of(pages[i])) => {
+                    grew_bad = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !grew_bad {
+            return Ok((HEADER_BYTES + body.len()) as u64);
+        }
     }
-    if crc32(&body) != body_crc {
-        return Ok(None);
+    Err(GhostError::flash(
+        "metadata slot worn out: blocks kept growing bad during the seal",
+    ))
+}
+
+/// Parse one slot: `Ok(Some((epoch, body)))` when a header and its body
+/// check out against this part's geometry.
+///
+/// Every block's first page is probed for a header — a block that grew
+/// bad during a past seal can strand a stale-but-intact header next to
+/// the live one — and the highest-epoch candidate whose body validates
+/// wins. Single-bit rot anywhere is repaired by the page codewords;
+/// anything worse invalidates that candidate only.
+fn read_slot(nand: &Nand, slot: usize) -> Result<Option<(u64, Vec<u8>)>> {
+    let cfg = nand.config().clone();
+    let slots = cfg.meta_slot_blocks;
+    let per_page = page_payload(nand);
+    let first_block = slot * slots;
+    // (epoch, body_len, body_crc, block_map)
+    let mut candidates: Vec<(u64, usize, u32, u32)> = Vec::new();
+    for b in first_block..first_block + slots {
+        let haddr = PageAddr((b * cfg.pages_per_block) as u32);
+        if nand.page_state(haddr)? != PageState::Programmed {
+            continue;
+        }
+        let Some(page) = read_meta_page(nand, haddr)? else {
+            continue;
+        };
+        if page.len() < HEADER_BYTES {
+            continue;
+        }
+        let h = &page[..HEADER_BYTES];
+        let stored_crc = u32::from_le_bytes(h[HEADER_BYTES - 4..].try_into().expect("4B"));
+        if crc32(&h[..HEADER_BYTES - 4]) != stored_crc {
+            continue;
+        }
+        let mut cur = h;
+        let magic = u32::decode(&mut cur)?;
+        let version = u32::decode(&mut cur)?;
+        let epoch = u64::decode(&mut cur)?;
+        let body_len = u64::decode(&mut cur)? as usize;
+        let body_crc = u32::decode(&mut cur)?;
+        let geo = [
+            u32::decode(&mut cur)? as usize,
+            u32::decode(&mut cur)? as usize,
+            u32::decode(&mut cur)? as usize,
+            u32::decode(&mut cur)? as usize,
+            u32::decode(&mut cur)? as usize,
+        ];
+        let block_map = u32::decode(&mut cur)?;
+        if magic != MAGIC || version != IMAGE_VERSION {
+            continue;
+        }
+        if geo
+            != [
+                cfg.page_size,
+                cfg.pages_per_block,
+                cfg.num_blocks,
+                cfg.meta_slot_blocks,
+                cfg.wal_blocks,
+            ]
+        {
+            return Err(GhostError::corrupt(
+                "sealed image geometry does not match this part's configuration",
+            ));
+        }
+        // The header must sit in the first mapped block, and the map
+        // must stay inside the slot.
+        let rel = (b - first_block) as u32;
+        if block_map == 0 || block_map.trailing_zeros() != rel || (block_map >> slots) != 0 {
+            continue;
+        }
+        let capacity = (block_map.count_ones() as usize * cfg.pages_per_block - 1) * per_page;
+        if body_len > capacity {
+            continue;
+        }
+        candidates.push((epoch, body_len, body_crc, block_map));
     }
-    Ok(Some((epoch, body)))
+    candidates.sort_by_key(|&(e, ..)| e);
+    while let Some((epoch, body_len, body_crc, block_map)) = candidates.pop() {
+        let pages = mapped_pages(&cfg, first_block, block_map);
+        let mut body = vec![0u8; body_len];
+        let mut off = 0usize;
+        let mut seq = 1usize; // pages[0] is the header
+        let mut valid = true;
+        while off < body_len {
+            let take = per_page.min(body_len - off);
+            match read_meta_page(nand, pages[seq])? {
+                Some(page) => body[off..off + take].copy_from_slice(&page[..take]),
+                None => {
+                    valid = false;
+                    break;
+                }
+            }
+            off += take;
+            seq += 1;
+        }
+        if valid && crc32(&body) == body_crc {
+            return Ok(Some((epoch, body)));
+        }
+    }
+    Ok(None)
 }
 
 /// A successfully read sealed image.

@@ -18,11 +18,20 @@
 //! the payload bytes carried, `start` whether a record begins at payload
 //! offset 0, and `crc` covers epoch..payload. Pages whose epoch differs
 //! from the mounted image's are stale leftovers of an interrupted
-//! truncation and are ignored. Records carry their own length + CRC on
-//! top, so a record spanning pages is only replayed if every page of it
-//! survived.
+//! truncation and are ignored. Records carry their own length, sequence
+//! number, and CRC on top, so a record spanning pages is only replayed
+//! if every page of it survived — and a record that *rotted away* in
+//! the middle of the log ends replay at the last good record (the
+//! sequence gap proves later records depend on lost state).
+//!
+//! Reliability: when ECC is enabled each WAL page also carries the
+//! volume's out-of-band codeword ([`ghostdb_flash::ecc`]), repairing
+//! single-bit rot on replay; worse rot makes the page parse as torn.
+//! WAL blocks that grow bad during an append are skipped — the record
+//! retries past the bad block, and replay resyncs over the partial
+//! pages the failed attempt left behind.
 
-use ghostdb_flash::{BlockId, Nand, PageAddr, PageState};
+use ghostdb_flash::{ecc, BlockId, Nand, PageAddr, PageState};
 use ghostdb_types::{GhostError, Result};
 
 use crate::crc::crc32;
@@ -33,8 +42,8 @@ const MAGIC: u32 = 0x4757_414C;
 /// Per-page header size.
 const PAGE_HEADER: usize = 25;
 
-/// Per-record header size (len + crc).
-const REC_HEADER: usize = 8;
+/// Per-record header size (len + record seq + crc).
+const REC_HEADER: usize = 12;
 
 /// Append cursor over the reserved WAL region.
 #[derive(Debug)]
@@ -58,6 +67,11 @@ pub struct WalOpen {
     pub wal: Wal,
     /// Fully-committed records of the mounted epoch, in append order.
     pub records: Vec<Vec<u8>>,
+    /// True when replay stopped early: a record in the middle of the
+    /// log was lost (rotted past the ECC budget, or its pages torn) and
+    /// everything after it was discarded as dependent on lost state.
+    /// The caller must re-seal so the stale tail dies with its epoch.
+    pub truncated: bool,
 }
 
 impl Wal {
@@ -67,6 +81,14 @@ impl Wal {
 
     fn page_addr(&self, idx: usize) -> PageAddr {
         PageAddr((self.first_block * self.nand.config().pages_per_block + idx) as u32)
+    }
+
+    /// Payload bytes per WAL page (codeword tail reserved when ECC is
+    /// on).
+    fn per_page(&self) -> usize {
+        let cfg = self.nand.config();
+        let tail = if cfg.ecc_enabled { ecc::TAIL_BYTES } else { 0 };
+        cfg.page_size - PAGE_HEADER - tail
     }
 
     /// A fresh cursor at the head of the region (used right after a
@@ -89,12 +111,18 @@ impl Wal {
     /// tail) and position the cursor after the last *programmed* page —
     /// torn or stale pages can never be reprogrammed without an erase,
     /// so they are skipped, not reused.
+    ///
+    /// Replay ends at the last good record: a sequence gap (a committed
+    /// record lost to rot) discards everything after it and reports
+    /// [`WalOpen::truncated`].
     pub fn open(nand: Nand, epoch: u64) -> Result<WalOpen> {
         let mut wal = Wal::new(nand, epoch);
-        let ps = wal.nand.config().page_size;
-        let mut records = Vec::new();
+        let cfg = wal.nand.config().clone();
+        let ps = cfg.page_size;
+        let mut records: Vec<Vec<u8>> = Vec::new();
         let mut pending: Vec<u8> = Vec::new();
         let mut in_record = false;
+        let mut halted = false;
         let mut last_programmed: Option<usize> = None;
         let mut bytes = 0u64;
         for idx in 0..wal.region_pages() {
@@ -103,9 +131,24 @@ impl Wal {
                 continue;
             }
             last_programmed = Some(idx);
+            if halted {
+                continue;
+            }
             let mut page = vec![0u8; ps];
             wal.nand.read_into(addr, 0, &mut page)?;
-            let Some((start, payload)) = parse_page(&page, epoch, idx as u32) else {
+            let usable = if cfg.ecc_enabled {
+                wal.nand.clock().advance(cfg.ecc_cost_ns(ps));
+                if ecc::verify_page(&mut page) == ecc::Verdict::Uncorrectable {
+                    // Rotted past the budget: treat as torn.
+                    in_record = false;
+                    pending.clear();
+                    continue;
+                }
+                &page[..ps - ecc::TAIL_BYTES]
+            } else {
+                &page[..]
+            };
+            let Some((start, payload)) = parse_page(usable, epoch, idx as u32) else {
                 // Torn or stale page: any record running through it died.
                 in_record = false;
                 pending.clear();
@@ -124,12 +167,20 @@ impl Wal {
             // append = one record, but stay defensive about the shape).
             if pending.len() >= REC_HEADER {
                 let len = u32::from_le_bytes(pending[..4].try_into().expect("4B")) as usize;
-                let crc = u32::from_le_bytes(pending[4..8].try_into().expect("4B"));
+                let rec_seq = u32::from_le_bytes(pending[4..8].try_into().expect("4B"));
+                let crc = u32::from_le_bytes(pending[8..12].try_into().expect("4B"));
                 if pending.len() >= REC_HEADER + len {
                     let body = pending[REC_HEADER..REC_HEADER + len].to_vec();
                     if crc32(&body) == crc {
-                        bytes += body.len() as u64;
-                        records.push(body);
+                        if rec_seq as usize == records.len() {
+                            bytes += body.len() as u64;
+                            records.push(body);
+                        } else {
+                            // A committed predecessor rotted away; this
+                            // record (and everything after) depends on
+                            // lost state. End replay here.
+                            halted = true;
+                        }
                     }
                     pending.clear();
                     in_record = false;
@@ -139,7 +190,11 @@ impl Wal {
         wal.next_page = last_programmed.map(|p| p + 1).unwrap_or(0);
         wal.records = records.len() as u64;
         wal.appended_bytes = bytes;
-        Ok(WalOpen { wal, records })
+        Ok(WalOpen {
+            wal,
+            records,
+            truncated: halted,
+        })
     }
 
     /// Would a record of `payload_len` bytes fit in the remaining
@@ -147,8 +202,7 @@ impl Wal {
     /// "full WAL" is handled by flushing (which truncates) rather than
     /// by dissecting an append error after the fact.
     pub fn fits(&self, payload_len: usize) -> bool {
-        let per_page = self.nand.config().page_size - PAGE_HEADER;
-        let pages_needed = (REC_HEADER + payload_len).div_ceil(per_page);
+        let pages_needed = (REC_HEADER + payload_len).div_ceil(self.per_page());
         self.next_page + pages_needed <= self.region_pages()
     }
 
@@ -156,60 +210,97 @@ impl Wal {
     /// writing anything the replay path would trust — when the region
     /// cannot hold it (see [`fits`](Self::fits)); the caller's answer
     /// to a full WAL is a delta flush, which re-seals and truncates.
+    ///
+    /// A WAL block that grows bad mid-append is skipped and the whole
+    /// record retried past it (replay resyncs over the abandoned
+    /// partial pages); the cursor only ever moves forward, so the retry
+    /// loop terminates at the region-full error in the worst case.
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
         let cfg = self.nand.config().clone();
-        let per_page = cfg.page_size - PAGE_HEADER;
-        if !self.fits(payload.len()) {
-            return Err(GhostError::flash(format!(
-                "WAL region full ({} of {} pages used); flush the deltas to truncate it",
-                self.next_page,
-                self.region_pages()
-            )));
-        }
+        let per_page = self.per_page();
         let total = REC_HEADER + payload.len();
         let mut stream = Vec::with_capacity(total);
         (payload.len() as u32).encode_into(&mut stream);
+        (self.records as u32).encode_into(&mut stream);
         crc32(payload).encode_into(&mut stream);
         stream.extend_from_slice(payload);
-        for (i, chunk) in stream.chunks(per_page).enumerate() {
-            let idx = self.next_page;
-            if idx.is_multiple_of(cfg.pages_per_block) {
-                // Entering a block: erase it if a stale page lingers
-                // from before an interrupted truncation.
-                let block = self.first_block + idx / cfg.pages_per_block;
-                let first = block * cfg.pages_per_block;
-                let dirty = (first..first + cfg.pages_per_block).any(|p| {
-                    !matches!(
-                        self.nand.page_state(PageAddr(p as u32)),
-                        Ok(PageState::Erased)
-                    )
-                });
-                if dirty {
-                    self.nand.erase(BlockId(block as u32))?;
+        'attempt: loop {
+            if !self.fits(payload.len()) {
+                return Err(GhostError::flash(format!(
+                    "WAL region full ({} of {} pages used); flush the deltas to truncate it",
+                    self.next_page,
+                    self.region_pages()
+                )));
+            }
+            for (i, chunk) in stream.chunks(per_page).enumerate() {
+                let idx = self.next_page;
+                let rel_block = idx / cfg.pages_per_block;
+                let block = BlockId((self.first_block + rel_block) as u32);
+                let skip_block = |wal: &mut Wal| {
+                    wal.next_page = (rel_block + 1) * cfg.pages_per_block;
+                };
+                if self.nand.is_grown_bad(block) {
+                    skip_block(self);
+                    continue 'attempt;
+                }
+                if idx.is_multiple_of(cfg.pages_per_block) {
+                    // Entering a block: erase it if a stale page lingers
+                    // from before an interrupted truncation.
+                    let first = (self.first_block + rel_block) * cfg.pages_per_block;
+                    let dirty = (first..first + cfg.pages_per_block).any(|p| {
+                        !matches!(
+                            self.nand.page_state(PageAddr(p as u32)),
+                            Ok(PageState::Erased)
+                        )
+                    });
+                    if dirty {
+                        match self.nand.erase(block) {
+                            Ok(()) => {}
+                            Err(_) if self.nand.is_grown_bad(block) => {
+                                skip_block(self);
+                                continue 'attempt;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                let mut page = Vec::with_capacity(PAGE_HEADER + chunk.len());
+                MAGIC.encode_into(&mut page);
+                self.epoch.encode_into(&mut page);
+                (idx as u32).encode_into(&mut page);
+                (chunk.len() as u32).encode_into(&mut page);
+                page.push((i == 0) as u8);
+                let crc = crc32(&[&page[4..], chunk].concat());
+                crc.encode_into(&mut page);
+                page.extend_from_slice(chunk);
+                if cfg.ecc_enabled {
+                    page.resize(cfg.page_size - ecc::TAIL_BYTES, 0xFF);
+                    page.resize(cfg.page_size, 0);
+                    ecc::seal_page(&mut page);
+                    self.nand.clock().advance(cfg.ecc_cost_ns(cfg.page_size));
+                }
+                match self.nand.program(self.page_addr(idx), &page) {
+                    Ok(()) => self.next_page += 1,
+                    Err(_) if self.nand.is_grown_bad(block) => {
+                        skip_block(self);
+                        continue 'attempt;
+                    }
+                    Err(e) => return Err(e),
                 }
             }
-            let mut page = Vec::with_capacity(PAGE_HEADER + chunk.len());
-            MAGIC.encode_into(&mut page);
-            self.epoch.encode_into(&mut page);
-            (idx as u32).encode_into(&mut page);
-            (chunk.len() as u32).encode_into(&mut page);
-            page.push((i == 0) as u8);
-            let crc = crc32(&[&page[4..], chunk].concat());
-            crc.encode_into(&mut page);
-            page.extend_from_slice(chunk);
-            self.nand.program(self.page_addr(idx), &page)?;
-            self.next_page += 1;
+            self.appended_bytes += payload.len() as u64;
+            self.records += 1;
+            return Ok(());
         }
-        self.appended_bytes += payload.len() as u64;
-        self.records += 1;
-        Ok(())
     }
 
     /// Restart the log under `new_epoch` and erase every dirty block
     /// (called after the epoch's image is durable). The cursor state
     /// resets *before* the erases so a failure mid-erase leaves a
     /// coherent log: replay ignores the stale-epoch pages, and the next
-    /// [`append`](Self::append) erases its block on entry anyway.
+    /// [`append`](Self::append) erases its block on entry anyway. A
+    /// block that grows bad here is simply left behind — appends skip
+    /// grown-bad blocks.
     pub fn truncate(&mut self, new_epoch: u64) -> Result<()> {
         self.epoch = new_epoch;
         self.next_page = 0;
@@ -217,6 +308,10 @@ impl Wal {
         self.records = 0;
         let cfg = self.nand.config().clone();
         for b in self.first_block..self.first_block + self.blocks {
+            let block = BlockId(b as u32);
+            if self.nand.is_grown_bad(block) {
+                continue;
+            }
             let first = b * cfg.pages_per_block;
             let dirty = (first..first + cfg.pages_per_block).any(|p| {
                 !matches!(
@@ -225,7 +320,11 @@ impl Wal {
                 )
             });
             if dirty {
-                self.nand.erase(BlockId(b as u32))?;
+                match self.nand.erase(block) {
+                    Ok(()) => {}
+                    Err(_) if self.nand.is_grown_bad(block) => continue,
+                    Err(e) => return Err(e),
+                }
             }
         }
         Ok(())
@@ -266,7 +365,8 @@ macro_rules! encode_into {
 encode_into!(u32, u64);
 
 /// Validate one page against the mounted epoch and its own position;
-/// returns `(starts_record, payload)` for valid pages.
+/// returns `(starts_record, payload)` for valid pages. `page` excludes
+/// the codeword tail (already verified by the caller).
 fn parse_page(page: &[u8], epoch: u64, seq: u32) -> Option<(bool, &[u8])> {
     if page.len() < PAGE_HEADER {
         return None;
@@ -324,6 +424,7 @@ mod tests {
         assert_eq!(opened.records[1], [0xAB; 200]);
         assert_eq!(opened.records[2], b"omega");
         assert_eq!(opened.wal.bytes(), 5 + 200 + 5);
+        assert!(!opened.truncated);
     }
 
     #[test]
@@ -370,7 +471,8 @@ mod tests {
     fn full_region_is_a_clean_error() {
         let n = nand();
         let mut wal = Wal::new(n, 3);
-        // 16 pages of 39 B payload capacity each.
+        // 16 pages of 31 B payload capacity each (64 B page minus the
+        // 25 B header and the 8 B codeword tail).
         for _ in 0..16 {
             wal.append(b"x").unwrap();
         }
@@ -379,5 +481,74 @@ mod tests {
         // Truncation recovers the space.
         wal.truncate(4).unwrap();
         wal.append(b"fits again").unwrap();
+    }
+
+    #[test]
+    fn single_bit_rot_in_a_wal_page_is_repaired_on_replay() {
+        let n = nand();
+        let mut wal = Wal::new(n.clone(), 9);
+        wal.append(b"precious bytes").unwrap();
+        // Flip one stored bit in the record's page.
+        let first = crate::wal_first_block(n.config()) * n.config().pages_per_block;
+        n.corrupt_page(PageAddr(first as u32), 61).unwrap();
+
+        let opened = Wal::open(n, 9).unwrap();
+        assert_eq!(opened.records, vec![b"precious bytes".to_vec()]);
+        assert!(!opened.truncated);
+    }
+
+    #[test]
+    fn rotted_record_mid_log_ends_replay_at_last_good_record() {
+        let n = nand();
+        let mut wal = Wal::new(n.clone(), 5);
+        wal.append(b"first").unwrap();
+        wal.append(b"second").unwrap();
+        wal.append(b"third").unwrap();
+        // Rot the *second* record's page past the single-bit budget.
+        let first = crate::wal_first_block(n.config()) * n.config().pages_per_block;
+        n.corrupt_page(PageAddr((first + 1) as u32), 200).unwrap();
+        n.corrupt_page(PageAddr((first + 1) as u32), 311).unwrap();
+
+        let opened = Wal::open(n, 5).unwrap();
+        // "third" committed, but it depends on state that included
+        // "second" — replay must stop at the last good record.
+        assert_eq!(opened.records, vec![b"first".to_vec()]);
+        assert!(opened.truncated);
+    }
+
+    #[test]
+    fn grown_bad_wal_block_is_skipped_and_the_record_lands() {
+        let n = nand();
+        let mut wal = Wal::new(n.clone(), 11);
+        wal.append(b"before").unwrap();
+        // Every program attempt fails until disarmed: the current block
+        // grows bad and the append must relocate past it.
+        n.arm_program_failures(99, 1.0);
+        let err = wal.append(b"doomed-while-armed").unwrap_err();
+        assert!(
+            err.to_string().contains("WAL region full"),
+            "exhausting every block must surface the clean full error, got: {err}"
+        );
+        n.disarm_block_failures();
+
+        // Now grow exactly ONE block bad (a single armed erase) and
+        // check the append relocates past it while the bad block's
+        // already-programmed pages stay readable.
+        let n2 = nand();
+        let mut wal2 = Wal::new(n2.clone(), 11);
+        wal2.append(b"before").unwrap();
+        let wb = crate::wal_first_block(n2.config()) as u32;
+        n2.arm_erase_failures(42, 1.0);
+        assert!(n2.erase(BlockId(wb)).is_err());
+        n2.disarm_block_failures();
+        assert!(n2.is_grown_bad(BlockId(wb)));
+
+        wal2.append(b"after-the-bad-block").unwrap();
+        let opened = Wal::open(n2, 11).unwrap();
+        assert_eq!(
+            opened.records,
+            vec![b"before".to_vec(), b"after-the-bad-block".to_vec()]
+        );
+        assert!(!opened.truncated);
     }
 }

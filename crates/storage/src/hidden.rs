@@ -838,14 +838,21 @@ impl HiddenStore {
     }
 
     /// Exact order key of `value` in the column's current key space
-    /// (dictionary probes resolve on flash). Errors if a dict column
-    /// does not contain the string — after a [`flush`](Self::flush)
-    /// every stored string is in the rebuilt dictionary, which is what
-    /// the index flush relies on.
-    pub fn encode_value(&self, table: TableId, column: ColumnId, value: &Value) -> Result<u64> {
+    /// (dictionary probes resolve on flash). `Ok(None)` when a dict
+    /// column does not contain the string — after a
+    /// [`flush`](Self::flush) that means its last referencing row died
+    /// and the rebuilt dictionary dropped it, which tells the index
+    /// flush to drop the matching delta entry too.
+    pub fn encode_value(
+        &self,
+        table: TableId,
+        column: ColumnId,
+        value: &Value,
+    ) -> Result<Option<u64>> {
         match self.store(table, column)? {
             ColumnStore::Fixed { .. } => value
                 .order_key()
+                .map(Some)
                 .ok_or_else(|| GhostError::value("text value on a fixed-key column")),
             ColumnStore::Dict {
                 offsets,
@@ -859,12 +866,10 @@ impl HiddenStore {
                 if *entries > 0 {
                     let (code, exact) = self.dict_lower_bound(offsets, bytes, *entries, s)?;
                     if exact {
-                        return Ok(code as u64);
+                        return Ok(Some(code as u64));
                     }
                 }
-                Err(GhostError::corrupt(format!(
-                    "value {s:?} missing from dictionary"
-                )))
+                Ok(None)
             }
         }
     }
@@ -1031,9 +1036,10 @@ impl HiddenStore {
     /// * dict columns rebuild the dictionary — re-ranking every code so
     ///   order-preservation covers absorbed strings — and report the
     ///   old→new code map ([`FlushRemaps::dicts`]). Strings whose last
-    ///   referencing row died keep their (harmless) dictionary slot; the
-    ///   per-row data, postings and SKT rows are where dead bytes live,
-    ///   and those are dropped here.
+    ///   referencing row died are **dropped from the rebuilt
+    ///   dictionary** (their bytes and offset slots reclaimed with the
+    ///   per-row data); their remap entry is `u32::MAX`, which tells
+    ///   index compaction to drop the matching postings too.
     ///
     /// Afterwards every table is all-live over its new physical
     /// universe: logical and physical ids coincide again.
@@ -1145,20 +1151,16 @@ impl HiddenStore {
                                 .map(|i| i as u32)
                                 .map_err(|_| GhostError::corrupt("string missing from merge"))
                         };
-                        let remap: Vec<u32> = base_strings
+                        let to_merged: Vec<u32> = base_strings
                             .iter()
                             .map(|s| code_of(s))
                             .collect::<Result<_>>()?;
-                        let mut offs_w = volume.writer(scope)?;
-                        let mut bytes_w = volume.writer(scope)?;
-                        let mut off = 0u32;
-                        for s in &merged {
-                            offs_w.write(&off.to_le_bytes())?;
-                            bytes_w.write(s.as_bytes())?;
-                            off += s.len() as u32;
-                        }
-                        offs_w.write(&off.to_le_bytes())?;
-                        let mut codes_w = volume.writer(scope)?;
+                        // Pass 1 — one streaming read of the base codes:
+                        // resolve every surviving row to its merged-space
+                        // code, marking which strings are still
+                        // referenced at all.
+                        let mut referenced = vec![false; merged.len()];
+                        let mut survivors: Vec<u32> = Vec::new();
                         let mut reader = volume.reader(scope, &codes)?;
                         let mut buf = [0u8; 4];
                         for r in 0..base_rows {
@@ -1166,16 +1168,17 @@ impl HiddenStore {
                             if !self.live[ti].is_live(r) {
                                 continue;
                             }
-                            let code = match overwrites.get(&r) {
+                            let m = match overwrites.get(&r) {
                                 Some(v) => {
                                     let s = v.as_text().ok_or_else(|| {
                                         GhostError::corrupt("non-text in CHAR column")
                                     })?;
                                     code_of(s)?
                                 }
-                                None => remap[u32::from_le_bytes(buf) as usize],
+                                None => to_merged[u32::from_le_bytes(buf) as usize],
                             };
-                            codes_w.write(&code.to_le_bytes())?;
+                            referenced[m as usize] = true;
+                            survivors.push(m);
                         }
                         drop(reader);
                         for (i, v) in delta.values.iter().enumerate() {
@@ -1185,13 +1188,46 @@ impl HiddenStore {
                             let s = v
                                 .as_text()
                                 .ok_or_else(|| GhostError::corrupt("non-text in CHAR column"))?;
-                            codes_w.write(&code_of(s)?.to_le_bytes())?;
+                            let m = code_of(s)?;
+                            referenced[m as usize] = true;
+                            survivors.push(m);
                         }
+                        // Pass 2 — drop unreferenced strings, re-ranking
+                        // the keepers dense (order preserved: `merged`
+                        // is sorted and the drop is a filter).
+                        let mut to_kept = vec![u32::MAX; merged.len()];
+                        let mut kept = 0u32;
+                        for (m, r) in referenced.iter().enumerate() {
+                            if *r {
+                                to_kept[m] = kept;
+                                kept += 1;
+                            }
+                        }
+                        let mut offs_w = volume.writer(scope)?;
+                        let mut bytes_w = volume.writer(scope)?;
+                        let mut off = 0u32;
+                        for (m, s) in merged.iter().enumerate() {
+                            if !referenced[m] {
+                                continue;
+                            }
+                            offs_w.write(&off.to_le_bytes())?;
+                            bytes_w.write(s.as_bytes())?;
+                            off += s.len() as u32;
+                        }
+                        offs_w.write(&off.to_le_bytes())?;
+                        let mut codes_w = volume.writer(scope)?;
+                        for m in &survivors {
+                            codes_w.write(&to_kept[*m as usize].to_le_bytes())?;
+                        }
+                        // Reported remap: old base code → final code,
+                        // u32::MAX when the string died with its rows.
+                        let remap: Vec<u32> =
+                            to_merged.iter().map(|&m| to_kept[m as usize]).collect();
                         let new_store = ColumnStore::Dict {
                             codes: codes_w.finish()?,
                             offsets: offs_w.finish()?,
                             bytes: bytes_w.finish()?,
-                            entries: merged.len() as u32,
+                            entries: kept,
                         };
                         volume.free(codes)?;
                         volume.free(offsets)?;
@@ -1821,7 +1857,7 @@ mod tests {
             store
                 .encode_value(t, c, &Value::Text("Zoster".into()))
                 .unwrap(),
-            4
+            Some(4)
         );
         let range = store
             .key_range(t, c, ScalarOp::Ge, &Value::Text("Zoster".into()))
@@ -1913,6 +1949,46 @@ mod tests {
         let scan = store.filter_scan(&scope, t, purpose, range).unwrap();
         let got: Vec<u32> = scan.map(|r| r.unwrap().0).collect();
         assert_eq!(got, vec![5]);
+    }
+
+    /// A dictionary string whose last referencing row died is dropped
+    /// from the rebuilt dictionary, and its remap entry tells index
+    /// compaction to drop the matching postings.
+    #[test]
+    fn flush_drops_dead_dictionary_strings() {
+        let (volume, scope, schema, data) = setup();
+        let (mut store, _) = HiddenStore::build(&volume, &scope, &schema, &data).unwrap();
+        let t = TableId(0);
+        let purpose = ColumnId(2);
+        // Codes: Checkup=0, Diabetes=1, Flu=2, Sclerosis=3. Kill every
+        // "Flu" row (setup assigns purposes round-robin, i % 4 == 2).
+        let dead: Vec<u32> = (0..100).filter(|r| r % 4 == 2).collect();
+        store.delete_rows_physical(t, &dead).unwrap();
+        let remaps = store.flush(&scope, &schema).unwrap();
+        let dict = remaps
+            .dicts
+            .iter()
+            .find(|r| r.table.0 == t.0 && r.column.0 == purpose.0)
+            .expect("purpose column rebuilt");
+        assert_eq!(dict.map, vec![0, 1, u32::MAX, 2], "Flu's code dies");
+        // The dictionary no longer answers for "Flu"...
+        assert!(store
+            .key_range(t, purpose, ScalarOp::Eq, &Value::Text("Flu".into()))
+            .unwrap()
+            .is_none());
+        // ...the survivors re-ranked dense around the gap...
+        let eq = store
+            .key_range(t, purpose, ScalarOp::Eq, &Value::Text("Sclerosis".into()))
+            .unwrap()
+            .unwrap();
+        assert_eq!((eq.lo, eq.hi), (2, 2));
+        // ...and surviving rows still decode their strings.
+        for (row, expect) in [(0u32, "Checkup"), (1, "Diabetes"), (2, "Sclerosis")] {
+            assert_eq!(
+                store.value(&scope, t, purpose, RowId(row)).unwrap(),
+                Value::Text(expect.into())
+            );
+        }
     }
 
     /// Predicate translation between the logical and physical id spaces

@@ -54,6 +54,22 @@ pub struct FlashConfig {
     /// seals a fresh image. `0` disables durability together with
     /// `meta_slot_blocks`.
     pub wal_blocks: usize,
+    /// Store an out-of-band error-control codeword (CRC-32 detection +
+    /// single-bit correction) in the tail of every programmed page. The
+    /// usable page payload shrinks by the codeword size; every page
+    /// fault verifies (and corrects) before data is served.
+    pub ecc_enabled: bool,
+    /// Cost of computing/checking the codeword, ns per byte covered
+    /// (models a small hardware ECC engine on the secure chip).
+    pub ecc_byte_ns: u64,
+    /// Scrub trigger: once a physical page has needed this many
+    /// corrected reads since it was programmed, the GC's scrub pass
+    /// rewrites it to a fresh location before it rots past the
+    /// single-bit correction budget. `0` disables scrubbing.
+    pub scrub_threshold: u32,
+    /// Grown-bad-block budget: how many blocks may be retired to the
+    /// bad-block table before the volume reports the part worn out.
+    pub spare_blocks: usize,
 }
 
 impl FlashConfig {
@@ -74,7 +90,20 @@ impl FlashConfig {
             gc_max_victims_per_pass: 8,
             meta_slot_blocks: 8,
             wal_blocks: 8,
+            ecc_enabled: true,
+            ecc_byte_ns: 2,
+            scrub_threshold: 2,
+            spare_blocks: 64,
         }
+    }
+
+    /// Cost of computing or checking one page codeword covering `bytes`
+    /// of payload, ns. Zero when ECC is disabled.
+    pub fn ecc_cost_ns(&self, bytes: usize) -> u64 {
+        if !self.ecc_enabled {
+            return 0;
+        }
+        self.ecc_byte_ns * bytes as u64
     }
 
     /// Erase blocks the durability layer claims at the head of the part

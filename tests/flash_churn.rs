@@ -125,6 +125,73 @@ fn interleaved_persistent_and_temp_churn_survives_gc() {
     assert!(err.to_string().contains("double free"), "{err}");
 }
 
+/// Churn with the dying-flash fault model armed — retention flips and
+/// read disturb on every read path, blocks growing bad mid-program and
+/// mid-erase — must stay invisible to the byte stream: reads come back
+/// corrected, bad blocks retire with their live pages evacuated, and
+/// the reliability counters prove the machinery actually engaged.
+#[test]
+fn churn_survives_bit_rot_and_grown_bad_blocks() {
+    let cfg = FlashConfig {
+        page_size: 64,
+        pages_per_block: 8,
+        num_blocks: 256,
+        spare_blocks: 32,
+        ..FlashConfig::default_2007()
+    };
+    let nand = Nand::new(cfg, SimClock::new());
+    let vol = Volume::new(nand.clone());
+    let budget = RamBudget::new(64 * 1024);
+    let scope = RamScope::new(&budget);
+
+    nand.arm_bit_rot(0xC0FFEE, 0.01, 64);
+    nand.arm_program_failures(0xBAD, 0.002);
+    nand.arm_erase_failures(0xBAD2, 0.002);
+
+    let ps = vol.page_size();
+    let mut persistent = Vec::new();
+    for round in 0..40u32 {
+        let tag = (round % 251) as u8;
+        let mut keeper = vol.writer(&scope).unwrap();
+        let mut temp = vol.writer(&scope).unwrap();
+        for _ in 0..8 {
+            keeper.write(&vec![tag; ps]).unwrap();
+            temp.write(&vec![0xEE; ps * 7]).unwrap();
+        }
+        let kseg = keeper.finish().unwrap();
+        let tseg = temp.finish().unwrap();
+        vol.free(tseg)
+            .unwrap_or_else(|e| panic!("round {round}: temp free failed: {e}"));
+        persistent.push((kseg, tag));
+    }
+
+    // Every byte reads back exactly as written, rot notwithstanding.
+    for (seg, tag) in &persistent {
+        let mut r = vol.reader(&scope, seg).unwrap();
+        let mut back = vec![0u8; seg.len() as usize];
+        r.read_exact(&mut back).unwrap();
+        assert!(
+            back.iter().all(|b| b == tag),
+            "persistent segment corrupted under armed faults"
+        );
+    }
+    let rel = vol.reliability();
+    assert!(
+        rel.corrected > 0,
+        "rot was armed; corrections must have happened: {rel:?}"
+    );
+    assert_eq!(
+        rel.uncorrectable, 0,
+        "in-budget rot must never surface as data loss: {rel:?}"
+    );
+    assert!(
+        rel.retired_blocks <= rel.spare_blocks,
+        "retirement stayed inside the spare budget: {rel:?}"
+    );
+    nand.disarm_bit_rot();
+    nand.disarm_block_failures();
+}
+
 #[test]
 fn flash_full_is_a_clean_error() {
     // A flash too small for the dataset + indexes must fail with the

@@ -1,0 +1,228 @@
+//! Dying-flash acceptance properties: with bit-rot and grown-bad
+//! faults armed — up to the documented single-bit-per-page correction
+//! budget and `spare_blocks` retirement budget — the engine answers
+//! queries exactly like a fresh load of the same rows and survives a
+//! full seal → unplug → mount cycle. Past either budget it fails with
+//! a clean diagnostic, never silent corruption.
+
+mod common;
+
+use ghostdb::GhostDb;
+use ghostdb_flash::PageAddr;
+use ghostdb_storage::Dataset;
+use ghostdb_types::{DeviceConfig, TableId, Value};
+use proptest::prelude::*;
+
+const DDL: &str = "\
+    CREATE TABLE Child (
+      cid INTEGER PRIMARY KEY,
+      vis INTEGER,
+      hid INTEGER HIDDEN,
+      tag CHAR(12) HIDDEN);
+    CREATE TABLE Root (
+      rid INTEGER PRIMARY KEY,
+      amt INTEGER HIDDEN,
+      cid REFERENCES Child(cid) HIDDEN);";
+
+fn config() -> DeviceConfig {
+    let mut config = DeviceConfig::default_2007();
+    // Small geometry so faults land often relative to the data volume.
+    config.flash.page_size = 256;
+    config.flash.pages_per_block = 8;
+    config.flash.num_blocks = 512;
+    config.flash.meta_slot_blocks = 4;
+    config.flash.wal_blocks = 2;
+    config.delta_flush_rows = 0;
+    config
+}
+
+fn child_row(i: i64, next: &mut impl FnMut() -> i64) -> Vec<Value> {
+    vec![
+        Value::Int(i),
+        Value::Int(next() % 50),
+        Value::Int(next() % 50),
+        Value::Text(format!("tag-{}", next().rem_euclid(8))),
+    ]
+}
+
+fn root_row(i: i64, children: i64, next: &mut impl FnMut() -> i64) -> Vec<Value> {
+    vec![
+        Value::Int(i),
+        Value::Int(next() % 50),
+        Value::Int(next().rem_euclid(children)),
+    ]
+}
+
+fn lcg(seed: u64) -> impl FnMut() -> i64 {
+    let mut state = seed | 1;
+    move || -> i64 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as i64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Query ≡ fresh-load equivalence and seal → unplug → mount, with
+    /// retention flips, read disturb, and grown-bad program/erase
+    /// failures armed for the whole run.
+    #[test]
+    fn faulty_flash_within_budget_is_invisible(
+        seed in any::<u64>(),
+        base_children in 4usize..16,
+        base_roots in 6usize..24,
+        ins_children in 1usize..6,
+        flip_ppm in 0u32..15_000,
+        fail_ppm in 0u32..2_000,
+        hidden_cut in 0i64..50,
+        tag_pick in 0usize..8,
+    ) {
+        let mut next = lcg(seed);
+        let stmts = ghostdb_sql::parse_statements(DDL).unwrap();
+        let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
+        let mut base = Dataset::empty(&schema);
+        for i in 0..base_children as i64 {
+            base.push_row(TableId(0), child_row(i, &mut next)).unwrap();
+        }
+        for i in 0..base_roots as i64 {
+            base.push_row(TableId(1), root_row(i, base_children as i64, &mut next)).unwrap();
+        }
+        let mut child_batch = Vec::new();
+        for i in 0..ins_children as i64 {
+            child_batch.push(child_row(base_children as i64 + i, &mut next));
+        }
+
+        // The device under test: faults armed right after the load.
+        let mut db = GhostDb::create(DDL, config(), &base).unwrap();
+        let nand = db.nand().clone();
+        nand.arm_bit_rot(seed ^ 0x1, flip_ppm as f64 / 1e6, 97);
+        nand.arm_program_failures(seed ^ 0x2, fail_ppm as f64 / 1e6);
+        nand.arm_erase_failures(seed ^ 0x3, fail_ppm as f64 / 1e6);
+        db.insert_rows(TableId(0), child_batch.clone()).unwrap();
+        db.flush_deltas().unwrap();
+
+        // The oracle: the same rows on pristine flash.
+        let mut full = base.clone();
+        for r in &child_batch {
+            full.push_row(TableId(0), r.clone()).unwrap();
+        }
+        let fresh = GhostDb::create(DDL, config(), &full).unwrap();
+
+        let queries = [
+            format!(
+                "SELECT Root.rid, Child.tag FROM Root, Child \
+                 WHERE Child.tag = 'tag-{tag_pick}' AND Root.cid = Child.cid"
+            ),
+            format!(
+                "SELECT Root.rid, Child.hid FROM Root, Child \
+                 WHERE Child.hid >= {hidden_cut} AND Child.vis < 40 \
+                   AND Root.cid = Child.cid"
+            ),
+            "SELECT Child.cid, Child.tag FROM Child WHERE Child.tag >= 'tag-3'".to_string(),
+            format!("SELECT Root.rid FROM Root WHERE Root.amt <= {hidden_cut}"),
+        ];
+        for sql in &queries {
+            let expect = fresh.query(sql).unwrap().rows.rows;
+            prop_assert_eq!(
+                &db.query(sql).unwrap().rows.rows, &expect,
+                "pre-seal divergence under faults: {}", sql
+            );
+        }
+
+        // Seal → unplug → mount, faults still armed throughout.
+        db.seal().unwrap();
+        let nand2 = db.nand().clone();
+        drop(db);
+        let db = GhostDb::mount(nand2, config()).unwrap();
+        for sql in &queries {
+            let expect = fresh.query(sql).unwrap().rows.rows;
+            prop_assert_eq!(
+                &db.query(sql).unwrap().rows.rows, &expect,
+                "post-mount divergence under faults: {}", sql
+            );
+        }
+
+        // Within budget nothing may be lost, and the budgets hold.
+        let rel = db.volume().reliability();
+        prop_assert_eq!(rel.uncorrectable, 0, "in-budget rot must never be fatal: {:?}", rel);
+        prop_assert!(
+            rel.retired_blocks <= rel.spare_blocks,
+            "retirement exceeded the spare budget: {:?}", rel
+        );
+        nand.disarm_bit_rot();
+        nand.disarm_block_failures();
+    }
+}
+
+/// Past the single-bit budget the engine reports a clean corrupt error
+/// — it must never serve wrong bytes.
+#[test]
+fn past_budget_rot_is_a_clean_corrupt_error() {
+    let mut next = lcg(7);
+    let stmts = ghostdb_sql::parse_statements(DDL).unwrap();
+    let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
+    let mut base = Dataset::empty(&schema);
+    for i in 0..32i64 {
+        base.push_row(TableId(0), child_row(i, &mut next)).unwrap();
+    }
+    for i in 0..12i64 {
+        base.push_row(TableId(1), root_row(i, 32, &mut next))
+            .unwrap();
+    }
+    let db = GhostDb::create(DDL, config(), &base).unwrap();
+    let nand = db.nand().clone();
+    // Two flips per mapped page: every hidden-column page is past the
+    // correction budget.
+    let ps = nand.config().page_size as u32;
+    for phys in db.volume().l2p_snapshot() {
+        if phys != u32::MAX {
+            nand.corrupt_page(PageAddr(phys), 11).unwrap();
+            nand.corrupt_page(PageAddr(phys), ps * 8 - 17).unwrap();
+        }
+    }
+    let err = db
+        .query("SELECT Child.cid, Child.tag FROM Child WHERE Child.tag >= 'tag-0'")
+        .expect_err("doubly-rotted pages must not answer");
+    assert!(
+        err.to_string().contains("uncorrectable"),
+        "want the uncorrectable diagnostic, got: {err}"
+    );
+}
+
+/// Past the spare-block budget the engine reports the part worn out —
+/// a clean, actionable diagnostic instead of an allocator loop.
+#[test]
+fn exhausted_spares_are_a_clean_wearout_error() {
+    let mut next = lcg(11);
+    let stmts = ghostdb_sql::parse_statements(DDL).unwrap();
+    let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
+    let mut base = Dataset::empty(&schema);
+    for i in 0..24i64 {
+        base.push_row(TableId(0), child_row(i, &mut next)).unwrap();
+    }
+    for i in 0..8i64 {
+        base.push_row(TableId(1), root_row(i, 24, &mut next))
+            .unwrap();
+    }
+    let mut cfg = config();
+    cfg.flash.spare_blocks = 2;
+    let mut db = GhostDb::create(DDL, cfg, &base).unwrap();
+    let nand = db.nand().clone();
+    nand.arm_program_failures(3, 1.0);
+    let mut batch = Vec::new();
+    for i in 0..4i64 {
+        batch.push(child_row(24 + i, &mut next));
+    }
+    db.insert_rows(TableId(0), batch).unwrap();
+    let err = db
+        .flush_deltas()
+        .expect_err("every program fails; the part must wear out");
+    assert!(
+        err.to_string().contains("flash part worn out"),
+        "want the wear-out diagnostic, got: {err}"
+    );
+    nand.disarm_block_failures();
+}
