@@ -3,7 +3,7 @@
 //!
 //! Criterion measures host wall time of the full simulation; the
 //! deterministic *simulated* times (the paper's metric) are reported by
-//! `figures --exp f6` and recorded in EXPERIMENTS.md.
+//! `figures --exp f6` and written as CSV under `results/`.
 
 use std::sync::OnceLock;
 

@@ -4,7 +4,7 @@
 //! figures [--exp f6|d1|d2a|d2b|s3|b1|b2|scale|game|all] [--scale N]
 //! ```
 //!
-//! Experiment ids follow DESIGN.md §4 / EXPERIMENTS.md. Default scale is
+//! Experiment ids follow the paper's figures (f6, d1, ...). Default scale is
 //! 100,000 prescriptions; pass `--scale 1000000` for the paper's scale
 //! (the load takes a few seconds of host time). Results are printed as
 //! paper-style tables and written as CSV under `results/`.
@@ -291,7 +291,7 @@ fn exp_s3(scale: usize) -> Result<()> {
     Ok(())
 }
 
-/// §4 / [1]: last-resort joins vs the climbing index.
+/// §4 / ref \[1\]: last-resort joins vs the climbing index.
 fn exp_b1(scale: usize) -> Result<()> {
     println!("Baselines — climbing index vs join index vs Grace hash, {scale} prescriptions");
     // Build the device stack directly so the baselines can use internals.

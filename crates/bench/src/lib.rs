@@ -1,7 +1,7 @@
 //! Shared harness for the figure-regeneration binary and the Criterion
 //! benches.
 //!
-//! Every experiment in EXPERIMENTS.md is driven from here: fixtures are
+//! Every experiment of the evaluation is driven from here: fixtures are
 //! deterministic (seeded generators), measurements report **simulated
 //! time** (the paper's metric — deterministic under the hardware model)
 //! while Criterion additionally reports host wall time of the simulation.

@@ -1,0 +1,115 @@
+//! Bound analytic shapes shared by the SQL binder and the executor.
+//!
+//! `ghostdb-sql` must not depend on `ghostdb-exec` (the binder returns raw
+//! bound parts; `ghostdb-core` assembles the executable spec), so the
+//! column-level description of a SELECT list with aggregates, its GROUP BY
+//! keys and its ORDER BY/LIMIT epilogue lives here, next to [`Predicate`]
+//! — the other bound shape both sides speak.
+//!
+//! [`Predicate`]: crate::Predicate
+
+use ghostdb_types::AggFunc;
+
+use crate::schema::ColumnRef;
+
+/// One item of a SELECT list, bound to schema columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputItem {
+    /// A plain column reference: the row's value is emitted as-is.
+    Column(ColumnRef),
+    /// An aggregate folded over the group's rows. `arg` is `None` for
+    /// `COUNT(*)`.
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The operand column (`None` = `COUNT(*)`).
+        arg: Option<ColumnRef>,
+    },
+}
+
+impl OutputItem {
+    /// The column this item reads, if any.
+    pub fn column(&self) -> Option<ColumnRef> {
+        match self {
+            OutputItem::Column(c) => Some(*c),
+            OutputItem::Agg { arg, .. } => *arg,
+        }
+    }
+
+    /// True for aggregate items.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, OutputItem::Agg { .. })
+    }
+}
+
+/// One ORDER BY key: an index into the SELECT list plus a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderKey {
+    /// 0-based index into the bound output items.
+    pub item: usize,
+    /// True for `DESC`.
+    pub desc: bool,
+}
+
+/// The analytic clauses of a bound SELECT: output shape, grouping keys,
+/// ordering and row limit. A plain SPJ query has `output` mirroring its
+/// projections and everything else empty.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Analytics {
+    /// The SELECT list in statement order.
+    pub output: Vec<OutputItem>,
+    /// GROUP BY columns in statement order (empty = one global group
+    /// when aggregates are present, plain row output otherwise).
+    pub group_by: Vec<ColumnRef>,
+    /// ORDER BY keys applied to the output rows.
+    pub order_by: Vec<OrderKey>,
+    /// Row limit applied after ordering.
+    pub limit: Option<u64>,
+}
+
+impl Analytics {
+    /// True when any output item aggregates.
+    pub fn has_aggregates(&self) -> bool {
+        self.output.iter().any(OutputItem::is_aggregate)
+    }
+
+    /// True when the epilogue changes nothing: plain column output, no
+    /// grouping, ordering or limit.
+    pub fn is_plain(&self) -> bool {
+        !self.has_aggregates()
+            && self.group_by.is_empty()
+            && self.order_by.is_empty()
+            && self.limit.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghostdb_types::{ColumnId, TableId};
+
+    #[test]
+    fn item_introspection() {
+        let c = ColumnRef {
+            table: TableId(0),
+            column: ColumnId(1),
+        };
+        assert_eq!(OutputItem::Column(c).column(), Some(c));
+        assert!(!OutputItem::Column(c).is_aggregate());
+        let star = OutputItem::Agg {
+            func: AggFunc::Count,
+            arg: None,
+        };
+        assert_eq!(star.column(), None);
+        assert!(star.is_aggregate());
+        let mut a = Analytics {
+            output: vec![OutputItem::Column(c)],
+            ..Analytics::default()
+        };
+        assert!(a.is_plain());
+        a.limit = Some(3);
+        assert!(!a.is_plain());
+        a.output.push(star);
+        assert!(a.has_aggregates());
+    }
+}

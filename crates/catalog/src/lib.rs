@@ -16,10 +16,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analytics;
 mod schema;
 mod stats;
 mod tree;
 
+pub use analytics::{Analytics, OrderKey, OutputItem};
 pub use schema::{
     ColumnDef, ColumnRef, ColumnRole, Predicate, Schema, SchemaBuilder, TableDef, TableSlot,
     Visibility,

@@ -105,6 +105,51 @@ impl ColumnStats {
         self.rows = self.rows.saturating_sub(n);
     }
 
+    /// Joint selectivity of a range pair `lo_op ∧ hi_op` on this column
+    /// (the desugared form of `BETWEEN lo AND hi`), estimated from one
+    /// walk of the equi-depth histogram: `P(≤hi) − P(<lo)`.
+    ///
+    /// Multiplying the two one-sided selectivities instead — as any
+    /// independence assumption would — badly over-estimates narrow
+    /// ranges: on a uniform 0..100 column, `BETWEEN 40 AND 60` is 0.2 of
+    /// the rows, but `P(≥40)·P(≤60) = 0.6·0.6 = 0.36`. `lo_op` must be
+    /// `Ge`/`Gt` and `hi_op` must be `Le`/`Lt`; other shapes (and
+    /// columns without a histogram) fall back to the product.
+    pub fn range_selectivity(
+        &self,
+        lo_op: ScalarOp,
+        lo: &Value,
+        hi_op: ScalarOp,
+        hi: &Value,
+    ) -> f64 {
+        let product = self.selectivity(lo_op, lo) * self.selectivity(hi_op, hi);
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let (Some(h), Some(lo_k), Some(hi_k)) = (&self.histogram, lo.order_key(), hi.order_key())
+        else {
+            return product;
+        };
+        if !matches!(lo_op, ScalarOp::Ge | ScalarOp::Gt)
+            || !matches!(hi_op, ScalarOp::Le | ScalarOp::Lt)
+        {
+            return product;
+        }
+        let unit = 1.0 / self.distinct.max(1) as f64;
+        // fraction_le answers P(≤k); peel one distinct value's share off
+        // each strict bound.
+        let mut sel = h.fraction_le(hi_k) - h.fraction_le(lo_k) + unit;
+        if hi_op == ScalarOp::Lt {
+            sel -= unit;
+        }
+        if lo_op == ScalarOp::Gt {
+            sel -= unit;
+        }
+        // Never report emptier than one row: the bounds came from the
+        // query, which usually names values that exist.
+        sel.clamp(1.0 / self.rows as f64, 1.0)
+    }
+
     /// Estimated selectivity (result fraction) of `column OP value`.
     pub fn selectivity(&self, op: ScalarOp, value: &Value) -> f64 {
         if self.rows == 0 {
@@ -183,6 +228,24 @@ impl SchemaStats {
         self.column(cref)
             .map(|c| c.selectivity(op, value))
             .unwrap_or(0.1)
+    }
+
+    /// Joint selectivity of a same-column range pair (see
+    /// [`ColumnStats::range_selectivity`]); falls back to the product of
+    /// the independent defaults when stats are missing.
+    pub fn range_selectivity(
+        &self,
+        cref: ColumnRef,
+        lo_op: ScalarOp,
+        lo: &Value,
+        hi_op: ScalarOp,
+        hi: &Value,
+    ) -> f64 {
+        self.column(cref)
+            .map(|c| c.range_selectivity(lo_op, lo, hi_op, hi))
+            .unwrap_or_else(|| {
+                self.selectivity(cref, lo_op, lo) * self.selectivity(cref, hi_op, hi)
+            })
     }
 
     /// Incremental refresh for one inserted row: bump the table
@@ -333,6 +396,48 @@ mod tests {
         assert!((sel - 0.25).abs() < 0.05, "sel {sel}");
         let sel = s.selectivity(ScalarOp::Le, &Value::Int(100));
         assert!((sel - 0.1).abs() < 0.05, "sel {sel}");
+    }
+
+    /// The BETWEEN-estimator satellite: on a skewed column (90% of the
+    /// mass on one heavy hitter), a narrow range beside the hitter must
+    /// estimate near its true tiny fraction — the independence product
+    /// of the two one-sided selectivities over-estimates it by ~7x.
+    #[test]
+    fn between_selectivity_on_skewed_column() {
+        let mut values: Vec<Value> = vec![Value::Int(7); 900];
+        values.extend((0..100).map(Value::Int));
+        let s = ColumnStats::build(&values, 64);
+
+        // BETWEEN 50 AND 60: 11 of 1000 rows.
+        let joint =
+            s.range_selectivity(ScalarOp::Ge, &Value::Int(50), ScalarOp::Le, &Value::Int(60));
+        let product = s.selectivity(ScalarOp::Ge, &Value::Int(50))
+            * s.selectivity(ScalarOp::Le, &Value::Int(60));
+        assert!(joint < 0.05, "joint {joint} should be near 11/1000");
+        assert!(
+            joint < product / 2.0,
+            "joint {joint} not better than product {product}"
+        );
+
+        // A range straddling the heavy hitter captures most of the rows.
+        let wide = s.range_selectivity(ScalarOp::Ge, &Value::Int(0), ScalarOp::Le, &Value::Int(10));
+        assert!(wide > 0.8, "straddling range {wide} should be ~0.91");
+
+        // Strict bounds shave one distinct value's share off each side.
+        let strict =
+            s.range_selectivity(ScalarOp::Gt, &Value::Int(50), ScalarOp::Lt, &Value::Int(60));
+        assert!(strict <= joint, "strict {strict} vs inclusive {joint}");
+
+        // Text columns (no histogram) fall back to the product.
+        let texts: Vec<Value> = (0..50).map(|i| Value::Text(format!("t{i}"))).collect();
+        let t = ColumnStats::build(&texts, 16);
+        let tp = t.range_selectivity(
+            ScalarOp::Ge,
+            &Value::Text("a".into()),
+            ScalarOp::Le,
+            &Value::Text("z".into()),
+        );
+        assert!((tp - 1.0 / 9.0).abs() < 1e-9, "text fallback {tp}");
     }
 
     #[test]

@@ -1159,7 +1159,8 @@ impl GhostDb {
             bound.projections,
             bound.predicates,
             bound.joins,
-        )
+        )?
+        .with_analytics(&self.schema, &bound.analytics)
     }
 
     fn exec_context(&self, pipeline: PipelineMode) -> ExecContext<'_> {

@@ -2,8 +2,12 @@
 //!
 //! Estimates simulated execution time from the same resources the
 //! hardware model charges: flash page reads/programs, bus transfers and
-//! CPU tuple operations. Selectivities come from the load-time catalog
-//! statistics; foreign keys are assumed uniformly distributed (true of
+//! CPU tuple operations. Selectivities come from the catalog's equi-depth
+//! histograms (rebuilt at load and after every flush), including a
+//! *joint* estimate for same-column range pairs — `x BETWEEN lo AND hi`
+//! desugars to two conjuncts whose independence product badly
+//! over-estimates on skewed data, so [`SchemaStats::range_selectivity`]
+//! replaces it. Foreign keys are assumed uniformly distributed (true of
 //! the synthetic workload, and the standard textbook assumption).
 //!
 //! The model intentionally mirrors the executor stage by stage so that
@@ -89,6 +93,69 @@ impl<'a> CostModel<'a> {
 
     fn rows(&self, t: ghostdb_types::TableId) -> f64 {
         self.stats.rows(t).max(1) as f64
+    }
+
+    /// Correction factor for same-column range pairs among the
+    /// predicates at `idxs`: the histogram's joint selectivity over the
+    /// independence product (1.0 when there is no such pair). A
+    /// `BETWEEN` that desugared into `>= lo` and `<= hi` is the common
+    /// producer of these pairs.
+    fn range_pair_correction(&self, spec: &QuerySpec, idxs: &[usize]) -> f64 {
+        use ghostdb_types::ScalarOp;
+        let mut corr = 1.0;
+        let mut used = vec![false; idxs.len()];
+        for (a, &i) in idxs.iter().enumerate() {
+            let lo = &spec.predicates[i];
+            if used[a] || !matches!(lo.op, ScalarOp::Ge | ScalarOp::Gt) {
+                continue;
+            }
+            for (b, &j) in idxs.iter().enumerate() {
+                let hi = &spec.predicates[j];
+                if used[b]
+                    || i == j
+                    || hi.column != lo.column
+                    || !matches!(hi.op, ScalarOp::Le | ScalarOp::Lt)
+                {
+                    continue;
+                }
+                let joint = self
+                    .stats
+                    .range_selectivity(lo.column, lo.op, &lo.value, hi.op, &hi.value)
+                    .clamp(1e-9, 1.0);
+                let product = self.selectivity(lo) * self.selectivity(hi);
+                corr *= joint / product.max(1e-12);
+                used[a] = true;
+                used[b] = true;
+                break;
+            }
+        }
+        corr
+    }
+
+    fn pred_indices(plan: &Plan) -> (Vec<usize>, Vec<usize>) {
+        let mut pre = Vec::new();
+        for s in &plan.sources {
+            match s {
+                Source::HiddenIndexClimb { pred }
+                | Source::HiddenScanTranslate { pred }
+                | Source::VisibleDelegate { pred } => pre.push(*pred),
+                Source::CrossGroup {
+                    hidden, visible, ..
+                } => {
+                    pre.extend(hidden.iter().copied());
+                    pre.extend(visible.iter().copied());
+                }
+            }
+        }
+        let mut post = Vec::new();
+        for s in &plan.post {
+            match s {
+                PostStep::BloomVisible { pred } | PostStep::HiddenVerify { pred } => {
+                    post.push(*pred)
+                }
+            }
+        }
+        (pre, post)
     }
 
     /// Sort cost for `bytes` through the external sorter (spill-aware).
@@ -222,6 +289,12 @@ impl<'a> CostModel<'a> {
             cost += c;
             pre_sel *= sel;
         }
+        // Joint ranges: a BETWEEN pair filtered entirely pre-merge
+        // shrinks the candidate set by its joint selectivity, not the
+        // independence product.
+        let (pre_idx, _) = Self::pred_indices(plan);
+        let corr_pre = self.range_pair_correction(spec, &pre_idx);
+        pre_sel = (pre_sel * corr_pre).clamp(1e-9, 1.0);
         let candidates = (anchor_rows * pre_sel).max(0.0);
 
         // SKT access: ascending candidates; page-batched.
@@ -314,6 +387,23 @@ impl<'a> CostModel<'a> {
                 }
                 cost += surviving * fetched.log2().max(1.0) * self.rand_read((4.0 + vw) as usize);
             }
+        }
+        // Range pairs split across pre and post stages (or both post)
+        // still land on the joint row count once every conjunct has
+        // run; fold the remaining correction into the final estimate.
+        let all_idx: Vec<usize> = (0..spec.predicates.len()).collect();
+        let corr_all = self.range_pair_correction(spec, &all_idx);
+        surviving = (surviving * (corr_all / corr_pre).clamp(1e-6, 1e6)).max(0.0);
+
+        // Analytic epilogue: fold each surviving row through the output
+        // expressions, then sort whatever survives the fold. The terms
+        // are identical across plans for one spec, but they keep the
+        // absolute estimates honest against the executor.
+        if spec.has_aggregates() || !spec.group_by.is_empty() {
+            cost += self.cpu(surviving * spec.output.len().max(1) as f64);
+        }
+        if !spec.order_by.is_empty() {
+            cost += self.cpu(surviving * surviving.max(2.0).log2());
         }
         cost + self.cpu(surviving)
     }
@@ -452,6 +542,42 @@ mod tests {
         assert!(
             c_post < c_pre,
             "unselective visible predicate should post-filter: pre={c_pre} post={c_post}"
+        );
+    }
+
+    #[test]
+    fn between_pair_uses_joint_selectivity() {
+        let (schema, tree, mut stats, config, _) = setup();
+        // Skew the Weight column: 900 rows pinned at 7 plus a 0..100
+        // tail. Independence badly over-estimates `BETWEEN 50 AND 60`.
+        let vals: Vec<Value> = std::iter::repeat_n(Value::Int(7), 900)
+            .chain((0..100i64).map(Value::Int))
+            .collect();
+        stats.tables[0].columns[1] = Some(ColumnStats::build(&vals, 16));
+        let m = CostModel::new(&schema, &tree, &stats, &config);
+        let vis = TableId(0);
+        let spec = QuerySpec::bind(
+            &schema,
+            &tree,
+            "...",
+            vec![vis],
+            vec![],
+            vec![
+                Predicate::new(vis, ColumnId(1), ScalarOp::Ge, Value::Int(50)),
+                Predicate::new(vis, ColumnId(1), ScalarOp::Le, Value::Int(60)),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let corr = m.range_pair_correction(&spec, &[0, 1]);
+        assert!(
+            corr < 0.7,
+            "joint estimate should shrink the independence product, got {corr}"
+        );
+        assert_eq!(
+            m.range_pair_correction(&spec, &[0]),
+            1.0,
+            "a lone bound is not a pair"
         );
     }
 

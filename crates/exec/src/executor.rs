@@ -30,6 +30,13 @@
 //!    hidden verifies drop the rest.
 //! 6. **Project** — hidden attributes read from the hidden store,
 //!    visible attributes probed from the flash temps; rows stream out.
+//! 7. **Epilogue** (analytic queries only) — aggregates, `GROUP BY`,
+//!    `ORDER BY` and `LIMIT` fold the projected rows device-side
+//!    through [`crate::Epilogue`] before the result is sealed, so
+//!    hidden aggregate operands never reach the bus; plain SPJ queries
+//!    skip this stage entirely and keep the seed's operator list. A
+//!    bare `LIMIT` saturates the epilogue and stops the candidate pull
+//!    early.
 //!
 //! Every stage records the demo's per-operator statistics (tuples, RAM,
 //! simulated time). [`PipelineMode::Scalar`] re-runs the same plan with
@@ -52,6 +59,7 @@ use ghostdb_types::{
     ScalarFallback, SimClock, TableId, Value, BLOCK_CAP,
 };
 
+use crate::agg::Epilogue;
 use crate::ops::{FullScanSource, MergeIntersect, ScalarMergeIntersect};
 use crate::pc::PcLink;
 use crate::plan::{Plan, PostStep, Source};
@@ -590,13 +598,14 @@ pub fn execute(
     let mut project_ns = 0u64;
     let mut rows_out = 0u64;
     let mut result = ResultSet {
-        columns: spec
-            .projections
-            .iter()
-            .map(|c| ctx.schema.column_name(*c))
-            .collect(),
+        columns: spec.output_columns(ctx.schema),
         rows: Vec::new(),
     };
+    // Analytic epilogue: present only when the query aggregates, groups,
+    // orders or limits. `None` keeps the plain SPJ fast path (and its
+    // exact operator list) untouched.
+    let mut epilogue =
+        Epilogue::for_spec(spec, ctx.clock.clone(), ctx.config.cpu.tuple_op_ns, ctx.ram)?;
 
     // Candidate ids arrive block-at-a-time; the block outlives one batch
     // (a batch may be smaller or larger than a block).
@@ -781,7 +790,16 @@ pub fn execute(
             }
             project_ns += ctx.clock.now().since(t0);
             rows_out += 1;
-            result.rows.push(row);
+            match epilogue.as_mut() {
+                Some(epi) => {
+                    if !epi.push(row)? {
+                        // A bare LIMIT is satisfied — stop pulling.
+                        exhausted = true;
+                        break 't_project;
+                    }
+                }
+                None => result.rows.push(row),
+            }
         }
     }
     drop(batch);
@@ -846,6 +864,11 @@ pub fn execute(
         sim_ns: project_ns,
         ram_peak: probe_scope.peak(),
     });
+    if let Some(epi) = epilogue {
+        let (rows, epi_ops) = epi.finish()?;
+        result.rows = rows;
+        report_ops.extend(epi_ops);
+    }
 
     drop(proj_probers);
     for (_, temp) in proj_temps.into_iter() {
@@ -861,7 +884,7 @@ pub fn execute(
         ops: report_ops,
         total_ns: ctx.clock.now().since(t_start),
         ram_peak: ctx.ram.peak(),
-        result_rows: rows_out,
+        result_rows: result.rows.len() as u64,
         bus_bytes_to_device: bus_end.0 - bus_start.0,
         bus_bytes_to_pc: bus_end.1 - bus_start.1,
         flash: ctx.volume.nand().stats().since(&flash_start),

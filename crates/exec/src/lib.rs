@@ -16,6 +16,13 @@
 //!   intersected with the delegated visible ids, and the (smaller)
 //!   combined list is translated once.
 //!
+//! * **Analytic epilogue** — aggregates (`COUNT`/`SUM`/`AVG`/`MIN`/
+//!   `MAX`), `GROUP BY`, `ORDER BY` and `LIMIT` fold the projected rows
+//!   *on the device* before anything is sealed for the PC, so hidden
+//!   aggregate operands never cross the bus; the epilogue's group table
+//!   and top-k buffer are charged to the 64 KB RAM budget like every
+//!   other operator (see [`agg`](Epilogue)).
+//!
 //! The optimizer enumerates the "large panel of candidate plans" the
 //! paper describes and costs them against the device model; the executor
 //! runs any of them — including hand-built ones, which is what the demo's
@@ -24,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod agg;
 mod baseline;
 mod cost;
 mod executor;
@@ -35,6 +43,7 @@ mod query;
 mod stats;
 mod temp;
 
+pub use agg::Epilogue;
 pub use baseline::{
     climbing_translate_count, grace_hash_join_count, join_index_count, BaselineReport,
 };
@@ -44,6 +53,6 @@ pub use ops::{FullScanSource, MergeIntersect, ScalarMergeIntersect};
 pub use optimizer::{enumerate_plans, plan_all_post, plan_all_pre, CostedPlan, Optimizer};
 pub use pc::{PairStream, PcLink, VecPairStream};
 pub use plan::{Plan, PostStep, Source};
-pub use query::QuerySpec;
+pub use query::{OutputExpr, QuerySpec};
 pub use stats::{ExecReport, OpStats, ResultSet};
 pub use temp::{IdTemp, VisibleTemp};

@@ -1,9 +1,29 @@
-//! Bound logical queries (select-project-join over a tree schema).
+//! Bound logical queries: select-project-join over a tree schema, plus
+//! the analytic epilogue (aggregates, GROUP BY, ORDER BY, LIMIT).
 
-use ghostdb_catalog::{ColumnRef, ColumnRole, Predicate, Schema, TreeSchema};
-use ghostdb_types::{GhostError, Result, TableId};
+use ghostdb_catalog::{
+    Analytics, ColumnRef, ColumnRole, OrderKey, OutputItem, Predicate, Schema, TreeSchema,
+};
+use ghostdb_types::{AggFunc, DataType, GhostError, Result, TableId};
 
-/// A bound SPJ query.
+/// One item of the query's output row, resolved against
+/// [`QuerySpec::projections`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutputExpr {
+    /// The value of the i-th base projection, emitted per row (or, under
+    /// GROUP BY, per group — the binder guarantees it is a grouping key).
+    Column(usize),
+    /// An aggregate folded over the i-th base projection (`None` =
+    /// `COUNT(*)`).
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Index of the operand projection (`None` = `COUNT(*)`).
+        arg: Option<usize>,
+    },
+}
+
+/// A bound SPJ query with an optional analytic epilogue.
 ///
 /// The **anchor** is the deepest table whose subtree covers every
 /// mentioned table (for the §4 example query — Medicine, Prescription,
@@ -11,6 +31,12 @@ use ghostdb_types::{GhostError, Result, TableId};
 /// per anchor row satisfying all predicates, matching SQL join semantics
 /// because every foreign key in the tree is mandatory (each prescription
 /// has exactly one visit, medicine, …).
+///
+/// `projections` are the base columns materialized per qualifying row;
+/// `output` describes the SELECT list over them (identity for a plain
+/// SPJ query). Aggregation, grouping, ordering and the limit all run on
+/// the device (see `crate::agg`), so a hidden operand never needs to
+/// leave it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     /// Original statement text (disclosed on the bus by design).
@@ -19,10 +45,18 @@ pub struct QuerySpec {
     pub tables: Vec<TableId>,
     /// The computed anchor table.
     pub anchor: TableId,
-    /// Projected columns, in `SELECT` order.
+    /// The base columns the query reads, deduplicated.
     pub projections: Vec<ColumnRef>,
     /// Conjunctive selection predicates.
     pub predicates: Vec<Predicate>,
+    /// The SELECT list over `projections` (identity for plain queries).
+    pub output: Vec<OutputExpr>,
+    /// GROUP BY keys as indices into `projections`.
+    pub group_by: Vec<usize>,
+    /// ORDER BY keys over `output` items.
+    pub order_by: Vec<OrderKey>,
+    /// Row limit applied after ordering.
+    pub limit: Option<u64>,
 }
 
 impl QuerySpec {
@@ -167,13 +201,125 @@ impl QuerySpec {
                 )));
             }
         }
+        let output = (0..projections.len()).map(OutputExpr::Column).collect();
         Ok(QuerySpec {
             sql: sql.into(),
             tables,
             anchor,
             projections,
             predicates,
+            output,
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
         })
+    }
+
+    /// Attach the bound analytic clauses (SELECT-list shape, GROUP BY,
+    /// ORDER BY, LIMIT) to a query bound with `bind`. Every column the
+    /// clauses reference must already be in `projections` — the SQL
+    /// binder constructs them from the same set.
+    pub fn with_analytics(mut self, schema: &Schema, analytics: &Analytics) -> Result<QuerySpec> {
+        let find = |projections: &[ColumnRef], c: ColumnRef| -> Result<usize> {
+            projections.iter().position(|p| *p == c).ok_or_else(|| {
+                GhostError::sql(format!(
+                    "output column {} is not materialized by the query",
+                    schema.column_name(c)
+                ))
+            })
+        };
+        let mut output = Vec::with_capacity(analytics.output.len());
+        for item in &analytics.output {
+            match item {
+                OutputItem::Column(c) => {
+                    output.push(OutputExpr::Column(find(&self.projections, *c)?));
+                }
+                OutputItem::Agg { func, arg } => {
+                    let arg = match arg {
+                        Some(c) => {
+                            if func.needs_arithmetic()
+                                && schema.column_def(*c).ty != DataType::Integer
+                            {
+                                return Err(GhostError::unsupported(format!(
+                                    "{func}({}) needs an INTEGER operand",
+                                    schema.column_name(*c)
+                                )));
+                            }
+                            Some(find(&self.projections, *c)?)
+                        }
+                        None => None,
+                    };
+                    output.push(OutputExpr::Agg { func: *func, arg });
+                }
+            }
+        }
+        let group_by: Vec<usize> = analytics
+            .group_by
+            .iter()
+            .map(|c| find(&self.projections, *c))
+            .collect::<Result<_>>()?;
+        let has_agg = output.iter().any(|o| matches!(o, OutputExpr::Agg { .. }));
+        if has_agg || !group_by.is_empty() {
+            for o in &output {
+                if let OutputExpr::Column(i) = o {
+                    if !group_by.contains(i) {
+                        return Err(GhostError::sql(format!(
+                            "column {} must appear in GROUP BY",
+                            schema.column_name(self.projections[*i])
+                        )));
+                    }
+                }
+            }
+        }
+        for k in &analytics.order_by {
+            if k.item >= output.len() {
+                return Err(GhostError::sql(format!(
+                    "ORDER BY item {} out of range",
+                    k.item + 1
+                )));
+            }
+        }
+        self.output = output;
+        self.group_by = group_by;
+        self.order_by = analytics.order_by.clone();
+        self.limit = analytics.limit;
+        Ok(self)
+    }
+
+    /// True when the epilogue is the identity: the output mirrors the
+    /// projections one-to-one and there is no grouping, ordering or
+    /// limit, so the executor can stream rows straight out.
+    pub fn is_plain_output(&self) -> bool {
+        self.group_by.is_empty()
+            && self.order_by.is_empty()
+            && self.limit.is_none()
+            && self.output.len() == self.projections.len()
+            && self
+                .output
+                .iter()
+                .enumerate()
+                .all(|(i, o)| matches!(o, OutputExpr::Column(j) if *j == i))
+    }
+
+    /// True when any output item aggregates.
+    pub fn has_aggregates(&self) -> bool {
+        self.output
+            .iter()
+            .any(|o| matches!(o, OutputExpr::Agg { .. }))
+    }
+
+    /// Result column headers, e.g. `Visit.Purpose` / `SUM(Record.Score)`.
+    pub fn output_columns(&self, schema: &Schema) -> Vec<String> {
+        self.output
+            .iter()
+            .map(|o| match o {
+                OutputExpr::Column(i) => schema.column_name(self.projections[*i]),
+                OutputExpr::Agg { func, arg } => match arg {
+                    Some(i) => format!("{func}({})", schema.column_name(self.projections[*i])),
+                    None => format!("{func}(*)"),
+                },
+            })
+            .collect()
     }
 
     /// Lowest common ancestor of a set of tables in the tree.
@@ -315,6 +461,64 @@ mod tests {
         )
         .unwrap();
         assert_eq!(spec.anchor, doc);
+    }
+
+    #[test]
+    fn analytics_attach_and_labels() {
+        use ghostdb_catalog::{Analytics, OrderKey, OutputItem};
+        use ghostdb_types::AggFunc;
+        let (s, t) = medical();
+        let pre = s.resolve_table("Prescription").unwrap();
+        let qty = cref(&s, "Prescription", "Quantity");
+        let spec = QuerySpec::bind(&s, &t, "...", vec![pre], vec![qty], vec![], vec![]).unwrap();
+        assert!(spec.is_plain_output());
+        assert!(!spec.has_aggregates());
+        assert_eq!(spec.output, vec![OutputExpr::Column(0)]);
+
+        let an = Analytics {
+            output: vec![
+                OutputItem::Agg {
+                    func: AggFunc::Sum,
+                    arg: Some(qty),
+                },
+                OutputItem::Agg {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
+            ],
+            group_by: vec![],
+            order_by: vec![OrderKey {
+                item: 0,
+                desc: true,
+            }],
+            limit: Some(3),
+        };
+        let spec = spec.with_analytics(&s, &an).unwrap();
+        assert!(spec.has_aggregates());
+        assert!(!spec.is_plain_output());
+        assert_eq!(
+            spec.output_columns(&s),
+            vec!["SUM(Prescription.Quantity)", "COUNT(*)"]
+        );
+        assert_eq!(spec.limit, Some(3));
+
+        // A plain output column outside GROUP BY is rejected.
+        let bad = Analytics {
+            output: vec![
+                OutputItem::Column(qty),
+                OutputItem::Agg {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
+            ],
+            ..Analytics::default()
+        };
+        let spec2 = QuerySpec::bind(&s, &t, "...", vec![pre], vec![qty], vec![], vec![]).unwrap();
+        assert!(spec2
+            .with_analytics(&s, &bad)
+            .unwrap_err()
+            .to_string()
+            .contains("GROUP BY"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   matching the quote above),
 //! * a page must be **erased before it is programmed**, and erase happens
 //!   at **block** granularity,
-//! * every operation advances the shared [`SimClock`] by its cost from
+//! * every operation advances the shared [`SimClock`](ghostdb_types::SimClock) by its cost from
 //!   [`ghostdb_types::FlashConfig`] and is tallied in [`FlashStats`].
 //!
 //! On top of raw NAND, [`Volume`] provides the log-structured segment

@@ -77,8 +77,7 @@ pub enum SortedStream<T: SortRecord> {
     Flash {
         /// Reader over the final sorted segment.
         reader: SegmentReader,
-        /// Segment (kept so the caller can free it via
-        /// [`SortedStream::into_segment`]).
+        /// Segment (kept so `Drop` can free its flash space).
         segment: Segment,
         /// Volume for freeing on drop.
         volume: Volume,

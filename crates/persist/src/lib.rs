@@ -9,7 +9,7 @@
 //! # On-flash layout
 //!
 //! The part's head is a **reserved region** the log-structured
-//! [`Volume`] never touches (see
+//! [`Volume`](ghostdb_flash::Volume) never touches (see
 //! [`FlashConfig::reserved_blocks`](ghostdb_types::FlashConfig::reserved_blocks)):
 //!
 //! ```text

@@ -83,6 +83,16 @@ pub enum WhereAtom {
         /// Right-hand literal.
         value: Literal,
     },
+    /// `column BETWEEN lo AND hi` (inclusive; desugars to `>= lo` and
+    /// `<= hi` in the binder).
+    Between {
+        /// Column being ranged over.
+        col: QualCol,
+        /// Inclusive lower bound.
+        lo: Literal,
+        /// Inclusive upper bound.
+        hi: Literal,
+    },
     /// `column = column` (a join condition).
     Join {
         /// Left column.
@@ -92,17 +102,55 @@ pub enum WhereAtom {
     },
 }
 
+/// One item of a `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column reference.
+    Column(QualCol),
+    /// An aggregate call `FUNC(col)` or `COUNT(*)`.
+    Agg {
+        /// The aggregate function.
+        func: ghostdb_types::AggFunc,
+        /// The operand column; `None` for `COUNT(*)`.
+        arg: Option<QualCol>,
+    },
+}
+
+/// What an `ORDER BY` key names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderTarget {
+    /// A column, matched against the SELECT list.
+    Column(QualCol),
+    /// A 1-based ordinal into the SELECT list (`ORDER BY 2`).
+    Ordinal(i64),
+}
+
+/// One `ORDER BY` key with its direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// What to sort by.
+    pub target: OrderTarget,
+    /// `DESC` if true (`ASC` is the default).
+    pub desc: bool,
+}
+
 /// A `SELECT` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
     /// Original statement text.
     pub text: String,
-    /// Projected columns.
-    pub projections: Vec<QualCol>,
+    /// SELECT list in statement order (columns and/or aggregates).
+    pub items: Vec<SelectItem>,
     /// `FROM` tables with optional aliases.
     pub from: Vec<(String, Option<String>)>,
     /// Conjuncts of the `WHERE` clause (empty if absent).
     pub where_atoms: Vec<WhereAtom>,
+    /// `GROUP BY` columns (empty if absent).
+    pub group_by: Vec<QualCol>,
+    /// `ORDER BY` keys (empty if absent).
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT` row count, if present.
+    pub limit: Option<u64>,
 }
 
 /// An `INSERT` statement.

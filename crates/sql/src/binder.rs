@@ -1,13 +1,14 @@
 //! Binding parsed statements against the catalog.
 
 use ghostdb_catalog::{
-    ColumnRef, ColumnRole, Predicate, Schema, SchemaBuilder, TreeSchema, Visibility,
+    Analytics, ColumnRef, ColumnRole, OrderKey, OutputItem, Predicate, Schema, SchemaBuilder,
+    TreeSchema, Visibility,
 };
-use ghostdb_types::{ColumnId, DataType, Date, GhostError, Result, TableId, Value};
+use ghostdb_types::{ColumnId, DataType, Date, GhostError, Result, ScalarOp, TableId, Value};
 
 use crate::ast::{
-    CreateTable, DeleteStmt, InsertStmt, Literal, QualCol, SelectStmt, Statement, TypeDecl,
-    UpdateStmt, WhereAtom,
+    CreateTable, DeleteStmt, InsertStmt, Literal, OrderTarget, QualCol, SelectItem, SelectStmt,
+    Statement, TypeDecl, UpdateStmt, WhereAtom,
 };
 
 // Note: the executor's QuerySpec lives in ghostdb-exec; depending on exec
@@ -21,12 +22,16 @@ pub struct BoundSelect {
     pub sql: String,
     /// Tables in FROM.
     pub tables: Vec<TableId>,
-    /// Projections in SELECT order.
+    /// The base columns the query reads, first-use order, deduplicated.
+    /// These are what the executor materializes per qualifying row; the
+    /// SELECT-list shape (including aggregates) lives in `analytics`.
     pub projections: Vec<ColumnRef>,
     /// Selection predicates.
     pub predicates: Vec<Predicate>,
     /// Join conditions.
     pub joins: Vec<(ColumnRef, ColumnRef)>,
+    /// SELECT-list shape, GROUP BY, ORDER BY and LIMIT.
+    pub analytics: Analytics,
 }
 
 /// Build a [`Schema`] from the `CREATE TABLE` statements of a script.
@@ -232,6 +237,20 @@ fn bind_mutation_filter(
                     value: coerce_literal(value, ty)?,
                 });
             }
+            WhereAtom::Between { col, lo, hi } => {
+                let cref = scope.resolve(col)?;
+                let ty = schema.column_def(cref).ty;
+                predicates.push(Predicate {
+                    column: cref,
+                    op: ghostdb_types::ScalarOp::Ge,
+                    value: coerce_literal(lo, ty)?,
+                });
+                predicates.push(Predicate {
+                    column: cref,
+                    op: ghostdb_types::ScalarOp::Le,
+                    value: coerce_literal(hi, ty)?,
+                });
+            }
             WhereAtom::Join { .. } => {
                 return Err(GhostError::unsupported(
                     "mutation WHERE clauses cannot contain join conditions".to_string(),
@@ -338,7 +357,10 @@ impl FromScope<'_> {
     }
 }
 
-/// Bind a parsed SELECT against the schema.
+/// Bind a parsed SELECT against the schema: resolve the FROM scope, the
+/// SELECT list (plain columns and aggregates), the WHERE conjuncts
+/// (`BETWEEN` desugars into a `>= lo` / `<= hi` pair here), GROUP BY,
+/// ORDER BY and LIMIT.
 pub fn bind_select(schema: &Schema, _tree: &TreeSchema, stmt: &SelectStmt) -> Result<BoundSelect> {
     let mut entries = Vec::new();
     for (name, alias) in &stmt.from {
@@ -354,15 +376,105 @@ pub fn bind_select(schema: &Schema, _tree: &TreeSchema, stmt: &SelectStmt) -> Re
     }
     let scope = FromScope { schema, entries };
 
-    let mut projections = Vec::new();
-    for q in &stmt.projections {
-        projections.push(scope.resolve(q)?);
+    // SELECT list → output items; `projections` accumulates the distinct
+    // base columns in first-use order.
+    let mut projections: Vec<ColumnRef> = Vec::new();
+    let intern = |projections: &mut Vec<ColumnRef>, c: ColumnRef| {
+        if !projections.contains(&c) {
+            projections.push(c);
+        }
+    };
+    let mut output = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Column(q) => {
+                let cref = scope.resolve(q)?;
+                intern(&mut projections, cref);
+                output.push(OutputItem::Column(cref));
+            }
+            SelectItem::Agg { func, arg } => {
+                let arg = match arg {
+                    Some(q) => {
+                        let cref = scope.resolve(q)?;
+                        if func.needs_arithmetic()
+                            && schema.column_def(cref).ty != DataType::Integer
+                        {
+                            return Err(GhostError::unsupported(format!(
+                                "{func}({}) needs an INTEGER operand, not {}",
+                                schema.column_name(cref),
+                                schema.column_def(cref).ty
+                            )));
+                        }
+                        intern(&mut projections, cref);
+                        Some(cref)
+                    }
+                    None => None,
+                };
+                output.push(OutputItem::Agg { func: *func, arg });
+            }
+        }
     }
+
+    let mut group_by = Vec::new();
+    for q in &stmt.group_by {
+        let cref = scope.resolve(q)?;
+        intern(&mut projections, cref);
+        group_by.push(cref);
+    }
+    // Every plain output column must be a grouping key once the query
+    // groups (explicitly, or implicitly by aggregating).
+    let has_agg = output.iter().any(OutputItem::is_aggregate);
+    if has_agg || !group_by.is_empty() {
+        for item in &output {
+            if let OutputItem::Column(c) = item {
+                if !group_by.contains(c) {
+                    return Err(GhostError::sql(format!(
+                        "column {} must appear in GROUP BY (it is not aggregated)",
+                        schema.column_name(*c)
+                    )));
+                }
+            }
+        }
+    }
+
+    // ORDER BY keys name a SELECT-list item, by column or 1-based
+    // ordinal.
+    let mut order_by = Vec::new();
+    for oi in &stmt.order_by {
+        let item = match &oi.target {
+            OrderTarget::Ordinal(n) => {
+                if *n < 1 || *n as usize > output.len() {
+                    return Err(GhostError::sql(format!(
+                        "ORDER BY ordinal {n} out of range 1..={}",
+                        output.len()
+                    )));
+                }
+                *n as usize - 1
+            }
+            OrderTarget::Column(q) => {
+                let cref = scope.resolve(q)?;
+                output
+                    .iter()
+                    .position(|it| matches!(it, OutputItem::Column(c) if *c == cref))
+                    .ok_or_else(|| {
+                        GhostError::sql(format!(
+                            "ORDER BY column {} is not in the SELECT list",
+                            schema.column_name(cref)
+                        ))
+                    })?
+            }
+        };
+        order_by.push(OrderKey {
+            item,
+            desc: oi.desc,
+        });
+    }
+
     let mut predicates = Vec::new();
     let mut joins = Vec::new();
     for atom in &stmt.where_atoms {
         match atom {
-            crate::ast::WhereAtom::Compare { col, op, value } => {
+            WhereAtom::Compare { col, op, value } => {
                 let cref = scope.resolve(col)?;
                 let ty = schema.column_def(cref).ty;
                 let v = coerce_literal(value, ty)?;
@@ -372,7 +484,21 @@ pub fn bind_select(schema: &Schema, _tree: &TreeSchema, stmt: &SelectStmt) -> Re
                     value: v,
                 });
             }
-            crate::ast::WhereAtom::Join { left, right } => {
+            WhereAtom::Between { col, lo, hi } => {
+                let cref = scope.resolve(col)?;
+                let ty = schema.column_def(cref).ty;
+                predicates.push(Predicate {
+                    column: cref,
+                    op: ScalarOp::Ge,
+                    value: coerce_literal(lo, ty)?,
+                });
+                predicates.push(Predicate {
+                    column: cref,
+                    op: ScalarOp::Le,
+                    value: coerce_literal(hi, ty)?,
+                });
+            }
+            WhereAtom::Join { left, right } => {
                 joins.push((scope.resolve(left)?, scope.resolve(right)?));
             }
         }
@@ -383,6 +509,12 @@ pub fn bind_select(schema: &Schema, _tree: &TreeSchema, stmt: &SelectStmt) -> Re
         projections,
         predicates,
         joins,
+        analytics: Analytics {
+            output,
+            group_by,
+            order_by,
+            limit: stmt.limit,
+        },
     })
 }
 
@@ -456,6 +588,100 @@ mod tests {
             bound.predicates[0].value,
             Value::Date(Date::parse("2006-11-05").unwrap())
         );
+    }
+
+    #[test]
+    fn between_desugars_to_range_pair() {
+        let s = schema();
+        let tree = TreeSchema::analyze(&s).unwrap();
+        let stmts = parse_statements(
+            "SELECT Pre.PreID FROM Prescription Pre WHERE Pre.Quantity BETWEEN 2 AND 8",
+        )
+        .unwrap();
+        let Statement::Select(sel) = &stmts[0] else {
+            panic!()
+        };
+        let bound = bind_select(&s, &tree, sel).unwrap();
+        assert_eq!(bound.predicates.len(), 2);
+        assert_eq!(bound.predicates[0].op, ScalarOp::Ge);
+        assert_eq!(bound.predicates[0].value, Value::Int(2));
+        assert_eq!(bound.predicates[1].op, ScalarOp::Le);
+        assert_eq!(bound.predicates[1].value, Value::Int(8));
+        assert_eq!(bound.predicates[0].column, bound.predicates[1].column);
+        assert!(bound.analytics.is_plain());
+    }
+
+    #[test]
+    fn aggregates_group_and_order_bind() {
+        use ghostdb_catalog::OutputItem;
+        use ghostdb_types::AggFunc;
+        let s = schema();
+        let tree = TreeSchema::analyze(&s).unwrap();
+        let stmts = parse_statements(
+            "SELECT Vis.Purpose, COUNT(*), SUM(Pre.Quantity) \
+             FROM Prescription Pre, Visit Vis \
+             WHERE Vis.VisID = Pre.VisID \
+             GROUP BY Vis.Purpose \
+             ORDER BY 3 DESC, Vis.Purpose \
+             LIMIT 4",
+        )
+        .unwrap();
+        let Statement::Select(sel) = &stmts[0] else {
+            panic!()
+        };
+        let bound = bind_select(&s, &tree, sel).unwrap();
+        // Base columns deduplicated in first-use order: Purpose, Quantity.
+        assert_eq!(bound.projections.len(), 2);
+        assert_eq!(bound.analytics.output.len(), 3);
+        assert!(matches!(
+            bound.analytics.output[1],
+            OutputItem::Agg {
+                func: AggFunc::Count,
+                arg: None
+            }
+        ));
+        assert_eq!(bound.analytics.group_by, vec![bound.projections[0]]);
+        assert_eq!(bound.analytics.order_by.len(), 2);
+        assert_eq!(bound.analytics.order_by[0].item, 2);
+        assert!(bound.analytics.order_by[0].desc);
+        assert_eq!(bound.analytics.order_by[1].item, 0);
+        assert_eq!(bound.analytics.limit, Some(4));
+        assert!(bound.analytics.has_aggregates());
+    }
+
+    #[test]
+    fn analytic_misuse_rejected() {
+        let s = schema();
+        let tree = TreeSchema::analyze(&s).unwrap();
+        let cases = [
+            // Plain column outside GROUP BY.
+            ("SELECT Vis.Date, COUNT(*) FROM Visit Vis", "GROUP BY"),
+            // SUM over a text column.
+            ("SELECT SUM(Vis.Purpose) FROM Visit Vis", "INTEGER"),
+            // AVG over a date column.
+            ("SELECT AVG(Vis.Date) FROM Visit Vis", "INTEGER"),
+            // ORDER BY ordinal out of range.
+            ("SELECT Vis.Date FROM Visit Vis ORDER BY 2", "out of range"),
+            // ORDER BY a column that is not projected.
+            (
+                "SELECT Vis.Date FROM Visit Vis ORDER BY Vis.VisID",
+                "not in the SELECT list",
+            ),
+        ];
+        for (sql, needle) in cases {
+            let stmts = parse_statements(sql).unwrap();
+            let Statement::Select(sel) = &stmts[0] else {
+                panic!()
+            };
+            let err = bind_select(&s, &tree, sel).unwrap_err().to_string();
+            assert!(err.contains(needle), "{sql}: {err}");
+        }
+        // GROUP BY without aggregates (DISTINCT-like) binds fine.
+        let stmts = parse_statements("SELECT Vis.Date FROM Visit Vis GROUP BY Vis.Date").unwrap();
+        let Statement::Select(sel) = &stmts[0] else {
+            panic!()
+        };
+        assert!(bind_select(&s, &tree, sel).is_ok());
     }
 
     #[test]

@@ -2,10 +2,14 @@
 //!
 //! GhostDB's promise (paper §1) is "minimal changes to schema definitions
 //! and **no changes to the SQL query text**": hiding is declared with a
-//! single extra `HIDDEN` keyword in `CREATE TABLE`, and queries are plain
-//! SPJ SQL. This crate accepts exactly the paper's statements — including
-//! its `/*VISIBLE*/`-style comments, unquoted `05-11-2006` date literals
-//! and typographic quotes — and binds them against the catalog:
+//! single extra `HIDDEN` keyword in `CREATE TABLE`, and query texts are
+//! ordinary SQL. This crate accepts the paper's statements verbatim —
+//! including its `/*VISIBLE*/`-style comments, unquoted `05-11-2006` date
+//! literals and typographic quotes — plus the analytic forms layered on
+//! top of the SPJ core: `BETWEEN` range predicates, `COUNT`/`SUM`/`AVG`/
+//! `MIN`/`MAX` aggregates with `GROUP BY`, and `ORDER BY`/`LIMIT` (see
+//! `docs/SQL.md` for the dialect reference). Everything binds against the
+//! catalog:
 //!
 //! ```
 //! use ghostdb_sql::parse_statements;
@@ -27,8 +31,8 @@ mod lexer;
 mod parser;
 
 pub use ast::{
-    ColumnDecl, CreateTable, DeleteStmt, InsertStmt, Literal, QualCol, SelectStmt, Statement,
-    TypeDecl, UpdateStmt, WhereAtom,
+    ColumnDecl, CreateTable, DeleteStmt, InsertStmt, Literal, OrderItem, OrderTarget, QualCol,
+    SelectItem, SelectStmt, Statement, TypeDecl, UpdateStmt, WhereAtom,
 };
 pub use binder::{
     bind_delete, bind_insert, bind_schema, bind_select, bind_update, coerce_literal, BoundDelete,

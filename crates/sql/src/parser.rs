@@ -1,10 +1,10 @@
 //! Recursive-descent parser for the SQL subset.
 
-use ghostdb_types::{GhostError, Result, ScalarOp};
+use ghostdb_types::{AggFunc, GhostError, Result, ScalarOp};
 
 use crate::ast::{
-    ColumnDecl, CreateTable, DeleteStmt, InsertStmt, Literal, QualCol, SelectStmt, Statement,
-    TypeDecl, UpdateStmt, WhereAtom,
+    ColumnDecl, CreateTable, DeleteStmt, InsertStmt, Literal, OrderItem, OrderTarget, QualCol,
+    SelectItem, SelectStmt, Statement, TypeDecl, UpdateStmt, WhereAtom,
 };
 use crate::lexer::{tokenize, Token, TokenKind};
 
@@ -17,6 +17,10 @@ struct Parser<'a> {
 impl<'a> Parser<'a> {
     fn peek(&self) -> Option<&TokenKind> {
         self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.toks.get(self.pos + 1).map(|t| &t.kind)
     }
 
     fn here(&self) -> usize {
@@ -198,11 +202,35 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// One SELECT-list item: an aggregate call when an aggregate function
+    /// name is directly followed by `(`, a plain column otherwise (so a
+    /// column legitimately named `count` still parses).
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if let (Some(TokenKind::Ident(name)), Some(TokenKind::LParen)) = (self.peek(), self.peek2())
+        {
+            if let Some(func) = AggFunc::parse(name) {
+                self.pos += 2; // name + (
+                let arg = if matches!(self.peek(), Some(TokenKind::Star)) {
+                    if func != AggFunc::Count {
+                        return Err(self.err(format!("{func}(*) is not supported — only COUNT(*)")));
+                    }
+                    self.pos += 1;
+                    None
+                } else {
+                    Some(self.qual_col()?)
+                };
+                self.expect(&TokenKind::RParen)?;
+                return Ok(SelectItem::Agg { func, arg });
+            }
+        }
+        Ok(SelectItem::Column(self.qual_col()?))
+    }
+
     fn select(&mut self) -> Result<SelectStmt> {
         self.kw("SELECT")?;
-        let mut projections = Vec::new();
+        let mut items = Vec::new();
         loop {
-            projections.push(self.qual_col()?);
+            items.push(self.select_item()?);
             if matches!(self.peek(), Some(TokenKind::Comma)) {
                 self.pos += 1;
             } else {
@@ -211,12 +239,14 @@ impl<'a> Parser<'a> {
         }
         self.kw("FROM")?;
         let mut from = Vec::new();
+        // Words that end the FROM list and therefore cannot be aliases.
+        const CLAUSE_KWS: &[&str] = &["WHERE", "AND", "GROUP", "ORDER", "LIMIT"];
         loop {
             let table = self.ident()?;
             // Optional alias (not a keyword).
             let alias = match self.peek() {
                 Some(TokenKind::Ident(s))
-                    if !s.eq_ignore_ascii_case("WHERE") && !s.eq_ignore_ascii_case("AND") =>
+                    if !CLAUSE_KWS.iter().any(|k| s.eq_ignore_ascii_case(k)) =>
                 {
                     let a = s.clone();
                     self.pos += 1;
@@ -240,17 +270,74 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.kw("BY")?;
+            loop {
+                group_by.push(self.qual_col()?);
+                if matches!(self.peek(), Some(TokenKind::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.kw("BY")?;
+            loop {
+                let target = match self.peek() {
+                    Some(TokenKind::Int(n)) => {
+                        let n = *n;
+                        self.pos += 1;
+                        OrderTarget::Ordinal(n)
+                    }
+                    _ => OrderTarget::Column(self.qual_col()?),
+                };
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    let _ = self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderItem { target, desc });
+                if matches!(self.peek(), Some(TokenKind::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(TokenKind::Int(n)) if n >= 0 => Some(n as u64),
+                other => return Err(self.err(format!("LIMIT needs a row count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
         let _ = self.eat_semi();
         Ok(SelectStmt {
             text: self.text.to_string(),
-            projections,
+            items,
             from,
             where_atoms,
+            group_by,
+            order_by,
+            limit,
         })
     }
 
     fn where_atom(&mut self) -> Result<WhereAtom> {
         let left = self.qual_col()?;
+        if self.eat_kw("BETWEEN") {
+            // `col BETWEEN lo AND hi`: the AND belongs to the atom, so it
+            // is consumed here and the conjunct loop never sees it.
+            let lo = self.literal()?;
+            self.kw("AND")?;
+            let hi = self.literal()?;
+            return Ok(WhereAtom::Between { col: left, lo, hi });
+        }
         let op = match self.next() {
             Some(TokenKind::Eq) => ScalarOp::Eq,
             Some(TokenKind::Lt) => ScalarOp::Lt,
@@ -419,7 +506,7 @@ mod tests {
         let Statement::Select(sel) = &stmts[0] else {
             panic!("not a select")
         };
-        assert_eq!(sel.projections.len(), 3);
+        assert_eq!(sel.items.len(), 3);
         assert_eq!(sel.from.len(), 3);
         assert_eq!(sel.from[0], ("Medicine".into(), Some("Med".into())));
         assert_eq!(sel.where_atoms.len(), 5);
@@ -506,7 +593,106 @@ mod tests {
         let Statement::Select(sel) = &stmts[0] else {
             panic!()
         };
-        assert_eq!(sel.projections[0].table, None);
+        let SelectItem::Column(col) = &sel.items[0] else {
+            panic!("not a plain column")
+        };
+        assert_eq!(col.table, None);
         assert!(sel.where_atoms.is_empty());
+        assert!(sel.group_by.is_empty());
+        assert!(sel.order_by.is_empty());
+        assert_eq!(sel.limit, None);
+    }
+
+    #[test]
+    fn parses_between() {
+        let stmts = parse_statements(
+            "SELECT v.a FROM v WHERE v.a BETWEEN 3 AND 9 AND v.b = 1 AND v.c BETWEEN 0 AND 2",
+        )
+        .unwrap();
+        let Statement::Select(sel) = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(sel.where_atoms.len(), 3);
+        assert!(matches!(
+            &sel.where_atoms[0],
+            WhereAtom::Between {
+                lo: Literal::Int(3),
+                hi: Literal::Int(9),
+                ..
+            }
+        ));
+        assert!(matches!(&sel.where_atoms[1], WhereAtom::Compare { .. }));
+        assert!(matches!(&sel.where_atoms[2], WhereAtom::Between { .. }));
+        // BETWEEN missing its AND.
+        assert!(parse_statements("SELECT a FROM t WHERE a BETWEEN 1 2").is_err());
+    }
+
+    #[test]
+    fn parses_aggregates_group_order_limit() {
+        use ghostdb_types::AggFunc;
+        let stmts = parse_statements(
+            "SELECT Vis.Purpose, COUNT(*), SUM(Pre.Quantity), avg(Pre.Quantity) \
+             FROM Prescription Pre, Visit Vis \
+             WHERE Vis.VisID = Pre.VisID \
+             GROUP BY Vis.Purpose \
+             ORDER BY 3 DESC, Vis.Purpose ASC \
+             LIMIT 5;",
+        )
+        .unwrap();
+        let Statement::Select(sel) = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(sel.items.len(), 4);
+        assert!(matches!(
+            &sel.items[1],
+            SelectItem::Agg {
+                func: AggFunc::Count,
+                arg: None
+            }
+        ));
+        assert!(matches!(
+            &sel.items[2],
+            SelectItem::Agg {
+                func: AggFunc::Sum,
+                arg: Some(q)
+            } if q.column == "Quantity"
+        ));
+        assert!(matches!(
+            &sel.items[3],
+            SelectItem::Agg {
+                func: AggFunc::Avg,
+                ..
+            }
+        ));
+        assert_eq!(sel.group_by.len(), 1);
+        assert_eq!(sel.group_by[0].column, "Purpose");
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(matches!(
+            &sel.order_by[0],
+            OrderItem {
+                target: OrderTarget::Ordinal(3),
+                desc: true
+            }
+        ));
+        assert!(matches!(
+            &sel.order_by[1],
+            OrderItem {
+                target: OrderTarget::Column(q),
+                desc: false
+            } if q.column == "Purpose"
+        ));
+        assert_eq!(sel.limit, Some(5));
+        // A column named like a function, not followed by `(`, stays a
+        // plain column.
+        let stmts = parse_statements("SELECT count FROM t").unwrap();
+        let Statement::Select(sel) = &stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(&sel.items[0], SelectItem::Column(_)));
+        // MIN/MAX parse; SUM(*) does not; LIMIT needs an integer.
+        assert!(parse_statements("SELECT MIN(a), MAX(b) FROM t").is_ok());
+        assert!(parse_statements("SELECT SUM(*) FROM t").is_err());
+        assert!(parse_statements("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse_statements("SELECT a FROM t GROUP a").is_err());
     }
 }

@@ -30,7 +30,7 @@ pub use config::{BusConfig, CpuConfig, DeviceConfig, FlashConfig};
 pub use error::{GhostError, Result};
 pub use ids::{ColumnId, RowId, TableId};
 pub use liveset::{LiveFilter, LiveSet};
-pub use scalar::ScalarOp;
+pub use scalar::{AggFunc, ScalarOp};
 pub use sealed::{DisplayTicket, Sealed};
 pub use stream::{
     collect_ids, IdBlock, IdStream, ScalarFallback, SliceIdStream, VecIdStream, BLOCK_CAP,

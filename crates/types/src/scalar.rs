@@ -58,6 +58,62 @@ impl fmt::Display for ScalarOp {
     }
 }
 
+/// An aggregate function (`SELECT COUNT(*) / SUM(col) / ...`).
+///
+/// Aggregates over hidden columns fold entirely on the device: the bus
+/// carries the operand rows' *identities* and visible halves only, and the
+/// secure display receives group keys plus the folded scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Row count (`COUNT(*)` or `COUNT(col)` — no NULLs in this model,
+    /// so the two are identical).
+    Count,
+    /// Integer sum.
+    Sum,
+    /// Integer average, truncated toward zero.
+    Avg,
+    /// Minimum by value ordering.
+    Min,
+    /// Maximum by value ordering.
+    Max,
+}
+
+impl AggFunc {
+    /// The SQL spelling of the function.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Parse a (case-insensitive) function name.
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+
+    /// True for SUM/AVG, which require an integer-ordered operand.
+    pub fn needs_arithmetic(self) -> bool {
+        matches!(self, AggFunc::Sum | AggFunc::Avg)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl Wire for ScalarOp {
     fn encode(&self, out: &mut Vec<u8>) {
         out.push(match self {

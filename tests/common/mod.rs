@@ -32,7 +32,7 @@ pub fn assert_matches_reference(
     out: &QueryOutcome,
 ) {
     let spec = db.bind(sql).expect("bind");
-    let expect = ghostdb_workload::reference_execute(
+    let base = ghostdb_workload::reference_execute(
         db.schema(),
         db.tree(),
         data,
@@ -41,6 +41,23 @@ pub fn assert_matches_reference(
         &spec.predicates,
     )
     .expect("reference");
+    // The reference produces the deduplicated base projections; expand
+    // them through the SELECT-list shape (repeated columns re-appear).
+    // Aggregating specs have their own oracle (`aggregate_equivalence`).
+    let expect: Vec<Vec<Value>> = base
+        .into_iter()
+        .map(|r| {
+            spec.output
+                .iter()
+                .map(|o| match o {
+                    ghostdb_exec::OutputExpr::Column(i) => r[*i].clone(),
+                    ghostdb_exec::OutputExpr::Agg { .. } => {
+                        panic!("assert_matches_reference cannot check aggregates")
+                    }
+                })
+                .collect()
+        })
+        .collect();
     assert_eq!(
         out.rows.rows, expect,
         "engine and reference disagree for {sql}"

@@ -359,6 +359,82 @@ fn seal_mount_and_wal_replay_leak_nothing() {
     assert!(!db.spy_sees_value(&Value::Int(INS_INT)));
 }
 
+/// The PR's acceptance bar: `SELECT SUM(hidden) … GROUP BY visible`
+/// folds the hidden operands inside the device; the bus carries the
+/// (public) query text, the visible group keys and nothing else. The
+/// MIN lands *on* the text sentinel — the scalar result reaches the
+/// secure display and still never crosses the spied link.
+#[test]
+fn aggregates_over_hidden_keep_operands_off_the_bus() {
+    let db = build();
+    let sql = "SELECT Rec.Vitals, SUM(Rec.SecretScore), MIN(Rec.Diagnosis), COUNT(*) \
+               FROM Record Rec WHERE Rec.RecID >= 0 \
+               GROUP BY Rec.Vitals ORDER BY Rec.Vitals";
+
+    // Host-side reference: 8 records per Vitals value (i % 50).
+    let mut expect: Vec<Vec<Value>> = Vec::new();
+    for v in 0..50i64 {
+        let ids: Vec<i64> = (0..8).map(|k| v + 50 * k).collect();
+        let sum: i64 = ids
+            .iter()
+            .map(|&i| if i == 201 { SENTINEL_INT } else { i * 3 })
+            .sum();
+        let min_diag = ids
+            .iter()
+            .map(|&i| {
+                if i == 137 {
+                    SENTINEL_TEXT.to_string()
+                } else {
+                    format!("diag-{}", i % 7)
+                }
+            })
+            .min()
+            .unwrap();
+        expect.push(vec![
+            Value::Int(v),
+            Value::Int(sum),
+            Value::Text(min_diag),
+            Value::Int(8),
+        ]);
+    }
+
+    for cp in db.plans(sql).unwrap() {
+        db.clear_trace();
+        let out = db.query_with_plan(sql, &cp.plan).unwrap();
+        assert_eq!(
+            out.rows.rows, expect,
+            "wrong aggregates under plan {}",
+            cp.plan.label
+        );
+        // Both sentinels are aggregate *operands* here — SENTINEL_INT
+        // feeds the SUM of group 1, SENTINEL_TEXT feeds (and wins) the
+        // MIN of group 37 — so this single check is the acceptance bar:
+        // operands folded device-side, only group keys and totals out.
+        assert_no_sentinel(&db, &format!("grouped aggregation, plan {}", cp.plan.label));
+    }
+    assert!(out_has_sentinel_min(&db, sql));
+
+    // A global aggregate (no GROUP BY) reduces to one scalar row.
+    db.clear_trace();
+    let out = db
+        .query("SELECT COUNT(*), MAX(Rec.SecretScore) FROM Record Rec")
+        .unwrap();
+    assert_eq!(
+        out.rows.rows,
+        vec![vec![Value::Int(400), Value::Int(399 * 3)]]
+    );
+    assert_no_sentinel(&db, "global aggregate");
+}
+
+fn out_has_sentinel_min(db: &GhostDb, sql: &str) -> bool {
+    db.query(sql)
+        .unwrap()
+        .rows
+        .rows
+        .iter()
+        .any(|r| r[2] == Value::Text(SENTINEL_TEXT.into()))
+}
+
 #[test]
 fn results_only_reach_the_display_channel() {
     let db = build();

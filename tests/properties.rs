@@ -810,6 +810,282 @@ mod seal_mount_equivalence {
     }
 }
 
+mod aggregate_equivalence {
+    //! The analytic surface's ground truth (PR 7 acceptance): random
+    //! aggregate/range/ORDER BY/LIMIT queries must agree with a
+    //! host-side reference — an independent reimplementation of the
+    //! documented epilogue semantics (`docs/SQL.md`: first-seen group
+    //! order, stable sort, truncating AVG, COUNT-only zero-group rule)
+    //! applied to the rows the *plain* form of the same query returns.
+    //! Checked across every enumerated plan, both pipelines, in the
+    //! tombstone-resident state after random deletes, and again after
+    //! the physical flush.
+
+    use std::cmp::Ordering;
+    use std::collections::HashMap;
+
+    use ghostdb::GhostDb;
+    use ghostdb_storage::Dataset;
+    use ghostdb_types::{DeviceConfig, TableId, Value};
+    use proptest::prelude::*;
+
+    const DDL: &str = "\
+        CREATE TABLE Child (
+          cid INTEGER PRIMARY KEY,
+          vis INTEGER,
+          hid INTEGER HIDDEN,
+          tag CHAR(12) HIDDEN);
+        CREATE TABLE Root (
+          rid INTEGER PRIMARY KEY,
+          amt INTEGER HIDDEN,
+          cid REFERENCES Child(cid) HIDDEN);";
+
+    /// One SELECT item of the host reference, indexing the base
+    /// (pre-epilogue) projection row.
+    #[derive(Clone, Copy)]
+    enum Item {
+        Col(usize),
+        Count,
+        Sum(usize),
+        Avg(usize),
+        Min(usize),
+        Max(usize),
+    }
+
+    struct Case {
+        /// The analytic statement under test.
+        analytic: String,
+        /// Its plain SPJ core: same FROM/WHERE, projecting the base
+        /// columns `Item` indexes refer to — the engine's own (already
+        /// reference-proven) row stream defines arrival order.
+        base: String,
+        output: Vec<Item>,
+        group_by: Vec<usize>,
+        /// `(output item, desc)` sort keys.
+        order_by: Vec<(usize, bool)>,
+        limit: Option<usize>,
+    }
+
+    /// Host-side reimplementation of the epilogue semantics.
+    fn host_epilogue(rows: &[Vec<Value>], case: &Case) -> Vec<Vec<Value>> {
+        let has_agg = case.output.iter().any(|i| !matches!(i, Item::Col(_)));
+        let mut out: Vec<(Vec<Value>, usize)> = Vec::new();
+        if has_agg || !case.group_by.is_empty() {
+            let mut idx: HashMap<Vec<Value>, usize> = HashMap::new();
+            let mut groups: Vec<Vec<&Vec<Value>>> = Vec::new();
+            for r in rows {
+                let key: Vec<Value> = case.group_by.iter().map(|&i| r[i].clone()).collect();
+                let gi = *idx.entry(key).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[gi].push(r);
+            }
+            if groups.is_empty() && case.group_by.is_empty() {
+                if case.output.iter().all(|i| matches!(i, Item::Count)) {
+                    out.push((vec![Value::Int(0); case.output.len()], 0));
+                }
+            } else {
+                for (gi, g) in groups.iter().enumerate() {
+                    let row = case
+                        .output
+                        .iter()
+                        .map(|item| match item {
+                            Item::Col(i) => g[0][*i].clone(),
+                            Item::Count => Value::Int(g.len() as i64),
+                            Item::Sum(i) => {
+                                Value::Int(g.iter().map(|r| r[*i].as_int().unwrap()).sum::<i64>())
+                            }
+                            Item::Avg(i) => {
+                                let s: i128 =
+                                    g.iter().map(|r| r[*i].as_int().unwrap() as i128).sum();
+                                Value::Int((s / g.len() as i128) as i64)
+                            }
+                            Item::Min(i) => g
+                                .iter()
+                                .map(|r| r[*i].clone())
+                                .min_by(|a, b| a.cmp_same_type(b).unwrap())
+                                .unwrap(),
+                            Item::Max(i) => g
+                                .iter()
+                                .map(|r| r[*i].clone())
+                                .max_by(|a, b| a.cmp_same_type(b).unwrap())
+                                .unwrap(),
+                        })
+                        .collect();
+                    out.push((row, gi));
+                }
+            }
+        } else {
+            for (ri, r) in rows.iter().enumerate() {
+                let row = case
+                    .output
+                    .iter()
+                    .map(|item| match item {
+                        Item::Col(i) => r[*i].clone(),
+                        _ => unreachable!("aggregate without fold"),
+                    })
+                    .collect();
+                out.push((row, ri));
+            }
+        }
+        if !case.order_by.is_empty() {
+            out.sort_by(|a, b| {
+                for &(i, desc) in &case.order_by {
+                    let o = a.0[i].cmp_same_type(&b.0[i]).unwrap();
+                    let o = if desc { o.reverse() } else { o };
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.1.cmp(&b.1)
+            });
+        }
+        if let Some(k) = case.limit {
+            out.truncate(k);
+        }
+        out.into_iter().map(|(r, _)| r).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+        #[test]
+        fn device_aggregates_match_host_reference(
+            seed in any::<u64>(),
+            children in 4usize..14,
+            roots in 6usize..30,
+            lo in 0i64..50,
+            span in 0i64..30,
+            vcut in 0i64..50,
+            k in 1usize..8,
+            del_cut in 0i64..25,
+        ) {
+            let mut state = seed | 1;
+            let mut next = move || -> i64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as i64
+            };
+            let stmts = ghostdb_sql::parse_statements(DDL).unwrap();
+            let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
+            let mut data = Dataset::empty(&schema);
+            for i in 0..children as i64 {
+                data.push_row(TableId(0), vec![
+                    Value::Int(i),
+                    Value::Int(next() % 50),
+                    Value::Int(next() % 50),
+                    Value::Text(format!("tag-{}", next().rem_euclid(6))),
+                ]).unwrap();
+            }
+            for i in 0..roots as i64 {
+                data.push_row(TableId(1), vec![
+                    Value::Int(i),
+                    Value::Int(next() % 50),
+                    Value::Int(next().rem_euclid(children as i64)),
+                ]).unwrap();
+            }
+            let config = DeviceConfig::default_2007().with_delta_flush_rows(0);
+            let mut db = GhostDb::create(DDL, config, &data).unwrap();
+            let hi = lo + span;
+
+            let cases = [
+                // Grouped aggregates over hidden columns, BETWEEN range.
+                Case {
+                    analytic: format!(
+                        "SELECT Child.vis, COUNT(*), SUM(Child.hid), MIN(Child.tag), \
+                                MAX(Child.hid) \
+                         FROM Child WHERE Child.hid BETWEEN {lo} AND {hi} \
+                         GROUP BY Child.vis ORDER BY Child.vis"
+                    ),
+                    base: format!(
+                        "SELECT Child.vis, Child.hid, Child.tag FROM Child \
+                         WHERE Child.hid BETWEEN {lo} AND {hi}"
+                    ),
+                    output: vec![Item::Col(0), Item::Count, Item::Sum(1), Item::Min(2),
+                                 Item::Max(1)],
+                    group_by: vec![0],
+                    order_by: vec![(0, false)],
+                    limit: None,
+                },
+                // Plain top-k: ORDER BY ordinals, DESC, LIMIT.
+                Case {
+                    analytic: format!(
+                        "SELECT Child.cid, Child.hid FROM Child \
+                         WHERE Child.vis >= {vcut} ORDER BY 2 DESC, 1 LIMIT {k}"
+                    ),
+                    base: format!(
+                        "SELECT Child.cid, Child.hid FROM Child WHERE Child.vis >= {vcut}"
+                    ),
+                    output: vec![Item::Col(0), Item::Col(1)],
+                    group_by: vec![],
+                    order_by: vec![(1, true), (0, false)],
+                    limit: Some(k),
+                },
+                // Global aggregates (possibly over zero rows).
+                Case {
+                    analytic: format!(
+                        "SELECT COUNT(*), AVG(Root.amt) FROM Root \
+                         WHERE Root.amt BETWEEN {lo} AND {hi}"
+                    ),
+                    base: format!(
+                        "SELECT Root.amt FROM Root WHERE Root.amt BETWEEN {lo} AND {hi}"
+                    ),
+                    output: vec![Item::Count, Item::Avg(0)],
+                    group_by: vec![],
+                    order_by: vec![],
+                    limit: None,
+                },
+                // Join + GROUP BY + ORDER BY an aggregate + LIMIT.
+                Case {
+                    analytic: format!(
+                        "SELECT Child.vis, COUNT(*) FROM Root, Child \
+                         WHERE Root.amt >= {vcut} AND Root.cid = Child.cid \
+                         GROUP BY Child.vis ORDER BY 2 DESC, 1 LIMIT {k}"
+                    ),
+                    base: format!(
+                        "SELECT Child.vis FROM Root, Child \
+                         WHERE Root.amt >= {vcut} AND Root.cid = Child.cid"
+                    ),
+                    output: vec![Item::Col(0), Item::Count],
+                    group_by: vec![0],
+                    order_by: vec![(1, true), (0, false)],
+                    limit: Some(k),
+                },
+            ];
+
+            let check = |db: &GhostDb, phase: &str| {
+                for case in &cases {
+                    let base_rows = db.query(&case.base).unwrap().rows.rows;
+                    let expect = host_epilogue(&base_rows, case);
+                    let spec = db.bind(&case.analytic).unwrap();
+                    for cp in db.plans(&case.analytic).unwrap() {
+                        let blocked = db.run(&spec, &cp.plan).unwrap();
+                        prop_assert_eq!(
+                            &blocked.rows.rows, &expect,
+                            "{}/blocked plan {}: {}", phase, cp.plan.label, case.analytic
+                        );
+                        let scalar = db.run_scalar(&spec, &cp.plan).unwrap();
+                        prop_assert_eq!(
+                            &scalar.rows.rows, &expect,
+                            "{}/scalar plan {}: {}", phase, cp.plan.label, case.analytic
+                        );
+                    }
+                }
+            };
+
+            check(&db, "loaded");
+            // Random deletes: aggregates must respect tombstones...
+            db.execute(&format!("DELETE FROM Root WHERE amt <= {del_cut}")).unwrap();
+            check(&db, "tombstone-resident");
+            // ...and survive the physical compaction.
+            db.flush_deltas().unwrap();
+            check(&db, "compacted");
+        }
+    }
+}
+
 mod pipeline_equivalence {
     //! The batched (blocked) pipeline and the scalar fallback must be
     //! observationally identical: same rows, same per-operator tuple
