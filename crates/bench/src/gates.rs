@@ -195,6 +195,33 @@ mod tests {
     }
 
     #[test]
+    fn pr8_style_concurrency_gates() {
+        // The shape bench_concurrency emits: a min-gated scaling
+        // factor, a min-gated overlap count, and a max-gated p99.
+        let json = r#"{"acceptance": {
+            "read_scaling_4t": 3.91,
+            "read_scaling_4t_gate_min": 2.0,
+            "flush_overlap_reads": 2036,
+            "flush_overlap_reads_gate_min": 1.0,
+            "flush_p99_ms": 0.06,
+            "flush_p99_ms_gate_max": 500.0,
+            "pass": true
+        }}"#;
+        let entries = parse_acceptance(json).unwrap();
+        assert!(check_gates(&entries).is_empty());
+
+        let flat = json.replace("3.91", "1.3");
+        let v = check_gates(&parse_acceptance(&flat).unwrap());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("read_scaling_4t"), "{v:?}");
+
+        let stalled = json.replace("0.06", "1200.0");
+        let v = check_gates(&parse_acceptance(&stalled).unwrap());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("flush_p99_ms"), "{v:?}");
+    }
+
+    #[test]
     fn missing_acceptance_is_an_error() {
         assert!(parse_acceptance("{\"pr\": 9}").is_err());
         assert!(parse_acceptance("{\"acceptance\": 3}").is_err());

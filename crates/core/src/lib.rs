@@ -67,8 +67,11 @@
 #![warn(missing_docs)]
 
 mod link;
+mod session;
 
 pub use link::BusPcLink;
+pub use session::{SessionRegistry, Snapshot};
+use std::sync::Arc;
 
 use ghostdb_bus::{Bus, BusTrace, Endpoint, Message};
 use ghostdb_catalog::{
@@ -200,9 +203,10 @@ enum BatchOrigin {
 
 /// A loaded GhostDB instance (PC + device + display).
 pub struct GhostDb {
-    schema: Schema,
-    tree: TreeSchema,
-    config: DeviceConfig,
+    /// Immutable after load; `Arc`ed so snapshots share them for free.
+    schema: Arc<Schema>,
+    tree: Arc<TreeSchema>,
+    config: Arc<DeviceConfig>,
     clock: SimClock,
     bus: Bus,
     volume: Volume,
@@ -214,6 +218,12 @@ pub struct GhostDb {
     /// `Some` once the instance has sealed (or was mounted): inserts are
     /// write-ahead logged and delta flushes re-seal.
     durable: Option<DurableState>,
+    /// Commit epoch: bumped by every committed mutation statement and
+    /// every delta flush. Snapshots are stamped with it; equal epochs
+    /// mean identical logical state.
+    epoch: u64,
+    /// Open snapshot sessions (for `device_report()` and leak checks).
+    sessions: Arc<SessionRegistry>,
 }
 
 impl GhostDb {
@@ -253,9 +263,9 @@ impl GhostDb {
         let indexes = IndexSet::build(&volume, &load_scope, &schema, &tree, data, &encoders)?;
         let pc_link = BusPcLink::new(bus.clone(), visible);
         Ok(GhostDb {
-            schema,
-            tree,
-            config,
+            schema: Arc::new(schema),
+            tree: Arc::new(tree),
+            config: Arc::new(config),
             clock,
             bus,
             volume,
@@ -265,6 +275,8 @@ impl GhostDb {
             stats,
             pc_link,
             durable: None,
+            epoch: 0,
+            sessions: SessionRegistry::new(),
         })
     }
 
@@ -308,9 +320,9 @@ impl GhostDb {
         let ram = RamBudget::new(config.ram_bytes);
         let pc_link = BusPcLink::new(bus.clone(), visible);
         let mut db = GhostDb {
-            schema,
-            tree,
-            config,
+            schema: Arc::new(schema),
+            tree: Arc::new(tree),
+            config: Arc::new(config),
             clock,
             bus,
             volume,
@@ -320,6 +332,8 @@ impl GhostDb {
             stats,
             pc_link,
             durable: None,
+            epoch: 0,
+            sessions: SessionRegistry::new(),
         };
         // Replay the WAL: every fully-committed post-seal batch, in
         // order, through the normal apply path (validation included) —
@@ -560,6 +574,7 @@ impl GhostDb {
             .delete_rows(table, phys.iter().map(|&p| RowId(p)).collect())?;
         self.stats.retire_rows(table, phys.len() as u64);
         self.wal_commit(record)?;
+        self.epoch += 1;
         let mut flushed = false;
         if origin == BatchOrigin::Live && self.over_flush_threshold() {
             self.flush_deltas()?;
@@ -709,6 +724,7 @@ impl GhostDb {
             }
         }
         self.wal_commit(record)?;
+        self.epoch += 1;
         let mut flushed = false;
         if origin == BatchOrigin::Live && self.over_flush_threshold() {
             self.flush_deltas()?;
@@ -857,6 +873,7 @@ impl GhostDb {
             self.stats.absorb_row(table, &new_value_cols);
         }
         self.wal_commit(record)?;
+        self.epoch += 1;
         let mut flushed = false;
         if origin == BatchOrigin::Live && self.over_flush_threshold() {
             self.flush_deltas()?;
@@ -963,6 +980,7 @@ impl GhostDb {
         let Some(merged) = self.merge_deltas()? else {
             return Ok(0);
         };
+        self.epoch += 1;
         if self.durable.is_some() {
             self.seal_image(merged)?;
         }
@@ -1082,7 +1100,7 @@ impl GhostDb {
     fn seal_image(&mut self, merged_rows: u64) -> Result<SealReport> {
         let epoch = self.durable.as_ref().map(|d| d.epoch + 1).unwrap_or(1);
         let image = DeviceImage {
-            schema: self.schema.clone(),
+            schema: self.schema.as_ref().clone(),
             stats: self.stats.clone(),
             hidden: self.hidden.manifest()?,
             indexes: self.indexes.manifest()?,
@@ -1142,25 +1160,7 @@ impl GhostDb {
 
     /// Bind a SELECT statement into an executable [`QuerySpec`].
     pub fn bind(&self, sql: &str) -> Result<QuerySpec> {
-        let stmts = parse_statements(sql)?;
-        let sel = stmts
-            .iter()
-            .find_map(|s| match s {
-                Statement::Select(sel) => Some(sel),
-                _ => None,
-            })
-            .ok_or_else(|| GhostError::sql("expected a SELECT statement"))?;
-        let bound = bind_select(&self.schema, &self.tree, sel)?;
-        QuerySpec::bind(
-            &self.schema,
-            &self.tree,
-            bound.sql,
-            bound.tables,
-            bound.projections,
-            bound.predicates,
-            bound.joins,
-        )?
-        .with_analytics(&self.schema, &bound.analytics)
+        bind_select_spec(&self.schema, &self.tree, sql)
     }
 
     fn exec_context(&self, pipeline: PipelineMode) -> ExecContext<'_> {
@@ -1219,8 +1219,35 @@ impl GhostDb {
     /// of the blocked pipeline. Results and tuple counts must match
     /// [`run`](Self::run) exactly; only simulated timings differ. Kept
     /// public as the equivalence foil for tests and benchmarks.
+    ///
+    /// Routed through a throwaway [`Snapshot`] so every plan-equivalence
+    /// test that compares scalar vs blocked output also exercises the
+    /// snapshot read path end to end.
     pub fn run_scalar(&self, spec: &QuerySpec, plan: &Plan) -> Result<QueryOutcome> {
-        self.run_with_pipeline(spec, plan, PipelineMode::Scalar)
+        self.snapshot()?.run_scalar(spec, plan)
+    }
+
+    /// Capture an immutable, epoch-stamped [`Snapshot`] of the database:
+    /// a cheap deep copy of the bounded RAM deltas plus `Arc`-shared
+    /// flash segment manifests, with every base page pinned against
+    /// reclamation until the snapshot drops. Snapshots are `Send + Sync`
+    /// and own their device-RAM budget, so N reader threads can run
+    /// SELECTs in parallel while this handle keeps mutating and
+    /// flushing.
+    pub fn snapshot(&self) -> Result<Snapshot> {
+        Snapshot::capture(self)
+    }
+
+    /// The MVCC epoch: bumped by every committed mutation statement and
+    /// every delta flush. A [`Snapshot`] carries the epoch it saw.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Open-snapshot count across all threads (observability; also in
+    /// [`device_report`](Self::device_report)).
+    pub fn open_snapshots(&self) -> usize {
+        self.sessions.open_snapshots()
     }
 
     fn run_with_pipeline(
@@ -1289,14 +1316,26 @@ impl GhostDb {
             rel.spare_blocks,
             rel.scrubbed_pages,
         );
+        let pins = self.volume.pin_stats();
+        let sessions = format!(
+            "epoch {}, {}; {} page(s) pinned by snapshots ({} free(s) deferred), \
+             {} sealed-image pin(s) ({} free(s) deferred)",
+            self.epoch,
+            self.sessions.describe(),
+            pins.snapshot_pinned,
+            pins.snapshot_deferred,
+            pins.sealed_pinned,
+            pins.sealed_deferred,
+        );
         format!(
             "flash: {}/{} blocks free, {} live pages; indexes: {}; durability: {}; \
-             reliability: {}; wear: {}",
+             sessions: {}; reliability: {}; wear: {}",
             usage.free_blocks,
             usage.total_blocks,
             usage.live_pages,
             self.indexes.describe(),
             durability,
+            sessions,
             reliability,
             self.wear_report(),
         )
@@ -1334,6 +1373,30 @@ impl GhostDb {
             seg(reserved..wear.len()),
         )
     }
+}
+
+/// Bind a SELECT statement against a schema + tree — shared by
+/// [`GhostDb::bind`] and [`Snapshot::bind`].
+pub(crate) fn bind_select_spec(schema: &Schema, tree: &TreeSchema, sql: &str) -> Result<QuerySpec> {
+    let stmts = parse_statements(sql)?;
+    let sel = stmts
+        .iter()
+        .find_map(|s| match s {
+            Statement::Select(sel) => Some(sel),
+            _ => None,
+        })
+        .ok_or_else(|| GhostError::sql("expected a SELECT statement"))?;
+    let bound = bind_select(schema, tree, sel)?;
+    QuerySpec::bind(
+        schema,
+        tree,
+        bound.sql,
+        bound.tables,
+        bound.projections,
+        bound.predicates,
+        bound.joins,
+    )?
+    .with_analytics(schema, &bound.analytics)
 }
 
 /// A decoded WAL record: one committed mutation batch. All three kinds

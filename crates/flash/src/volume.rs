@@ -57,7 +57,8 @@
 //!
 //! [`FlashConfig::gc_low_watermark_blocks`]: ghostdb_types::FlashConfig::gc_low_watermark_blocks
 
-use std::collections::HashSet;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 use ghostdb_ram::{RamScope, ScopedGuard};
@@ -188,6 +189,18 @@ struct AllocState {
     /// their blocks made reclaimable) by [`Volume::commit_seal`] once
     /// the superseding image is durable.
     deferred_free: HashSet<u32>,
+    /// Per-LPN snapshot pin counts: every open read snapshot pins the
+    /// pages its base segments can read. A pinned page may still
+    /// *migrate* (the translation table keeps snapshot reads valid) but
+    /// is never physically released — a `free` against it parks in
+    /// `pin_deferred` until the last pin drops. This is the same
+    /// deferred-free discipline the sealed image uses, keyed by
+    /// refcount instead of seal generation.
+    pins: HashMap<u32, u32>,
+    /// Snapshot-pinned LPNs whose `free` was deferred; physically
+    /// released by [`Volume::unpin_pages`] when their pin count
+    /// reaches zero.
+    pin_deferred: HashSet<u32>,
     /// Per-block grown-bad retirement flags — the volume's bad-block
     /// table. Retired blocks are never allocated, never erased, never
     /// GC victims; their still-readable pages stay mapped until freed.
@@ -262,6 +275,22 @@ pub struct ScrubReport {
     pub pages_skipped_sealed: u64,
 }
 
+/// Pin accounting surfaced by [`Volume::pin_stats`] (and the engine's
+/// `device_report()` sessions section).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PinStats {
+    /// Distinct logical pages pinned by open snapshots.
+    pub snapshot_pinned: usize,
+    /// Snapshot-pinned pages whose free is deferred until the last
+    /// pin drops.
+    pub snapshot_deferred: usize,
+    /// Logical pages referenced by the sealed on-flash image.
+    pub sealed_pinned: usize,
+    /// Sealed pages whose free is deferred until the next
+    /// [`Volume::commit_seal`].
+    pub sealed_deferred: usize,
+}
+
 /// Snapshot of space usage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VolumeUsage {
@@ -281,10 +310,15 @@ pub struct VolumeUsage {
 pub struct Volume {
     nand: Nand,
     state: Arc<Mutex<AllocState>>,
-    /// The hardware page register: random reads fault whole codewords
+}
+
+thread_local! {
+    /// Per-session page register: random reads fault whole codewords
     /// through here so ECC can verify them, without charging a
-    /// full-page buffer to the caller's RAM scope.
-    register: Arc<Mutex<Vec<u8>>>,
+    /// full-page buffer to the caller's RAM scope. One register per
+    /// reader thread (each concurrent session owns a plane register),
+    /// so parallel random reads never serialize on a shared buffer.
+    static PAGE_REGISTER: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
 }
 
 impl Volume {
@@ -304,7 +338,6 @@ impl Volume {
             reserved < blocks,
             "reserved region ({reserved} blocks) swallows the whole part ({blocks} blocks)"
         );
-        let register = Arc::new(Mutex::new(vec![0u8; nand.config().page_size]));
         Volume {
             state: Arc::new(Mutex::new(AllocState {
                 free_blocks: (reserved as u32..blocks as u32).map(BlockId).collect(),
@@ -319,6 +352,8 @@ impl Volume {
                 sealed: Vec::new(),
                 sealed_in_block: vec![0; blocks],
                 deferred_free: HashSet::new(),
+                pins: HashMap::new(),
+                pin_deferred: HashSet::new(),
                 bad: vec![false; blocks],
                 corrected_reads: vec![0; pages],
                 corrected_total: 0,
@@ -326,7 +361,6 @@ impl Volume {
                 scrubbed_pages: 0,
             })),
             nand,
-            register,
         }
     }
 
@@ -423,7 +457,6 @@ impl Volume {
             }
         }
         let sealed = l2p.iter().map(|&p| p != UNMAPPED).collect();
-        let register = Arc::new(Mutex::new(vec![0u8; nand.config().page_size]));
         Ok(Volume {
             state: Arc::new(Mutex::new(AllocState {
                 free_blocks,
@@ -438,6 +471,8 @@ impl Volume {
                 sealed,
                 sealed_in_block,
                 deferred_free: HashSet::new(),
+                pins: HashMap::new(),
+                pin_deferred: HashSet::new(),
                 bad,
                 corrected_reads: vec![0; pages],
                 corrected_total: 0,
@@ -445,7 +480,6 @@ impl Volume {
                 scrubbed_pages: 0,
             })),
             nand,
-            register,
         })
     }
 
@@ -458,6 +492,11 @@ impl Volume {
         let st = self.state.lock().expect("volume poisoned");
         let mut out = st.l2p.clone();
         for &lpn in &st.deferred_free {
+            out[lpn as usize] = UNMAPPED;
+        }
+        // Pin-deferred pages are equally dead to the image being
+        // sealed: only open snapshots may still read them.
+        for &lpn in &st.pin_deferred {
             out[lpn as usize] = UNMAPPED;
         }
         out
@@ -511,19 +550,38 @@ impl Volume {
                     st.sealed_in_block[b] -= 1;
                 }
             }
-            d
+            // A page freed under both disciplines (sealed *and*
+            // snapshot-pinned) outlives the seal: hand it to the pin
+            // ledger, to die when the last snapshot drops.
+            let (still_pinned, free): (Vec<u32>, Vec<u32>) =
+                d.into_iter().partition(|lpn| st.pins.contains_key(lpn));
+            st.pin_deferred.extend(still_pinned);
+            free
         };
         for lpn in deferred {
             self.free_now(Lpn(lpn))?;
         }
         let mut st = self.state.lock().expect("volume poisoned");
         let ppb = self.nand.config().pages_per_block;
-        st.sealed = st.l2p.iter().map(|&p| p != UNMAPPED).collect();
+        // The new sealed generation is the live translation table minus
+        // the pin-deferred pages: those are logically dead (the image
+        // being committed no longer references them), merely kept
+        // readable for open snapshots.
+        let pin_deferred = std::mem::take(&mut st.pin_deferred);
+        st.sealed = st
+            .l2p
+            .iter()
+            .enumerate()
+            .map(|(lpn, &p)| p != UNMAPPED && !pin_deferred.contains(&(lpn as u32)))
+            .collect();
         let mut per_block = vec![0u32; self.nand.block_count()];
-        for &phys in st.l2p.iter().filter(|&&p| p != UNMAPPED) {
-            per_block[(phys as usize) / ppb] += 1;
+        for (lpn, &phys) in st.l2p.iter().enumerate() {
+            if phys != UNMAPPED && !pin_deferred.contains(&(lpn as u32)) {
+                per_block[(phys as usize) / ppb] += 1;
+            }
         }
         st.sealed_in_block = per_block;
+        st.pin_deferred = pin_deferred;
         Ok(())
     }
 
@@ -535,6 +593,74 @@ impl Volume {
             .expect("volume poisoned")
             .deferred_free
             .len()
+    }
+
+    /// Pin a set of logical pages on behalf of an open read snapshot:
+    /// until [`unpin_pages`](Self::unpin_pages) drops the last pin,
+    /// freeing any of them defers the physical release instead of
+    /// erasing data the snapshot can still read. Pins nest (two
+    /// snapshots over the same base pin each page twice) and do **not**
+    /// block GC migration — the translation table keeps pinned reads
+    /// valid across moves; only the final erase is held back.
+    ///
+    /// Every page must currently be mapped and not already
+    /// logically freed.
+    pub fn pin_pages(&self, lpns: &[u32]) -> Result<()> {
+        let mut st = self.state.lock().expect("volume poisoned");
+        for &lpn in lpns {
+            let mapped = matches!(st.l2p.get(lpn as usize), Some(&p) if p != UNMAPPED);
+            if !mapped || st.pin_deferred.contains(&lpn) {
+                return Err(GhostError::flash(format!(
+                    "snapshot pin of dead logical page {lpn}"
+                )));
+            }
+        }
+        for &lpn in lpns {
+            *st.pins.entry(lpn).or_insert(0) += 1;
+        }
+        Ok(())
+    }
+
+    /// Drop one pin from each of `lpns` (the snapshot's drop path).
+    /// Pages whose last pin drops *and* whose free was deferred while
+    /// pinned are physically released here — the moment "no snapshot
+    /// can read this" becomes true.
+    pub fn unpin_pages(&self, lpns: &[u32]) -> Result<()> {
+        let mut release = Vec::new();
+        {
+            let mut st = self.state.lock().expect("volume poisoned");
+            for &lpn in lpns {
+                let Some(count) = st.pins.get_mut(&lpn) else {
+                    return Err(GhostError::flash(format!(
+                        "unpin of logical page {lpn} that holds no pin"
+                    )));
+                };
+                *count -= 1;
+                if *count == 0 {
+                    st.pins.remove(&lpn);
+                    if st.pin_deferred.remove(&lpn) {
+                        release.push(lpn);
+                    }
+                }
+            }
+        }
+        for lpn in release {
+            self.free_now(Lpn(lpn))?;
+        }
+        Ok(())
+    }
+
+    /// Pin accounting for `device_report()`: distinct snapshot-pinned
+    /// pages, pinned pages whose free is deferred on the pins, and
+    /// pages pinned by the sealed on-flash image.
+    pub fn pin_stats(&self) -> PinStats {
+        let st = self.state.lock().expect("volume poisoned");
+        PinStats {
+            snapshot_pinned: st.pins.len(),
+            snapshot_deferred: st.pin_deferred.len(),
+            sealed_pinned: st.sealed.iter().filter(|&&s| s).count(),
+            sealed_deferred: st.deferred_free.len(),
+        }
     }
 
     /// The underlying NAND part (for stats and config).
@@ -610,12 +736,64 @@ impl Volume {
         }
     }
 
-    /// Fault one full raw page through the codeword check. `raw` must
-    /// be raw-page sized; the caller must **not** hold the state lock.
-    fn verified_read(&self, phys: PageAddr, raw: &mut [u8]) -> Result<()> {
-        self.nand.read_into(phys, 0, raw)?;
-        let mut st = self.state.lock().expect("volume poisoned");
-        self.verify_raw(&mut st, phys, raw)
+    /// Fault one full raw page of a logical page through the codeword
+    /// check. `raw` must be raw-page sized; the caller must **not**
+    /// hold the state lock.
+    ///
+    /// Concurrency: readers fault pages while the writer thread may be
+    /// garbage-collecting, scrubbing, or flushing. The resolve → NAND
+    /// transfer window is protected optimistically — after the
+    /// transfer the mapping is re-checked, and the fault retried if
+    /// the page migrated (or its block was erased and reprogrammed) in
+    /// between. A physical page's bytes cannot change while its
+    /// mapping holds: reprogramming requires an erase, and an erase
+    /// requires every page of the block to be unmapped first.
+    fn fault_lpn(&self, lpn: Lpn, raw: &mut [u8]) -> Result<()> {
+        loop {
+            let phys = self.phys_of(lpn)?;
+            self.nand.read_into(phys, 0, raw)?;
+            {
+                let st = self.state.lock().expect("volume poisoned");
+                if st.l2p.get(lpn.0 as usize).copied() != Some(phys.0) {
+                    continue; // migrated mid-transfer: retry at the new address
+                }
+            }
+            return self.verify_faulted(phys, raw);
+        }
+    }
+
+    /// ECC bookkeeping for a raw page faulted *outside* the state
+    /// lock: the codeword check (the CPU-heavy part of a read) runs
+    /// unlocked so concurrent readers never serialize on it; only the
+    /// counter updates take the lock.
+    fn verify_faulted(&self, phys: PageAddr, raw: &mut [u8]) -> Result<()> {
+        if !self.nand.config().ecc_enabled {
+            return Ok(());
+        }
+        self.nand
+            .clock()
+            .advance(self.nand.config().ecc_cost_ns(raw.len()));
+        match ecc::verify_page(raw) {
+            ecc::Verdict::Clean => Ok(()),
+            ecc::Verdict::Corrected => {
+                let mut st = self.state.lock().expect("volume poisoned");
+                st.corrected_total += 1;
+                // The page may have migrated since the transfer; the
+                // per-page scrub counter only tracks still-mapped cells.
+                if st.p2l[phys.index()] != UNMAPPED {
+                    st.corrected_reads[phys.index()] += 1;
+                }
+                Ok(())
+            }
+            ecc::Verdict::Uncorrectable => {
+                let mut st = self.state.lock().expect("volume poisoned");
+                st.uncorrectable_total += 1;
+                Err(GhostError::corrupt(format!(
+                    "uncorrectable bit errors in flash page {} (past the single-bit ECC budget)",
+                    phys.0
+                )))
+            }
+        }
     }
 
     /// Pull the least-worn block off the free list (wear-aware
@@ -876,6 +1054,27 @@ impl Volume {
                 if !st.deferred_free.insert(lpn.0) {
                     return Err(GhostError::flash(format!(
                         "double free of (sealed) logical page {}",
+                        lpn.0
+                    )));
+                }
+                return Ok(());
+            }
+            // Snapshot-pinned pages defer exactly like sealed ones,
+            // except the release trigger is the last unpin rather than
+            // the next commit_seal.
+            if st.pins.contains_key(&lpn.0) {
+                match st.l2p.get(lpn.0 as usize) {
+                    Some(&p) if p != UNMAPPED => {}
+                    _ => {
+                        return Err(GhostError::flash(format!(
+                            "double free of logical page {}",
+                            lpn.0
+                        )))
+                    }
+                }
+                if !st.pin_deferred.insert(lpn.0) {
+                    return Err(GhostError::flash(format!(
+                        "double free of (snapshot-pinned) logical page {}",
                         lpn.0
                     )));
                 }
@@ -1180,17 +1379,31 @@ impl Volume {
             let page_idx = (pos / ps) as usize;
             let in_page = (pos % ps) as usize;
             let chunk = ((ps as usize) - in_page).min(buf.len() - done);
-            let phys = self.phys_of(segment.pages[page_idx])?;
+            let lpn = segment.pages[page_idx];
             if self.nand.config().ecc_enabled {
-                // The whole codeword must be faulted through the part's
-                // page register so the ECC check can run — a random read
-                // costs a full-page transfer, not just the window.
-                let mut reg = self.register.lock().expect("register poisoned");
-                self.verified_read(phys, &mut reg)?;
-                buf[done..done + chunk].copy_from_slice(&reg[in_page..in_page + chunk]);
+                // The whole codeword must be faulted through the
+                // session's page register so the ECC check can run — a
+                // random read costs a full-page transfer, not just the
+                // window.
+                PAGE_REGISTER.with(|r| {
+                    let mut reg = r.borrow_mut();
+                    reg.resize(self.raw_page_size(), 0);
+                    self.fault_lpn(lpn, &mut reg)?;
+                    buf[done..done + chunk].copy_from_slice(&reg[in_page..in_page + chunk]);
+                    Ok::<(), GhostError>(())
+                })?;
             } else {
-                self.nand
-                    .read_into(phys, in_page, &mut buf[done..done + chunk])?;
+                // Windowed transfer, re-checked against a concurrent
+                // GC migration exactly like a full-page fault.
+                loop {
+                    let phys = self.phys_of(lpn)?;
+                    self.nand
+                        .read_into(phys, in_page, &mut buf[done..done + chunk])?;
+                    let st = self.state.lock().expect("volume poisoned");
+                    if st.l2p.get(lpn.0 as usize).copied() == Some(phys.0) {
+                        break;
+                    }
+                }
             }
             done += chunk;
         }
@@ -1327,8 +1540,8 @@ impl SegmentReader {
                 // consume whole pages, and the ECC check needs the whole
                 // codeword anyway). Resolved through the translation
                 // table, so a concurrent GC migration is invisible here.
-                let phys = self.volume.phys_of(self.segment.pages[page_idx])?;
-                self.volume.verified_read(phys, &mut self.buf)?;
+                self.volume
+                    .fault_lpn(self.segment.pages[page_idx], &mut self.buf)?;
                 self.buf_page = page_idx;
             }
             let in_page = (self.pos % ps as u64) as usize;
@@ -1701,6 +1914,82 @@ mod tests {
         let mut back = vec![0u8; keeper.len() as usize];
         r.read_exact(&mut back).unwrap();
         assert!(back.iter().all(|&b| b == 0x11), "keeper intact");
+    }
+
+    #[test]
+    fn snapshot_pins_defer_frees_until_last_unpin() {
+        let (vol, scope) = setup(8);
+        let (keeper, junk) = fragment(&vol, &scope, 4);
+        let lpns = junk.manifest().lpns;
+        // Two snapshots pin the junk segment.
+        vol.pin_pages(&lpns).unwrap();
+        vol.pin_pages(&lpns).unwrap();
+        vol.free(junk.clone()).unwrap();
+        let pins = vol.pin_stats();
+        assert_eq!(pins.snapshot_pinned, 12);
+        assert_eq!(pins.snapshot_deferred, 12, "pinned frees defer");
+        // Double free of a pin-deferred segment is still caught.
+        let err = vol.free(junk.clone()).unwrap_err();
+        assert!(err.to_string().contains("double free"), "{err}");
+        // The pinned pages stay readable: the l2p still maps them, and
+        // GC may migrate but never erase them.
+        vol.gc(&scope).unwrap();
+        let mut r = vol.reader(&scope, &junk).unwrap();
+        let mut back = vec![0u8; junk.len() as usize];
+        r.read_exact(&mut back).unwrap();
+        assert!(back.iter().all(|&b| b == 0x22), "pinned data intact");
+        // First unpin: still one snapshot open, nothing released.
+        vol.unpin_pages(&lpns).unwrap();
+        assert_eq!(vol.pin_stats().snapshot_deferred, 12);
+        // Last unpin: the deferred pages die for real and become GC
+        // feedstock.
+        vol.unpin_pages(&lpns).unwrap();
+        let pins = vol.pin_stats();
+        assert_eq!(pins.snapshot_pinned, 0);
+        assert_eq!(pins.snapshot_deferred, 0);
+        assert_eq!(vol.usage().dead_pages, 12);
+        assert!(vol.gc(&scope).unwrap().blocks_reclaimed >= 3);
+        // The keeper never lost a byte through all of it.
+        let mut r = vol.reader(&scope, &keeper).unwrap();
+        let mut back = vec![0u8; keeper.len() as usize];
+        r.read_exact(&mut back).unwrap();
+        assert!(back.iter().all(|&b| b == 0x11));
+        // Unpinning without a pin is an error, and pinning a dead page
+        // is refused.
+        assert!(vol.unpin_pages(&lpns).is_err());
+        assert!(vol.pin_pages(&lpns).is_err());
+    }
+
+    #[test]
+    fn seal_and_pin_compose() {
+        let (vol, scope) = setup(8);
+        let (_keeper, junk) = fragment(&vol, &scope, 4);
+        let lpns = junk.manifest().lpns;
+        // Page is sealed *and* snapshot-pinned, then freed: the free
+        // defers on the seal first.
+        vol.commit_seal().unwrap();
+        vol.pin_pages(&lpns).unwrap();
+        vol.free(junk.clone()).unwrap();
+        assert_eq!(vol.deferred_free_pages(), 12);
+        assert_eq!(vol.pin_stats().snapshot_deferred, 0);
+        // Committing the superseding seal hands the still-pinned pages
+        // to the pin ledger instead of erasing under the snapshot.
+        vol.commit_seal().unwrap();
+        assert_eq!(vol.deferred_free_pages(), 0);
+        let pins = vol.pin_stats();
+        assert_eq!(pins.snapshot_deferred, 12);
+        assert_eq!(
+            pins.sealed_pinned, 4,
+            "dead-but-pinned pages are not resealed"
+        );
+        let mut r = vol.reader(&scope, &junk).unwrap();
+        let mut back = vec![0u8; junk.len() as usize];
+        r.read_exact(&mut back).unwrap();
+        assert!(back.iter().all(|&b| b == 0x22), "still readable");
+        // The snapshot drops: now the pages die.
+        vol.unpin_pages(&lpns).unwrap();
+        assert_eq!(vol.pin_stats().snapshot_deferred, 0);
+        assert!(vol.usage().dead_pages >= 12 || vol.usage().free_blocks > 0);
     }
 
     #[test]

@@ -85,7 +85,7 @@ const KEY_BYTES: usize = 8;
 const PER_LEVEL_BYTES: usize = 8; // u32 offset + u32 length
 
 /// RAM-resident delta postings layered over the flash base.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum IndexDelta {
     /// Value indexes: keyed by the indexed column's value (delta strings
     /// may be outside the base dictionary's rank space).
@@ -99,7 +99,11 @@ enum IndexDelta {
 /// ids whose indexed value was overwritten (each id appears under
 /// exactly one key per level, so suppressing by id alone is sound; the
 /// id's new home is a delta posting under the new value).
-#[derive(Debug)]
+///
+/// `Clone` freezes the index for a snapshot session: the flash base
+/// (directory + postings) is shared, the RAM delta and suppression
+/// sets are copied.
+#[derive(Debug, Clone)]
 pub struct ClimbingIndex {
     volume: Volume,
     directory: Segment,
@@ -875,6 +879,14 @@ impl Wire for ClimbingManifest {
 }
 
 impl ClimbingIndex {
+    /// Every logical flash page the index's base segments can read,
+    /// appended to `out` (snapshot pinning; works with a pending
+    /// delta, which needs no pins).
+    pub fn collect_lpns(&self, out: &mut Vec<u32>) {
+        out.extend(self.directory.manifest().lpns);
+        out.extend(self.postings.manifest().lpns);
+    }
+
     /// The index's durable manifest (requires an empty delta and no
     /// suppressions — seal flushes first; un-flushed mutations ride the
     /// WAL instead).

@@ -57,7 +57,10 @@ pub struct RowInsert<'a> {
 /// * a climbing **key** index on every non-root table's primary key
 ///   (dense directory), used to translate delegated visible id lists and
 ///   to combine predicates in Cross-filtering plans.
-#[derive(Debug)]
+///
+/// `Clone` freezes every index for a snapshot session: flash bases are
+/// shared, RAM deltas are copied — bounded by the flush threshold.
+#[derive(Debug, Clone)]
 pub struct IndexSet {
     skts: HashMap<u16, SubtreeKeyTable>,
     value_indexes: HashMap<(u16, u16), ClimbingIndex>,
@@ -351,6 +354,21 @@ impl IndexSet {
     /// naive reference engine).
     pub fn column_order_of_skt(&self, table: TableId) -> Result<&[TableId]> {
         Ok(self.skt(table)?.table_order())
+    }
+
+    /// Every logical flash page any index base can read, appended to
+    /// `out` — the set a snapshot session pins against flush-time
+    /// frees (RAM deltas need no pinning).
+    pub fn collect_lpns(&self, out: &mut Vec<u32>) {
+        for s in self.skts.values() {
+            s.collect_lpns(out);
+        }
+        for i in self.value_indexes.values() {
+            i.collect_lpns(out);
+        }
+        for i in self.key_indexes.values() {
+            i.collect_lpns(out);
+        }
     }
 
     /// The index set's durable manifest (deterministic order: sorted by

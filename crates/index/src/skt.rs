@@ -34,7 +34,7 @@ impl SktRow {
 /// A Subtree Key Table: a fixed-width flash base plus a RAM-resident
 /// delta of rows appended by post-load inserts (flushed into a rebuilt
 /// segment by [`SubtreeKeyTable::flush`]).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SubtreeKeyTable {
     volume: Volume,
     segment: Segment,
@@ -240,6 +240,13 @@ impl Wire for SktManifest {
 }
 
 impl SubtreeKeyTable {
+    /// Every logical flash page the SKT's base segment can read,
+    /// appended to `out` (snapshot pinning; works with a pending
+    /// delta, which needs no pins).
+    pub fn collect_lpns(&self, out: &mut Vec<u32>) {
+        out.extend(self.segment.manifest().lpns);
+    }
+
     /// The SKT's durable manifest (requires an empty delta — seal
     /// flushes first).
     pub fn manifest(&self) -> Result<SktManifest> {

@@ -126,7 +126,7 @@ enum ColumnStore {
     },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TableStore {
     rows: u32,
     /// Indexed by column id; `None` for visible columns (stored on the PC).
@@ -243,7 +243,14 @@ impl FlushRemaps {
 /// The hidden half of the database: an immutable flash base per column
 /// plus a RAM-resident delta of post-load appends, a tombstone
 /// [`LiveSet`] per table, and value-rewrite overlays for updated rows.
-#[derive(Debug)]
+///
+/// `Clone` produces a read-coherent frozen copy for snapshot sessions:
+/// the flash bases are shared (`Segment` page lists are `Arc`ed, and
+/// the volume handle points at the same part), while the RAM-resident
+/// deltas, overlays, and tombstone sets — all bounded by the flush
+/// threshold — are copied, so later writer mutations never show
+/// through.
+#[derive(Debug, Clone)]
 pub struct HiddenStore {
     volume: Volume,
     tables: Vec<TableStore>,
@@ -1362,6 +1369,31 @@ impl Wire for HiddenManifest {
 }
 
 impl HiddenStore {
+    /// Every logical flash page the store's base segments can read,
+    /// appended to `out` — the set a snapshot session pins against
+    /// flush-time frees. Unlike [`manifest`](Self::manifest) this works
+    /// with pending mutations: the RAM delta needs no pinning, and the
+    /// bases are exactly what a flush would retire.
+    pub fn collect_lpns(&self, out: &mut Vec<u32>) {
+        for t in &self.tables {
+            for c in t.columns.iter().flatten() {
+                match c {
+                    ColumnStore::Fixed { keys, .. } => out.extend(keys.manifest().lpns),
+                    ColumnStore::Dict {
+                        codes,
+                        offsets,
+                        bytes,
+                        ..
+                    } => {
+                        out.extend(codes.manifest().lpns);
+                        out.extend(offsets.manifest().lpns);
+                        out.extend(bytes.manifest().lpns);
+                    }
+                }
+            }
+        }
+    }
+
     /// The store's durable manifest. Requires every mutation — appended
     /// rows, tombstones, overwrites — to be flushed first: the image
     /// format keeps un-flushed mutations in the WAL, not in the metadata

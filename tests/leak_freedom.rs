@@ -435,6 +435,65 @@ fn out_has_sentinel_min(db: &GhostDb, sql: &str) -> bool {
         .any(|r| r[2] == Value::Text(SENTINEL_TEXT.into()))
 }
 
+/// PR 8: the snapshot read path rides the same spied link as the
+/// writer handle (clones share the trace), so the leak guarantee must
+/// hold for reader sessions too — at capture, through every plan, and
+/// from another thread racing the writer's handle.
+#[test]
+fn snapshot_reads_leak_nothing() {
+    let db = build();
+    db.clear_trace();
+    let snap = db.snapshot().unwrap();
+    assert_eq!(
+        db.trace().spy_bytes(),
+        0,
+        "snapshot capture is a device-internal pin, off-bus"
+    );
+
+    // Full hidden projection through the snapshot: both sentinels reach
+    // the secure display, zero hidden bytes cross the link.
+    let out = snap
+        .query(
+            "SELECT Rec.Diagnosis, Rec.SecretScore FROM Record Rec \
+             WHERE Rec.RecID >= 0",
+        )
+        .unwrap();
+    assert_eq!(out.rows.len(), 400);
+    assert!(out
+        .rows
+        .rows
+        .iter()
+        .any(|r| r[0] == Value::Text(SENTINEL_TEXT.into())));
+    assert_no_sentinel(&db, "snapshot projection of hidden columns");
+
+    // Every enumerated plan, both entry points, stays clean.
+    let sql = "SELECT Rec.RecID, Rec.Diagnosis, Clinic.City \
+               FROM Record Rec, Clinic \
+               WHERE Rec.Vitals >= 10 \
+                 AND Rec.SecretScore >= 0 \
+                 AND Rec.ClinicID = Clinic.ClinicID";
+    let spec = snap.bind(sql).unwrap();
+    for cp in snap.plans(sql).unwrap() {
+        db.clear_trace();
+        let _ = snap.query_with_plan(sql, &cp.plan).unwrap();
+        let _ = snap.run_scalar(&spec, &cp.plan).unwrap();
+        assert_no_sentinel(&db, &format!("snapshot plan {}", cp.plan.label));
+    }
+
+    // Cross-thread: the snapshot moves to a reader thread; the shared
+    // trace still proves nothing hidden crossed.
+    db.clear_trace();
+    let handle = std::thread::spawn(move || {
+        snap.query("SELECT Rec.Diagnosis FROM Record Rec WHERE Rec.SecretScore <= -1")
+            .unwrap()
+            .rows
+            .rows
+            .len()
+    });
+    assert_eq!(handle.join().unwrap(), 1, "the int-sentinel row");
+    assert_no_sentinel(&db, "cross-thread snapshot read");
+}
+
 #[test]
 fn results_only_reach_the_display_channel() {
     let db = build();
