@@ -190,9 +190,9 @@ fn flush_overlap_phase() -> Result<(usize, usize, f64, f64)> {
         .iter()
         .map(|(s, e)| e.duration_since(*s).as_secs_f64() * 1e3)
         .collect();
-    ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let pct = |p: f64| ms[((ms.len() - 1) as f64 * p) as usize];
-    Ok((reads.len(), overlapped, pct(0.5), pct(0.99)))
+    let p50 = ghostdb_bench::latency::percentile(&mut ms, 0.5);
+    let p99 = ghostdb_bench::latency::percentile(&mut ms, 0.99);
+    Ok((reads.len(), overlapped, p50, p99))
 }
 
 fn main() {

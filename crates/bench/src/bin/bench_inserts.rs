@@ -68,12 +68,7 @@ fn build() -> Result<GhostDb> {
 
 /// Minimum simulated latency of the probe query over a few runs.
 fn query_ns(db: &GhostDb, sql: &str) -> Result<u64> {
-    let mut best = u64::MAX;
-    for _ in 0..3 {
-        let out = db.query(sql)?;
-        best = best.min(out.report.total_ns);
-    }
-    Ok(best)
+    ghostdb_bench::latency::min_query_ns(db, sql, 3)
 }
 
 fn main() {

@@ -106,6 +106,48 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<(
     Ok(())
 }
 
+pub mod latency {
+    //! Latency helpers shared by the `bench_*` runners (previously
+    //! copy-pasted per binary).
+
+    use ghostdb_core::GhostDb;
+    use ghostdb_types::Result;
+
+    /// Minimum simulated latency of `sql` over `runs` executions — the
+    /// stable "how fast can this query go right now" probe the insert,
+    /// mutation, and observability runners all use.
+    pub fn min_query_ns(db: &GhostDb, sql: &str, runs: usize) -> Result<u64> {
+        let mut best = u64::MAX;
+        for _ in 0..runs.max(1) {
+            best = best.min(db.query(sql)?.report.total_ns);
+        }
+        Ok(best)
+    }
+
+    /// The `p`-th percentile (`0.0..=1.0`) of `samples`, nearest-rank on
+    /// the sorted values (the index truncates, matching the concurrency
+    /// runner's original closure). Sorts in place.
+    pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+        assert!(!samples.is_empty(), "percentile of an empty sample set");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        samples[((samples.len() - 1) as f64 * p.clamp(0.0, 1.0)) as usize]
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::percentile;
+
+        #[test]
+        fn percentile_matches_nearest_rank() {
+            let mut s = vec![4.0, 1.0, 3.0, 2.0];
+            assert_eq!(percentile(&mut s, 0.0), 1.0);
+            assert_eq!(percentile(&mut s, 0.5), 2.0); // (4-1)*0.5 = 1.5 → idx 1
+            assert_eq!(percentile(&mut s, 0.99), 3.0);
+            assert_eq!(percentile(&mut s, 1.0), 4.0);
+        }
+    }
+}
+
 /// A unicode bar for quick terminal charts (Figure 6 style).
 pub fn bar(value: f64, max: f64, width: usize) -> String {
     let w = if max <= 0.0 {

@@ -33,8 +33,9 @@ pub use message::{Endpoint, Message};
 pub use trace::{BusTrace, TraceEvent};
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use ghostdb_obs::{Counter, Registry};
 use ghostdb_types::{BusConfig, DisplayTicket, GhostError, Result, SimClock, Value, Wire};
 
 /// Counters for one direction of the link.
@@ -44,6 +45,42 @@ pub struct LinkStats {
     pub frames: u64,
     /// Payload bytes sent.
     pub bytes: u64,
+}
+
+/// Per-frame-kind registry counters, attached by the engine so every
+/// transfer updates `ghostdb_bus_frames_total{kind=...}` and
+/// `ghostdb_bus_bytes_total{kind=...}`. Counting frames and sizes is
+/// exactly what the spy already measures, so nothing here widens the
+/// observable surface.
+#[derive(Debug)]
+pub struct BusMetrics {
+    per_kind: Vec<(&'static str, Counter, Counter)>,
+}
+
+impl BusMetrics {
+    /// Pre-register counters for every protocol frame kind (plus the
+    /// secure-display `Result` frames).
+    pub fn new(registry: &Registry) -> Self {
+        let per_kind = Message::KINDS
+            .iter()
+            .chain(&["Result"])
+            .map(|&kind| {
+                (
+                    kind,
+                    registry.counter(&format!("ghostdb_bus_frames_total{{kind=\"{kind}\"}}")),
+                    registry.counter(&format!("ghostdb_bus_bytes_total{{kind=\"{kind}\"}}")),
+                )
+            })
+            .collect();
+        BusMetrics { per_kind }
+    }
+
+    fn record(&self, kind: &str, bytes: usize) {
+        if let Some((_, frames, byte_ctr)) = self.per_kind.iter().find(|(k, _, _)| *k == kind) {
+            frames.inc();
+            byte_ctr.add(bytes as u64);
+        }
+    }
 }
 
 /// The simulated USB link plus the secure display path.
@@ -57,6 +94,7 @@ pub struct Bus {
     to_device: Arc<(AtomicU64, AtomicU64)>,
     to_pc: Arc<(AtomicU64, AtomicU64)>,
     to_display: Arc<(AtomicU64, AtomicU64)>,
+    metrics: Arc<OnceLock<BusMetrics>>,
 }
 
 impl Bus {
@@ -69,7 +107,14 @@ impl Bus {
             to_device: Arc::new(Default::default()),
             to_pc: Arc::new(Default::default()),
             to_display: Arc::new(Default::default()),
+            metrics: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Attach registry-backed per-kind counters. A no-op if metrics are
+    /// already attached; clones made before or after share them.
+    pub fn attach_metrics(&self, metrics: BusMetrics) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// The link configuration.
@@ -127,6 +172,9 @@ impl Bus {
         ctr.0.fetch_add(1, Ordering::Relaxed);
         ctr.1.fetch_add(payload.len() as u64, Ordering::Relaxed);
         let len = payload.len();
+        if let Some(m) = self.metrics.get() {
+            m.record(msg.kind(), len);
+        }
         self.trace.record(TraceEvent {
             seq: 0, // assigned by the trace
             at: self.clock.now(),
@@ -162,6 +210,9 @@ impl Bus {
         self.to_display
             .1
             .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.record("Result", encoded.len());
+        }
         self.trace.record(TraceEvent {
             seq: 0,
             at: self.clock.now(),
@@ -323,6 +374,31 @@ mod tests {
         )
         .unwrap();
         assert!(b.trace().spy_sees_value(&visible));
+    }
+
+    #[test]
+    fn attached_metrics_count_frames_by_kind() {
+        let b = bus();
+        let registry = Registry::new();
+        b.attach_metrics(BusMetrics::new(&registry));
+        b.transmit(
+            Endpoint::Pc,
+            Endpoint::Device,
+            &Message::Query {
+                sql: "SELECT 1".into(),
+            },
+        )
+        .unwrap();
+        let clone = b.clone(); // clones share the attached metrics
+        clone.present(&[vec![Value::Int(1)]]);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ghostdb_bus_frames_total{kind=\"Query\"}"), 1);
+        assert!(snap.counter("ghostdb_bus_bytes_total{kind=\"Query\"}") > 0);
+        assert_eq!(snap.counter("ghostdb_bus_frames_total{kind=\"Result\"}"), 1);
+        assert_eq!(
+            snap.counter("ghostdb_bus_frames_total{kind=\"IdChunk\"}"),
+            0
+        );
     }
 
     #[test]

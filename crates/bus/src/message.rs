@@ -122,6 +122,22 @@ pub enum Message {
 }
 
 impl Message {
+    /// Every protocol frame kind, in protocol order — the domain of
+    /// [`kind`](Message::kind) (the secure-display `Result` pseudo-kind
+    /// is separate: it never appears on the PC link).
+    pub const KINDS: &'static [&'static str] = &[
+        "Query",
+        "EvalPredicate",
+        "IdChunk",
+        "FetchColumn",
+        "ColumnChunk",
+        "AppendVisible",
+        "DeleteRows",
+        "UpdateVisible",
+        "CompactRows",
+        "Error",
+    ];
+
     /// Short stable name for traces and direction rules.
     pub fn kind(&self) -> &'static str {
         match self {

@@ -1,0 +1,128 @@
+//! The engine-level half of the flight recorder: statement latency and
+//! pause-time metrics, and the statement trace builder shared by
+//! [`GhostDb`](crate::GhostDb) and [`Snapshot`](crate::Snapshot).
+
+use std::time::Instant;
+
+use ghostdb_exec::ExecReport;
+use ghostdb_obs::{Counter, Gauge, Histogram, Registry, Span, TIME_BUCKETS_NS};
+
+/// Core-owned metric handles. Registered once per instance; clones of
+/// the underlying registry (and the [`crate::Snapshot`]s holding them)
+/// observe into the same slots.
+#[derive(Debug)]
+pub(crate) struct CoreMetrics {
+    /// Simulated device time per statement, by statement kind.
+    pub select_latency: Histogram,
+    /// Latency of `INSERT` statements (validation + appends + flush).
+    pub insert_latency: Histogram,
+    /// Latency of `DELETE` statements.
+    pub delete_latency: Histogram,
+    /// Latency of `UPDATE` statements.
+    pub update_latency: Histogram,
+    /// Simulated pause taken by a delta flush (merge + re-seal).
+    pub flush_pause: Histogram,
+    /// Simulated pause taken by an explicit `seal()`.
+    pub seal_pause: Histogram,
+    /// WAL records appended (durable instances only).
+    pub wal_appends: Counter,
+    /// The MVCC commit epoch.
+    pub epoch: Gauge,
+    /// Snapshot sessions currently open.
+    pub open_snapshots: Gauge,
+    /// Free blocks in the flash volume.
+    pub flash_free_blocks: Gauge,
+    /// Live (translated) pages in the flash volume.
+    pub flash_live_pages: Gauge,
+    /// Un-flushed delta rows across all tables.
+    pub delta_rows: Gauge,
+}
+
+impl CoreMetrics {
+    pub(crate) fn new(registry: &Registry) -> Self {
+        let lat = |kind: &str| {
+            registry.histogram(
+                &format!("ghostdb_statement_latency_ns{{kind=\"{kind}\"}}"),
+                TIME_BUCKETS_NS,
+            )
+        };
+        CoreMetrics {
+            select_latency: lat("select"),
+            insert_latency: lat("insert"),
+            delete_latency: lat("delete"),
+            update_latency: lat("update"),
+            flush_pause: registry.histogram("ghostdb_flush_pause_ns", TIME_BUCKETS_NS),
+            seal_pause: registry.histogram("ghostdb_seal_pause_ns", TIME_BUCKETS_NS),
+            wal_appends: registry.counter("ghostdb_wal_appends_total"),
+            epoch: registry.gauge("ghostdb_epoch"),
+            open_snapshots: registry.gauge("ghostdb_open_snapshots"),
+            flash_free_blocks: registry.gauge("ghostdb_flash_free_blocks"),
+            flash_live_pages: registry.gauge("ghostdb_flash_live_pages"),
+            delta_rows: registry.gauge("ghostdb_delta_rows"),
+        }
+    }
+}
+
+/// Host-clock stopwatch for trace spans: offsets are nanoseconds since
+/// the statement began.
+pub(crate) struct StageClock(Instant);
+
+impl StageClock {
+    pub(crate) fn start() -> Self {
+        StageClock(Instant::now())
+    }
+
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
+/// Assemble the statement trace from the stage boundary offsets and the
+/// execution report. Per-operator child spans are point events (the
+/// executor accounts their time in simulated ns, carried as the
+/// `sim_ns` attribute) in execution order.
+pub(crate) fn build_statement_trace(
+    sql_statements: u64,
+    parse_end: u64,
+    bind_end: u64,
+    plan_end: u64,
+    exec_end: u64,
+    plan_label: &str,
+    report: &ExecReport,
+) -> Span {
+    let mut root = Span::new("statement", 0, exec_end);
+    root.detail = "select".into();
+
+    let mut parse = Span::new("parse", 0, parse_end);
+    parse.attrs.push(("statements", sql_statements));
+    root.children.push(parse);
+
+    root.children.push(Span::new("bind", parse_end, bind_end));
+
+    let mut plan = Span::new("plan", bind_end, plan_end);
+    plan.detail = plan_label.to_string();
+    root.children.push(plan);
+
+    let mut exec = Span::new("execute", plan_end, exec_end);
+    exec.detail = format!("plan {plan_label}");
+    exec.attrs.push(("sim_ns", report.total_ns));
+    exec.attrs.push(("rows", report.result_rows));
+    exec.attrs.push(("ram_peak", report.ram_peak as u64));
+    exec.attrs
+        .push(("bus_bytes_to_device", report.bus_bytes_to_device));
+    exec.attrs.push(("bus_bytes_to_pc", report.bus_bytes_to_pc));
+    exec.attrs
+        .push(("flash_page_reads", report.flash.page_reads));
+    for op in &report.ops {
+        let mut child = Span::new(op.name.clone(), plan_end, plan_end);
+        child.detail = op.detail.clone();
+        child.attrs.push(("in", op.tuples_in));
+        child.attrs.push(("out", op.tuples_out));
+        child.attrs.push(("sim_ns", op.sim_ns));
+        child.attrs.push(("ram_peak", op.ram_peak as u64));
+        child.attrs.extend(op.attrs.iter().copied());
+        exec.children.push(child);
+    }
+    root.children.push(exec);
+    root
+}

@@ -66,23 +66,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flight;
 mod link;
 mod session;
 
+use flight::{build_statement_trace, CoreMetrics, StageClock};
 pub use link::BusPcLink;
 pub use session::{SessionRegistry, Snapshot};
 use std::sync::Arc;
 
-use ghostdb_bus::{Bus, BusTrace, Endpoint, Message};
+use ghostdb_bus::{Bus, BusMetrics, BusTrace, Endpoint, Message};
 use ghostdb_catalog::{
     ColumnRef, ColumnRole, ColumnStats, Histogram, Predicate, Schema, SchemaStats, TreeSchema,
 };
 use ghostdb_exec::{
-    execute, CostedPlan, ExecContext, ExecReport, Optimizer, PipelineMode, Plan, QuerySpec,
-    ResultSet,
+    attach_actuals, execute, plan_nodes, render_plan, CostModel, CostedPlan, ExecContext,
+    ExecReport, Optimizer, PipelineMode, Plan, PlanNode, QuerySpec, ResultSet,
 };
-use ghostdb_flash::{Nand, Volume};
+use ghostdb_flash::{Nand, Volume, VolumeMetrics};
 use ghostdb_index::IndexSet;
+use ghostdb_obs::{MetricsSnapshot, Registry, Span, TraceRecorder};
 use ghostdb_persist::{DeviceImage, Wal};
 use ghostdb_ram::{RamBudget, RamScope};
 use std::collections::HashMap;
@@ -160,6 +163,9 @@ pub enum ExecOutcome {
     Delete(MutationReport),
     /// An `UPDATE`'s application summary.
     Update(MutationReport),
+    /// An `EXPLAIN ANALYZE`'s rendered plan, annotated with estimated
+    /// vs. actual cardinalities (the query really ran).
+    Explain(String),
 }
 
 /// Summary of one [`GhostDb::seal`].
@@ -224,6 +230,13 @@ pub struct GhostDb {
     epoch: u64,
     /// Open snapshot sessions (for `device_report()` and leak checks).
     sessions: Arc<SessionRegistry>,
+    /// Engine-wide metrics registry; the bus, the flash volume and the
+    /// core all register into it, snapshots share it by clone.
+    registry: Registry,
+    /// The flight recorder holding the last completed statement trace.
+    recorder: TraceRecorder,
+    /// Core-owned metric handles (statement latencies, pauses, gauges).
+    metrics: Arc<CoreMetrics>,
 }
 
 impl GhostDb {
@@ -256,6 +269,10 @@ impl GhostDb {
         let volume = Volume::with_reserved(nand, reserved);
         let ram = RamBudget::new(config.ram_bytes);
         let bus = Bus::new(config.bus.clone(), clock.clone());
+        let registry = Registry::new();
+        volume.attach_metrics(VolumeMetrics::new(&registry));
+        bus.attach_metrics(BusMetrics::new(&registry));
+        let metrics = Arc::new(CoreMetrics::new(&registry));
 
         let load_scope = RamScope::new(&ram);
         let (hidden, visible, stats, encoders) =
@@ -277,6 +294,9 @@ impl GhostDb {
             durable: None,
             epoch: 0,
             sessions: SessionRegistry::new(),
+            registry,
+            recorder: TraceRecorder::new(),
+            metrics,
         })
     }
 
@@ -311,12 +331,16 @@ impl GhostDb {
         } = loaded.image;
         let reserved = config.flash.reserved_blocks();
         let volume = Volume::mount(nand.clone(), reserved, l2p, &bad_blocks)?;
+        let registry = Registry::new();
+        volume.attach_metrics(VolumeMetrics::new(&registry));
         let tree = TreeSchema::analyze(&schema)?;
         let mut hidden = HiddenStore::restore(&volume, &hidden)?;
         hidden.restore_liveness(&tombstones)?;
         let indexes = IndexSet::restore(&volume, &indexes)?;
         let clock = nand.clock().clone();
         let bus = Bus::new(config.bus.clone(), clock.clone());
+        bus.attach_metrics(BusMetrics::new(&registry));
+        let metrics = Arc::new(CoreMetrics::new(&registry));
         let ram = RamBudget::new(config.ram_bytes);
         let pc_link = BusPcLink::new(bus.clone(), visible);
         let mut db = GhostDb {
@@ -334,6 +358,9 @@ impl GhostDb {
             durable: None,
             epoch: 0,
             sessions: SessionRegistry::new(),
+            registry,
+            recorder: TraceRecorder::new(),
+            metrics,
         };
         // Replay the WAL: every fully-committed post-seal batch, in
         // order, through the normal apply path (validation included) —
@@ -442,6 +469,9 @@ impl GhostDb {
         for s in &stmts {
             match s {
                 Statement::Select(sel) => out.push(ExecOutcome::Query(self.query(&sel.text)?)),
+                Statement::ExplainAnalyze(sel) => {
+                    out.push(ExecOutcome::Explain(self.explain_analyze(&sel.text)?))
+                }
                 Statement::Insert(ins) => out.push(ExecOutcome::Insert(self.apply_insert(ins)?)),
                 Statement::Delete(del) => out.push(ExecOutcome::Delete(self.apply_delete(del)?)),
                 Statement::Update(upd) => out.push(ExecOutcome::Update(self.apply_update(upd)?)),
@@ -580,11 +610,13 @@ impl GhostDb {
             self.flush_deltas()?;
             flushed = true;
         }
+        let sim_ns = self.clock.now().since(t0);
+        self.metrics.delete_latency.observe(sim_ns);
         Ok(MutationReport {
             table,
             rows: logical.len() as u64,
             flushed,
-            sim_ns: self.clock.now().since(t0),
+            sim_ns,
         })
     }
 
@@ -730,11 +762,13 @@ impl GhostDb {
             self.flush_deltas()?;
             flushed = true;
         }
+        let sim_ns = self.clock.now().since(t0);
+        self.metrics.update_latency.observe(sim_ns);
         Ok(MutationReport {
             table,
             rows: logical.len() as u64,
             flushed,
-            sim_ns: self.clock.now().since(t0),
+            sim_ns,
         })
     }
 
@@ -779,6 +813,7 @@ impl GhostDb {
                 .expect("durable when a record was reserved")
                 .wal
                 .append(record)?;
+            self.metrics.wal_appends.inc();
         }
         Ok(())
     }
@@ -879,11 +914,13 @@ impl GhostDb {
             self.flush_deltas()?;
             flushed = true;
         }
+        let sim_ns = self.clock.now().since(t0);
+        self.metrics.insert_latency.observe(sim_ns);
         Ok(InsertReport {
             table,
             rows: rows.len() as u64,
             flushed,
-            sim_ns: self.clock.now().since(t0),
+            sim_ns,
         })
     }
 
@@ -977,6 +1014,7 @@ impl GhostDb {
     /// and the WAL truncates — in that order, so a power cut at any
     /// boundary mounts either the old image + full WAL or the new image.
     pub fn flush_deltas(&mut self) -> Result<u64> {
+        let t0 = self.clock.now();
         let Some(merged) = self.merge_deltas()? else {
             return Ok(0);
         };
@@ -984,6 +1022,7 @@ impl GhostDb {
         if self.durable.is_some() {
             self.seal_image(merged)?;
         }
+        self.metrics.flush_pause.observe(self.clock.now().since(t0));
         Ok(merged)
     }
 
@@ -1081,6 +1120,7 @@ impl GhostDb {
         let merged = self.merge_deltas()?.unwrap_or(0);
         let mut report = self.seal_image(merged)?;
         report.sim_ns = self.clock.now().since(t0);
+        self.metrics.seal_pause.observe(report.sim_ns);
         Ok(report)
     }
 
@@ -1197,11 +1237,114 @@ impl GhostDb {
     }
 
     /// Execute a statement with the optimizer's best plan.
+    ///
+    /// With the flight recorder on ([`set_tracing`](Self::set_tracing))
+    /// the statement leaves a span tree — parse → bind → plan → execute
+    /// with per-operator actuals — retrievable via
+    /// [`last_trace`](Self::last_trace). Recorder off costs one relaxed
+    /// atomic load.
     pub fn query(&self, sql: &str) -> Result<QueryOutcome> {
-        let spec = self.bind(sql)?;
+        if !self.recorder.is_enabled() {
+            let spec = self.bind(sql)?;
+            let plan = self.best_plan(&spec)?;
+            return self.run(&spec, &plan);
+        }
+        let stage = StageClock::start();
+        let stmts = parse_statements(sql)?;
+        let parse_end = stage.now_ns();
+        let spec = bind_parsed_select(&self.schema, &self.tree, &stmts)?;
+        let bind_end = stage.now_ns();
+        let plan = self.best_plan(&spec)?;
+        let plan_end = stage.now_ns();
+        let out = self.run(&spec, &plan)?;
+        self.recorder.record(build_statement_trace(
+            stmts.len() as u64,
+            parse_end,
+            bind_end,
+            plan_end,
+            stage.now_ns(),
+            &plan.label,
+            &out.report,
+        ));
+        Ok(out)
+    }
+
+    fn best_plan(&self, spec: &QuerySpec) -> Result<Plan> {
         let opt = Optimizer::new(&self.schema, &self.tree, &self.stats, &self.config);
-        let plan = opt.best(&spec, |c| self.indexes.has_value_index(c))?;
-        self.run(&spec, &plan)
+        opt.best(spec, |c| self.indexes.has_value_index(c))
+    }
+
+    /// `EXPLAIN ANALYZE`: run `sql` with the optimizer's best plan, then
+    /// render the plan tree annotated with the cost model's estimated
+    /// cardinalities next to the measured actuals (rows, simulated time,
+    /// blocks pulled, gallops, Bloom probes, liveness drops). The query
+    /// really executes — its frames cross the spied bus like any
+    /// `SELECT`'s, and the annotations are counts/times/sizes only.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let spec = self.bind(sql)?;
+        let plan = self.best_plan(&spec)?;
+        let (tree, _) = self.analyze_with_plan(&spec, &plan)?;
+        Ok(render_plan(&plan.label, &tree))
+    }
+
+    /// Structured `EXPLAIN ANALYZE` for a caller-chosen plan: the
+    /// annotated [`PlanNode`] tree plus the outcome it was measured
+    /// from. This is the oracle-facing API — tests recount cardinalities
+    /// independently and compare them to the tree's actuals.
+    pub fn analyze_with_plan(
+        &self,
+        spec: &QuerySpec,
+        plan: &Plan,
+    ) -> Result<(PlanNode, QueryOutcome)> {
+        let out = self.run(spec, plan)?;
+        let cost = CostModel::new(&self.schema, &self.tree, &self.stats, &self.config);
+        let cards = cost.cardinalities(spec, plan);
+        let mut tree = plan_nodes(&self.schema, spec, plan, Some(&cards));
+        attach_actuals(&mut tree, &out.report);
+        Ok((tree, out))
+    }
+
+    /// Turn the flight recorder on or off. Off (the default) costs one
+    /// relaxed atomic load per statement; on, each `query` records a
+    /// span tree over parse → bind → plan → execute.
+    pub fn set_tracing(&self, on: bool) {
+        self.recorder.set_enabled(on);
+    }
+
+    /// The last completed statement trace, if tracing was on for it.
+    pub fn last_trace(&self) -> Option<Span> {
+        self.recorder.last()
+    }
+
+    /// Refresh the point-in-time gauges and snapshot the engine-wide
+    /// metrics registry (counters, gauges, histograms from the bus, the
+    /// flash volume, and the core).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.refresh_gauges();
+        self.registry.snapshot()
+    }
+
+    /// Prometheus-style text exposition of [`metrics`](Self::metrics).
+    pub fn metrics_text(&self) -> String {
+        self.metrics().render_prometheus()
+    }
+
+    /// JSON rendering of [`metrics`](Self::metrics).
+    pub fn metrics_json(&self) -> String {
+        self.metrics().render_json()
+    }
+
+    fn refresh_gauges(&self) {
+        let usage = self.volume.usage();
+        self.metrics.epoch.set(self.epoch as i64);
+        self.metrics
+            .open_snapshots
+            .set(self.sessions.open_snapshots() as i64);
+        self.metrics.flash_free_blocks.set(usage.free_blocks as i64);
+        self.metrics.flash_live_pages.set(usage.live_pages as i64);
+        self.metrics
+            .delta_rows
+            .set(self.hidden.total_delta_rows() as i64);
     }
 
     /// Execute a statement with a caller-chosen plan (demo phase 2/3).
@@ -1266,6 +1409,7 @@ impl GhostDb {
         )?;
         let ctx = self.exec_context(pipeline);
         let (rows, report) = execute(&ctx, spec, plan)?;
+        self.metrics.select_latency.observe(report.total_ns);
         // Results exist only sealed on the device...
         let sealed = Sealed::new(rows);
         // ...and are opened by the secure display alone.
@@ -1274,24 +1418,35 @@ impl GhostDb {
         Ok(QueryOutcome { rows, report })
     }
 
-    /// Multi-line explain: the plan list with costs for a statement.
+    /// Multi-line explain: the plan list with costs for a statement,
+    /// each plan rendered as the same operator tree `EXPLAIN ANALYZE`
+    /// prints (annotated with the cost model's estimated cardinalities —
+    /// no execution happens here).
     pub fn explain(&self, sql: &str) -> Result<String> {
         let spec = self.bind(sql)?;
         let plans = self.plans(sql)?;
+        let cost = CostModel::new(&self.schema, &self.tree, &self.stats, &self.config);
         let mut out = format!("{} candidate plan(s)\n", plans.len());
         for cp in plans.iter().take(8) {
+            let cards = cost.cardinalities(&spec, &cp.plan);
+            let tree = plan_nodes(&self.schema, &spec, &cp.plan, Some(&cards));
             out.push_str(&format!(
                 "-- estimated {}\n{}",
                 format_ns(cp.est_ns as u64),
-                cp.plan.describe(&self.schema, &spec)
+                render_plan(&cp.plan.label, &tree)
             ));
         }
         Ok(out)
     }
 
     /// Device-side storage report (flash occupancy, index overhead,
-    /// durability state, and per-region wear).
+    /// durability state, and per-region wear), built over the same
+    /// metrics registry the Prometheus/JSON expositions read: the flash
+    /// occupancy gauges and the reliability counters come from
+    /// [`metrics`](Self::metrics), so the report and a scrape can never
+    /// disagree.
     pub fn device_report(&self) -> String {
+        let snap = self.metrics();
         let usage = self.volume.usage();
         let durability = match &self.durable {
             None => "unsealed (volatile until the first seal())".to_string(),
@@ -1309,12 +1464,13 @@ impl GhostDb {
         let rel = self.volume.reliability();
         let reliability = format!(
             "{} corrected read(s), {} uncorrectable, {} of {} spare block(s) used, \
-             {} page(s) scrubbed",
-            rel.corrected,
-            rel.uncorrectable,
+             {} page(s) scrubbed, {} GC migration(s)",
+            snap.counter("ghostdb_ecc_corrected_total"),
+            snap.counter("ghostdb_ecc_uncorrectable_total"),
             rel.retired_blocks,
             rel.spare_blocks,
             rel.scrubbed_pages,
+            snap.counter("ghostdb_gc_migrations_total"),
         );
         let pins = self.volume.pin_stats();
         let sessions = format!(
@@ -1330,9 +1486,9 @@ impl GhostDb {
         format!(
             "flash: {}/{} blocks free, {} live pages; indexes: {}; durability: {}; \
              sessions: {}; reliability: {}; wear: {}",
-            usage.free_blocks,
+            snap.gauge("ghostdb_flash_free_blocks"),
             usage.total_blocks,
-            usage.live_pages,
+            snap.gauge("ghostdb_flash_live_pages"),
             self.indexes.describe(),
             durability,
             sessions,
@@ -1379,10 +1535,20 @@ impl GhostDb {
 /// [`GhostDb::bind`] and [`Snapshot::bind`].
 pub(crate) fn bind_select_spec(schema: &Schema, tree: &TreeSchema, sql: &str) -> Result<QuerySpec> {
     let stmts = parse_statements(sql)?;
+    bind_parsed_select(schema, tree, &stmts)
+}
+
+/// The bind half of [`bind_select_spec`], over already-parsed
+/// statements — the traced query path times parse and bind separately.
+pub(crate) fn bind_parsed_select(
+    schema: &Schema,
+    tree: &TreeSchema,
+    stmts: &[Statement],
+) -> Result<QuerySpec> {
     let sel = stmts
         .iter()
         .find_map(|s| match s {
-            Statement::Select(sel) => Some(sel),
+            Statement::Select(sel) | Statement::ExplainAnalyze(sel) => Some(sel),
             _ => None,
         })
         .ok_or_else(|| GhostError::sql("expected a SELECT statement"))?;
@@ -1606,6 +1772,104 @@ mod tests {
             .unwrap();
         assert!(text.contains("candidate plan"));
         assert!(text.contains("estimated"));
+        // The plan tree carries the cost model's cardinality estimates.
+        assert!(text.contains("est rows="));
+    }
+
+    #[test]
+    fn explain_analyze_runs_and_annotates() {
+        let mut db = tiny();
+        let out = db
+            .execute("EXPLAIN ANALYZE SELECT Vis.VisID FROM Visit Vis WHERE Vis.Severity >= 4;")
+            .unwrap();
+        let [ExecOutcome::Explain(text)] = &out[..] else {
+            panic!("expected one Explain outcome, got {out:?}");
+        };
+        assert!(text.contains("plan "), "{text}");
+        assert!(text.contains("est rows="), "{text}");
+        assert!(text.contains("actual rows="), "{text}");
+        assert!(text.contains("project"), "{text}");
+        // The project node's actual row count equals the query's result.
+        let rows = db
+            .query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Severity >= 4")
+            .unwrap()
+            .rows
+            .len();
+        assert!(text.contains(&format!("actual rows={rows}")), "{text}");
+    }
+
+    #[test]
+    fn flight_recorder_captures_statement_spans() {
+        let db = tiny();
+        assert!(db.last_trace().is_none());
+        db.query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Severity = 3")
+            .unwrap();
+        assert!(
+            db.last_trace().is_none(),
+            "recorder off must record nothing"
+        );
+        db.set_tracing(true);
+        let out = db
+            .query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Severity = 3")
+            .unwrap();
+        let trace = db.last_trace().expect("trace recorded");
+        assert_eq!(trace.name, "statement");
+        for phase in ["parse", "bind", "plan", "execute"] {
+            assert!(trace.find(phase).is_some(), "missing {phase} span");
+        }
+        let exec = trace.find("execute").unwrap();
+        assert_eq!(exec.attr("rows"), Some(out.report.result_rows));
+        assert_eq!(exec.attr("sim_ns"), Some(out.report.total_ns));
+        // Per-operator spans ride under execute, with their actuals.
+        assert!(exec.children.iter().any(|c| c.name == "project"));
+        db.set_tracing(false);
+        db.recorder.clear();
+    }
+
+    #[test]
+    fn metrics_snapshot_counts_statements_and_bus() {
+        let mut db = tiny();
+        db.query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Severity = 3")
+            .unwrap();
+        db.execute("INSERT INTO Doctor VALUES (4, 'doc4', 'Japan')")
+            .unwrap();
+        let snap = db.metrics();
+        let lat = |kind: &str| match snap
+            .get(&format!("ghostdb_statement_latency_ns{{kind=\"{kind}\"}}"))
+            .expect("latency histogram registered")
+        {
+            ghostdb_obs::MetricValue::Histogram(h) => h.count,
+            other => panic!("expected histogram, got {other:?}"),
+        };
+        assert_eq!(lat("select"), 1);
+        assert_eq!(lat("insert"), 1);
+        assert_eq!(lat("delete"), 0);
+        // Bus frames were counted by kind, and the gauges are live.
+        assert!(snap.counter("ghostdb_bus_frames_total{kind=\"Query\"}") >= 1);
+        assert!(snap.counter("ghostdb_bus_bytes_total{kind=\"Query\"}") > 0);
+        assert_eq!(snap.gauge("ghostdb_epoch"), db.epoch() as i64);
+        assert!(snap.gauge("ghostdb_delta_rows") > 0);
+        // Both renderings expose the same registry.
+        let text = db.metrics_text();
+        assert!(text.contains("ghostdb_statement_latency_ns_bucket"));
+        assert!(text.contains("ghostdb_bus_frames_total"));
+        assert!(db.metrics_json().contains("ghostdb_wal_appends_total"));
+    }
+
+    #[test]
+    fn snapshot_mirrors_tracing_and_explain_analyze() {
+        let db = tiny();
+        let snap = db.snapshot().unwrap();
+        let text = snap
+            .explain_analyze("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Severity >= 4")
+            .unwrap();
+        assert!(text.contains("actual rows="), "{text}");
+        db.set_tracing(true);
+        snap.query("SELECT Vis.VisID FROM Visit Vis WHERE Vis.Severity = 3")
+            .unwrap();
+        // The snapshot records into the engine's shared slot.
+        assert!(db.last_trace().is_some());
+        assert_eq!(snap.last_trace().unwrap().name, "statement");
     }
 
     #[test]

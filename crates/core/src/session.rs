@@ -52,13 +52,19 @@ use std::sync::{Arc, Mutex};
 
 use ghostdb_bus::{Bus, Endpoint, Message};
 use ghostdb_catalog::{Schema, SchemaStats, TreeSchema};
-use ghostdb_exec::{execute, CostedPlan, Optimizer, PipelineMode, Plan, QuerySpec};
+use ghostdb_exec::{
+    attach_actuals, execute, plan_nodes, render_plan, CostModel, CostedPlan, Optimizer,
+    PipelineMode, Plan, PlanNode, QuerySpec,
+};
 use ghostdb_flash::Volume;
 use ghostdb_index::IndexSet;
+use ghostdb_obs::{Span, TraceRecorder};
 use ghostdb_ram::RamBudget;
+use ghostdb_sql::parse_statements;
 use ghostdb_storage::HiddenStore;
 use ghostdb_types::{format_ns, DeviceConfig, Result, Sealed, SimClock};
 
+use crate::flight::{build_statement_trace, CoreMetrics, StageClock};
 use crate::{BusPcLink, GhostDb, QueryOutcome};
 
 /// Registry of open snapshot sessions, shared between the writer (for
@@ -158,6 +164,12 @@ pub struct Snapshot {
     pinned: Vec<u32>,
     session_id: u64,
     registry: Arc<SessionRegistry>,
+    /// The engine's flight recorder (shared — snapshot traces land in
+    /// the same slot `GhostDb::last_trace` reads).
+    recorder: TraceRecorder,
+    /// The engine's metric handles (shared — snapshot reads observe
+    /// into the same statement-latency histograms).
+    metrics: Arc<CoreMetrics>,
 }
 
 impl Snapshot {
@@ -188,6 +200,8 @@ impl Snapshot {
             pinned,
             session_id,
             registry: db.sessions.clone(),
+            recorder: db.recorder.clone(),
+            metrics: db.metrics.clone(),
         })
     }
 
@@ -237,11 +251,69 @@ impl Snapshot {
 
     /// Execute a statement with the optimizer's best plan, against
     /// this snapshot's epoch.
+    ///
+    /// With the shared flight recorder on (the engine's
+    /// [`GhostDb::set_tracing`]) the statement records the same span
+    /// tree a writer-side `query` would.
     pub fn query(&self, sql: &str) -> Result<QueryOutcome> {
-        let spec = self.bind(sql)?;
+        if !self.recorder.is_enabled() {
+            let spec = self.bind(sql)?;
+            let plan = self.best_plan(&spec)?;
+            return self.run(&spec, &plan);
+        }
+        let stage = StageClock::start();
+        let stmts = parse_statements(sql)?;
+        let parse_end = stage.now_ns();
+        let spec = crate::bind_parsed_select(&self.schema, &self.tree, &stmts)?;
+        let bind_end = stage.now_ns();
+        let plan = self.best_plan(&spec)?;
+        let plan_end = stage.now_ns();
+        let out = self.run(&spec, &plan)?;
+        self.recorder.record(build_statement_trace(
+            stmts.len() as u64,
+            parse_end,
+            bind_end,
+            plan_end,
+            stage.now_ns(),
+            &plan.label,
+            &out.report,
+        ));
+        Ok(out)
+    }
+
+    fn best_plan(&self, spec: &QuerySpec) -> Result<Plan> {
         let opt = Optimizer::new(&self.schema, &self.tree, &self.stats, &self.config);
-        let plan = opt.best(&spec, |c| self.indexes.has_value_index(c))?;
-        self.run(&spec, &plan)
+        opt.best(spec, |c| self.indexes.has_value_index(c))
+    }
+
+    /// `EXPLAIN ANALYZE` against this snapshot's epoch (see
+    /// [`GhostDb::explain_analyze`]).
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let spec = self.bind(sql)?;
+        let plan = self.best_plan(&spec)?;
+        let (tree, _) = self.analyze_with_plan(&spec, &plan)?;
+        Ok(render_plan(&plan.label, &tree))
+    }
+
+    /// Structured `EXPLAIN ANALYZE` for a caller-chosen plan (see
+    /// [`GhostDb::analyze_with_plan`]).
+    pub fn analyze_with_plan(
+        &self,
+        spec: &QuerySpec,
+        plan: &Plan,
+    ) -> Result<(PlanNode, QueryOutcome)> {
+        let out = self.run(spec, plan)?;
+        let cost = CostModel::new(&self.schema, &self.tree, &self.stats, &self.config);
+        let cards = cost.cardinalities(spec, plan);
+        let mut tree = plan_nodes(&self.schema, spec, plan, Some(&cards));
+        attach_actuals(&mut tree, &out.report);
+        Ok((tree, out))
+    }
+
+    /// The last completed statement trace, if tracing was on for it
+    /// (the slot is shared with the engine).
+    pub fn last_trace(&self) -> Option<Span> {
+        self.recorder.last()
     }
 
     /// Execute a statement with a caller-chosen plan.
@@ -288,6 +360,7 @@ impl Snapshot {
             pipeline,
         };
         let (rows, report) = execute(&ctx, spec, plan)?;
+        self.metrics.select_latency.observe(report.total_ns);
         // Results exist only sealed on the device...
         let sealed = Sealed::new(rows);
         // ...and are opened by the secure display alone.
@@ -296,16 +369,20 @@ impl Snapshot {
         Ok(QueryOutcome { rows, report })
     }
 
-    /// Multi-line explain: the plan list with costs for a statement.
+    /// Multi-line explain: the plan list with costs for a statement,
+    /// rendered as the same operator tree `EXPLAIN ANALYZE` prints.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let spec = self.bind(sql)?;
         let plans = self.plans(sql)?;
+        let cost = CostModel::new(&self.schema, &self.tree, &self.stats, &self.config);
         let mut out = format!("{} candidate plan(s)\n", plans.len());
         for cp in plans.iter().take(8) {
+            let cards = cost.cardinalities(&spec, &cp.plan);
+            let tree = plan_nodes(&self.schema, &spec, &cp.plan, Some(&cards));
             out.push_str(&format!(
                 "-- estimated {}\n{}",
                 format_ns(cp.est_ns as u64),
-                cp.plan.describe(&self.schema, &spec)
+                render_plan(&cp.plan.label, &tree)
             ));
         }
         Ok(out)

@@ -369,6 +369,7 @@ impl Epilogue {
                     tuples_out: out.len() as u64,
                     sim_ns: self.ns,
                     ram_peak: self.scope.peak(),
+                    attrs: Vec::new(),
                 });
                 out
             }
@@ -404,6 +405,7 @@ impl Epilogue {
                 tuples_out: out_n,
                 sim_ns: self.ns + sort_cost,
                 ram_peak: self.scope.peak(),
+                attrs: Vec::new(),
             });
         } else if let Some(k) = self.limit {
             rows.truncate(k as usize);

@@ -21,6 +21,26 @@ use ghostdb_types::{DataType, DeviceConfig};
 use crate::plan::{Plan, PostStep, Source};
 use crate::query::QuerySpec;
 
+/// Estimated row counts at each pipeline stage of one plan, produced by
+/// [`CostModel::cardinalities`] with exactly the selectivity math
+/// [`CostModel::plan_cost`] charges — so EXPLAIN's estimates and the
+/// optimizer's ranking can never disagree about row counts.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCardinalities {
+    /// Live rows of the anchor table (the full-scan cardinality).
+    pub anchor_rows: f64,
+    /// Estimated anchor ids emitted by each source, in plan order.
+    pub sources: Vec<f64>,
+    /// Estimated candidates entering the SKT access (after the merge
+    /// intersection and the joint-range correction for pre-placed
+    /// `BETWEEN` pairs).
+    pub candidates: f64,
+    /// Estimated rows surviving after each post step, in plan order.
+    pub post: Vec<f64>,
+    /// Estimated final result rows (all corrections applied).
+    pub final_rows: f64,
+}
+
 /// Plan cost estimator.
 #[derive(Debug, Clone)]
 pub struct CostModel<'a> {
@@ -275,6 +295,43 @@ impl<'a> CostModel<'a> {
                 };
                 (cost + trans, sel)
             }
+        }
+    }
+
+    /// Estimated per-stage row counts for `plan` — the numbers EXPLAIN
+    /// and EXPLAIN ANALYZE annotate operators with. The math mirrors
+    /// [`plan_cost`](Self::plan_cost) stage by stage: per-source anchor
+    /// selectivities, the joint-range correction on pre-placed pairs,
+    /// per-post-step selectivities, and the residual correction folded
+    /// into the final estimate.
+    pub fn cardinalities(&self, spec: &QuerySpec, plan: &Plan) -> PlanCardinalities {
+        let anchor_rows = self.rows(spec.anchor);
+        let mut sources = Vec::with_capacity(plan.sources.len());
+        let mut pre_sel = 1.0;
+        for s in &plan.sources {
+            let (_, sel) = self.source_cost(spec, s);
+            sources.push(sel * anchor_rows);
+            pre_sel *= sel;
+        }
+        let (pre_idx, _) = Self::pred_indices(plan);
+        let corr_pre = self.range_pair_correction(spec, &pre_idx);
+        pre_sel = (pre_sel * corr_pre).clamp(1e-9, 1.0);
+        let candidates = (anchor_rows * pre_sel).max(0.0);
+        let mut surviving = candidates;
+        let mut post = Vec::with_capacity(plan.post.len());
+        for step in &plan.post {
+            surviving *= self.selectivity(&spec.predicates[step.pred()]);
+            post.push(surviving);
+        }
+        let all_idx: Vec<usize> = (0..spec.predicates.len()).collect();
+        let corr_all = self.range_pair_correction(spec, &all_idx);
+        let final_rows = (surviving * (corr_all / corr_pre).clamp(1e-6, 1e6)).max(0.0);
+        PlanCardinalities {
+            anchor_rows,
+            sources,
+            candidates,
+            post,
+            final_rows,
         }
     }
 

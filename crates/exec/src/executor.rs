@@ -124,6 +124,10 @@ impl ExecContext<'_> {
 struct StreamMeter {
     ns: AtomicU64,
     out: AtomicU64,
+    /// Blocks pulled through `next_block`.
+    blocks: AtomicU64,
+    /// `seek_at_least` calls (the merge's gallops into this stream).
+    seeks: AtomicU64,
 }
 
 /// Instrumented id stream: measures simulated time spent inside (its own
@@ -154,6 +158,7 @@ impl IdStream for Timed<'_> {
             .ns
             .fetch_add(self.clock.now().since(t0), Ordering::Relaxed);
         if r.is_ok() {
+            self.meter.blocks.fetch_add(1, Ordering::Relaxed);
             self.meter
                 .out
                 .fetch_add(block.len() as u64, Ordering::Relaxed);
@@ -164,6 +169,7 @@ impl IdStream for Timed<'_> {
     fn seek_at_least(&mut self, target: RowId) -> Result<Option<RowId>> {
         // Forward so galloping reaches the wrapped stream; the merge
         // above us owns the tuple accounting for skipped ids.
+        self.meter.seeks.fetch_add(1, Ordering::Relaxed);
         let t0 = self.clock.now();
         let r = self.inner.seek_at_least(target);
         self.meter
@@ -319,6 +325,7 @@ pub fn execute(
             tuples_out: temp.len(),
             sim_ns: ctx.clock.now().since(t0),
             ram_peak: fetch_scope.peak(),
+            attrs: Vec::new(),
         };
         Ok((temp, stats))
     };
@@ -415,6 +422,7 @@ pub fn execute(
             tuples_out: inserted,
             sim_ns: ctx.clock.now().since(t0),
             ram_peak: bloom.bytes(),
+            attrs: Vec::new(),
         };
         bloom_steps.push(BloomStep {
             pred: p,
@@ -449,6 +457,33 @@ pub fn execute(
         }
     }
 
+    // Post steps run (and report) in the plan's declared order — the
+    // same order the cost model estimates and the plan tree renders —
+    // so a hidden verify placed before a Bloom probe really does shrink
+    // that probe's batch.
+    enum PostOp {
+        /// Index into `bloom_steps`.
+        Bloom(usize),
+        /// Index into `verify_steps`.
+        Verify(usize),
+    }
+    let post_order: Vec<PostOp> = {
+        let (mut b, mut v) = (0usize, 0usize);
+        plan.post
+            .iter()
+            .map(|s| match s {
+                PostStep::BloomVisible { .. } => {
+                    b += 1;
+                    PostOp::Bloom(b - 1)
+                }
+                PostStep::HiddenVerify { .. } => {
+                    v += 1;
+                    PostOp::Verify(v - 1)
+                }
+            })
+            .collect()
+    };
+
     // ---- Sources ----
     let mut built: Vec<BuiltSource<'_>> = Vec::new();
     for source in &plan.sources {
@@ -477,10 +512,23 @@ pub fn execute(
     // joins only live subtree rows, so this one choke point covers the
     // whole pipeline; a no-op while everything is live.)
     let anchor_live = ctx.hidden.liveness(spec.anchor);
-    let candidates_inner: Box<dyn IdStream + '_> = if anchor_live.all_live() {
-        candidates_inner
+    // When tombstones are in play, meter the stream *below* the live
+    // filter too: drops = ids entering it minus ids surviving it.
+    let live_meter: Option<Arc<StreamMeter>> = if anchor_live.all_live() {
+        None
     } else {
-        Box::new(LiveFilter::new(candidates_inner, anchor_live))
+        Some(Arc::new(StreamMeter::default()))
+    };
+    let candidates_inner: Box<dyn IdStream + '_> = match &live_meter {
+        None => candidates_inner,
+        Some(meter) => Box::new(LiveFilter::new(
+            Box::new(Timed {
+                inner: candidates_inner,
+                clock: ctx.clock.clone(),
+                meter: meter.clone(),
+            }),
+            anchor_live,
+        )),
     };
     let mut candidates = Timed {
         inner: candidates_inner,
@@ -594,7 +642,8 @@ pub fn execute(
 
     let mut skt_ns = 0u64;
     let mut skt_in = 0u64;
-    let mut bloom_runtime = vec![(0u64, 0u64, 0u64); bloom_steps.len()];
+    // Per Bloom step: (probes, bloom hits, exact-confirmed, sim ns).
+    let mut bloom_runtime = vec![(0u64, 0u64, 0u64, 0u64); bloom_steps.len()];
     let mut project_ns = 0u64;
     let mut rows_out = 0u64;
     let mut result = ResultSet {
@@ -652,94 +701,104 @@ pub fn execute(
         };
         let mut alive = vec![true; batch_rows];
 
-        // Phase 2: Bloom steps — batch-probe, then batched exact
-        // verification.
-        for (bi, b) in bloom_steps.iter_mut().enumerate() {
-            let t0 = ctx.clock.now();
-            let member_col = col_of(b.pred.column.table)?;
-            // Gather the surviving members and probe them in one batch:
-            // one cache-line touch per key, one clock charge for all.
-            probe_keys.clear();
-            probe_rows.clear();
-            for (i, a) in alive.iter().enumerate() {
-                if *a {
-                    probe_keys.push(batch.as_slice()[i * n_cols + member_col].0 as u64);
-                    probe_rows.push(i);
-                }
-            }
-            bloom_runtime[bi].0 += probe_keys.len() as u64;
-            ctx.clock
-                .advance(ctx.config.cpu.hash_ns * b.bloom.k() as u64 * probe_keys.len() as u64);
-            b.bloom.probe_batch(&probe_keys, &mut probe_hits);
-            let mut positives: Vec<(RowId, usize)> = Vec::new();
-            for ((&key, &row), &hit) in probe_keys.iter().zip(&probe_rows).zip(&probe_hits) {
-                if hit {
-                    positives.push((RowId(key as u32), row));
-                } else {
-                    alive[row] = false;
-                }
-            }
-            // Exact confirmation: one sequential scan of the temp per
-            // batch (skipped entirely when the Bloom filter cleared the
-            // whole batch), so false positives never reach results.
-            if !positives.is_empty() {
-                positives.sort_unstable();
-                ctx.clock
-                    .advance(ctx.config.cpu.tuple_op_ns * positives.len() as u64);
-                let mut scan = match &b.verify {
-                    VerifySource::Shared(key) => proj_temps
-                        .get(key)
-                        .ok_or_else(|| GhostError::exec("missing shared verify temp"))?
-                        .id_scan(&probe_scope)?,
-                    VerifySource::Own(i) => own_verify_temps[*i].scan(&probe_scope)?,
-                };
-                let mut current = scan.next_id()?;
-                for (member, i) in positives {
-                    while let Some(t) = current {
-                        if t >= member {
-                            break;
+        // Phases 2+3: post steps in plan order. A Bloom step
+        // batch-probes then batch-confirms; a hidden verify
+        // random-reads each survivor.
+        for post_op in &post_order {
+            match *post_op {
+                PostOp::Bloom(bi) => {
+                    let b = &mut bloom_steps[bi];
+                    let t0 = ctx.clock.now();
+                    let member_col = col_of(b.pred.column.table)?;
+                    // Gather the surviving members and probe them in one
+                    // batch: one cache-line touch per key, one clock
+                    // charge for all.
+                    probe_keys.clear();
+                    probe_rows.clear();
+                    for (i, a) in alive.iter().enumerate() {
+                        if *a {
+                            probe_keys.push(batch.as_slice()[i * n_cols + member_col].0 as u64);
+                            probe_rows.push(i);
                         }
-                        current = scan.next_id()?;
                     }
-                    if current == Some(member) {
-                        bloom_runtime[bi].1 += 1;
-                    } else {
-                        alive[i] = false;
+                    bloom_runtime[bi].0 += probe_keys.len() as u64;
+                    ctx.clock.advance(
+                        ctx.config.cpu.hash_ns * b.bloom.k() as u64 * probe_keys.len() as u64,
+                    );
+                    b.bloom.probe_batch(&probe_keys, &mut probe_hits);
+                    let mut positives: Vec<(RowId, usize)> = Vec::new();
+                    for ((&key, &row), &hit) in probe_keys.iter().zip(&probe_rows).zip(&probe_hits)
+                    {
+                        if hit {
+                            positives.push((RowId(key as u32), row));
+                        } else {
+                            alive[row] = false;
+                        }
                     }
+                    bloom_runtime[bi].1 += positives.len() as u64;
+                    // Exact confirmation: one sequential scan of the temp
+                    // per batch (skipped entirely when the Bloom filter
+                    // cleared the whole batch), so false positives never
+                    // reach results.
+                    if !positives.is_empty() {
+                        positives.sort_unstable();
+                        ctx.clock
+                            .advance(ctx.config.cpu.tuple_op_ns * positives.len() as u64);
+                        let mut scan = match &b.verify {
+                            VerifySource::Shared(key) => proj_temps
+                                .get(key)
+                                .ok_or_else(|| GhostError::exec("missing shared verify temp"))?
+                                .id_scan(&probe_scope)?,
+                            VerifySource::Own(i) => own_verify_temps[*i].scan(&probe_scope)?,
+                        };
+                        let mut current = scan.next_id()?;
+                        for (member, i) in positives {
+                            while let Some(t) = current {
+                                if t >= member {
+                                    break;
+                                }
+                                current = scan.next_id()?;
+                            }
+                            if current == Some(member) {
+                                bloom_runtime[bi].2 += 1;
+                            } else {
+                                alive[i] = false;
+                            }
+                        }
+                    }
+                    bloom_runtime[bi].3 += ctx.clock.now().since(t0);
+                }
+                PostOp::Verify(vi) => {
+                    let v = &mut verify_steps[vi];
+                    let t0 = ctx.clock.now();
+                    let member_col = col_of(v.pred.column.table)?;
+                    for (i, a) in alive.iter_mut().enumerate() {
+                        if !*a {
+                            continue;
+                        }
+                        v.checked += 1;
+                        let member = batch.as_slice()[i * n_cols + member_col];
+                        ctx.clock.advance(ctx.config.cpu.tuple_op_ns);
+                        // Base rows test their stored key against the
+                        // precomputed range; delta rows compare values in
+                        // RAM (exact even for delta-dictionary strings).
+                        let pass = ctx.hidden.matches_at(
+                            v.pred.column.table,
+                            v.pred.column.column,
+                            member,
+                            v.pred.op,
+                            &v.pred.value,
+                            v.range,
+                        )?;
+                        if pass {
+                            v.passed += 1;
+                        } else {
+                            *a = false;
+                        }
+                    }
+                    v.ns += ctx.clock.now().since(t0);
                 }
             }
-            bloom_runtime[bi].2 += ctx.clock.now().since(t0);
-        }
-
-        // Phase 3: hidden verifies (random reads per surviving row).
-        for v in verify_steps.iter_mut() {
-            let t0 = ctx.clock.now();
-            let member_col = col_of(v.pred.column.table)?;
-            for (i, a) in alive.iter_mut().enumerate() {
-                if !*a {
-                    continue;
-                }
-                v.checked += 1;
-                let member = batch.as_slice()[i * n_cols + member_col];
-                ctx.clock.advance(ctx.config.cpu.tuple_op_ns);
-                // Base rows test their stored key against the
-                // precomputed range; delta rows compare values in RAM
-                // (exact even for delta-dictionary strings).
-                let pass = ctx.hidden.matches_at(
-                    v.pred.column.table,
-                    v.pred.column.column,
-                    member,
-                    v.pred.op,
-                    &v.pred.value,
-                    v.range,
-                )?;
-                if pass {
-                    v.passed += 1;
-                } else {
-                    *a = false;
-                }
-            }
-            v.ns += ctx.clock.now().since(t0);
         }
 
         // Phase 4: projection of survivors.
@@ -805,10 +864,18 @@ pub fn execute(
     drop(batch);
 
     // ---- Assemble the report ----
+    let total_gallops: u64 = source_meta
+        .iter()
+        .map(|(_, m)| m.seeks.load(Ordering::Relaxed))
+        .sum();
     for (mut stats, meter) in source_meta {
         stats.sim_ns += meter.ns.load(Ordering::Relaxed);
         stats.tuples_out = meter.out.load(Ordering::Relaxed);
         stats.tuples_in = stats.tuples_out;
+        stats.attrs = vec![
+            ("blocks", meter.blocks.load(Ordering::Relaxed)),
+            ("gallops", meter.seeks.load(Ordering::Relaxed)),
+        ];
         report_ops.push(stats);
     }
     if n_sources > 1 {
@@ -819,7 +886,17 @@ pub fn execute(
             tuples_out: merge_meter.out.load(Ordering::Relaxed),
             sim_ns: merge_meter.ns.load(Ordering::Relaxed),
             ram_peak: 0,
+            attrs: vec![
+                ("blocks", merge_meter.blocks.load(Ordering::Relaxed)),
+                ("gallops", total_gallops),
+            ],
         });
+    }
+    let mut skt_attrs = vec![("blocks", merge_meter.blocks.load(Ordering::Relaxed))];
+    if let Some(m) = &live_meter {
+        let entered = m.out.load(Ordering::Relaxed);
+        let survived = merge_meter.out.load(Ordering::Relaxed);
+        skt_attrs.push(("live_drops", entered.saturating_sub(survived)));
     }
     report_ops.push(OpStats {
         name: if has_children {
@@ -833,28 +910,37 @@ pub fn execute(
         tuples_out: skt_in,
         sim_ns: skt_ns,
         ram_peak: skt_scope.peak(),
+        attrs: skt_attrs,
     });
-    for (bi, b) in bloom_steps.iter().enumerate() {
-        report_ops.push(b.build_stats.clone());
-        let (checked, passed, ns) = bloom_runtime[bi];
-        report_ops.push(OpStats {
-            name: "bloom-probe".into(),
-            detail: ctx.pred_str(b.pred),
-            tuples_in: checked,
-            tuples_out: passed,
-            sim_ns: ns,
-            ram_peak: 0,
-        });
-    }
-    for v in &verify_steps {
-        report_ops.push(OpStats {
-            name: "hidden-verify".into(),
-            detail: ctx.pred_str(v.pred),
-            tuples_in: v.checked,
-            tuples_out: v.passed,
-            sim_ns: v.ns,
-            ram_peak: 0,
-        });
+    for post_op in &post_order {
+        match *post_op {
+            PostOp::Bloom(bi) => {
+                let b = &bloom_steps[bi];
+                report_ops.push(b.build_stats.clone());
+                let (probes, hits, confirmed, ns) = bloom_runtime[bi];
+                report_ops.push(OpStats {
+                    name: "bloom-probe".into(),
+                    detail: ctx.pred_str(b.pred),
+                    tuples_in: probes,
+                    tuples_out: confirmed,
+                    sim_ns: ns,
+                    ram_peak: 0,
+                    attrs: vec![("probes", probes), ("hits", hits), ("confirmed", confirmed)],
+                });
+            }
+            PostOp::Verify(vi) => {
+                let v = &verify_steps[vi];
+                report_ops.push(OpStats {
+                    name: "hidden-verify".into(),
+                    detail: ctx.pred_str(v.pred),
+                    tuples_in: v.checked,
+                    tuples_out: v.passed,
+                    sim_ns: v.ns,
+                    ram_peak: 0,
+                    attrs: Vec::new(),
+                });
+            }
+        }
     }
     report_ops.push(OpStats {
         name: "project".into(),
@@ -863,6 +949,7 @@ pub fn execute(
         tuples_out: rows_out,
         sim_ns: project_ns,
         ram_peak: probe_scope.peak(),
+        attrs: Vec::new(),
     });
     if let Some(epi) = epilogue {
         let (rows, epi_ops) = epi.finish()?;
@@ -1029,6 +1116,7 @@ fn build_source<'a>(
             tuples_out: 0,
             sim_ns: setup_ns,
             ram_peak: scope.peak(),
+            attrs: Vec::new(),
         },
     })
 }

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod agg;
+mod analyze;
 mod baseline;
 mod cost;
 mod executor;
@@ -44,10 +45,11 @@ mod stats;
 mod temp;
 
 pub use agg::Epilogue;
+pub use analyze::{attach_actuals, plan_nodes, render_plan, NodeActuals, PlanNode};
 pub use baseline::{
     climbing_translate_count, grace_hash_join_count, join_index_count, BaselineReport,
 };
-pub use cost::CostModel;
+pub use cost::{CostModel, PlanCardinalities};
 pub use executor::{execute, ExecContext, PipelineMode};
 pub use ops::{FullScanSource, MergeIntersect, ScalarMergeIntersect};
 pub use optimizer::{enumerate_plans, plan_all_post, plan_all_pre, CostedPlan, Optimizer};

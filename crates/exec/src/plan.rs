@@ -177,67 +177,11 @@ impl Plan {
         Ok(())
     }
 
-    /// Multi-line human description (the demo's plan view).
+    /// Multi-line human description (the demo's plan view): the same
+    /// operator tree `EXPLAIN ANALYZE` renders, without annotations.
     pub fn describe(&self, schema: &Schema, spec: &QuerySpec) -> String {
-        let pred_str = |i: usize| {
-            let p = &spec.predicates[i];
-            let vis = if schema.is_hidden(p.column) {
-                "HIDDEN"
-            } else {
-                "VISIBLE"
-            };
-            format!(
-                "{} {} {} /*{}*/",
-                schema.column_name(p.column),
-                p.op,
-                p.value,
-                vis
-            )
-        };
-        let mut out = format!("Plan {}\n", self.label);
-        if self.sources.is_empty() {
-            out.push_str("  pre:  full anchor scan\n");
-        }
-        for s in &self.sources {
-            let line = match s {
-                Source::HiddenIndexClimb { pred } => {
-                    format!("climbing-index [{}]", pred_str(*pred))
-                }
-                Source::HiddenScanTranslate { pred } => {
-                    format!("scan+translate [{}]", pred_str(*pred))
-                }
-                Source::VisibleDelegate { pred } => {
-                    format!("delegate+translate [{}]", pred_str(*pred))
-                }
-                Source::CrossGroup {
-                    table,
-                    hidden,
-                    visible,
-                } => {
-                    let members: Vec<String> =
-                        hidden.iter().chain(visible).map(|&i| pred_str(i)).collect();
-                    format!(
-                        "cross-filter at {} [{}]",
-                        schema.table(*table).name,
-                        members.join(" AND ")
-                    )
-                }
-            };
-            out.push_str(&format!("  pre:  {line}\n"));
-        }
-        for p in &self.post {
-            let line = match p {
-                PostStep::BloomVisible { pred } => {
-                    format!("bloom-filter [{}]", pred_str(*pred))
-                }
-                PostStep::HiddenVerify { pred } => {
-                    format!("hidden-verify [{}]", pred_str(*pred))
-                }
-            };
-            out.push_str(&format!("  post: {line}\n"));
-        }
-        out.push_str("  then: access SKT, project\n");
-        out
+        let tree = crate::analyze::plan_nodes(schema, spec, self, None);
+        crate::analyze::render_plan(&self.label, &tree)
     }
 }
 
@@ -287,7 +231,7 @@ mod tests {
         };
         plan.validate(&schema, &spec).unwrap();
         let d = plan.describe(&schema, &spec);
-        assert!(d.contains("bloom-filter"));
+        assert!(d.contains("bloom-probe"));
         assert!(d.contains("HIDDEN"));
     }
 

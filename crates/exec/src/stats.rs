@@ -24,12 +24,16 @@ pub struct OpStats {
     pub sim_ns: u64,
     /// Peak device RAM attributed to this operator, bytes.
     pub ram_peak: usize,
+    /// Numeric per-operator actuals beyond the tuple counts: blocks
+    /// pulled, `seek_at_least` gallops, Bloom probes/hits, liveness
+    /// drops. Counts and sizes only — never column values.
+    pub attrs: Vec<(&'static str, u64)>,
 }
 
 impl OpStats {
     /// One-line rendering for the demo tables.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{:<22} {:<38} in={:<9} out={:<9} ram={:<7} time={}",
             self.name,
             self.detail,
@@ -37,7 +41,11 @@ impl OpStats {
             self.tuples_out,
             self.ram_peak,
             format_ns(self.sim_ns)
-        )
+        );
+        for (k, v) in &self.attrs {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out
     }
 }
 
@@ -132,17 +140,20 @@ mod tests {
     #[test]
     fn op_stats_render_contains_fields() {
         let s = OpStats {
-            name: "bloom-filter".into(),
+            name: "bloom-probe".into(),
             detail: "Medicine.Type = 'Antibiotic'".into(),
             tuples_in: 100,
             tuples_out: 10,
             sim_ns: 15_000_000,
             ram_peak: 2048,
+            attrs: vec![("probes", 100), ("hits", 12)],
         };
         let r = s.render();
-        assert!(r.contains("bloom-filter"));
+        assert!(r.contains("bloom-probe"));
         assert!(r.contains("in=100"));
         assert!(r.contains("15.00 ms"));
+        assert!(r.contains("probes=100"));
+        assert!(r.contains("hits=12"));
     }
 
     #[test]

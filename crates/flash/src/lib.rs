@@ -72,5 +72,5 @@ pub use nand::{
 };
 pub use volume::{
     GcStats, ReliabilityStats, ScrubReport, Segment, SegmentManifest, SegmentReader, SegmentWriter,
-    Volume, VolumeUsage,
+    Volume, VolumeMetrics, VolumeUsage,
 };

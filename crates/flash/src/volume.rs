@@ -59,8 +59,9 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use ghostdb_obs::{Counter, Histogram, Registry, TIME_BUCKETS_NS};
 use ghostdb_ram::{RamScope, ScopedGuard};
 use ghostdb_types::{GhostError, Result, Wire};
 
@@ -305,11 +306,40 @@ pub struct VolumeUsage {
     pub dead_pages: u64,
 }
 
+/// Registry-backed flash instrumentation, attached by the engine:
+/// GC and scrub pause histograms (simulated ns), migration and ECC
+/// counters, and page-register faults. All counts and durations —
+/// nothing here can carry a stored value.
+#[derive(Debug)]
+pub struct VolumeMetrics {
+    gc_pause: Histogram,
+    scrub_pause: Histogram,
+    gc_migrations: Counter,
+    ecc_corrected: Counter,
+    ecc_uncorrectable: Counter,
+    page_faults: Counter,
+}
+
+impl VolumeMetrics {
+    /// Register the volume's metrics in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        VolumeMetrics {
+            gc_pause: registry.histogram("ghostdb_gc_pause_ns", TIME_BUCKETS_NS),
+            scrub_pause: registry.histogram("ghostdb_scrub_pause_ns", TIME_BUCKETS_NS),
+            gc_migrations: registry.counter("ghostdb_gc_migrations_total"),
+            ecc_corrected: registry.counter("ghostdb_ecc_corrected_total"),
+            ecc_uncorrectable: registry.counter("ghostdb_ecc_uncorrectable_total"),
+            page_faults: registry.counter("ghostdb_flash_page_faults_total"),
+        }
+    }
+}
+
 /// The device's segment store. Cheap to clone (shared state).
 #[derive(Debug, Clone)]
 pub struct Volume {
     nand: Nand,
     state: Arc<Mutex<AllocState>>,
+    metrics: Arc<OnceLock<VolumeMetrics>>,
 }
 
 thread_local! {
@@ -361,6 +391,7 @@ impl Volume {
                 scrubbed_pages: 0,
             })),
             nand,
+            metrics: Arc::new(OnceLock::new()),
         }
     }
 
@@ -480,7 +511,14 @@ impl Volume {
                 scrubbed_pages: 0,
             })),
             nand,
+            metrics: Arc::new(OnceLock::new()),
         })
+    }
+
+    /// Attach registry-backed instrumentation. A no-op if metrics are
+    /// already attached; clones of this volume share the attachment.
+    pub fn attach_metrics(&self, metrics: VolumeMetrics) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// The translation table as the durability layer seals it:
@@ -724,10 +762,16 @@ impl Volume {
             ecc::Verdict::Corrected => {
                 st.corrected_total += 1;
                 st.corrected_reads[phys.index()] += 1;
+                if let Some(m) = self.metrics.get() {
+                    m.ecc_corrected.inc();
+                }
                 Ok(())
             }
             ecc::Verdict::Uncorrectable => {
                 st.uncorrectable_total += 1;
+                if let Some(m) = self.metrics.get() {
+                    m.ecc_uncorrectable.inc();
+                }
                 Err(GhostError::corrupt(format!(
                     "uncorrectable bit errors in flash page {} (past the single-bit ECC budget)",
                     phys.0
@@ -749,6 +793,9 @@ impl Volume {
     /// mapping holds: reprogramming requires an erase, and an erase
     /// requires every page of the block to be unmapped first.
     fn fault_lpn(&self, lpn: Lpn, raw: &mut [u8]) -> Result<()> {
+        if let Some(m) = self.metrics.get() {
+            m.page_faults.inc();
+        }
         loop {
             let phys = self.phys_of(lpn)?;
             self.nand.read_into(phys, 0, raw)?;
@@ -783,11 +830,17 @@ impl Volume {
                 if st.p2l[phys.index()] != UNMAPPED {
                     st.corrected_reads[phys.index()] += 1;
                 }
+                if let Some(m) = self.metrics.get() {
+                    m.ecc_corrected.inc();
+                }
                 Ok(())
             }
             ecc::Verdict::Uncorrectable => {
                 let mut st = self.state.lock().expect("volume poisoned");
                 st.uncorrectable_total += 1;
+                if let Some(m) = self.metrics.get() {
+                    m.ecc_uncorrectable.inc();
+                }
                 Err(GhostError::corrupt(format!(
                     "uncorrectable bit errors in flash page {} (past the single-bit ECC budget)",
                     phys.0
@@ -1225,6 +1278,7 @@ impl Volume {
         if !self.has_victim() && !scrub_pending {
             return Ok(report);
         }
+        let pause_start = self.nand.clock().now();
         let _ram = scope.alloc(self.raw_page_size())?;
         let mut buf = vec![0u8; self.raw_page_size()];
         let max_victims = self.nand.config().gc_max_victims_per_pass.max(1);
@@ -1253,6 +1307,11 @@ impl Volume {
             st.gc.passes += 1;
         }
         drop(st);
+        if let Some(m) = self.metrics.get() {
+            m.gc_pause
+                .observe(self.nand.clock().now().since(pause_start));
+            m.gc_migrations.add(report.pages_migrated);
+        }
         outcome.map(|()| report)
     }
 
@@ -1319,10 +1378,17 @@ impl Volume {
         if !self.has_scrub_work() {
             return Ok(ScrubReport::default());
         }
+        let pause_start = self.nand.clock().now();
         let _ram = scope.alloc(self.raw_page_size())?;
         let mut buf = vec![0u8; self.raw_page_size()];
         let mut st = self.state.lock().expect("volume poisoned");
-        self.scrub_locked(&mut st, &mut buf)
+        let report = self.scrub_locked(&mut st, &mut buf);
+        drop(st);
+        if let Some(m) = self.metrics.get() {
+            m.scrub_pause
+                .observe(self.nand.clock().now().since(pause_start));
+        }
+        report
     }
 
     /// Cumulative garbage-collection counters since volume creation.
@@ -1784,6 +1850,32 @@ mod tests {
         let mut back = vec![0u8; keeper.len() as usize];
         r.read_exact(&mut back).unwrap();
         assert!(back.iter().all(|&b| b == 0x11));
+    }
+
+    #[test]
+    fn attached_metrics_observe_faults_and_gc() {
+        let registry = Registry::new();
+        let (vol, scope) = setup(8);
+        vol.clone().attach_metrics(VolumeMetrics::new(&registry));
+
+        let (keeper, junk) = fragment(&vol, &scope, 4);
+        vol.free(junk).unwrap();
+        vol.gc(&scope).unwrap();
+        let mut r = vol.reader(&scope, &keeper).unwrap();
+        let mut back = vec![0u8; keeper.len() as usize];
+        r.read_exact(&mut back).unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ghostdb_gc_migrations_total"), 4);
+        assert!(snap.counter("ghostdb_flash_page_faults_total") > 0);
+        assert_eq!(snap.counter("ghostdb_ecc_uncorrectable_total"), 0);
+        match snap.get("ghostdb_gc_pause_ns") {
+            Some(ghostdb_obs::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert!(h.sum > 0, "GC must consume simulated device time");
+            }
+            other => panic!("expected GC pause histogram, got {other:?}"),
+        }
     }
 
     #[test]

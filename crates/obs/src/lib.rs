@@ -1,0 +1,31 @@
+//! Observability primitives shared by every GhostDB crate.
+//!
+//! Two independent surfaces:
+//!
+//! * **Metrics** — a [`Registry`] of named [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s. Instrument sites hold cheap atomic
+//!   handles; readers take a [`MetricsSnapshot`] and render it as
+//!   Prometheus-style text or JSON. Metric names may carry one
+//!   Prometheus-style label (`name{kind="Query"}`).
+//! * **Traces** — a [`Span`] tree per statement (parse → bind → plan →
+//!   execute, with one child span per physical operator) captured
+//!   behind a [`TraceRecorder`] whose off-state cost is a single
+//!   relaxed atomic load.
+//!
+//! The crate is deliberately leaf-level (no dependencies) so flash, bus,
+//! exec and core can all instrument through it without cycles. By
+//! design, nothing here ever stores column *values*: attribute payloads
+//! are `u64` counts/times/sizes, which keeps the observability surface
+//! inside the paper's trust model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsSnapshot, Registry,
+    TIME_BUCKETS_NS,
+};
+pub use trace::{Span, TraceRecorder};

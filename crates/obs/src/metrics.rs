@@ -1,0 +1,405 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default bucket upper bounds for simulated-time histograms, in
+/// nanoseconds: 10 µs up to 100 s, one decade apart. Values above the
+/// last bound land in the implicit `+Inf` bucket.
+pub const TIME_BUCKETS_NS: &[u64] = &[
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in both directions.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the current value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed bucket upper bounds (plus an implicit `+Inf`
+/// bucket), tracking total sum and observation count.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Arc<Vec<u64>>,
+    /// One slot per bound, plus the trailing `+Inf` slot.
+    counts: Arc<Vec<AtomicU64>>,
+    sum: Arc<AtomicU64>,
+    count: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        let mut sorted = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let counts = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: Arc::new(sorted),
+            counts: Arc::new(counts),
+            sum: Arc::new(AtomicU64::new(0)),
+            count: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let slot = self.bounds.partition_point(|&b| b < v);
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations so far.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of bounds and per-bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.as_ref().clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A frozen view of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (ascending). The final bucket is implicit
+    /// `+Inf`, so `counts.len() == bounds.len() + 1`.
+    pub bounds: Vec<u64>,
+    /// Observations per bucket (non-cumulative).
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// One named value in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's frozen buckets.
+    Histogram(HistogramSnapshot),
+}
+
+/// The shared metrics registry. Cloning shares the underlying map, so
+/// one registry can be handed to every subsystem at construction time.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or register the histogram `name` with the given bucket upper
+    /// bounds (an implicit `+Inf` bucket is always appended).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Freeze every metric into a structured snapshot, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().expect("registry poisoned");
+        MetricsSnapshot {
+            entries: map
+                .iter()
+                .map(|(name, m)| {
+                    let v = match m {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time, structured copy of every registered metric.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+/// Split `name{label="x"}` into `(name, Some(label-part))`.
+fn split_label(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) => (&name[..i], Some(&name[i..])),
+        None => (name, None),
+    }
+}
+
+impl MetricsSnapshot {
+    /// Look up one metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find_map(|(n, v)| (n == name).then_some(v))
+    }
+
+    /// Counter value by exact name (0 if absent — counters are created
+    /// lazily at the first event).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value by exact name (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Render as Prometheus-style exposition text.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{name} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{name} {v}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    let (base, label) = split_label(name);
+                    let label = label
+                        .map(|l| l.trim_matches(|c| c == '{' || c == '}'))
+                        .unwrap_or("");
+                    let comma = if label.is_empty() { "" } else { "," };
+                    let mut cum = 0u64;
+                    for (i, c) in h.counts.iter().enumerate() {
+                        cum += c;
+                        let le = h
+                            .bounds
+                            .get(i)
+                            .map(|b| b.to_string())
+                            .unwrap_or_else(|| "+Inf".into());
+                        out.push_str(&format!(
+                            "{base}_bucket{{{label}{comma}le=\"{le}\"}} {cum}\n"
+                        ));
+                    }
+                    out.push_str(&format!("{base}_sum{{{label}}} {}\n", h.sum));
+                    out.push_str(&format!("{base}_count{{{label}}} {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON object keyed by metric name. Histograms become
+    /// `{"buckets": [[le, count], ...], "sum": s, "count": n}` with the
+    /// final bucket's bound encoded as `null` (`+Inf`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n  \"{}\": ", name.replace('"', "\\\"")));
+            match value {
+                MetricValue::Counter(v) => out.push_str(&v.to_string()),
+                MetricValue::Gauge(v) => out.push_str(&v.to_string()),
+                MetricValue::Histogram(h) => {
+                    out.push_str("{\"buckets\": [");
+                    for (j, c) in h.counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        match h.bounds.get(j) {
+                            Some(b) => out.push_str(&format!("[{b}, {c}]")),
+                            None => out.push_str(&format!("[null, {c}]")),
+                        }
+                    }
+                    out.push_str(&format!("], \"sum\": {}, \"count\": {}}}", h.sum, h.count));
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_state() {
+        let reg = Registry::new();
+        let c = reg.counter("ghostdb_wal_appends_total");
+        c.inc();
+        c.add(2);
+        assert_eq!(reg.counter("ghostdb_wal_appends_total").get(), 3);
+        let g = reg.gauge("ghostdb_epoch");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(reg.gauge("ghostdb_epoch").get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_snapshot() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[10, 100]);
+        h.observe(5);
+        h.observe(10); // le="10" is inclusive
+        h.observe(50);
+        h.observe(1000); // +Inf
+        let s = h.snapshot();
+        assert_eq!(s.bounds, vec![10, 100]);
+        assert_eq!(s.counts, vec![2, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1065);
+    }
+
+    #[test]
+    fn prometheus_render_is_cumulative_and_labelled() {
+        let reg = Registry::new();
+        reg.counter("ghostdb_bus_frames_total{kind=\"Query\"}")
+            .inc();
+        let h = reg.histogram("ghostdb_statement_latency_ns{kind=\"select\"}", &[100]);
+        h.observe(50);
+        h.observe(500);
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("ghostdb_bus_frames_total{kind=\"Query\"} 1"));
+        assert!(text.contains("ghostdb_statement_latency_ns_bucket{kind=\"select\",le=\"100\"} 1"));
+        assert!(text.contains("ghostdb_statement_latency_ns_bucket{kind=\"select\",le=\"+Inf\"} 2"));
+        assert!(text.contains("ghostdb_statement_latency_ns_sum{kind=\"select\"} 550"));
+        assert!(text.contains("ghostdb_statement_latency_ns_count{kind=\"select\"} 2"));
+    }
+
+    #[test]
+    fn json_render_shape() {
+        let reg = Registry::new();
+        reg.counter("c").add(4);
+        reg.gauge("g").set(-1);
+        reg.histogram("h", &[10]).observe(3);
+        let json = reg.snapshot().render_json();
+        assert!(json.contains("\"c\": 4"));
+        assert!(json.contains("\"g\": -1"));
+        assert!(
+            json.contains("\"h\": {\"buckets\": [[10, 1], [null, 0]], \"sum\": 3, \"count\": 1}")
+        );
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let reg = Registry::new();
+        reg.counter("a").add(2);
+        reg.gauge("b").set(9);
+        let s = reg.snapshot();
+        assert_eq!(s.counter("a"), 2);
+        assert_eq!(s.gauge("b"), 9);
+        assert_eq!(s.counter("missing"), 0);
+        assert!(s.get("missing").is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-statement execution traces: a span tree behind a recorder that
+//! costs one relaxed atomic load when disabled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One node of a trace tree. Times are host-side nanoseconds relative
+/// to the trace root (the simulated device time a phase consumed rides
+/// in `attrs`, e.g. `sim_ns`). Attribute payloads are intentionally
+/// numeric only — a span can carry counts, times and sizes, never
+/// column values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Span {
+    /// Phase or operator name (`parse`, `bind`, `plan`, `execute`,
+    /// `merge-intersect`, ...).
+    pub name: String,
+    /// Free-form qualifier (plan label, predicate rendering, ...).
+    pub detail: String,
+    /// Start offset from the trace root, host ns.
+    pub start_ns: u64,
+    /// End offset from the trace root, host ns.
+    pub end_ns: u64,
+    /// Numeric attributes: `(key, value)` pairs.
+    pub attrs: Vec<(&'static str, u64)>,
+    /// Child spans, in execution order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A span covering `start_ns..end_ns`.
+    pub fn new(name: impl Into<String>, start_ns: u64, end_ns: u64) -> Self {
+        Span {
+            name: name.into(),
+            start_ns,
+            end_ns,
+            ..Span::default()
+        }
+    }
+
+    /// Wall-clock duration of this span.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Look up a numeric attribute.
+    pub fn attr(&self, key: &str) -> Option<u64> {
+        self.attrs
+            .iter()
+            .find_map(|(k, v)| (*k == key).then_some(*v))
+    }
+
+    /// Depth-first search for a descendant (or self) by name.
+    pub fn find(&self, name: &str) -> Option<&Span> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Render the tree, one line per span with indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!("{} [{} ns]", self.name, self.duration_ns()));
+        if !self.detail.is_empty() {
+            out.push_str(&format!(" {}", self.detail));
+        }
+        for (k, v) in &self.attrs {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// The flight recorder: holds the last completed statement trace.
+///
+/// Disabled by default. Instrument sites must guard span construction
+/// on [`is_enabled`](TraceRecorder::is_enabled), which is a single
+/// relaxed load — the zero-cost-when-off contract. Clones share state,
+/// so the engine and its snapshots record into the same slot.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    enabled: Arc<AtomicBool>,
+    last: Arc<Mutex<Option<Span>>>,
+}
+
+impl TraceRecorder {
+    /// A disabled recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether spans should be captured right now.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Store a completed trace (the previous one is replaced).
+    pub fn record(&self, root: Span) {
+        *self.last.lock().expect("recorder poisoned") = Some(root);
+    }
+
+    /// The last completed trace, if any.
+    pub fn last(&self) -> Option<Span> {
+        self.last.lock().expect("recorder poisoned").clone()
+    }
+
+    /// Drop the stored trace.
+    pub fn clear(&self) {
+        *self.last.lock().expect("recorder poisoned") = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_tree_render_and_lookup() {
+        let mut root = Span::new("statement", 0, 1000);
+        root.detail = "select".into();
+        let mut exec = Span::new("execute", 100, 900);
+        exec.attrs.push(("sim_ns", 42));
+        exec.children.push(Span::new("merge-intersect", 120, 300));
+        root.children.push(exec);
+        assert_eq!(root.duration_ns(), 1000);
+        assert_eq!(root.find("merge-intersect").unwrap().duration_ns(), 180);
+        assert_eq!(root.find("execute").unwrap().attr("sim_ns"), Some(42));
+        let text = root.render();
+        assert!(text.contains("statement [1000 ns] select"));
+        assert!(text.contains("  execute [800 ns] sim_ns=42"));
+        assert!(text.contains("    merge-intersect [180 ns]"));
+    }
+
+    #[test]
+    fn recorder_starts_disabled_and_shares_state() {
+        let r = TraceRecorder::new();
+        assert!(!r.is_enabled());
+        let clone = r.clone();
+        clone.set_enabled(true);
+        assert!(r.is_enabled());
+        clone.record(Span::new("statement", 0, 5));
+        assert_eq!(r.last().unwrap().name, "statement");
+        r.clear();
+        assert!(clone.last().is_none());
+    }
+}

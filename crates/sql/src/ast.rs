@@ -7,6 +7,9 @@ pub enum Statement {
     CreateTable(CreateTable),
     /// `SELECT ... FROM ... WHERE ...`
     Select(SelectStmt),
+    /// `EXPLAIN ANALYZE SELECT ...` — run the query and render its plan
+    /// annotated with estimated vs. actual cardinalities.
+    ExplainAnalyze(SelectStmt),
     /// `INSERT INTO t VALUES (...), (...)`
     Insert(InsertStmt),
     /// `DELETE FROM t WHERE ...`

@@ -85,6 +85,15 @@ impl<'a> Parser<'a> {
             self.create_table().map(Statement::CreateTable)
         } else if self.at_kw("SELECT") {
             self.select().map(Statement::Select)
+        } else if self.at_kw("EXPLAIN") {
+            self.kw("EXPLAIN")?;
+            self.kw("ANALYZE")?;
+            // Record only the SELECT itself as the statement text: it is
+            // what actually executes (and crosses the spied bus).
+            let start = self.here();
+            let mut sel = self.select()?;
+            sel.text = self.text[start..].trim().to_string();
+            Ok(Statement::ExplainAnalyze(sel))
         } else if self.at_kw("INSERT") {
             self.insert().map(Statement::Insert)
         } else if self.at_kw("DELETE") {
@@ -519,6 +528,24 @@ mod tests {
             } if d == "05-11-2006"
         ));
         assert!(matches!(&sel.where_atoms[3], WhereAtom::Join { .. }));
+    }
+
+    #[test]
+    fn parses_explain_analyze() {
+        let stmts = parse_statements(
+            "EXPLAIN ANALYZE SELECT Vis.Date FROM Visit Vis WHERE Vis.Date > 05-11-2006;",
+        )
+        .unwrap();
+        let Statement::ExplainAnalyze(sel) = &stmts[0] else {
+            panic!("not an explain analyze")
+        };
+        assert_eq!(sel.from, vec![("Visit".into(), Some("Vis".into()))]);
+        // The recorded statement text is the bare SELECT — the prefix is
+        // a driver directive, not part of the executed query.
+        assert!(sel.text.starts_with("SELECT"), "{}", sel.text);
+
+        // ANALYZE is mandatory (plain EXPLAIN is the explain() API).
+        assert!(parse_statements("EXPLAIN SELECT Date FROM Visit;").is_err());
     }
 
     #[test]

@@ -68,6 +68,93 @@ fn assert_no_sentinel(db: &GhostDb, context: &str) {
     );
 }
 
+/// The observability surfaces are operator-facing text an admin may
+/// paste anywhere, so they get the same bar as the bus: counts, times,
+/// and sizes only — zero hidden bytes.
+fn assert_surface_clean(surface: &str, name: &str) {
+    assert!(
+        !surface.contains(SENTINEL_TEXT),
+        "text sentinel appeared in {name}:\n{surface}"
+    );
+    assert!(
+        !surface.contains(&SENTINEL_INT.to_string()),
+        "int sentinel appeared in {name}:\n{surface}"
+    );
+}
+
+/// PR 9: statement traces, the metrics expositions (Prometheus text and
+/// JSON), `EXPLAIN ANALYZE` output, and `device_report()` must carry
+/// zero hidden bytes — under every enumerated plan (the traced query
+/// projects both sentinels), and again after mutations churned the
+/// deltas and a flush compacted them.
+#[test]
+fn observability_surfaces_expose_no_hidden_bytes() {
+    let mut db = build();
+    db.set_tracing(true);
+    // Projects both sentinels and selects on a hidden column: the worst
+    // case for any surface that leaked operator payloads.
+    let sql = "SELECT Rec.Diagnosis, Rec.SecretScore, Clinic.City \
+               FROM Record Rec, Clinic \
+               WHERE Rec.SecretScore <= 1000000000 \
+                 AND Rec.Vitals >= 0 \
+                 AND Rec.ClinicID = Clinic.ClinicID";
+    let spec = db.bind(sql).unwrap();
+    for cp in db.plans(sql).unwrap() {
+        let label = &cp.plan.label;
+        let (tree, out) = db.analyze_with_plan(&spec, &cp.plan).unwrap();
+        assert!(
+            out.rows
+                .rows
+                .iter()
+                .any(|r| r[0] == Value::Text(SENTINEL_TEXT.into())),
+            "the probe query must surface the sentinel on the display"
+        );
+        assert_surface_clean(
+            &ghostdb_exec::render_plan(label, &tree),
+            &format!("EXPLAIN ANALYZE output, plan {label}"),
+        );
+        assert_surface_clean(
+            &out.report.render(),
+            &format!("operator report, plan {label}"),
+        );
+        // The same query through the traced path: the span tree renders
+        // names, times and counters only.
+        let _ = db.query(sql).unwrap();
+        let trace = db.last_trace().expect("tracing is on");
+        assert_surface_clean(&trace.render(), &format!("statement trace, plan {label}"));
+    }
+    assert_surface_clean(&db.explain(sql).unwrap(), "EXPLAIN output");
+    assert_surface_clean(&db.metrics_text(), "Prometheus exposition");
+    assert_surface_clean(&db.metrics_json(), "JSON exposition");
+    assert_surface_clean(&db.device_report(), "device report");
+
+    // Mutations touch the sentinels directly; flush compacts. Every
+    // surface stays clean afterwards.
+    db.execute("DELETE FROM Record WHERE RecID = 137").unwrap();
+    db.execute("UPDATE Record SET Vitals = 555 WHERE RecID = 200")
+        .unwrap();
+    // PKs are dense logical ids: the delete re-densified 0..=398, so
+    // the next insert takes 399.
+    db.execute("INSERT INTO Record VALUES (399, 12, 'diag-x', 42, 1)")
+        .unwrap();
+    db.flush_deltas().unwrap();
+    db.seal().unwrap();
+    let _ = db.query(sql).unwrap();
+    assert_surface_clean(
+        &db.last_trace().unwrap().render(),
+        "post-mutation statement trace",
+    );
+    assert_surface_clean(&db.metrics_text(), "post-mutation Prometheus exposition");
+    assert_surface_clean(&db.metrics_json(), "post-mutation JSON exposition");
+    assert_surface_clean(&db.device_report(), "post-mutation device report");
+    assert_surface_clean(
+        &db.explain_analyze(sql).unwrap(),
+        "post-mutation EXPLAIN ANALYZE",
+    );
+    // The bus-level guarantee still holds underneath it all.
+    assert_no_sentinel(&db, "observability sweep");
+}
+
 #[test]
 fn sentinels_never_cross_even_when_selected() {
     let db = build();
