@@ -239,6 +239,22 @@ pub struct GhostDb {
     metrics: Arc<CoreMetrics>,
 }
 
+/// Effective page-cache capacity for a device configuration: the
+/// [`FlashConfig::page_cache_pages`] knob, clamped so the mirror never
+/// claims more than half of device RAM *and* the query operators keep
+/// at least 12 KiB of working space (six raw page buffers) — tiny-RAM
+/// sweep configurations degrade instead of failing at open.
+///
+/// [`FlashConfig::page_cache_pages`]: ghostdb_types::FlashConfig::page_cache_pages
+fn page_cache_budget(config: &DeviceConfig) -> usize {
+    let half = config.ram_bytes / 2;
+    let floor = config.ram_bytes.saturating_sub(12 * 1024);
+    config
+        .flash
+        .page_cache_pages
+        .min(half.min(floor) / config.flash.page_size)
+}
+
 impl GhostDb {
     /// Create a database from `CREATE TABLE` DDL and bulk-load `data` in
     /// the secure setting.
@@ -268,6 +284,10 @@ impl GhostDb {
         }
         let volume = Volume::with_reserved(nand, reserved);
         let ram = RamBudget::new(config.ram_bytes);
+        // The page-cache mirror is a device-global structure: charged
+        // once to the device budget, shared by the writer and every
+        // snapshot reader for the life of the engine.
+        volume.configure_page_cache(page_cache_budget(&config), &ram)?;
         let bus = Bus::new(config.bus.clone(), clock.clone());
         let registry = Registry::new();
         volume.attach_metrics(VolumeMetrics::new(&registry));
@@ -307,7 +327,12 @@ impl GhostDb {
     /// the host-side knobs (RAM budget, bus, CPU, flush threshold); its
     /// flash geometry must match the part the image was sealed on.
     pub fn mount(nand: Nand, config: DeviceConfig) -> Result<GhostDb> {
-        if nand.config() != &config.flash {
+        // The page-cache capacity is a host-side policy knob, not part
+        // geometry: the same sealed part may be mounted cache-off for
+        // equivalence or A/B timing runs.
+        let mut part = nand.config().clone();
+        part.page_cache_pages = config.flash.page_cache_pages;
+        if part != config.flash {
             return Err(GhostError::corrupt(
                 "mount config flash geometry does not match the NAND part",
             ));
@@ -342,6 +367,10 @@ impl GhostDb {
         bus.attach_metrics(BusMetrics::new(&registry));
         let metrics = Arc::new(CoreMetrics::new(&registry));
         let ram = RamBudget::new(config.ram_bytes);
+        // Sized from the *mount* config, not the config baked into the
+        // part when it was created — so the same sealed image can be
+        // opened cache-off for equivalence and A/B timing runs.
+        volume.configure_page_cache(page_cache_budget(&config), &ram)?;
         let pc_link = BusPcLink::new(bus.clone(), visible);
         let mut db = GhostDb {
             schema: Arc::new(schema),
@@ -1472,6 +1501,21 @@ impl GhostDb {
             rel.scrubbed_pages,
             snap.counter("ghostdb_gc_migrations_total"),
         );
+        let cache = self.volume.page_cache_stats();
+        let cache_line = if cache.capacity_pages == 0 {
+            "disabled".to_string()
+        } else {
+            format!(
+                "{}/{} page(s) resident ({} B charged to device RAM), \
+                 {} hit(s), {} miss(es), {} eviction(s)",
+                cache.resident_pages,
+                cache.capacity_pages,
+                cache.charged_bytes,
+                snap.counter("ghostdb_page_cache_hits_total"),
+                snap.counter("ghostdb_page_cache_misses_total"),
+                snap.counter("ghostdb_page_cache_evictions_total"),
+            )
+        };
         let pins = self.volume.pin_stats();
         let sessions = format!(
             "epoch {}, {}; {} page(s) pinned by snapshots ({} free(s) deferred), \
@@ -1484,11 +1528,12 @@ impl GhostDb {
             pins.sealed_deferred,
         );
         format!(
-            "flash: {}/{} blocks free, {} live pages; indexes: {}; durability: {}; \
-             sessions: {}; reliability: {}; wear: {}",
+            "flash: {}/{} blocks free, {} live pages; page cache: {}; indexes: {}; \
+             durability: {}; sessions: {}; reliability: {}; wear: {}",
             snap.gauge("ghostdb_flash_free_blocks"),
             usage.total_blocks,
             snap.gauge("ghostdb_flash_live_pages"),
+            cache_line,
             self.indexes.describe(),
             durability,
             sessions,

@@ -71,6 +71,6 @@ pub use nand::{
     BlockId, FlashStats, Nand, PageAddr, PageState, ERASE_FAIL_MSG, POWER_CUT_MSG, PROGRAM_FAIL_MSG,
 };
 pub use volume::{
-    GcStats, ReliabilityStats, ScrubReport, Segment, SegmentManifest, SegmentReader, SegmentWriter,
-    Volume, VolumeMetrics, VolumeUsage,
+    GcStats, PageCacheStats, ReliabilityStats, ScrubReport, Segment, SegmentManifest,
+    SegmentReader, SegmentWriter, Volume, VolumeMetrics, VolumeUsage,
 };

@@ -70,6 +70,17 @@ pub struct FlashConfig {
     /// Grown-bad-block budget: how many blocks may be retired to the
     /// bad-block table before the volume reports the part worn out.
     pub spare_blocks: usize,
+    /// Capacity, in raw flash pages, of the device-RAM page cache that
+    /// mirrors recently faulted NAND pages. The engine charges the
+    /// mirror's bytes (`page_cache_pages × raw page size`) to the
+    /// device `RamBudget` when it opens the volume, so the secure
+    /// chip's 64 KB invariant still binds — and clamps the capacity so
+    /// the mirror never claims more than half of `ram_bytes` and the
+    /// query operators keep at least 12 KiB of working space (tiny-RAM
+    /// sweep configurations degrade instead of failing).
+    /// `0` disables the cache and every page fault pays the full NAND
+    /// transfer.
+    pub page_cache_pages: usize,
 }
 
 impl FlashConfig {
@@ -94,6 +105,12 @@ impl FlashConfig {
             ecc_byte_ns: 2,
             scrub_threshold: 2,
             spare_blocks: 64,
+            // 16 raw pages ≈ 32 KiB of mirror: half the 64 KB device
+            // RAM. A paper-scale point probe touches ~11 pages (index
+            // climb + clustered matches), so a smaller mirror thrashes
+            // on its own footprint; the query operators' sort/bloom/
+            // batch buffers adapt to the remaining half.
+            page_cache_pages: 16,
         }
     }
 

@@ -15,8 +15,13 @@ mod medical;
 mod queries;
 mod reference;
 mod retail;
+mod scale;
 
 pub use medical::{generate_medical, medical_schema, MedicalConfig, MEDICAL_DDL};
 pub use queries::{game_queries, paper_query, selectivity_query, GameQuery};
 pub use reference::reference_execute;
 pub use retail::{generate_retail, retail_schema, RetailConfig, RETAIL_DDL};
+pub use scale::{
+    generate_scale, scale_point_query, scale_row, scale_schema, OpStream, ScaleConfig, ScaleMix,
+    ScaleOp, Zipfian, SCALE_DDL,
+};

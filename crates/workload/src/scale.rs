@@ -1,0 +1,393 @@
+//! Million-row scale workload: a single flat `Event` table, a
+//! deterministic scrambled-zipfian key generator, and a mixed
+//! read/insert/update/delete operation stream.
+//!
+//! The medical and retail generators reproduce the paper's *schemas*;
+//! this module reproduces its *scale* claim (§5: one million root
+//! tuples) in a shape built for cache studies: point queries on a
+//! hidden column whose popularity follows a zipfian law, so a small
+//! device-RAM page cache can capture the hot set while the cold tail
+//! still faults to NAND.
+
+use ghostdb_storage::Dataset;
+use ghostdb_types::{GhostError, Result, Value};
+
+/// The scale schema: one table, visible dense key and shard, hidden
+/// payload (the query target — predicates on it stay on the device)
+/// and a hidden tag for row width.
+pub const SCALE_DDL: &str = "\
+CREATE TABLE Event (
+  EvID INTEGER PRIMARY KEY,
+  Shard INTEGER,
+  Payload INTEGER HIDDEN,
+  Tag CHAR(12) HIDDEN);";
+
+/// Generator parameters for the scale dataset.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Number of `Event` rows (paper scale: 1,000,000).
+    pub rows: usize,
+    /// Distinct hidden `Payload` values; each value matches
+    /// `rows / payload_cardinality` rows on average.
+    pub payload_cardinality: usize,
+    /// Distinct visible `Shard` values (`EvID % shards`).
+    pub shards: usize,
+    /// Zipfian skew parameter for query/op key draws (YCSB default
+    /// `0.99`; must be in `(0, 1)`).
+    pub theta: f64,
+    /// PRNG seed — generation and op streams are fully deterministic.
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    /// A scaled configuration: payload cardinality tracks `rows / 8`
+    /// so every payload value matches a handful of rows.
+    pub fn scaled(rows: usize) -> ScaleConfig {
+        ScaleConfig {
+            rows,
+            payload_cardinality: (rows / 8).max(16),
+            shards: 64,
+            theta: 0.99,
+            seed: 0x5ca1_ab1e,
+        }
+    }
+
+    /// The paper's root cardinality: one million rows.
+    pub fn paper_scale() -> ScaleConfig {
+        Self::scaled(1_000_000)
+    }
+
+    /// A small configuration for tests and CI smoke runs.
+    pub fn smoke() -> ScaleConfig {
+        Self::scaled(4_000)
+    }
+
+    /// Override the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The bound scale schema.
+pub fn scale_schema() -> Result<ghostdb_catalog::Schema> {
+    ghostdb_sql::bind_schema(&ghostdb_sql::parse_statements(SCALE_DDL)?)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The values of `Event` row `id` under `cfg` — shared by
+/// [`generate_scale`] and by drivers appending fresh rows mid-run, so
+/// an inserted row is indistinguishable from a generated one.
+///
+/// `Payload` values are clustered in key order: runs of
+/// `rows / payload_cardinality` consecutive rows share one value, so a
+/// point query's matches land on one or two NAND pages instead of
+/// being hash-scattered across the whole table (events arriving in
+/// time order share a correlation key — and the locality is what makes
+/// a small page cache meaningful to study).
+pub fn scale_row(cfg: &ScaleConfig, id: i64) -> Vec<Value> {
+    let mut s = cfg.seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let h = splitmix64(&mut s);
+    let card = cfg.payload_cardinality.max(1) as i64;
+    let span = (cfg.rows as i64 / card).max(1);
+    vec![
+        Value::Int(id),
+        Value::Int(id % cfg.shards.max(1) as i64),
+        Value::Int((id / span) % card),
+        Value::Text(format!("t{:011x}", h >> 20 & 0xfff_ffff_ffff)),
+    ]
+}
+
+/// Generate the scale dataset (deterministic in `cfg.seed`).
+pub fn generate_scale(cfg: &ScaleConfig) -> Result<Dataset> {
+    if cfg.rows == 0 {
+        return Err(GhostError::catalog("rows must be > 0"));
+    }
+    let schema = scale_schema()?;
+    let mut data = Dataset::empty(&schema);
+    let event = schema.resolve_table("Event")?;
+    for i in 0..cfg.rows as i64 {
+        data.push_row(event, scale_row(cfg, i))?;
+    }
+    data.validate(&schema)?;
+    Ok(data)
+}
+
+/// A hidden point query for one payload value — the predicate is
+/// evaluated on the device, so its page faults (and cache hits) are
+/// the measured quantity.
+pub fn scale_point_query(payload: i64) -> String {
+    format!("SELECT Ev.EvID FROM Event Ev WHERE Ev.Payload = {payload}")
+}
+
+/// Deterministic scrambled-zipfian draw over `0..n` (the YCSB
+/// construction): ranks follow a zipfian law with parameter `theta`,
+/// then a stateless hash spreads the hot ranks across the key space so
+/// popularity does not correlate with key order.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    state: u64,
+}
+
+impl Zipfian {
+    /// A generator over `0..n` with skew `theta` (must be in `(0, 1)`;
+    /// `0.99` is the YCSB default) seeded deterministically.
+    pub fn new(n: u64, theta: f64, seed: u64) -> Zipfian {
+        assert!(n > 0, "zipfian domain must be non-empty");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zeta = |m: u64| -> f64 { (1..=m).map(|i| 1.0 / (i as f64).powf(theta)).sum() };
+        let zeta_n = zeta(n);
+        let zeta2 = zeta(2.min(n));
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zeta_n,
+            eta,
+            state: seed,
+        }
+    }
+
+    /// The zipfian *rank* (0 is the most popular) — mostly useful for
+    /// tests; workloads want the scrambled [`next`](Self::next).
+    pub fn next_rank(&mut self) -> u64 {
+        let u = (splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+
+    /// The next key in `0..n`, scrambled so hot keys are spread across
+    /// the domain. An inherent `next` (not `Iterator`): the stream is
+    /// infinite and every caller wants a bare `u64`, not an `Option`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        let rank = self.next_rank();
+        let mut s = rank.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        splitmix64(&mut s) % self.n
+    }
+}
+
+/// One deterministic operation in a mixed scale workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleOp {
+    /// Point read: hidden equality `Payload = .0`.
+    Read(i64),
+    /// Append one fresh row; the driver assigns the next dense primary
+    /// key and builds its values with [`scale_row`].
+    Insert,
+    /// Overwrite the hidden payload of logical row `.0` with `.1`.
+    Update(u32, i64),
+    /// Tombstone logical row `.0`.
+    Delete(u32),
+}
+
+/// Relative weights of the four operation kinds in a mixed stream.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleMix {
+    /// Weight of point reads.
+    pub reads: u32,
+    /// Weight of appends.
+    pub inserts: u32,
+    /// Weight of payload updates.
+    pub updates: u32,
+    /// Weight of deletes.
+    pub deletes: u32,
+}
+
+impl ScaleMix {
+    /// YCSB-B-flavoured mix: 80 % reads, light churn.
+    pub fn read_heavy() -> ScaleMix {
+        ScaleMix {
+            reads: 80,
+            inserts: 10,
+            updates: 8,
+            deletes: 2,
+        }
+    }
+
+    /// Write-leaning mix for churn stress: half the ops mutate.
+    pub fn balanced() -> ScaleMix {
+        ScaleMix {
+            reads: 50,
+            inserts: 20,
+            updates: 20,
+            deletes: 10,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        (self.reads + self.inserts + self.updates + self.deletes) as u64
+    }
+}
+
+/// A deterministic mixed-operation stream over a live scale table.
+///
+/// The stream tracks the table's live row count as its own ops land
+/// (insert grows it, delete shrinks it) so update/delete targets are
+/// always valid *dense logical ids* — the engine renumbers primary
+/// keys on delete, and the stream's bookkeeping mirrors that contract.
+#[derive(Debug, Clone)]
+pub struct OpStream {
+    mix: ScaleMix,
+    payloads: Zipfian,
+    rows: Zipfian,
+    live: u64,
+    payload_cardinality: u64,
+    state: u64,
+}
+
+impl OpStream {
+    /// A stream over a table freshly loaded from `cfg`, drawing both
+    /// payload values and mutation targets zipfian-skewed.
+    pub fn new(cfg: &ScaleConfig, mix: ScaleMix, seed: u64) -> OpStream {
+        assert!(mix.total() > 0, "mix must have positive total weight");
+        OpStream {
+            mix,
+            payloads: Zipfian::new(
+                cfg.payload_cardinality.max(1) as u64,
+                cfg.theta,
+                seed ^ 0xa5,
+            ),
+            rows: Zipfian::new(cfg.rows.max(1) as u64, cfg.theta, seed ^ 0x5a),
+            live: cfg.rows as u64,
+            payload_cardinality: cfg.payload_cardinality.max(1) as u64,
+            state: seed,
+        }
+    }
+
+    /// Live rows the table holds once every op issued so far has been
+    /// applied.
+    pub fn live_rows(&self) -> u64 {
+        self.live
+    }
+
+    /// The next operation. Deletes degrade to reads when the table is
+    /// nearly empty so the stream can never underflow the dataset.
+    pub fn next_op(&mut self) -> ScaleOp {
+        let pick = splitmix64(&mut self.state) % self.mix.total();
+        let m = &self.mix;
+        if pick < m.reads as u64 {
+            ScaleOp::Read(self.payloads.next() as i64)
+        } else if pick < (m.reads + m.inserts) as u64 {
+            self.live += 1;
+            ScaleOp::Insert
+        } else if pick < (m.reads + m.inserts + m.updates) as u64 {
+            let row = (self.rows.next() % self.live) as u32;
+            let val = (splitmix64(&mut self.state) % self.payload_cardinality) as i64;
+            ScaleOp::Update(row, val)
+        } else if self.live > 1 {
+            let row = (self.rows.next() % self.live) as u32;
+            self.live -= 1;
+            ScaleOp::Delete(row)
+        } else {
+            ScaleOp::Read(self.payloads.next() as i64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let cfg = ScaleConfig::scaled(500);
+        let a = generate_scale(&cfg).unwrap();
+        let b = generate_scale(&cfg).unwrap();
+        assert_eq!(a, b);
+        let c = generate_scale(&cfg.clone().with_seed(9)).unwrap();
+        assert_ne!(a, c);
+        let s = scale_schema().unwrap();
+        assert_eq!(a.row_count(s.resolve_table("Event").unwrap()), 500);
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_deterministic() {
+        let mut z1 = Zipfian::new(1000, 0.99, 7);
+        let mut z2 = Zipfian::new(1000, 0.99, 7);
+        let mut freq: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..20_000 {
+            let k = z1.next();
+            assert_eq!(k, z2.next());
+            assert!(k < 1000);
+            *freq.entry(k).or_default() += 1;
+        }
+        // The hottest key draws far more than the 20 draws a uniform
+        // distribution would give it.
+        let hottest = *freq.values().max().unwrap();
+        assert!(hottest > 400, "hottest key drawn only {hottest} times");
+    }
+
+    #[test]
+    fn op_stream_tracks_live_count_and_mix() {
+        let cfg = ScaleConfig::scaled(1_000);
+        let mut ops = OpStream::new(&cfg, ScaleMix::balanced(), 11);
+        let mut live = 1_000u64;
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for _ in 0..5_000 {
+            match ops.next_op() {
+                ScaleOp::Read(v) => {
+                    assert!((v as u64) < cfg.payload_cardinality as u64);
+                    reads += 1;
+                }
+                ScaleOp::Insert => {
+                    live += 1;
+                    writes += 1;
+                }
+                ScaleOp::Update(row, _) => {
+                    assert!((row as u64) < live);
+                    writes += 1;
+                }
+                ScaleOp::Delete(row) => {
+                    assert!((row as u64) < live);
+                    live -= 1;
+                    writes += 1;
+                }
+            }
+            assert_eq!(ops.live_rows(), live);
+        }
+        // Balanced mix: roughly half the ops mutate.
+        assert!(
+            reads > 1_500 && writes > 1_500,
+            "{reads} reads, {writes} writes"
+        );
+    }
+
+    #[test]
+    fn inserted_rows_match_generated_rows() {
+        // Loading N rows then appending one must equal loading N+1.
+        let cfg = ScaleConfig::scaled(64);
+        let big = ScaleConfig {
+            rows: 65,
+            ..cfg.clone()
+        };
+        let d = generate_scale(&big).unwrap();
+        let s = scale_schema().unwrap();
+        let ev = s.resolve_table("Event").unwrap();
+        let last: Vec<Value> = (0..4)
+            .map(|c| d.value(ev, c, ghostdb_types::RowId(64)).clone())
+            .collect();
+        assert_eq!(last, scale_row(&cfg, 64));
+    }
+}

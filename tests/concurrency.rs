@@ -318,6 +318,131 @@ fn snapshots_stay_isolated_under_a_live_writer() {
     }
 }
 
+/// PR 10: N snapshot readers hammer *overlapping* zipfian payload keys
+/// through the shared page cache while the writer inserts, rewrites
+/// payloads, and flushes underneath them. Isolation says every reader
+/// keeps seeing its frozen epoch (the host-side census of the generated
+/// dataset) no matter what the mirror absorbs or invalidates; the
+/// shared-cache bookkeeping says the run ends with zero snapshot pins,
+/// a hit counter that actually moved (the hot keys collide by
+/// construction), and a scrape that agrees with the volume.
+#[test]
+fn zipfian_readers_share_the_page_cache_under_writer_churn() {
+    use ghostdb_workload::{
+        generate_scale, scale_point_query, scale_row, ScaleConfig, Zipfian, SCALE_DDL,
+    };
+
+    const READERS: usize = 4;
+    const QUERIES_PER_READER: usize = 120;
+    const EVENT: TableId = TableId(0);
+    const PAYLOAD: ColumnId = ColumnId(2);
+
+    let cfg = ScaleConfig::scaled(4_000);
+    let data = generate_scale(&cfg).unwrap();
+    let config = DeviceConfig::default_2007().with_delta_flush_rows(0);
+    let mut db = GhostDb::create(SCALE_DDL, config, &data).unwrap();
+    assert!(
+        db.volume().page_cache_stats().capacity_pages > 0,
+        "default config arms the cache"
+    );
+    let hits_before = db.volume().page_cache_stats().hits;
+
+    // Host-side census of the frozen dataset: rows per payload value.
+    let mut census = std::collections::HashMap::new();
+    for id in 0..cfg.rows as i64 {
+        if let Value::Int(p) = scale_row(&cfg, id)[2] {
+            *census.entry(p).or_insert(0usize) += 1;
+        }
+    }
+    let census = std::sync::Arc::new(census);
+
+    // All readers draw from the same zipfian distribution with different
+    // seeds: distinct streams, identical hot set — cache-line contention
+    // on the pages that hold the popular payload runs.
+    let snap_epoch = {
+        let mut handles = Vec::new();
+        let epoch = db.epoch();
+        for r in 0..READERS {
+            let snap = db.snapshot().unwrap();
+            assert_eq!(snap.epoch(), epoch);
+            let census = census.clone();
+            let mut zipf = Zipfian::new(
+                cfg.payload_cardinality as u64,
+                cfg.theta,
+                0xd1ce ^ (r as u64) << 8,
+            );
+            handles.push(thread::spawn(move || {
+                for _ in 0..QUERIES_PER_READER {
+                    let p = zipf.next() as i64;
+                    let got = snap.query(&scale_point_query(p)).unwrap().rows.len();
+                    let want = census.get(&p).copied().unwrap_or(0);
+                    assert_eq!(got, want, "frozen count for payload {p} drifted");
+                }
+            }));
+        }
+
+        // The writer churns the same table the whole time: appends (new
+        // payload runs), payload rewrites (hidden-column updates dirty
+        // exactly the pages the readers hammer), and delta flushes
+        // (segment rewrites -> cache invalidation storms).
+        let mut state = 0xace0_fba5eu64;
+        let mut next = move || -> i64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        let mut live = cfg.rows as i64;
+        for round in 0..8 {
+            let batch: Vec<Vec<Value>> = (0..16).map(|k| scale_row(&cfg, live + k)).collect();
+            db.insert_rows(EVENT, batch).unwrap();
+            live += 16;
+            let picks: Vec<RowId> = (0..8)
+                .map(|_| RowId(next().rem_euclid(live) as u32))
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let fresh = next().rem_euclid(cfg.payload_cardinality as i64);
+            db.update_rows(EVENT, picks, vec![(PAYLOAD, Value::Int(fresh))])
+                .unwrap();
+            if round % 2 == 1 {
+                db.flush_deltas().unwrap();
+            }
+        }
+
+        for h in handles {
+            h.join().unwrap();
+        }
+        epoch
+    };
+    assert!(db.epoch() > snap_epoch, "the writer committed mutations");
+
+    // Pin ledger: every reader dropped its snapshot on exit.
+    assert_eq!(db.open_snapshots(), 0, "all reader sessions deregistered");
+    let pins = db.volume().pin_stats();
+    assert_eq!(pins.snapshot_pinned, 0, "no leaked snapshot pins");
+    assert_eq!(pins.snapshot_deferred, 0, "no leaked deferred frees");
+
+    // Cache sanity: the overlapping hot sets must have produced real
+    // sharing, and the scrape must agree with the volume's own ledger.
+    let cache = db.volume().page_cache_stats();
+    assert!(
+        cache.hits > hits_before,
+        "overlapping zipfian readers never hit the shared mirror"
+    );
+    assert!(cache.resident_pages <= cache.capacity_pages);
+    let snap_metrics = db.metrics();
+    assert_eq!(
+        snap_metrics.counter("ghostdb_page_cache_hits_total"),
+        cache.hits
+    );
+    assert_eq!(
+        snap_metrics.counter("ghostdb_page_cache_misses_total"),
+        cache.misses
+    );
+    assert!(db.device_report().contains("page cache:"));
+}
+
 /// A snapshot captured at epoch E sees exactly epoch-E state even after
 /// the writer mutates, flushes, and the volume garbage-collects — and a
 /// snapshot captured *after* those mutations sees the new state. The

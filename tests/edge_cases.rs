@@ -126,13 +126,16 @@ fn retail_mid_tree_anchor_with_child_predicate() {
 #[test]
 fn repeated_queries_reuse_the_device_cleanly() {
     // The same db instance serves many different queries back-to-back
-    // with no RAM or flash residue between them.
+    // with no RAM or flash residue between them. The page-cache mirror
+    // is the one deliberate resident charge; everything a query
+    // allocates on top of it must be released.
     let (db, cfg, _data) = medical_db_with_data(1_000);
+    let resident = db.volume().page_cache_stats().charged_bytes;
     let live0 = db.volume().usage().live_pages;
     for frac in [0.05, 0.5, 0.9] {
         let sql = ghostdb_workload::selectivity_query(cfg.date_start, cfg.date_span_days, frac);
         let _ = db.query(&sql).unwrap();
-        assert_eq!(db.ram().used(), 0, "RAM residue after frac {frac}");
+        assert_eq!(db.ram().used(), resident, "RAM residue after frac {frac}");
         assert_eq!(
             db.volume().usage().live_pages,
             live0,

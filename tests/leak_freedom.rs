@@ -581,6 +581,81 @@ fn snapshot_reads_leak_nothing() {
     assert_no_sentinel(&db, "cross-thread snapshot read");
 }
 
+/// PR 10: the page cache mirrors raw NAND pages — including the pages
+/// that hold both sentinels — in device RAM. Two obligations follow.
+/// The cache must be invisible on the spied link: a hit replaces a
+/// device-internal NAND transfer, never a bus frame, so a repeated
+/// query produces byte-identical bus traffic whether it faulted or hit.
+/// And the cache's observability (the `device_report()` section, the
+/// `ghostdb_page_cache_*` counters) must expose counts and sizes only,
+/// even while sentinel-bearing pages are resident in the mirror.
+#[test]
+fn page_cache_exposes_counts_only_and_stays_off_the_bus() {
+    let db = build();
+    assert!(
+        db.volume().page_cache_stats().capacity_pages > 0,
+        "default config arms the cache"
+    );
+
+    // Cold run faults the sentinel-bearing pages into the mirror.
+    let sql = format!("SELECT Rec.RecID FROM Record Rec WHERE Rec.SecretScore = {SENTINEL_INT}");
+    db.clear_trace();
+    assert_eq!(db.query(&sql).unwrap().rows.len(), 1);
+    let cold_frames = db.trace().spy_frames().len();
+    let cold_bytes = db.trace().spy_bytes();
+
+    // Warm run: the device answers from the mirror. The bus must look
+    // *identical*, not merely sentinel-free — a frame-count or byte
+    // delta between hit and miss would itself be a side channel.
+    let warm0 = db.volume().page_cache_stats();
+    db.clear_trace();
+    assert_eq!(db.query(&sql).unwrap().rows.len(), 1);
+    let warm1 = db.volume().page_cache_stats();
+    assert!(
+        warm1.hits > warm0.hits,
+        "the repeated probe must hit the mirror ({} -> {} hits)",
+        warm0.hits,
+        warm1.hits
+    );
+    assert_eq!(
+        db.trace().spy_frames().len(),
+        cold_frames,
+        "a cache hit altered the bus frame sequence"
+    );
+    assert_eq!(
+        db.trace().spy_bytes(),
+        cold_bytes,
+        "a cache hit altered the bus byte count"
+    );
+    assert_no_sentinel(&db, "page-cache warm repeat");
+
+    // Sentinel pages are resident right now; every surface that renders
+    // cache state stays counts-and-sizes only.
+    assert!(warm1.resident_pages > 0 && warm1.charged_bytes > 0);
+    let report = db.device_report();
+    assert!(
+        report.contains("page cache:"),
+        "device report lost its cache section:\n{report}"
+    );
+    assert_surface_clean(&report, "device report with sentinel pages resident");
+    let text = db.metrics_text();
+    assert!(text.contains("ghostdb_page_cache_hits_total"));
+    assert_surface_clean(&text, "Prometheus exposition with sentinel pages resident");
+    assert_surface_clean(
+        &db.metrics_json(),
+        "JSON exposition with sentinel pages resident",
+    );
+
+    // The scrape and the volume agree — the counters are the *only*
+    // thing the cache publishes, so they had better be the real ones.
+    let snap = db.metrics();
+    assert_eq!(snap.counter("ghostdb_page_cache_hits_total"), warm1.hits);
+    assert_eq!(
+        snap.counter("ghostdb_page_cache_misses_total"),
+        warm1.misses
+    );
+}
+
 #[test]
 fn results_only_reach_the_display_channel() {
     let db = build();

@@ -1181,3 +1181,288 @@ mod pipeline_equivalence {
         }
     }
 }
+
+mod cache_equivalence {
+    //! The page cache must be invisible: an engine with the default
+    //! device-RAM mirror and an engine with `page_cache_pages = 0`
+    //! walk through identical mutation histories and must return
+    //! identical rows for every enumerated plan on both pipelines — in
+    //! the tombstone-resident state, after physical compaction, with
+    //! ECC-correctable rot injected underneath (corrected codewords
+    //! are never mirrored), and across a seal → power-cut → mount.
+    //! The simulated clock keeps its one-sided invariant too: a cache
+    //! can only remove NAND transfers, so the cached engine's device
+    //! time never exceeds the uncached engine's.
+
+    use ghostdb::GhostDb;
+    use ghostdb_flash::PageAddr;
+    use ghostdb_storage::Dataset;
+    use ghostdb_types::{ColumnId, DeviceConfig, RowId, TableId, Value};
+    use proptest::prelude::*;
+
+    const DDL: &str = "\
+        CREATE TABLE Child (
+          cid INTEGER PRIMARY KEY,
+          vis INTEGER,
+          hid INTEGER HIDDEN,
+          tag CHAR(12) HIDDEN);
+        CREATE TABLE Root (
+          rid INTEGER PRIMARY KEY,
+          amt INTEGER HIDDEN,
+          cid REFERENCES Child(cid) HIDDEN);";
+
+    /// One pre-generated mutation batch, replayed verbatim on both
+    /// engines.
+    #[derive(Clone)]
+    enum Step {
+        InsertChildren(Vec<Vec<Value>>),
+        InsertRoots(Vec<Vec<Value>>),
+        DeleteRoots(Vec<RowId>),
+        UpdateChild(RowId, i64, String),
+        UpdateRoots(Vec<RowId>, i64),
+    }
+
+    /// Generate `steps` batches that are valid against the running
+    /// (children, roots) cardinalities.
+    fn plan_steps(
+        next: &mut impl FnMut() -> i64,
+        children: &mut usize,
+        roots: &mut usize,
+        steps: usize,
+    ) -> Vec<Step> {
+        let mut out = Vec::new();
+        for _ in 0..steps {
+            match next().rem_euclid(5) {
+                0 => {
+                    let n = 1 + next().rem_euclid(3) as usize;
+                    let batch = (0..n)
+                        .map(|k| {
+                            vec![
+                                Value::Int((*children + k) as i64),
+                                Value::Int(next() % 50),
+                                Value::Int(next() % 50),
+                                Value::Text(format!("tag-{}", next().rem_euclid(8))),
+                            ]
+                        })
+                        .collect();
+                    *children += n;
+                    out.push(Step::InsertChildren(batch));
+                }
+                1 => {
+                    let n = 1 + next().rem_euclid(4) as usize;
+                    let batch = (0..n)
+                        .map(|k| {
+                            vec![
+                                Value::Int((*roots + k) as i64),
+                                Value::Int(next() % 50),
+                                Value::Int(next().rem_euclid(*children as i64)),
+                            ]
+                        })
+                        .collect();
+                    *roots += n;
+                    out.push(Step::InsertRoots(batch));
+                }
+                2 => {
+                    if *roots == 0 {
+                        continue;
+                    }
+                    let mut picks: Vec<u32> = (0..1 + next().rem_euclid(3))
+                        .map(|_| next().rem_euclid(*roots as i64) as u32)
+                        .collect();
+                    picks.sort_unstable();
+                    picks.dedup();
+                    *roots -= picks.len();
+                    out.push(Step::DeleteRoots(picks.into_iter().map(RowId).collect()));
+                }
+                3 => {
+                    let c = next().rem_euclid(*children as i64) as u32;
+                    out.push(Step::UpdateChild(
+                        RowId(c),
+                        next() % 50,
+                        format!("tag-{}", next().rem_euclid(16)),
+                    ));
+                }
+                _ => {
+                    if *roots == 0 {
+                        continue;
+                    }
+                    let mut picks: Vec<u32> = (0..1 + next().rem_euclid(2))
+                        .map(|_| next().rem_euclid(*roots as i64) as u32)
+                        .collect();
+                    picks.sort_unstable();
+                    picks.dedup();
+                    out.push(Step::UpdateRoots(
+                        picks.into_iter().map(RowId).collect(),
+                        next() % 50,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(db: &mut GhostDb, steps: &[Step]) {
+        for s in steps {
+            match s {
+                Step::InsertChildren(b) => {
+                    db.insert_rows(TableId(0), b.clone()).unwrap();
+                }
+                Step::InsertRoots(b) => {
+                    db.insert_rows(TableId(1), b.clone()).unwrap();
+                }
+                Step::DeleteRoots(r) => {
+                    db.delete_rows(TableId(1), r.clone()).unwrap();
+                }
+                Step::UpdateChild(r, vis, tag) => {
+                    db.update_rows(
+                        TableId(0),
+                        vec![*r],
+                        vec![
+                            (ColumnId(1), Value::Int(*vis)),
+                            (ColumnId(3), Value::Text(tag.clone())),
+                        ],
+                    )
+                    .unwrap();
+                }
+                Step::UpdateRoots(r, amt) => {
+                    db.update_rows(TableId(1), r.clone(), vec![(ColumnId(1), Value::Int(*amt))])
+                        .unwrap();
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+        #[test]
+        fn cached_and_uncached_engines_agree(
+            seed in any::<u64>(),
+            base_children in 3usize..10,
+            base_roots in 6usize..24,
+            steps in 4usize..12,
+            hidden_cut in 0i64..50,
+            tag_pick in 0usize..10,
+        ) {
+            let mut state = seed | 1;
+            let mut next = move || -> i64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as i64
+            };
+            let stmts = ghostdb_sql::parse_statements(DDL).unwrap();
+            let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
+            let mut base = Dataset::empty(&schema);
+            for i in 0..base_children {
+                base.push_row(TableId(0), vec![
+                    Value::Int(i as i64),
+                    Value::Int(next() % 50),
+                    Value::Int(next() % 50),
+                    Value::Text(format!("tag-{}", next().rem_euclid(8))),
+                ]).unwrap();
+            }
+            for i in 0..base_roots {
+                base.push_row(TableId(1), vec![
+                    Value::Int(i as i64),
+                    Value::Int(next() % 50),
+                    Value::Int(next().rem_euclid(base_children as i64)),
+                ]).unwrap();
+            }
+
+            let cfg_on = DeviceConfig::default_2007().with_delta_flush_rows(0);
+            let mut cfg_off = cfg_on.clone();
+            cfg_off.flash.page_cache_pages = 0;
+            let mut on = GhostDb::create(DDL, cfg_on.clone(), &base).unwrap();
+            let mut off = GhostDb::create(DDL, cfg_off.clone(), &base).unwrap();
+            prop_assert!(on.volume().page_cache_stats().capacity_pages > 0);
+            prop_assert_eq!(off.volume().page_cache_stats().capacity_pages, 0);
+
+            let (mut children, mut roots) = (base_children, base_roots);
+            let plan = plan_steps(&mut next, &mut children, &mut roots, steps);
+            apply(&mut on, &plan);
+            apply(&mut off, &plan);
+
+            let queries = [
+                format!(
+                    "SELECT Root.rid, Child.tag FROM Root, Child \
+                     WHERE Child.tag = 'tag-{tag_pick}' AND Root.cid = Child.cid"
+                ),
+                format!(
+                    "SELECT Root.rid, Child.hid FROM Root, Child \
+                     WHERE Child.hid >= {hidden_cut} AND Child.vis < 40 \
+                       AND Root.cid = Child.cid"
+                ),
+                "SELECT Child.cid, Child.tag FROM Child WHERE Child.tag >= 'tag-3'".to_string(),
+                format!("SELECT Root.rid, Root.cid FROM Root WHERE Root.amt <= {hidden_cut}"),
+            ];
+            let check = |on: &GhostDb, off: &GhostDb, phase: &str| {
+                for sql in &queries {
+                    let oracle = off.query(sql).unwrap();
+                    let cached = on.query(sql).unwrap();
+                    prop_assert_eq!(
+                        &cached.rows.rows, &oracle.rows.rows,
+                        "{}: default plan: {}", phase, sql
+                    );
+                    // A cache can only remove NAND transfers from the
+                    // simulated timeline, never add work to it.
+                    prop_assert!(
+                        cached.report.total_ns <= oracle.report.total_ns,
+                        "{}: cached {} ns > uncached {} ns: {}",
+                        phase, cached.report.total_ns, oracle.report.total_ns, sql
+                    );
+                    let spec = on.bind(sql).unwrap();
+                    for cp in on.plans(sql).unwrap() {
+                        let blocked = on.run(&spec, &cp.plan).unwrap();
+                        prop_assert_eq!(
+                            &blocked.rows.rows, &oracle.rows.rows,
+                            "{}: blocked plan {}: {}", phase, cp.plan.label, sql
+                        );
+                        let scalar = on.run_scalar(&spec, &cp.plan).unwrap();
+                        prop_assert_eq!(
+                            &scalar.rows.rows, &oracle.rows.rows,
+                            "{}: scalar plan {}: {}", phase, cp.plan.label, sql
+                        );
+                    }
+                }
+            };
+
+            // Phase 1: tombstone-resident.
+            check(&on, &off, "tombstone-resident");
+
+            // Phase 2: physically compacted.
+            on.flush_deltas().unwrap();
+            off.flush_deltas().unwrap();
+            check(&on, &off, "compacted");
+
+            // Phase 3: ECC-correctable rot injected at the same
+            // physical addresses on both parts (creation is
+            // deterministic, so the layouts match). Corrected
+            // codewords must re-correct on every fault, never be
+            // served from the mirror.
+            let ppb = cfg_on.flash.pages_per_block as u32;
+            for k in 0..6u32 {
+                let phys = PageAddr((next().rem_euclid((4 * ppb) as i64)) as u32 + k * ppb);
+                let bit = next().rem_euclid(2048 * 8) as u32;
+                on.nand().corrupt_page(phys, bit).unwrap();
+                off.nand().corrupt_page(phys, bit).unwrap();
+            }
+            check(&on, &off, "rotted");
+
+            // Phase 4: seal, mutate again (WAL-resident), power-cut,
+            // mount with each engine's own cache config.
+            on.seal().unwrap();
+            off.seal().unwrap();
+            let plan = plan_steps(&mut next, &mut children, &mut roots, steps / 2 + 1);
+            apply(&mut on, &plan);
+            apply(&mut off, &plan);
+            let (nand_on, nand_off) = (on.nand().clone(), off.nand().clone());
+            drop(on);
+            drop(off);
+            let on = GhostDb::mount(nand_on, cfg_on).unwrap();
+            let off = GhostDb::mount(nand_off, cfg_off).unwrap();
+            prop_assert!(on.volume().page_cache_stats().capacity_pages > 0);
+            check(&on, &off, "wal-replayed");
+        }
+    }
+}

@@ -30,7 +30,13 @@ fn paper_budget_64k_handles_wide_queries() {
         "peak {}",
         out.report.ram_peak
     );
-    assert_eq!(db.ram().used(), 0, "RAM not returned after execution");
+    // Only the page-cache mirror (a deliberate device-global charge)
+    // may stay resident after the query returns.
+    assert_eq!(
+        db.ram().used(),
+        db.volume().page_cache_stats().charged_bytes,
+        "RAM not returned after execution"
+    );
 }
 
 #[test]
@@ -58,7 +64,11 @@ fn tight_budget_forces_spills_but_stays_correct() {
         out_tight.report.flash.page_programs,
         out_roomy.report.flash.page_programs
     );
-    assert_eq!(tight.ram().used(), 0);
+    assert_eq!(
+        tight.ram().used(),
+        tight.volume().page_cache_stats().charged_bytes,
+        "only the page-cache mirror stays resident"
+    );
 }
 
 #[test]

@@ -157,6 +157,61 @@ proptest! {
     }
 }
 
+/// PR 10: the page cache mirrors only *clean* codewords, so a rotting
+/// device with the cache on must keep answering exactly like the same
+/// device with the cache off — repeated rounds included, which is where
+/// a mirror that cached a correctable-but-dirty page (or masked a flip
+/// it should have surfaced to the scrubber) would diverge.
+#[test]
+fn cache_on_and_cache_off_agree_under_armed_rot() {
+    let mut next = lcg(42);
+    let stmts = ghostdb_sql::parse_statements(DDL).unwrap();
+    let schema = ghostdb_sql::bind_schema(&stmts).unwrap();
+    let mut base = Dataset::empty(&schema);
+    for i in 0..24i64 {
+        base.push_row(TableId(0), child_row(i, &mut next)).unwrap();
+    }
+    for i in 0..40i64 {
+        base.push_row(TableId(1), root_row(i, 24, &mut next))
+            .unwrap();
+    }
+
+    let mut cfg_off = config();
+    cfg_off.flash.page_cache_pages = 0;
+    let db_on = GhostDb::create(DDL, config(), &base).unwrap();
+    let db_off = GhostDb::create(DDL, cfg_off, &base).unwrap();
+    assert!(db_on.volume().page_cache_stats().capacity_pages > 0);
+    assert_eq!(db_off.volume().page_cache_stats().capacity_pages, 0);
+
+    // Same rot stream on both parts (identical deterministic layouts).
+    db_on.nand().arm_bit_rot(9, 8_000.0 / 1e6, 97);
+    db_off.nand().arm_bit_rot(9, 8_000.0 / 1e6, 97);
+
+    let queries = [
+        "SELECT Root.rid, Child.tag FROM Root, Child \
+         WHERE Child.tag = 'tag-3' AND Root.cid = Child.cid",
+        "SELECT Root.rid, Child.hid FROM Root, Child \
+         WHERE Child.hid >= 20 AND Child.vis < 40 AND Root.cid = Child.cid",
+        "SELECT Child.cid, Child.tag FROM Child WHERE Child.tag >= 'tag-3'",
+        "SELECT Root.rid FROM Root WHERE Root.amt <= 25",
+    ];
+    for round in 0..6 {
+        for sql in &queries {
+            assert_eq!(
+                db_on.query(sql).unwrap().rows.rows,
+                db_off.query(sql).unwrap().rows.rows,
+                "round {round} divergence under rot: {sql}"
+            );
+        }
+    }
+    let stats = db_on.volume().page_cache_stats();
+    assert!(stats.hits > 0, "the repeat rounds must exercise the mirror");
+    assert_eq!(db_on.volume().reliability().uncorrectable, 0);
+    assert_eq!(db_off.volume().reliability().uncorrectable, 0);
+    db_on.nand().disarm_bit_rot();
+    db_off.nand().disarm_bit_rot();
+}
+
 /// Past the single-bit budget the engine reports a clean corrupt error
 /// — it must never serve wrong bytes.
 #[test]
